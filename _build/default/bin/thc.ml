@@ -1,0 +1,273 @@
+(* thc — command-line front end for the trusted-hardware classification
+   library: render/verify the hierarchy, run the separation scenarios, the
+   round drivers, and the replication comparison. *)
+
+open Cmdliner
+
+(* --- figure1 ------------------------------------------------------------- *)
+
+let figure1_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of ASCII.")
+  in
+  let run dot =
+    let h = Thc_classify.Hierarchy.paper in
+    if dot then print_string (Thc_classify.Hierarchy.to_dot h)
+    else print_string (Thc_classify.Hierarchy.figure1 h);
+    match Thc_classify.Hierarchy.consistent h with
+    | Ok notes ->
+      Printf.printf "\nhierarchy consistent (%d side-condition notes)\n"
+        (List.length notes)
+    | Error problems ->
+      Printf.printf "\nhierarchy INCONSISTENT:\n";
+      List.iter (Printf.printf "  %s\n") problems;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "figure1" ~doc:"Render the paper's summary-of-results figure.")
+    Term.(const run $ dot)
+
+(* --- verify -------------------------------------------------------------- *)
+
+let verify_cmd =
+  let run () =
+    let results = Thc_classify.Hierarchy.verify Thc_classify.Hierarchy.paper in
+    let failed = ref 0 in
+    List.iter
+      (fun (label, passed, detail) ->
+        if not passed then incr failed;
+        Printf.printf "[%s] %-55s %s\n"
+          (if passed then "PASS" else "FAIL")
+          label detail)
+      results;
+    Printf.printf "\n%d/%d edge/separation checks passed\n"
+      (List.length results - !failed)
+      (List.length results);
+    if !failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Execute every witness construction and separation scenario behind \
+          the hierarchy's edges.")
+    Term.(const run $ const ())
+
+(* --- scenarios ------------------------------------------------------------ *)
+
+let scenarios_cmd =
+  let run () =
+    let results =
+      [
+        Thc_classify.Separations.srb_cannot_implement_unidirectionality ();
+        Thc_classify.Separations.rb_cannot_solve_very_weak ();
+        Thc_classify.Separations.delta_wait_below_delta_not_unidirectional ();
+      ]
+    in
+    List.iter
+      (fun r -> Format.printf "%a@.@." Thc_classify.Separations.pp_result r)
+      results;
+    if not (List.for_all (fun r -> r.Thc_classify.Separations.holds) results)
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scenarios"
+       ~doc:"Run the paper's impossibility constructions end to end.")
+    Term.(const run $ const ())
+
+(* --- problems --------------------------------------------------------------- *)
+
+let problems_cmd =
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Execute every checkable cell.")
+  in
+  let run verify =
+    print_string (Thc_classify.Problems.render ());
+    if verify then begin
+      let results = Thc_classify.Problems.verify () in
+      let failed = ref 0 in
+      List.iter
+        (fun (label, passed, detail) ->
+          if not passed then incr failed;
+          Printf.printf "[%s] %s — %s\n" (if passed then "PASS" else "FAIL")
+            label detail)
+        results;
+      if !failed > 0 then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "problems"
+       ~doc:"The paper's problem/model capability matrix (Problems Considered).")
+    Term.(const run $ verify)
+
+(* --- rounds --------------------------------------------------------------- *)
+
+let rounds_cmd =
+  let driver =
+    Arg.(
+      value
+      & opt (enum
+               [ ("swmr", `Swmr); ("sticky", `Sticky); ("peats", `Peats);
+                 ("async", `Async); ("sync", `Sync); ("delta", `Delta);
+                 ("rb1", `Rb1) ])
+          `Swmr
+      & info [ "driver" ] ~doc:"Round driver: swmr|sticky|peats|async|sync|delta|rb1.")
+  in
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Processes.") in
+  let rounds_n = Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Rounds to run.") in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"RNG seed.") in
+  let run driver n rounds seed =
+    let rng = Thc_util.Rng.create seed in
+    let keyring = Thc_crypto.Keyring.create rng ~n in
+    let net = Thc_sim.Net.create ~n ~default:(Thc_sim.Delay.Uniform (10L, 400L)) in
+    let app pid : Thc_rounds.Round_app.app =
+      {
+        first_payload = (fun _ -> Some (Printf.sprintf "r1-p%d" pid));
+        on_receive = (fun _ ~round:_ ~from:_ _ -> ());
+        on_round_check =
+          (fun h ~round ->
+            if round >= rounds then Thc_rounds.Round_app.Stop
+            else
+              Thc_rounds.Round_app.Advance
+                (Some (Printf.sprintf "r%d-p%d" (round + 1) h.self)));
+      }
+    in
+    (* Drivers have distinct wire types, so each branch runs its own engine
+       and reports through this polymorphic summary. *)
+    let report (type m) (trace : m Thc_sim.Trace.t) =
+      let uni = Thc_rounds.Directionality.check_unidirectional trace in
+      let bi = Thc_rounds.Directionality.check_bidirectional trace in
+      Printf.printf "driver ran %d processes; rounds completed per process:" n;
+      for pid = 0 to n - 1 do
+        Printf.printf " %d"
+          (Thc_rounds.Directionality.rounds_completed trace ~pid)
+      done;
+      Printf.printf "\nunidirectionality violations: %d\n" (List.length uni);
+      Printf.printf "bidirectionality violations:  %d\n" (List.length bi);
+      Printf.printf "messages sent: %d, virtual duration: %Ld us\n"
+        (Thc_sim.Trace.messages_sent trace)
+        trace.Thc_sim.Trace.end_time
+    in
+    let install_and_run engine behavior_of =
+      for pid = 0 to n - 1 do
+        Thc_sim.Engine.set_behavior engine pid (behavior_of pid)
+      done;
+      Thc_sim.Engine.run ~until:10_000_000L engine
+    in
+    match driver with
+    | `Async ->
+      let engine = Thc_sim.Engine.create ~seed ~n ~net () in
+      report
+        (install_and_run engine (fun pid ->
+             Thc_rounds.Async_rounds.behavior ~f:((n - 1) / 2) (app pid)))
+    | `Sync ->
+      let engine = Thc_sim.Engine.create ~seed ~n ~net () in
+      report
+        (install_and_run engine (fun pid ->
+             Thc_rounds.Sync_rounds.behavior ~period:1_000L (app pid)))
+    | `Delta ->
+      let engine = Thc_sim.Engine.create ~seed ~n ~net () in
+      report
+        (install_and_run engine (fun pid ->
+             Thc_rounds.Delta_rounds.behavior ~wait:500L
+               ~start_offset:(Int64.of_int (pid * 137))
+               (app pid)))
+    | `Rb1 ->
+      let engine = Thc_sim.Engine.create ~seed ~n ~net () in
+      report
+        (install_and_run engine (fun pid ->
+             Thc_rounds.Rb_rounds_f1.behavior ~keyring
+               ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+               (app pid)))
+    | `Swmr ->
+      let engine = Thc_sim.Engine.create ~seed ~n ~net () in
+      let registers = Thc_sharedmem.Swmr.log_array ~n in
+      report
+        (install_and_run engine (fun pid ->
+             Thc_rounds.Swmr_rounds.behavior ~registers
+               ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+               (app pid)))
+    | `Sticky ->
+      let engine = Thc_sim.Engine.create ~seed ~n ~net () in
+      let board = Thc_rounds.Sticky_rounds.create_board ~n in
+      report
+        (install_and_run engine (fun pid ->
+             Thc_rounds.Sticky_rounds.behavior ~board
+               ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+               (app pid)))
+    | `Peats ->
+      let engine = Thc_sim.Engine.create ~seed ~n ~net () in
+      let space =
+        Thc_sharedmem.Peats.create ~policy:Thc_sharedmem.Peats.owned_field_policy
+      in
+      report
+        (install_and_run engine (fun pid ->
+             Thc_rounds.Peats_rounds.behavior ~space ~n
+               ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+               (app pid)))
+  in
+  Cmd.v
+    (Cmd.info "rounds" ~doc:"Run a round driver and report its directionality.")
+    Term.(const run $ driver $ n $ rounds_n $ seed)
+
+(* --- smr ------------------------------------------------------------------ *)
+
+let smr_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt (enum [ ("minbft", `Minbft); ("pbft", `Pbft); ("both", `Both) ]) `Both
+      & info [ "protocol" ] ~doc:"minbft|pbft|both.")
+  in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
+  let ops = Arg.(value & opt int 30 & info [ "ops" ] ~doc:"Client requests.") in
+  let scenario =
+    Arg.(
+      value
+      & opt (enum
+               [ ("fault-free", `Ff); ("crash-leader", `Cl); ("silent", `Si) ])
+          `Ff
+      & info [ "scenario" ] ~doc:"fault-free|crash-leader|silent.")
+  in
+  let seed = Arg.(value & opt int64 11L & info [ "seed" ] ~doc:"RNG seed.") in
+  let run protocol f ops scenario seed =
+    let scenario =
+      match scenario with
+      | `Ff -> Thc_replication.Harness.Fault_free
+      | `Cl -> Thc_replication.Harness.Crash_leader 40_000L
+      | `Si -> Thc_replication.Harness.Silent_replicas
+    in
+    let base protocol =
+      {
+        Thc_replication.Harness.protocol;
+        f;
+        ops;
+        interval = 5_000L;
+        delay = Thc_sim.Delay.Uniform (50L, 500L);
+        scenario;
+        seed;
+      }
+    in
+    let show name p =
+      let o = Thc_replication.Harness.run (base p) in
+      Format.printf "=== %s ===@.%a@.@." name Thc_replication.Harness.pp_outcome o
+    in
+    (match protocol with
+    | `Minbft -> show "MinBFT (2f+1, trusted counters)" Thc_replication.Harness.Minbft_protocol
+    | `Pbft -> show "PBFT (3f+1 baseline)" Thc_replication.Harness.Pbft_protocol
+    | `Both ->
+      show "MinBFT (2f+1, trusted counters)" Thc_replication.Harness.Minbft_protocol;
+      show "PBFT (3f+1 baseline)" Thc_replication.Harness.Pbft_protocol)
+  in
+  Cmd.v
+    (Cmd.info "smr"
+       ~doc:"Run the replicated-state-machine comparison (MinBFT vs PBFT).")
+    Term.(const run $ protocol $ f $ ops $ scenario $ seed)
+
+(* --- main ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "classifying trusted hardware via unidirectional communication" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "thc" ~doc)
+          [ figure1_cmd; verify_cmd; scenarios_cmd; problems_cmd; rounds_cmd; smr_cmd ]))

@@ -1,0 +1,1 @@
+examples/attested_log.ml: List Printf Thc_hardware Thc_util

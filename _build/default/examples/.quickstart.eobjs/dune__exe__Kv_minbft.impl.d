@@ -1,0 +1,1 @@
+examples/kv_minbft.ml: Array Int64 List Printf Thc_crypto Thc_hardware Thc_replication Thc_sim Thc_util

@@ -1,0 +1,1 @@
+examples/partition_survival.ml: List Printf String Thc_crypto Thc_rounds Thc_sharedmem Thc_sim Thc_util

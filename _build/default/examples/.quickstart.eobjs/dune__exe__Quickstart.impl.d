@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Thc_agreement Thc_crypto Thc_rounds Thc_sharedmem Thc_sim Thc_util

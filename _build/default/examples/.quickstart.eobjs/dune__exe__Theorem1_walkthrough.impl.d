@@ -1,0 +1,1 @@
+examples/theorem1_walkthrough.ml: Array Printf Thc_broadcast

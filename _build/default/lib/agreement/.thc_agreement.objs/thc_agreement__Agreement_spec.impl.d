@@ -1,0 +1,1 @@
+lib/agreement/agreement_spec.ml: Array Format List Printf String Thc_sim

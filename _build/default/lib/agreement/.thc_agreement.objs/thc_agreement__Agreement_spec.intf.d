@@ -1,0 +1,1 @@
+lib/agreement/agreement_spec.mli: Format Thc_sim

@@ -1,0 +1,1 @@
+lib/agreement/strong_validity.ml: Array Hashtbl List Option Thc_broadcast Thc_crypto Thc_rounds Thc_sim Thc_util

@@ -1,0 +1,1 @@
+lib/agreement/strong_validity.mli: Thc_crypto Thc_rounds

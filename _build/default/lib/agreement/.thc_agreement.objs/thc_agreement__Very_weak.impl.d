@@ -1,0 +1,1 @@
+lib/agreement/very_weak.ml: Option String Thc_rounds Thc_sim

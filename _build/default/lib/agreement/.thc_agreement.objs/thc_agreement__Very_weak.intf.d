@@ -1,0 +1,1 @@
+lib/agreement/very_weak.mli: Thc_rounds

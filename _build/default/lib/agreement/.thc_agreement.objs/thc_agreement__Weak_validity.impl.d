@@ -1,0 +1,1 @@
+lib/agreement/weak_validity.ml: Array Format Fun Int64 List Option String Thc_crypto Thc_hardware Thc_replication Thc_sim Thc_util

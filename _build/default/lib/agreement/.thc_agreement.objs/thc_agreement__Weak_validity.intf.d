@@ -1,0 +1,1 @@
+lib/agreement/weak_validity.mli: Format Thc_sim

@@ -1,0 +1,90 @@
+type variant = [ `Very_weak | `Weak | `Strong ]
+
+type violation = {
+  property : [ `Agreement | `Termination | `Validity ];
+  info : string;
+}
+
+let pp_violation ppf v =
+  let name =
+    match v.property with
+    | `Agreement -> "agreement"
+    | `Termination -> "termination"
+    | `Validity -> "validity"
+  in
+  Format.fprintf ppf "%s violation: %s" name v.info
+
+let decisions trace =
+  List.filter_map
+    (fun pid ->
+      match Thc_sim.Trace.decision_of trace pid with
+      | Some d -> Some (pid, d)
+      | None -> None)
+    (Thc_sim.Trace.correct_pids trace)
+
+let common_input inputs pids =
+  match pids with
+  | [] -> None
+  | first :: rest ->
+    (match inputs.(first) with
+    | None -> None
+    | Some v ->
+      if
+        List.for_all
+          (fun p ->
+            match inputs.(p) with Some v' -> String.equal v v' | None -> false)
+          rest
+      then Some v
+      else None)
+
+let check variant ~inputs trace =
+  let violations = ref [] in
+  let add property info = violations := { property; info } :: !violations in
+  let correct = Thc_sim.Trace.correct_pids trace in
+  let ds = decisions trace in
+  (* Termination. *)
+  List.iter
+    (fun pid ->
+      if not (List.mem_assoc pid ds) then
+        add `Termination (Printf.sprintf "p%d never decided" pid))
+    correct;
+  (* Agreement. *)
+  List.iter
+    (fun (p, dp) ->
+      List.iter
+        (fun (q, dq) ->
+          if p < q then
+            let ok =
+              match (variant, dp, dq) with
+              | `Very_weak, None, _ | `Very_weak, _, None -> true
+              | `Very_weak, Some a, Some b -> String.equal a b
+              | (`Weak | `Strong), a, b -> a = b
+            in
+            if not ok then
+              add `Agreement
+                (Printf.sprintf "p%d and p%d decided differently" p q))
+        ds)
+    ds;
+  (* Validity. *)
+  let all_pids = List.init trace.Thc_sim.Trace.n (fun i -> i) in
+  let validity_applies, expected =
+    match variant with
+    | `Very_weak | `Weak ->
+      (* All processes correct and share an input. *)
+      if List.length correct = trace.Thc_sim.Trace.n then
+        (true, common_input inputs all_pids)
+      else (false, None)
+    | `Strong -> (true, common_input inputs correct)
+  in
+  (match (validity_applies, expected) with
+  | true, Some v ->
+    List.iter
+      (fun (pid, d) ->
+        match d with
+        | Some d when String.equal d v -> ()
+        | Some _ | None ->
+          add `Validity
+            (Printf.sprintf "p%d decided off the common input" pid))
+      ds
+  | true, None | false, _ -> ());
+  List.rev !violations

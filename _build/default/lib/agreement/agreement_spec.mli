@@ -1,0 +1,40 @@
+(** The paper's three agreement problems as trace monitors.
+
+    "Problems Considered / Agreement" defines very weak, weak-validity and
+    strong-validity agreement; these checkers judge a finished execution
+    given each process's input.  Decisions are read from [Obs.Decided]
+    observations ([None] payload = ⊥).
+
+    Termination is judged at end-of-trace, so positive experiments must run
+    to quiescence; impossibility scenarios deliberately exhibit executions
+    where the conjunction of properties fails. *)
+
+type variant = [ `Very_weak | `Weak | `Strong ]
+
+type violation = {
+  property : [ `Agreement | `Termination | `Validity ];
+  info : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  variant ->
+  inputs:string option array ->
+  'm Thc_sim.Trace.t ->
+  violation list
+(** [inputs.(i)] is process [i]'s input ([None] for processes without one).
+    Variant-specific clauses:
+
+    - [`Very_weak]: agreement up to ⊥ (two correct decisions are equal or
+      one is ⊥); validity if {e all} processes are correct with one common
+      input.
+    - [`Weak]: exact agreement; validity if all processes are correct with
+      one common input.
+    - [`Strong]: exact agreement; validity if all {e correct} processes
+      share an input (Byzantine inputs irrelevant).
+
+    Termination (all variants): every correct process decided. *)
+
+val decisions : 'm Thc_sim.Trace.t -> (int * string option) list
+(** First decision of each correct process that decided. *)

@@ -1,0 +1,86 @@
+type t = {
+  n : int;
+  f : int;
+  instances : Thc_broadcast.Dolev_strong.t array;  (* instance i: sender i *)
+  mutable committed : string option option;
+}
+
+(* Wire payload: per-instance chain bundles. *)
+type bundle = (int * Thc_broadcast.Dolev_strong.chain list) list
+
+let create ~keyring ~ident ~n ~f ~input =
+  let self = Thc_crypto.Keyring.pid_of_secret ident in
+  {
+    n;
+    f;
+    instances =
+      Array.init n (fun sender ->
+          Thc_broadcast.Dolev_strong.create ~keyring ~ident ~sender ~f
+            ~input:(if sender = self then Some input else None));
+    committed = None;
+  }
+
+let committed t = t.committed
+
+let encode_bundle (b : bundle) = Thc_util.Codec.encode b
+
+let majority t outcomes =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+    outcomes;
+  Hashtbl.fold
+    (fun v c acc -> if c > t.n / 2 then Some v else acc)
+    counts None
+
+let app t : Thc_rounds.Round_app.app =
+  {
+    first_payload =
+      (fun _ ->
+        let bundle =
+          Array.to_list
+            (Array.mapi
+               (fun i inst ->
+                 match Thc_broadcast.Dolev_strong.initial_chain inst with
+                 | Some c -> (i, [ c ])
+                 | None -> (i, []))
+               t.instances)
+          |> List.filter (fun (_, cs) -> cs <> [])
+        in
+        match bundle with [] -> None | b -> Some (encode_bundle b));
+    on_receive =
+      (fun _ ~round ~from:_ payload ->
+        match (Thc_util.Codec.decode payload : bundle) with
+        | b ->
+          List.iter
+            (fun (i, chains) ->
+              if i >= 0 && i < t.n then
+                Thc_broadcast.Dolev_strong.on_chains t.instances.(i) ~round
+                  chains)
+            b
+        | exception _ -> ());
+    on_round_check =
+      (fun h ~round ->
+        if round >= t.f + 1 then begin
+          let outcomes =
+            Array.to_list t.instances
+            |> List.filter_map Thc_broadcast.Dolev_strong.conclude
+          in
+          t.committed <- Some (majority t outcomes);
+          h.output (Thc_sim.Obs.Decided (Option.join t.committed));
+          Thc_rounds.Round_app.Stop
+        end
+        else begin
+          let bundle =
+            Array.to_list
+              (Array.mapi
+                 (fun i inst -> (i, Thc_broadcast.Dolev_strong.relay inst))
+                 t.instances)
+            |> List.filter (fun (_, cs) -> cs <> [])
+          in
+          match bundle with
+          | [] -> Thc_rounds.Round_app.Advance None
+          | b -> Thc_rounds.Round_app.Advance (Some (encode_bundle b))
+        end);
+  }

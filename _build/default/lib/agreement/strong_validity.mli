@@ -1,0 +1,32 @@
+(** Strong-validity agreement from bidirectional rounds (n ≥ 2f+1).
+
+    The classical route the paper references for the top of the hierarchy:
+    under synchrony (= bidirectional rounds) with transferable signatures,
+    strong agreement is solvable with [n > 2f] (Dolev–Strong style), whereas
+    no asynchronous/partially synchronous model — unidirectionality included
+    — can do it with [n ≤ 3f] (Claim "Strong validity agreement cannot be
+    solved with unidirectionality in a system with n ≤ 3f").  Together the
+    two facts separate bidirectional from unidirectional communication.
+
+    Construction: [n] parallel Dolev–Strong broadcast instances (one per
+    process broadcasting its input) multiplexed over one lock-step driver
+    for f+1 rounds; afterwards every correct process holds the same vector
+    of per-sender outcomes and commits its majority value (with [n ≥ 2f+1]
+    the ≥ f+1 correct processes dominate when they share an input), or ⊥
+    if no majority exists. *)
+
+type t
+
+val create :
+  keyring:Thc_crypto.Keyring.t ->
+  ident:Thc_crypto.Keyring.secret ->
+  n:int ->
+  f:int ->
+  input:string ->
+  t
+
+val app : t -> Thc_rounds.Round_app.app
+(** Run over {!Thc_rounds.Sync_rounds} with a period above the maximum
+    correct-link delay.  Emits [Obs.Decided] after round f+1. *)
+
+val committed : t -> string option option

@@ -1,0 +1,26 @@
+type t = {
+  input : string;
+  mutable conflicting : bool;
+  mutable committed : string option option;
+}
+
+let create ~input = { input; conflicting = false; committed = None }
+
+let committed t = t.committed
+
+let app t : Thc_rounds.Round_app.app =
+  {
+    first_payload = (fun _ -> Some t.input);
+    on_receive =
+      (fun h ~round ~from:_ payload ->
+        (* Only messages of our single round matter; the driver may also
+           surface stragglers from other rounds of other protocols. *)
+        ignore h;
+        if round = 1 && not (String.equal payload t.input) then
+          t.conflicting <- true);
+    on_round_check =
+      (fun h ~round:_ ->
+        t.committed <- Some (if t.conflicting then None else Some t.input);
+        h.output (Thc_sim.Obs.Decided (Option.join t.committed));
+        Thc_rounds.Round_app.Stop);
+  }

@@ -1,0 +1,30 @@
+(** Very weak Byzantine agreement from one unidirectional round (n > f).
+
+    The paper's claim and algorithm ("Unidirectional communication can solve
+    very weak Byzantine agreement with n > f"):
+
+    {v
+    process p with input v:  send v to all; wait until end of round;
+    if any received value v' ≠ v then commit ⊥ else commit v
+    v}
+
+    Agreement up to ⊥ holds by unidirectionality alone: for correct [p]
+    committing [v ≠ ⊥] and any correct [q], one of them received the other's
+    round message, so [q] saw [v] and can commit only [v] or ⊥.  No
+    signatures, no quorums, no fault bound beyond [n > f] — the sharpest
+    illustration of what the round property buys.
+
+    Conversely, reliable broadcast {e cannot} solve this problem for
+    [n ≤ 2f] (paper's five-World partition argument, experiment A2) — which
+    pins the separation between the two mechanism classes to an actual
+    decision problem. *)
+
+type t
+
+val create : input:string -> t
+
+val app : t -> Thc_rounds.Round_app.app
+(** One round: send the input, commit at round end, stop.  Emits
+    [Obs.Decided]. *)
+
+val committed : t -> string option option

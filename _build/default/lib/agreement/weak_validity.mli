@@ -1,0 +1,53 @@
+(** Weak-validity agreement with n = 2f+1 from trusted counters
+    (experiment A3).
+
+    The paper's preliminaries: "a system with non-equivocation and
+    transferable signatures can tolerate the corruptions of any minority of
+    the processes when solving weak Byzantine agreement" (Clement et al.;
+    Chun et al.).  This module realizes that claim by the standard systems
+    route — the same one MinBFT takes: each process doubles as a client of
+    a 2f+1-replica MinBFT cluster, submits its input as the operation, and
+    decides the operation committed at sequence number 1.
+
+    - {e Agreement}: MinBFT safety — all correct replicas execute the same
+      operation at seq 1 (quorum-of-f+1 votes made safe by the attested
+      links, i.e. by non-equivocation).
+    - {e Termination}: MinBFT liveness under partial synchrony — view
+      changes rotate past faulty leaders.
+    - {e Weak validity}: if {e all} processes are correct with one common
+      input, every submitted request carries that input, so whatever
+      request wins seq 1 carries it.
+
+    By the paper's chain (unidirectionality ⇒ SRB ⇒ TrInc) the construction
+    lives in the shared-memory/unidirectional class; it is also exactly
+    where the trusted-log class lands, which is why the problem does not
+    separate the two (the separation needs unidirectionality itself —
+    experiment C2). *)
+
+type outcome = {
+  decisions : string option array;
+      (** Per process: the decided value ([None] = never decided). *)
+  agreement : bool;  (** All decided values among correct processes equal. *)
+  validity : bool;
+      (** If all correct with common input: that input decided (vacuously
+          true otherwise). *)
+  termination : bool;  (** Every correct process decided. *)
+  final_view : int;
+  messages : int;
+  duration_us : int64;
+}
+
+val run :
+  f:int ->
+  inputs:string array ->
+  ?seed:int64 ->
+  ?delay:Thc_sim.Delay.t ->
+  ?crash_leader:bool ->
+  unit ->
+  outcome
+(** Run one instance over a fresh cluster.  [inputs] must have length
+    [2f+1]; with [crash_leader] the initial leader stops before proposing,
+    exercising termination through a view change (its slot then counts as
+    faulty for the property checks). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

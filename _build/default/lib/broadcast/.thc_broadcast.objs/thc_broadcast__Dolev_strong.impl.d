@@ -1,0 +1,1 @@
+lib/broadcast/dolev_strong.ml: List Option Thc_crypto Thc_rounds Thc_sim Thc_util

@@ -1,0 +1,1 @@
+lib/broadcast/dolev_strong.mli: Thc_crypto Thc_rounds

@@ -1,0 +1,1 @@
+lib/broadcast/ideal_srb.ml: Hashtbl List String

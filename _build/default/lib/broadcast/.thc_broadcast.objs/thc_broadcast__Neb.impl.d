@@ -1,0 +1,1 @@
+lib/broadcast/neb.ml: List Option String Thc_crypto Thc_rounds Thc_sim Thc_util

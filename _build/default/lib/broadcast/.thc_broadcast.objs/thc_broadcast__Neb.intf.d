@@ -1,0 +1,1 @@
+lib/broadcast/neb.mli: Thc_crypto Thc_rounds

@@ -1,0 +1,1 @@
+lib/broadcast/reliable_broadcast.ml: Array Format Hashtbl String Thc_sim

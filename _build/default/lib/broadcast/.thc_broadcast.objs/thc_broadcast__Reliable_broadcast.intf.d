@@ -1,0 +1,1 @@
+lib/broadcast/reliable_broadcast.mli: Format Thc_sim

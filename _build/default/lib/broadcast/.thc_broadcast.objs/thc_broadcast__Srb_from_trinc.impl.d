@@ -1,0 +1,1 @@
+lib/broadcast/srb_from_trinc.ml: Array Format Hashtbl List Thc_hardware Thc_sim

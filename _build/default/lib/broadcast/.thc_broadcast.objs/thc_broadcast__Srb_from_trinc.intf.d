@@ -1,0 +1,1 @@
+lib/broadcast/srb_from_trinc.mli: Format Thc_hardware Thc_sim

@@ -1,0 +1,1 @@
+lib/broadcast/srb_from_uni.ml: Hashtbl List Queue String Thc_crypto Thc_rounds Thc_sim Thc_util

@@ -1,0 +1,1 @@
+lib/broadcast/srb_from_uni.mli: Thc_crypto Thc_rounds

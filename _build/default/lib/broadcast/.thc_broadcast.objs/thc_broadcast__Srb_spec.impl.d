@@ -1,0 +1,1 @@
+lib/broadcast/srb_spec.ml: Format List Printf String Thc_sim

@@ -1,0 +1,1 @@
+lib/broadcast/srb_spec.mli: Format Thc_sim

@@ -1,0 +1,1 @@
+lib/broadcast/trinc_from_srb.ml: Array Hashtbl Ideal_srb List String Thc_sim Thc_util

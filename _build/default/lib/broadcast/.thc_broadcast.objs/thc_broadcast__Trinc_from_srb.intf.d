@@ -1,0 +1,1 @@
+lib/broadcast/trinc_from_srb.mli: Ideal_srb Thc_sim

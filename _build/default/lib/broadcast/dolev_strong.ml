@@ -1,0 +1,114 @@
+type chain = { value : string; sigs : Thc_crypto.Signature.t list (* oldest first *) }
+
+type t = {
+  keyring : Thc_crypto.Keyring.t;
+  ident : Thc_crypto.Keyring.secret;
+  sender : int;
+  f : int;
+  input : string option;
+  mutable extracted : string list;  (* distinct values, capped at 2 *)
+  mutable relay : chain list;  (* to send next round *)
+  mutable committed : string option option;
+}
+
+let create ~keyring ~ident ~sender ~f ~input =
+  { keyring; ident; sender; f; input; extracted = []; relay = []; committed = None }
+
+let committed t = t.committed
+
+let self t = Thc_crypto.Keyring.pid_of_secret t.ident
+
+let signers chain =
+  List.map (fun (s : Thc_crypto.Signature.t) -> s.signer) chain.sigs
+
+(* Signature i covers (value, ids of signers before i): standard chained
+   authentication — a signer endorses both the value and its route. *)
+let chain_valid t chain ~min_len =
+  let ids = signers chain in
+  List.length chain.sigs >= min_len
+  && List.length (List.sort_uniq compare ids) = List.length ids
+  && (match ids with first :: _ -> first = t.sender | [] -> false)
+  &&
+  let rec go prefix = function
+    | [] -> true
+    | (s : Thc_crypto.Signature.t) :: rest ->
+      Thc_crypto.Signature.verify_value t.keyring s (chain.value, List.rev prefix)
+      && go (s.signer :: prefix) rest
+  in
+  go [] chain.sigs
+
+let extend t chain =
+  let prefix = signers chain in
+  {
+    chain with
+    sigs =
+      chain.sigs
+      @ [ Thc_crypto.Signature.sign_value t.ident (chain.value, prefix) ];
+  }
+
+let extract t chain =
+  if not (List.mem chain.value t.extracted) then begin
+    if List.length t.extracted < 2 then begin
+      t.extracted <- chain.value :: t.extracted;
+      (* Relay newly extracted values with our signature appended (unless we
+         already signed this chain). *)
+      if not (List.mem (self t) (signers chain)) then
+        t.relay <- extend t chain :: t.relay
+    end
+  end
+
+let initial_chain t =
+  match t.input with
+  | Some value when self t = t.sender ->
+    let c =
+      {
+        value;
+        sigs = [ Thc_crypto.Signature.sign_value t.ident (value, ([] : int list)) ];
+      }
+    in
+    t.extracted <- [ value ];
+    Some c
+  | Some _ | None -> None
+
+let on_chains t ~round chains =
+  List.iter (fun c -> if chain_valid t c ~min_len:round then extract t c) chains
+
+let relay t =
+  let chains = t.relay in
+  t.relay <- [];
+  chains
+
+let conclude t =
+  (match t.extracted with
+  | [ v ] -> t.committed <- Some (Some v)
+  | [] | _ :: _ :: _ -> t.committed <- Some None);
+  Option.join t.committed
+
+let app t : Thc_rounds.Round_app.app =
+  {
+    first_payload =
+      (fun _ ->
+        match initial_chain t with
+        | Some c -> Some (Thc_util.Codec.encode [ c ])
+        | None -> None);
+    on_receive =
+      (fun _ ~round ~from:_ payload ->
+        match (Thc_util.Codec.decode payload : chain list) with
+        | chains -> on_chains t ~round chains
+        | exception _ -> ());
+    on_round_check =
+      (fun h ~round ->
+        if round >= t.f + 1 then begin
+          let decision = conclude t in
+          h.output (Thc_sim.Obs.Decided decision);
+          Thc_rounds.Round_app.Stop
+        end
+        else begin
+          let payload =
+            match relay t with
+            | [] -> None
+            | chains -> Some (Thc_util.Codec.encode chains)
+          in
+          Thc_rounds.Round_app.Advance payload
+        end);
+  }

@@ -1,0 +1,59 @@
+(** Dolev–Strong Byzantine broadcast under bidirectional rounds (n ≥ f+1).
+
+    The classical authenticated broadcast the paper invokes to place
+    bidirectionality strictly above unidirectionality ("Using Dolev-Strong,
+    we know that Byzantine broadcast can be solved with bidirectional
+    communication with n ≥ f+1"): f+1 lock-step rounds of signature-chain
+    relaying.
+
+    A {e chain} on value [v] is a list of signatures from distinct
+    processes, the first being the designated sender's, each signing the
+    chain prefix before it.  A correct process {e extracts} [v] upon a valid
+    chain of length ≥ its current round; newly extracted values are
+    re-signed and relayed in the next round.  After round f+1, a process
+    commits the single extracted value, or ⊥ if it extracted zero or more
+    than one.
+
+    Agreement: a value extracted by a correct process in round r ≤ f gets
+    relayed with a longer chain, reaching everyone by round f+1; a chain of
+    length f+1 contains a correct signer, who must have relayed it to all.
+    Run as a {!Thc_rounds.Round_app} over {!Thc_rounds.Sync_rounds}
+    (bidirectional); running it over a merely unidirectional driver is
+    exactly what the separation experiments show to fail. *)
+
+type t
+
+val create :
+  keyring:Thc_crypto.Keyring.t ->
+  ident:Thc_crypto.Keyring.secret ->
+  sender:int ->
+  f:int ->
+  input:string option ->
+  t
+
+val app : t -> Thc_rounds.Round_app.app
+(** Commits ([Obs.Decided]) at the end of round f+1 and stops. *)
+
+val committed : t -> string option option
+
+(** {2 Instance-level API}
+
+    {!Thc_agreement.Strong_validity} multiplexes [n] broadcast instances
+    (one per designated sender) over a single bidirectional round driver;
+    these hooks expose one instance's per-round steps. *)
+
+type chain
+(** A signature chain in flight (serializable). *)
+
+val initial_chain : t -> chain option
+(** The sender's round-1 chain over its input (non-sender: [None]).
+    Extraction of the own value is recorded. *)
+
+val on_chains : t -> round:int -> chain list -> unit
+(** Feed chains received in the given round (validated internally). *)
+
+val relay : t -> chain list
+(** Newly extracted chains to relay next round (clears the queue). *)
+
+val conclude : t -> string option
+(** Decide after round f+1: the single extracted value or [None] (⊥). *)

@@ -1,0 +1,50 @@
+type hub = { sender : int; mutable entries : string list (* newest first *) }
+
+type wire = { sender : int; seq : int; value : string }
+
+let hub ~sender = { sender; entries = [] }
+
+let sender (h : hub) = h.sender
+
+let broadcast h value =
+  h.entries <- value :: h.entries;
+  { sender = h.sender; seq = List.length h.entries; value }
+
+let log h = List.mapi (fun i v -> (i + 1, v)) (List.rev h.entries)
+
+let genuine (h : hub) (w : wire) =
+  w.sender = h.sender
+  &&
+  let len = List.length h.entries in
+  w.seq >= 1 && w.seq <= len
+  && String.equal (List.nth h.entries (len - w.seq)) w.value
+
+module Rx = struct
+  type t = {
+    hub : hub;
+    seen : (int, string) Hashtbl.t;  (* genuine wires received, by seq *)
+    mutable next : int;  (* next seq to deliver *)
+  }
+
+  let create hub = { hub; seen = Hashtbl.create 16; next = 1 }
+
+  let receive t (w : wire) =
+    if not (genuine t.hub w) then `Bogus
+    else if Hashtbl.mem t.seen w.seq then `Stale
+    else begin
+      Hashtbl.add t.seen w.seq w.value;
+      let deliveries = ref [] in
+      let rec drain () =
+        match Hashtbl.find_opt t.seen t.next with
+        | Some v ->
+          deliveries := (t.next, v) :: !deliveries;
+          t.next <- t.next + 1;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      `Fresh (List.rev !deliveries)
+    end
+
+  let delivered_upto t = t.next - 1
+end

@@ -1,0 +1,55 @@
+(** Sequenced reliable broadcast as an assumed primitive (ideal
+    functionality).
+
+    The paper's Theorem 1 ("SRB can implement TrInc") {e assumes} an SRB
+    primitive and builds on top of it, so the reproduction needs SRB-as-
+    given, independent of any implementation.  This module provides it the
+    way ideal functionalities are modeled: the authoritative per-sender log
+    lives outside all processes (like trusted hardware), so a Byzantine
+    sender physically cannot broadcast conflicting values at one sequence
+    number — it can only call {!broadcast}, which appends to the one log.
+
+    Wire delivery still travels the simulated network (the adversary keeps
+    full control of timing): {!broadcast} returns a [wire] the sender's
+    behavior transmits; receivers feed incoming wires to {!Rx.receive},
+    which (a) rejects anything not in the authoritative log — a Byzantine
+    process fabricating wires achieves nothing — and (b) buffers and
+    releases deliveries in sequence order.  For the totality property,
+    receivers echo every accepted wire once ({!Rx.receive} returns
+    [`Fresh] so callers forward it). *)
+
+type hub
+(** The authoritative log of one sender. *)
+
+type wire = { sender : int; seq : int; value : string }
+(** A broadcast in flight.  Plain data: forwardable. *)
+
+val hub : sender:int -> hub
+
+val sender : hub -> int
+
+val broadcast : hub -> string -> wire
+(** Append to the authoritative log and obtain the wire to transmit.
+    Sequence numbers are 1, 2, ... in call order. *)
+
+val log : hub -> (int * string) list
+(** Committed (seq, value) pairs, ascending — for monitors and tests. *)
+
+val genuine : hub -> wire -> bool
+(** Does this wire match the authoritative log? *)
+
+module Rx : sig
+  type t
+  (** One receiver's view of one hub. *)
+
+  val create : hub -> t
+
+  val receive : t -> wire -> [ `Fresh of (int * string) list | `Stale | `Bogus ]
+  (** Feed an incoming wire.  [`Bogus]: not genuine, drop.  [`Stale]: genuine
+      but already seen.  [`Fresh deliveries]: newly seen; [deliveries] are
+      the in-order [(seq, value)] deliveries this unlocks (possibly empty if
+      a gap remains).  Callers should forward fresh wires to everyone once
+      (echo) so totality holds under eventual delivery. *)
+
+  val delivered_upto : t -> int
+end

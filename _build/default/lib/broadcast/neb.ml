@@ -1,0 +1,69 @@
+type signed_val = { value : string; ssig : Thc_crypto.Signature.t }
+
+type t = {
+  keyring : Thc_crypto.Keyring.t;
+  ident : Thc_crypto.Keyring.secret;
+  sender : int;
+  input : string option;
+  mutable seen : signed_val list;  (* distinct validly sender-signed values *)
+  mutable committed : string option option;
+}
+
+let create ~keyring ~ident ~sender ~input =
+  { keyring; ident; sender; input; seen = []; committed = None }
+
+let committed t = t.committed
+
+let valid t (sv : signed_val) =
+  sv.ssig.signer = t.sender
+  && Thc_crypto.Signature.verify_value t.keyring sv.ssig sv.value
+
+let witness t sv =
+  if
+    valid t sv
+    && not (List.exists (fun s -> String.equal s.value sv.value) t.seen)
+  then t.seen <- t.seen @ [ sv ]
+
+let self t = Thc_crypto.Keyring.pid_of_secret t.ident
+
+let app t : Thc_rounds.Round_app.app =
+  {
+    first_payload =
+      (fun _ ->
+        match t.input with
+        | Some value when self t = t.sender ->
+          let sv =
+            { value; ssig = Thc_crypto.Signature.sign_value t.ident value }
+          in
+          witness t sv;
+          Some (Thc_util.Codec.encode sv)
+        | Some _ | None -> None);
+    on_receive =
+      (fun _ ~round:_ ~from:_ payload ->
+        match (Thc_util.Codec.decode payload : signed_val) with
+        | sv -> witness t sv
+        | exception _ -> ());
+    on_round_check =
+      (fun h ~round ->
+        match round with
+        | 1 -> (
+          (* Round 2 forwards the first sender-signed value we saw. *)
+          match t.seen with
+          | [] -> Thc_rounds.Round_app.Hold
+          | sv :: _ ->
+            Thc_rounds.Round_app.Advance (Some (Thc_util.Codec.encode sv)))
+        | 2 ->
+          (match t.seen with
+          | [ sv ] -> t.committed <- Some (Some sv.value)
+          | [] | _ :: _ :: _ -> t.committed <- Some None);
+          h.output (Thc_sim.Obs.Decided (Option.join t.committed));
+          Thc_rounds.Round_app.Stop
+        | _ -> Thc_rounds.Round_app.Stop);
+  }
+
+let equivocation_payloads ~ident v1 v2 =
+  let enc value =
+    Thc_util.Codec.encode
+      { value; ssig = Thc_crypto.Signature.sign_value ident value }
+  in
+  (enc v1, enc v2)

@@ -1,0 +1,43 @@
+(** Non-equivocating broadcast from unidirectional rounds (n ≥ f+1).
+
+    The paper's conjecture section gives this algorithm and proof sketch:
+
+    {v
+    sender s with input v:  send (v, σ_s) to all
+    process p: upon receipt of (v, s): send (v, s) to all;
+               wait until end of round;
+               if received (v', s) with v' ≠ v: commit ⊥ else commit v
+    v}
+
+    Agreement relies only on unidirectionality: if correct [p] commits
+    [v ≠ ⊥], then any correct [q] either delivered [p]'s forwarded copy of
+    [v] or [p] delivered [q]'s — either way [q] saw [v], so [q] commits [v]
+    or ⊥, never a different value.  Validity: a correct sender signs one
+    value only, so no conflicting signed value can exist.
+
+    Run as a {!Thc_rounds.Round_app} in two scheduled rounds: round 1 the
+    sender publishes its signed input (everyone else participates silently);
+    round 2 every process that received the value forwards it; commitment
+    happens when round 2 ends.  [Obs.Decided] carries the committed value
+    ([None] = ⊥). *)
+
+type t
+
+val create :
+  keyring:Thc_crypto.Keyring.t ->
+  ident:Thc_crypto.Keyring.secret ->
+  sender:int ->
+  input:string option ->
+  t
+(** [input] is the sender's value (ignored at other processes). *)
+
+val app : t -> Thc_rounds.Round_app.app
+
+val committed : t -> string option option
+(** [None] = not committed yet; [Some None] = ⊥; [Some (Some v)]. *)
+
+val equivocation_payloads :
+  ident:Thc_crypto.Keyring.secret -> string -> string -> string * string
+(** Byzantine-sender helper for tests: two round payloads, each a validly
+    sender-signed value, for two conflicting values.  Publishing both lets
+    the agreement-up-to-⊥ property be exercised adversarially. *)

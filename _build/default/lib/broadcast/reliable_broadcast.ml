@@ -1,0 +1,108 @@
+type msg =
+  | Init of { tag : int; value : string }
+  | Echo of { tag : int; value : string }
+  | Ready of { tag : int; value : string }
+
+let pp_msg ppf = function
+  | Init { tag; _ } -> Format.fprintf ppf "init#%d" tag
+  | Echo { tag; _ } -> Format.fprintf ppf "echo#%d" tag
+  | Ready { tag; _ } -> Format.fprintf ppf "ready#%d" tag
+
+(* Per-instance (per broadcast tag) state. *)
+type instance = {
+  echoes : (int, string) Hashtbl.t;  (* pid -> echoed value *)
+  readies : (int, string) Hashtbl.t;
+  mutable echoed : bool;
+  mutable readied : bool;
+  mutable delivered : bool;
+}
+
+type t = {
+  n : int;
+  f : int;
+  self : int;
+  sender : int;
+  instances : (int, instance) Hashtbl.t;
+}
+
+let create ~n ~f ~self ~sender =
+  if n <= 3 * f then invalid_arg "Reliable_broadcast.create: needs n > 3f";
+  { n; f; self; sender; instances = Hashtbl.create 8 }
+
+let instance t tag =
+  match Hashtbl.find_opt t.instances tag with
+  | Some i -> i
+  | None ->
+    let i =
+      {
+        echoes = Hashtbl.create 8;
+        readies = Hashtbl.create 8;
+        echoed = false;
+        readied = false;
+        delivered = false;
+      }
+    in
+    Hashtbl.add t.instances tag i;
+    i
+
+let count_value tbl value =
+  Hashtbl.fold
+    (fun _ v acc -> if String.equal v value then acc + 1 else acc)
+    tbl 0
+
+(* ⌈(n + f + 1) / 2⌉ — any two echo quorums intersect in ≥ f+1 processes. *)
+let echo_quorum t = (t.n + t.f + 2) / 2
+
+let progress t (ctx : msg Thc_sim.Engine.ctx) tag value =
+  let i = instance t tag in
+  if (not i.readied) && count_value i.echoes value >= echo_quorum t then begin
+    i.readied <- true;
+    ctx.broadcast (Ready { tag; value })
+  end;
+  if (not i.readied) && count_value i.readies value >= t.f + 1 then begin
+    i.readied <- true;
+    ctx.broadcast (Ready { tag; value })
+  end;
+  if (not i.delivered) && count_value i.readies value >= (2 * t.f) + 1 then begin
+    i.delivered <- true;
+    ctx.output (Thc_sim.Obs.Rb_delivered { sender = t.sender; value })
+  end
+
+let behavior t ~broadcast_plan : msg Thc_sim.Engine.behavior =
+  let plan = Array.of_list broadcast_plan in
+  {
+    init =
+      (fun ctx ->
+        if t.self = t.sender then
+          Array.iteri (fun i (delay, _) -> ctx.set_timer ~delay ~tag:i) plan);
+    on_message =
+      (fun ctx ~src m ->
+        match m with
+        | Init { tag; value } ->
+          if src = t.sender then begin
+            let i = instance t tag in
+            if not i.echoed then begin
+              i.echoed <- true;
+              ctx.broadcast (Echo { tag; value })
+            end
+          end
+        | Echo { tag; value } ->
+          let i = instance t tag in
+          if not (Hashtbl.mem i.echoes src) then begin
+            Hashtbl.replace i.echoes src value;
+            progress t ctx tag value
+          end
+        | Ready { tag; value } ->
+          let i = instance t tag in
+          if not (Hashtbl.mem i.readies src) then begin
+            Hashtbl.replace i.readies src value;
+            progress t ctx tag value
+          end);
+    on_timer =
+      (fun ctx tag ->
+        if t.self = t.sender && tag >= 0 && tag < Array.length plan then begin
+          let _, value = plan.(tag) in
+          ctx.output (Thc_sim.Obs.Srb_broadcast { seq = tag + 1; value });
+          ctx.broadcast (Init { tag; value })
+        end);
+  }

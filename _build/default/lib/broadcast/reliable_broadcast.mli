@@ -1,0 +1,28 @@
+(** Bracha-style reliable broadcast over plain asynchronous message passing
+    (n > 3f).
+
+    The baseline non-equivocation mechanism that needs {e no} trusted
+    hardware — at the cost of the 3f+1 replication bound the whole
+    trusted-hardware line of work exists to beat.  Standard three-phase
+    structure: the sender sends [Init v]; processes echo; on a quorum of
+    [⌈(n+f+1)/2⌉] echoes (or [f+1] readies) a process sends [Ready v]; on
+    [2f+1] readies it delivers [v] (emitting [Obs.Rb_delivered]).
+
+    Used as the reference implementation of the "reliable broadcast"
+    primitive in the Worlds 1–5 separation (experiment A2) and to compare
+    message complexity against the trusted-log SRB in the benches. *)
+
+type msg
+
+type t
+
+val create : n:int -> f:int -> self:int -> sender:int -> t
+(** Requires [n > 3 * f]. *)
+
+val behavior :
+  t -> broadcast_plan:(int64 * string) list -> msg Thc_sim.Engine.behavior
+(** The planned values are broadcast only if this process is the designated
+    sender; each instance value is tagged with its plan index so one
+    behavior carries multiple sequential broadcasts. *)
+
+val pp_msg : Format.formatter -> msg -> unit

@@ -1,0 +1,110 @@
+type msg = Attested of Thc_hardware.Trinc.attestation
+
+let pp_msg ppf (Attested a) =
+  Format.fprintf ppf "attested(p%d,c%d)" a.owner a.counter
+
+type chain = {
+  pending : (int, Thc_hardware.Trinc.attestation) Hashtbl.t;
+      (* counter -> attestation, validated, not yet delivered *)
+  mutable last_delivered : int;  (* counter of last delivered attestation *)
+  mutable delivered_seq : int;  (* SRB sequence number = chain position *)
+  seen : (int, unit) Hashtbl.t;  (* counters already processed (echo dedup) *)
+}
+
+type t = {
+  world : Thc_hardware.Trinc.world;
+  trinket : Thc_hardware.Trinc.t option;
+  self : int;
+  chains : chain array;
+}
+
+let create ~world ~trinket ~n ~self =
+  {
+    world;
+    trinket;
+    self;
+    chains =
+      Array.init n (fun _ ->
+          {
+            pending = Hashtbl.create 8;
+            last_delivered = 0;
+            delivered_seq = 0;
+            seen = Hashtbl.create 8;
+          });
+  }
+
+let broadcast t value =
+  match t.trinket with
+  | None -> invalid_arg "Srb_from_trinc.broadcast: no trinket"
+  | Some trinket ->
+    let counter = Thc_hardware.Trinc.last_counter trinket + 1 in
+    (match Thc_hardware.Trinc.attest trinket ~counter ~message:value with
+    | Some a -> Attested a
+    | None -> assert false (* last_counter + 1 is always attestable *))
+
+(* Validate an incoming attestation; if fresh, absorb it into the sender's
+   chain and return the in-order deliveries it unlocks. *)
+let absorb t (a : Thc_hardware.Trinc.attestation) =
+  if
+    a.owner < 0
+    || a.owner >= Array.length t.chains
+    || not (Thc_hardware.Trinc.check t.world a ~id:a.owner)
+  then `Bogus
+  else begin
+    let chain = t.chains.(a.owner) in
+    if Hashtbl.mem chain.seen a.counter then `Stale
+    else begin
+      Hashtbl.replace chain.seen a.counter ();
+      (* Only dense-chain attestations ([prev = counter - 1]) can deliver.
+         A trinket never reuses a counter, so the dense chain from 0 is
+         unique: every correct receiver reconstructs the same sequence.
+         Gapped attestations are Byzantine games; they are echoed (uniform
+         treatment) but never delivered by anyone. *)
+      if a.prev <> a.counter - 1 then `Fresh []
+      else begin
+        Hashtbl.replace chain.pending a.counter a;
+        let deliveries = ref [] in
+        let rec drain () =
+          match Hashtbl.find_opt chain.pending (chain.last_delivered + 1) with
+          | Some link ->
+            Hashtbl.remove chain.pending link.counter;
+            chain.last_delivered <- link.counter;
+            chain.delivered_seq <- chain.delivered_seq + 1;
+            deliveries := (chain.delivered_seq, link.message) :: !deliveries;
+            drain ()
+          | None -> ()
+        in
+        drain ();
+        `Fresh (List.rev !deliveries)
+      end
+    end
+  end
+
+let behavior t ~broadcast_plan : msg Thc_sim.Engine.behavior =
+  let plan = Array.of_list broadcast_plan in
+  {
+    init =
+      (fun ctx ->
+        Array.iteri (fun i (delay, _) -> ctx.set_timer ~delay ~tag:i) plan);
+    on_message =
+      (fun ctx ~src:_ (Attested a) ->
+        match absorb t a with
+        | `Bogus | `Stale -> ()
+        | `Fresh deliveries ->
+          ctx.broadcast (Attested a);
+          List.iter
+            (fun (seq, value) ->
+              ctx.output
+                (Thc_sim.Obs.Srb_delivered { sender = a.owner; seq; value }))
+            deliveries);
+    on_timer =
+      (fun ctx tag ->
+        if tag >= 0 && tag < Array.length plan then begin
+          let _, value = plan.(tag) in
+          let (Attested a) = broadcast t value in
+          ctx.output (Thc_sim.Obs.Srb_broadcast { seq = a.counter; value });
+          ctx.broadcast (Attested a)
+        end);
+  }
+
+let wire_of_attestation a = Attested a

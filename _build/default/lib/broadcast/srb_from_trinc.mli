@@ -1,0 +1,49 @@
+(** Sequenced reliable broadcast from TrInc (trusted-log ⇒ SRB direction).
+
+    The converse of Theorem 1, standard in the trusted-hardware literature
+    (A2M, TrInc, MinBFT all rest on it): a sender attests each message with
+    the {e next dense} counter of its trinket and sends the attestation;
+    because a trinket never re-attests a counter and every attestation
+    carries [prev], the chain of attestations with [prev = counter - 1]
+    starting at the trinket's origin is {e unique} — a Byzantine sender can
+    fork neither values nor order.  Receivers deliver along that chain and
+    echo every attestation once, so if any correct process delivers, all
+    eventually do (totality under eventual delivery).
+
+    Works for any number of faults [f < n] — the attestation is
+    self-certifying, no quorums are needed — which is why trusted logs make
+    such a cheap non-equivocation layer.  What they do {e not} give is
+    unidirectionality: experiment C2 partitions this very protocol. *)
+
+type msg
+
+type t
+(** Per-process protocol state (receiver chains for every sender, plus the
+    trinket if this process is a sender). *)
+
+val create :
+  world:Thc_hardware.Trinc.world ->
+  trinket:Thc_hardware.Trinc.t option ->
+  n:int ->
+  self:int ->
+  t
+(** [trinket] is this process's claimed trinket ([None] for a process that
+    never broadcasts — e.g. when modeling receive-only replicas). *)
+
+val broadcast : t -> string -> msg
+(** Attest the next value on the local trinket and build the wire message;
+    the engine behavior transmits it.  Raises [Invalid_argument] without a
+    trinket. *)
+
+val behavior :
+  t -> broadcast_plan:(int64 * string) list -> msg Thc_sim.Engine.behavior
+(** Canonical process: broadcasts the planned values at the planned times
+    (emitting [Obs.Srb_broadcast]), validates and echoes incoming
+    attestations, and emits [Obs.Srb_delivered] along each sender's dense
+    chain. *)
+
+val wire_of_attestation : Thc_hardware.Trinc.attestation -> msg
+(** Wrap a raw attestation as a wire message — lets tests inject Byzantine
+    traffic (gapped counters, replays) directly. *)
+
+val pp_msg : Format.formatter -> msg -> unit

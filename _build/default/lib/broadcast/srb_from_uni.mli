@@ -1,0 +1,68 @@
+(** Algorithm 1: sequenced reliable broadcast from unidirectional rounds
+    (paper §4.2, Claim "SRB can be solved using unidirectional communication
+    with n ≥ 2t+1").
+
+    The Aguilera et al. construction rewritten — as the paper instructs —
+    with every register write replaced by a round send and every scan by
+    round receptions, so it runs over {e any} unidirectional round driver
+    ({!Thc_rounds.Swmr_rounds}, {!Thc_rounds.Sticky_rounds},
+    {!Thc_rounds.Peats_rounds}, {!Thc_rounds.Sync_rounds}, or
+    {!Thc_rounds.Rb_rounds_f1} in its f=1 regime).
+
+    Protocol per sender index [k], with a fixed global round schedule that
+    keeps correct processes' sends for one stage in one round number (the
+    pairwise unidirectionality guarantee applies only within a round):
+
+    - round [3k-2] ({e value round}): processes hold until they adopt the
+      sender-signed value for [k] (the sender adopts its own queued value);
+    - round [3k-1] ({e copy round}): everyone sends a signed copy of its
+      adopted value, then holds until [t+1] matching copies are in and no
+      conflicting sender-signed value has been seen — a correct process
+      that saw the sender equivocate {e never} compiles an L1 proof, which
+      is the crux the unidirectional round guarantees;
+    - round [3k] ({e L1 round}): send the signed L1 proof (t+1 copies);
+      hold for [t+1] valid L1 proofs;
+    - round [3k+1]: send the L2 proof (t+1 L1 proofs) and deliver.
+
+    A process that obtains a valid L2 proof by any path delivers immediately
+    (the paper's [maybeDeliver]) and forwards the proof once, then advances
+    through empty rounds to catch up with the schedule — L2 proofs are
+    self-contained, so delivery never depends on having adopted a value.
+
+    Safety intuition, as in the paper: two conflicting L1 proofs would need
+    two correct processes to copy different values in the same copy round
+    and both miss each other's copy — impossible under unidirectionality;
+    an L2 proof contains [t+1] L1 proofs, hence at least one from a correct
+    process, so conflicting L2 proofs cannot exist and delivered prefixes
+    agree. *)
+
+type t
+
+val create :
+  keyring:Thc_crypto.Keyring.t ->
+  ident:Thc_crypto.Keyring.secret ->
+  sender:int ->
+  faults:int ->
+  t
+(** [faults] is the bound [t] of the paper; soundness needs [n ≥ 2t+1]. *)
+
+val broadcast : t -> string -> unit
+(** Queue a value for broadcast (meaningful at the sender; the [k]-th queued
+    value becomes sequence number [k]).  [Obs.Srb_broadcast] is emitted when
+    the value enters the round schedule. *)
+
+val app : t -> Thc_rounds.Round_app.app
+(** The round app to install under a unidirectional round driver.
+    [Obs.Srb_delivered] is emitted at each delivery. *)
+
+val delivered : t -> (int * string) list
+(** Deliveries so far, ascending — what the trace also records. *)
+
+val equivocation_payloads :
+  ident:Thc_crypto.Keyring.secret -> k:int -> string -> string -> string * string
+(** Byzantine-sender helper for the adversarial experiments: two round
+    payloads, each carrying a sender-signed value plus the sender's own copy
+    for one of two {e conflicting} values at index [k].  A Byzantine sender
+    publishes both (e.g. appends both to its SWMR register) to attempt
+    equivocation; the safety tests assert that no conflicting deliveries
+    result. *)

@@ -1,0 +1,110 @@
+type violation = {
+  property : [ `Validity | `Totality | `Sequencing | `Integrity | `Agreement ];
+  info : string;
+}
+
+let pp_violation ppf v =
+  let name =
+    match v.property with
+    | `Validity -> "validity"
+    | `Totality -> "totality"
+    | `Sequencing -> "sequencing"
+    | `Integrity -> "integrity"
+    | `Agreement -> "agreement"
+  in
+  Format.fprintf ppf "SRB %s violation: %s" name v.info
+
+let deliveries trace ~sender ~pid =
+  List.filter_map
+    (fun obs ->
+      match (obs : Thc_sim.Obs.t) with
+      | Srb_delivered { sender = s; seq; value } when s = sender ->
+        Some (seq, value)
+      | _ -> None)
+    (Thc_sim.Trace.outputs_of trace pid)
+
+let broadcasts trace ~sender =
+  List.filter_map
+    (fun obs ->
+      match (obs : Thc_sim.Obs.t) with
+      | Srb_broadcast { seq; value } -> Some (seq, value)
+      | _ -> None)
+    (Thc_sim.Trace.outputs_of trace sender)
+
+let check trace ~sender =
+  let violations = ref [] in
+  let add property info = violations := { property; info } :: !violations in
+  let correct = Thc_sim.Trace.correct_pids trace in
+  let sender_correct = Thc_sim.Trace.correct trace sender in
+  let delivered = List.map (fun pid -> (pid, deliveries trace ~sender ~pid)) correct in
+  (* Sequencing: each correct process delivers 1, 2, 3, ... in order. *)
+  List.iter
+    (fun (pid, ds) ->
+      List.iteri
+        (fun i (seq, _) ->
+          if seq <> i + 1 then
+            add `Sequencing
+              (Printf.sprintf "p%d delivery #%d has seq %d" pid (i + 1) seq))
+        ds)
+    delivered;
+  (* Agreement + totality: pairwise prefix consistency and equal coverage. *)
+  List.iter
+    (fun (p, dp) ->
+      List.iter
+        (fun (q, dq) ->
+          if p < q then begin
+            List.iter
+              (fun (seq, v) ->
+                match List.assoc_opt seq dq with
+                | Some v' when not (String.equal v v') ->
+                  add `Agreement
+                    (Printf.sprintf "p%d and p%d disagree at seq %d" p q seq)
+                | Some _ -> ()
+                | None ->
+                  add `Totality
+                    (Printf.sprintf "p%d delivered seq %d but p%d did not" p seq
+                       q))
+              dp;
+            List.iter
+              (fun (seq, _) ->
+                if not (List.mem_assoc seq dp) then
+                  add `Totality
+                    (Printf.sprintf "p%d delivered seq %d but p%d did not" q seq
+                       p))
+              dq
+          end)
+        delivered)
+    delivered;
+  if sender_correct then begin
+    let bs = broadcasts trace ~sender in
+    (* Validity: everything broadcast is delivered everywhere. *)
+    List.iter
+      (fun (seq, value) ->
+        List.iter
+          (fun (pid, ds) ->
+            match List.assoc_opt seq ds with
+            | Some v when String.equal v value -> ()
+            | Some _ ->
+              add `Validity
+                (Printf.sprintf "p%d delivered a different value at seq %d" pid
+                   seq)
+            | None ->
+              add `Validity
+                (Printf.sprintf "p%d never delivered broadcast seq %d" pid seq))
+          delivered)
+      bs;
+    (* Integrity: nothing delivered that was not broadcast. *)
+    List.iter
+      (fun (pid, ds) ->
+        List.iter
+          (fun (seq, value) ->
+            match List.assoc_opt seq bs with
+            | Some v when String.equal v value -> ()
+            | Some _ | None ->
+              add `Integrity
+                (Printf.sprintf "p%d delivered (%d, ...) never broadcast by p%d"
+                   pid seq sender))
+          ds)
+      delivered
+  end;
+  List.rev !violations

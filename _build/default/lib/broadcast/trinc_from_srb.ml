@@ -1,0 +1,79 @@
+type attestation = { origin : int; k : int; counter : int; message : string }
+
+type t = {
+  self : int;
+  hubs : Ideal_srb.hub array;
+  rxs : Ideal_srb.Rx.t array;
+  c : int array;  (* C[q]: highest stored counter per origin *)
+  store : (int * int, int * string) Hashtbl.t;
+      (* (origin, k) -> (counter, message) for stored attestations *)
+}
+
+let create ~hubs ~self =
+  {
+    self;
+    hubs;
+    rxs = Array.map Ideal_srb.Rx.create hubs;
+    c = Array.make (Array.length hubs) 0;
+    store = Hashtbl.create 64;
+  }
+
+let attest t ~counter ~message =
+  let value = Thc_util.Codec.encode (counter, message) in
+  let wire = Ideal_srb.broadcast t.hubs.(t.self) value in
+  ({ origin = t.self; k = wire.seq; counter; message }, wire)
+
+let deliver t ~origin (k, value) =
+  let counter, message = (Thc_util.Codec.decode value : int * string) in
+  if t.c.(origin) < counter then begin
+    Hashtbl.replace t.store (origin, k) (counter, message);
+    t.c.(origin) <- counter
+  end
+
+let on_wire t (w : Ideal_srb.wire) =
+  if w.sender < 0 || w.sender >= Array.length t.rxs then `Drop
+  else
+    match Ideal_srb.Rx.receive t.rxs.(w.sender) w with
+    | `Bogus | `Stale -> `Drop
+    | `Fresh deliveries ->
+      List.iter (deliver t ~origin:w.sender) deliveries;
+      `Forward
+
+let check t a ~id =
+  a.origin = id
+  &&
+  match Hashtbl.find_opt t.store (id, a.k) with
+  | Some (counter, message) ->
+    counter = a.counter && String.equal message a.message
+  | None -> false
+
+let counter_of t ~id = t.c.(id)
+
+type msg = Wire of Ideal_srb.wire
+
+let decode_attestation s = (Thc_util.Codec.decode s : attestation)
+
+let behavior t ~attest_plan : msg Thc_sim.Engine.behavior =
+  let plan = Array.of_list attest_plan in
+  {
+    init =
+      (fun ctx ->
+        Array.iteri
+          (fun i (delay, _, _) -> ctx.set_timer ~delay ~tag:i)
+          plan);
+    on_message =
+      (fun ctx ~src:_ (Wire w) ->
+        match on_wire t w with
+        | `Forward -> ctx.broadcast (Wire w)
+        | `Drop -> ());
+    on_timer =
+      (fun ctx tag ->
+        if tag >= 0 && tag < Array.length plan then begin
+          let _, counter, message = plan.(tag) in
+          let a, wire = attest t ~counter ~message in
+          ctx.output
+            (Thc_sim.Obs.Attested
+               { counter; value = Thc_util.Codec.encode a });
+          ctx.broadcast (Wire wire)
+        end);
+  }

@@ -1,0 +1,60 @@
+(** Theorem 1: sequenced reliable broadcast implements the TrInc interface.
+
+    The paper's only theorem, reproduced with its exact construction:
+
+    {v
+    attestation Attest(seq-num c, message m) {
+        Broadcast(k, (c, m));   // k is the broadcast sequence number
+        return (k, (c, m)); }
+
+    bool CheckAttestation(attestation a, id q) {
+        upon delivering a message (k, c, m) from q
+            if C[q] < c { store (k, (c, m)); C[q] = c; }
+        return (stored (k, (c, m)) == a from q); }
+    v}
+
+    Attestations are ordinary data (transferable).  The two properties the
+    paper proves, which experiment T1 validates over adversarial schedules:
+
+    + if [q] correctly invoked [attest] and it returned [a], then
+      [check a ~id:q] eventually returns true at every correct process
+      (correctly = with a sequence number above all previously used ones);
+    + if [a] was not produced by [q]'s [attest], [check a ~id:q] returns
+      false — SRB integrity means no such delivery ever happens.
+
+    The SRB primitive is {!Ideal_srb}; one hub per process acts as that
+    process's broadcast instance. *)
+
+type attestation = { origin : int; k : int; counter : int; message : string }
+(** [(k, (c, m))] from the construction, tagged with the trinket id. *)
+
+type t
+(** One process's state: its hub, receive views of all hubs, the [C] array
+    and the store. *)
+
+val create : hubs:Ideal_srb.hub array -> self:int -> t
+
+val attest : t -> counter:int -> message:string -> attestation * Ideal_srb.wire
+(** [Attest(c, m)]: broadcast on own hub; the caller must transmit the
+    returned wire (the engine behavior below does). *)
+
+val on_wire : t -> Ideal_srb.wire -> [ `Forward | `Drop ]
+(** Feed a received wire through the SRB receive logic, updating [C]/store
+    on each delivery.  [`Forward]: fresh, echo it to everyone (totality). *)
+
+val check : t -> attestation -> id:int -> bool
+(** [CheckAttestation(a, q)] against the current local store. *)
+
+val counter_of : t -> id:int -> int
+(** Current [C\[id\]]. *)
+
+type msg = Wire of Ideal_srb.wire
+
+val behavior :
+  t -> attest_plan:(int64 * int * string) list -> msg Thc_sim.Engine.behavior
+(** Canonical engine process: performs [attest] per the timed plan (emitting
+    [Obs.Attested] with the serialized {!attestation}) and echoes fresh
+    wires.  Harnesses keep the [t] to query {!check} after the run. *)
+
+val decode_attestation : string -> attestation
+(** Recover an attestation from an [Obs.Attested] payload. *)

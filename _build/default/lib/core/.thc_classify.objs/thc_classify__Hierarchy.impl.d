@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Buffer List Mechanism Option Printf Separations String Witnesses

@@ -1,0 +1,1 @@
+lib/core/hierarchy.mli: Mechanism Stdlib

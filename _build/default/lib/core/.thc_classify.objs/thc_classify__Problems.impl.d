@@ -1,0 +1,1 @@
+lib/core/problems.ml: Buffer Hierarchy List Printf Separations String Thc_util Witnesses

@@ -1,0 +1,1 @@
+lib/core/separations.ml: Array Format List Printf String Thc_agreement Thc_rounds Thc_sim Thc_util

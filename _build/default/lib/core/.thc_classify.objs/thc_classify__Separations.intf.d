@@ -1,0 +1,1 @@
+lib/core/separations.mli: Format

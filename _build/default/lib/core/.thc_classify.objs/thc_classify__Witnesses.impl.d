@@ -1,0 +1,1 @@
+lib/core/witnesses.ml: Array Int64 List Printf String Thc_agreement Thc_broadcast Thc_crypto Thc_hardware Thc_replication Thc_rounds Thc_sharedmem Thc_sim Thc_util

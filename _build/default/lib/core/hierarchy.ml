@@ -1,0 +1,317 @@
+type provenance = Witness of string | Citation of string | Definition
+
+type edge = {
+  src : Mechanism.t;
+  dst : Mechanism.t;
+  provenance : provenance;
+  condition : string option;
+}
+
+type separation = {
+  stronger : Mechanism.t;
+  weaker : Mechanism.t;
+  why : provenance;
+  side_condition : string;
+}
+
+type t = { edges : edge list; separations : separation list }
+
+let edge ?condition src dst provenance = { src; dst; provenance; condition }
+
+let paper =
+  let open Mechanism in
+  {
+    edges =
+      [
+        (* Synchrony class. *)
+        edge Lockstep_synchrony Bidirectionality Definition;
+        edge Bidirectionality Lockstep_synchrony Definition;
+        edge Bidirectionality Unidirectionality Definition;
+        edge Delta_synchrony Lockstep_synchrony
+          (Citation "clock synchronization (Dolev et al. 1995)")
+          ~condition:"synchronized clocks";
+        (* Shared-memory class: each primitive implements unidirectional
+           rounds (paper section 3.2). *)
+        edge Swmr_registers Unidirectionality (Witness "uni-from-swmr");
+        edge Sticky_bits Unidirectionality (Witness "uni-from-sticky");
+        edge Peats Unidirectionality (Witness "uni-from-peats");
+        edge Delta_synchrony Unidirectionality (Witness "delta-uni");
+        (* The bridge: unidirectionality implements SRB (Algorithm 1). *)
+        edge Unidirectionality Srb (Witness "srb-from-uni")
+          ~condition:"n >= 2t+1";
+        (* Trusted-log class: all mutually reducible. *)
+        edge Srb Trinc (Witness "trinc-from-srb");
+        edge Trinc Srb (Witness "srb-from-trinc");
+        edge Trinc A2m (Witness "a2m-from-trinc");
+        edge A2m Trinc
+          (Citation "Levin et al. 2009 (A2M exposes a TrInc per log)");
+        edge Enclave Trinc (Witness "trinc-from-enclave");
+        edge Trinc Mono_counter Definition;
+        edge Mono_counter Trinc
+          (Citation "dense-counter TrInc = attested monotonic counter");
+        edge Srb Reliable_broadcast Definition;
+        (* The corner case: RB implements unidirectionality iff f = 1. *)
+        edge Reliable_broadcast Unidirectionality (Witness "uni-from-rb-f1")
+          ~condition:"f = 1, n >= 3";
+        (* Baseline. *)
+        edge Reliable_broadcast Asynchrony Definition;
+        edge Asynchrony Zero_directionality Definition;
+        edge Zero_directionality Asynchrony Definition;
+        edge Unidirectionality Zero_directionality Definition;
+        edge Asynchrony Reliable_broadcast (Citation "Bracha 1987")
+          ~condition:"n > 3f";
+      ];
+    separations =
+      [
+        {
+          stronger = Unidirectionality;
+          weaker = Srb;
+          why = Witness "sep:srb-cannot-uni";
+          side_condition = "n > 2f, f > 1";
+        };
+        {
+          stronger = Unidirectionality;
+          weaker = Reliable_broadcast;
+          why = Witness "sep:rb-cannot-very-weak";
+          side_condition = "n <= 2f (very weak agreement witness problem)";
+        };
+        {
+          stronger = Bidirectionality;
+          weaker = Unidirectionality;
+          why =
+            Citation
+              "strong validity agreement unsolvable with n <= 3f under \
+               unidirectionality (Malkhi et al. 2003; paper claim), yet \
+               solvable with n >= 2f+1 under synchrony (Dolev-Strong)";
+          side_condition = "n <= 3f";
+        };
+        {
+          stronger = Reliable_broadcast;
+          weaker = Asynchrony;
+          why = Citation "Bracha 1987 lower bound";
+          side_condition = "n <= 3f";
+        };
+      ];
+  }
+
+let edges t = t.edges
+
+let separations t = t.separations
+
+let reachable ~use_conditional t src dst =
+  let next m =
+    List.filter_map
+      (fun e ->
+        if
+          Mechanism.equal e.src m
+          && (use_conditional || Option.is_none e.condition)
+        then Some e.dst
+        else None)
+      t.edges
+  in
+  let rec go visited = function
+    | [] -> false
+    | m :: rest ->
+      if Mechanism.equal m dst then true
+      else if List.exists (Mechanism.equal m) visited then go visited rest
+      else go (m :: visited) (next m @ rest)
+  in
+  go [] [ src ]
+
+let implements t src dst =
+  (not (Mechanism.equal src dst)) && reachable ~use_conditional:false t src dst
+
+let closure t =
+  List.concat_map
+    (fun src ->
+      List.filter_map
+        (fun dst -> if implements t src dst then Some (src, dst) else None)
+        Mechanism.all)
+    Mechanism.all
+
+let run_separation_scenario id =
+  match id with
+  | "sep:srb-cannot-uni" ->
+    let r = Separations.srb_cannot_implement_unidirectionality () in
+    (r.Separations.holds, r.Separations.claim)
+  | "sep:rb-cannot-very-weak" ->
+    let r = Separations.rb_cannot_solve_very_weak () in
+    (r.Separations.holds, r.Separations.claim)
+  | _ -> (false, Printf.sprintf "unknown separation scenario %s" id)
+
+let known_separations = [ "sep:srb-cannot-uni"; "sep:rb-cannot-very-weak" ]
+
+let witness_exists id =
+  if String.length id >= 4 && String.sub id 0 4 = "sep:" then
+    List.mem id known_separations
+  else Option.is_some (Witnesses.by_id id)
+
+let consistent t =
+  let problems = ref [] in
+  let notes = ref [] in
+  List.iter
+    (fun s ->
+      (* A separation is contradicted only by an unconditional path. *)
+      if reachable ~use_conditional:false t s.weaker s.stronger then
+        problems :=
+          Printf.sprintf "separation %s -x-> %s contradicted unconditionally"
+            (Mechanism.name s.weaker) (Mechanism.name s.stronger)
+          :: !problems
+      else if reachable ~use_conditional:true t s.weaker s.stronger then
+        notes :=
+          Printf.sprintf
+            "%s can reach %s only through side conditions (e.g. the f=1 \
+             corner case) — consistent with the separation under %s"
+            (Mechanism.name s.weaker) (Mechanism.name s.stronger)
+            s.side_condition
+          :: !notes)
+    t.separations;
+  List.iter
+    (fun e ->
+      match e.provenance with
+      | Witness id when not (witness_exists id) ->
+        problems :=
+          Printf.sprintf "edge %s -> %s references unknown witness %s"
+            (Mechanism.name e.src) (Mechanism.name e.dst) id
+          :: !problems
+      | Witness _ | Citation _ | Definition -> ())
+    t.edges;
+  if !problems = [] then Ok (List.rev !notes) else Error (List.rev !problems)
+
+let verify t =
+  let of_edge e =
+    match e.provenance with
+    | Witness id when not (String.length id >= 4 && String.sub id 0 4 = "sep:")
+      -> (
+      match Witnesses.by_id id with
+      | Some w ->
+        let passed, detail = w.Witnesses.run () in
+        Some
+          ( Printf.sprintf "%s -> %s [%s]" (Mechanism.name e.src)
+              (Mechanism.name e.dst) id,
+            passed,
+            detail )
+      | None ->
+        Some
+          ( Printf.sprintf "%s -> %s" (Mechanism.name e.src)
+              (Mechanism.name e.dst),
+            false,
+            "missing witness " ^ id ))
+    | Witness _ | Citation _ | Definition -> None
+  in
+  let edge_results = List.filter_map of_edge t.edges in
+  let sep_results =
+    List.filter_map
+      (fun s ->
+        match s.why with
+        | Witness id when String.length id >= 4 && String.sub id 0 4 = "sep:"
+          ->
+          let passed, detail = run_separation_scenario id in
+          Some
+            ( Printf.sprintf "%s -x-> %s [%s]" (Mechanism.name s.weaker)
+                (Mechanism.name s.stronger) id,
+              passed,
+              detail )
+        | Witness _ | Citation _ | Definition -> None)
+      t.separations
+  in
+  edge_results @ sep_results
+
+let same_class_pairs t =
+  let pairs = closure t in
+  List.filter
+    (fun (a, b) ->
+      Mechanism.compare a b < 0 && List.mem (b, a) pairs && List.mem (a, b) pairs)
+    pairs
+
+let figure1 t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Summary of results (paper Figure 1): A --> B means A can implement B\n\
+     =====================================================================\n\n\
+    \           lockstep synchrony  <==>  bidirectional rounds\n\
+    \                              |\n\
+    \                              |  strict (strong validity agreement,\n\
+    \                              v          n <= 3f)\n\
+    \  SWMR registers ---\\\n\
+    \  sticky bits -------+---->  UNIDIRECTIONAL ROUNDS  <--- delta-synchrony\n\
+    \  PEATS ------------/         |           ^               (wait >= delta)\n\
+    \                    n>=2t+1   |           |  only f = 1, n >= 3\n\
+    \                              v           |  (strict otherwise:\n\
+    \                              |           |   scenarios 1-3)\n\
+    \        trusted logs:   SRB <==> TrInc <==> A2M, enclave, counter\n\
+    \                              |\n\
+    \                              |  strict (very weak agreement, n <= 2f)\n\
+    \                              v\n\
+    \           zero-directional rounds  <==>  asynchrony\n\n";
+  Buffer.add_string buf "Edges:\n";
+  List.iter
+    (fun e ->
+      let prov =
+        match e.provenance with
+        | Witness id -> Printf.sprintf "witness:%s" id
+        | Citation c -> Printf.sprintf "cite: %s" c
+        | Definition -> "by definition"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-20s --> %-20s %s%s\n" (Mechanism.name e.src)
+           (Mechanism.name e.dst) prov
+           (match e.condition with
+           | Some c -> Printf.sprintf "  [%s]" c
+           | None -> "")))
+    t.edges;
+  Buffer.add_string buf "\nSeparations (weaker -x-> stronger):\n";
+  List.iter
+    (fun s ->
+      let prov =
+        match s.why with
+        | Witness id -> Printf.sprintf "scenario:%s" id
+        | Citation c -> Printf.sprintf "cite: %s" c
+        | Definition -> "by definition"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-20s -x-> %-20s %s  [%s]\n"
+           (Mechanism.name s.weaker) (Mechanism.name s.stronger) prov
+           s.side_condition))
+    t.separations;
+  Buffer.contents buf
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph hierarchy {\n  rankdir=BT;\n";
+  List.iter
+    (fun m ->
+      let color =
+        match Mechanism.klass m with
+        | Mechanism.Synchrony_class -> "lightblue"
+        | Mechanism.Shared_memory_class -> "palegreen"
+        | Mechanism.Trusted_log_class -> "khaki"
+        | Mechanism.Baseline_class -> "lightgray"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"%s\" [style=filled, fillcolor=%s];\n" (Mechanism.name m) color))
+    Mechanism.all;
+  List.iter
+    (fun e ->
+      let style =
+        match e.condition with None -> "solid" | Some _ -> "dashed"
+      in
+      let label =
+        match e.condition with Some c -> c | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\" [style=%s, label=\"%s\"];\n"
+           (Mechanism.name e.src) (Mechanism.name e.dst) style label))
+    t.edges;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"%s\" -> \"%s\" [color=red, style=dotted, label=\"X %s\"];\n"
+           (Mechanism.name s.weaker)
+           (Mechanism.name s.stronger)
+           s.side_condition))
+    t.separations;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

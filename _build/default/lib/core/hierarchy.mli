@@ -1,0 +1,63 @@
+(** Figure 1: the implication graph over non-equivocation mechanisms.
+
+    Nodes are {!Mechanism.t}; a directed edge A → B means "A can implement
+    B".  Every edge carries provenance: a {!Witnesses} id (machine-checked
+    construction in this repository), a citation (established result the
+    paper builds on), or [Definition] (immediate from the definitions).
+    Separations are recorded non-edges with the side conditions under which
+    they hold; {!consistent} checks that the transitive closure contradicts
+    no separation, and {!verify} additionally executes every witness.
+
+    {!figure1} renders the paper's summary-of-results figure; {!to_dot}
+    emits Graphviz. *)
+
+type provenance =
+  | Witness of string  (** Id in {!Witnesses.all}. *)
+  | Citation of string
+  | Definition
+
+type edge = {
+  src : Mechanism.t;
+  dst : Mechanism.t;
+  provenance : provenance;
+  condition : string option;  (** e.g. ["n >= 2t+1"] or ["f = 1, n >= 3"]. *)
+}
+
+type separation = {
+  stronger : Mechanism.t;  (** The side that cannot be implemented... *)
+  weaker : Mechanism.t;  (** ... from this side. *)
+  why : provenance;  (** {!Separations} construction or citation. *)
+  side_condition : string;
+}
+
+type t
+
+val paper : t
+(** The graph asserted by the paper (plus the reductions it relies on). *)
+
+val edges : t -> edge list
+
+val separations : t -> separation list
+
+val implements : t -> Mechanism.t -> Mechanism.t -> bool
+(** Reachability in the {e unconditional} edge set (conditional edges such
+    as the f = 1 corner case are excluded from the closure). *)
+
+val closure : t -> (Mechanism.t * Mechanism.t) list
+(** All unconditionally derivable "A implements B" pairs, A ≠ B. *)
+
+val consistent : t -> (string list, string list) Stdlib.result
+(** [Ok notes] if no separation is contradicted by the closure and every
+    witness id referenced by an edge exists; [Error problems] otherwise. *)
+
+val verify : t -> (string * bool * string) list
+(** Run every witness referenced by the graph; [(edge label, passed,
+    detail)]. *)
+
+val same_class_pairs : t -> (Mechanism.t * Mechanism.t) list
+(** Pairs proven inter-reachable (equivalent power) by the closure. *)
+
+val figure1 : t -> string
+(** ASCII rendering of the summary of results. *)
+
+val to_dot : t -> string

@@ -1,0 +1,92 @@
+type t =
+  | Lockstep_synchrony
+  | Delta_synchrony
+  | Bidirectionality
+  | Unidirectionality
+  | Zero_directionality
+  | Swmr_registers
+  | Sticky_bits
+  | Peats
+  | Srb
+  | Reliable_broadcast
+  | Trinc
+  | A2m
+  | Enclave
+  | Mono_counter
+  | Asynchrony
+
+let all =
+  [
+    Lockstep_synchrony;
+    Delta_synchrony;
+    Bidirectionality;
+    Unidirectionality;
+    Zero_directionality;
+    Swmr_registers;
+    Sticky_bits;
+    Peats;
+    Srb;
+    Reliable_broadcast;
+    Trinc;
+    A2m;
+    Enclave;
+    Mono_counter;
+    Asynchrony;
+  ]
+
+type klass =
+  | Synchrony_class
+  | Shared_memory_class
+  | Trusted_log_class
+  | Baseline_class
+
+let klass = function
+  | Lockstep_synchrony | Bidirectionality -> Synchrony_class
+  | Delta_synchrony | Unidirectionality | Swmr_registers | Sticky_bits | Peats
+    ->
+    Shared_memory_class
+  | Srb | Reliable_broadcast | Trinc | A2m | Enclave | Mono_counter ->
+    Trusted_log_class
+  | Zero_directionality | Asynchrony -> Baseline_class
+
+let name = function
+  | Lockstep_synchrony -> "lockstep-synchrony"
+  | Delta_synchrony -> "delta-synchrony"
+  | Bidirectionality -> "bidirectionality"
+  | Unidirectionality -> "unidirectionality"
+  | Zero_directionality -> "zero-directionality"
+  | Swmr_registers -> "swmr-registers"
+  | Sticky_bits -> "sticky-bits"
+  | Peats -> "peats"
+  | Srb -> "srb"
+  | Reliable_broadcast -> "reliable-broadcast"
+  | Trinc -> "trinc"
+  | A2m -> "a2m"
+  | Enclave -> "enclave"
+  | Mono_counter -> "mono-counter"
+  | Asynchrony -> "asynchrony"
+
+let of_name s = List.find_opt (fun m -> String.equal (name m) s) all
+
+let describe = function
+  | Lockstep_synchrony -> "globally aligned rounds with in-round delivery"
+  | Delta_synchrony -> "known delay bound, unsynchronized round starts"
+  | Bidirectionality -> "both directions of every correct pair heard per round"
+  | Unidirectionality -> "at least one direction of every correct pair heard per round"
+  | Zero_directionality -> "no pairwise guarantee; only n-f messages per round"
+  | Swmr_registers -> "single-writer multi-reader registers with ACLs"
+  | Sticky_bits -> "write-once registers with ACLs"
+  | Peats -> "policy-enforced augmented tuple spaces"
+  | Srb -> "sequenced reliable broadcast"
+  | Reliable_broadcast -> "reliable broadcast"
+  | Trinc -> "trusted incrementer (attested monotone counter with bindings)"
+  | A2m -> "attested append-only memory (trusted logs)"
+  | Enclave -> "attested deterministic execution (SGX/TrustZone)"
+  | Mono_counter -> "bare attested monotonic counter"
+  | Asynchrony -> "plain asynchronous message passing"
+
+let pp ppf m = Format.pp_print_string ppf (name m)
+
+let compare a b = Stdlib.compare a b
+
+let equal a b = a = b

@@ -1,0 +1,37 @@
+(** The taxonomy of non-equivocation mechanisms and communication models
+    classified by the paper. *)
+
+type t =
+  | Lockstep_synchrony  (** Bidirectional rounds (classic synchrony). *)
+  | Delta_synchrony  (** Known message bound Δ, unsynchronized clocks. *)
+  | Bidirectionality  (** The round property itself. *)
+  | Unidirectionality  (** The paper's new round property. *)
+  | Zero_directionality  (** Plain asynchrony's round property. *)
+  | Swmr_registers  (** Single-writer multi-reader registers (RDMA-style). *)
+  | Sticky_bits  (** Write-once registers. *)
+  | Peats  (** Policy-enforced augmented tuple spaces. *)
+  | Srb  (** Sequenced reliable broadcast. *)
+  | Reliable_broadcast
+  | Trinc  (** Trusted incrementer. *)
+  | A2m  (** Attested append-only memory. *)
+  | Enclave  (** SGX/TrustZone-style attested execution. *)
+  | Mono_counter  (** TPM-style attested monotonic counter. *)
+  | Asynchrony  (** Bare asynchronous message passing. *)
+
+val all : t list
+
+type klass =
+  | Synchrony_class  (** Strictly above everything else. *)
+  | Shared_memory_class  (** The unidirectional class. *)
+  | Trusted_log_class  (** The SRB / message-passing class. *)
+  | Baseline_class  (** Plain asynchrony. *)
+
+val klass : t -> klass
+(** The paper's partition of the taxonomy. *)
+
+val name : t -> string
+val of_name : string -> t option
+val describe : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool

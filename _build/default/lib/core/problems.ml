@@ -1,0 +1,193 @@
+type problem =
+  | Non_equivocating_broadcast
+  | Reliable_broadcast_p
+  | Byzantine_broadcast
+  | Very_weak_agreement
+  | Weak_validity_agreement
+  | Strong_validity_agreement
+
+type model =
+  | Bidirectional_model
+  | Unidirectional_model
+  | Srb_model
+  | Zero_model
+
+type verdict =
+  | Solvable of { resilience : string; why : Hierarchy.provenance }
+  | Unsolvable of { resilience : string; why : Hierarchy.provenance }
+
+let problem_name = function
+  | Non_equivocating_broadcast -> "non-equivocating broadcast"
+  | Reliable_broadcast_p -> "reliable broadcast"
+  | Byzantine_broadcast -> "Byzantine broadcast"
+  | Very_weak_agreement -> "very weak agreement"
+  | Weak_validity_agreement -> "weak validity agreement"
+  | Strong_validity_agreement -> "strong validity agreement"
+
+let model_name = function
+  | Bidirectional_model -> "bidirectional"
+  | Unidirectional_model -> "unidirectional"
+  | Srb_model -> "SRB / trusted logs"
+  | Zero_model -> "asynchrony"
+
+let solvable resilience why = Solvable { resilience; why }
+
+let unsolvable resilience why = Unsolvable { resilience; why }
+
+let matrix =
+  [
+    (* --- non-equivocating broadcast ------------------------------------ *)
+    ( Non_equivocating_broadcast,
+      Unidirectional_model,
+      solvable "n >= f+1" (Witness "neb-from-uni") );
+    ( Non_equivocating_broadcast,
+      Bidirectional_model,
+      solvable "n >= f+1" (Definition : Hierarchy.provenance) );
+    ( Non_equivocating_broadcast,
+      Srb_model,
+      solvable "any n" (Citation "RB delivery is already non-equivocating") );
+    ( Non_equivocating_broadcast,
+      Zero_model,
+      unsolvable "n <= 3f"
+        (Citation
+           "asynchronous message passing cannot prevent equivocation (paper \
+            sketch; Clement et al. 2012)") );
+    (* --- reliable broadcast --------------------------------------------- *)
+    ( Reliable_broadcast_p,
+      Srb_model,
+      solvable "any n" (Definition : Hierarchy.provenance) );
+    ( Reliable_broadcast_p,
+      Unidirectional_model,
+      solvable "n >= 2f+1" (Witness "srb-from-uni") );
+    ( Reliable_broadcast_p,
+      Bidirectional_model,
+      solvable "n >= f+1" (Citation "Dolev-Strong gives even Byzantine broadcast") );
+    ( Reliable_broadcast_p,
+      Zero_model,
+      solvable "n > 3f" (Witness "rb-bracha") );
+    ( Reliable_broadcast_p,
+      Zero_model,
+      unsolvable "n <= 3f" (Citation "Bracha 1987 lower bound") );
+    (* --- Byzantine broadcast --------------------------------------------- *)
+    ( Byzantine_broadcast,
+      Bidirectional_model,
+      solvable "n >= f+1" (Witness "bb-dolev-strong") );
+    ( Byzantine_broadcast,
+      Unidirectional_model,
+      unsolvable "n <= 3f"
+        (Citation
+           "termination for a silent sender forces deciding without the \
+            sender; strong-agreement bound applies (Malkhi et al. 2003)") );
+    ( Byzantine_broadcast,
+      Srb_model,
+      unsolvable "n <= 3f" (Citation "weaker than unidirectionality") );
+    ( Byzantine_broadcast,
+      Zero_model,
+      unsolvable "any f > 0 (deterministic)" (Citation "FLP 1985") );
+    (* --- very weak agreement ---------------------------------------------- *)
+    ( Very_weak_agreement,
+      Unidirectional_model,
+      solvable "n > f" (Witness "very-weak-from-uni") );
+    ( Very_weak_agreement,
+      Bidirectional_model,
+      solvable "n > f" (Definition : Hierarchy.provenance) );
+    ( Very_weak_agreement,
+      Srb_model,
+      unsolvable "n <= 2f" (Witness "sep:rb-cannot-very-weak") );
+    ( Very_weak_agreement,
+      Zero_model,
+      unsolvable "n <= 2f" (Citation "weaker than reliable broadcast") );
+    (* --- weak validity agreement ------------------------------------------ *)
+    ( Weak_validity_agreement,
+      Srb_model,
+      solvable "n >= 2f+1 (partial synchrony)" (Witness "weak-validity-minbft") );
+    ( Weak_validity_agreement,
+      Unidirectional_model,
+      solvable "n >= 2f+1 (partial synchrony)"
+        (Citation "via the uni => SRB => TrInc reductions (Algorithm 1 + Thm 1)") );
+    ( Weak_validity_agreement,
+      Unidirectional_model,
+      unsolvable "f >= n/2" (Citation "paper Worlds 1-4 partition argument") );
+    ( Weak_validity_agreement,
+      Bidirectional_model,
+      solvable "n >= f+1" (Citation "designated-sender Dolev-Strong") );
+    ( Weak_validity_agreement,
+      Zero_model,
+      unsolvable "n <= 3f" (Citation "DLS 1988") );
+    (* --- strong validity agreement ----------------------------------------- *)
+    ( Strong_validity_agreement,
+      Bidirectional_model,
+      solvable "n >= 2f+1" (Witness "strong-from-bidirectional") );
+    ( Strong_validity_agreement,
+      Unidirectional_model,
+      unsolvable "n <= 3f"
+        (Citation "Malkhi et al. 2003; paper claim (read/write registers)") );
+    ( Strong_validity_agreement,
+      Srb_model,
+      unsolvable "n <= 3f" (Citation "weaker than unidirectionality") );
+    ( Strong_validity_agreement,
+      Zero_model,
+      unsolvable "n <= 3f" (Citation "classic bound (Dwork et al.)") );
+  ]
+
+let cell problem model =
+  List.filter_map
+    (fun (p, m, v) -> if p = problem && m = model then Some v else None)
+    matrix
+
+let render () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Problem capabilities per communication model (paper: Problems \
+     Considered)\n\n";
+  let t =
+    Thc_util.Table.create [ "problem"; "model"; "verdict"; "provenance" ]
+  in
+  List.iter
+    (fun (p, m, v) ->
+      let verdict, why =
+        match v with
+        | Solvable { resilience; why } ->
+          (Printf.sprintf "solvable, %s" resilience, why)
+        | Unsolvable { resilience; why } ->
+          (Printf.sprintf "UNSOLVABLE, %s" resilience, why)
+      in
+      let prov =
+        match why with
+        | Hierarchy.Witness id -> Printf.sprintf "check:%s" id
+        | Hierarchy.Citation c -> Printf.sprintf "cite: %s" c
+        | Hierarchy.Definition -> "by definition"
+      in
+      Thc_util.Table.add_row t [ problem_name p; model_name m; verdict; prov ])
+    matrix;
+  Buffer.add_string buf (Thc_util.Table.render t);
+  Buffer.contents buf
+
+let verify () =
+  List.filter_map
+    (fun (p, m, v) ->
+      let label why_id =
+        Printf.sprintf "%s / %s [%s]" (problem_name p) (model_name m) why_id
+      in
+      match v with
+      | Solvable { why = Hierarchy.Witness id; _ }
+      | Unsolvable { why = Hierarchy.Witness id; _ } ->
+        if String.length id >= 4 && String.sub id 0 4 = "sep:" then begin
+          match id with
+          | "sep:rb-cannot-very-weak" ->
+            let r = Separations.rb_cannot_solve_very_weak () in
+            Some (label id, r.Separations.holds, r.Separations.claim)
+          | "sep:srb-cannot-uni" ->
+            let r = Separations.srb_cannot_implement_unidirectionality () in
+            Some (label id, r.Separations.holds, r.Separations.claim)
+          | _ -> Some (label id, false, "unknown separation")
+        end
+        else begin
+          match Witnesses.by_id id with
+          | Some w ->
+            let passed, detail = w.Witnesses.run () in
+            Some (label id, passed, detail)
+          | None -> Some (label id, false, "missing witness")
+        end
+      | Solvable _ | Unsolvable _ -> None)
+    matrix

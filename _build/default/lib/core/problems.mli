@@ -1,0 +1,50 @@
+(** The paper's "Problems Considered" section as an executable capability
+    matrix.
+
+    The paper defines three broadcast problems (non-equivocating, reliable,
+    Byzantine) and three agreement problems (very weak, weak validity,
+    strong validity), and separates the communication models by which
+    problems each can solve at which resilience.  This module records the
+    full matrix with per-cell provenance — a {!Witnesses} id when the
+    positive construction runs in this repository, a {!Separations}
+    scenario when the impossibility construction runs, or a citation — and
+    can execute every machine-checkable cell.
+
+    The matrix is the problem-level face of Figure 1: e.g. very weak
+    agreement is what separates unidirectionality (solvable, n > f) from
+    the SRB class (unsolvable, n ≤ 2f). *)
+
+type problem =
+  | Non_equivocating_broadcast
+  | Reliable_broadcast_p
+  | Byzantine_broadcast
+  | Very_weak_agreement
+  | Weak_validity_agreement
+  | Strong_validity_agreement
+
+type model =
+  | Bidirectional_model
+  | Unidirectional_model
+  | Srb_model  (** Trusted logs / reliable-broadcast class. *)
+  | Zero_model  (** Plain asynchrony. *)
+
+type verdict =
+  | Solvable of { resilience : string; why : Hierarchy.provenance }
+  | Unsolvable of { resilience : string; why : Hierarchy.provenance }
+
+val problem_name : problem -> string
+val model_name : model -> string
+
+val matrix : (problem * model * verdict) list
+(** Every (problem, model) cell the paper pins down. *)
+
+val cell : problem -> model -> verdict list
+(** All verdicts recorded for one cell (a cell may carry both a solvable
+    bound and an unsolvable bound, e.g. weak validity under
+    unidirectionality: solvable n ≥ 2f+1, unsolvable f ≥ n/2). *)
+
+val render : unit -> string
+(** Markdown-ish table of the full matrix. *)
+
+val verify : unit -> (string * bool * string) list
+(** Execute every witness- or scenario-backed cell. *)

@@ -1,0 +1,298 @@
+type scenario_outcome = { label : string; ok : bool; detail : string }
+
+type result = {
+  claim : string;
+  scenarios : scenario_outcome list;
+  holds : bool;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>%s: %s@,%a@]" r.claim
+    (if r.holds then "construction verified" else "FAILED")
+    (Format.pp_print_list (fun ppf s ->
+         Format.fprintf ppf "  [%s] %s — %s"
+           (if s.ok then "ok" else "FAIL")
+           s.label s.detail))
+    r.scenarios
+
+let finish claim scenarios =
+  { claim; scenarios; holds = List.for_all (fun s -> s.ok) scenarios }
+
+(* Receive history of [pid] restricted to entries before [cutoff] — the
+   window within which scenarios must be indistinguishable (healing the
+   partition afterwards re-establishes eventual delivery). *)
+let transcript_before (trace : 'm Thc_sim.Trace.t) ~pid ~cutoff =
+  List.filter_map
+    (fun entry ->
+      match entry with
+      | Thc_sim.Trace.Delivered { time; dst; src; msg; _ }
+        when dst = pid && time < cutoff ->
+        Some (src, Thc_util.Codec.encode msg)
+      | _ -> None)
+    trace.entries
+
+let round_one_profile trace ~pid =
+  let ended = ref false in
+  let received_from = ref [] in
+  List.iter
+    (fun obs ->
+      match (obs : Thc_sim.Obs.t) with
+      | Round_ended { round = 1 } -> ended := true
+      | Round_received { round = 1; from; _ } ->
+        received_from := from :: !received_from
+      | _ -> ())
+    (Thc_sim.Trace.outputs_of trace pid);
+  (!ended, !received_from)
+
+(* One-round "send your input, then stop" app: the minimal round protocol
+   the directionality definitions quantify over. *)
+let one_round_app pid : Thc_rounds.Round_app.app =
+  {
+    first_payload = (fun _ -> Some (Printf.sprintf "input-%d" pid));
+    on_receive = (fun _ ~round:_ ~from:_ _ -> ());
+    on_round_check = (fun _ ~round:_ -> Thc_rounds.Round_app.Stop);
+  }
+
+let heal_time = 1_000_000L
+
+let fast = Thc_sim.Delay.Const 10L
+
+(* Run async (zero-directional) rounds under a link/crash configuration. *)
+let run_async_rounds ~n ~f ~seed ~configure =
+  let net = Thc_sim.Net.create ~n ~default:fast in
+  let engine = Thc_sim.Engine.create ~seed ~n ~net () in
+  for pid = 0 to n - 1 do
+    Thc_sim.Engine.set_behavior engine pid
+      (Thc_rounds.Async_rounds.behavior ~f (one_round_app pid))
+  done;
+  configure engine;
+  Thc_sim.Engine.at engine heal_time (fun () ->
+      Thc_sim.Engine.heal_all engine fast);
+  Thc_sim.Engine.run ~until:2_000_000L engine
+
+let block_from engine ~sources ~targets =
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst -> Thc_sim.Engine.set_link engine ~src ~dst Thc_sim.Net.Block)
+        targets)
+    sources
+
+let srb_cannot_implement_unidirectionality ?(n = 7) ?(f = 3) ?(seed = 1L) () =
+  if n <= 2 * f || f <= 1 then
+    invalid_arg "srb_cannot_implement_unidirectionality: needs n > 2f, f > 1";
+  let c1 = [ 0 ] in
+  let c2 = List.init (f - 1) (fun i -> i + 1) in
+  let q = List.init (n - f) (fun i -> i + f) in
+  let others_of group = List.filter (fun p -> not (List.mem p group)) (List.init n (fun i -> i)) in
+  (* Scenario 1: C1 crashed; C2 -> Q delayed. *)
+  let t1 =
+    run_async_rounds ~n ~f ~seed ~configure:(fun engine ->
+        Thc_sim.Engine.mark_byzantine engine 0;
+        Thc_sim.Engine.schedule_crash engine ~pid:0 ~at:0L;
+        block_from engine ~sources:c2 ~targets:q)
+  in
+  (* Scenario 2: C2 crashed; C1 -> Q delayed. *)
+  let t2 =
+    run_async_rounds ~n ~f ~seed ~configure:(fun engine ->
+        List.iter
+          (fun pid ->
+            Thc_sim.Engine.mark_byzantine engine pid;
+            Thc_sim.Engine.schedule_crash engine ~pid ~at:0L)
+          c2;
+        block_from engine ~sources:c1 ~targets:q)
+  in
+  (* Scenario 3: nobody faulty; everything out of C1 and C2 delayed. *)
+  let t3 =
+    run_async_rounds ~n ~f ~seed ~configure:(fun engine ->
+        block_from engine ~sources:c1 ~targets:(others_of c1);
+        block_from engine ~sources:c2 ~targets:(others_of c2))
+  in
+  let s1 =
+    let ok =
+      List.for_all
+        (fun pid ->
+          let ended, from = round_one_profile t1 ~pid in
+          ended && not (List.exists (fun p -> List.mem p c1) from))
+        c2
+    in
+    {
+      label = "scenario 1";
+      ok;
+      detail = "C2 finishes its round without any message from C1";
+    }
+  in
+  let s2 =
+    let ok =
+      List.for_all
+        (fun pid ->
+          let ended, from = round_one_profile t2 ~pid in
+          ended && not (List.exists (fun p -> List.mem p c2) from))
+        c1
+    in
+    {
+      label = "scenario 2";
+      ok;
+      detail = "C1 finishes its round without any message from C2";
+    }
+  in
+  let s3 =
+    let violations = Thc_rounds.Directionality.check_unidirectional t3 in
+    let cross v =
+      (List.mem v.Thc_rounds.Directionality.p c1
+      && List.mem v.Thc_rounds.Directionality.q c2)
+      || (List.mem v.Thc_rounds.Directionality.p c2
+         && List.mem v.Thc_rounds.Directionality.q c1)
+    in
+    {
+      label = "scenario 3";
+      ok = List.exists cross violations;
+      detail =
+        Printf.sprintf
+          "no faults, yet %d unidirectionality violation(s) across C1/C2"
+          (List.length (List.filter cross violations));
+    }
+  in
+  let same group ta tb =
+    List.for_all
+      (fun pid ->
+        transcript_before ta ~pid ~cutoff:heal_time
+        = transcript_before tb ~pid ~cutoff:heal_time)
+      group
+  in
+  let indist =
+    {
+      label = "indistinguishability";
+      ok = same q t1 t3 && same q t2 t3 && same c1 t2 t3 && same c2 t1 t3;
+      detail =
+        "Q cannot tell any scenario apart; C1 matches 2≡3; C2 matches 1≡3";
+    }
+  in
+  finish
+    "SRB cannot implement unidirectionality (n > 2f, f > 1)"
+    [ s1; s2; s3; indist ]
+
+let rb_cannot_solve_very_weak ?(n = 6) ?(seed = 2L) () =
+  if n mod 2 <> 0 || n < 4 then
+    invalid_arg "rb_cannot_solve_very_weak: needs even n >= 4";
+  let f = n / 2 in
+  let p_group = List.init f (fun i -> i) in
+  let q_group = List.init f (fun i -> i + f) in
+  let run ~inputs ~configure =
+    let net = Thc_sim.Net.create ~n ~default:fast in
+    let engine = Thc_sim.Engine.create ~seed ~n ~net () in
+    let states =
+      Array.init n (fun pid -> Thc_agreement.Very_weak.create ~input:inputs.(pid))
+    in
+    Array.iteri
+      (fun pid st ->
+        Thc_sim.Engine.set_behavior engine pid
+          (Thc_rounds.Async_rounds.behavior ~f
+             (Thc_agreement.Very_weak.app st)))
+      states;
+    configure engine;
+    Thc_sim.Engine.at engine heal_time (fun () ->
+        Thc_sim.Engine.heal_all engine fast);
+    Thc_sim.Engine.run ~until:2_000_000L engine
+  in
+  let partition engine =
+    Thc_sim.Net.isolate_groups
+      (Thc_sim.Engine.net engine)
+      ~groups:[ p_group; q_group ] Thc_sim.Net.Block
+  in
+  let zeros = Array.make n "0" in
+  let ones = Array.make n "1" in
+  let mixed = Array.init n (fun pid -> if pid < f then "0" else "1") in
+  let t2 = run ~inputs:zeros ~configure:partition in
+  let t4 = run ~inputs:ones ~configure:partition in
+  let t5 = run ~inputs:mixed ~configure:partition in
+  let decided trace group value =
+    List.for_all
+      (fun pid ->
+        match Thc_sim.Trace.decision_of trace pid with
+        | Some (Some v) -> String.equal v value
+        | Some None | None -> false)
+      group
+  in
+  let w2 =
+    {
+      label = "world 2";
+      ok = decided t2 p_group "0" && decided t2 q_group "0";
+      detail = "all inputs 0, partitioned: everyone decides 0 (validity)";
+    }
+  in
+  let w4 =
+    {
+      label = "world 4";
+      ok = decided t4 p_group "1" && decided t4 q_group "1";
+      detail = "all inputs 1, partitioned: everyone decides 1 (validity)";
+    }
+  in
+  let w5 =
+    let inputs = mixed in
+    let violations =
+      Thc_agreement.Agreement_spec.check `Very_weak
+        ~inputs:(Array.map (fun v -> Some v) inputs)
+        t5
+    in
+    let has_agreement_violation =
+      List.exists
+        (fun v -> v.Thc_agreement.Agreement_spec.property = `Agreement)
+        violations
+    in
+    {
+      label = "world 5";
+      ok = decided t5 p_group "0" && decided t5 q_group "1" && has_agreement_violation;
+      detail = "mixed inputs: P decides 0, Q decides 1 — agreement broken";
+    }
+  in
+  let same group ta tb =
+    List.for_all
+      (fun pid ->
+        transcript_before ta ~pid ~cutoff:heal_time
+        = transcript_before tb ~pid ~cutoff:heal_time)
+      group
+  in
+  let indist =
+    {
+      label = "indistinguishability";
+      ok = same p_group t2 t5 && same q_group t4 t5;
+      detail = "P cannot tell world 5 from world 2; Q from world 4";
+    }
+  in
+  finish
+    "reliable broadcast cannot solve very weak agreement (n <= 2f)"
+    [ w2; w4; w5; indist ]
+
+let delta_wait_below_delta_not_unidirectional ?(n = 4) ?(seed = 3L) () =
+  (* Δ = 1000µs; rounds close after wait = 300µs < Δ.  Cross-pair (0, 1)
+     messages take the full Δ; everything else is fast. *)
+  let delta = 1_000L in
+  let wait = 300L in
+  let net = Thc_sim.Net.create ~n ~default:(Thc_sim.Delay.Const 50L) in
+  Thc_sim.Net.set net ~src:0 ~dst:1 (Thc_sim.Net.Deliver (Thc_sim.Delay.Const delta));
+  Thc_sim.Net.set net ~src:1 ~dst:0 (Thc_sim.Net.Deliver (Thc_sim.Delay.Const delta));
+  let engine = Thc_sim.Engine.create ~seed ~n ~net () in
+  for pid = 0 to n - 1 do
+    Thc_sim.Engine.set_behavior engine pid
+      (Thc_rounds.Delta_rounds.behavior ~wait (one_round_app pid))
+  done;
+  let trace = Thc_sim.Engine.run ~until:1_000_000L engine in
+  let violations = Thc_rounds.Directionality.check_unidirectional trace in
+  let cross =
+    List.filter
+      (fun v ->
+        (v.Thc_rounds.Directionality.p, v.Thc_rounds.Directionality.q) = (0, 1))
+      violations
+  in
+  finish "delta-rounds with wait < delta are not unidirectional"
+    [
+      {
+        label = "slow cross pair";
+        ok = cross <> [];
+        detail =
+          Printf.sprintf
+            "pair (0,1) with delay=Δ both closed early: %d violation(s)"
+            (List.length cross);
+      };
+    ]

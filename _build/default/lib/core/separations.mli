@@ -1,0 +1,59 @@
+(** Executable forms of the paper's impossibility arguments.
+
+    An impossibility proof cannot be "run" in general — it quantifies over
+    all protocols — but its {e construction} can: each function below builds
+    the exact adversarial scenarios of the corresponding proof, executes
+    them against the canonical protocol the argument applies to, and checks
+    (a) every scenario produces the behaviour the proof claims and (b) the
+    indistinguishability relations between scenarios hold on the recorded
+    local transcripts.  Together these certify that the argument's engine —
+    the schedule construction — is real, not merely asserted. *)
+
+type scenario_outcome = {
+  label : string;
+  ok : bool;
+  detail : string;
+}
+
+type result = {
+  claim : string;
+  scenarios : scenario_outcome list;
+  holds : bool;  (** All scenario outcomes ok. *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val srb_cannot_implement_unidirectionality :
+  ?n:int -> ?f:int -> ?seed:int64 -> unit -> result
+(** Paper §4.1 (experiment C2): Scenarios 1–3 against zero-directional
+    rounds over eventually-delivering channels — the round structure
+    available to any SRB-based protocol, since SRB adds non-equivocation
+    but no delivery timing.  Requires [n > 2f], [f > 1] (defaults 7, 3).
+
+    Scenario 1 ([C1] = one crashed process, [C2 → Q] delayed): the [C2]
+    processes finish the round without hearing [C1].
+    Scenario 2 ([C2] = f−1 crashed, [C1 → Q] delayed): [C1] finishes
+    without hearing [C2].
+    Scenario 3 (nobody faulty, all messages out of [C1] and [C2] delayed):
+    indistinguishable to each group from the scenario where the other was
+    faulty — both finish, neither hears the other: a unidirectionality
+    violation between correct processes.
+
+    Transcript checks: [Q]'s receive histories agree across all three
+    scenarios; [C1]'s agree between 2 and 3; [C2]'s agree between 1 and 3. *)
+
+val rb_cannot_solve_very_weak : ?n:int -> ?seed:int64 -> unit -> result
+(** Paper appendix claim (experiment A2): reliable broadcast cannot solve
+    very weak Byzantine agreement with [n ≤ 2f] — the classic partition
+    argument, Worlds 2/4/5 executed with [f = n/2] ([n] even, default 6):
+    half-partitions decide their own input by validity + termination
+    (Worlds 2 and 4), so the mixed-input World 5 decides inconsistently.
+    Transcript checks: [P] cannot tell World 5 from World 2, [Q] cannot
+    tell it from World 4. *)
+
+val delta_wait_below_delta_not_unidirectional :
+  ?n:int -> ?seed:int64 -> unit -> result
+(** Paper "old stuff" note (experiment S2's negative half): Δ-synchronous
+    rounds closing after [wait < Δ] admit schedules violating
+    unidirectionality; the scenario delays one cross pair by ~Δ and lets
+    both close early. *)

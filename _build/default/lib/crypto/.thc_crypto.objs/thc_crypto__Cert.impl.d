@@ -1,0 +1,1 @@
+lib/crypto/cert.ml: Format List Signature

@@ -1,0 +1,1 @@
+lib/crypto/digest.ml: Char Format Int64 Printf String Thc_util

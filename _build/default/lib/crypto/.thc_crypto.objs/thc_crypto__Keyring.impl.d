@@ -1,0 +1,1 @@
+lib/crypto/keyring.ml: Array Digest Int64 Thc_util

@@ -1,0 +1,1 @@
+lib/crypto/keyring.mli: Digest Thc_util

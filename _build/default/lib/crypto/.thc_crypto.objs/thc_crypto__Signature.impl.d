@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Digest Format Int64 Keyring Thc_util

@@ -1,0 +1,27 @@
+type 'a t = { value : 'a; signatures : Signature.t list }
+
+let empty value = { value; signatures = [] }
+
+let add t signature_ = { t with signatures = signature_ :: t.signatures }
+
+let of_signatures value signatures = { value; signatures }
+
+let signers t =
+  List.map (fun (s : Signature.t) -> s.signer) t.signatures
+  |> List.sort_uniq compare
+
+let support keyring t =
+  let valid =
+    List.filter (fun s -> Signature.verify_value keyring s t.value) t.signatures
+  in
+  List.map (fun (s : Signature.t) -> s.signer) valid
+  |> List.sort_uniq compare |> List.length
+
+let validate keyring ~threshold t = support keyring t >= threshold
+
+let pp pp_value ppf t =
+  Format.fprintf ppf "@[<h>cert{%a; signers=%a}@]" pp_value t.value
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (signers t)

@@ -1,0 +1,28 @@
+(** Quorum certificates: a value plus signatures from distinct processes.
+
+    The L1/L2 proofs of the paper's Algorithm 1 and the commit certificates
+    of the replication protocols are all "at least [threshold] distinct
+    processes signed this value"; this module factors that pattern. *)
+
+type 'a t = { value : 'a; signatures : Signature.t list }
+(** Exposed for serialization inside wire messages. *)
+
+val empty : 'a -> 'a t
+(** Certificate with no signatures yet. *)
+
+val add : 'a t -> Signature.t -> 'a t
+(** Add a signature (no validation; see {!validate}).  Duplicate signers are
+    kept and discounted at validation time. *)
+
+val of_signatures : 'a -> Signature.t list -> 'a t
+
+val signers : 'a t -> int list
+(** Distinct signer ids, ascending. *)
+
+val support : Keyring.t -> 'a t -> int
+(** Number of distinct signers whose signature verifies over [value]. *)
+
+val validate : Keyring.t -> threshold:int -> 'a t -> bool
+(** [support >= threshold]. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

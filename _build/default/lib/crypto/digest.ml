@@ -1,0 +1,29 @@
+type t = int64
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let of_string s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  mix !h
+
+let of_value v = of_string (Thc_util.Codec.encode v)
+
+let combine a b = mix (Int64.add (mix a) (Int64.mul b fnv_prime))
+
+let to_int64 d = d
+
+let equal = Int64.equal
+let compare = Int64.compare
+let to_hex d = Printf.sprintf "%016Lx" d
+let pp ppf d = Format.pp_print_string ppf (to_hex d)

@@ -1,0 +1,26 @@
+type secret = { pid : int; nonce : int64 }
+
+type t = { nonces : int64 array }
+
+let create rng ~n =
+  if n <= 0 then invalid_arg "Keyring.create: n must be positive";
+  { nonces = Array.init n (fun _ -> Thc_util.Rng.next_int64 rng) }
+
+let n t = Array.length t.nonces
+
+let secret t ~pid =
+  if pid < 0 || pid >= Array.length t.nonces then
+    invalid_arg "Keyring.secret: unknown pid";
+  { pid; nonce = t.nonces.(pid) }
+
+let pid_of_secret s = s.pid
+
+let tag_of ~pid ~nonce digest =
+  Digest.to_int64 (Digest.of_value (pid, nonce, Digest.to_int64 digest))
+
+let attach_tag s digest = tag_of ~pid:s.pid ~nonce:s.nonce digest
+
+let check_tag t ~signer ~digest ~tag =
+  signer >= 0
+  && signer < Array.length t.nonces
+  && Int64.equal (tag_of ~pid:signer ~nonce:t.nonces.(signer) digest) tag

@@ -1,0 +1,37 @@
+(** Key distribution for the simulated public-key infrastructure.
+
+    A [Keyring.t] is created once per experiment by the harness; it plays the
+    role of a PKI in which every process knows every public key.  Each
+    process — including Byzantine ones — is handed only its own [secret], so
+    unforgeability holds by construction: producing a tag that verifies as
+    process [p] requires [p]'s secret, whose entropy never leaves this
+    module. *)
+
+type t
+(** The public registry: verification data for all [n] processes. *)
+
+type secret
+(** A signing capability bound to one process identity.  Also serves as the
+    identity token checked by shared-memory ACLs and trusted hardware. *)
+
+val create : Thc_util.Rng.t -> n:int -> t
+(** Generate keys for processes [0 .. n-1]. *)
+
+val n : t -> int
+(** Number of registered identities. *)
+
+val secret : t -> pid:int -> secret
+(** The signing capability of [pid].  The harness calls this when wiring up
+    processes; protocol code never does.  Raises [Invalid_argument] for an
+    unknown pid. *)
+
+val pid_of_secret : secret -> int
+(** The identity a secret signs as. *)
+
+val attach_tag : secret -> Digest.t -> int64
+(** Compute the authentication tag of a digest under a secret.  Building
+    block for {!Signature}; binding is to (identity, digest). *)
+
+val check_tag : t -> signer:int -> digest:Digest.t -> tag:int64 -> bool
+(** Registry-side verification of a tag.  False for unknown signers rather
+    than raising, so attacker-supplied signer ids are handled uniformly. *)

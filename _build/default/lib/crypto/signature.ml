@@ -1,0 +1,27 @@
+type t = { signer : int; tag : int64 }
+
+let sign secret payload =
+  let digest = Digest.of_string payload in
+  { signer = Keyring.pid_of_secret secret; tag = Keyring.attach_tag secret digest }
+
+let sign_value secret v = sign secret (Thc_util.Codec.encode v)
+
+let verify keyring t payload =
+  Keyring.check_tag keyring ~signer:t.signer ~digest:(Digest.of_string payload)
+    ~tag:t.tag
+
+let verify_value keyring t v = verify keyring t (Thc_util.Codec.encode v)
+
+let counterfeit ~signer ~tag = { signer; tag }
+
+let equal a b = a.signer = b.signer && Int64.equal a.tag b.tag
+
+let pp ppf t = Format.fprintf ppf "sig[p%d:%Lx]" t.signer t.tag
+
+type 'a signed = { value : 'a; signature : t }
+
+let seal secret v = { value = v; signature = sign_value secret v }
+
+let sealed_ok keyring s = verify_value keyring s.signature s.value
+
+let sealed_by keyring s ~expect = s.signature.signer = expect && sealed_ok keyring s

@@ -1,0 +1,1 @@
+lib/hardware/a2m.ml: Array Hashtbl Int64 List Option Thc_crypto Thc_util

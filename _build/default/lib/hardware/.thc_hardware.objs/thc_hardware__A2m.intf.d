@@ -1,0 +1,1 @@
+lib/hardware/a2m.mli: Thc_util

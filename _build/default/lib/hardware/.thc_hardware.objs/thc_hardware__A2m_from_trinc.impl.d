@@ -1,0 +1,1 @@
+lib/hardware/a2m_from_trinc.ml: Hashtbl List Thc_util Trinc

@@ -1,0 +1,1 @@
+lib/hardware/enclave.ml: Array Int64 Thc_crypto Thc_util

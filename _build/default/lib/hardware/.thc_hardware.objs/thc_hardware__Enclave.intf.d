@@ -1,0 +1,1 @@
+lib/hardware/enclave.mli: Thc_util

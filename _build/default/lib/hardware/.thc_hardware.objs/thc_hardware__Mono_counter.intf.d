@@ -1,0 +1,1 @@
+lib/hardware/mono_counter.mli: Thc_util

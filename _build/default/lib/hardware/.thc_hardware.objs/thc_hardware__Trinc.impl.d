@@ -1,0 +1,1 @@
+lib/hardware/trinc.ml: Array Int64 Thc_crypto Thc_util

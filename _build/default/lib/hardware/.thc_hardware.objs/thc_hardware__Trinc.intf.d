@@ -1,0 +1,1 @@
+lib/hardware/trinc.mli: Thc_util

@@ -1,0 +1,92 @@
+type attestation = {
+  owner : int;
+  kind : [ `Lookup | `End ];
+  log : int;
+  index : int;
+  value : string;
+  challenge : string;
+  tag : int64;
+}
+
+type world = { nonces : int64 array; claimed : bool array }
+
+type device = {
+  owner : int;
+  nonce : int64;
+  mutable next_log : int;
+  logs : (int, string list ref) Hashtbl.t;  (* log id -> entries, reversed *)
+}
+
+let create_world rng ~n =
+  if n <= 0 then invalid_arg "A2m.create_world: n must be positive";
+  {
+    nonces = Array.init n (fun _ -> Thc_util.Rng.next_int64 rng);
+    claimed = Array.make n false;
+  }
+
+let device world ~owner =
+  if owner < 0 || owner >= Array.length world.nonces then
+    invalid_arg "A2m.device: unknown owner";
+  if world.claimed.(owner) then invalid_arg "A2m.device: device already claimed";
+  world.claimed.(owner) <- true;
+  { owner; nonce = world.nonces.(owner); next_log = 1; logs = Hashtbl.create 4 }
+
+let create_log d =
+  let id = d.next_log in
+  d.next_log <- id + 1;
+  Hashtbl.add d.logs id (ref []);
+  id
+
+let append d ~log x =
+  match Hashtbl.find_opt d.logs log with
+  | None -> None
+  | Some entries ->
+    entries := x :: !entries;
+    Some (List.length !entries)
+
+let log_length d ~log =
+  Option.map (fun entries -> List.length !entries) (Hashtbl.find_opt d.logs log)
+
+let tag_of ~nonce ~owner ~kind ~log ~index ~value ~challenge =
+  let kind_code = match kind with `Lookup -> 0 | `End -> 1 in
+  Thc_crypto.Digest.to_int64
+    (Thc_crypto.Digest.of_value
+       (nonce, owner, kind_code, log, index, value, challenge))
+
+let make d ~kind ~log ~index ~value ~challenge =
+  {
+    owner = d.owner;
+    kind;
+    log;
+    index;
+    value;
+    challenge;
+    tag =
+      tag_of ~nonce:d.nonce ~owner:d.owner ~kind ~log ~index ~value ~challenge;
+  }
+
+let lookup d ~log ~index ~z =
+  match Hashtbl.find_opt d.logs log with
+  | None -> None
+  | Some entries ->
+    let len = List.length !entries in
+    if index < 1 || index > len then None
+    else
+      let value = List.nth !entries (len - index) in
+      Some (make d ~kind:`Lookup ~log ~index ~value ~challenge:z)
+
+let end_ d ~log ~z =
+  match Hashtbl.find_opt d.logs log with
+  | None -> None
+  | Some entries ->
+    let len = List.length !entries in
+    let value = match !entries with [] -> "" | v :: _ -> v in
+    Some (make d ~kind:`End ~log ~index:len ~value ~challenge:z)
+
+let check world (a : attestation) ~owner =
+  a.owner = owner
+  && owner >= 0
+  && owner < Array.length world.nonces
+  && Int64.equal a.tag
+       (tag_of ~nonce:world.nonces.(owner) ~owner:a.owner ~kind:a.kind
+          ~log:a.log ~index:a.index ~value:a.value ~challenge:a.challenge)

@@ -1,0 +1,51 @@
+(** A2M — attested append-only memory (Chun et al., SOSP 2007).
+
+    The trusted-log primitive of the paper's Section 2.1: a device holds a
+    set of logs; any holder of the device capability can [append] values and
+    obtain signed attestations of log contents via [lookup] (a given index)
+    and [end_] (the current tail).  Past entries can never be modified, so a
+    process cannot attest two different values at the same (log, index) —
+    the non-equivocation guarantee.
+
+    Matches the paper's (commented) "Trusted Hardware Functionality"
+    interface: CreateLog / Append / Lookup / End, with attestations bound to
+    a caller-chosen challenge [z] for freshness. *)
+
+type world
+(** Verification side for all devices. *)
+
+type device
+(** One process's A2M device capability (claimed once, like {!Trinc.t}). *)
+
+type attestation = {
+  owner : int;
+  kind : [ `Lookup | `End ];
+  log : int;  (** Log id within the owner's device. *)
+  index : int;  (** Position attested (1-based; 0 for an empty log's end). *)
+  value : string;  (** Entry content ("" for an empty log's end). *)
+  challenge : string;  (** The caller's freshness nonce [z]. *)
+  tag : int64;
+}
+
+val create_world : Thc_util.Rng.t -> n:int -> world
+
+val device : world -> owner:int -> device
+(** Claim the device of [owner]; second claim raises [Invalid_argument]. *)
+
+val create_log : device -> int
+(** The paper's [CreateLog()]: new empty log, returns its id (1, 2, ...). *)
+
+val append : device -> log:int -> string -> int option
+(** The paper's [Append(id, x)]: appends and returns the new entry's index,
+    or [None] if the log id is unknown. *)
+
+val log_length : device -> log:int -> int option
+
+val lookup : device -> log:int -> index:int -> z:string -> attestation option
+(** The paper's [Lookup(id, s, z)]: attestation of entry [s], if present. *)
+
+val end_ : device -> log:int -> z:string -> attestation option
+(** The paper's [End(id, z)]: attestation of the current tail. *)
+
+val check : world -> attestation -> owner:int -> bool
+(** Verify an attestation against device [owner]'s key. *)

@@ -1,0 +1,68 @@
+type t = {
+  trinket : Trinc.t;
+  mutable next_log : int;
+  logs : (int, Trinc.attestation list ref) Hashtbl.t;  (* newest first *)
+  mutable all : Trinc.attestation list;  (* newest first *)
+}
+
+let create trinket = { trinket; next_log = 1; logs = Hashtbl.create 4; all = [] }
+
+let create_log t =
+  let id = t.next_log in
+  t.next_log <- id + 1;
+  Hashtbl.add t.logs id (ref []);
+  id
+
+let append t ~log value =
+  match Hashtbl.find_opt t.logs log with
+  | None -> None
+  | Some entries ->
+    let index = List.length !entries + 1 in
+    let message = Thc_util.Codec.encode (log, index, value) in
+    (match
+       Trinc.attest t.trinket ~counter:(Trinc.last_counter t.trinket + 1)
+         ~message
+     with
+    | None -> None  (* unreachable: last+1 is always fresh *)
+    | Some a ->
+      entries := a :: !entries;
+      t.all <- a :: t.all;
+      Some index)
+
+let lookup t ~log ~index =
+  match Hashtbl.find_opt t.logs log with
+  | None -> None
+  | Some entries ->
+    let len = List.length !entries in
+    if index < 1 || index > len then None
+    else Some (List.nth !entries (len - index))
+
+let end_ t ~log =
+  match Hashtbl.find_opt t.logs log with
+  | None | Some { contents = [] } -> None
+  | Some { contents = a :: _ } -> Some a
+
+let chain t = List.rev t.all
+
+let entry_of_attestation (a : Trinc.attestation) =
+  (Thc_util.Codec.decode a.message : int * int * string)
+
+let check_chain world ~owner chain =
+  let rec go expected_counter lengths acc = function
+    | [] -> Some (List.rev acc)
+    | (a : Trinc.attestation) :: rest ->
+      if a.counter <> expected_counter || a.prev <> expected_counter - 1 then
+        None
+      else if not (Trinc.check world a ~id:owner) then None
+      else begin
+        let log, index, value = entry_of_attestation a in
+        let expected_index =
+          1 + (try List.assoc log lengths with Not_found -> 0)
+        in
+        if index <> expected_index then None
+        else
+          let lengths = (log, index) :: List.remove_assoc log lengths in
+          go (expected_counter + 1) lengths ((log, index, value) :: acc) rest
+      end
+  in
+  go 1 [] [] chain

@@ -1,0 +1,49 @@
+(** A2M implemented from TrInc (Levin et al., NSDI 2009, §"TrInc can
+    implement A2M").
+
+    The paper's Section 2.1 relies on this reduction: to place both trusted
+    logs in the same power class it suffices to reason about TrInc.  The
+    construction keeps log contents in untrusted storage and uses the
+    trinket's single monotone counter to make the storage tamper-evident:
+
+    - every [append] consumes the next {e dense} counter value
+      ([counter = prev + 1]) and attests the message [(log, index, value)];
+    - a verifier accepts a log only with a {e contiguous} attestation chain
+      starting at counter 1: density means no attestation can be hidden, so
+      a device that ever attested two values for the same (log, index) is
+      caught — equivocation on log positions is detectable, which is all
+      A2M guarantees.
+
+    [lookup]/[end_] therefore return the stored attestation for the entry
+    plus nothing else; {!check_chain} is where the trust is re-established
+    on the verifier side. *)
+
+type t
+
+val create : Trinc.t -> t
+(** Wrap a claimed trinket as an A2M-style device. *)
+
+val create_log : t -> int
+
+val append : t -> log:int -> string -> int option
+(** Append; [None] for an unknown log.  Returns the new entry index. *)
+
+val lookup : t -> log:int -> index:int -> Trinc.attestation option
+(** Stored attestation of entry [index]. *)
+
+val end_ : t -> log:int -> Trinc.attestation option
+(** Stored attestation of the last entry ([None] for an empty log). *)
+
+val chain : t -> Trinc.attestation list
+(** The device's full attestation chain, counter-ascending — what an honest
+    host ships to a verifier. *)
+
+val entry_of_attestation : Trinc.attestation -> int * int * string
+(** Decode [(log, index, value)] from an append attestation's message. *)
+
+val check_chain :
+  Trinc.world -> owner:int -> Trinc.attestation list ->
+  (int * int * string) list option
+(** Verify a counter-dense chain from device [owner] and reconstruct the
+    appended entries in order; [None] if any tag fails, the chain has gaps,
+    starts past 1, or contains two values for one (log, index). *)

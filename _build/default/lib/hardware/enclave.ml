@@ -1,0 +1,74 @@
+type attestation = {
+  owner : int;
+  step : int;
+  input : string;
+  output : string;
+  state_digest : int64;
+  tag : int64;
+}
+
+type world = { nonces : int64 array; claimed : bool array }
+
+type ('s, 'i, 'o) t = {
+  owner : int;
+  nonce : int64;
+  step_fn : 's -> 'i -> 's * 'o;
+  mutable state : 's;
+  mutable steps : int;
+}
+
+let create_world rng ~n =
+  if n <= 0 then invalid_arg "Enclave.create_world: n must be positive";
+  {
+    nonces = Array.init n (fun _ -> Thc_util.Rng.next_int64 rng);
+    claimed = Array.make n false;
+  }
+
+let enclave world ~owner ~init ~step =
+  if owner < 0 || owner >= Array.length world.nonces then
+    invalid_arg "Enclave.enclave: unknown owner";
+  if world.claimed.(owner) then invalid_arg "Enclave.enclave: already claimed";
+  world.claimed.(owner) <- true;
+  { owner; nonce = world.nonces.(owner); step_fn = step; state = init; steps = 0 }
+
+let tag_of ~nonce ~owner ~step ~input ~output ~state_digest =
+  Thc_crypto.Digest.to_int64
+    (Thc_crypto.Digest.of_value (nonce, owner, step, input, output, state_digest))
+
+let invoke t input =
+  let state', output = t.step_fn t.state input in
+  t.state <- state';
+  t.steps <- t.steps + 1;
+  let input_bytes = Thc_util.Codec.encode input in
+  let output_bytes = Thc_util.Codec.encode output in
+  let state_digest =
+    Thc_crypto.Digest.to_int64 (Thc_crypto.Digest.of_value state')
+  in
+  ( output,
+    {
+      owner = t.owner;
+      step = t.steps;
+      input = input_bytes;
+      output = output_bytes;
+      state_digest;
+      tag =
+        tag_of ~nonce:t.nonce ~owner:t.owner ~step:t.steps ~input:input_bytes
+          ~output:output_bytes ~state_digest;
+    } )
+
+let step_count t = t.steps
+
+let check world (a : attestation) ~id =
+  a.owner = id
+  && id >= 0
+  && id < Array.length world.nonces
+  && Int64.equal a.tag
+       (tag_of ~nonce:world.nonces.(id) ~owner:a.owner ~step:a.step
+          ~input:a.input ~output:a.output ~state_digest:a.state_digest)
+
+let check_chain world chain ~id =
+  let rec go expected = function
+    | [] -> true
+    | a :: rest -> a.step = expected && check world a ~id && go (expected + 1) rest
+  in
+  go 1 chain

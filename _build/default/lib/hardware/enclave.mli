@@ -1,0 +1,48 @@
+(** SGX/TrustZone-style attested execution.
+
+    The paper notes that Intel SGX and ARM TrustZone provide the same
+    non-equivocation guarantees as A2M/TrInc while "allowing for more
+    expressive computations".  This module captures that: a deterministic
+    state machine runs inside the trusted boundary and every step is
+    attested — (step index, input, output, resulting state digest) — so a
+    host cannot replay, reorder, fork, or fabricate executions.
+
+    Any trusted-log primitive is an instance: see {!Trinc_from_a2m} for
+    log-shaped programs.  The classification places enclaves in the same
+    (message-passing) class as TrInc/A2M, because expressiveness does not
+    add unidirectionality. *)
+
+type world
+
+type ('s, 'i, 'o) t
+(** An enclave with hidden state ['s], inputs ['i], outputs ['o]. *)
+
+type attestation = {
+  owner : int;
+  step : int;  (** Execution step index (1-based, contiguous). *)
+  input : string;  (** Canonical bytes of the input. *)
+  output : string;  (** Canonical bytes of the output. *)
+  state_digest : int64;  (** Digest of the post-state. *)
+  tag : int64;
+}
+
+val create_world : Thc_util.Rng.t -> n:int -> world
+
+val enclave :
+  world -> owner:int -> init:'s -> step:('s -> 'i -> 's * 'o) ->
+  ('s, 'i, 'o) t
+(** Provision [owner]'s enclave with a program.  Single claim enforced:
+    one enclave per owner per world. *)
+
+val invoke : ('s, 'i, 'o) t -> 'i -> 'o * attestation
+(** Run one step inside the trusted boundary and attest it. *)
+
+val step_count : ('s, 'i, 'o) t -> int
+
+val check : world -> attestation -> id:int -> bool
+
+val check_chain : world -> attestation list -> id:int -> bool
+(** Validate a contiguous execution prefix: steps [1..k] in order, all
+    attested by [id].  Rejects gaps, reordering, and forks (two different
+    attestations for the same step cannot both verify because a fork would
+    require rewinding the hidden state, which {!invoke} never does). *)

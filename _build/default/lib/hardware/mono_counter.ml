@@ -1,0 +1,43 @@
+type attestation = { owner : int; value : int; message : string; tag : int64 }
+
+type world = { nonces : int64 array; claimed : bool array }
+
+type t = { owner : int; nonce : int64; mutable value : int }
+
+let create_world rng ~n =
+  if n <= 0 then invalid_arg "Mono_counter.create_world: n must be positive";
+  {
+    nonces = Array.init n (fun _ -> Thc_util.Rng.next_int64 rng);
+    claimed = Array.make n false;
+  }
+
+let counter world ~owner =
+  if owner < 0 || owner >= Array.length world.nonces then
+    invalid_arg "Mono_counter.counter: unknown owner";
+  if world.claimed.(owner) then
+    invalid_arg "Mono_counter.counter: already claimed";
+  world.claimed.(owner) <- true;
+  { owner; nonce = world.nonces.(owner); value = 0 }
+
+let tag_of ~nonce ~owner ~value ~message =
+  Thc_crypto.Digest.to_int64
+    (Thc_crypto.Digest.of_value (nonce, owner, value, message))
+
+let increment t ~message =
+  t.value <- t.value + 1;
+  {
+    owner = t.owner;
+    value = t.value;
+    message;
+    tag = tag_of ~nonce:t.nonce ~owner:t.owner ~value:t.value ~message;
+  }
+
+let current t = t.value
+
+let check world (a : attestation) ~id =
+  a.owner = id
+  && id >= 0
+  && id < Array.length world.nonces
+  && Int64.equal a.tag
+       (tag_of ~nonce:world.nonces.(id) ~owner:a.owner ~value:a.value
+          ~message:a.message)

@@ -1,0 +1,31 @@
+(** TPM-style attested monotonic counter.
+
+    The minimal trusted-log mechanism: a counter that can only move forward,
+    whose increments are attested together with a caller-supplied message.
+    Equivalent in power to {!Trinc} restricted to [counter = last + 1];
+    provided separately because several systems (and the TPM spec) expose
+    exactly this shape, and the classification treats it as a member of the
+    trusted-log class. *)
+
+type world
+type t
+
+type attestation = {
+  owner : int;
+  value : int;  (** Counter value after the increment (1, 2, ...). *)
+  message : string;
+  tag : int64;
+}
+
+val create_world : Thc_util.Rng.t -> n:int -> world
+
+val counter : world -> owner:int -> t
+(** Claim [owner]'s counter; single claim enforced. *)
+
+val increment : t -> message:string -> attestation
+(** Advance the counter and attest [(value, message)].  Never fails: the
+    counter always has a next value. *)
+
+val current : t -> int
+
+val check : world -> attestation -> id:int -> bool

@@ -1,0 +1,58 @@
+type attestation = {
+  owner : int;
+  prev : int;
+  counter : int;
+  message : string;
+  tag : int64;
+}
+
+type world = { nonces : int64 array; claimed : bool array }
+
+type t = { owner : int; nonce : int64; mutable last : int }
+
+let create_world rng ~n =
+  if n <= 0 then invalid_arg "Trinc.create_world: n must be positive";
+  {
+    nonces = Array.init n (fun _ -> Thc_util.Rng.next_int64 rng);
+    claimed = Array.make n false;
+  }
+
+let trinket world ~owner =
+  if owner < 0 || owner >= Array.length world.nonces then
+    invalid_arg "Trinc.trinket: unknown owner";
+  if world.claimed.(owner) then
+    invalid_arg "Trinc.trinket: trinket already claimed";
+  world.claimed.(owner) <- true;
+  { owner; nonce = world.nonces.(owner); last = 0 }
+
+let tag_of ~nonce ~owner ~prev ~counter ~message =
+  Thc_crypto.Digest.to_int64
+    (Thc_crypto.Digest.of_value (nonce, owner, prev, counter, message))
+
+let attest t ~counter ~message =
+  if counter <= t.last then None
+  else begin
+    let prev = t.last in
+    t.last <- counter;
+    Some
+      {
+        owner = t.owner;
+        prev;
+        counter;
+        message;
+        tag = tag_of ~nonce:t.nonce ~owner:t.owner ~prev ~counter ~message;
+      }
+  end
+
+let check world (a : attestation) ~id =
+  a.owner = id
+  && id >= 0
+  && id < Array.length world.nonces
+  && Int64.equal a.tag
+       (tag_of ~nonce:world.nonces.(id) ~owner:a.owner ~prev:a.prev
+          ~counter:a.counter ~message:a.message)
+
+let last_counter t = t.last
+
+let counterfeit ~owner ~prev ~counter ~message ~tag =
+  { owner; prev; counter; message; tag }

@@ -1,0 +1,1 @@
+lib/replication/ablation.ml: Attested_link Command Format Hashtbl Kv_store List Minbft Smr_spec Thc_crypto Thc_hardware Thc_sim Thc_util

@@ -1,0 +1,1 @@
+lib/replication/ablation.mli: Format Smr_spec

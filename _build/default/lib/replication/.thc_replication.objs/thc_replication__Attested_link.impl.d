@@ -1,0 +1,1 @@
+lib/replication/attested_link.ml: Array Hashtbl List Thc_hardware

@@ -1,0 +1,1 @@
+lib/replication/attested_link.mli: Thc_hardware

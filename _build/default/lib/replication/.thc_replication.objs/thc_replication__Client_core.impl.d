@@ -1,0 +1,1 @@
+lib/replication/client_core.ml: Array Command Hashtbl Int64 Thc_sim

@@ -1,0 +1,1 @@
+lib/replication/client_core.mli: Command Kv_store Thc_crypto Thc_sim

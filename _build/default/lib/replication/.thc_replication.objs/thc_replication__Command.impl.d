@@ -1,0 +1,1 @@
+lib/replication/command.ml: Format Hashtbl Kv_store List Option String Thc_crypto

@@ -1,0 +1,1 @@
+lib/replication/command.mli: Format Kv_store Thc_crypto

@@ -1,0 +1,1 @@
+lib/replication/harness.ml: Array Format Int64 Kv_store List Minbft Pbft Printf Smr_spec Thc_crypto Thc_hardware Thc_sim Thc_util

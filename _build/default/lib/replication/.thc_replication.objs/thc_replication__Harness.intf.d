@@ -1,0 +1,1 @@
+lib/replication/harness.mli: Format Kv_store Smr_spec Thc_sim Thc_util

@@ -1,0 +1,1 @@
+lib/replication/kv_store.ml: Format Hashtbl Int64 Thc_crypto Thc_util

@@ -1,0 +1,1 @@
+lib/replication/kv_store.mli: Format

@@ -1,0 +1,1 @@
+lib/replication/minbft.ml: Attested_link Client_core Command Format Hashtbl Int64 Kv_store List Thc_crypto Thc_hardware Thc_sim Thc_util

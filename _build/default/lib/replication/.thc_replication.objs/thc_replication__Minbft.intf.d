@@ -1,0 +1,1 @@
+lib/replication/minbft.mli: Attested_link Command Format Kv_store Thc_crypto Thc_hardware Thc_sim

@@ -1,0 +1,1 @@
+lib/replication/pbft.ml: Client_core Command Format Hashtbl Int64 Kv_store List Option Thc_crypto Thc_sim

@@ -1,0 +1,1 @@
+lib/replication/pbft.mli: Format Kv_store Thc_crypto Thc_sim

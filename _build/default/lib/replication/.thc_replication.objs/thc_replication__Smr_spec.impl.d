@@ -1,0 +1,1 @@
+lib/replication/smr_spec.ml: Format Int64 List Printf String Thc_sim

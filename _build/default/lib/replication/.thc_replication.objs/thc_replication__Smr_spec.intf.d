@@ -1,0 +1,1 @@
+lib/replication/smr_spec.mli: Format Thc_sim

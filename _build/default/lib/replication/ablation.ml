@@ -1,0 +1,196 @@
+type result = {
+  violations : Smr_spec.violation list;
+  distinct_ops_at_seq1 : int;
+  detail : string;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "safety violations: %d; distinct ops at seq 1: %d — %s"
+    (List.length r.violations) r.distinct_ops_at_seq1 r.detail
+
+(* ----------------------------------------------------------------------- *)
+(* The unattested variant: MinBFT's normal case over plain signatures.      *)
+(* ----------------------------------------------------------------------- *)
+
+type uproto =
+  | Uprepare of { seq : int; request : Command.signed_request }
+  | Ucommit of { seq : int; digest : int64 }
+
+type umsg = uproto Thc_crypto.Signature.signed
+
+(* A correct replica of the unattested protocol (fixed leader 0, no view
+   change — the attack only needs the normal case). *)
+let unattested_replica ~keyring ~ident ~f ~self : umsg Thc_sim.Engine.behavior =
+  let store = Kv_store.create () in
+  let proposals : (int, Command.signed_request) Hashtbl.t = Hashtbl.create 8 in
+  let votes : (int * int64, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let committed : (int, Command.signed_request) Hashtbl.t = Hashtbl.create 8 in
+  let commit_sent : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let exec_upto = ref 0 in
+  let rec try_execute (ctx : umsg Thc_sim.Engine.ctx) =
+    match Hashtbl.find_opt committed (!exec_upto + 1) with
+    | None -> ()
+    | Some sr ->
+      incr exec_upto;
+      let resultv =
+        Kv_store.encode_result (Kv_store.apply store (Kv_store.decode_op sr.value.op))
+      in
+      ctx.output
+        (Thc_sim.Obs.Executed { seq = !exec_upto; op = sr.value.op; result = resultv });
+      try_execute ctx
+  in
+  let record ctx ~seq ~digest ~voter =
+    let tbl =
+      match Hashtbl.find_opt votes (seq, digest) with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.add votes (seq, digest) tbl;
+        tbl
+    in
+    Hashtbl.replace tbl voter ();
+    match Hashtbl.find_opt proposals seq with
+    | Some sr
+      when Command.digest sr.Thc_crypto.Signature.value = digest
+           && Hashtbl.length tbl >= f + 1
+           && not (Hashtbl.mem committed seq) ->
+      Hashtbl.replace committed seq sr;
+      ctx.Thc_sim.Engine.output
+        (Thc_sim.Obs.Committed { view = 0; seq; op = sr.value.op });
+      try_execute ctx
+    | Some _ | None -> ()
+  in
+  {
+    init = (fun _ -> ());
+    on_message =
+      (fun ctx ~src:_ (w : umsg) ->
+        if Thc_crypto.Signature.sealed_ok keyring w then
+          match w.value with
+          | Uprepare { seq; request } ->
+            (* Without non-equivocation all a replica can do is adopt the
+               first leader proposal it sees. *)
+            if
+              w.signature.signer = 0
+              && Command.valid keyring request
+              && not (Hashtbl.mem proposals seq)
+            then begin
+              Hashtbl.replace proposals seq request;
+              let digest = Command.digest request.value in
+              record ctx ~seq ~digest ~voter:0;
+              if self <> 0 && not (Hashtbl.mem commit_sent seq) then begin
+                Hashtbl.replace commit_sent seq ();
+                ctx.broadcast
+                  (Thc_crypto.Signature.seal ident (Ucommit { seq; digest }));
+                record ctx ~seq ~digest ~voter:self
+              end
+            end
+          | Ucommit { seq; digest } ->
+            record ctx ~seq ~digest ~voter:w.signature.signer);
+    on_timer = (fun _ _ -> ());
+  }
+
+(* The equivocating leader: proposal A to the first half, proposal B to the
+   second half.  [wire_a]/[wire_b] abstract over how proposals are built so
+   the identical attack runs against both protocols. *)
+let split_attack (type m) ~(engine : m Thc_sim.Engine.t) ~n ~group_a ~group_b
+    ~(wire_a : m) ~(wire_b : m) =
+  ignore n;
+  Thc_sim.Engine.mark_byzantine engine 0;
+  let byz : m Thc_sim.Engine.behavior =
+    {
+      init =
+        (fun ctx ->
+          List.iter (fun dst -> ctx.send dst wire_a) group_a;
+          List.iter (fun dst -> ctx.send dst wire_b) group_b);
+      on_message = (fun _ ~src:_ _ -> ());
+      on_timer = (fun _ _ -> ());
+    }
+  in
+  Thc_sim.Engine.set_behavior engine 0 byz
+
+let groups ~f =
+  ( List.init f (fun i -> i + 1),  (* replicas 1..f *)
+    List.init f (fun i -> i + f + 1) (* replicas f+1..2f *) )
+
+let requests ~keyring ~client_pid =
+  let ident = Thc_crypto.Keyring.secret keyring ~pid:client_pid in
+  ( Command.make ~ident ~rid:0 (Kv_store.Put ("k", "A")),
+    Command.make ~ident ~rid:1 (Kv_store.Put ("k", "B")) )
+
+let distinct_at_seq1 trace ~replicas =
+  List.filter_map
+    (fun pid ->
+      List.find_map
+        (fun obs ->
+          match (obs : Thc_sim.Obs.t) with
+          | Executed { seq = 1; op; _ } -> Some op
+          | _ -> None)
+        (Thc_sim.Trace.outputs_of trace pid))
+    (List.filter (fun p -> p < replicas) (Thc_sim.Trace.correct_pids trace))
+  |> List.sort_uniq compare |> List.length
+
+let equivocation_splits_unattested ?(f = 1) ?(seed = 3L) () =
+  let n = (2 * f) + 1 in
+  let total = n + 1 (* one client identity for signing requests *) in
+  let rng = Thc_util.Rng.create seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:total in
+  let net = Thc_sim.Net.create ~n:total ~default:(Thc_sim.Delay.Uniform (50L, 500L)) in
+  let engine = Thc_sim.Engine.create ~seed ~n:total ~net () in
+  for pid = 1 to n - 1 do
+    Thc_sim.Engine.set_behavior engine pid
+      (unattested_replica ~keyring
+         ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+         ~f ~self:pid)
+  done;
+  let req_a, req_b = requests ~keyring ~client_pid:n in
+  let leader_ident = Thc_crypto.Keyring.secret keyring ~pid:0 in
+  let group_a, group_b = groups ~f in
+  split_attack ~engine ~n ~group_a ~group_b
+    ~wire_a:(Thc_crypto.Signature.seal leader_ident (Uprepare { seq = 1; request = req_a }))
+    ~wire_b:(Thc_crypto.Signature.seal leader_ident (Uprepare { seq = 1; request = req_b }));
+  let trace = Thc_sim.Engine.run ~until:1_000_000L engine in
+  let violations = Smr_spec.check_safety trace ~replicas:n in
+  {
+    violations;
+    distinct_ops_at_seq1 = distinct_at_seq1 trace ~replicas:n;
+    detail =
+      "f+1 quorums over plain signatures: the equivocating leader commits \
+       two different operations at sequence 1";
+  }
+
+let equivocation_fails_against_minbft ?(f = 1) ?(seed = 3L) () =
+  let config = Minbft.default_config ~f in
+  let n = config.Minbft.n in
+  let total = n + 1 in
+  let rng = Thc_util.Rng.create seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:total in
+  let world = Thc_hardware.Trinc.create_world rng ~n in
+  let net = Thc_sim.Net.create ~n:total ~default:(Thc_sim.Delay.Uniform (50L, 500L)) in
+  let engine = Thc_sim.Engine.create ~seed ~n:total ~net () in
+  (* Correct replicas 1..n-1 run real MinBFT; the leader's trinket goes to
+     the attacker. *)
+  for pid = 1 to n - 1 do
+    Thc_sim.Engine.set_behavior engine pid
+      (Minbft.replica
+         (Minbft.create_replica ~config ~keyring ~world
+            ~trinket:(Thc_hardware.Trinc.trinket world ~owner:pid)
+            ~self:pid))
+  done;
+  let req_a, req_b = requests ~keyring ~client_pid:n in
+  let out = Attested_link.Out.create (Thc_hardware.Trinc.trinket world ~owner:0) in
+  (* The strongest sealable equivocation: two prepares for seq 1 — the
+     trinket forces them onto distinct counters. *)
+  let wire_a = Minbft.adversarial_prepare ~out ~view:0 ~seq:1 ~request:req_a in
+  let wire_b = Minbft.adversarial_prepare ~out ~view:0 ~seq:1 ~request:req_b in
+  let group_a, group_b = groups ~f in
+  split_attack ~engine ~n ~group_a ~group_b ~wire_a ~wire_b;
+  let trace = Thc_sim.Engine.run ~until:1_000_000L engine in
+  let violations = Smr_spec.check_safety trace ~replicas:n in
+  {
+    violations;
+    distinct_ops_at_seq1 = distinct_at_seq1 trace ~replicas:n;
+    detail =
+      "same attack against attested links: the second proposal hides behind \
+       a counter gap, at most one operation can commit";
+  }

@@ -1,0 +1,38 @@
+(** Ablation: what breaks when the trusted hardware is removed.
+
+    The classification's systems-level payoff is that non-equivocation lets
+    BFT replication run f+1-of-2f+1 quorums.  This module removes exactly
+    that ingredient and keeps everything else fixed: the {e unattested}
+    variant runs MinBFT's normal-case message flow (Prepare, Commit, f+1
+    quorums, 2f+1 replicas) over plain signed messages, so a Byzantine
+    leader can once again send different proposals to different halves.
+
+    Two experiments, same attack:
+
+    - {!equivocation_splits_unattested} — against the unattested variant the
+      split succeeds: correct replicas execute different operations at one
+      sequence number, and the safety monitor reports it.
+    - {!equivocation_fails_against_minbft} — the identical attack against
+      real MinBFT (the attacker even gets {!Minbft.adversarial_prepare}, the
+      strongest thing its trinket will seal): selective delivery only
+      creates counter gaps that receivers hold back, so at most one of the
+      two proposals can ever commit.
+
+    Together they certify that the hardware — not the quorum arithmetic —
+    carries the safety argument. *)
+
+type result = {
+  violations : Smr_spec.violation list;
+      (** Safety violations among correct replicas. *)
+  distinct_ops_at_seq1 : int;
+      (** How many different operations correct replicas executed at seq 1. *)
+  detail : string;
+}
+
+val equivocation_splits_unattested : ?f:int -> ?seed:int64 -> unit -> result
+(** Expected: [violations <> []] and [distinct_ops_at_seq1 = 2]. *)
+
+val equivocation_fails_against_minbft : ?f:int -> ?seed:int64 -> unit -> result
+(** Expected: [violations = []] and [distinct_ops_at_seq1 <= 1]. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,34 @@
+let behavior ~n_replicas ~quorum ~ident ~plan ~wrap ~unwrap :
+    'm Thc_sim.Engine.behavior =
+  let plan = Array.of_list plan in
+  let collector = Command.Collector.create ~quorum in
+  let sent_at : (int, int64) Hashtbl.t = Hashtbl.create 32 in
+  {
+    init =
+      (fun ctx ->
+        Array.iteri (fun i (delay, _) -> ctx.set_timer ~delay ~tag:i) plan);
+    on_message =
+      (fun ctx ~src:_ m ->
+        match unwrap m with
+        | Some reply ->
+          (match Command.Collector.add collector reply with
+          | Some _result ->
+            (match Hashtbl.find_opt sent_at reply.rid with
+            | Some t0 ->
+              ctx.output
+                (Thc_sim.Obs.Client_done
+                   { rid = reply.rid; latency_us = Int64.sub (ctx.now ()) t0 })
+            | None -> ())
+          | None -> ())
+        | None -> ());
+    on_timer =
+      (fun ctx tag ->
+        if tag >= 0 && tag < Array.length plan then begin
+          let _, op = plan.(tag) in
+          let sr = Command.make ~ident ~rid:tag op in
+          Hashtbl.replace sent_at tag (ctx.now ());
+          for replica = 0 to n_replicas - 1 do
+            ctx.send replica (wrap sr)
+          done
+        end);
+  }

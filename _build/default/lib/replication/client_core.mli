@@ -1,0 +1,18 @@
+(** Protocol-independent replication client.
+
+    Sends each planned request to all replicas at its scheduled time, waits
+    for a quorum of matching replies, and emits [Obs.Client_done] with the
+    end-to-end latency.  {!Minbft.client} (quorum f+1) and {!Pbft.client}
+    (quorum f+1 as well — replies only need one correct replica, plus f to
+    out-vote liars) instantiate it over their message types. *)
+
+val behavior :
+  n_replicas:int ->
+  quorum:int ->
+  ident:Thc_crypto.Keyring.secret ->
+  plan:(int64 * Kv_store.op) list ->
+  wrap:(Command.signed_request -> 'm) ->
+  unwrap:('m -> Command.reply option) ->
+  'm Thc_sim.Engine.behavior
+(** [wrap] embeds a request into the protocol's wire type; [unwrap] projects
+    replies out of it (anything else → [None]). *)

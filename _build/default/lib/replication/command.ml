@@ -1,0 +1,53 @@
+type request = { client : int; rid : int; op : string }
+
+type signed_request = request Thc_crypto.Signature.signed
+
+let make ~ident ~rid op =
+  Thc_crypto.Signature.seal ident
+    {
+      client = Thc_crypto.Keyring.pid_of_secret ident;
+      rid;
+      op = Kv_store.encode_op op;
+    }
+
+let valid keyring (sr : signed_request) =
+  Thc_crypto.Signature.sealed_by keyring sr ~expect:sr.value.client
+
+let digest r = Thc_crypto.Digest.to_int64 (Thc_crypto.Digest.of_value r)
+
+let key r = (r.client, r.rid)
+
+let pp ppf r = Format.fprintf ppf "req(c%d#%d)" r.client r.rid
+
+type reply = { replica : int; rid : int; result : string }
+
+module Collector = struct
+  type t = {
+    quorum : int;
+    votes : (int, (int * string) list) Hashtbl.t;  (* rid -> (replica, result) *)
+    done_ : (int, unit) Hashtbl.t;
+  }
+
+  let create ~quorum = { quorum; votes = Hashtbl.create 32; done_ = Hashtbl.create 32 }
+
+  let add t (r : reply) =
+    if Hashtbl.mem t.done_ r.rid then None
+    else begin
+      let votes = Option.value ~default:[] (Hashtbl.find_opt t.votes r.rid) in
+      if List.mem_assoc r.replica votes then None
+      else begin
+        let votes = (r.replica, r.result) :: votes in
+        Hashtbl.replace t.votes r.rid votes;
+        let matching result =
+          List.length (List.filter (fun (_, res) -> String.equal res result) votes)
+        in
+        if matching r.result >= t.quorum then begin
+          Hashtbl.replace t.done_ r.rid ();
+          Some r.result
+        end
+        else None
+      end
+    end
+
+  let completed t ~rid = Hashtbl.mem t.done_ rid
+end

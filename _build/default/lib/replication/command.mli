@@ -1,0 +1,40 @@
+(** Client requests and replies shared by both replication protocols. *)
+
+type request = {
+  client : int;  (** Client pid (also the signer). *)
+  rid : int;  (** Client-local request id. *)
+  op : string;  (** Encoded {!Kv_store.op}. *)
+}
+
+type signed_request = request Thc_crypto.Signature.signed
+
+val make :
+  ident:Thc_crypto.Keyring.secret -> rid:int -> Kv_store.op -> signed_request
+
+val valid : Thc_crypto.Keyring.t -> signed_request -> bool
+(** Signature verifies and the signer is the request's client. *)
+
+val digest : request -> int64
+(** Binding digest used in votes/certificates. *)
+
+val key : request -> int * int
+(** Dedup key [(client, rid)]. *)
+
+val pp : Format.formatter -> request -> unit
+
+type reply = { replica : int; rid : int; result : string }
+(** A replica's response; clients wait for matching replies from a quorum. *)
+
+module Collector : sig
+  type t
+  (** Client-side reply matching: a request is complete when [quorum]
+      replicas returned the same result for its [rid]. *)
+
+  val create : quorum:int -> t
+
+  val add : t -> reply -> string option
+  (** [Some result] the first time [rid] reaches a quorum of matching
+      results; [None] otherwise. *)
+
+  val completed : t -> rid:int -> bool
+end

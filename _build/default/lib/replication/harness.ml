@@ -1,0 +1,161 @@
+type protocol = Minbft_protocol | Pbft_protocol
+
+type scenario = Fault_free | Crash_leader of int64 | Silent_replicas
+
+type setup = {
+  protocol : protocol;
+  f : int;
+  ops : int;
+  interval : int64;
+  delay : Thc_sim.Delay.t;
+  scenario : scenario;
+  seed : int64;
+}
+
+type outcome = {
+  replicas : int;
+  completed : int;
+  latency : Thc_util.Stats.summary;
+  messages : int;
+  messages_per_op : float;
+  duration_us : int64;
+  safety_violations : Smr_spec.violation list;
+  liveness_violations : Smr_spec.violation list;
+  final_view : int;
+  breakdown : (string * int) list;
+}
+
+let default_workload ~ops ~seed =
+  let rng = Thc_util.Rng.create seed in
+  List.init ops (fun i ->
+      let key = Printf.sprintf "k%d" (Thc_util.Rng.int rng 16) in
+      match Thc_util.Rng.int rng 4 with
+      | 0 -> Kv_store.Get key
+      | 1 -> Kv_store.Put (key, Printf.sprintf "v%d" i)
+      | 2 -> Kv_store.Incr key
+      | _ -> Kv_store.Put (key, Printf.sprintf "w%d" i))
+
+let plan_of setup =
+  List.mapi
+    (fun i op -> (Int64.mul (Int64.of_int (i + 1)) setup.interval, op))
+    (default_workload ~ops:setup.ops ~seed:setup.seed)
+
+(* Virtual-time horizon: leave room for timeouts and view changes. *)
+let horizon setup =
+  Int64.add
+    (Int64.mul (Int64.of_int (setup.ops + 2)) setup.interval)
+    2_000_000L
+
+let expected_liveness setup =
+  (* Under a crashed leader or silent replicas liveness must still hold (f
+     tolerated faults); the monitors check all requests completed. *)
+  ignore setup;
+  true
+
+let finish (type m) setup ~(trace : m Thc_sim.Trace.t) ~replicas ~client
+    ~final_view ~classify =
+  let latencies = Smr_spec.client_latencies trace in
+  let completed = List.length latencies in
+  let messages = Thc_sim.Trace.messages_sent trace in
+  {
+    replicas;
+    completed;
+    latency = Thc_util.Stats.summarize latencies;
+    messages;
+    messages_per_op =
+      (if completed = 0 then 0.0 else float_of_int messages /. float_of_int completed);
+    duration_us = trace.Thc_sim.Trace.end_time;
+    safety_violations = Smr_spec.check_safety trace ~replicas;
+    liveness_violations =
+      (if expected_liveness setup then
+         Smr_spec.check_liveness trace ~clients:[ client ] ~expected:setup.ops
+       else []);
+    final_view;
+    breakdown = Thc_sim.Metrics.kind_counts trace ~classify;
+  }
+
+let apply_scenario (type m) setup ~(engine : m Thc_sim.Engine.t) ~replicas =
+  match setup.scenario with
+  | Fault_free -> ()
+  | Crash_leader at -> Thc_sim.Engine.schedule_crash engine ~pid:0 ~at
+  | Silent_replicas ->
+    for i = 0 to setup.f - 1 do
+      Thc_sim.Engine.schedule_crash engine ~pid:(replicas - 1 - i) ~at:0L
+    done
+
+let run_minbft setup =
+  let config = Minbft.default_config ~f:setup.f in
+  let n = config.n in
+  let client_pid = n in
+  let rng = Thc_util.Rng.create setup.seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:(n + 1) in
+  let world = Thc_hardware.Trinc.create_world rng ~n in
+  let net = Thc_sim.Net.create ~n:(n + 1) ~default:setup.delay in
+  let engine = Thc_sim.Engine.create ~seed:setup.seed ~n:(n + 1) ~net () in
+  let states =
+    Array.init n (fun self ->
+        Minbft.create_replica ~config ~keyring ~world
+          ~trinket:(Thc_hardware.Trinc.trinket world ~owner:self)
+          ~self)
+  in
+  Array.iteri
+    (fun pid st -> Thc_sim.Engine.set_behavior engine pid (Minbft.replica st))
+    states;
+  Thc_sim.Engine.set_behavior engine client_pid
+    (Minbft.client ~config ~keyring
+       ~ident:(Thc_crypto.Keyring.secret keyring ~pid:client_pid)
+       ~plan:(plan_of setup));
+  apply_scenario setup ~engine ~replicas:n;
+  let trace =
+    Thc_sim.Engine.run ~until:(horizon setup) ~max_events:20_000_000 engine
+  in
+  let final_view =
+    Array.fold_left (fun acc st -> max acc (Minbft.view_of st)) 0 states
+  in
+  finish setup ~trace ~replicas:n ~client:client_pid ~final_view
+    ~classify:Minbft.classify_msg
+
+let run_pbft setup =
+  let config = Pbft.default_config ~f:setup.f in
+  let n = config.n in
+  let client_pid = n in
+  let rng = Thc_util.Rng.create setup.seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:(n + 1) in
+  let net = Thc_sim.Net.create ~n:(n + 1) ~default:setup.delay in
+  let engine = Thc_sim.Engine.create ~seed:setup.seed ~n:(n + 1) ~net () in
+  let states =
+    Array.init n (fun self ->
+        Pbft.create_replica ~config ~keyring
+          ~ident:(Thc_crypto.Keyring.secret keyring ~pid:self)
+          ~self)
+  in
+  Array.iteri
+    (fun pid st -> Thc_sim.Engine.set_behavior engine pid (Pbft.replica st))
+    states;
+  Thc_sim.Engine.set_behavior engine client_pid
+    (Pbft.client ~config ~keyring
+       ~ident:(Thc_crypto.Keyring.secret keyring ~pid:client_pid)
+       ~plan:(plan_of setup));
+  apply_scenario setup ~engine ~replicas:n;
+  let trace =
+    Thc_sim.Engine.run ~until:(horizon setup) ~max_events:20_000_000 engine
+  in
+  let final_view =
+    Array.fold_left (fun acc st -> max acc (Pbft.view_of st)) 0 states
+  in
+  finish setup ~trace ~replicas:n ~client:client_pid ~final_view
+    ~classify:Pbft.classify_msg
+
+let run setup =
+  match setup.protocol with
+  | Minbft_protocol -> run_minbft setup
+  | Pbft_protocol -> run_pbft setup
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>replicas=%d completed=%d msgs=%d (%.1f/op) dur=%Ldµs view=%d@,\
+     latency: %a@,safety: %d violation(s), liveness: %d violation(s)@]"
+    o.replicas o.completed o.messages o.messages_per_op o.duration_us
+    o.final_view Thc_util.Stats.pp_summary o.latency
+    (List.length o.safety_violations)
+    (List.length o.liveness_violations)

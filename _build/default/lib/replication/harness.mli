@@ -1,0 +1,46 @@
+(** One-call experiment runner for the replication comparison (experiment
+    S1): same workload, same network, same fault bound — MinBFT (2f+1
+    replicas on trusted counters) vs PBFT (3f+1 replicas, pure crypto). *)
+
+type protocol = Minbft_protocol | Pbft_protocol
+
+type scenario =
+  | Fault_free  (** All replicas correct. *)
+  | Crash_leader of int64
+      (** The view-0 leader crashes at the given time; measures view-change
+          recovery. *)
+  | Silent_replicas
+      (** f replicas are silent from the start (crash-at-0) — the maximum
+          tolerated fault load. *)
+
+type setup = {
+  protocol : protocol;
+  f : int;
+  ops : int;  (** Number of client requests. *)
+  interval : int64;  (** µs between requests (open loop). *)
+  delay : Thc_sim.Delay.t;  (** Link delay distribution. *)
+  scenario : scenario;
+  seed : int64;
+}
+
+type outcome = {
+  replicas : int;
+  completed : int;  (** Requests with a client quorum of replies. *)
+  latency : Thc_util.Stats.summary;  (** Client-observed, µs of virtual time. *)
+  messages : int;  (** Total messages sent (protocol + client). *)
+  messages_per_op : float;
+  duration_us : int64;  (** Virtual time until quiescence. *)
+  safety_violations : Smr_spec.violation list;
+  liveness_violations : Smr_spec.violation list;
+  final_view : int;  (** Maximum view among correct replicas at the end. *)
+  breakdown : (string * int) list;
+      (** Sent messages by kind (prepare/commit/...), descending. *)
+}
+
+val run : setup -> outcome
+(** Build the cluster, run to quiescence (bounded), and collect metrics.
+    The client workload is a deterministic mix of puts/gets/incrs. *)
+
+val default_workload : ops:int -> seed:int64 -> Kv_store.op list
+
+val pp_outcome : Format.formatter -> outcome -> unit

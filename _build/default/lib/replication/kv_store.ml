@@ -1,0 +1,52 @@
+type t = (string, string) Hashtbl.t
+
+type op = Get of string | Put of string * string | Delete of string | Incr of string
+
+type result = Value of string option | Stored | Counter of int
+
+let create () = Hashtbl.create 64
+
+let apply t = function
+  | Get key -> Value (Hashtbl.find_opt t key)
+  | Put (key, value) ->
+    Hashtbl.replace t key value;
+    Stored
+  | Delete key ->
+    Hashtbl.remove t key;
+    Stored
+  | Incr key ->
+    let current =
+      match Hashtbl.find_opt t key with
+      | Some s -> ( try int_of_string s with Failure _ -> 0)
+      | None -> 0
+    in
+    let next = current + 1 in
+    Hashtbl.replace t key (string_of_int next);
+    Counter next
+
+let digest t =
+  (* XOR of per-binding digests: order-insensitive, collision-negligible at
+     simulation scale. *)
+  Hashtbl.fold
+    (fun k v acc ->
+      Int64.logxor acc (Thc_crypto.Digest.to_int64 (Thc_crypto.Digest.of_value (k, v))))
+    t 0L
+
+let size = Hashtbl.length
+
+let encode_op (o : op) = Thc_util.Codec.encode o
+let decode_op s = (Thc_util.Codec.decode s : op)
+let encode_result (r : result) = Thc_util.Codec.encode r
+let decode_result s = (Thc_util.Codec.decode s : result)
+
+let pp_op ppf = function
+  | Get k -> Format.fprintf ppf "get(%s)" k
+  | Put (k, v) -> Format.fprintf ppf "put(%s=%s)" k v
+  | Delete k -> Format.fprintf ppf "del(%s)" k
+  | Incr k -> Format.fprintf ppf "incr(%s)" k
+
+let pp_result ppf = function
+  | Value None -> Format.pp_print_string ppf "nil"
+  | Value (Some v) -> Format.fprintf ppf "val(%s)" v
+  | Stored -> Format.pp_print_string ppf "ok"
+  | Counter n -> Format.fprintf ppf "ctr(%d)" n

@@ -1,0 +1,449 @@
+type config = {
+  n : int;
+  f : int;
+  request_timeout : int64;
+  check_interval : int64;
+}
+
+let default_config ~f =
+  {
+    n = (2 * f) + 1;
+    f;
+    request_timeout = 30_000L;
+    check_interval = 10_000L;
+  }
+
+type proto =
+  | Prepare of { view : int; seq : int; request : Command.signed_request }
+  | Commit of { view : int; seq : int; request : Command.signed_request }
+  | Rvc of { new_view : int }
+  | View_change of {
+      new_view : int;
+      log : Thc_hardware.Trinc.attestation list;
+    }
+  | New_view of {
+      new_view : int;
+      evidence : Thc_hardware.Trinc.attestation list;
+          (* f+1 View_change attestations *)
+    }
+
+type msg =
+  | Request of Command.signed_request
+  | Sealed of Thc_hardware.Trinc.attestation  (* message field: encoded proto *)
+  | Reply of Command.reply
+
+let pp_msg ppf = function
+  | Request sr -> Format.fprintf ppf "request(%a)" Command.pp sr.value
+  | Sealed a -> Format.fprintf ppf "sealed(p%d,c%d)" a.owner a.counter
+  | Reply r -> Format.fprintf ppf "reply(p%d,#%d)" r.replica r.rid
+
+let check_timer_tag = 1_000_000
+
+type status = Normal | Changing of int
+
+type t = {
+  config : config;
+  keyring : Thc_crypto.Keyring.t;
+  world : Thc_hardware.Trinc.world;
+  self : int;
+  out : Attested_link.Out.t;
+  inbox : Attested_link.In.t;
+  store : Kv_store.t;
+  mutable view : int;
+  mutable status : status;
+  mutable next_seq : int;  (* leader: next sequence number to assign *)
+  proposals : (int, Command.signed_request) Hashtbl.t;  (* seq -> accepted proposal *)
+  votes : (int * int * int64, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* (view, seq, digest) -> voters *)
+  commit_sent : (int * int, unit) Hashtbl.t;  (* (view, seq) voted already *)
+  committed : (int, Command.signed_request) Hashtbl.t;
+  mutable exec_upto : int;
+  pending : (int * int, Command.signed_request * int64) Hashtbl.t;
+      (* request key -> (request, arrival time) *)
+  proposed_keys : (int * int, int) Hashtbl.t;  (* request key -> seq (leader) *)
+  executed : (int * int, string) Hashtbl.t;  (* request key -> result *)
+  rvc_votes : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* new_view -> supporters *)
+  mutable max_rvc_sent : int;
+  mutable last_rvc_at : int64;
+  vc_evidence : (int, (int, Thc_hardware.Trinc.attestation) Hashtbl.t) Hashtbl.t;
+      (* new_view -> owner -> View_change attestation (new leader role) *)
+  mutable recovered_bound : int;
+      (* after a view change: highest recovered seq; re-proposals at or
+         below it must match the recovery *)
+  expected : (int, int64) Hashtbl.t;  (* seq -> required request digest *)
+}
+
+let create_replica ~config ~keyring ~world ~trinket ~self =
+  if config.n <> (2 * config.f) + 1 then
+    invalid_arg "Minbft: config requires n = 2f + 1";
+  {
+    config;
+    keyring;
+    world;
+    self;
+    out = Attested_link.Out.create trinket;
+    inbox = Attested_link.In.create ~world ~n:config.n;
+    store = Kv_store.create ();
+    view = 0;
+    status = Normal;
+    next_seq = 1;
+    proposals = Hashtbl.create 64;
+    votes = Hashtbl.create 64;
+    commit_sent = Hashtbl.create 64;
+    committed = Hashtbl.create 64;
+    exec_upto = 0;
+    pending = Hashtbl.create 64;
+    proposed_keys = Hashtbl.create 64;
+    executed = Hashtbl.create 64;
+    rvc_votes = Hashtbl.create 8;
+    max_rvc_sent = 0;
+    last_rvc_at = 0L;
+    vc_evidence = Hashtbl.create 8;
+    recovered_bound = 0;
+    expected = Hashtbl.create 16;
+  }
+
+let view_of t = t.view
+
+let executed_upto t = t.exec_upto
+
+let store_digest t = Kv_store.digest t.store
+
+let leader_of t view = view mod t.config.n
+
+let encode_proto (p : proto) = Thc_util.Codec.encode p
+
+let decode_proto s = (Thc_util.Codec.decode s : proto)
+
+let seal_and_send t (ctx : msg Thc_sim.Engine.ctx) p =
+  let a = Attested_link.Out.seal t.out (encode_proto p) in
+  ctx.broadcast (Sealed a)
+
+let voters t key =
+  match Hashtbl.find_opt t.votes key with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 8 in
+    Hashtbl.add t.votes key tbl;
+    tbl
+
+let rvc_supporters t nv =
+  match Hashtbl.find_opt t.rvc_votes nv with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 8 in
+    Hashtbl.add t.rvc_votes nv tbl;
+    tbl
+
+(* --- execution --------------------------------------------------------- *)
+
+let rec try_execute t (ctx : msg Thc_sim.Engine.ctx) =
+  match Hashtbl.find_opt t.committed (t.exec_upto + 1) with
+  | None -> ()
+  | Some sr ->
+    let seq = t.exec_upto + 1 in
+    t.exec_upto <- seq;
+    let key = Command.key sr.value in
+    let result =
+      match Hashtbl.find_opt t.executed key with
+      | Some r -> r  (* duplicate commit of one request: do not re-apply *)
+      | None ->
+        let r =
+          Kv_store.encode_result
+            (Kv_store.apply t.store (Kv_store.decode_op sr.value.op))
+        in
+        Hashtbl.replace t.executed key r;
+        r
+    in
+    Hashtbl.remove t.pending key;
+    ctx.output (Thc_sim.Obs.Executed { seq; op = sr.value.op; result });
+    ctx.send sr.value.client
+      (Reply { replica = t.self; rid = sr.value.rid; result });
+    try_execute t ctx
+
+let record_commit t ctx ~view ~seq ~(request : Command.signed_request) ~voter =
+  let digest = Command.digest request.value in
+  let tbl = voters t (view, seq, digest) in
+  Hashtbl.replace tbl voter ();
+  if
+    Hashtbl.length tbl >= t.config.f + 1
+    && not (Hashtbl.mem t.committed seq)
+  then begin
+    Hashtbl.replace t.committed seq request;
+    ctx.Thc_sim.Engine.output
+      (Thc_sim.Obs.Committed { view; seq; op = request.value.op });
+    try_execute t ctx
+  end
+
+(* A replica votes for a proposal unless it contradicts what it committed or
+   what the latest view change recovered. *)
+let proposal_acceptable t ~seq ~(request : Command.signed_request) =
+  (match Hashtbl.find_opt t.committed seq with
+  | Some sr -> Command.digest sr.value = Command.digest request.value
+  | None -> true)
+  && (seq > t.recovered_bound
+     ||
+     match Hashtbl.find_opt t.expected seq with
+     | Some d -> d = Command.digest request.value
+     | None -> false)
+
+let handle_prepare t ctx ~owner ~view ~seq ~request =
+  if
+    owner = leader_of t view
+    && view = t.view
+    && t.status = Normal
+    && Command.valid t.keyring request
+    && proposal_acceptable t ~seq ~request
+  then begin
+    Hashtbl.replace t.proposals seq request;
+    Hashtbl.replace t.proposed_keys (Command.key request.value) seq;
+    record_commit t ctx ~view ~seq ~request ~voter:owner;
+    if t.self <> owner && not (Hashtbl.mem t.commit_sent (view, seq)) then begin
+      Hashtbl.replace t.commit_sent (view, seq) ();
+      seal_and_send t ctx (Commit { view; seq; request })
+    end
+  end
+
+(* --- view change ------------------------------------------------------- *)
+
+(* Deterministic recovery from view-change evidence: for every sequence
+   number, adopt the request carried by the highest-view Prepare/Commit
+   found in any of the validated logs. *)
+let recover_from_evidence t evidence =
+  let best : (int, int * Command.signed_request) Hashtbl.t = Hashtbl.create 32 in
+  let consider ~view ~seq ~request =
+    match Hashtbl.find_opt best seq with
+    | Some (v, _) when v >= view -> ()
+    | Some _ | None -> Hashtbl.replace best seq (view, request)
+  in
+  List.iter
+    (fun (att : Thc_hardware.Trinc.attestation) ->
+      match decode_proto att.message with
+      | View_change { log; _ } ->
+        (match Attested_link.check_log ~world:t.world ~owner:att.owner log with
+        | None -> ()
+        | Some payloads ->
+          List.iter
+            (fun payload ->
+              match decode_proto payload with
+              | Prepare { view; seq; request } ->
+                (* A Prepare is leader evidence only from that view's leader. *)
+                if att.owner = leader_of t view then consider ~view ~seq ~request
+              | Commit { view; seq; request } -> consider ~view ~seq ~request
+              | Rvc _ | View_change _ | New_view _ -> ()
+              | exception _ -> ())
+            payloads)
+      | Rvc _ | Prepare _ | Commit _ | New_view _ -> ()
+      | exception _ -> ())
+    evidence;
+  Hashtbl.fold (fun seq (_, request) acc -> (seq, request) :: acc) best []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let evidence_valid t ~new_view evidence =
+  let owners = Hashtbl.create 8 in
+  List.for_all
+    (fun (att : Thc_hardware.Trinc.attestation) ->
+      Thc_hardware.Trinc.check t.world att ~id:att.owner
+      &&
+      match decode_proto att.message with
+      | View_change { new_view = nv; log } ->
+        nv = new_view
+        && (not (Hashtbl.mem owners att.owner))
+        && (Hashtbl.replace owners att.owner ();
+            Attested_link.check_log ~world:t.world ~owner:att.owner log
+            <> None)
+      | Rvc _ | Prepare _ | Commit _ | New_view _ -> false
+      | exception _ -> false)
+    evidence
+  && Hashtbl.length owners >= t.config.f + 1
+
+let adopt_new_view t ctx ~new_view evidence =
+  let recovered = recover_from_evidence t evidence in
+  t.view <- new_view;
+  t.status <- Normal;
+  (* Give the new view a full timeout before anyone escalates again: the
+     stuck-request clocks restart at adoption. *)
+  (let now = ctx.Thc_sim.Engine.now () in
+   Hashtbl.filter_map_inplace (fun _ (r, _) -> Some (r, now)) t.pending);
+  Hashtbl.reset t.expected;
+  t.recovered_bound <-
+    List.fold_left (fun acc (seq, _) -> max acc seq) 0 recovered;
+  List.iter
+    (fun (seq, (request : Command.signed_request)) ->
+      Hashtbl.replace t.expected seq (Command.digest request.value);
+      Hashtbl.replace t.proposed_keys (Command.key request.value) seq)
+    recovered;
+  (* The new leader re-proposes everything recovered, then continues with
+     fresh sequence numbers for still-pending requests. *)
+  if t.self = leader_of t new_view then begin
+    t.next_seq <- t.recovered_bound + 1;
+    List.iter
+      (fun (seq, request) ->
+        seal_and_send t ctx (Prepare { view = new_view; seq; request }))
+      recovered;
+    Hashtbl.iter
+      (fun key (request, _) ->
+        if not (Hashtbl.mem t.proposed_keys key) then begin
+          let seq = t.next_seq in
+          t.next_seq <- seq + 1;
+          Hashtbl.replace t.proposed_keys key seq;
+          seal_and_send t ctx (Prepare { view = new_view; seq; request })
+        end)
+      t.pending
+  end
+
+let handle_proto t (ctx : msg Thc_sim.Engine.ctx) ~owner payload =
+  match decode_proto payload with
+  | Prepare { view; seq; request } -> handle_prepare t ctx ~owner ~view ~seq ~request
+  | Commit { view; seq; request } ->
+    if Command.valid t.keyring request then
+      record_commit t ctx ~view ~seq ~request ~voter:owner
+  | Rvc { new_view } ->
+    if new_view > t.view then begin
+      let tbl = rvc_supporters t new_view in
+      Hashtbl.replace tbl owner ();
+      (* Join a view-change attempt ahead of our own: keeps escalation
+         targets aligned across replicas. *)
+      if owner <> t.self && new_view > t.max_rvc_sent then begin
+        t.max_rvc_sent <- new_view;
+        seal_and_send t ctx (Rvc { new_view })
+      end;
+      if Hashtbl.length tbl >= t.config.f + 1 then begin
+        let already_changing =
+          match t.status with
+          | Changing nv -> nv >= new_view
+          | Normal -> false
+        in
+        if not already_changing then begin
+          t.status <- Changing new_view;
+          seal_and_send t ctx
+            (View_change { new_view; log = Attested_link.Out.sent_log t.out })
+        end
+      end
+    end
+  | View_change _ -> ()  (* handled with its attestation in handle_sealed *)
+  | New_view { new_view; evidence } ->
+    if
+      owner = leader_of t new_view
+      && new_view > t.view
+      && evidence_valid t ~new_view evidence
+    then adopt_new_view t ctx ~new_view evidence
+
+let handle_sealed t ctx (att : Thc_hardware.Trinc.attestation) =
+  let released = Attested_link.In.accept t.inbox att in
+  List.iter
+    (fun (a : Thc_hardware.Trinc.attestation) ->
+      (* View_change needs the attestation itself (evidence); everything
+         else is handled from the payload. *)
+      (match decode_proto a.message with
+      | View_change { new_view; log } ->
+        if
+          t.self = leader_of t new_view
+          && new_view > t.view
+          && Attested_link.check_log ~world:t.world ~owner:a.owner log <> None
+        then begin
+          let tbl =
+            match Hashtbl.find_opt t.vc_evidence new_view with
+            | Some tbl -> tbl
+            | None ->
+              let tbl = Hashtbl.create 8 in
+              Hashtbl.add t.vc_evidence new_view tbl;
+              tbl
+          in
+          Hashtbl.replace tbl a.owner a;
+          if Hashtbl.length tbl >= t.config.f + 1 then begin
+            let evidence = Hashtbl.fold (fun _ e acc -> e :: acc) tbl [] in
+            seal_and_send t ctx (New_view { new_view; evidence });
+            adopt_new_view t ctx ~new_view evidence
+          end
+        end
+      | Prepare _ | Commit _ | Rvc _ | New_view _ ->
+        handle_proto t ctx ~owner:a.owner a.message
+      | exception _ -> ()))
+    released
+
+let handle_request t (ctx : msg Thc_sim.Engine.ctx) sr =
+  if Command.valid t.keyring sr then begin
+    let key = Command.key sr.Thc_crypto.Signature.value in
+    if not (Hashtbl.mem t.executed key) then begin
+      if not (Hashtbl.mem t.pending key) then
+        Hashtbl.replace t.pending key (sr, ctx.now ());
+      if
+        t.self = leader_of t t.view
+        && t.status = Normal
+        && not (Hashtbl.mem t.proposed_keys key)
+      then begin
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        Hashtbl.replace t.proposed_keys key seq;
+        seal_and_send t ctx (Prepare { view = t.view; seq; request = sr })
+      end
+    end
+    else
+      (* Already executed: re-reply (client retransmission). *)
+      match Hashtbl.find_opt t.executed key with
+      | Some result ->
+        ctx.send sr.value.client
+          (Reply { replica = t.self; rid = sr.value.rid; result })
+      | None -> ()
+  end
+
+let handle_check t (ctx : msg Thc_sim.Engine.ctx) =
+  let now = ctx.now () in
+  let stuck =
+    Hashtbl.fold
+      (fun _ (_, since) acc ->
+        acc || Int64.sub now since > t.config.request_timeout)
+      t.pending false
+  in
+  (if stuck then
+     (* Escalate at most once per request_timeout, so a slow view change is
+        given time to complete before the target moves again. *)
+     let fresh_attempt = t.max_rvc_sent <= t.view in
+     let timed_out =
+       Int64.sub now t.last_rvc_at > t.config.request_timeout
+     in
+     if fresh_attempt || timed_out then begin
+       let target = max t.view t.max_rvc_sent + 1 in
+       t.max_rvc_sent <- target;
+       t.last_rvc_at <- now;
+       seal_and_send t ctx (Rvc { new_view = target })
+     end);
+  ctx.set_timer ~delay:t.config.check_interval ~tag:check_timer_tag
+
+let replica t : msg Thc_sim.Engine.behavior =
+  {
+    init =
+      (fun ctx ->
+        ctx.set_timer ~delay:t.config.check_interval ~tag:check_timer_tag);
+    on_message =
+      (fun ctx ~src:_ m ->
+        match m with
+        | Request sr -> handle_request t ctx sr
+        | Sealed att -> handle_sealed t ctx att
+        | Reply _ -> ());
+    on_timer =
+      (fun ctx tag -> if tag = check_timer_tag then handle_check t ctx);
+  }
+
+let client ~config ~keyring:_ ~ident ~plan : msg Thc_sim.Engine.behavior =
+  Client_core.behavior ~n_replicas:config.n ~quorum:(config.f + 1) ~ident ~plan
+    ~wrap:(fun sr -> Request sr)
+    ~unwrap:(function Reply r -> Some r | Request _ | Sealed _ -> None)
+
+let adversarial_prepare ~out ~view ~seq ~request =
+  Sealed (Attested_link.Out.seal out (encode_proto (Prepare { view; seq; request })))
+
+let classify_msg = function
+  | Request _ -> "request"
+  | Reply _ -> "reply"
+  | Sealed a ->
+    (match decode_proto a.message with
+    | Prepare _ -> "prepare"
+    | Commit _ -> "commit"
+    | Rvc _ -> "req-view-change"
+    | View_change _ -> "view-change"
+    | New_view _ -> "new-view"
+    | exception _ -> "garbage")
+
+let adversarial_wire a = Sealed a

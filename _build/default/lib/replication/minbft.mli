@@ -1,0 +1,89 @@
+(** MinBFT-style replicated state machine on trusted counters
+    (n = 2f+1; Veronese et al., "Efficient Byzantine fault tolerance").
+
+    The motivating application of the whole trusted-hardware line the paper
+    classifies: with every replica's outbound stream sealed by a trusted
+    incrementer ({!Attested_link}), Byzantine replicas cannot equivocate or
+    hide sent messages, so agreement needs only f+1-of-2f+1 quorums and two
+    message phases — against PBFT's 2f+1-of-3f+1 and three phases
+    ({!Pbft} is the baseline; bench group [smr/*] compares them).
+
+    Normal case: the view's leader assigns sequence numbers and seals
+    [Prepare(view, seq, request)]; every replica that accepts it (in the
+    leader's stream order) seals [Commit(view, seq, request)]; a request
+    commits at a replica once f+1 distinct replicas' messages for it are in
+    (the leader's Prepare counting as its commit).  Execution is in
+    sequence order against {!Kv_store}; replicas reply directly to the
+    client, which waits for f+1 matching replies.
+
+    View change (the audited part that makes f+1 quorums safe): on request
+    timeout a replica seals [Rvc(v+1)]; on f+1 matching Rvcs it seals
+    [View_change(v+1, L)] where [L] is its {e complete} attested sent-log.
+    Logs are dense and unforgeable, so a Byzantine replica cannot present a
+    history omitting a Commit it sent: any f+1 valid view-change logs
+    necessarily expose every possibly-committed request (commit quorum ∩
+    view-change quorum ≥ 1, and even a Byzantine member's log is honest).
+    The new leader re-proposes the recovered requests in the new view;
+    every replica recomputes the recovery from the same evidence and votes
+    only for matching re-proposals. *)
+
+type msg
+
+type config = {
+  n : int;  (** Replicas (pids 0..n-1); clients live at pids ≥ n. *)
+  f : int;  (** Fault bound; requires [n = 2f+1] (checked). *)
+  request_timeout : int64;  (** µs before a pending request triggers Rvc. *)
+  check_interval : int64;  (** µs between timeout scans. *)
+}
+
+val default_config : f:int -> config
+
+type t
+(** Replica state, kept by the harness for post-run inspection. *)
+
+val create_replica :
+  config:config ->
+  keyring:Thc_crypto.Keyring.t ->
+  world:Thc_hardware.Trinc.world ->
+  trinket:Thc_hardware.Trinc.t ->
+  self:int ->
+  t
+
+val replica : t -> msg Thc_sim.Engine.behavior
+(** Emits [Obs.Committed] and [Obs.Executed] per operation. *)
+
+val client :
+  config:config ->
+  keyring:Thc_crypto.Keyring.t ->
+  ident:Thc_crypto.Keyring.secret ->
+  plan:(int64 * Kv_store.op) list ->
+  msg Thc_sim.Engine.behavior
+(** Sends each planned request to all replicas at its time, waits for f+1
+    matching replies, and emits [Obs.Client_done] with the end-to-end
+    latency. *)
+
+val view_of : t -> int
+val executed_upto : t -> int
+val store_digest : t -> int64
+
+val adversarial_prepare :
+  out:Attested_link.Out.t ->
+  view:int ->
+  seq:int ->
+  request:Command.signed_request ->
+  msg
+(** Seal a Prepare on an arbitrary attested link and return the wire message
+    — the strongest equivocation attempt a Byzantine leader can mount.  Used
+    by the ablation experiments: even with this power, selective delivery
+    only creates counter gaps that receivers refuse to process, so safety
+    holds (see {!Ablation}). *)
+
+val adversarial_wire : Thc_hardware.Trinc.attestation -> msg
+(** Wrap any attestation as a wire message — lets tests inject replays,
+    counterfeits and garbage payloads at the transport level. *)
+
+val classify_msg : msg -> string
+(** Short label per wire-message kind (request/prepare/commit/...), for
+    {!Thc_sim.Metrics.kind_counts} breakdowns. *)
+
+val pp_msg : Format.formatter -> msg -> unit

@@ -1,0 +1,541 @@
+type config = {
+  n : int;
+  f : int;
+  request_timeout : int64;
+  check_interval : int64;
+}
+
+let default_config ~f =
+  {
+    n = (3 * f) + 1;
+    f;
+    request_timeout = 30_000L;
+    check_interval = 10_000L;
+  }
+
+type cert = {
+  cview : int;
+  cseq : int;
+  crequest : Command.signed_request;
+  preprepare_sig : Thc_crypto.Signature.t;
+  prepares : Thc_crypto.Signature.t list;  (* over ("prepare", view, seq, digest) *)
+}
+
+(* Proof that a request actually committed: 2f+1 signatures over the Commit
+   proto value.  Shipped in view changes so a new leader can neither reuse
+   a committed sequence number nor lose a committed request. *)
+type final_cert = {
+  fview : int;
+  fseq : int;
+  frequest : Command.signed_request;
+  commits : Thc_crypto.Signature.t list;
+}
+
+type proto =
+  | Pre_prepare of { view : int; seq : int; request : Command.signed_request }
+  | Prepare of { view : int; seq : int; digest : int64 }
+  | Commit of { view : int; seq : int; digest : int64 }
+  | View_change of { new_view : int; certs : cert list; finals : final_cert list }
+  | New_view of { new_view : int; view_changes : wire list }
+
+and wire = proto Thc_crypto.Signature.signed
+
+type msg =
+  | Request of Command.signed_request
+  | Signed of wire
+  | Reply of Command.reply
+
+let pp_proto ppf = function
+  | Pre_prepare { view; seq; request } ->
+    Format.fprintf ppf "pre-prepare(v%d,s%d,%a)" view seq Command.pp
+      request.Thc_crypto.Signature.value
+  | Prepare { view; seq; _ } -> Format.fprintf ppf "prepare(v%d,s%d)" view seq
+  | Commit { view; seq; _ } -> Format.fprintf ppf "commit(v%d,s%d)" view seq
+  | View_change { new_view; certs; finals } ->
+    Format.fprintf ppf "view-change(v%d,%d certs,%d finals)" new_view
+      (List.length certs) (List.length finals)
+  | New_view { new_view; view_changes } ->
+    Format.fprintf ppf "new-view(v%d,%d vcs)" new_view (List.length view_changes)
+
+let pp_msg ppf = function
+  | Request sr -> Format.fprintf ppf "request(%a)" Command.pp sr.value
+  | Signed w ->
+    Format.fprintf ppf "signed(p%d,%a)" w.signature.signer pp_proto w.value
+  | Reply r -> Format.fprintf ppf "reply(p%d,#%d)" r.replica r.rid
+
+let check_timer_tag = 1_000_000
+
+type status = Normal | Changing of int
+
+type t = {
+  config : config;
+  keyring : Thc_crypto.Keyring.t;
+  ident : Thc_crypto.Keyring.secret;
+  self : int;
+  store : Kv_store.t;
+  mutable view : int;
+  mutable status : status;
+  mutable next_seq : int;
+  preprepares : (int * int, Command.signed_request * Thc_crypto.Signature.t) Hashtbl.t;
+      (* (view, seq) -> first pre-prepare and the leader's signature *)
+  prepare_votes : (int * int * int64, (int, Thc_crypto.Signature.t) Hashtbl.t) Hashtbl.t;
+  commit_votes : (int * int * int64, (int, Thc_crypto.Signature.t) Hashtbl.t) Hashtbl.t;
+  prepare_sent : (int * int, unit) Hashtbl.t;
+  commit_sent : (int * int, unit) Hashtbl.t;
+  mutable prepared : (int * int, cert) Hashtbl.t;
+  committed : (int, Command.signed_request) Hashtbl.t;
+  commit_certs : (int, final_cert) Hashtbl.t;
+  mutable exec_upto : int;
+  pending : (int * int, Command.signed_request * int64) Hashtbl.t;
+  proposed_keys : (int * int, int) Hashtbl.t;
+  executed : (int * int, string) Hashtbl.t;
+  vc_store : (int, (int, wire) Hashtbl.t) Hashtbl.t;  (* new_view -> signer -> VC *)
+  mutable max_vc_sent : int;
+  mutable last_vc_at : int64;
+  mutable recovered_bound : int;
+  expected : (int, int64) Hashtbl.t;
+  future_pp : (int, wire list) Hashtbl.t;
+      (* Pre_prepares for views we have not adopted yet: the network does
+         not order New_view before the re-proposals that follow it. *)
+}
+
+let create_replica ~config ~keyring ~ident ~self =
+  if config.n <> (3 * config.f) + 1 then
+    invalid_arg "Pbft: config requires n = 3f + 1";
+  {
+    config;
+    keyring;
+    ident;
+    self;
+    store = Kv_store.create ();
+    view = 0;
+    status = Normal;
+    next_seq = 1;
+    preprepares = Hashtbl.create 64;
+    prepare_votes = Hashtbl.create 64;
+    commit_votes = Hashtbl.create 64;
+    prepare_sent = Hashtbl.create 64;
+    commit_sent = Hashtbl.create 64;
+    prepared = Hashtbl.create 64;
+    committed = Hashtbl.create 64;
+    commit_certs = Hashtbl.create 64;
+    exec_upto = 0;
+    pending = Hashtbl.create 64;
+    proposed_keys = Hashtbl.create 64;
+    executed = Hashtbl.create 64;
+    vc_store = Hashtbl.create 8;
+    max_vc_sent = 0;
+    last_vc_at = 0L;
+    recovered_bound = 0;
+    expected = Hashtbl.create 16;
+    future_pp = Hashtbl.create 8;
+  }
+
+let view_of t = t.view
+
+let executed_upto t = t.exec_upto
+
+let store_digest t = Kv_store.digest t.store
+
+let leader_of t view = view mod t.config.n
+
+let send_signed t (ctx : msg Thc_sim.Engine.ctx) p =
+  ctx.broadcast (Signed (Thc_crypto.Signature.seal t.ident p))
+
+let table tbl key mk =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = mk () in
+    Hashtbl.add tbl key v;
+    v
+
+(* --- execution (same discipline as Minbft) ------------------------------ *)
+
+let rec try_execute t (ctx : msg Thc_sim.Engine.ctx) =
+  match Hashtbl.find_opt t.committed (t.exec_upto + 1) with
+  | None -> ()
+  | Some sr ->
+    let seq = t.exec_upto + 1 in
+    t.exec_upto <- seq;
+    let key = Command.key sr.value in
+    let result =
+      match Hashtbl.find_opt t.executed key with
+      | Some r -> r
+      | None ->
+        let r =
+          Kv_store.encode_result
+            (Kv_store.apply t.store (Kv_store.decode_op sr.value.op))
+        in
+        Hashtbl.replace t.executed key r;
+        r
+    in
+    Hashtbl.remove t.pending key;
+    ctx.output (Thc_sim.Obs.Executed { seq; op = sr.value.op; result });
+    ctx.send sr.value.client
+      (Reply { replica = t.self; rid = sr.value.rid; result });
+    try_execute t ctx
+
+let try_commit t ctx ~view ~seq ~digest =
+  match Hashtbl.find_opt t.preprepares (view, seq) with
+  | Some (request, _)
+    when Command.digest request.Thc_crypto.Signature.value = digest ->
+    let votes = table t.commit_votes (view, seq, digest) (fun () -> Hashtbl.create 8) in
+    if
+      Hashtbl.length votes >= (2 * t.config.f) + 1
+      && not (Hashtbl.mem t.committed seq)
+    then begin
+      Hashtbl.replace t.committed seq request;
+      Hashtbl.replace t.commit_certs seq
+        {
+          fview = view;
+          fseq = seq;
+          frequest = request;
+          commits = Hashtbl.fold (fun _ s acc -> s :: acc) votes [];
+        };
+      ctx.Thc_sim.Engine.output
+        (Thc_sim.Obs.Committed { view; seq; op = request.value.op });
+      try_execute t ctx
+    end
+  | Some _ | None -> ()
+
+let try_prepare t ctx ~view ~seq ~digest =
+  match Hashtbl.find_opt t.preprepares (view, seq) with
+  | Some (request, preprepare_sig)
+    when Command.digest request.Thc_crypto.Signature.value = digest ->
+    let votes = table t.prepare_votes (view, seq, digest) (fun () -> Hashtbl.create 8) in
+    if
+      Hashtbl.length votes >= 2 * t.config.f
+      && not (Hashtbl.mem t.prepared (view, seq))
+    then begin
+      let prepares = Hashtbl.fold (fun _ s acc -> s :: acc) votes [] in
+      Hashtbl.replace t.prepared (view, seq)
+        { cview = view; cseq = seq; crequest = request; preprepare_sig; prepares };
+      if not (Hashtbl.mem t.commit_sent (view, seq)) then begin
+        Hashtbl.replace t.commit_sent (view, seq) ();
+        send_signed t ctx (Commit { view; seq; digest })
+      end
+    end
+  | Some _ | None -> ()
+
+let proposal_acceptable t ~seq ~(request : Command.signed_request) =
+  (match Hashtbl.find_opt t.committed seq with
+  | Some sr -> Command.digest sr.value = Command.digest request.value
+  | None -> true)
+  && (seq > t.recovered_bound
+     ||
+     match Hashtbl.find_opt t.expected seq with
+     | Some d -> d = Command.digest request.value
+     | None -> false)
+
+(* --- view change -------------------------------------------------------- *)
+
+let cert_valid t (c : cert) =
+  let digest = Command.digest c.crequest.value in
+  Command.valid t.keyring c.crequest
+  && c.preprepare_sig.signer = leader_of t c.cview
+  && Thc_crypto.Signature.verify_value t.keyring c.preprepare_sig
+       (Pre_prepare { view = c.cview; seq = c.cseq; request = c.crequest })
+  &&
+  let valid_prepares =
+    List.filter
+      (fun (s : Thc_crypto.Signature.t) ->
+        s.signer <> leader_of t c.cview
+        && Thc_crypto.Signature.verify_value t.keyring s
+             ("prepare", c.cview, c.cseq, digest))
+      c.prepares
+  in
+  List.length
+    (List.sort_uniq compare
+       (List.map (fun (s : Thc_crypto.Signature.t) -> s.signer) valid_prepares))
+  >= 2 * t.config.f
+
+let final_valid t (c : final_cert) =
+  let digest = Command.digest c.frequest.value in
+  Command.valid t.keyring c.frequest
+  &&
+  let valid_commits =
+    List.filter
+      (fun (s : Thc_crypto.Signature.t) ->
+        Thc_crypto.Signature.verify_value t.keyring s
+          (Commit { view = c.fview; seq = c.fseq; digest }))
+      c.commits
+  in
+  List.length
+    (List.sort_uniq compare
+       (List.map (fun (s : Thc_crypto.Signature.t) -> s.signer) valid_commits))
+  >= (2 * t.config.f) + 1
+
+let vc_valid t ~new_view (w : wire) =
+  Thc_crypto.Signature.sealed_ok t.keyring w
+  &&
+  match w.value with
+  | View_change { new_view = nv; certs; finals } ->
+    nv = new_view
+    && List.for_all (cert_valid t) certs
+    && List.for_all (final_valid t) finals
+  | Pre_prepare _ | Prepare _ | Commit _ | New_view _ -> false
+
+let recover_from_vcs view_changes =
+  let best : (int, int * Command.signed_request) Hashtbl.t = Hashtbl.create 32 in
+  let consider ~view ~seq ~request =
+    match Hashtbl.find_opt best seq with
+    | Some (v, _) when v >= view -> ()
+    | Some _ | None -> Hashtbl.replace best seq (view, request)
+  in
+  List.iter
+    (fun (w : wire) ->
+      match w.value with
+      | View_change { certs; finals; _ } ->
+        List.iter
+          (fun c -> consider ~view:c.cview ~seq:c.cseq ~request:c.crequest)
+          certs;
+        (* Commit proofs are final: they outrank any prepared cert. *)
+        List.iter
+          (fun c -> consider ~view:max_int ~seq:c.fseq ~request:c.frequest)
+          finals
+      | Pre_prepare _ | Prepare _ | Commit _ | New_view _ -> ())
+    view_changes;
+  Hashtbl.fold (fun seq (_, request) acc -> (seq, request) :: acc) best []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Forward reference: adopting a view replays buffered wires through the
+   full dispatcher, which is defined below. *)
+let handle_wire_ref : (t -> msg Thc_sim.Engine.ctx -> wire -> unit) ref =
+  ref (fun _ _ _ -> ())
+
+(* Prepared certificates need not cover a contiguous prefix: a replica can
+   prepare seq s+1 without s.  The classic remedy is to fill recovery gaps
+   with no-ops so execution cannot stall.  The no-op request is a pure
+   function of (new_view, seq), so every replica computes the same expected
+   digest and only the new leader's signed instance can pass validation. *)
+let noop_request_value t ~new_view ~seq : Command.request =
+  {
+    client = leader_of t new_view;
+    rid = -seq;
+    op = Kv_store.encode_op (Kv_store.Get "__noop");
+  }
+
+let adopt_new_view t ctx ~new_view view_changes =
+  let recovered = recover_from_vcs view_changes in
+  t.view <- new_view;
+  t.status <- Normal;
+  (* Give the new view a full timeout before anyone escalates again: the
+     stuck-request clocks restart at adoption. *)
+  (let now = ctx.Thc_sim.Engine.now () in
+   Hashtbl.filter_map_inplace (fun _ (r, _) -> Some (r, now)) t.pending);
+  Hashtbl.reset t.expected;
+  t.recovered_bound <-
+    List.fold_left (fun acc (seq, _) -> max acc seq) 0 recovered;
+  List.iter
+    (fun (seq, (request : Command.signed_request)) ->
+      Hashtbl.replace t.expected seq (Command.digest request.value);
+      Hashtbl.replace t.proposed_keys (Command.key request.value) seq)
+    recovered;
+  let gaps =
+    List.filter
+      (fun seq -> seq > t.exec_upto && not (Hashtbl.mem t.expected seq))
+      (List.init t.recovered_bound (fun i -> i + 1))
+  in
+  List.iter
+    (fun seq ->
+      Hashtbl.replace t.expected seq
+        (Command.digest (noop_request_value t ~new_view ~seq)))
+    gaps;
+  if t.self = leader_of t new_view then begin
+    t.next_seq <- t.recovered_bound + 1;
+    List.iter
+      (fun (seq, request) ->
+        send_signed t ctx (Pre_prepare { view = new_view; seq; request }))
+      recovered;
+    List.iter
+      (fun seq ->
+        let request =
+          Thc_crypto.Signature.seal t.ident (noop_request_value t ~new_view ~seq)
+        in
+        send_signed t ctx (Pre_prepare { view = new_view; seq; request }))
+      gaps;
+    Hashtbl.iter
+      (fun key (request, _) ->
+        if not (Hashtbl.mem t.proposed_keys key) then begin
+          let seq = t.next_seq in
+          t.next_seq <- seq + 1;
+          Hashtbl.replace t.proposed_keys key seq;
+          send_signed t ctx (Pre_prepare { view = new_view; seq; request })
+        end)
+      t.pending
+  end;
+  (* Replay re-proposals that raced ahead of this New_view. *)
+  match Hashtbl.find_opt t.future_pp new_view with
+  | None -> ()
+  | Some buffered ->
+    Hashtbl.remove t.future_pp new_view;
+    List.iter (fun w -> !handle_wire_ref t ctx w) (List.rev buffered)
+
+let send_view_change t ctx ~new_view =
+  t.status <- Changing new_view;
+  let certs =
+    Hashtbl.fold
+      (fun (_, seq) c acc ->
+        if not (Hashtbl.mem t.commit_certs seq) then c :: acc else acc)
+      t.prepared []
+  in
+  let finals = Hashtbl.fold (fun _ c acc -> c :: acc) t.commit_certs [] in
+  send_signed t ctx (View_change { new_view; certs; finals })
+
+(* Full dispatch needs the wire (for the leader's signature). *)
+let handle_wire t (ctx : msg Thc_sim.Engine.ctx) (w : wire) =
+  if Thc_crypto.Signature.sealed_ok t.keyring w then begin
+    let signer = w.signature.signer in
+    match w.value with
+    | Pre_prepare { view; seq; request } ->
+      if signer = leader_of t view && view > t.view then begin
+        let buffered = Option.value ~default:[] (Hashtbl.find_opt t.future_pp view) in
+        Hashtbl.replace t.future_pp view (w :: buffered)
+      end;
+      if
+        signer = leader_of t view
+        && view = t.view
+        && t.status = Normal
+        && Command.valid t.keyring request
+        && (not (Hashtbl.mem t.preprepares (view, seq)))
+        && proposal_acceptable t ~seq ~request
+      then begin
+        Hashtbl.replace t.preprepares (view, seq) (request, w.signature);
+        Hashtbl.replace t.proposed_keys (Command.key request.value) seq;
+        let digest = Command.digest request.value in
+        if
+          t.self <> leader_of t view
+          && not (Hashtbl.mem t.prepare_sent (view, seq))
+        then begin
+          Hashtbl.replace t.prepare_sent (view, seq) ();
+          send_signed t ctx (Prepare { view; seq; digest })
+        end;
+        try_prepare t ctx ~view ~seq ~digest;
+        try_commit t ctx ~view ~seq ~digest
+      end
+    | Prepare { view; seq; digest } ->
+      if signer <> leader_of t view then begin
+        let votes =
+          table t.prepare_votes (view, seq, digest) (fun () -> Hashtbl.create 8)
+        in
+        if not (Hashtbl.mem votes signer) then begin
+          (* Keep the signature itself: it becomes certificate material. *)
+          Hashtbl.replace votes signer w.signature;
+          try_prepare t ctx ~view ~seq ~digest
+        end
+      end
+    | Commit { view; seq; digest } ->
+      let votes =
+        table t.commit_votes (view, seq, digest) (fun () -> Hashtbl.create 8)
+      in
+      if not (Hashtbl.mem votes signer) then begin
+        Hashtbl.replace votes signer w.signature;
+        try_commit t ctx ~view ~seq ~digest
+      end
+    | View_change { new_view; _ } ->
+      if new_view > t.view && vc_valid t ~new_view w then begin
+        let tbl = table t.vc_store new_view (fun () -> Hashtbl.create 8) in
+        Hashtbl.replace tbl signer w;
+        (* Liveness join: f+1 view changes for a higher view pull us in. *)
+        if Hashtbl.length tbl >= t.config.f + 1 && t.max_vc_sent < new_view
+        then begin
+          t.max_vc_sent <- new_view;
+          send_view_change t ctx ~new_view
+        end;
+        if
+          t.self = leader_of t new_view
+          && Hashtbl.length tbl >= (2 * t.config.f) + 1
+        then begin
+          let vcs = Hashtbl.fold (fun _ v acc -> v :: acc) tbl [] in
+          send_signed t ctx (New_view { new_view; view_changes = vcs });
+          adopt_new_view t ctx ~new_view vcs
+        end
+      end
+    | New_view { new_view; view_changes } ->
+      if
+        signer = leader_of t new_view
+        && new_view > t.view
+        && List.for_all (vc_valid t ~new_view) view_changes
+        &&
+        let signers =
+          List.sort_uniq compare
+            (List.map (fun (v : wire) -> v.signature.signer) view_changes)
+        in
+        List.length signers >= (2 * t.config.f) + 1
+      then adopt_new_view t ctx ~new_view view_changes
+  end
+
+let () = handle_wire_ref := handle_wire
+
+let handle_request t (ctx : msg Thc_sim.Engine.ctx) sr =
+  if Command.valid t.keyring sr then begin
+    let key = Command.key sr.Thc_crypto.Signature.value in
+    match Hashtbl.find_opt t.executed key with
+    | Some result ->
+      ctx.send sr.value.client
+        (Reply { replica = t.self; rid = sr.value.rid; result })
+    | None ->
+      if not (Hashtbl.mem t.pending key) then
+        Hashtbl.replace t.pending key (sr, ctx.now ());
+      if
+        t.self = leader_of t t.view
+        && t.status = Normal
+        && not (Hashtbl.mem t.proposed_keys key)
+      then begin
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        Hashtbl.replace t.proposed_keys key seq;
+        send_signed t ctx (Pre_prepare { view = t.view; seq; request = sr })
+      end
+  end
+
+let handle_check t (ctx : msg Thc_sim.Engine.ctx) =
+  let now = ctx.now () in
+  let stuck =
+    Hashtbl.fold
+      (fun _ (_, since) acc ->
+        acc || Int64.sub now since > t.config.request_timeout)
+      t.pending false
+  in
+  (if stuck then
+     let fresh_attempt = t.max_vc_sent <= t.view in
+     let timed_out = Int64.sub now t.last_vc_at > t.config.request_timeout in
+     if fresh_attempt || timed_out then begin
+       let target = max t.view t.max_vc_sent + 1 in
+       t.max_vc_sent <- target;
+       t.last_vc_at <- now;
+       send_view_change t ctx ~new_view:target
+     end);
+  ctx.set_timer ~delay:t.config.check_interval ~tag:check_timer_tag
+
+let replica t : msg Thc_sim.Engine.behavior =
+  {
+    init =
+      (fun ctx ->
+        ctx.set_timer ~delay:t.config.check_interval ~tag:check_timer_tag);
+    on_message =
+      (fun ctx ~src:_ m ->
+        match m with
+        | Request sr -> handle_request t ctx sr
+        | Signed w -> handle_wire t ctx w
+        | Reply _ -> ());
+    on_timer =
+      (fun ctx tag -> if tag = check_timer_tag then handle_check t ctx);
+  }
+
+let client ~config ~keyring:_ ~ident ~plan : msg Thc_sim.Engine.behavior =
+  Client_core.behavior ~n_replicas:config.n ~quorum:(config.f + 1) ~ident ~plan
+    ~wrap:(fun sr -> Request sr)
+    ~unwrap:(function Reply r -> Some r | Request _ | Signed _ -> None)
+
+let classify_msg = function
+  | Request _ -> "request"
+  | Reply _ -> "reply"
+  | Signed w ->
+    (match w.value with
+    | Pre_prepare _ -> "pre-prepare"
+    | Prepare _ -> "prepare"
+    | Commit _ -> "commit"
+    | View_change _ -> "view-change"
+    | New_view _ -> "new-view")

@@ -1,0 +1,50 @@
+(** PBFT-style replicated state machine (n = 3f+1) — the no-trusted-hardware
+    baseline.
+
+    Castro–Liskov structure in its public-key variant, without checkpoints
+    or batching: the leader sends [PrePrepare(view, seq, request)]; replicas
+    send [Prepare]; a replica that holds the pre-prepare plus 2f matching
+    prepares is {e prepared} and sends [Commit]; 2f+1 matching commits make
+    the request committed.  View changes carry prepared certificates
+    (pre-prepare plus 2f prepare signatures) and need 2f+1 view-change
+    messages; quorum intersection (any two 2f+1 quorums of 3f+1 share a
+    correct replica) does the work trusted counters do in {!Minbft}.
+
+    Exists to make the paper's motivation measurable: same client workload,
+    same network, same fault bound f — but 3f+1 replicas, three message
+    phases and O(n²) votes where MinBFT needs 2f+1 replicas and two phases
+    (bench group [smr/*], experiment S1). *)
+
+type msg
+
+type config = {
+  n : int;  (** Replicas; requires [n = 3f+1]. *)
+  f : int;
+  request_timeout : int64;
+  check_interval : int64;
+}
+
+val default_config : f:int -> config
+
+type t
+
+val create_replica :
+  config:config -> keyring:Thc_crypto.Keyring.t ->
+  ident:Thc_crypto.Keyring.secret -> self:int -> t
+
+val replica : t -> msg Thc_sim.Engine.behavior
+
+val client :
+  config:config ->
+  keyring:Thc_crypto.Keyring.t ->
+  ident:Thc_crypto.Keyring.secret ->
+  plan:(int64 * Kv_store.op) list ->
+  msg Thc_sim.Engine.behavior
+
+val view_of : t -> int
+val executed_upto : t -> int
+val store_digest : t -> int64
+val classify_msg : msg -> string
+(** Short label per wire-message kind, for message-breakdown tables. *)
+
+val pp_msg : Format.formatter -> msg -> unit

@@ -1,0 +1,80 @@
+type violation = { property : [ `Order | `Result | `Liveness ]; info : string }
+
+let pp_violation ppf v =
+  let name =
+    match v.property with
+    | `Order -> "order"
+    | `Result -> "result"
+    | `Liveness -> "liveness"
+  in
+  Format.fprintf ppf "SMR %s violation: %s" name v.info
+
+let executions trace pid =
+  List.filter_map
+    (fun obs ->
+      match (obs : Thc_sim.Obs.t) with
+      | Executed { seq; op; result } -> Some (seq, (op, result))
+      | _ -> None)
+    (Thc_sim.Trace.outputs_of trace pid)
+
+let check_safety trace ~replicas =
+  let violations = ref [] in
+  let add property info = violations := { property; info } :: !violations in
+  let correct =
+    List.filter (fun p -> p < replicas) (Thc_sim.Trace.correct_pids trace)
+  in
+  let execs = List.map (fun pid -> (pid, executions trace pid)) correct in
+  List.iter
+    (fun (p, ep) ->
+      List.iter
+        (fun (q, eq) ->
+          if p < q then
+            List.iter
+              (fun (seq, (op, result)) ->
+                match List.assoc_opt seq eq with
+                | None -> ()  (* prefix difference is fine mid-run *)
+                | Some (op', result') ->
+                  if not (String.equal op op') then
+                    add `Order
+                      (Printf.sprintf "p%d/p%d differ at seq %d" p q seq)
+                  else if not (String.equal result result') then
+                    add `Result
+                      (Printf.sprintf "p%d/p%d diverge at seq %d" p q seq))
+              ep)
+        execs)
+    execs;
+  List.rev !violations
+
+let check_liveness trace ~clients ~expected =
+  let violations = ref [] in
+  List.iter
+    (fun client ->
+      let done_rids =
+        List.filter_map
+          (fun obs ->
+            match (obs : Thc_sim.Obs.t) with
+            | Client_done { rid; _ } -> Some rid
+            | _ -> None)
+          (Thc_sim.Trace.outputs_of trace client)
+      in
+      for rid = 0 to expected - 1 do
+        if not (List.mem rid done_rids) then
+          violations :=
+            {
+              property = `Liveness;
+              info = Printf.sprintf "client p%d request #%d incomplete" client rid;
+            }
+            :: !violations
+      done)
+    clients;
+  List.rev !violations
+
+let client_latencies trace =
+  List.filter_map
+    (fun (_, _, obs) ->
+      match (obs : Thc_sim.Obs.t) with
+      | Client_done { latency_us; _ } -> Some (Int64.to_float latency_us)
+      | _ -> None)
+    (Thc_sim.Trace.outputs trace)
+
+let executed_count trace ~pid = List.length (executions trace pid)

@@ -1,0 +1,24 @@
+(** Safety/liveness monitors for the replicated state machines.
+
+    Judged on [Obs.Executed] / [Obs.Client_done] observations, uniformly for
+    {!Minbft} and {!Pbft}. *)
+
+type violation = { property : [ `Order | `Result | `Liveness ]; info : string }
+(** [`Order] — two correct replicas executed different operations at one
+    sequence number; [`Result] — same op, different results (state machine
+    divergence); [`Liveness] — an expected client request never completed. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_safety : 'm Thc_sim.Trace.t -> replicas:int -> violation list
+(** Pairwise execution-prefix consistency across correct replicas
+    (pids [0 .. replicas-1]). *)
+
+val check_liveness :
+  'm Thc_sim.Trace.t -> clients:int list -> expected:int -> violation list
+(** Every client pid in [clients] completed requests [0 .. expected-1]. *)
+
+val client_latencies : 'm Thc_sim.Trace.t -> float list
+(** All [Client_done] latencies, µs. *)
+
+val executed_count : 'm Thc_sim.Trace.t -> pid:int -> int

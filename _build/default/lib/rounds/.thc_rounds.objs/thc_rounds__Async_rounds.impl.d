@@ -1,0 +1,1 @@
+lib/rounds/async_rounds.ml: Format Hashtbl List Option Printf Round_app String Thc_sim

@@ -1,0 +1,1 @@
+lib/rounds/async_rounds.mli: Format Round_app Thc_sim

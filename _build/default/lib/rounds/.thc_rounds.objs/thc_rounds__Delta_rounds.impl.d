@@ -1,0 +1,1 @@
+lib/rounds/delta_rounds.ml: Format Hashtbl List Option Round_app String Thc_sim

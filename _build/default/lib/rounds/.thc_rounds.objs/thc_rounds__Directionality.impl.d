@@ -1,0 +1,1 @@
+lib/rounds/directionality.ml: Array Format Hashtbl List Thc_sim

@@ -1,0 +1,1 @@
+lib/rounds/directionality.mli: Format Thc_sim

@@ -1,0 +1,1 @@
+lib/rounds/peats_rounds.ml: List Scan_rounds Thc_crypto Thc_sharedmem

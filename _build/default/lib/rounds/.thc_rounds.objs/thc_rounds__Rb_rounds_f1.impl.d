@@ -1,0 +1,1 @@
+lib/rounds/rb_rounds_f1.ml: Format Hashtbl List Option Round_app String Thc_crypto Thc_sim

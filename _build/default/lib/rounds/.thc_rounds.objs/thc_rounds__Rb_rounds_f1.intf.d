@@ -1,0 +1,1 @@
+lib/rounds/rb_rounds_f1.mli: Format Round_app Thc_crypto Thc_sim

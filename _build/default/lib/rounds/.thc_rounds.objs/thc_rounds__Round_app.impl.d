@@ -1,0 +1,1 @@
+lib/rounds/round_app.ml: Thc_sim Thc_util

@@ -1,0 +1,1 @@
+lib/rounds/round_app.mli: Thc_sim Thc_util

@@ -1,0 +1,1 @@
+lib/rounds/scan_rounds.ml: Array Hashtbl List Round_app Thc_sim Thc_util

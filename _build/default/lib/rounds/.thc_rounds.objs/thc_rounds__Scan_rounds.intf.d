@@ -1,0 +1,1 @@
+lib/rounds/scan_rounds.mli: Round_app Thc_sim

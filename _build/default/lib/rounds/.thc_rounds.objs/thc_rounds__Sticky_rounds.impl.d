@@ -1,0 +1,1 @@
+lib/rounds/sticky_rounds.ml: Hashtbl Scan_rounds Thc_crypto Thc_sharedmem

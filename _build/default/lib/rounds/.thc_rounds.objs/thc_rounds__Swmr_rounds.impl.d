@@ -1,0 +1,1 @@
+lib/rounds/swmr_rounds.ml: Array List Scan_rounds Thc_crypto Thc_sharedmem

@@ -1,0 +1,1 @@
+lib/rounds/swmr_rounds.mli: Round_app Thc_crypto Thc_sharedmem Thc_sim

@@ -1,0 +1,1 @@
+lib/rounds/sync_rounds.mli: Format Round_app Thc_sim

@@ -1,0 +1,116 @@
+type msg = { round : int; payload : string option }
+
+let pp_msg ppf m =
+  Format.fprintf ppf "round=%d payload=%s" m.round
+    (match m.payload with None -> "-" | Some p -> Printf.sprintf "%dB" (String.length p))
+
+type state = {
+  f : int;
+  participation_marker : bool;
+  app : Round_app.app;
+  mutable round : int;
+  senders : (int * int, unit) Hashtbl.t;  (* (round, from) seen *)
+  early : (int, (int * string) list) Hashtbl.t;
+      (* round -> (from, payload) for future rounds, newest first *)
+  received_in : (int * int, unit) Hashtbl.t;
+  mutable finished : bool;  (* mechanical round end reached, app holding *)
+  mutable stopped : bool;
+}
+
+let handle_of st (ctx : msg Thc_sim.Engine.ctx) : Round_app.handle =
+  {
+    self = ctx.self;
+    n = ctx.n;
+    round = (fun () -> st.round);
+    output = ctx.output;
+    now = ctx.now;
+    rng = ctx.rng;
+  }
+
+let note_reception st (ctx : msg Thc_sim.Engine.ctx) ~round ~from ~payload =
+  if round = st.round && not (Hashtbl.mem st.received_in (round, from)) then begin
+    Hashtbl.replace st.received_in (round, from) ();
+    ctx.output (Thc_sim.Obs.Round_received { round; from; payload })
+  end
+
+let distinct_senders st round =
+  Hashtbl.fold
+    (fun (r, _) () acc -> if r = round then acc + 1 else acc)
+    st.senders 0
+
+let mechanical_end st ctx = distinct_senders st st.round >= ctx.Thc_sim.Engine.n - st.f
+
+let rec start_round st (ctx : msg Thc_sim.Engine.ctx) payload =
+  st.finished <- false;
+  (match payload with
+  | Some m ->
+    ctx.output (Thc_sim.Obs.Round_sent { round = st.round; payload = m });
+    ctx.broadcast { round = st.round; payload = Some m }
+  | None ->
+    if st.participation_marker then
+      ctx.broadcast { round = st.round; payload = None });
+  (* Future-round messages that already arrived now count. *)
+  (match Hashtbl.find_opt st.early st.round with
+  | None -> ()
+  | Some buffered ->
+    Hashtbl.remove st.early st.round;
+    List.iter
+      (fun (from, payload) -> note_reception st ctx ~round:st.round ~from ~payload)
+      (List.rev buffered));
+  maybe_finish st ctx
+
+and maybe_finish st ctx =
+  if (not st.stopped) && mechanical_end st ctx then begin
+    st.finished <- true;
+    match st.app.Round_app.on_round_check (handle_of st ctx) ~round:st.round with
+    | Round_app.Advance payload ->
+      ctx.Thc_sim.Engine.output (Thc_sim.Obs.Round_ended { round = st.round });
+      st.round <- st.round + 1;
+      start_round st ctx payload
+    | Round_app.Hold -> ()
+    | Round_app.Stop ->
+      ctx.Thc_sim.Engine.output (Thc_sim.Obs.Round_ended { round = st.round });
+      st.stopped <- true
+  end
+
+let behavior ~f ?(participation_marker = true) app : msg Thc_sim.Engine.behavior =
+  let st =
+    {
+      f;
+      participation_marker;
+      app;
+      round = 1;
+      senders = Hashtbl.create 64;
+      early = Hashtbl.create 16;
+      received_in = Hashtbl.create 64;
+      finished = false;
+      stopped = false;
+    }
+  in
+  {
+    init =
+      (fun ctx ->
+        let payload = app.Round_app.first_payload (handle_of st ctx) in
+        start_round st ctx payload);
+    on_message =
+      (fun ctx ~src m ->
+        if not st.stopped then begin
+          let fresh = not (Hashtbl.mem st.senders (m.round, src)) in
+          Hashtbl.replace st.senders (m.round, src) ();
+          (match m.payload with
+          | Some payload ->
+            if m.round = st.round then
+              note_reception st ctx ~round:m.round ~from:src ~payload
+            else if m.round > st.round then begin
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt st.early m.round)
+              in
+              Hashtbl.replace st.early m.round ((src, payload) :: prev)
+            end;
+            st.app.Round_app.on_receive (handle_of st ctx) ~round:m.round
+              ~from:src payload
+          | None -> ());
+          if fresh || st.finished then maybe_finish st ctx
+        end);
+    on_timer = (fun _ _ -> ());
+  }

@@ -1,0 +1,29 @@
+(** Zero-directional rounds from plain asynchronous message passing.
+
+    The classic asynchronous round structure: broadcast your round-[r]
+    message, then wait until round-[r] messages from [n - f] distinct
+    processes (yourself included) have arrived.  The paper observes this is
+    the best plain asynchrony can do — "we can implement rounds in which
+    n−f messages are received by every correct process, but we cannot
+    guarantee successful communication between any given pair" — i.e., the
+    resulting rounds are only {e zero-directional}: a pair of correct
+    processes on the wrong side of the scheduler can both complete a round
+    without hearing each other.
+
+    Experiment C2 runs exactly this driver inside the paper's three-scenario
+    separation argument to exhibit a unidirectionality violation. *)
+
+type msg
+(** Wire messages of the driver (round number + optional payload). *)
+
+val behavior :
+  f:int ->
+  ?participation_marker:bool ->
+  Round_app.app ->
+  msg Thc_sim.Engine.behavior
+(** Rounds tolerating [f] faults: mechanical round end when [n - f]
+    distinct round-[r] messages have arrived.  When the app sends [None],
+    a payload-less participation marker is still broadcast (so counting
+    works) unless [participation_marker] is [false]. *)
+
+val pp_msg : Format.formatter -> msg -> unit

@@ -1,0 +1,107 @@
+type msg = { round : int; payload : string }
+
+let pp_msg ppf m = Format.fprintf ppf "round=%d (%dB)" m.round (String.length m.payload)
+
+let close_tag = 0
+
+let start_tag = 1
+
+type state = {
+  wait : int64;
+  app : Round_app.app;
+  mutable round : int;
+  mutable started : bool;
+  received_in : (int * int, unit) Hashtbl.t;
+  early : (int, (int * string) list) Hashtbl.t;
+  mutable stopped : bool;
+}
+
+let handle_of st (ctx : msg Thc_sim.Engine.ctx) : Round_app.handle =
+  {
+    self = ctx.self;
+    n = ctx.n;
+    round = (fun () -> st.round);
+    output = ctx.output;
+    now = ctx.now;
+    rng = ctx.rng;
+  }
+
+let note_reception st (ctx : msg Thc_sim.Engine.ctx) ~round ~from ~payload =
+  if
+    st.started && round = st.round
+    && not (Hashtbl.mem st.received_in (round, from))
+  then begin
+    Hashtbl.replace st.received_in (round, from) ();
+    ctx.output (Thc_sim.Obs.Round_received { round; from; payload })
+  end
+
+let start_round st (ctx : msg Thc_sim.Engine.ctx) payload =
+  (match payload with
+  | Some m ->
+    ctx.output (Thc_sim.Obs.Round_sent { round = st.round; payload = m });
+    ctx.broadcast { round = st.round; payload = m }
+  | None -> ());
+  (match Hashtbl.find_opt st.early st.round with
+  | None -> ()
+  | Some buffered ->
+    Hashtbl.remove st.early st.round;
+    List.iter
+      (fun (from, payload) -> note_reception st ctx ~round:st.round ~from ~payload)
+      (List.rev buffered));
+  ctx.set_timer ~delay:st.wait ~tag:close_tag
+
+let behavior ~wait ?(start_offset = 0L) app : msg Thc_sim.Engine.behavior =
+  let st =
+    {
+      wait;
+      app;
+      round = 1;
+      started = false;
+      received_in = Hashtbl.create 64;
+      early = Hashtbl.create 16;
+      stopped = false;
+    }
+  in
+  {
+    init =
+      (fun ctx ->
+        if start_offset = 0L then begin
+          st.started <- true;
+          start_round st ctx (app.Round_app.first_payload (handle_of st ctx))
+        end
+        else ctx.set_timer ~delay:start_offset ~tag:start_tag);
+    on_message =
+      (fun ctx ~src m ->
+        if not st.stopped then begin
+          if st.started && m.round = st.round then
+            note_reception st ctx ~round:m.round ~from:src ~payload:m.payload
+          else begin
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt st.early m.round)
+            in
+            Hashtbl.replace st.early m.round ((src, m.payload) :: prev)
+          end;
+          st.app.Round_app.on_receive (handle_of st ctx) ~round:m.round ~from:src
+            m.payload
+        end);
+    on_timer =
+      (fun ctx tag ->
+        if not st.stopped then
+          if tag = start_tag then begin
+            st.started <- true;
+            start_round st ctx (app.Round_app.first_payload (handle_of st ctx))
+          end
+          else if tag = close_tag then begin
+            match
+              st.app.Round_app.on_round_check (handle_of st ctx) ~round:st.round
+            with
+            | Round_app.Advance payload ->
+              ctx.output (Thc_sim.Obs.Round_ended { round = st.round });
+              st.round <- st.round + 1;
+              start_round st ctx payload
+            | Round_app.Hold -> ctx.set_timer ~delay:st.wait ~tag:close_tag
+            | Round_app.Stop ->
+              ctx.output (Thc_sim.Obs.Round_ended { round = st.round });
+              st.stopped <- true
+          end);
+  }

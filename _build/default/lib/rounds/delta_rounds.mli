@@ -1,0 +1,33 @@
+(** Δ-synchronous rounds (paper, "Communication Models Providing
+    Unidirectionality").
+
+    In the Δ-synchronous model every message arrives within a known bound Δ
+    of being sent, but clocks are not synchronized: processes may start
+    their rounds at arbitrarily different times.  A process sends its
+    round-[r] message when its round starts and closes the round [wait]
+    after that, on its own clock.
+
+    The paper's observation, which experiment S2 measures:
+    - [wait < Δ]: nothing stronger than zero-directional communication;
+    - [Δ ≤ wait]: unidirectional communication — if correct [p] starts no
+      later than correct [q], then [p]'s message (sent at [t_p]) arrives by
+      [t_p + Δ ≤ t_q + wait], inside [q]'s round;
+    - no finite [wait] gives bidirectionality without synchronized round
+      starts ([q] may start after [p]'s round already closed), which is why
+      Δ-synchrony sits strictly between asynchrony and lock-step synchrony.
+
+    The harness controls Δ through the network delay distributions and the
+    start misalignment through [start_offset]. *)
+
+type msg
+
+val behavior :
+  wait:int64 ->
+  ?start_offset:int64 ->
+  Round_app.app ->
+  msg Thc_sim.Engine.behavior
+(** Rounds closing [wait] µs after they start on the local clock; the first
+    round starts [start_offset] (default 0) after time 0.  [Hold] extends
+    the current round by another [wait]. *)
+
+val pp_msg : Format.formatter -> msg -> unit

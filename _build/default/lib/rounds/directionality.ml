@@ -1,0 +1,107 @@
+type violation = {
+  round : int;
+  p : int;
+  q : int;
+  kind : [ `Unidirectional | `Bidirectional ];
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s violation at round %d between p%d and p%d"
+    (match v.kind with
+    | `Unidirectional -> "unidirectional"
+    | `Bidirectional -> "bidirectional")
+    v.round v.p v.q
+
+(* Extract, per correct process: rounds in which it sent, rounds it ended,
+   and the set of (round, from) receptions. *)
+type profile = {
+  sent : (int, unit) Hashtbl.t;
+  ended : (int, unit) Hashtbl.t;
+  received : (int * int, unit) Hashtbl.t;
+}
+
+let profile_of trace pid =
+  let p =
+    {
+      sent = Hashtbl.create 16;
+      ended = Hashtbl.create 16;
+      received = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun obs ->
+      match (obs : Thc_sim.Obs.t) with
+      | Round_sent { round; _ } -> Hashtbl.replace p.sent round ()
+      | Round_ended { round } -> Hashtbl.replace p.ended round ()
+      | Round_received { round; from; _ } ->
+        Hashtbl.replace p.received (round, from) ()
+      | _ -> ())
+    (Thc_sim.Trace.outputs_of trace pid);
+  p
+
+let max_round profiles =
+  Array.fold_left
+    (fun acc p ->
+      Hashtbl.fold (fun r () acc -> max r acc) p.sent acc
+      |> Hashtbl.fold (fun r () acc -> max r acc) p.ended)
+    0 profiles
+
+let check ~kind trace =
+  let correct = Thc_sim.Trace.correct_pids trace in
+  let n = trace.Thc_sim.Trace.n in
+  let profiles =
+    Array.init n (fun pid ->
+        if List.mem pid correct then Some (profile_of trace pid) else None)
+  in
+  let all_profiles =
+    List.filter_map
+      (fun pid ->
+        match profiles.(pid) with Some p -> Some (pid, p) | None -> None)
+      correct
+  in
+  let top =
+    max_round (Array.of_list (List.map snd all_profiles))
+  in
+  let violations = ref [] in
+  for r = 1 to top do
+    List.iter
+      (fun (p_pid, p_prof) ->
+        List.iter
+          (fun (q_pid, q_prof) ->
+            if p_pid < q_pid then begin
+              let both_sent =
+                Hashtbl.mem p_prof.sent r && Hashtbl.mem q_prof.sent r
+              in
+              let both_ended =
+                Hashtbl.mem p_prof.ended r && Hashtbl.mem q_prof.ended r
+              in
+              if both_sent && both_ended then begin
+                let p_got = Hashtbl.mem p_prof.received (r, q_pid) in
+                let q_got = Hashtbl.mem q_prof.received (r, p_pid) in
+                let ok =
+                  match kind with
+                  | `Unidirectional -> p_got || q_got
+                  | `Bidirectional -> p_got && q_got
+                in
+                if not ok then
+                  violations :=
+                    { round = r; p = p_pid; q = q_pid; kind } :: !violations
+              end
+            end)
+          all_profiles)
+      all_profiles
+  done;
+  List.rev !violations
+
+let check_unidirectional trace = check ~kind:`Unidirectional trace
+
+let check_bidirectional trace = check ~kind:`Bidirectional trace
+
+let rounds_completed trace ~pid =
+  List.fold_left
+    (fun acc obs ->
+      match (obs : Thc_sim.Obs.t) with
+      | Round_ended { round } -> max acc round
+      | _ -> acc)
+    0
+    (Thc_sim.Trace.outputs_of trace pid)

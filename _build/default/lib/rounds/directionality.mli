@@ -1,0 +1,36 @@
+(** Executable forms of the paper's directionality definitions.
+
+    These monitors consume the [Round_*] observations that round drivers
+    emit (contract in {!Round_app}) and decide whether a given execution
+    respected unidirectional / bidirectional communication.  They are the
+    measurement instrument of experiments C1–C3 and S2: positive claims are
+    validated by checking thousands of adversarially scheduled executions,
+    and the separation scenarios exhibit executions these monitors reject. *)
+
+type violation = {
+  round : int;
+  p : int;
+  q : int;
+  kind : [ `Unidirectional | `Bidirectional ];
+}
+(** A pair of correct processes witnessing failure of the property at a
+    round both completed. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_unidirectional : 'm Thc_sim.Trace.t -> violation list
+(** The paper's Definition (Unidirectional communication): for every pair
+    of correct processes [p], [q] that {e both sent} a message in round
+    [r] and both moved past round [r], at least one of them received the
+    other's round-[r] message before advancing.  Returns all violating
+    [(r, p, q)] triples (empty = property held). *)
+
+val check_bidirectional : 'm Thc_sim.Trace.t -> violation list
+(** The stronger property: {e each} of the two senders received the other's
+    round-[r] message before advancing.  (The paper states it as: a message
+    sent by correct [p] to correct [q] in round [r] arrives before [q]'s
+    round [r+1]; with full-information send-to-all rounds the pairwise form
+    used here is equivalent.) *)
+
+val rounds_completed : 'm Thc_sim.Trace.t -> pid:int -> int
+(** Highest round this process advanced past (0 if none). *)

@@ -1,0 +1,169 @@
+type entry = {
+  origin : int;
+  round : int;
+  payload : string;
+  signature : Thc_crypto.Signature.t;  (* over (round, payload) by origin *)
+}
+
+type msg =
+  | Phase1 of entry
+  | Phase2 of { round : int; batch : entry list }
+
+let pp_msg ppf = function
+  | Phase1 e -> Format.fprintf ppf "phase1(p%d,r%d)" e.origin e.round
+  | Phase2 { round; batch } ->
+    Format.fprintf ppf "phase2(r%d,%d entries)" round (List.length batch)
+
+type round_state = {
+  entries : (int, entry list) Hashtbl.t;
+      (* origin -> distinct valid entries seen (equivocation keeps all) *)
+  phase2_from : (int, unit) Hashtbl.t;
+  mutable my_phase : int;  (* 0 = not entered, 1 = sent phase 1, 2 = sent phase 2 *)
+}
+
+type state = {
+  keyring : Thc_crypto.Keyring.t;
+  ident : Thc_crypto.Keyring.secret;
+  app : Round_app.app;
+  mutable round : int;
+  rounds : (int, round_state) Hashtbl.t;
+  received_in : (int * int, unit) Hashtbl.t;
+  mutable stopped : bool;
+}
+
+let round_state st r =
+  match Hashtbl.find_opt st.rounds r with
+  | Some rs -> rs
+  | None ->
+    let rs =
+      {
+        entries = Hashtbl.create 8;
+        phase2_from = Hashtbl.create 8;
+        my_phase = 0;
+      }
+    in
+    Hashtbl.add st.rounds r rs;
+    rs
+
+let handle_of st (ctx : msg Thc_sim.Engine.ctx) : Round_app.handle =
+  {
+    self = ctx.self;
+    n = ctx.n;
+    round = (fun () -> st.round);
+    output = ctx.output;
+    now = ctx.now;
+    rng = ctx.rng;
+  }
+
+let note_reception st (ctx : msg Thc_sim.Engine.ctx) ~round ~from ~payload =
+  if round = st.round && not (Hashtbl.mem st.received_in (round, from)) then begin
+    Hashtbl.replace st.received_in (round, from) ();
+    ctx.output (Thc_sim.Obs.Round_received { round; from; payload })
+  end
+
+let entry_valid st (e : entry) =
+  e.signature.signer = e.origin
+  && Thc_crypto.Signature.verify_value st.keyring e.signature (e.round, e.payload)
+
+(* Store a validated entry and deliver it to the app if new. *)
+let store_entry st ctx (e : entry) =
+  let rs = round_state st e.round in
+  let known = Option.value ~default:[] (Hashtbl.find_opt rs.entries e.origin) in
+  if not (List.exists (fun k -> String.equal k.payload e.payload) known) then begin
+    Hashtbl.replace rs.entries e.origin (e :: known);
+    note_reception st ctx ~round:e.round ~from:e.origin ~payload:e.payload;
+    st.app.Round_app.on_receive (handle_of st ctx) ~round:e.round ~from:e.origin
+      e.payload
+  end
+
+let all_entries rs =
+  Hashtbl.fold (fun _ entries acc -> List.rev_append entries acc) rs.entries []
+
+let batch_valid st ~round batch =
+  let origins =
+    List.sort_uniq compare (List.map (fun (e : entry) -> e.origin) batch)
+  in
+  List.length origins >= 2
+  && List.for_all (fun (e : entry) -> e.round = round && entry_valid st e) batch
+
+(* Drive the current round's phase machine as far as the collected state
+   allows; called on entry to a round and after every reception. *)
+let rec progress st (ctx : msg Thc_sim.Engine.ctx) =
+  if not st.stopped then begin
+    let rs = round_state st st.round in
+    if rs.my_phase = 1 && Hashtbl.length rs.entries >= ctx.n - 1 then begin
+      rs.my_phase <- 2;
+      ctx.broadcast (Phase2 { round = st.round; batch = all_entries rs })
+    end;
+    if rs.my_phase = 2 && Hashtbl.length rs.phase2_from >= ctx.n - 1 then begin
+      match st.app.Round_app.on_round_check (handle_of st ctx) ~round:st.round with
+      | Round_app.Advance payload ->
+        ctx.output (Thc_sim.Obs.Round_ended { round = st.round });
+        st.round <- st.round + 1;
+        start_round st ctx payload
+      | Round_app.Hold -> ()
+      | Round_app.Stop ->
+        ctx.output (Thc_sim.Obs.Round_ended { round = st.round });
+        st.stopped <- true
+    end
+  end
+
+and start_round st (ctx : msg Thc_sim.Engine.ctx) payload =
+  let rs = round_state st st.round in
+  rs.my_phase <- 1;
+  let payload_str, traced =
+    match payload with Some m -> (m, true) | None -> ("", false)
+  in
+  if traced then
+    ctx.output (Thc_sim.Obs.Round_sent { round = st.round; payload = payload_str });
+  let e =
+    {
+      origin = ctx.self;
+      round = st.round;
+      payload = payload_str;
+      signature = Thc_crypto.Signature.sign_value st.ident (st.round, payload_str);
+    }
+  in
+  (* Entries that arrived before we entered this round now count as round
+     receptions. *)
+  Hashtbl.iter
+    (fun origin entries ->
+      List.iter
+        (fun (en : entry) ->
+          note_reception st ctx ~round:st.round ~from:origin ~payload:en.payload)
+        entries)
+    rs.entries;
+  ctx.broadcast (Phase1 e);
+  progress st ctx
+
+let behavior ~keyring ~ident app : msg Thc_sim.Engine.behavior =
+  let st =
+    {
+      keyring;
+      ident;
+      app;
+      round = 1;
+      rounds = Hashtbl.create 8;
+      received_in = Hashtbl.create 64;
+      stopped = false;
+    }
+  in
+  {
+    init =
+      (fun ctx ->
+        let payload = app.Round_app.first_payload (handle_of st ctx) in
+        start_round st ctx payload);
+    on_message =
+      (fun ctx ~src m ->
+        if not st.stopped then begin
+          (match m with
+          | Phase1 e -> if entry_valid st e then store_entry st ctx e
+          | Phase2 { round; batch } ->
+            if batch_valid st ~round batch then begin
+              Hashtbl.replace (round_state st round).phase2_from src ();
+              List.iter (fun e -> store_entry st ctx e) batch
+            end);
+          progress st ctx
+        end);
+    on_timer = (fun _ _ -> ());
+  }

@@ -1,0 +1,35 @@
+(** Unidirectional rounds from reliable broadcast when f = 1, n ≥ 3
+    (paper, Appendix "SRB Can Implement Unidirectionality When n ≥ 3 and
+    f = 1").
+
+    The two-phase forwarding protocol of the appendix:
+
+    {v
+    Phase 1: send (v, σ_p) to all; wait for phase-1 messages with valid
+             signatures from n−1 distinct processes.
+    Phase 2: forward all messages received to all; wait for phase-2
+             messages from n−1 distinct processes, each containing ≥ 2
+             valid signatures from distinct processes.
+    v}
+
+    The unidirectionality argument: with only one faulty process, every
+    other process's phase-2 batch reaches both [p] and [p']; batches carry
+    [n−1] signed phase-1 values, so they necessarily relay one of the two —
+    a partitioned pair still hears of each other through the rest.
+
+    Channels here are the engine's eventually reliable links, which is what
+    reliable broadcast with a correct sender provides; the primitive's
+    non-equivocation is supplied by the unforgeable signatures on the
+    values being relayed.  For f ≥ 2 no such protocol exists (paper §4.1,
+    experiment C2); this driver is sound only in the f = 1 regime. *)
+
+type msg
+
+val behavior :
+  keyring:Thc_crypto.Keyring.t ->
+  ident:Thc_crypto.Keyring.secret ->
+  Round_app.app ->
+  msg Thc_sim.Engine.behavior
+(** [Hold] keeps the round open collecting further relayed values. *)
+
+val pp_msg : Format.formatter -> msg -> unit

@@ -1,0 +1,33 @@
+(** Generic write-then-scan round driver over a shared-memory board.
+
+    The paper's §3.2 claim is deliberately broad: {e any} shared-memory
+    object with a modify operation restricted to one process and a read
+    operation open to all (under ACLs) supports the unidirectional round
+    construction.  This module implements the construction once, against an
+    abstract {!board}; {!Swmr_rounds}, {!Sticky_rounds} and {!Peats_rounds}
+    instantiate it for the three object families named in the paper.
+
+    Protocol per round [r] (identical to {!Swmr_rounds}'s docstring):
+    publish [(r, m)] through the owner-restricted modify operation, then
+    read all [targets] board locations in random order, one per
+    [scan_delay]; entries found are receptions.  The write precedes every
+    read of the same sweep, which is the entire unidirectionality
+    argument. *)
+
+type board = {
+  publish : round:int -> payload:string -> unit;
+      (** Owner-restricted modify operation (closes over the caller's
+          identity capability; raises {!Thc_sharedmem.Acl.Violation} if the
+          capability does not own the slot). *)
+  read : int -> (int * int * string) list;
+      (** Read location [j]: visible entries as [(owner, round, payload)]. *)
+  targets : int;  (** Number of locations a sweep must read. *)
+}
+
+val behavior :
+  board:board ->
+  ?scan_delay:Thc_sim.Delay.t ->
+  ?poll_delay:Thc_sim.Delay.t ->
+  Round_app.app ->
+  'm Thc_sim.Engine.behavior
+(** Same timing parameters and trace contract as {!Swmr_rounds.behavior}. *)

@@ -1,0 +1,99 @@
+type msg = { round : int; payload : string }
+
+let pp_msg ppf m = Format.fprintf ppf "round=%d (%dB)" m.round (String.length m.payload)
+
+let boundary_tag = 0
+
+type state = {
+  period : int64;
+  app : Round_app.app;
+  mutable round : int;
+  received_in : (int * int, unit) Hashtbl.t;
+  early : (int, (int * string) list) Hashtbl.t;
+  mutable stopped : bool;
+}
+
+let handle_of st (ctx : msg Thc_sim.Engine.ctx) : Round_app.handle =
+  {
+    self = ctx.self;
+    n = ctx.n;
+    round = (fun () -> st.round);
+    output = ctx.output;
+    now = ctx.now;
+    rng = ctx.rng;
+  }
+
+let note_reception st (ctx : msg Thc_sim.Engine.ctx) ~round ~from ~payload =
+  if round = st.round && not (Hashtbl.mem st.received_in (round, from)) then begin
+    Hashtbl.replace st.received_in (round, from) ();
+    ctx.output (Thc_sim.Obs.Round_received { round; from; payload })
+  end
+
+let start_round st (ctx : msg Thc_sim.Engine.ctx) payload =
+  (match payload with
+  | Some m ->
+    ctx.output (Thc_sim.Obs.Round_sent { round = st.round; payload = m });
+    ctx.broadcast { round = st.round; payload = m }
+  | None -> ());
+  (match Hashtbl.find_opt st.early st.round with
+  | None -> ()
+  | Some buffered ->
+    Hashtbl.remove st.early st.round;
+    List.iter
+      (fun (from, payload) -> note_reception st ctx ~round:st.round ~from ~payload)
+      (List.rev buffered));
+  ctx.set_timer ~delay:st.period ~tag:boundary_tag
+
+let behavior ~period app : msg Thc_sim.Engine.behavior =
+  let st =
+    {
+      period;
+      app;
+      round = 1;
+      received_in = Hashtbl.create 64;
+      early = Hashtbl.create 16;
+      stopped = false;
+    }
+  in
+  {
+    init =
+      (fun ctx ->
+        let payload = app.Round_app.first_payload (handle_of st ctx) in
+        start_round st ctx payload);
+    on_message =
+      (fun ctx ~src m ->
+        if not st.stopped then begin
+          if m.round = st.round then
+            note_reception st ctx ~round:m.round ~from:src ~payload:m.payload
+          else if m.round > st.round then begin
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt st.early m.round)
+            in
+            Hashtbl.replace st.early m.round ((src, m.payload) :: prev)
+          end;
+          st.app.Round_app.on_receive (handle_of st ctx) ~round:m.round ~from:src
+            m.payload
+        end);
+    on_timer =
+      (fun ctx tag ->
+        if (not st.stopped) && tag = boundary_tag then begin
+          let verdict =
+            st.app.Round_app.on_round_check (handle_of st ctx) ~round:st.round
+          in
+          match verdict with
+          | Round_app.Stop ->
+            ctx.output (Thc_sim.Obs.Round_ended { round = st.round });
+            st.stopped <- true
+          | Round_app.Advance _ | Round_app.Hold ->
+            let payload =
+              match verdict with
+              | Round_app.Advance p -> p
+              | Round_app.Hold | Round_app.Stop -> None
+            in
+            ctx.output (Thc_sim.Obs.Round_ended { round = st.round });
+            st.round <- st.round + 1;
+            start_round st ctx payload
+        end);
+  }
+
+let inject ~round ~payload = { round; payload }

@@ -1,0 +1,29 @@
+(** Bidirectional rounds from lock-step synchrony.
+
+    The classic synchronous model: execution is divided into globally
+    aligned rounds of fixed duration [period]; every round-[r] message from
+    a correct process reaches every correct process before the round
+    boundary.  For this to hold, the harness must configure all
+    correct-to-correct link delays strictly below [period] — the driver
+    itself simply sends at each boundary and closes the round at the next.
+
+    The paper: "the classic synchronous (lock-step) model ... is exactly
+    the same guarantee as bidirectional communication."  Used by
+    {!Thc_broadcast.Dolev_strong} and as the bidirectional reference point
+    in experiment S2.
+
+    [Round_app.Hold] is not meaningful in lock-step (time moves on); the
+    driver treats it as [Advance None]. *)
+
+type msg
+
+val behavior : period:int64 -> Round_app.app -> msg Thc_sim.Engine.behavior
+(** Rounds of fixed [period] (µs), aligned across processes: round [r]
+    spans [[(r-1)·period, r·period)] in virtual time. *)
+
+val inject : round:int -> payload:string -> msg
+(** Construct a raw round message — for Byzantine behaviors in tests that
+    send different payloads to different processes, something the driver's
+    own [broadcast] (uniform by construction) cannot express. *)
+
+val pp_msg : Format.formatter -> msg -> unit

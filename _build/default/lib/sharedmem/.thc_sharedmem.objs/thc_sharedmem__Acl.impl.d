@@ -1,0 +1,1 @@
+lib/sharedmem/acl.ml: List Printf Thc_crypto

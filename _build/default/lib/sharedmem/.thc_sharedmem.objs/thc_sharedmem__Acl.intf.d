@@ -1,0 +1,1 @@
+lib/sharedmem/acl.mli: Thc_crypto

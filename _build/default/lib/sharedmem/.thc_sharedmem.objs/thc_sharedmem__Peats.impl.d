@@ -1,0 +1,1 @@
+lib/sharedmem/peats.ml: Acl Array List Printf String Thc_crypto

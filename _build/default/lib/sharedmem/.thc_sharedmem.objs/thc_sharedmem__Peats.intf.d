@@ -1,0 +1,1 @@
+lib/sharedmem/peats.mli: Thc_crypto

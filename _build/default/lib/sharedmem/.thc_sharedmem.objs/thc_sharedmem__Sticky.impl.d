@@ -1,0 +1,1 @@
+lib/sharedmem/sticky.ml: Acl Option

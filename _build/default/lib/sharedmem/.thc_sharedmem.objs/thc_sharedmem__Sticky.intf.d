@@ -1,0 +1,1 @@
+lib/sharedmem/sticky.mli: Acl Thc_crypto

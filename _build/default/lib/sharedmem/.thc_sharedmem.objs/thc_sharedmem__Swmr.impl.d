@@ -1,0 +1,1 @@
+lib/sharedmem/swmr.ml: Acl Array List

@@ -1,0 +1,1 @@
+lib/sharedmem/swmr.mli: Thc_crypto

@@ -1,0 +1,18 @@
+exception Violation of string
+
+type t = { allows : pid:int -> op:string -> bool }
+
+let only owner = { allows = (fun ~pid ~op:_ -> pid = owner) }
+
+let any = { allows = (fun ~pid:_ ~op:_ -> true) }
+
+let members pids = { allows = (fun ~pid ~op:_ -> List.mem pid pids) }
+
+let pred f = { allows = f }
+
+let allows t ~pid ~op = t.allows ~pid ~op
+
+let enforce t ~ident ~op =
+  let pid = Thc_crypto.Keyring.pid_of_secret ident in
+  if t.allows ~pid ~op then pid
+  else raise (Violation (Printf.sprintf "p%d denied op %s" pid op))

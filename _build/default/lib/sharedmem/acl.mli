@@ -1,0 +1,33 @@
+(** Access control for shared-memory objects.
+
+    The paper (after Malkhi et al.) requires that Byzantine processes cannot
+    write everywhere, and expresses the restriction as access control lists:
+    per object and operation, the set of processes allowed to execute it.
+    Identity cannot be faked: operations take the caller's
+    {!Thc_crypto.Keyring.secret} — the same capability that backs
+    signatures — and the ACL checks the pid bound inside it. *)
+
+exception Violation of string
+(** Raised when a process invokes an operation its ACL does not permit.  In
+    the simulated model this is the hardware refusing the memory access. *)
+
+type t
+(** A predicate over (pid, operation name). *)
+
+val only : int -> t
+(** Permit a single pid. *)
+
+val any : t
+(** Permit everyone. *)
+
+val members : int list -> t
+(** Permit a fixed set. *)
+
+val pred : (pid:int -> op:string -> bool) -> t
+(** Arbitrary policy (used by PEATS-style dynamic policies as a base). *)
+
+val allows : t -> pid:int -> op:string -> bool
+
+val enforce : t -> ident:Thc_crypto.Keyring.secret -> op:string -> int
+(** Check the caller and return its authenticated pid.
+    @raise Violation if denied. *)

@@ -1,0 +1,15 @@
+type 'a t = { write_acl : Acl.t; mutable value : 'a option }
+
+let create ?(write_acl = Acl.any) () = { write_acl; value = None }
+
+let set t ~ident v =
+  let _pid = Acl.enforce t.write_acl ~ident ~op:"set" in
+  match t.value with
+  | Some _ -> `Already
+  | None ->
+    t.value <- Some v;
+    `Set
+
+let get t = t.value
+
+let is_set t = Option.is_some t.value

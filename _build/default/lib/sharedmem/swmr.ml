@@ -1,0 +1,32 @@
+type 'a t = {
+  owner : int;
+  acl : Acl.t;
+  mutable value : 'a;
+  mutable writes : int;
+}
+
+let create ~owner ~init =
+  { owner; acl = Acl.only owner; value = init; writes = 0 }
+
+let owner t = t.owner
+
+let read t = t.value
+
+let write t ~ident v =
+  let _pid = Acl.enforce t.acl ~ident ~op:"write" in
+  t.value <- v;
+  t.writes <- t.writes + 1
+
+let write_count t = t.writes
+
+type 'a log = 'a list t
+
+let create_log ~owner = create ~owner ~init:[]
+
+let append t ~ident v = write t ~ident (v :: read t)
+
+let entries t = List.rev (read t)
+
+let array ~n ~init = Array.init n (fun i -> create ~owner:i ~init:(init i))
+
+let log_array ~n = Array.init n (fun i -> create_log ~owner:i)

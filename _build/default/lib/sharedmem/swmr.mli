@@ -1,0 +1,44 @@
+(** Single-writer multi-reader atomic registers.
+
+    The canonical shared-memory-with-ACL primitive of the paper (§2.1):
+    every process may [read] every register; each register has a unique
+    owner which is the only process allowed to [write].  Registers are
+    linearizable by construction — the simulation engine executes handler
+    code atomically, so each operation takes effect at one instant.
+
+    The unidirectional-round protocol (paper §3.2) needs registers whose
+    contents {e grow}: the owner "appends (r, m)".  [append] provides
+    that pattern directly on a list-valued register. *)
+
+type 'a t
+(** A register holding ['a], with an owner-only write ACL. *)
+
+val create : owner:int -> init:'a -> 'a t
+
+val owner : 'a t -> int
+
+val read : 'a t -> 'a
+(** Readable by everyone (no identity needed — reads are unrestricted in the
+    paper's setting). *)
+
+val write : 'a t -> ident:Thc_crypto.Keyring.secret -> 'a -> unit
+(** Owner-only.  @raise Acl.Violation for any other caller. *)
+
+val write_count : 'a t -> int
+(** Number of successful writes (for linearization-order assertions). *)
+
+type 'a log = 'a list t
+(** A register used append-only, newest element first. *)
+
+val create_log : owner:int -> 'a log
+
+val append : 'a log -> ident:Thc_crypto.Keyring.secret -> 'a -> unit
+(** Owner-only append ([write] of [v :: read t]). *)
+
+val entries : 'a log -> 'a list
+(** Oldest first. *)
+
+val array : n:int -> init:(int -> 'a) -> 'a t array
+(** One register per process, [o.(i)] owned by [i] — the standard layout. *)
+
+val log_array : n:int -> 'a log array

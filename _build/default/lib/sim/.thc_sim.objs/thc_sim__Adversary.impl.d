@@ -1,0 +1,1 @@
+lib/sim/adversary.ml: Array Delay Engine Format Int64 List Net String Thc_util

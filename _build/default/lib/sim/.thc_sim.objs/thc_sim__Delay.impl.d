@@ -1,0 +1,1 @@
+lib/sim/delay.ml: Float Format Int64 Thc_util

@@ -1,0 +1,1 @@
+lib/sim/delay.mli: Format Thc_util

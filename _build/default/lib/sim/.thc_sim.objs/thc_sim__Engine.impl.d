@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Delay Hashtbl Int64 List Net Obs Queue Thc_util Trace

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Delay Net Obs Thc_util Trace

@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Hashtbl Int64 List Option Trace

@@ -1,0 +1,1 @@
+lib/sim/obs.ml: Format Thc_crypto

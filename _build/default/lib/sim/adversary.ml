@@ -1,0 +1,95 @@
+type action =
+  | Crash of int
+  | Block_groups of int list list
+  | Block_link of int * int
+  | Heal
+
+type event = { at : int64; action : action }
+
+type t = { events : event list; horizon : int64 }
+
+let fast = Delay.Const 20L
+
+let pp_action ppf = function
+  | Crash pid -> Format.fprintf ppf "crash p%d" pid
+  | Block_groups groups ->
+    Format.fprintf ppf "partition %s"
+      (String.concat "|"
+         (List.map
+            (fun g -> String.concat "," (List.map string_of_int g))
+            groups))
+  | Block_link (src, dst) -> Format.fprintf ppf "block p%d->p%d" src dst
+  | Heal -> Format.pp_print_string ppf "heal"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>adversary (horizon %Ld):@,%a@]" t.horizon
+    (Format.pp_print_list (fun ppf e ->
+         Format.fprintf ppf "  %8Ld %a" e.at pp_action e.action))
+    t.events
+
+let ends_healed t =
+  let rec last_state healed = function
+    | [] -> healed
+    | { action = Heal; _ } :: rest -> last_state true rest
+    | { action = Crash _; _ } :: rest -> last_state healed rest
+    | { action = Block_groups _ | Block_link _; _ } :: rest ->
+      last_state false rest
+  in
+  last_state true t.events
+
+let install t (engine : 'm Engine.t) =
+  List.iter
+    (fun e ->
+      match e.action with
+      | Crash pid -> Engine.schedule_crash engine ~pid ~at:e.at
+      | Block_groups groups ->
+        Engine.at engine e.at (fun () ->
+            Net.isolate_groups (Engine.net engine) ~groups Net.Block)
+      | Block_link (src, dst) ->
+        Engine.at engine e.at (fun () ->
+            Engine.set_link engine ~src ~dst Net.Block)
+      | Heal -> Engine.at engine e.at (fun () -> Engine.heal_all engine fast))
+    t.events;
+  if not (ends_healed t) then
+    Engine.at engine t.horizon (fun () -> Engine.heal_all engine fast)
+
+let crashed t =
+  List.filter_map
+    (fun e -> match e.action with Crash pid -> Some pid | _ -> None)
+    t.events
+
+let random rng ~n ~horizon ?(crash_budget = 0) ?(partition_budget = 2) () =
+  let events = ref [] in
+  let time_in lo hi =
+    Int64.add lo (Int64.of_int (Thc_util.Rng.int rng (Int64.to_int (Int64.sub hi lo))))
+  in
+  (* Crashes: distinct victims, any time in the first 3/4 of the run. *)
+  let victims = Array.init n (fun i -> i) in
+  Thc_util.Rng.shuffle rng victims;
+  let crashes = min crash_budget n in
+  for i = 0 to crashes - 1 do
+    events :=
+      { at = time_in 0L (Int64.div (Int64.mul horizon 3L) 4L);
+        action = Crash victims.(i) }
+      :: !events
+  done;
+  (* Partition episodes: disjoint windows, each healed before the next. *)
+  let episodes = Thc_util.Rng.int rng (partition_budget + 1) in
+  let slot = Int64.div horizon (Int64.of_int (max 1 (2 * episodes))) in
+  for e = 0 to episodes - 1 do
+    let window_start = Int64.mul (Int64.of_int (2 * e)) slot in
+    let start = time_in window_start (Int64.add window_start (Int64.div slot 2L)) in
+    let stop = time_in (Int64.add start 1L) (Int64.add window_start slot) in
+    (* Random two-group split. *)
+    let members = Array.init n (fun i -> i) in
+    Thc_util.Rng.shuffle rng members;
+    let cut = 1 + Thc_util.Rng.int rng (n - 1) in
+    let left = Array.to_list (Array.sub members 0 cut) in
+    let right = Array.to_list (Array.sub members cut (n - cut)) in
+    events := { at = start; action = Block_groups [ left; right ] } :: !events;
+    events := { at = stop; action = Heal } :: !events
+  done;
+  let events =
+    List.sort (fun a b -> compare (a.at, a.action) (b.at, b.action)) !events
+  in
+  { events; horizon }

@@ -1,0 +1,16 @@
+type t = Const of int64 | Uniform of int64 * int64 | Exponential of float
+
+let sample rng = function
+  | Const d -> if d < 0L then 0L else d
+  | Uniform (lo, hi) ->
+    if hi < lo then invalid_arg "Delay.sample: empty range";
+    let span = Int64.to_int (Int64.sub hi lo) in
+    Int64.add lo (Int64.of_int (Thc_util.Rng.int rng (span + 1)))
+  | Exponential mean ->
+    let d = Thc_util.Rng.exponential rng ~mean in
+    Int64.of_float (Float.max 1.0 d)
+
+let pp ppf = function
+  | Const d -> Format.fprintf ppf "const(%Ldµs)" d
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%Ld,%Ldµs)" lo hi
+  | Exponential m -> Format.fprintf ppf "exp(%.1fµs)" m

@@ -1,0 +1,18 @@
+(** Message-delay distributions for network links.
+
+    Virtual time is in integer microseconds.  Asynchrony in the simulator is
+    the combination of sampled delays and adversarial link reconfiguration
+    (blocking/healing, see {!Net}); the distributions here cover the
+    well-behaved part. *)
+
+type t =
+  | Const of int64  (** Fixed delay. *)
+  | Uniform of int64 * int64  (** Uniform in [\[lo, hi\]]. *)
+  | Exponential of float
+      (** Exponential with the given mean (µs), truncated to ≥ 1 µs — the
+          standard heavy-ish tail model for asynchronous networks. *)
+
+val sample : Thc_util.Rng.t -> t -> int64
+(** Draw one delay; always ≥ 0. *)
+
+val pp : Format.formatter -> t -> unit

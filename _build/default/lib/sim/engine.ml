@@ -1,0 +1,231 @@
+type 'm ctx = {
+  self : int;
+  n : int;
+  now : unit -> int64;
+  send : int -> 'm -> unit;
+  broadcast : 'm -> unit;
+  others : 'm -> unit;
+  set_timer : delay:int64 -> tag:int -> unit;
+  output : Obs.t -> unit;
+  rng : Thc_util.Rng.t;
+}
+
+type 'm behavior = {
+  init : 'm ctx -> unit;
+  on_message : 'm ctx -> src:int -> 'm -> unit;
+  on_timer : 'm ctx -> int -> unit;
+}
+
+let no_op =
+  {
+    init = (fun _ -> ());
+    on_message = (fun _ ~src:_ _ -> ());
+    on_timer = (fun _ _ -> ());
+  }
+
+type 'm todo =
+  | Start of int
+  | Deliver of { src : int; dst : int; seq : int; msg : 'm }
+  | Fire of { pid : int; tag : int }
+  | Crash of int
+  | Script of (unit -> unit)
+
+type 'm t = {
+  n : int;
+  net : Net.t;
+  rng : Thc_util.Rng.t;
+  proc_rngs : Thc_util.Rng.t array;
+  heap : (int64 * int, 'm todo) Thc_util.Heap.t;
+  mutable clock : int64;
+  mutable tie : int;
+  behaviors : 'm behavior array;
+  crashed : bool array;
+  byzantine : bool array;
+  mutable entries : 'm Trace.entry list;  (* reverse order *)
+  held : (int * int, ('m * int) Queue.t) Hashtbl.t;
+  mutable send_seq : int;
+  ctxs : 'm ctx option array;
+}
+
+let compare_key (t1, s1) (t2, s2) =
+  match Int64.compare t1 t2 with 0 -> compare s1 s2 | c -> c
+
+let create ?(seed = 1L) ~n ~net () =
+  if Net.n net <> n then invalid_arg "Engine.create: net size mismatch";
+  let rng = Thc_util.Rng.create seed in
+  {
+    n;
+    net;
+    rng;
+    proc_rngs = Array.init n (fun _ -> Thc_util.Rng.split rng);
+    heap = Thc_util.Heap.create ~compare:compare_key;
+    clock = 0L;
+    tie = 0;
+    behaviors = Array.make n no_op;
+    crashed = Array.make n false;
+    byzantine = Array.make n false;
+    entries = [];
+    held = Hashtbl.create 16;
+    send_seq = 0;
+    ctxs = Array.make n None;
+  }
+
+let net t = t.net
+
+let push t time todo =
+  let time = if time < t.clock then t.clock else time in
+  t.tie <- t.tie + 1;
+  Thc_util.Heap.push t.heap (time, t.tie) todo
+
+let record t entry = t.entries <- entry :: t.entries
+
+let set_behavior t pid behavior = t.behaviors.(pid) <- behavior
+
+let mark_byzantine t pid = t.byzantine.(pid) <- true
+
+let schedule_crash t ~pid ~at = push t at (Crash pid)
+
+let at t time script = push t time (Script script)
+
+let now t = t.clock
+
+let route t ~src ~dst ~seq msg =
+  match Net.get t.net ~src ~dst with
+  | Net.Deliver dist ->
+    let delay = Delay.sample t.rng dist in
+    push t (Int64.add t.clock delay) (Deliver { src; dst; seq; msg })
+  | Net.Block ->
+    record t (Trace.Held { time = t.clock; src; dst; seq });
+    let q =
+      match Hashtbl.find_opt t.held (src, dst) with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.held (src, dst) q;
+        q
+    in
+    Queue.push (msg, seq) q
+  | Net.Drop -> record t (Trace.Dropped { time = t.clock; src; dst; seq })
+
+let do_send t ~src ~dst msg =
+  if not t.crashed.(src) then begin
+    let seq = t.send_seq in
+    t.send_seq <- seq + 1;
+    record t (Trace.Sent { time = t.clock; src; dst; seq; msg });
+    route t ~src ~dst ~seq msg
+  end
+
+let release_held t ~src ~dst =
+  match Hashtbl.find_opt t.held (src, dst) with
+  | None -> ()
+  | Some q ->
+    Hashtbl.remove t.held (src, dst);
+    Queue.iter
+      (fun (msg, seq) ->
+        match Net.get t.net ~src ~dst with
+        | Net.Deliver dist ->
+          let delay = Delay.sample t.rng dist in
+          push t (Int64.add t.clock delay) (Deliver { src; dst; seq; msg })
+        | Net.Block | Net.Drop ->
+          record t (Trace.Dropped { time = t.clock; src; dst; seq }))
+      q
+
+let set_link t ~src ~dst policy =
+  Net.set t.net ~src ~dst policy;
+  match policy with
+  | Net.Deliver _ -> release_held t ~src ~dst
+  | Net.Block | Net.Drop -> ()
+
+let heal_all t dist =
+  for src = 0 to t.n - 1 do
+    for dst = 0 to t.n - 1 do
+      set_link t ~src ~dst (Net.Deliver dist)
+    done
+  done
+
+let ctx_of t pid =
+  match t.ctxs.(pid) with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        self = pid;
+        n = t.n;
+        now = (fun () -> t.clock);
+        send = (fun dst msg -> do_send t ~src:pid ~dst msg);
+        broadcast =
+          (fun msg ->
+            for dst = 0 to t.n - 1 do
+              do_send t ~src:pid ~dst msg
+            done);
+        others =
+          (fun msg ->
+            for dst = 0 to t.n - 1 do
+              if dst <> pid then do_send t ~src:pid ~dst msg
+            done);
+        set_timer =
+          (fun ~delay ~tag ->
+            push t (Int64.add t.clock delay) (Fire { pid; tag }));
+        output =
+          (fun obs -> record t (Trace.Output { time = t.clock; pid; obs }));
+        rng = t.proc_rngs.(pid);
+      }
+    in
+    t.ctxs.(pid) <- Some c;
+    c
+
+let dispatch t todo =
+  match todo with
+  | Start pid ->
+    if not t.crashed.(pid) then t.behaviors.(pid).init (ctx_of t pid)
+  | Deliver { src; dst; seq; msg } ->
+    if not t.crashed.(dst) then begin
+      record t (Trace.Delivered { time = t.clock; src; dst; seq; msg });
+      t.behaviors.(dst).on_message (ctx_of t dst) ~src msg
+    end
+  | Fire { pid; tag } ->
+    if not t.crashed.(pid) then begin
+      record t (Trace.Timer_fired { time = t.clock; pid; tag });
+      t.behaviors.(pid).on_timer (ctx_of t pid) tag
+    end
+  | Crash pid ->
+    if not t.crashed.(pid) then begin
+      t.crashed.(pid) <- true;
+      record t (Trace.Crashed { time = t.clock; pid })
+    end
+  | Script f -> f ()
+
+let to_trace t =
+  let byzantine =
+    List.filter (fun p -> t.byzantine.(p)) (List.init t.n (fun i -> i))
+  in
+  {
+    Trace.n = t.n;
+    byzantine;
+    entries = List.rev t.entries;
+    end_time = t.clock;
+  }
+
+let run ?(max_events = 2_000_000) ?until t =
+  for pid = 0 to t.n - 1 do
+    push t 0L (Start pid)
+  done;
+  let processed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Thc_util.Heap.peek t.heap with
+    | None -> continue := false
+    | Some ((time, _), _) ->
+      (match until with
+      | Some limit when time > limit -> continue := false
+      | Some _ | None ->
+        (match Thc_util.Heap.pop t.heap with
+        | None -> continue := false
+        | Some ((time, _), todo) ->
+          t.clock <- time;
+          dispatch t todo;
+          incr processed;
+          if !processed > max_events then
+            failwith "Engine.run: event limit exceeded (livelocked protocol?)"))
+  done;
+  to_trace t

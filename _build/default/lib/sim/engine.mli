@@ -1,0 +1,75 @@
+(** Deterministic discrete-event simulation engine.
+
+    Processes are event handlers over a protocol-specific message type ['m];
+    the engine owns virtual time, the event queue, the network configuration
+    and all randomness, so a run is a pure function of the seed, the wiring,
+    and the adversary script.  The asynchronous adversary is expressed as
+    scheduled reconfigurations ({!at}, {!set_link}, {!schedule_crash}) plus
+    the delay distributions of {!Net}.
+
+    Byzantine processes are ordinary behaviors registered with
+    {!mark_byzantine}; nothing restricts their code — restrictions come only
+    from capabilities (signing secrets, trusted-hardware handles, ACLs),
+    exactly as in the paper's model. *)
+
+type 'm t
+
+type 'm ctx = {
+  self : int;
+  n : int;
+  now : unit -> int64;
+  send : int -> 'm -> unit;  (** Point-to-point send (recorded). *)
+  broadcast : 'm -> unit;  (** Send to every process, including self. *)
+  others : 'm -> unit;  (** Send to every process except self. *)
+  set_timer : delay:int64 -> tag:int -> unit;
+      (** One-shot timer; [on_timer] fires with [tag] after [delay]. *)
+  output : Obs.t -> unit;  (** Record an observation in the trace. *)
+  rng : Thc_util.Rng.t;  (** Per-process deterministic stream. *)
+}
+(** Capabilities handed to a behavior.  All interaction with the world goes
+    through this record. *)
+
+type 'm behavior = {
+  init : 'm ctx -> unit;  (** Called once at virtual time 0. *)
+  on_message : 'm ctx -> src:int -> 'm -> unit;
+  on_timer : 'm ctx -> int -> unit;
+}
+
+val no_op : 'm behavior
+(** Behavior that does nothing (a silent/crashed-from-start process). *)
+
+val create : ?seed:int64 -> n:int -> net:Net.t -> unit -> 'm t
+(** Fresh engine over [n] processes.  [net] must have the same [n]. *)
+
+val net : 'm t -> Net.t
+
+val set_behavior : 'm t -> int -> 'm behavior -> unit
+(** Install a process.  Pids without behaviors act as crashed from start. *)
+
+val mark_byzantine : 'm t -> int -> unit
+(** Tag a pid as faulty for the monitors; does not change its execution. *)
+
+val schedule_crash : 'm t -> pid:int -> at:int64 -> unit
+(** Stop delivering messages/timers to [pid] from time [at] on. *)
+
+val at : 'm t -> int64 -> (unit -> unit) -> unit
+(** Run an adversary script action at the given virtual time (network
+    reconfiguration, assertions over intermediate state, ...). *)
+
+val set_link : 'm t -> src:int -> dst:int -> Net.policy -> unit
+(** Reconfigure a link now.  Switching a [Block]ed link to [Deliver]
+    releases its held messages with freshly sampled delays. *)
+
+val heal_all : 'm t -> Delay.t -> unit
+(** Set every link to [Deliver] and release everything held — used to
+    restore the "every message is eventually delivered" obligation after a
+    temporary partition. *)
+
+val now : 'm t -> int64
+
+val run : ?max_events:int -> ?until:int64 -> 'm t -> 'm Trace.t
+(** Process events in time order until quiescence, [until] (events after it
+    stay unprocessed), or [max_events] (default 2_000_000; exceeding it
+    raises [Failure] — a protocol bug, not a legitimate outcome).  Call at
+    most once per engine: it enqueues the [init] events, so engines are
+    single-shot. *)

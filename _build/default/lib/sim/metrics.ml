@@ -1,0 +1,47 @@
+let kind_counts trace ~classify =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Trace.Sent { msg; _ } ->
+        let kind = classify msg in
+        Hashtbl.replace counts kind
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts kind))
+      | _ -> ())
+    trace.Trace.entries;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let sends_by_source trace =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Trace.Sent { src; _ } ->
+        Hashtbl.replace counts src
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts src))
+      | _ -> ())
+    trace.Trace.entries;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  |> List.sort compare
+
+let delivery_latencies trace =
+  let sent_at = Hashtbl.create 256 in
+  let latencies = ref [] in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Trace.Sent { time; seq; _ } -> Hashtbl.replace sent_at seq time
+      | Trace.Delivered { time; seq; _ } ->
+        (match Hashtbl.find_opt sent_at seq with
+        | Some t0 ->
+          latencies := Int64.to_float (Int64.sub time t0) :: !latencies
+        | None -> ())
+      | _ -> ())
+    trace.Trace.entries;
+  List.rev !latencies
+
+let events_per_virtual_ms trace =
+  let ms = Int64.to_float trace.Trace.end_time /. 1000.0 in
+  if ms <= 0.0 then 0.0
+  else float_of_int (List.length trace.Trace.entries) /. ms

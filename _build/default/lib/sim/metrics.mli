@@ -1,0 +1,19 @@
+(** Trace-level metrics for the benchmark tables.
+
+    Message-kind breakdowns and rate summaries computed from finished
+    traces; protocol libraries provide the classifier (a function from
+    their wire type to a short label). *)
+
+val kind_counts :
+  'm Trace.t -> classify:('m -> string) -> (string * int) list
+(** Sent messages grouped by classifier label, descending by count. *)
+
+val sends_by_source : 'm Trace.t -> (int * int) list
+(** [(pid, messages sent)] for every pid that sent anything, ascending pid. *)
+
+val delivery_latencies : 'm Trace.t -> float list
+(** Per-message µs between [Sent] and its [Delivered] (matched by engine
+    sequence number); dropped/held-forever messages are excluded. *)
+
+val events_per_virtual_ms : 'm Trace.t -> float
+(** Trace entries per virtual millisecond — a load measure. *)

@@ -1,0 +1,57 @@
+type policy = Deliver of Delay.t | Block | Drop
+
+type t = { links : policy array array }
+
+let create ~n ~default =
+  if n <= 0 then invalid_arg "Net.create: n must be positive";
+  { links = Array.init n (fun _ -> Array.make n (Deliver default)) }
+
+let n t = Array.length t.links
+
+let check t pid name =
+  if pid < 0 || pid >= n t then invalid_arg ("Net." ^ name ^ ": bad pid")
+
+let get t ~src ~dst =
+  check t src "get";
+  check t dst "get";
+  t.links.(src).(dst)
+
+let set t ~src ~dst policy =
+  check t src "set";
+  check t dst "set";
+  t.links.(src).(dst) <- policy
+
+let set_from t ~src policy =
+  check t src "set_from";
+  for dst = 0 to n t - 1 do
+    t.links.(src).(dst) <- policy
+  done
+
+let set_to t ~dst policy =
+  check t dst "set_to";
+  for src = 0 to n t - 1 do
+    t.links.(src).(dst) <- policy
+  done
+
+let set_between t ~group_a ~group_b policy =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          set t ~src:a ~dst:b policy;
+          set t ~src:b ~dst:a policy)
+        group_b)
+    group_a
+
+let isolate_groups t ~groups policy =
+  let group_of = Array.make (n t) (-1) in
+  List.iteri
+    (fun gi members -> List.iter (fun p -> group_of.(p) <- gi) members)
+    groups;
+  (* Unmentioned processes together form one implicit extra group (id -1). *)
+  for src = 0 to n t - 1 do
+    for dst = 0 to n t - 1 do
+      if src <> dst && group_of.(src) <> group_of.(dst) then
+        t.links.(src).(dst) <- policy
+    done
+  done

@@ -1,0 +1,41 @@
+(** Network configuration: per-directed-link delivery policy.
+
+    The adversary of the asynchronous model is expressed as a schedule of
+    reconfigurations of this structure (performed through {!Engine.at}
+    scripts): a link can deliver with a sampled delay, hold messages back
+    ([Block], the paper's "arbitrarily delayed"), or drop them ([Drop],
+    used only on links from Byzantine processes or to model fair-loss
+    experiments — correct-to-correct links must stay eventually live for
+    the asynchronous model's guarantees to apply). *)
+
+type policy =
+  | Deliver of Delay.t  (** Deliver after a sampled delay. *)
+  | Block
+      (** Hold messages; they are queued and released when the link is later
+          set back to [Deliver] (see {!Engine.set_link}). *)
+  | Drop  (** Silently discard. *)
+
+type t
+
+val create : n:int -> default:Delay.t -> t
+(** Fully connected [n]-process network; every link (including self-loops,
+    which model local delivery) starts as [Deliver default]. *)
+
+val n : t -> int
+
+val get : t -> src:int -> dst:int -> policy
+
+val set : t -> src:int -> dst:int -> policy -> unit
+
+val set_from : t -> src:int -> policy -> unit
+(** Set all links out of [src]. *)
+
+val set_to : t -> dst:int -> policy -> unit
+(** Set all links into [dst]. *)
+
+val set_between : t -> group_a:int list -> group_b:int list -> policy -> unit
+(** Set all links in both directions between the two groups. *)
+
+val isolate_groups : t -> groups:int list list -> policy -> unit
+(** Apply [policy] to every link whose endpoints lie in different groups.
+    Processes not mentioned in any group form an implicit extra group. *)

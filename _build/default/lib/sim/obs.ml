@@ -1,0 +1,44 @@
+type t =
+  | Decided of string option
+  | Srb_broadcast of { seq : int; value : string }
+  | Srb_delivered of { sender : int; seq : int; value : string }
+  | Rb_delivered of { sender : int; value : string }
+  | Round_sent of { round : int; payload : string }
+  | Round_received of { round : int; from : int; payload : string }
+  | Round_ended of { round : int }
+  | Committed of { view : int; seq : int; op : string }
+  | Executed of { seq : int; op : string; result : string }
+  | Attested of { counter : int; value : string }
+  | Checked of { ok : bool; info : string }
+  | Client_done of { rid : int; latency_us : int64 }
+  | Note of string
+
+let equal (a : t) (b : t) = a = b
+
+let pp_bytes ppf s =
+  Format.fprintf ppf "#%s" (Thc_crypto.Digest.to_hex (Thc_crypto.Digest.of_string s))
+
+let pp ppf = function
+  | Decided None -> Format.pp_print_string ppf "decided(⊥)"
+  | Decided (Some v) -> Format.fprintf ppf "decided(%a)" pp_bytes v
+  | Srb_broadcast { seq; value } ->
+    Format.fprintf ppf "srb-bcast(%d,%a)" seq pp_bytes value
+  | Srb_delivered { sender; seq; value } ->
+    Format.fprintf ppf "srb-deliver(p%d,%d,%a)" sender seq pp_bytes value
+  | Rb_delivered { sender; value } ->
+    Format.fprintf ppf "rb-deliver(p%d,%a)" sender pp_bytes value
+  | Round_sent { round; payload } ->
+    Format.fprintf ppf "round-sent(r%d,%a)" round pp_bytes payload
+  | Round_received { round; from; payload } ->
+    Format.fprintf ppf "round-recv(r%d,p%d,%a)" round from pp_bytes payload
+  | Round_ended { round } -> Format.fprintf ppf "round-end(r%d)" round
+  | Committed { view; seq; op } ->
+    Format.fprintf ppf "committed(v%d,s%d,%a)" view seq pp_bytes op
+  | Executed { seq; op; result } ->
+    Format.fprintf ppf "executed(s%d,%a,%a)" seq pp_bytes op pp_bytes result
+  | Attested { counter; value } ->
+    Format.fprintf ppf "attested(c%d,%a)" counter pp_bytes value
+  | Checked { ok; info } -> Format.fprintf ppf "checked(%b,%s)" ok info
+  | Client_done { rid; latency_us } ->
+    Format.fprintf ppf "client-done(r%d,%Ldµs)" rid latency_us
+  | Note s -> Format.fprintf ppf "note(%s)" s

@@ -1,0 +1,43 @@
+(** Observable outputs of simulated processes.
+
+    Every protocol in the repository reports its externally meaningful
+    actions (decisions, deliveries, round boundaries, commits) as [Obs.t]
+    values recorded in the trace.  Property monitors — the executable
+    versions of the paper's definitions — are written entirely against
+    these observations, independent of each protocol's wire message type.
+
+    Values carried inside observations are canonical byte strings
+    ([Thc_util.Codec.encode] of the protocol-level value) so that equality
+    of observations coincides with equality of values. *)
+
+type t =
+  | Decided of string option
+      (** Agreement protocols: committed value, [None] encodes ⊥. *)
+  | Srb_broadcast of { seq : int; value : string }
+      (** A sender handed [value] with sequence number [seq] to broadcast. *)
+  | Srb_delivered of { sender : int; seq : int; value : string }
+      (** Sequenced-reliable-broadcast delivery event. *)
+  | Rb_delivered of { sender : int; value : string }
+      (** Plain reliable-broadcast delivery event. *)
+  | Round_sent of { round : int; payload : string }
+      (** The process sent its round-[round] message. *)
+  | Round_received of { round : int; from : int; payload : string }
+      (** The process received [from]'s round-[round] message (before the
+          end of its own round [round]; later receptions are not round
+          receptions). *)
+  | Round_ended of { round : int }
+      (** The process finished round [round] and may begin the next. *)
+  | Committed of { view : int; seq : int; op : string }
+      (** Replication: operation committed at sequence number [seq]. *)
+  | Executed of { seq : int; op : string; result : string }
+      (** Replication: state machine executed [op]. *)
+  | Attested of { counter : int; value : string }
+      (** Trusted hardware produced an attestation. *)
+  | Checked of { ok : bool; info : string }
+      (** Result of an attestation/proof check. *)
+  | Client_done of { rid : int; latency_us : int64 }
+      (** Replication client: request [rid] completed end-to-end. *)
+  | Note of string  (** Free-form annotation for debugging and demos. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

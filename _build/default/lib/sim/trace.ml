@@ -1,0 +1,101 @@
+type 'm entry =
+  | Sent of { time : int64; src : int; dst : int; seq : int; msg : 'm }
+  | Delivered of { time : int64; src : int; dst : int; seq : int; msg : 'm }
+  | Held of { time : int64; src : int; dst : int; seq : int }
+  | Dropped of { time : int64; src : int; dst : int; seq : int }
+  | Timer_fired of { time : int64; pid : int; tag : int }
+  | Crashed of { time : int64; pid : int }
+  | Output of { time : int64; pid : int; obs : Obs.t }
+
+type 'm t = {
+  n : int;
+  byzantine : int list;
+  entries : 'm entry list;
+  end_time : int64;
+}
+
+let crashed_pids t =
+  List.filter_map
+    (function Crashed { pid; _ } -> Some pid | _ -> None)
+    t.entries
+
+let correct t pid =
+  (not (List.mem pid t.byzantine)) && not (List.mem pid (crashed_pids t))
+
+let correct_pids t = List.filter (correct t) (List.init t.n (fun i -> i))
+
+let outputs t =
+  List.filter_map
+    (function Output { time; pid; obs } -> Some (time, pid, obs) | _ -> None)
+    t.entries
+
+let outputs_of t pid =
+  List.filter_map
+    (function
+      | Output { pid = p; obs; _ } when p = pid -> Some obs
+      | _ -> None)
+    t.entries
+
+let outputs_matching t f =
+  List.filter_map
+    (function
+      | Output { time; pid; obs } ->
+        (match f pid obs with Some x -> Some (time, x) | None -> None)
+      | _ -> None)
+    t.entries
+
+let decision_of t pid =
+  let rec first = function
+    | [] -> None
+    | Obs.Decided d :: _ -> Some d
+    | _ :: rest -> first rest
+  in
+  first (outputs_of t pid)
+
+let reception_transcript t pid =
+  List.filter_map
+    (function
+      | Delivered { dst; src; msg; _ } when dst = pid ->
+        Some (src, Thc_util.Codec.encode msg)
+      | _ -> None)
+    t.entries
+
+let full_local_view t pid =
+  List.filter_map
+    (function
+      | Delivered { dst; src; msg; _ } when dst = pid ->
+        Some (Printf.sprintf "recv:%d:%s" src (Thc_util.Codec.encode msg))
+      | Timer_fired { pid = p; tag; _ } when p = pid ->
+        Some (Printf.sprintf "timer:%d" tag)
+      | _ -> None)
+    t.entries
+
+let count t pred = List.length (List.filter pred t.entries)
+
+let messages_sent t = count t (function Sent _ -> true | _ -> false)
+
+let messages_delivered t = count t (function Delivered _ -> true | _ -> false)
+
+let pp pp_msg ppf t =
+  let pp_entry ppf = function
+    | Sent { time; src; dst; seq; msg } ->
+      Format.fprintf ppf "%8Ld  p%d -> p%d  send#%d  %a" time src dst seq pp_msg
+        msg
+    | Delivered { time; src; dst; seq; msg } ->
+      Format.fprintf ppf "%8Ld  p%d => p%d  dlvr#%d  %a" time src dst seq pp_msg
+        msg
+    | Held { time; src; dst; seq } ->
+      Format.fprintf ppf "%8Ld  p%d -| p%d  held#%d" time src dst seq
+    | Dropped { time; src; dst; seq } ->
+      Format.fprintf ppf "%8Ld  p%d -x p%d  drop#%d" time src dst seq
+    | Timer_fired { time; pid; tag } ->
+      Format.fprintf ppf "%8Ld  p%d  timer %d" time pid tag
+    | Crashed { time; pid } -> Format.fprintf ppf "%8Ld  p%d  CRASH" time pid
+    | Output { time; pid; obs } ->
+      Format.fprintf ppf "%8Ld  p%d  OUT %a" time pid Obs.pp obs
+  in
+  Format.fprintf ppf "@[<v>trace n=%d byz=[%s] end=%Ld@,%a@]" t.n
+    (String.concat "," (List.map string_of_int t.byzantine))
+    t.end_time
+    (Format.pp_print_list pp_entry)
+    t.entries

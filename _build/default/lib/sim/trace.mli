@@ -1,0 +1,60 @@
+(** Execution traces.
+
+    The engine records every externally meaningful event; property monitors
+    (the executable forms of the paper's definitions) and the
+    indistinguishability checks of the separation arguments are all queries
+    over these traces. *)
+
+type 'm entry =
+  | Sent of { time : int64; src : int; dst : int; seq : int; msg : 'm }
+  | Delivered of { time : int64; src : int; dst : int; seq : int; msg : 'm }
+  | Held of { time : int64; src : int; dst : int; seq : int }
+      (** Message queued on a blocked link. *)
+  | Dropped of { time : int64; src : int; dst : int; seq : int }
+  | Timer_fired of { time : int64; pid : int; tag : int }
+  | Crashed of { time : int64; pid : int }
+  | Output of { time : int64; pid : int; obs : Obs.t }
+
+type 'm t = {
+  n : int;
+  byzantine : int list;  (** Processes marked faulty by the harness. *)
+  entries : 'm entry list;  (** In execution order. *)
+  end_time : int64;
+}
+
+val correct : 'm t -> int -> bool
+(** Not marked Byzantine and never crashed. *)
+
+val correct_pids : 'm t -> int list
+
+val outputs : 'm t -> (int64 * int * Obs.t) list
+(** All [(time, pid, obs)] outputs in order. *)
+
+val outputs_of : 'm t -> int -> Obs.t list
+(** Outputs of one process, in order. *)
+
+val outputs_matching : 'm t -> (int -> Obs.t -> 'a option) -> (int64 * 'a) list
+(** Project outputs through a partial function (pid, obs). *)
+
+val decision_of : 'm t -> int -> string option option
+(** First [Decided] output of a process: [None] if it never decided,
+    [Some d] with [d] the (possibly ⊥ = [None]) decision. *)
+
+val reception_transcript : 'm t -> int -> (int * string) list
+(** The local receive history of a process: [(src, canonical msg bytes)] in
+    delivery order.  Two runs are indistinguishable to [pid] up to a point
+    iff their transcripts (plus timer firings — see
+    {!full_local_view}) coincide; the separation scenarios compare these. *)
+
+val full_local_view : 'm t -> int -> string list
+(** Receive history interleaved with timer firings, canonical strings. *)
+
+val count : 'm t -> ('m entry -> bool) -> int
+
+val messages_sent : 'm t -> int
+(** Total [Sent] entries (message-complexity metric). *)
+
+val messages_delivered : 'm t -> int
+
+val pp : (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit
+(** Full dump (for debugging small runs). *)

@@ -1,0 +1,3 @@
+let encode v = Marshal.to_string v []
+
+let decode s = Marshal.from_string s 0

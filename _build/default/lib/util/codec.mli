@@ -1,0 +1,14 @@
+(** Byte-string serialization of protocol values.
+
+    Signatures and trusted-hardware attestations bind to byte strings, so
+    protocol payloads are serialized before signing and on the wire between
+    layered protocols.  Uses [Marshal]; within one simulation binary this is
+    deterministic and round-trips all immutable values we exchange. *)
+
+val encode : 'a -> string
+(** Serialize any value to a byte string. *)
+
+val decode : string -> 'a
+(** Deserialize.  The caller fixes the type; decoding at a wrong type on
+    attacker-supplied bytes is outside the simulation's threat model (real
+    systems use tagged wire formats). *)

@@ -1,0 +1,86 @@
+type ('k, 'v) t = {
+  compare : 'k -> 'k -> int;
+  mutable data : ('k * 'v) array;
+  mutable size : int;
+}
+
+let create ~compare = { compare; data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h =
+  let cap = Array.length h.data in
+  let entry = h.data.(0) in
+  let data = Array.make (max 8 (2 * cap)) entry in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.compare (fst h.data.(i)) (fst h.data.(parent)) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest =
+    if left < h.size && h.compare (fst h.data.(left)) (fst h.data.(i)) < 0
+    then left
+    else i
+  in
+  let smallest =
+    if right < h.size
+       && h.compare (fst h.data.(right)) (fst h.data.(smallest)) < 0
+    then right
+    else smallest
+  in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h smallest
+  end
+
+let push h k v =
+  if h.size = Array.length h.data then
+    if h.size = 0 then h.data <- Array.make 8 (k, v) else grow h;
+  h.data.(h.size) <- (k, v);
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0
+
+let to_sorted_list h =
+  let copy =
+    { compare = h.compare; data = Array.sub h.data 0 h.size; size = h.size }
+  in
+  (* Re-heapify not needed: [copy] shares the valid heap prefix. *)
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some e -> drain (e :: acc)
+  in
+  drain []

@@ -1,0 +1,52 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let seed = next_int64 g in
+  create (mix64 seed)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  r mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  (* 53 uniform bits scaled into [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let exponential g ~mean =
+  let u = float g 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int g (Array.length a))

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation.
+
+    The whole repository must be reproducible from a single seed, so every
+    source of randomness goes through this module rather than [Random].  The
+    generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny,
+    statistically strong, splittable generator whose determinism does not
+    depend on OCaml's stdlib internals. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split g] derives an independent generator from [g], advancing [g].
+    Used to give each sub-component its own stream so adding draws in one
+    component does not perturb another. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean (for network-delay
+    sampling). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element.  Raises [Invalid_argument] on empty arrays. *)

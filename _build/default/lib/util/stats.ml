@@ -1,0 +1,60 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (sq /. float_of_int (List.length xs))
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  let idx = max 0 (min (n - 1) (rank - 1)) in
+  sorted.(idx)
+
+let summarize xs =
+  match xs with
+  | [] ->
+    {
+      count = 0;
+      mean = 0.0;
+      stddev = 0.0;
+      min = 0.0;
+      max = 0.0;
+      p50 = 0.0;
+      p90 = 0.0;
+      p99 = 0.0;
+    }
+  | _ ->
+    let sorted = Array.of_list xs in
+    Array.sort compare sorted;
+    {
+      count = Array.length sorted;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = sorted.(0);
+      max = sorted.(Array.length sorted - 1);
+      p50 = percentile sorted 0.5;
+      p90 = percentile sorted 0.9;
+      p99 = percentile sorted 0.99;
+    }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.2f sd=%.2f p50=%.2f p90=%.2f p99=%.2f min=%.2f max=%.2f"
+    s.count s.mean s.stddev s.p50 s.p90 s.p99 s.min s.max

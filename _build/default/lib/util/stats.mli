@@ -1,0 +1,32 @@
+(** Summary statistics for experiment reporting.
+
+    The benchmark harness reports simulated-time latencies and message
+    counts; this module computes the usual aggregates over float samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+(** One-shot description of a sample set.  All fields are 0 for an empty
+    sample. *)
+
+val summarize : float list -> summary
+(** Compute all aggregate fields in one pass plus a sort. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0,1\]]; nearest-rank on a sorted
+    array.  Raises [Invalid_argument] if the array is empty. *)
+
+val mean : float list -> float
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Render as [n=.. mean=.. p50=.. p99=.. min=.. max=..]. *)

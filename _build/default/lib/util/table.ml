@@ -1,0 +1,47 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  let width = List.length t.headers in
+  let got = List.length row in
+  if got > width then invalid_arg "Table.add_row: too many cells";
+  let padded =
+    if got = width then row
+    else row @ List.init (width - got) (fun _ -> "")
+  in
+  t.rows <- padded :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  List.iter measure all;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    Buffer.add_string buf "|";
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf " ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' ');
+        Buffer.add_string buf " |")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  Buffer.add_string buf "|";
+  Array.iter
+    (fun w -> Buffer.add_string buf (String.make (w + 2) '-' ^ "|"))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

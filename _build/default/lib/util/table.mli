@@ -1,0 +1,20 @@
+(** Plain-text table rendering.
+
+    The benchmark harness prints paper-style result tables; this renders a
+    header plus rows with column-width alignment, markdown-compatible. *)
+
+type t
+(** A table under construction. *)
+
+val create : string list -> t
+(** [create headers] starts a table with the given column titles. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Short rows are padded with empty cells; long rows raise
+    [Invalid_argument]. *)
+
+val render : t -> string
+(** Render with [|]-separated aligned columns and a separator rule. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,1 @@
+test/test_agreement.ml: Alcotest Array Gen List QCheck QCheck_alcotest Thc_agreement Thc_crypto Thc_rounds Thc_sharedmem Thc_sim Thc_util

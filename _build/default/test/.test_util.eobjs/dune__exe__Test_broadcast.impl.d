@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Array Fun Int64 List Option Printf QCheck QCheck_alcotest Thc_broadcast Thc_crypto Thc_hardware Thc_rounds Thc_sharedmem Thc_sim Thc_util

@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest List String Thc_classify

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest QCheck QCheck_alcotest String Thc_crypto Thc_util

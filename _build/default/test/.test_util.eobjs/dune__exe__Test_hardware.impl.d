@@ -1,0 +1,1 @@
+test/test_hardware.ml: Alcotest Gen Hashtbl Int64 List QCheck QCheck_alcotest Thc_hardware Thc_util

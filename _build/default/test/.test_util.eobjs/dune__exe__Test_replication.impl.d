@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Gen Int64 List QCheck QCheck_alcotest Thc_crypto Thc_hardware Thc_replication Thc_sim Thc_util

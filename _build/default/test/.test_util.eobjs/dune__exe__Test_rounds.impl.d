@@ -1,0 +1,1 @@
+test/test_rounds.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Thc_crypto Thc_rounds Thc_sharedmem Thc_sim Thc_util

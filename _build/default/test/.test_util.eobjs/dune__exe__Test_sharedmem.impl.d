@@ -1,0 +1,1 @@
+test/test_sharedmem.ml: Alcotest Array Gen List QCheck QCheck_alcotest String Thc_crypto Thc_sharedmem Thc_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Int64 List QCheck QCheck_alcotest Thc_sim Thc_util

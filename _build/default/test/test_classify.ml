@@ -1,0 +1,252 @@
+(* Tests for the classification core: the mechanism taxonomy, the Figure-1
+   hierarchy and its consistency, the separation constructions, and the
+   witness registry. *)
+
+(* --- mechanisms ------------------------------------------------------------------ *)
+
+let test_mechanism_names_unique () =
+  let names = List.map Thc_classify.Mechanism.name Thc_classify.Mechanism.all in
+  Alcotest.(check int) "no duplicate names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_mechanism_of_name_roundtrip () =
+  List.iter
+    (fun m ->
+      match Thc_classify.Mechanism.of_name (Thc_classify.Mechanism.name m) with
+      | Some m' when Thc_classify.Mechanism.equal m m' -> ()
+      | _ -> Alcotest.failf "roundtrip failed for %s" (Thc_classify.Mechanism.name m))
+    Thc_classify.Mechanism.all
+
+let test_mechanism_of_name_unknown () =
+  Alcotest.(check bool) "unknown name" true
+    (Thc_classify.Mechanism.of_name "quantum-oracle" = None)
+
+let test_mechanism_classes () =
+  let open Thc_classify.Mechanism in
+  Alcotest.(check bool) "swmr in shared memory class" true
+    (klass Swmr_registers = Shared_memory_class);
+  Alcotest.(check bool) "trinc in trusted log class" true
+    (klass Trinc = Trusted_log_class);
+  Alcotest.(check bool) "a2m with trinc" true (klass A2m = klass Trinc);
+  Alcotest.(check bool) "sticky with swmr" true
+    (klass Sticky_bits = klass Swmr_registers);
+  Alcotest.(check bool) "async at the bottom" true
+    (klass Asynchrony = Baseline_class)
+
+(* --- hierarchy --------------------------------------------------------------------- *)
+
+let h = Thc_classify.Hierarchy.paper
+
+let test_hierarchy_consistent () =
+  match Thc_classify.Hierarchy.consistent h with
+  | Ok _ -> ()
+  | Error problems ->
+    Alcotest.failf "inconsistent: %s" (String.concat "; " problems)
+
+let test_hierarchy_key_implications () =
+  let open Thc_classify.Mechanism in
+  let implements = Thc_classify.Hierarchy.implements h in
+  (* The paper's class structure, unconditionally derivable: *)
+  Alcotest.(check bool) "swmr -> zero-directionality" true
+    (implements Swmr_registers Zero_directionality);
+  Alcotest.(check bool) "trinc -> a2m" true (implements Trinc A2m);
+  Alcotest.(check bool) "a2m -> trinc" true (implements A2m Trinc);
+  Alcotest.(check bool) "enclave -> srb" true (implements Enclave Srb);
+  Alcotest.(check bool) "bidirectionality -> unidirectionality" true
+    (implements Bidirectionality Unidirectionality);
+  (* The strict separations: no unconditional path. *)
+  Alcotest.(check bool) "srb does NOT reach unidirectionality" false
+    (implements Srb Unidirectionality);
+  Alcotest.(check bool) "unidirectionality does NOT reach bidirectionality"
+    false
+    (implements Unidirectionality Bidirectionality);
+  Alcotest.(check bool) "asynchrony does NOT reach srb" false
+    (implements Asynchrony Srb)
+
+let test_hierarchy_trusted_log_equivalences () =
+  let open Thc_classify.Mechanism in
+  let eq = Thc_classify.Hierarchy.same_class_pairs h in
+  Alcotest.(check bool) "srb <=> trinc proven" true
+    (List.mem (Srb, Trinc) eq || List.mem (Trinc, Srb) eq);
+  Alcotest.(check bool) "srb <=> a2m proven" true
+    (List.mem (Srb, A2m) eq || List.mem (A2m, Srb) eq)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_hierarchy_renderings () =
+  let fig = Thc_classify.Hierarchy.figure1 h in
+  Alcotest.(check bool) "figure mentions unidirectional" true
+    (contains fig "UNIDIRECTIONAL");
+  let dot = Thc_classify.Hierarchy.to_dot h in
+  Alcotest.(check bool) "dot has digraph" true (contains dot "digraph");
+  Alcotest.(check bool) "dot mentions trinc" true (contains dot "trinc")
+
+(* --- separations -------------------------------------------------------------------- *)
+
+let test_separation_srb_uni () =
+  let r = Thc_classify.Separations.srb_cannot_implement_unidirectionality () in
+  if not r.holds then
+    Alcotest.failf "failed: %s"
+      (String.concat "; "
+         (List.map
+            (fun s -> s.Thc_classify.Separations.label)
+            (List.filter (fun s -> not s.Thc_classify.Separations.ok) r.scenarios)))
+
+let test_separation_srb_uni_other_sizes () =
+  let r =
+    Thc_classify.Separations.srb_cannot_implement_unidirectionality ~n:9 ~f:4
+      ~seed:5L ()
+  in
+  Alcotest.(check bool) "n=9 f=4 construction verified" true r.holds
+
+let test_separation_srb_uni_rejects_bad_params () =
+  Alcotest.(check bool) "f=1 rejected (corner case regime)" true
+    (match
+       Thc_classify.Separations.srb_cannot_implement_unidirectionality ~n:4
+         ~f:1 ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_separation_rb_very_weak () =
+  let r = Thc_classify.Separations.rb_cannot_solve_very_weak () in
+  Alcotest.(check bool) "worlds construction verified" true r.holds
+
+let test_separation_delta () =
+  let r = Thc_classify.Separations.delta_wait_below_delta_not_unidirectional () in
+  Alcotest.(check bool) "short-wait violation exhibited" true r.holds
+
+(* --- problems matrix --------------------------------------------------------------- *)
+
+let test_problems_matrix_covers_all_cells () =
+  (* Every (problem, model) pair carries at least one verdict. *)
+  let problems =
+    Thc_classify.Problems.
+      [
+        Non_equivocating_broadcast; Reliable_broadcast_p; Byzantine_broadcast;
+        Very_weak_agreement; Weak_validity_agreement; Strong_validity_agreement;
+      ]
+  in
+  let models =
+    Thc_classify.Problems.
+      [ Bidirectional_model; Unidirectional_model; Srb_model; Zero_model ]
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun m ->
+          if Thc_classify.Problems.cell p m = [] then
+            Alcotest.failf "empty cell: %s / %s"
+              (Thc_classify.Problems.problem_name p)
+              (Thc_classify.Problems.model_name m))
+        models)
+    problems
+
+let test_problems_separating_cells () =
+  (* The cells that realize the class separation: very weak agreement is
+     solvable under unidirectionality but unsolvable in the SRB class. *)
+  let uni =
+    Thc_classify.Problems.cell Thc_classify.Problems.Very_weak_agreement
+      Thc_classify.Problems.Unidirectional_model
+  in
+  let srb =
+    Thc_classify.Problems.cell Thc_classify.Problems.Very_weak_agreement
+      Thc_classify.Problems.Srb_model
+  in
+  let is_solvable = function Thc_classify.Problems.Solvable _ -> true | _ -> false in
+  Alcotest.(check bool) "uni solves very weak" true (List.exists is_solvable uni);
+  Alcotest.(check bool) "srb cannot" true
+    (List.exists (fun v -> not (is_solvable v)) srb)
+
+let test_problems_render () =
+  let rendered = Thc_classify.Problems.render () in
+  Alcotest.(check bool) "mentions byzantine broadcast" true
+    (contains rendered "Byzantine broadcast")
+
+let test_problems_verify_slow () =
+  List.iter
+    (fun (label, passed, detail) ->
+      if not passed then Alcotest.failf "%s failed: %s" label detail)
+    (Thc_classify.Problems.verify ())
+
+(* --- witnesses ------------------------------------------------------------------------ *)
+
+let test_witness_ids_unique () =
+  let ids = List.map (fun w -> w.Thc_classify.Witnesses.id) Thc_classify.Witnesses.all in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_witness_lookup () =
+  Alcotest.(check bool) "known id found" true
+    (Thc_classify.Witnesses.by_id "srb-from-uni" <> None);
+  Alcotest.(check bool) "unknown id absent" true
+    (Thc_classify.Witnesses.by_id "nope" = None)
+
+let test_cheap_witnesses () =
+  List.iter
+    (fun id ->
+      match Thc_classify.Witnesses.by_id id with
+      | Some w ->
+        let passed, detail = w.Thc_classify.Witnesses.run () in
+        if not passed then Alcotest.failf "%s failed: %s" id detail
+      | None -> Alcotest.failf "missing witness %s" id)
+    [ "a2m-from-trinc"; "trinc-from-enclave"; "trinc-from-srb" ]
+
+let test_all_witnesses_slow () =
+  List.iter
+    (fun (w, passed, detail) ->
+      if not passed then
+        Alcotest.failf "%s failed: %s" w.Thc_classify.Witnesses.id detail)
+    (Thc_classify.Witnesses.run_all ())
+
+let test_hierarchy_verify_slow () =
+  List.iter
+    (fun (label, passed, detail) ->
+      if not passed then Alcotest.failf "%s failed: %s" label detail)
+    (Thc_classify.Hierarchy.verify h)
+
+let () =
+  Alcotest.run "thc_classify"
+    [
+      ( "mechanism",
+        [
+          Alcotest.test_case "names unique" `Quick test_mechanism_names_unique;
+          Alcotest.test_case "of_name roundtrip" `Quick test_mechanism_of_name_roundtrip;
+          Alcotest.test_case "of_name unknown" `Quick test_mechanism_of_name_unknown;
+          Alcotest.test_case "classes" `Quick test_mechanism_classes;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "consistent" `Quick test_hierarchy_consistent;
+          Alcotest.test_case "key implications" `Quick test_hierarchy_key_implications;
+          Alcotest.test_case "trusted-log equivalence" `Quick test_hierarchy_trusted_log_equivalences;
+          Alcotest.test_case "renderings" `Quick test_hierarchy_renderings;
+        ] );
+      ( "separations",
+        [
+          Alcotest.test_case "srb cannot uni" `Quick test_separation_srb_uni;
+          Alcotest.test_case "srb cannot uni (n=9,f=4)" `Quick test_separation_srb_uni_other_sizes;
+          Alcotest.test_case "bad params rejected" `Quick test_separation_srb_uni_rejects_bad_params;
+          Alcotest.test_case "rb cannot very weak" `Quick test_separation_rb_very_weak;
+          Alcotest.test_case "delta short wait" `Quick test_separation_delta;
+        ] );
+      ( "problems",
+        [
+          Alcotest.test_case "full coverage" `Quick test_problems_matrix_covers_all_cells;
+          Alcotest.test_case "separating cells" `Quick test_problems_separating_cells;
+          Alcotest.test_case "render" `Quick test_problems_render;
+          Alcotest.test_case "verify cells" `Slow test_problems_verify_slow;
+        ] );
+      ( "witnesses",
+        [
+          Alcotest.test_case "ids unique" `Quick test_witness_ids_unique;
+          Alcotest.test_case "lookup" `Quick test_witness_lookup;
+          Alcotest.test_case "cheap witnesses" `Quick test_cheap_witnesses;
+          Alcotest.test_case "all witnesses" `Slow test_all_witnesses_slow;
+          Alcotest.test_case "hierarchy verify" `Slow test_hierarchy_verify_slow;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+(* Tests for the simulated cryptographic substrate: digests, keyring,
+   signatures, quorum certificates — including the forgery attempts the
+   paper's unforgeability assumption rules out. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let rng () = Thc_util.Rng.create 99L
+
+let keyring ?(n = 4) () = Thc_crypto.Keyring.create (rng ()) ~n
+
+(* --- digests ---------------------------------------------------------------- *)
+
+let test_digest_deterministic () =
+  Alcotest.(check bool) "equal inputs equal digests" true
+    (Thc_crypto.Digest.equal
+       (Thc_crypto.Digest.of_string "hello")
+       (Thc_crypto.Digest.of_string "hello"))
+
+let test_digest_distinct () =
+  Alcotest.(check bool) "distinct inputs distinct digests" false
+    (Thc_crypto.Digest.equal
+       (Thc_crypto.Digest.of_string "hello")
+       (Thc_crypto.Digest.of_string "hellp"))
+
+let test_digest_combine_order () =
+  let a = Thc_crypto.Digest.of_string "a" in
+  let b = Thc_crypto.Digest.of_string "b" in
+  Alcotest.(check bool) "combine is order-sensitive" false
+    (Thc_crypto.Digest.equal
+       (Thc_crypto.Digest.combine a b)
+       (Thc_crypto.Digest.combine b a))
+
+let test_digest_hex () =
+  Alcotest.(check int) "hex width" 16
+    (String.length (Thc_crypto.Digest.to_hex (Thc_crypto.Digest.of_string "x")))
+
+let prop_digest_injective_on_sample =
+  QCheck.Test.make ~name:"no collisions on random pairs" ~count:500
+    QCheck.(pair string string)
+    (fun (a, b) ->
+      String.equal a b
+      || not
+           (Thc_crypto.Digest.equal
+              (Thc_crypto.Digest.of_string a)
+              (Thc_crypto.Digest.of_string b)))
+
+(* --- keyring ----------------------------------------------------------------- *)
+
+let test_keyring_size () = Alcotest.(check int) "n" 4 (Thc_crypto.Keyring.n (keyring ()))
+
+let test_keyring_secret_pid () =
+  let k = keyring () in
+  Alcotest.(check int) "pid bound in secret" 2
+    (Thc_crypto.Keyring.pid_of_secret (Thc_crypto.Keyring.secret k ~pid:2))
+
+let test_keyring_unknown_pid () =
+  let k = keyring () in
+  Alcotest.check_raises "bad pid" (Invalid_argument "Keyring.secret: unknown pid")
+    (fun () -> ignore (Thc_crypto.Keyring.secret k ~pid:7))
+
+let test_keyring_tags_differ_by_signer () =
+  let k = keyring () in
+  let d = Thc_crypto.Digest.of_string "m" in
+  let t0 = Thc_crypto.Keyring.attach_tag (Thc_crypto.Keyring.secret k ~pid:0) d in
+  let t1 = Thc_crypto.Keyring.attach_tag (Thc_crypto.Keyring.secret k ~pid:1) d in
+  Alcotest.(check bool) "tags differ across signers" true (t0 <> t1)
+
+(* --- signatures ---------------------------------------------------------------- *)
+
+let test_sign_verify () =
+  let k = keyring () in
+  let s = Thc_crypto.Signature.sign (Thc_crypto.Keyring.secret k ~pid:1) "msg" in
+  Alcotest.(check bool) "verifies" true (Thc_crypto.Signature.verify k s "msg");
+  Alcotest.(check int) "signer recorded" 1 s.signer
+
+let test_sign_wrong_message () =
+  let k = keyring () in
+  let s = Thc_crypto.Signature.sign (Thc_crypto.Keyring.secret k ~pid:1) "msg" in
+  Alcotest.(check bool) "rejects other message" false
+    (Thc_crypto.Signature.verify k s "other")
+
+let test_sign_wrong_claimed_signer () =
+  let k = keyring () in
+  let s = Thc_crypto.Signature.sign (Thc_crypto.Keyring.secret k ~pid:1) "msg" in
+  let relabeled = { s with Thc_crypto.Signature.signer = 2 } in
+  Alcotest.(check bool) "relabeling breaks verification" false
+    (Thc_crypto.Signature.verify k relabeled "msg")
+
+let test_counterfeit_rejected () =
+  let k = keyring () in
+  let forged = Thc_crypto.Signature.counterfeit ~signer:0 ~tag:123456789L in
+  Alcotest.(check bool) "forgery rejected" false
+    (Thc_crypto.Signature.verify k forged "msg")
+
+let test_signature_transferable () =
+  (* A signature survives serialization inside another message. *)
+  let k = keyring () in
+  let s = Thc_crypto.Signature.sign_value (Thc_crypto.Keyring.secret k ~pid:3) (42, "v") in
+  let shipped : Thc_crypto.Signature.t =
+    Thc_util.Codec.decode (Thc_util.Codec.encode s)
+  in
+  Alcotest.(check bool) "still verifies after transfer" true
+    (Thc_crypto.Signature.verify_value k shipped (42, "v"))
+
+let test_sealed () =
+  let k = keyring () in
+  let sealed = Thc_crypto.Signature.seal (Thc_crypto.Keyring.secret k ~pid:2) "payload" in
+  Alcotest.(check bool) "sealed ok" true (Thc_crypto.Signature.sealed_ok k sealed);
+  Alcotest.(check bool) "sealed by 2" true
+    (Thc_crypto.Signature.sealed_by k sealed ~expect:2);
+  Alcotest.(check bool) "not sealed by 1" false
+    (Thc_crypto.Signature.sealed_by k sealed ~expect:1);
+  let tampered = { sealed with Thc_crypto.Signature.value = "other" } in
+  Alcotest.(check bool) "tampered payload rejected" false
+    (Thc_crypto.Signature.sealed_ok k tampered)
+
+let prop_sign_verify_roundtrip =
+  QCheck.Test.make ~name:"every signed payload verifies" ~count:300
+    QCheck.(pair (int_bound 3) string)
+    (fun (pid, payload) ->
+      let k = keyring () in
+      let s = Thc_crypto.Signature.sign (Thc_crypto.Keyring.secret k ~pid) payload in
+      Thc_crypto.Signature.verify k s payload)
+
+let prop_random_tags_rejected =
+  QCheck.Test.make ~name:"random tags never verify" ~count:300
+    QCheck.(pair (int_bound 3) int64)
+    (fun (signer, tag) ->
+      let k = keyring () in
+      not
+        (Thc_crypto.Signature.verify k
+           (Thc_crypto.Signature.counterfeit ~signer ~tag)
+           "payload"))
+
+(* --- certificates ----------------------------------------------------------------- *)
+
+let sig_on k pid v = Thc_crypto.Signature.sign_value (Thc_crypto.Keyring.secret k ~pid) v
+
+let test_cert_support () =
+  let k = keyring () in
+  let v = "decision" in
+  let c =
+    Thc_crypto.Cert.of_signatures v [ sig_on k 0 v; sig_on k 1 v; sig_on k 2 v ]
+  in
+  Alcotest.(check int) "support counts distinct valid signers" 3
+    (Thc_crypto.Cert.support k c);
+  Alcotest.(check bool) "meets threshold 3" true
+    (Thc_crypto.Cert.validate k ~threshold:3 c);
+  Alcotest.(check bool) "misses threshold 4" false
+    (Thc_crypto.Cert.validate k ~threshold:4 c)
+
+let test_cert_duplicates_discounted () =
+  let k = keyring () in
+  let v = "decision" in
+  let s0 = sig_on k 0 v in
+  let c = Thc_crypto.Cert.of_signatures v [ s0; s0; s0 ] in
+  Alcotest.(check int) "duplicates count once" 1 (Thc_crypto.Cert.support k c)
+
+let test_cert_invalid_excluded () =
+  let k = keyring () in
+  let v = "decision" in
+  let wrong = sig_on k 1 "other-value" in
+  let c = Thc_crypto.Cert.of_signatures v [ sig_on k 0 v; wrong ] in
+  Alcotest.(check int) "wrong-value signature excluded" 1
+    (Thc_crypto.Cert.support k c)
+
+let test_cert_signers_sorted () =
+  let k = keyring () in
+  let v = "v" in
+  let c = Thc_crypto.Cert.of_signatures v [ sig_on k 2 v; sig_on k 0 v ] in
+  Alcotest.(check (list int)) "signers ascending" [ 0; 2 ] (Thc_crypto.Cert.signers c)
+
+let test_cert_add () =
+  let k = keyring () in
+  let v = "v" in
+  let c = Thc_crypto.Cert.add (Thc_crypto.Cert.empty v) (sig_on k 1 v) in
+  Alcotest.(check int) "added signature counted" 1 (Thc_crypto.Cert.support k c)
+
+let () =
+  Alcotest.run "thc_crypto"
+    [
+      ( "digest",
+        [
+          Alcotest.test_case "deterministic" `Quick test_digest_deterministic;
+          Alcotest.test_case "distinct" `Quick test_digest_distinct;
+          Alcotest.test_case "combine order" `Quick test_digest_combine_order;
+          Alcotest.test_case "hex" `Quick test_digest_hex;
+          qcheck prop_digest_injective_on_sample;
+        ] );
+      ( "keyring",
+        [
+          Alcotest.test_case "size" `Quick test_keyring_size;
+          Alcotest.test_case "secret pid" `Quick test_keyring_secret_pid;
+          Alcotest.test_case "unknown pid" `Quick test_keyring_unknown_pid;
+          Alcotest.test_case "tags per signer" `Quick test_keyring_tags_differ_by_signer;
+        ] );
+      ( "signature",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_sign_verify;
+          Alcotest.test_case "wrong message" `Quick test_sign_wrong_message;
+          Alcotest.test_case "relabeled signer" `Quick test_sign_wrong_claimed_signer;
+          Alcotest.test_case "counterfeit" `Quick test_counterfeit_rejected;
+          Alcotest.test_case "transferable" `Quick test_signature_transferable;
+          Alcotest.test_case "sealed values" `Quick test_sealed;
+          qcheck prop_sign_verify_roundtrip;
+          qcheck prop_random_tags_rejected;
+        ] );
+      ( "cert",
+        [
+          Alcotest.test_case "support" `Quick test_cert_support;
+          Alcotest.test_case "duplicates" `Quick test_cert_duplicates_discounted;
+          Alcotest.test_case "invalid excluded" `Quick test_cert_invalid_excluded;
+          Alcotest.test_case "signers sorted" `Quick test_cert_signers_sorted;
+          Alcotest.test_case "add" `Quick test_cert_add;
+        ] );
+    ]

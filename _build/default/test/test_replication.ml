@@ -1,0 +1,537 @@
+(* Tests for the replication layer: the kv state machine, attested links,
+   client plumbing, and both protocols under the harness's fault scenarios. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- kv store ---------------------------------------------------------------- *)
+
+let test_kv_semantics () =
+  let s = Thc_replication.Kv_store.create () in
+  Alcotest.(check bool) "get missing" true
+    (Thc_replication.Kv_store.apply s (Get "k") = Value None);
+  Alcotest.(check bool) "put" true
+    (Thc_replication.Kv_store.apply s (Put ("k", "v")) = Stored);
+  Alcotest.(check bool) "get" true
+    (Thc_replication.Kv_store.apply s (Get "k") = Value (Some "v"));
+  Alcotest.(check bool) "incr fresh" true
+    (Thc_replication.Kv_store.apply s (Incr "c") = Counter 1);
+  Alcotest.(check bool) "incr again" true
+    (Thc_replication.Kv_store.apply s (Incr "c") = Counter 2);
+  Alcotest.(check bool) "incr over garbage counts from 0" true
+    (Thc_replication.Kv_store.apply s (Incr "k") = Counter 1);
+  Alcotest.(check bool) "delete" true
+    (Thc_replication.Kv_store.apply s (Delete "k") = Stored);
+  Alcotest.(check bool) "deleted gone" true
+    (Thc_replication.Kv_store.apply s (Get "k") = Value None)
+
+let test_kv_digest_reflects_content () =
+  let a = Thc_replication.Kv_store.create () in
+  let b = Thc_replication.Kv_store.create () in
+  ignore (Thc_replication.Kv_store.apply a (Put ("x", "1")));
+  ignore (Thc_replication.Kv_store.apply b (Put ("x", "1")));
+  Alcotest.(check int64) "equal content equal digest"
+    (Thc_replication.Kv_store.digest a)
+    (Thc_replication.Kv_store.digest b);
+  ignore (Thc_replication.Kv_store.apply b (Put ("y", "2")));
+  Alcotest.(check bool) "different content different digest" true
+    (Thc_replication.Kv_store.digest a <> Thc_replication.Kv_store.digest b)
+
+let prop_kv_digest_order_insensitive =
+  QCheck.Test.make ~name:"digest independent of insertion order" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 10) (pair small_string small_string))
+    (fun bindings ->
+      (* Distinct keys: with duplicates the last write wins and order would
+         legitimately matter. *)
+      let bindings =
+        List.sort_uniq (fun (a, _) (b, _) -> compare a b) bindings
+      in
+      let build order =
+        let s = Thc_replication.Kv_store.create () in
+        List.iter
+          (fun (k, v) -> ignore (Thc_replication.Kv_store.apply s (Put (k, v))))
+          order;
+        Thc_replication.Kv_store.digest s
+      in
+      build bindings = build (List.rev bindings))
+
+let test_kv_op_roundtrip () =
+  let ops =
+    Thc_replication.Kv_store.
+      [ Get "a"; Put ("b", "v"); Delete "c"; Incr "d" ]
+  in
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "op roundtrips" true
+        (Thc_replication.Kv_store.decode_op (Thc_replication.Kv_store.encode_op op)
+        = op))
+    ops
+
+(* --- attested links ------------------------------------------------------------- *)
+
+let trinc_world () =
+  Thc_hardware.Trinc.create_world (Thc_util.Rng.create 121L) ~n:3
+
+let test_link_seal_dense () =
+  let world = trinc_world () in
+  let out =
+    Thc_replication.Attested_link.Out.create
+      (Thc_hardware.Trinc.trinket world ~owner:0)
+  in
+  let a1 = Thc_replication.Attested_link.Out.seal out "m1" in
+  let a2 = Thc_replication.Attested_link.Out.seal out "m2" in
+  Alcotest.(check (pair int int)) "dense counters" (1, 2) (a1.counter, a2.counter);
+  Alcotest.(check int) "prev chains" 1 a2.prev;
+  Alcotest.(check int) "sent log" 2
+    (List.length (Thc_replication.Attested_link.Out.sent_log out))
+
+let test_link_in_order_release () =
+  let world = trinc_world () in
+  let out =
+    Thc_replication.Attested_link.Out.create
+      (Thc_hardware.Trinc.trinket world ~owner:0)
+  in
+  let a1 = Thc_replication.Attested_link.Out.seal out "m1" in
+  let a2 = Thc_replication.Attested_link.Out.seal out "m2" in
+  let a3 = Thc_replication.Attested_link.Out.seal out "m3" in
+  let inbox = Thc_replication.Attested_link.In.create ~world ~n:3 in
+  Alcotest.(check int) "gap buffers" 0
+    (List.length (Thc_replication.Attested_link.In.accept inbox a2));
+  Alcotest.(check int) "filling the gap releases both" 2
+    (List.length (Thc_replication.Attested_link.In.accept inbox a1));
+  Alcotest.(check int) "third releases immediately" 1
+    (List.length (Thc_replication.Attested_link.In.accept inbox a3));
+  Alcotest.(check int) "delivered upto" 3
+    (Thc_replication.Attested_link.In.delivered_upto inbox ~owner:0);
+  Alcotest.(check int) "duplicate ignored" 0
+    (List.length (Thc_replication.Attested_link.In.accept inbox a2))
+
+let test_link_check_log () =
+  let world = trinc_world () in
+  let out =
+    Thc_replication.Attested_link.Out.create
+      (Thc_hardware.Trinc.trinket world ~owner:1)
+  in
+  ignore (Thc_replication.Attested_link.Out.seal out "a");
+  ignore (Thc_replication.Attested_link.Out.seal out "b");
+  let log = Thc_replication.Attested_link.Out.sent_log out in
+  (match Thc_replication.Attested_link.check_log ~world ~owner:1 log with
+  | Some [ "a"; "b" ] -> ()
+  | Some _ | None -> Alcotest.fail "honest log rejected");
+  (match log with
+  | [ _; b ] ->
+    Alcotest.(check bool) "log with hidden head rejected" true
+      (Thc_replication.Attested_link.check_log ~world ~owner:1 [ b ] = None)
+  | _ -> Alcotest.fail "unexpected log shape");
+  Alcotest.(check bool) "wrong owner rejected" true
+    (Thc_replication.Attested_link.check_log ~world ~owner:0 log = None)
+
+(* --- client collector -------------------------------------------------------------- *)
+
+let test_collector_quorum () =
+  let c = Thc_replication.Command.Collector.create ~quorum:2 in
+  let reply replica result : Thc_replication.Command.reply =
+    { replica; rid = 0; result }
+  in
+  Alcotest.(check (option string)) "first vote pending" None
+    (Thc_replication.Command.Collector.add c (reply 0 "r"));
+  Alcotest.(check (option string)) "duplicate replica ignored" None
+    (Thc_replication.Command.Collector.add c (reply 0 "r"));
+  Alcotest.(check (option string)) "disagreeing vote pending" None
+    (Thc_replication.Command.Collector.add c (reply 1 "other"));
+  Alcotest.(check (option string)) "matching quorum completes" (Some "r")
+    (Thc_replication.Command.Collector.add c (reply 2 "r"));
+  Alcotest.(check bool) "marked complete" true
+    (Thc_replication.Command.Collector.completed c ~rid:0);
+  Alcotest.(check (option string)) "late votes ignored" None
+    (Thc_replication.Command.Collector.add c (reply 3 "r"))
+
+let test_command_validation () =
+  let keyring = Thc_crypto.Keyring.create (Thc_util.Rng.create 122L) ~n:4 in
+  let sr =
+    Thc_replication.Command.make
+      ~ident:(Thc_crypto.Keyring.secret keyring ~pid:3)
+      ~rid:7
+      (Thc_replication.Kv_store.Get "k")
+  in
+  Alcotest.(check bool) "valid request" true
+    (Thc_replication.Command.valid keyring sr);
+  let forged = { sr with Thc_crypto.Signature.value = { sr.value with rid = 8 } } in
+  Alcotest.(check bool) "tampered request rejected" false
+    (Thc_replication.Command.valid keyring forged)
+
+(* --- end-to-end scenarios ------------------------------------------------------------- *)
+
+let setup protocol scenario seed =
+  {
+    Thc_replication.Harness.protocol;
+    f = 1;
+    ops = 15;
+    interval = 5_000L;
+    delay = Thc_sim.Delay.Uniform (50L, 500L);
+    scenario;
+    seed;
+  }
+
+let healthy o =
+  o.Thc_replication.Harness.safety_violations = []
+  && o.Thc_replication.Harness.liveness_violations = []
+  && o.Thc_replication.Harness.completed = 15
+
+let scenarios =
+  [
+    ("fault-free", Thc_replication.Harness.Fault_free);
+    ("crash-leader", Thc_replication.Harness.Crash_leader 35_000L);
+    ("silent-replicas", Thc_replication.Harness.Silent_replicas);
+  ]
+
+let test_minbft_scenarios () =
+  List.iter
+    (fun (name, scenario) ->
+      let o =
+        Thc_replication.Harness.run
+          (setup Thc_replication.Harness.Minbft_protocol scenario 7L)
+      in
+      if not (healthy o) then
+        Alcotest.failf "minbft %s: %d/%d completed, %d safety, %d liveness"
+          name o.completed 15
+          (List.length o.safety_violations)
+          (List.length o.liveness_violations))
+    scenarios
+
+let test_pbft_scenarios () =
+  List.iter
+    (fun (name, scenario) ->
+      let o =
+        Thc_replication.Harness.run
+          (setup Thc_replication.Harness.Pbft_protocol scenario 7L)
+      in
+      if not (healthy o) then
+        Alcotest.failf "pbft %s: %d/%d completed, %d safety, %d liveness"
+          name o.completed 15
+          (List.length o.safety_violations)
+          (List.length o.liveness_violations))
+    scenarios
+
+let test_minbft_beats_pbft_on_messages () =
+  let m =
+    Thc_replication.Harness.run
+      (setup Thc_replication.Harness.Minbft_protocol
+         Thc_replication.Harness.Fault_free 9L)
+  in
+  let p =
+    Thc_replication.Harness.run
+      (setup Thc_replication.Harness.Pbft_protocol
+         Thc_replication.Harness.Fault_free 9L)
+  in
+  Alcotest.(check bool) "fewer replicas" true (m.replicas < p.replicas);
+  Alcotest.(check bool) "fewer messages per op" true
+    (m.messages_per_op < p.messages_per_op);
+  Alcotest.(check bool) "lower mean latency" true
+    (m.latency.mean < p.latency.mean)
+
+let test_crash_leader_forces_view_change () =
+  let o =
+    Thc_replication.Harness.run
+      (setup Thc_replication.Harness.Minbft_protocol
+         (Thc_replication.Harness.Crash_leader 35_000L)
+         13L)
+  in
+  Alcotest.(check bool) "view advanced" true (o.final_view >= 1);
+  Alcotest.(check bool) "still healthy" true (healthy o)
+
+let prop_minbft_random_seeds =
+  QCheck.Test.make ~name:"minbft safe and live across seeds" ~count:5
+    QCheck.int64
+    (fun seed ->
+      healthy
+        (Thc_replication.Harness.run
+           (setup Thc_replication.Harness.Minbft_protocol
+              Thc_replication.Harness.Fault_free seed)))
+
+let prop_minbft_crash_random_seeds =
+  QCheck.Test.make ~name:"minbft recovers leader crashes across seeds"
+    ~count:5 QCheck.int64
+    (fun seed ->
+      let o =
+        Thc_replication.Harness.run
+          (setup Thc_replication.Harness.Minbft_protocol
+             (Thc_replication.Harness.Crash_leader 35_000L)
+             seed)
+      in
+      healthy o)
+
+let test_harness_deterministic () =
+  (* Whole-cluster determinism: identical setup, identical outcome. *)
+  let run () =
+    Thc_replication.Harness.run
+      (setup Thc_replication.Harness.Minbft_protocol
+         (Thc_replication.Harness.Crash_leader 35_000L)
+         21L)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check string) "identical outcomes"
+    (Thc_util.Codec.encode (a.completed, a.messages, a.final_view, a.latency))
+    (Thc_util.Codec.encode (b.completed, b.messages, b.final_view, b.latency))
+
+let test_workload_deterministic () =
+  Alcotest.(check bool) "same seed same workload" true
+    (Thc_replication.Harness.default_workload ~ops:20 ~seed:5L
+    = Thc_replication.Harness.default_workload ~ops:20 ~seed:5L)
+
+(* --- Byzantine replica attacks ------------------------------------------------------ *)
+
+(* A Byzantine non-leader replica with a real trinket, throwing everything it
+   has: counterfeit attestations, replayed genuine attestations, prepares it
+   is not entitled to send, and garbage payloads. *)
+let byzantine_replica ~world ~keyring ~byz_pid () :
+    Thc_replication.Minbft.msg Thc_sim.Engine.behavior =
+  let out =
+    Thc_replication.Attested_link.Out.create
+      (Thc_hardware.Trinc.trinket world ~owner:byz_pid)
+  in
+  let forged_request =
+    (* Self-signed request claiming to be from the real client (pid 3):
+       signature will not verify as that client. *)
+    Thc_crypto.Signature.seal
+      (Thc_crypto.Keyring.secret keyring ~pid:byz_pid)
+      ({ client = 3; rid = 99; op = Thc_replication.Kv_store.encode_op (Put ("k", "evil")) }
+        : Thc_replication.Command.request)
+  in
+  let replays = ref 0 in
+  {
+    init = (fun ctx -> ctx.set_timer ~delay:1_000L ~tag:0);
+    on_message =
+      (fun ctx ~src:_ msg ->
+        (* Replay what it hears, verbatim (bounded so the self-echo does not
+           amplify without limit). *)
+        if !replays < 200 then begin
+          incr replays;
+          ctx.broadcast msg
+        end);
+    on_timer =
+      (fun ctx _ ->
+        (* Counterfeit attestation from the leader. *)
+        ctx.broadcast
+          (Thc_replication.Minbft.adversarial_wire
+             (Thc_hardware.Trinc.counterfeit ~owner:0 ~prev:7 ~counter:8
+                ~message:"junk" ~tag:0xBADL));
+        (* A prepare it is not entitled to send (not the leader). *)
+        ctx.broadcast
+          (Thc_replication.Minbft.adversarial_prepare ~out ~view:0 ~seq:1
+             ~request:forged_request);
+        (* Garbage sealed payload (undecodable proto). *)
+        ctx.broadcast
+          (Thc_replication.Minbft.adversarial_wire
+             (Thc_hardware.Trinc.counterfeit ~owner:byz_pid ~prev:0 ~counter:1
+                ~message:"not-a-proto" ~tag:1L));
+        ctx.set_timer ~delay:5_000L ~tag:0);
+  }
+
+let test_minbft_byzantine_replica_flood () =
+  let f = 1 in
+  let config = Thc_replication.Minbft.default_config ~f in
+  let n = config.Thc_replication.Minbft.n in
+  let byz_pid = n - 1 in
+  let seed = 41L in
+  let rng = Thc_util.Rng.create seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:(n + 1) in
+  let world = Thc_hardware.Trinc.create_world rng ~n in
+  let net =
+    Thc_sim.Net.create ~n:(n + 1) ~default:(Thc_sim.Delay.Uniform (50L, 500L))
+  in
+  let engine = Thc_sim.Engine.create ~seed ~n:(n + 1) ~net () in
+  for pid = 0 to n - 2 do
+    Thc_sim.Engine.set_behavior engine pid
+      (Thc_replication.Minbft.replica
+         (Thc_replication.Minbft.create_replica ~config ~keyring ~world
+            ~trinket:(Thc_hardware.Trinc.trinket world ~owner:pid)
+            ~self:pid))
+  done;
+  Thc_sim.Engine.mark_byzantine engine byz_pid;
+  Thc_sim.Engine.set_behavior engine byz_pid
+    (byzantine_replica ~world ~keyring ~byz_pid ());
+  let plan =
+    List.init 10 (fun i ->
+        (Int64.of_int ((i + 1) * 5_000), Thc_replication.Kv_store.Incr "c"))
+  in
+  Thc_sim.Engine.set_behavior engine n
+    (Thc_replication.Minbft.client ~config ~keyring
+       ~ident:(Thc_crypto.Keyring.secret keyring ~pid:n)
+       ~plan);
+  let trace =
+    Thc_sim.Engine.run ~until:200_000L ~max_events:20_000_000 engine
+  in
+  Alcotest.(check int) "safety clean under flood" 0
+    (List.length (Thc_replication.Smr_spec.check_safety trace ~replicas:n));
+  Alcotest.(check int) "all requests complete" 0
+    (List.length
+       (Thc_replication.Smr_spec.check_liveness trace ~clients:[ n ]
+          ~expected:10))
+
+let test_pbft_byzantine_replica_flood () =
+  (* PBFT's counterpart: a Byzantine non-leader spams forged signed wires
+     and replays; 3f+1 quorums absorb it. *)
+  let f = 1 in
+  let config = Thc_replication.Pbft.default_config ~f in
+  let n = config.Thc_replication.Pbft.n in
+  let byz_pid = n - 1 in
+  let seed = 43L in
+  let rng = Thc_util.Rng.create seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:(n + 1) in
+  let net =
+    Thc_sim.Net.create ~n:(n + 1) ~default:(Thc_sim.Delay.Uniform (50L, 500L))
+  in
+  let engine = Thc_sim.Engine.create ~seed ~n:(n + 1) ~net () in
+  for pid = 0 to n - 2 do
+    Thc_sim.Engine.set_behavior engine pid
+      (Thc_replication.Pbft.replica
+         (Thc_replication.Pbft.create_replica ~config ~keyring
+            ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+            ~self:pid))
+  done;
+  Thc_sim.Engine.mark_byzantine engine byz_pid;
+  let replays = ref 0 in
+  let byz : Thc_replication.Pbft.msg Thc_sim.Engine.behavior =
+    {
+      init = (fun _ -> ());
+      on_message =
+        (fun ctx ~src:_ msg ->
+          if !replays < 200 then begin
+            incr replays;
+            ctx.broadcast msg
+          end);
+      on_timer = (fun _ _ -> ());
+    }
+  in
+  Thc_sim.Engine.set_behavior engine byz_pid byz;
+  let plan =
+    List.init 10 (fun i ->
+        (Int64.of_int ((i + 1) * 5_000), Thc_replication.Kv_store.Incr "c"))
+  in
+  Thc_sim.Engine.set_behavior engine n
+    (Thc_replication.Pbft.client ~config ~keyring
+       ~ident:(Thc_crypto.Keyring.secret keyring ~pid:n)
+       ~plan);
+  let trace = Thc_sim.Engine.run ~until:200_000L ~max_events:20_000_000 engine in
+  Alcotest.(check int) "safety clean" 0
+    (List.length (Thc_replication.Smr_spec.check_safety trace ~replicas:n));
+  Alcotest.(check int) "liveness clean" 0
+    (List.length
+       (Thc_replication.Smr_spec.check_liveness trace ~clients:[ n ]
+          ~expected:10))
+
+(* --- random admissible adversaries ------------------------------------------------ *)
+
+let run_minbft_under_adversary seed =
+  let f = 1 in
+  let config = Thc_replication.Minbft.default_config ~f in
+  let n = config.Thc_replication.Minbft.n in
+  let rng = Thc_util.Rng.create seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:(n + 1) in
+  let world = Thc_hardware.Trinc.create_world rng ~n in
+  let net =
+    Thc_sim.Net.create ~n:(n + 1) ~default:(Thc_sim.Delay.Uniform (50L, 500L))
+  in
+  let engine = Thc_sim.Engine.create ~seed ~n:(n + 1) ~net () in
+  let adv_rng = Thc_util.Rng.create (Int64.add seed 1000L) in
+  let script =
+    Thc_sim.Adversary.random adv_rng ~n ~horizon:200_000L ~crash_budget:f ()
+  in
+  Array.iteri
+    (fun pid st ->
+      Thc_sim.Engine.set_behavior engine pid (Thc_replication.Minbft.replica st))
+    (Array.init n (fun self ->
+         Thc_replication.Minbft.create_replica ~config ~keyring ~world
+           ~trinket:(Thc_hardware.Trinc.trinket world ~owner:self)
+           ~self));
+  let plan =
+    List.init 10 (fun i ->
+        (Int64.of_int ((i + 1) * 5_000), Thc_replication.Kv_store.Incr "c"))
+  in
+  Thc_sim.Engine.set_behavior engine n
+    (Thc_replication.Minbft.client ~config ~keyring
+       ~ident:(Thc_crypto.Keyring.secret keyring ~pid:n)
+       ~plan);
+  Thc_sim.Adversary.install script engine;
+  let trace = Thc_sim.Engine.run ~until:2_000_000L ~max_events:20_000_000 engine in
+  ( Thc_replication.Smr_spec.check_safety trace ~replicas:n,
+    Thc_replication.Smr_spec.check_liveness trace ~clients:[ n ] ~expected:10 )
+
+let prop_minbft_random_adversaries =
+  QCheck.Test.make
+    ~name:"minbft safe and live under random crashes + healed partitions"
+    ~count:8 QCheck.int64
+    (fun seed ->
+      let safety, liveness = run_minbft_under_adversary seed in
+      safety = [] && liveness = [])
+
+(* --- ablation: non-equivocation is load-bearing ---------------------------------- *)
+
+let test_ablation_unattested_splits () =
+  let r = Thc_replication.Ablation.equivocation_splits_unattested () in
+  Alcotest.(check bool) "safety violated" true (r.violations <> []);
+  Alcotest.(check int) "two ops committed at seq 1" 2 r.distinct_ops_at_seq1
+
+let test_ablation_minbft_holds () =
+  let r = Thc_replication.Ablation.equivocation_fails_against_minbft () in
+  Alcotest.(check int) "no safety violations" 0 (List.length r.violations);
+  Alcotest.(check bool) "at most one op at seq 1" true (r.distinct_ops_at_seq1 <= 1)
+
+let prop_ablation_across_f =
+  QCheck.Test.make ~name:"ablation holds for f in 1..3" ~count:3
+    QCheck.(int_range 1 3)
+    (fun f ->
+      let split = Thc_replication.Ablation.equivocation_splits_unattested ~f () in
+      let held = Thc_replication.Ablation.equivocation_fails_against_minbft ~f () in
+      split.violations <> []
+      && split.distinct_ops_at_seq1 = 2
+      && held.violations = []
+      && held.distinct_ops_at_seq1 <= 1)
+
+let () =
+  Alcotest.run "thc_replication"
+    [
+      ( "kv-store",
+        [
+          Alcotest.test_case "semantics" `Quick test_kv_semantics;
+          Alcotest.test_case "digest" `Quick test_kv_digest_reflects_content;
+          Alcotest.test_case "op roundtrip" `Quick test_kv_op_roundtrip;
+          qcheck prop_kv_digest_order_insensitive;
+        ] );
+      ( "attested-link",
+        [
+          Alcotest.test_case "seal dense" `Quick test_link_seal_dense;
+          Alcotest.test_case "in-order release" `Quick test_link_in_order_release;
+          Alcotest.test_case "check log" `Quick test_link_check_log;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "collector quorum" `Quick test_collector_quorum;
+          Alcotest.test_case "command validation" `Quick test_command_validation;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "minbft all scenarios" `Quick test_minbft_scenarios;
+          Alcotest.test_case "pbft all scenarios" `Quick test_pbft_scenarios;
+          Alcotest.test_case "minbft beats pbft" `Quick test_minbft_beats_pbft_on_messages;
+          Alcotest.test_case "crash forces view change" `Quick test_crash_leader_forces_view_change;
+          Alcotest.test_case "workload deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "harness deterministic" `Quick test_harness_deterministic;
+          qcheck prop_minbft_random_seeds;
+          qcheck prop_minbft_crash_random_seeds;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "byzantine replica flood" `Quick
+            test_minbft_byzantine_replica_flood;
+          Alcotest.test_case "pbft byzantine flood" `Quick
+            test_pbft_byzantine_replica_flood;
+          qcheck prop_minbft_random_adversaries;
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "unattested splits" `Quick test_ablation_unattested_splits;
+          Alcotest.test_case "minbft holds" `Quick test_ablation_minbft_holds;
+          qcheck prop_ablation_across_f;
+        ] );
+    ]

@@ -1,0 +1,287 @@
+(* Unit and property tests for Thc_util: rng, heap, stats, table, codec. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- rng ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Thc_util.Rng.create 42L in
+  let b = Thc_util.Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64)
+      "same seed, same stream" (Thc_util.Rng.next_int64 a)
+      (Thc_util.Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Thc_util.Rng.create 1L in
+  let b = Thc_util.Rng.create 2L in
+  Alcotest.(check bool)
+    "different seeds diverge" true
+    (Thc_util.Rng.next_int64 a <> Thc_util.Rng.next_int64 b)
+
+let test_rng_split_independent () =
+  let parent = Thc_util.Rng.create 7L in
+  let child = Thc_util.Rng.split parent in
+  let child_head = Thc_util.Rng.next_int64 child in
+  (* Re-derive: same split point yields the same child stream. *)
+  let parent' = Thc_util.Rng.create 7L in
+  let child' = Thc_util.Rng.split parent' in
+  Alcotest.(check int64) "split is deterministic" child_head
+    (Thc_util.Rng.next_int64 child')
+
+let test_rng_int_bounds () =
+  let g = Thc_util.Rng.create 3L in
+  for _ = 1 to 1000 do
+    let x = Thc_util.Rng.int g 17 in
+    if x < 0 || x >= 17 then Alcotest.fail "Rng.int out of bounds"
+  done
+
+let test_rng_int_in_bounds () =
+  let g = Thc_util.Rng.create 4L in
+  for _ = 1 to 1000 do
+    let x = Thc_util.Rng.int_in g (-5) 5 in
+    if x < -5 || x > 5 then Alcotest.fail "Rng.int_in out of bounds"
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  let g = Thc_util.Rng.create 5L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Thc_util.Rng.int g 0))
+
+let test_rng_float_bounds () =
+  let g = Thc_util.Rng.create 6L in
+  for _ = 1 to 1000 do
+    let x = Thc_util.Rng.float g 2.5 in
+    if x < 0.0 || x >= 2.5 then Alcotest.fail "Rng.float out of bounds"
+  done
+
+let test_rng_exponential_positive () =
+  let g = Thc_util.Rng.create 8L in
+  for _ = 1 to 1000 do
+    if Thc_util.Rng.exponential g ~mean:100.0 < 0.0 then
+      Alcotest.fail "negative exponential draw"
+  done
+
+let test_rng_exponential_mean () =
+  let g = Thc_util.Rng.create 9L in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Thc_util.Rng.exponential g ~mean:50.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if mean < 45.0 || mean > 55.0 then
+    Alcotest.failf "exponential mean off: %.2f" mean
+
+let test_rng_shuffle_permutation () =
+  let g = Thc_util.Rng.create 10L in
+  let a = Array.init 50 (fun i -> i) in
+  Thc_util.Rng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle permutes" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_pick_member () =
+  let g = Thc_util.Rng.create 11L in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    let p = Thc_util.Rng.pick g a in
+    if not (Array.exists (String.equal p) a) then Alcotest.fail "pick outside"
+  done
+
+let test_rng_pick_empty () =
+  let g = Thc_util.Rng.create 12L in
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Thc_util.Rng.pick g [||]))
+
+let prop_rng_bool_balanced =
+  QCheck.Test.make ~name:"rng bool roughly balanced" ~count:20
+    QCheck.(int64)
+    (fun seed ->
+      let g = Thc_util.Rng.create seed in
+      let trues = ref 0 in
+      for _ = 1 to 1000 do
+        if Thc_util.Rng.bool g then incr trues
+      done;
+      !trues > 350 && !trues < 650)
+
+(* --- heap ------------------------------------------------------------------ *)
+
+let test_heap_basic () =
+  let h = Thc_util.Heap.create ~compare in
+  Alcotest.(check bool) "starts empty" true (Thc_util.Heap.is_empty h);
+  Thc_util.Heap.push h 3 "c";
+  Thc_util.Heap.push h 1 "a";
+  Thc_util.Heap.push h 2 "b";
+  Alcotest.(check int) "length" 3 (Thc_util.Heap.length h);
+  Alcotest.(check (option (pair int string))) "peek" (Some (1, "a"))
+    (Thc_util.Heap.peek h);
+  Alcotest.(check (option (pair int string))) "pop 1" (Some (1, "a"))
+    (Thc_util.Heap.pop h);
+  Alcotest.(check (option (pair int string))) "pop 2" (Some (2, "b"))
+    (Thc_util.Heap.pop h);
+  Alcotest.(check (option (pair int string))) "pop 3" (Some (3, "c"))
+    (Thc_util.Heap.pop h);
+  Alcotest.(check (option (pair int string))) "pop empty" None
+    (Thc_util.Heap.pop h)
+
+let test_heap_duplicate_keys () =
+  let h = Thc_util.Heap.create ~compare in
+  Thc_util.Heap.push h 1 "first";
+  Thc_util.Heap.push h 1 "second";
+  Alcotest.(check int) "two entries" 2 (Thc_util.Heap.length h);
+  ignore (Thc_util.Heap.pop h);
+  ignore (Thc_util.Heap.pop h);
+  Alcotest.(check bool) "drained" true (Thc_util.Heap.is_empty h)
+
+let test_heap_clear () =
+  let h = Thc_util.Heap.create ~compare in
+  for i = 1 to 10 do
+    Thc_util.Heap.push h i i
+  done;
+  Thc_util.Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Thc_util.Heap.is_empty h)
+
+let test_heap_to_sorted_list_nondestructive () =
+  let h = Thc_util.Heap.create ~compare in
+  List.iter (fun k -> Thc_util.Heap.push h k ()) [ 5; 2; 9; 1 ];
+  let keys = List.map fst (Thc_util.Heap.to_sorted_list h) in
+  Alcotest.(check (list int)) "sorted listing" [ 1; 2; 5; 9 ] keys;
+  Alcotest.(check int) "heap untouched" 4 (Thc_util.Heap.length h)
+
+let prop_heap_drains_sorted =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun keys ->
+      let h = Thc_util.Heap.create ~compare in
+      List.iter (fun k -> Thc_util.Heap.push h k k) keys;
+      let rec drain acc =
+        match Thc_util.Heap.pop h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let test_stats_known () =
+  let s = Thc_util.Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.max;
+  Alcotest.(check (float 1e-9)) "p50" 2.0 s.p50
+
+let test_stats_empty () =
+  let s = Thc_util.Stats.summarize [] in
+  Alcotest.(check int) "count" 0 s.count;
+  Alcotest.(check (float 1e-9)) "mean" 0.0 s.mean
+
+let test_stats_stddev () =
+  Alcotest.(check (float 1e-9)) "constant sample" 0.0
+    (Thc_util.Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  Alcotest.(check (float 1e-6)) "known stddev" 2.0
+    (Thc_util.Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_stats_percentile_singleton () =
+  Alcotest.(check (float 1e-9)) "p99 of singleton" 7.0
+    (Thc_util.Stats.percentile [| 7.0 |] 0.99)
+
+let test_stats_percentile_empty () =
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Thc_util.Stats.percentile [||] 0.5))
+
+let prop_stats_bounds =
+  QCheck.Test.make ~name:"percentiles lie within min..max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let s = Thc_util.Stats.summarize xs in
+      s.p50 >= s.min && s.p50 <= s.max && s.p99 >= s.min && s.p99 <= s.max)
+
+(* --- table ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let t = Thc_util.Table.create [ "a"; "long-header" ] in
+  Thc_util.Table.add_row t [ "1"; "2" ];
+  Thc_util.Table.add_row t [ "333" ];
+  let rendered = Thc_util.Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length rendered > 0
+    && String.index_opt rendered 'l' <> None);
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "header + rule + 2 rows + trailing" 5 (List.length lines)
+
+let test_table_too_many_cells () =
+  let t = Thc_util.Table.create [ "only" ] in
+  Alcotest.check_raises "overflow row"
+    (Invalid_argument "Table.add_row: too many cells") (fun () ->
+      Thc_util.Table.add_row t [ "a"; "b" ])
+
+(* --- codec ------------------------------------------------------------------ *)
+
+let test_codec_roundtrip () =
+  let v = (1, "two", [ 3L; 4L ], Some 5.0) in
+  Alcotest.(check bool) "roundtrips" true
+    (Thc_util.Codec.decode (Thc_util.Codec.encode v) = v)
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrips arbitrary data" ~count:200
+    QCheck.(pair (list (pair int string)) (option string))
+    (fun v -> Thc_util.Codec.decode (Thc_util.Codec.encode v) = v)
+
+let test_codec_canonical () =
+  (* Equal values encode equally — the property Obs comparisons rely on. *)
+  let a = Thc_util.Codec.encode (1, "x") in
+  let b = Thc_util.Codec.encode (1, "x") in
+  Alcotest.(check string) "canonical encoding" a b
+
+let () =
+  Alcotest.run "thc_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split deterministic" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "exponential positive" `Quick test_rng_exponential_positive;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "pick member" `Quick test_rng_pick_member;
+          Alcotest.test_case "pick empty" `Quick test_rng_pick_empty;
+          qcheck prop_rng_bool_balanced;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic order" `Quick test_heap_basic;
+          Alcotest.test_case "duplicate keys" `Quick test_heap_duplicate_keys;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "sorted listing" `Quick test_heap_to_sorted_list_nondestructive;
+          qcheck prop_heap_drains_sorted;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "known values" `Quick test_stats_known;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile singleton" `Quick test_stats_percentile_singleton;
+          Alcotest.test_case "percentile empty" `Quick test_stats_percentile_empty;
+          qcheck prop_stats_bounds;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "overflow" `Quick test_table_too_many_cells;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "canonical" `Quick test_codec_canonical;
+          qcheck prop_codec_roundtrip;
+        ] );
+    ]
