@@ -263,6 +263,155 @@ let smr_cmd =
        ~doc:"Run the replicated-state-machine comparison (MinBFT vs PBFT).")
     Term.(const run $ protocol $ f $ ops $ scenario $ seed)
 
+(* --- explore --------------------------------------------------------------- *)
+
+let protocol_arg =
+  let names = Thc_check.Harness.names () in
+  Arg.(
+    required
+    & opt (some (enum (List.map (fun n -> (n, n)) names))) None
+    & info [ "protocol" ]
+        ~doc:
+          (Printf.sprintf "Protocol harness to drive: %s."
+             (String.concat "|" names)))
+
+let explore_cmd =
+  let runs =
+    Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Number of (seed, script) pairs.")
+  in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Base seed.") in
+  let crashes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crashes" ] ~doc:"Override the profile's crash budget.")
+  in
+  let partitions =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "partitions" ] ~doc:"Override the profile's partition budget.")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report raw counterexamples.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write one repro file per failing seed into $(docv).")
+  in
+  let run protocol runs seed crashes partitions no_shrink out =
+    let h = Option.get (Thc_check.Harness.find protocol) in
+    let summary =
+      Thc_check.Sweep.sweep h ?crashes ?partitions ~base_seed:seed ~runs ()
+    in
+    Format.printf "%a@." Thc_check.Sweep.pp_summary summary;
+    Format.printf "expectation: %a@." Thc_check.Harness.pp_expectation
+      h.Thc_check.Harness.expect;
+    let failures = summary.Thc_check.Sweep.failures in
+    let shrunk =
+      List.map
+        (fun (o : Thc_check.Sweep.outcome) ->
+          if no_shrink then o
+          else
+            let r =
+              Thc_check.Shrink.shrink h ~seed:o.Thc_check.Sweep.seed
+                ~script:o.Thc_check.Sweep.script ~report:o.Thc_check.Sweep.report
+            in
+            Format.printf "seed %Ld: shrunk %d -> %d adversary events (%d runs, %d rounds)@."
+              o.Thc_check.Sweep.seed
+              (List.length o.Thc_check.Sweep.script.Thc_sim.Adversary.events)
+              (List.length r.Thc_check.Shrink.script.Thc_sim.Adversary.events)
+              r.Thc_check.Shrink.attempts r.Thc_check.Shrink.rounds;
+            {
+              o with
+              Thc_check.Sweep.script = r.Thc_check.Shrink.script;
+              report = r.Thc_check.Shrink.report;
+            })
+        failures
+    in
+    (* Full repro sexps for the first few failures; the rest by seed only,
+       so large sweeps stay readable (and two identical sweeps stay
+       byte-identical). *)
+    let shown, rest =
+      if List.length shrunk <= 3 then (shrunk, [])
+      else (List.filteri (fun i _ -> i < 3) shrunk, List.filteri (fun i _ -> i >= 3) shrunk)
+    in
+    List.iter
+      (fun (o : Thc_check.Sweep.outcome) ->
+        let repro = Thc_check.Repro.of_outcome ~protocol o in
+        Format.printf "%s@." (Thc_util.Sexp.to_string_hum (Thc_check.Repro.to_sexp repro)))
+      shown;
+    if rest <> [] then
+      Format.printf "... and %d more failing seeds:%s@." (List.length rest)
+        (String.concat ""
+           (List.map
+              (fun (o : Thc_check.Sweep.outcome) ->
+                Printf.sprintf " %Ld" o.Thc_check.Sweep.seed)
+              rest));
+    Option.iter
+      (fun dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (o : Thc_check.Sweep.outcome) ->
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "%s-seed%Ld.sexp" protocol o.Thc_check.Sweep.seed)
+            in
+            Thc_check.Repro.save path (Thc_check.Repro.of_outcome ~protocol o);
+            Format.printf "wrote %s@." path)
+          shrunk)
+      out;
+    (* Failures on a Clean protocol are bugs; on Broken/Vulnerable they are
+       the documented behaviour, so they don't fail the command. *)
+    if failures <> [] && h.Thc_check.Harness.expect = Thc_check.Harness.Clean then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Sweep a protocol harness over random adversary scripts, shrink any \
+          counterexamples, and print them as repro S-expressions.")
+    Term.(
+      const run $ protocol_arg $ runs $ seed $ crashes $ partitions $ no_shrink
+      $ out)
+
+(* --- replay ---------------------------------------------------------------- *)
+
+let replay_cmd =
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Repro files written by $(b,thc explore).")
+  in
+  let run files =
+    let ok = ref true in
+    List.iter
+      (fun file ->
+        match Thc_check.Repro.load file with
+        | Error msg ->
+          ok := false;
+          Format.printf "%s: %s@." file msg
+        | Ok repro -> (
+          match Thc_check.Repro.replay repro with
+          | Error msg ->
+            ok := false;
+            Format.printf "%s: %s@." file msg
+          | Ok r ->
+            if not r.Thc_check.Repro.matched then ok := false;
+            Format.printf "%s: %a@." file Thc_check.Repro.pp_replay r))
+      files;
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run persisted repro files deterministically and check each \
+          reproduces its documented verdict.")
+    Term.(const run $ files)
+
 (* --- main ------------------------------------------------------------------ *)
 
 let () =
@@ -270,4 +419,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "thc" ~doc)
-          [ figure1_cmd; verify_cmd; scenarios_cmd; problems_cmd; rounds_cmd; smr_cmd ]))
+          [ figure1_cmd; verify_cmd; scenarios_cmd; problems_cmd; rounds_cmd;
+            smr_cmd; explore_cmd; replay_cmd ]))

@@ -1,0 +1,65 @@
+type report = {
+  violations : Agreement_spec.violation list;
+  decided : int;
+  messages : int;
+  duration_us : int64;
+}
+
+(* Hold a behavior back until virtual time [by]: its [init] runs off a
+   one-shot timer instead of at time 0, and anything arriving before then is
+   dropped.  All processes share the same [by], so nobody's round messages
+   can outrun a peer's start. *)
+let start_tag = -0x535441 (* outside Sync_rounds' tag space *)
+
+let delayed_start ~by (inner : 'm Thc_sim.Engine.behavior) :
+    'm Thc_sim.Engine.behavior =
+  if by = 0L then inner
+  else
+    let started = ref false in
+    {
+      init = (fun ctx -> ctx.set_timer ~delay:by ~tag:start_tag);
+      on_message =
+        (fun ctx ~src m -> if !started then inner.on_message ctx ~src m);
+      on_timer =
+        (fun ctx tag ->
+          if tag = start_tag then begin
+            if not !started then begin
+              started := true;
+              inner.init ctx
+            end
+          end
+          else if !started then inner.on_timer ctx tag);
+    }
+
+let run ~seed ~(script : Thc_sim.Adversary.t) ?(n = 5) ?(f = 2) ?(period = 1_000L)
+    ?(start = 0L) ~inputs () =
+  if Array.length inputs <> n then invalid_arg "Agreement_harness.run: inputs size";
+  let keyring = Thc_crypto.Keyring.create (Thc_util.Rng.create seed) ~n in
+  let net = Thc_sim.Net.create ~n ~default:(Thc_sim.Delay.Uniform (10L, 400L)) in
+  let engine = Thc_sim.Engine.create ~seed ~n ~net () in
+  Array.iteri
+    (fun pid input ->
+      Thc_sim.Engine.set_behavior engine pid
+        (delayed_start ~by:start
+           (Thc_rounds.Sync_rounds.behavior ~period
+              (Strong_validity.app
+                 (Strong_validity.create ~keyring
+                    ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+                    ~n ~f ~input)))))
+    inputs;
+  Thc_sim.Adversary.install script engine;
+  let until = max 60_000L (Int64.add script.horizon 30_000L) in
+  let trace = Thc_sim.Engine.run ~until ~max_events:10_000_000 engine in
+  let decided =
+    List.length
+      (List.filter
+         (fun pid -> Thc_sim.Trace.decision_of trace pid <> None)
+         (Thc_sim.Trace.correct_pids trace))
+  in
+  {
+    violations =
+      Agreement_spec.check `Strong ~inputs:(Array.map (fun v -> Some v) inputs) trace;
+    decided;
+    messages = Thc_sim.Trace.messages_sent trace;
+    duration_us = trace.Thc_sim.Trace.end_time;
+  }

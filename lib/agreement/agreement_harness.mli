@@ -1,0 +1,43 @@
+(** Scripted-fault adapter for strong-validity agreement — the agreement
+    layer's entry point into the {!Thc_check} fault explorer.
+
+    Runs the Dolev–Strong-based {!Strong_validity} protocol over the
+    lock-step round driver, installs an {!Thc_sim.Adversary} script and
+    judges {!Agreement_spec.check} [`Strong] at the end of the run.
+
+    The protocol's safety argument {e assumes synchrony} (every round
+    message arrives within the driver's period).  Crash-only scripts stay
+    inside that assumption — the expected verdict is clean for up to [f]
+    crashes.  Partition scripts deliberately step outside it: a partition
+    held across the decision rounds delays round messages past the period,
+    and the explorer finds agreement/validity counterexamples — the
+    executable form of the paper's point that strong validity separates
+    bidirectional (synchronous) rounds from everything below. *)
+
+type report = {
+  violations : Agreement_spec.violation list;
+  decided : int;  (** Correct processes that decided. *)
+  messages : int;
+  duration_us : int64;
+}
+
+val run :
+  seed:int64 ->
+  script:Thc_sim.Adversary.t ->
+  ?n:int ->
+  ?f:int ->
+  ?period:int64 ->
+  ?start:int64 ->
+  inputs:string array ->
+  unit ->
+  report
+(** Defaults [n] = 5, [f] = 2 (needs [n >= 2f+1]), [period] = 1000 µs with
+    link delays uniform in [10, 400] µs — comfortably synchronous until the
+    script says otherwise.  [inputs] must have length [n].
+
+    [start] (default 0) delays every process's first round by that much
+    virtual time.  At [start = 0] the first round's messages leave before
+    any script event can fire, and messages already in flight are immune to
+    link blocking — so no admissible script can touch round 1.  A mid-run
+    [start] puts the protocol inside the adversary's window, which is what
+    the partition profile needs. *)

@@ -1,0 +1,32 @@
+(** Scripted-fault adapters for the SRB implementations — the broadcast
+    layer's entry points into the {!Thc_check} fault explorer.
+
+    Each run builds the usual cluster, installs an {!Thc_sim.Adversary}
+    script on top of it, runs past the script's horizon (so every temporary
+    partition has healed and held messages have drained), and judges the
+    full four-property SRB specification ({!Srb_spec.check}) on the trace.
+    The designated sender is process 0. *)
+
+type report = {
+  violations : Srb_spec.violation list;
+      (** SRB spec violations for sender 0's stream. *)
+  delivered : int;
+      (** Total deliveries of that stream summed over correct processes. *)
+  messages : int;
+  duration_us : int64;
+}
+
+val run_trinc :
+  seed:int64 -> script:Thc_sim.Adversary.t -> ?n:int -> ?values:int -> unit -> report
+(** {!Srb_from_trinc} (trusted-log SRB, any [f < n]): sender 0 broadcasts
+    [values] (default 3) attested values early in the run; receivers chain
+    and echo.  Default [n] = 4.  Crashes and partitions from the script are
+    tolerated by construction — the expected verdict is a clean spec. *)
+
+val run_uni :
+  seed:int64 -> script:Thc_sim.Adversary.t -> ?n:int -> ?faults:int -> ?values:int ->
+  unit -> report
+(** Algorithm 1 ({!Srb_from_uni}) over SWMR-register rounds, [n] = 5,
+    [faults] = 2 by default.  Register operations bypass the message
+    network, so only the script's crashes bite — which is itself a property
+    worth sweeping: shared-memory rounds shrug off any partition script. *)

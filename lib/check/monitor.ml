@@ -1,0 +1,71 @@
+type violation = { monitor : string; info : string }
+
+type verdict = Pass | Fail of violation list
+
+let verdict = function [] -> Pass | vs -> Fail vs
+
+let failed = function Pass -> false | Fail _ -> true
+
+let monitors_of = function
+  | Pass -> []
+  | Fail vs ->
+    List.rev
+      (List.fold_left
+         (fun acc v -> if List.mem v.monitor acc then acc else v.monitor :: acc)
+         [] vs)
+
+let primary v = match monitors_of v with [] -> None | m :: _ -> Some m
+
+let reproduces ~reference candidate =
+  match primary reference with
+  | None -> not (failed candidate)
+  | Some m -> List.mem m (monitors_of candidate)
+
+let of_smr vs =
+  List.map
+    (fun (v : Thc_replication.Smr_spec.violation) ->
+      let monitor =
+        match v.property with
+        | `Order | `Result -> "smr-safety"
+        | `Replay -> "smr-replay"
+        | `Liveness -> "smr-liveness"
+      in
+      { monitor; info = v.info })
+    vs
+
+let of_srb vs =
+  List.map
+    (fun (v : Thc_broadcast.Srb_spec.violation) ->
+      let monitor =
+        match v.property with
+        | `Validity -> "srb-validity"
+        | `Totality -> "srb-totality"
+        | `Sequencing -> "srb-sequencing"
+        | `Integrity -> "srb-integrity"
+        | `Agreement -> "srb-agreement"
+      in
+      { monitor; info = v.info })
+    vs
+
+let of_agreement vs =
+  List.map
+    (fun (v : Thc_agreement.Agreement_spec.violation) ->
+      let monitor =
+        match v.property with
+        | `Agreement -> "agreement"
+        | `Termination -> "termination"
+        | `Validity -> "validity"
+      in
+      { monitor; info = v.info })
+    vs
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.monitor v.info
+
+let pp_verdict ppf = function
+  | Pass -> Format.pp_print_string ppf "pass"
+  | Fail vs ->
+    Format.fprintf ppf "FAIL %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         pp_violation)
+      vs

@@ -1,0 +1,49 @@
+(** Uniform invariant-monitor verdicts.
+
+    Every protocol family in the repository has its own violation type
+    ({!Thc_replication.Smr_spec}, {!Thc_broadcast.Srb_spec},
+    {!Thc_agreement.Agreement_spec}); the fault explorer needs one currency
+    to sweep, compare and shrink against.  A {!violation} is a named monitor
+    plus a human-readable detail; a run's verdict is [Pass] or the full
+    list of violations.
+
+    Monitor names are stable identifiers — they are persisted in repro
+    files and matched on replay — so renaming one invalidates the corpus. *)
+
+type violation = { monitor : string; info : string }
+
+type verdict = Pass | Fail of violation list
+(** [Fail] carries at least one violation, in the order the monitors
+    reported them. *)
+
+val verdict : violation list -> verdict
+(** [Pass] on the empty list. *)
+
+val failed : verdict -> bool
+
+val monitors_of : verdict -> string list
+(** Distinct failing monitor names, in first-occurrence order ([] for
+    [Pass]).  The head is the {e primary} monitor — the shrinker's notion
+    of "the same failure". *)
+
+val primary : verdict -> string option
+
+val reproduces : reference:verdict -> verdict -> bool
+(** Does a candidate run exhibit the same failure as the reference?  True
+    iff the reference's primary monitor is among the candidate's failing
+    monitors.  (Weaker failures that drop secondary monitors still count —
+    greedy shrinking keeps the bug, not the noise.) *)
+
+val of_smr : Thc_replication.Smr_spec.violation list -> violation list
+(** Monitor names [smr-safety] (order/result forks), [smr-replay]
+    (sequential KV re-execution mismatch), [smr-liveness]. *)
+
+val of_srb : Thc_broadcast.Srb_spec.violation list -> violation list
+(** Monitor names [srb-validity], [srb-totality], [srb-sequencing],
+    [srb-integrity], [srb-agreement]. *)
+
+val of_agreement : Thc_agreement.Agreement_spec.violation list -> violation list
+(** Monitor names [agreement], [termination], [validity]. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,111 @@
+type result = {
+  script : Thc_sim.Adversary.t;
+  report : Harness.report;
+  attempts : int;
+  rounds : int;
+}
+
+let drop_index events i = List.filteri (fun j _ -> j <> i) events
+
+let drop_range events lo hi =
+  List.filteri (fun j _ -> j < lo || j >= hi) events
+
+(* Thinner partitions for one Block_groups event: drop a whole group, or
+   drop a single member of a multi-member group.  (Processes left out of
+   every group join the implicit rest-group, so both stay meaningful
+   partitions; the empty-partition degenerate case is the same as dropping
+   the event, which the single-drop candidates already cover.) *)
+let thin_partition (e : Thc_sim.Adversary.event) =
+  match e.action with
+  | Thc_sim.Adversary.Block_groups groups when List.length groups > 1 ->
+    let without_group =
+      List.mapi
+        (fun g _ ->
+          { e with
+            action =
+              Thc_sim.Adversary.Block_groups
+                (List.filteri (fun j _ -> j <> g) groups) })
+        groups
+    in
+    let without_member =
+      List.concat
+        (List.mapi
+           (fun g members ->
+             if List.length members < 2 then []
+             else
+               List.mapi
+                 (fun m _ ->
+                   { e with
+                     action =
+                       Thc_sim.Adversary.Block_groups
+                         (List.mapi
+                            (fun j ms ->
+                              if j = g then drop_index ms m else ms)
+                            groups) })
+                 members)
+           groups)
+    in
+    without_group @ without_member
+  | _ -> []
+
+let candidates (s : Thc_sim.Adversary.t) =
+  let events = s.Thc_sim.Adversary.events in
+  let len = List.length events in
+  let with_events evs = { s with Thc_sim.Adversary.events = evs } in
+  let halves =
+    if len >= 2 then
+      [ with_events (drop_range events 0 (len / 2));
+        with_events (drop_range events (len / 2) len) ]
+    else []
+  in
+  let singles = List.init len (fun i -> with_events (drop_index events i)) in
+  let thinned =
+    List.concat
+      (List.mapi
+         (fun i e ->
+           List.map
+             (fun e' -> with_events (List.mapi (fun j x -> if j = i then e' else x) events))
+             (thin_partition e))
+         events)
+  in
+  let shorter_horizon =
+    let last_at =
+      List.fold_left (fun acc e -> max acc e.Thc_sim.Adversary.at) 1L events
+    in
+    let h = max last_at (Int64.div s.Thc_sim.Adversary.horizon 2L) in
+    if h < s.Thc_sim.Adversary.horizon then [ { s with Thc_sim.Adversary.horizon = h } ]
+    else []
+  in
+  halves @ singles @ thinned @ shorter_horizon
+
+let shrink (h : Harness.t) ~seed ~script ~(report : Harness.report) =
+  if not (Monitor.failed report.verdict) then
+    invalid_arg "Shrink.shrink: report must be failing";
+  let reference = report.verdict in
+  let current = ref script in
+  let current_report = ref report in
+  let attempts = ref 0 in
+  let rounds = ref 0 in
+  let improved = ref true in
+  (* Greedy to a fixpoint: first accepted candidate wins the round and the
+     next round restarts from it.  Every acceptance strictly shrinks
+     (event count, then partition membership, then horizon), so this
+     terminates; a minimal script accepts nothing and is returned as-is. *)
+  while !improved do
+    incr rounds;
+    improved := false;
+    let rec attempt = function
+      | [] -> ()
+      | cand :: rest ->
+        incr attempts;
+        let r = h.run ~seed ~script:cand in
+        if Monitor.reproduces ~reference r.Harness.verdict then begin
+          current := cand;
+          current_report := r;
+          improved := true
+        end
+        else attempt rest
+    in
+    attempt (candidates !current)
+  done;
+  { script = !current; report = !current_report; attempts = !attempts; rounds = !rounds }

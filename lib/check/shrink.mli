@@ -1,0 +1,30 @@
+(** Counterexample shrinking: reduce a failing adversary script to a local
+    minimum while preserving the failure.
+
+    Classic greedy delta-debugging over the script structure.  Candidate
+    transformations, tried in a fixed order each round:
+
+    - drop a contiguous half of the events (coarse first),
+    - drop any single event,
+    - thin a partition: drop a whole group, or drop one member,
+    - halve the horizon (clamped above the last event time).
+
+    A candidate is accepted iff re-running the harness {e deterministically}
+    — same seed, candidate script — still fails the original verdict's
+    primary monitor ({!Monitor.reproduces}).  Rounds repeat until no
+    candidate is accepted, so the result is a fixpoint: shrinking an
+    already-minimal script returns it unchanged (idempotence, pinned by the
+    property tests). *)
+
+type result = {
+  script : Thc_sim.Adversary.t;  (** The minimized script. *)
+  report : Harness.report;  (** Its (still failing) report. *)
+  attempts : int;  (** Candidate runs executed. *)
+  rounds : int;  (** Full passes over the transformation list. *)
+}
+
+val shrink :
+  Harness.t -> seed:int64 -> script:Thc_sim.Adversary.t -> report:Harness.report ->
+  result
+(** [report] must be the failing report of [script] under [seed] (raises
+    [Invalid_argument] on a passing report). *)

@@ -1,0 +1,80 @@
+type outcome = {
+  seed : int64;
+  script : Thc_sim.Adversary.t;
+  report : Harness.report;
+}
+
+type summary = {
+  protocol : string;
+  runs : int;
+  passes : int;
+  failures : outcome list;
+  by_monitor : (string * int) list;
+  total_messages : int;
+  total_events : int;
+}
+
+let script_for (h : Harness.t) ?crashes ?partitions ~seed () =
+  let p = h.profile in
+  let crash_budget = Option.value crashes ~default:p.crash_budget in
+  let partition_budget = Option.value partitions ~default:p.partition_budget in
+  (* The script stream is derived from the seed but distinct from the
+     engine's, so the same seed can drive both without correlation. *)
+  let rng = Thc_util.Rng.create (Int64.add 0x5cf1a7_0000L seed) in
+  Thc_sim.Adversary.random rng ~n:p.n ~horizon:p.horizon ~crash_budget
+    ~partition_budget ()
+
+let run_one (h : Harness.t) ?crashes ?partitions ~seed () =
+  let script = script_for h ?crashes ?partitions ~seed () in
+  { seed; script; report = h.run ~seed ~script }
+
+let sweep (h : Harness.t) ?crashes ?partitions ~base_seed ~runs () =
+  let outcomes =
+    List.init (max 0 runs) (fun i ->
+        run_one h ?crashes ?partitions ~seed:(Int64.add base_seed (Int64.of_int i)) ())
+  in
+  let failures =
+    List.filter (fun o -> Monitor.failed o.report.Harness.verdict) outcomes
+  in
+  let by_monitor =
+    let tally = ref [] in
+    List.iter
+      (fun o ->
+        List.iter
+          (fun m ->
+            tally :=
+              (m, 1 + Option.value (List.assoc_opt m !tally) ~default:0)
+              :: List.remove_assoc m !tally)
+          (Monitor.monitors_of o.report.Harness.verdict))
+      failures;
+    List.sort
+      (fun (m1, c1) (m2, c2) ->
+        match compare c2 c1 with 0 -> compare m1 m2 | c -> c)
+      !tally
+  in
+  {
+    protocol = h.name;
+    runs;
+    passes = List.length outcomes - List.length failures;
+    failures;
+    by_monitor;
+    total_messages =
+      List.fold_left (fun acc o -> acc + o.report.Harness.messages) 0 outcomes;
+    total_events =
+      List.fold_left
+        (fun acc o -> acc + List.length o.script.Thc_sim.Adversary.events)
+        0 outcomes;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "@[<v>%s: %d runs, %d pass, %d fail" s.protocol s.runs
+    s.passes
+    (List.length s.failures);
+  if s.by_monitor <> [] then begin
+    Format.fprintf ppf "@,failing monitors:";
+    List.iter
+      (fun (m, c) -> Format.fprintf ppf "@,  %-16s %d" m c)
+      s.by_monitor
+  end;
+  Format.fprintf ppf "@,%d adversary events injected, %d messages simulated@]"
+    s.total_events s.total_messages

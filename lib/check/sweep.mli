@@ -1,0 +1,41 @@
+(** Seed-sweep driver: run a protocol harness against thousands of
+    [(seed, Adversary.random script)] pairs and tabulate the verdicts.
+
+    Everything is a pure function of [(harness, base seed, run count,
+    budget overrides)] — two sweeps with equal arguments produce equal
+    summaries, byte for byte once rendered, which is what makes a sweep
+    failure a one-line repro. *)
+
+type outcome = {
+  seed : int64;
+  script : Thc_sim.Adversary.t;
+  report : Harness.report;
+}
+
+type summary = {
+  protocol : string;
+  runs : int;
+  passes : int;
+  failures : outcome list;  (** Failing runs, ascending seed. *)
+  by_monitor : (string * int) list;
+      (** Failing runs per monitor name, descending count then name. *)
+  total_messages : int;
+  total_events : int;  (** Adversary events drawn across all scripts. *)
+}
+
+val script_for :
+  Harness.t -> ?crashes:int -> ?partitions:int -> seed:int64 -> unit ->
+  Thc_sim.Adversary.t
+(** The admissible random script this sweep pairs with [seed]: drawn by
+    {!Thc_sim.Adversary.random} from the harness profile (with optional
+    budget overrides) using a generator derived from [seed] alone. *)
+
+val run_one :
+  Harness.t -> ?crashes:int -> ?partitions:int -> seed:int64 -> unit -> outcome
+
+val sweep :
+  Harness.t -> ?crashes:int -> ?partitions:int -> base_seed:int64 -> runs:int ->
+  unit -> summary
+(** Seeds [base_seed, base_seed + 1, ..., base_seed + runs - 1]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

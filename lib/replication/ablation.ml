@@ -1,6 +1,8 @@
 type result = {
   violations : Smr_spec.violation list;
   distinct_ops_at_seq1 : int;
+  messages : int;
+  duration_us : int64;
   detail : string;
 }
 
@@ -130,7 +132,7 @@ let distinct_at_seq1 trace ~replicas =
     (List.filter (fun p -> p < replicas) (Thc_sim.Trace.correct_pids trace))
   |> List.sort_uniq compare |> List.length
 
-let equivocation_splits_unattested ?(f = 1) ?(seed = 3L) () =
+let run_unattested ?(f = 1) ~seed ~configure ~until () =
   let n = (2 * f) + 1 in
   let total = n + 1 (* one client identity for signing requests *) in
   let rng = Thc_util.Rng.create seed in
@@ -149,15 +151,27 @@ let equivocation_splits_unattested ?(f = 1) ?(seed = 3L) () =
   split_attack ~engine ~n ~group_a ~group_b
     ~wire_a:(Thc_crypto.Signature.seal leader_ident (Uprepare { seq = 1; request = req_a }))
     ~wire_b:(Thc_crypto.Signature.seal leader_ident (Uprepare { seq = 1; request = req_b }));
-  let trace = Thc_sim.Engine.run ~until:1_000_000L engine in
+  configure engine;
+  let trace = Thc_sim.Engine.run ~until engine in
   let violations = Smr_spec.check_safety trace ~replicas:n in
   {
     violations;
     distinct_ops_at_seq1 = distinct_at_seq1 trace ~replicas:n;
+    messages = Thc_sim.Trace.messages_sent trace;
+    duration_us = trace.Thc_sim.Trace.end_time;
     detail =
       "f+1 quorums over plain signatures: the equivocating leader commits \
        two different operations at sequence 1";
   }
+
+let equivocation_splits_unattested ?(f = 1) ?(seed = 3L) () =
+  run_unattested ~f ~seed ~configure:(fun _ -> ()) ~until:1_000_000L ()
+
+let unattested_under_script ?(f = 1) ~seed ~script () =
+  run_unattested ~f ~seed
+    ~configure:(Thc_sim.Adversary.install script)
+    ~until:(max 1_000_000L (Int64.add script.Thc_sim.Adversary.horizon 1_000_000L))
+    ()
 
 let equivocation_fails_against_minbft ?(f = 1) ?(seed = 3L) () =
   let config = Minbft.default_config ~f in
@@ -190,6 +204,8 @@ let equivocation_fails_against_minbft ?(f = 1) ?(seed = 3L) () =
   {
     violations;
     distinct_ops_at_seq1 = distinct_at_seq1 trace ~replicas:n;
+    messages = Thc_sim.Trace.messages_sent trace;
+    duration_us = trace.Thc_sim.Trace.end_time;
     detail =
       "same attack against attested links: the second proposal hides behind \
        a counter gap, at most one operation can commit";

@@ -26,6 +26,8 @@ type result = {
       (** Safety violations among correct replicas. *)
   distinct_ops_at_seq1 : int;
       (** How many different operations correct replicas executed at seq 1. *)
+  messages : int;  (** Messages sent during the run. *)
+  duration_us : int64;  (** Virtual end time. *)
   detail : string;
 }
 
@@ -34,5 +36,13 @@ val equivocation_splits_unattested : ?f:int -> ?seed:int64 -> unit -> result
 
 val equivocation_fails_against_minbft : ?f:int -> ?seed:int64 -> unit -> result
 (** Expected: [violations = []] and [distinct_ops_at_seq1 <= 1]. *)
+
+val unattested_under_script :
+  ?f:int -> seed:int64 -> script:Thc_sim.Adversary.t -> unit -> result
+(** The unattested split attack under an additional scripted fault schedule
+    — the known-bad target of the {!Thc_check} fault explorer.  The split
+    succeeds under (almost) any admissible schedule; schedules that crash a
+    victim replica before it adopts a proposal mask the violation, which is
+    exactly what script shrinking strips away. *)
 
 val pp_result : Format.formatter -> result -> unit

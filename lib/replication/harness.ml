@@ -1,6 +1,10 @@
 type protocol = Minbft_protocol | Pbft_protocol
 
-type scenario = Fault_free | Crash_leader of int64 | Silent_replicas
+type scenario =
+  | Fault_free
+  | Crash_leader of int64
+  | Silent_replicas
+  | Scripted of Thc_sim.Adversary.t
 
 type setup = {
   protocol : protocol;
@@ -40,17 +44,28 @@ let plan_of setup =
     (fun i op -> (Int64.mul (Int64.of_int (i + 1)) setup.interval, op))
     (default_workload ~ops:setup.ops ~seed:setup.seed)
 
-(* Virtual-time horizon: leave room for timeouts and view changes. *)
+(* Virtual-time horizon: leave room for timeouts and view changes; a
+   scripted adversary extends it so the run continues well past the final
+   heal and "eventually" clauses can be judged. *)
 let horizon setup =
-  Int64.add
-    (Int64.mul (Int64.of_int (setup.ops + 2)) setup.interval)
-    2_000_000L
+  let workload =
+    Int64.add
+      (Int64.mul (Int64.of_int (setup.ops + 2)) setup.interval)
+      2_000_000L
+  in
+  match setup.scenario with
+  | Scripted script -> max workload (Int64.add script.Thc_sim.Adversary.horizon 2_000_000L)
+  | Fault_free | Crash_leader _ | Silent_replicas -> workload
 
 let expected_liveness setup =
   (* Under a crashed leader or silent replicas liveness must still hold (f
-     tolerated faults); the monitors check all requests completed. *)
-  ignore setup;
-  true
+     tolerated faults); the monitors check all requests completed.  A
+     scripted adversary is only obliged to preserve liveness while it stays
+     within the fault bound. *)
+  match setup.scenario with
+  | Fault_free | Crash_leader _ | Silent_replicas -> true
+  | Scripted script ->
+    List.length (Thc_sim.Adversary.crashed script) <= setup.f
 
 let finish (type m) setup ~(trace : m Thc_sim.Trace.t) ~replicas ~client
     ~final_view ~classify =
@@ -65,7 +80,9 @@ let finish (type m) setup ~(trace : m Thc_sim.Trace.t) ~replicas ~client
     messages_per_op =
       (if completed = 0 then 0.0 else float_of_int messages /. float_of_int completed);
     duration_us = trace.Thc_sim.Trace.end_time;
-    safety_violations = Smr_spec.check_safety trace ~replicas;
+    safety_violations =
+      Smr_spec.check_safety trace ~replicas
+      @ Smr_spec.check_state_determinism trace ~replicas;
     liveness_violations =
       (if expected_liveness setup then
          Smr_spec.check_liveness trace ~clients:[ client ] ~expected:setup.ops
@@ -82,6 +99,13 @@ let apply_scenario (type m) setup ~(engine : m Thc_sim.Engine.t) ~replicas =
     for i = 0 to setup.f - 1 do
       Thc_sim.Engine.schedule_crash engine ~pid:(replicas - 1 - i) ~at:0L
     done
+  | Scripted script ->
+    List.iter
+      (fun pid ->
+        if pid >= replicas then
+          invalid_arg "Harness: scripted adversary may only crash replicas")
+      (Thc_sim.Adversary.crashed script);
+    Thc_sim.Adversary.install script engine
 
 let run_minbft setup =
   let config = Minbft.default_config ~f:setup.f in

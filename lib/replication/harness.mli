@@ -12,6 +12,12 @@ type scenario =
   | Silent_replicas
       (** f replicas are silent from the start (crash-at-0) — the maximum
           tolerated fault load. *)
+  | Scripted of Thc_sim.Adversary.t
+      (** Arbitrary timed fault schedule ({!Thc_sim.Adversary.install}).
+          Crash victims must be replica pids (the client stays up); the run
+          horizon is extended past the script's so the post-heal network has
+          room to drain.  Liveness is demanded only when the script crashes
+          at most [f] replicas. *)
 
 type setup = {
   protocol : protocol;

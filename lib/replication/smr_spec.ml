@@ -1,4 +1,7 @@
-type violation = { property : [ `Order | `Result | `Liveness ]; info : string }
+type violation = {
+  property : [ `Order | `Result | `Liveness | `Replay ];
+  info : string;
+}
 
 let pp_violation ppf v =
   let name =
@@ -6,6 +9,7 @@ let pp_violation ppf v =
     | `Order -> "order"
     | `Result -> "result"
     | `Liveness -> "liveness"
+    | `Replay -> "replay"
   in
   Format.fprintf ppf "SMR %s violation: %s" name v.info
 
@@ -43,6 +47,38 @@ let check_safety trace ~replicas =
               ep)
         execs)
     execs;
+  List.rev !violations
+
+let check_state_determinism trace ~replicas =
+  let violations = ref [] in
+  let add info = violations := { property = `Replay; info } :: !violations in
+  List.iter
+    (fun pid ->
+      if pid < replicas then begin
+        let store = Kv_store.create () in
+        (* Stop at the first density break: replaying past a gap would only
+           cascade spurious result mismatches. *)
+        let rec replay i = function
+          | [] -> ()
+          | (seq, (op, result)) :: rest ->
+            if seq <> i then
+              add
+                (Printf.sprintf "p%d executed seq %d at position %d (dense order broken)"
+                   pid seq i)
+            else begin
+              let replayed =
+                Kv_store.encode_result (Kv_store.apply store (Kv_store.decode_op op))
+              in
+              if not (String.equal replayed result) then
+                add
+                  (Printf.sprintf
+                     "p%d seq %d: recorded result differs from sequential replay" pid seq);
+              replay (i + 1) rest
+            end
+        in
+        replay 1 (executions trace pid)
+      end)
+    (Thc_sim.Trace.correct_pids trace);
   List.rev !violations
 
 let check_liveness trace ~clients ~expected =

@@ -3,16 +3,29 @@
     Judged on [Obs.Executed] / [Obs.Client_done] observations, uniformly for
     {!Minbft} and {!Pbft}. *)
 
-type violation = { property : [ `Order | `Result | `Liveness ]; info : string }
+type violation = {
+  property : [ `Order | `Result | `Liveness | `Replay ];
+  info : string;
+}
 (** [`Order] — two correct replicas executed different operations at one
     sequence number; [`Result] — same op, different results (state machine
-    divergence); [`Liveness] — an expected client request never completed. *)
+    divergence); [`Liveness] — an expected client request never completed;
+    [`Replay] — a replica's recorded execution is not a dense sequential
+    history of the KV machine (see {!check_state_determinism}). *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
 val check_safety : 'm Thc_sim.Trace.t -> replicas:int -> violation list
 (** Pairwise execution-prefix consistency across correct replicas
     (pids [0 .. replicas-1]). *)
+
+val check_state_determinism : 'm Thc_sim.Trace.t -> replicas:int -> violation list
+(** Single-writer-order assertion per replica (the linearizability half the
+    pairwise check cannot see): the [Executed] stream must carry dense
+    sequence numbers [1, 2, ...], and replaying its operations in that order
+    against a fresh {!Kv_store} must reproduce every recorded result.
+    Together with {!check_safety} (all replicas share one order) this pins
+    the committed history to one sequential execution of the service. *)
 
 val check_liveness :
   'm Thc_sim.Trace.t -> clients:int list -> expected:int -> violation list

@@ -27,6 +27,13 @@ let pp ppf t =
          Format.fprintf ppf "  %8Ld %a" e.at pp_action e.action))
     t.events
 
+(* Hand-built and shrunk scripts need not list events in time order, but
+   installation order decides same-timestamp tie-breaking in the engine, so
+   everything below works on a time-sorted view (stable, so same-time events
+   keep their list order). *)
+let by_time events =
+  List.stable_sort (fun a b -> Int64.compare a.at b.at) events
+
 let ends_healed t =
   let rec last_state healed = function
     | [] -> healed
@@ -35,7 +42,7 @@ let ends_healed t =
     | { action = Block_groups _ | Block_link _; _ } :: rest ->
       last_state false rest
   in
-  last_state true t.events
+  last_state true (by_time t.events)
 
 let install t (engine : 'm Engine.t) =
   List.iter
@@ -49,9 +56,73 @@ let install t (engine : 'm Engine.t) =
         Engine.at engine e.at (fun () ->
             Engine.set_link engine ~src ~dst Net.Block)
       | Heal -> Engine.at engine e.at (fun () -> Engine.heal_all engine fast))
-    t.events;
+    (by_time t.events);
+  (* Pushed after every scripted event, so when the last block event sits at
+     exactly [horizon] the engine's same-time tie-break still runs this heal
+     after it — liveness is judged on a healed network. *)
   if not (ends_healed t) then
     Engine.at engine t.horizon (fun () -> Engine.heal_all engine fast)
+
+(* --- S-expression codec -------------------------------------------------- *)
+
+module Sexp = Thc_util.Sexp
+
+let action_to_sexp = function
+  | Crash pid -> Sexp.list [ Sexp.atom "crash"; Sexp.int_atom pid ]
+  | Block_groups groups ->
+    Sexp.list
+      (Sexp.atom "partition"
+      :: List.map (fun g -> Sexp.list (List.map Sexp.int_atom g)) groups)
+  | Block_link (src, dst) ->
+    Sexp.list [ Sexp.atom "block-link"; Sexp.int_atom src; Sexp.int_atom dst ]
+  | Heal -> Sexp.list [ Sexp.atom "heal" ]
+
+let action_of_sexp = function
+  | Sexp.List [ Sexp.Atom "crash"; pid ] -> Crash (Sexp.to_int pid)
+  | Sexp.List (Sexp.Atom "partition" :: groups) ->
+    Block_groups
+      (List.map
+         (function
+           | Sexp.List pids -> List.map Sexp.to_int pids
+           | Sexp.Atom _ -> failwith "Adversary.of_sexp: partition group must be a list")
+         groups)
+  | Sexp.List [ Sexp.Atom "block-link"; src; dst ] ->
+    Block_link (Sexp.to_int src, Sexp.to_int dst)
+  | Sexp.List [ Sexp.Atom "heal" ] -> Heal
+  | s -> failwith ("Adversary.of_sexp: bad action " ^ Sexp.to_string s)
+
+let to_sexp t =
+  Sexp.list
+    [
+      Sexp.atom "adversary";
+      Sexp.list [ Sexp.atom "horizon"; Sexp.int64_atom t.horizon ];
+      Sexp.list
+        (Sexp.atom "events"
+        :: List.map
+             (fun e -> Sexp.list [ Sexp.int64_atom e.at; action_to_sexp e.action ])
+             t.events);
+    ]
+
+let of_sexp = function
+  | Sexp.List
+      [
+        Sexp.Atom "adversary";
+        Sexp.List [ Sexp.Atom "horizon"; horizon ];
+        Sexp.List (Sexp.Atom "events" :: events);
+      ] ->
+    {
+      horizon = Sexp.to_int64 horizon;
+      events =
+        List.map
+          (function
+            | Sexp.List [ at; action ] ->
+              { at = Sexp.to_int64 at; action = action_of_sexp action }
+            | s -> failwith ("Adversary.of_sexp: bad event " ^ Sexp.to_string s))
+          events;
+    }
+  | s -> failwith ("Adversary.of_sexp: bad script " ^ Sexp.to_string s)
+
+let equal a b = a.horizon = b.horizon && a.events = b.events
 
 let crashed t =
   List.filter_map

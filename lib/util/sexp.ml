@@ -1,0 +1,175 @@
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+let list l = List l
+let int_atom i = Atom (string_of_int i)
+let int64_atom i = Atom (Int64.to_string i)
+
+let to_atom = function
+  | Atom s -> s
+  | List _ -> failwith "Sexp.to_atom: expected atom, got list"
+
+let to_int t =
+  let s = to_atom t in
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "Sexp.to_int: %S is not an int" s)
+
+let to_int64 t =
+  let s = to_atom t in
+  match Int64.of_string_opt s with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "Sexp.to_int64: %S is not an int64" s)
+
+(* --- printing ----------------------------------------------------------- *)
+
+let needs_quoting s =
+  String.length s = 0
+  || String.exists
+       (function
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' | '\\' -> true
+         | _ -> false)
+       s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let atom_string s = if needs_quoting s then quote s else s
+
+let rec to_string = function
+  | Atom s -> atom_string s
+  | List l -> "(" ^ String.concat " " (List.map to_string l) ^ ")"
+
+(* Human layout: a list whose rendering fits in one modest line stays flat;
+   otherwise the head stays on the opening line and each remaining child is
+   indented one level. *)
+let to_string_hum t =
+  let buf = Buffer.create 256 in
+  let rec go indent t =
+    let flat = to_string t in
+    if String.length flat + indent <= 72 then Buffer.add_string buf flat
+    else
+      match t with
+      | Atom _ -> Buffer.add_string buf flat
+      | List [] -> Buffer.add_string buf "()"
+      | List (hd :: tl) ->
+        Buffer.add_char buf '(';
+        go (indent + 1) hd;
+        List.iter
+          (fun child ->
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf (String.make (indent + 2) ' ');
+            go (indent + 2) child)
+          tl;
+        Buffer.add_char buf ')'
+  in
+  go 0 t;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* --- parsing ------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let of_string input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_blank () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_blank ()
+    | Some ';' ->
+      while !pos < n && input.[!pos] <> '\n' do
+        advance ()
+      done;
+      skip_blank ()
+    | _ -> ()
+  in
+  let parse_quoted () =
+    advance () (* opening quote *);
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> error "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some c -> error (Printf.sprintf "bad escape '\\%c'" c)
+        | None -> error "unterminated escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let parse_bare () =
+    let start = !pos in
+    let stop = ref false in
+    while not !stop do
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') | None ->
+        stop := true
+      | Some _ -> advance ()
+    done;
+    if !pos = start then error "expected atom";
+    Atom (String.sub input start (!pos - start))
+  in
+  let rec parse_one () =
+    skip_blank ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '(' ->
+      advance ();
+      let children = ref [] in
+      let rec loop () =
+        skip_blank ();
+        match peek () with
+        | None -> error "unterminated list"
+        | Some ')' -> advance ()
+        | Some _ ->
+          children := parse_one () :: !children;
+          loop ()
+      in
+      loop ();
+      List (List.rev !children)
+    | Some ')' -> error "unexpected ')'"
+    | Some '"' -> parse_quoted ()
+    | Some _ -> parse_bare ()
+  in
+  match
+    let t = parse_one () in
+    skip_blank ();
+    if !pos <> n then error "trailing input";
+    t
+  with
+  | t -> Ok t
+  | exception Parse_error msg -> Error msg
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error msg -> failwith ("Sexp.of_string: " ^ msg)

@@ -1,0 +1,45 @@
+(** Minimal S-expressions: the persistence format for adversary scripts and
+    counterexample repro files.
+
+    [Marshal] (see {!Codec}) is compact but neither human-readable nor
+    stable across compiler versions, so artifacts that outlive one binary —
+    shrunk fault scripts checked into [test/corpus/], {e explore} output a
+    developer pastes into a bug report — use this textual form instead.
+    The printer is canonical (one space between siblings, no trailing
+    whitespace), so equal values render to equal strings and repro files
+    diff cleanly. *)
+
+type t = Atom of string | List of t list
+
+val atom : string -> t
+val list : t list -> t
+
+val int_atom : int -> t
+val int64_atom : int64 -> t
+
+val to_int : t -> int
+(** Raises [Failure] if the sexp is not an atom that parses as an int. *)
+
+val to_int64 : t -> int64
+
+val to_atom : t -> string
+(** Raises [Failure] on a list. *)
+
+val to_string : t -> string
+(** Canonical single-line rendering.  Atoms containing whitespace, parens,
+    quotes, backslashes or semicolons (or empty atoms) are double-quoted
+    with backslash escapes for quote, backslash, newline and tab. *)
+
+val to_string_hum : t -> string
+(** Indented multi-line rendering for files meant to be read and edited by
+    people (corpus entries).  Parses back to the same value. *)
+
+val of_string : string -> (t, string) result
+(** Parse exactly one S-expression.  Whitespace and [;]-to-end-of-line
+    comments are ignored around and inside it; anything else before or
+    after is an error.  [Error msg] carries a position. *)
+
+val of_string_exn : string -> t
+(** Raises [Failure] instead of returning [Error]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+; Strong-validity agreement over lock-step rounds, partitioned across the
+; first round's send instant: the cut side misses the concurrent proposals
+; and decides differently — the synchrony assumption is load-bearing.
+; Found by `thc explore --protocol agreement-partition`, shrunk to one event.
+(repro
+  (protocol agreement-partition)
+  (seed 14)
+  (expect (fail agreement validity))
+  (script (adversary (horizon 10000) (events (2323 (partition (1 2 4)))))))

@@ -1,0 +1,13 @@
+; Real MinBFT under the same explorer: a replica crash at the fault bound
+; plus a healed partition.  Expected clean — safe and live.
+(repro
+  (protocol minbft)
+  (seed 17)
+  (expect (pass))
+  (script
+    (adversary
+      (horizon 200000)
+      (events
+        (30000 (crash 2))
+        (60000 (partition (0) (1 2)))
+        (90000 (heal))))))

@@ -1,0 +1,14 @@
+; Sequenced reliable broadcast from TrInc logs: a mid-run partition heals
+; before the horizon; sequenced delivery must hold and totality must catch
+; up after the heal.
+(repro
+  (protocol srb-trinc)
+  (seed 7)
+  (expect (pass))
+  (script
+    (adversary
+      (horizon 400000)
+      (events
+        (50000 (partition (0 1) (2 3)))
+        (150000 (heal))
+        (200000 (crash 3))))))

@@ -1,0 +1,11 @@
+; Algorithm 1 (SRB from unidirectional SWMR rounds) at its fault bound:
+; two of five writers crash mid-run.  The register rounds bypass the
+; message network, so crashes are the only faults that matter.
+(repro
+  (protocol srb-uni)
+  (seed 11)
+  (expect (pass))
+  (script
+    (adversary
+      (horizon 100000)
+      (events (20000 (crash 1)) (45000 (crash 4))))))

@@ -1,0 +1,8 @@
+; The ablated protocol (MinBFT message flow over plain signatures, no
+; trusted counters) forks with no adversary help at all: the equivocating
+; leader alone splits the f+1 quorums.  Shrunk from a 3-event script.
+(repro
+  (protocol minbft-unattested)
+  (seed 3)
+  (expect (fail smr-safety))
+  (script (adversary (horizon 1) (events))))

@@ -488,6 +488,124 @@ let prop_ablation_across_f =
       && held.violations = []
       && held.distinct_ops_at_seq1 <= 1)
 
+(* --- scripted faults and the replay monitor ------------------------------- *)
+
+let test_scripted_scenario_minbft () =
+  (* One replica crash (= f) plus a healed partition: MinBFT must stay safe
+     and, because the script stays within the fault bound, live. *)
+  let script =
+    {
+      Thc_sim.Adversary.events =
+        [
+          { at = 30_000L; action = Thc_sim.Adversary.Crash 2 };
+          {
+            at = 60_000L;
+            action = Thc_sim.Adversary.Block_groups [ [ 0 ]; [ 1; 2 ] ];
+          };
+          { at = 90_000L; action = Thc_sim.Adversary.Heal };
+        ];
+      horizon = 120_000L;
+    }
+  in
+  let o =
+    Thc_replication.Harness.run
+      (setup Thc_replication.Harness.Minbft_protocol
+         (Thc_replication.Harness.Scripted script)
+         17L)
+  in
+  Alcotest.(check int) "no safety violations" 0
+    (List.length o.safety_violations);
+  Alcotest.(check int) "no liveness violations" 0
+    (List.length o.liveness_violations)
+
+let test_scripted_over_budget_waives_liveness () =
+  (* Crashing 2 of 3 replicas (> f) cannot keep the cluster live; the
+     harness must demand safety only. *)
+  let script =
+    {
+      Thc_sim.Adversary.events =
+        [
+          { at = 20_000L; action = Thc_sim.Adversary.Crash 1 };
+          { at = 20_000L; action = Thc_sim.Adversary.Crash 2 };
+        ];
+      horizon = 100_000L;
+    }
+  in
+  let o =
+    Thc_replication.Harness.run
+      (setup Thc_replication.Harness.Minbft_protocol
+         (Thc_replication.Harness.Scripted script)
+         19L)
+  in
+  Alcotest.(check int) "still safe" 0 (List.length o.safety_violations);
+  Alcotest.(check int) "liveness not demanded" 0
+    (List.length o.liveness_violations)
+
+(* A synthetic trace exercising the replay monitor without a protocol: one
+   process that just records Executed observations. *)
+let replay_trace observations =
+  let engine =
+    Thc_sim.Engine.create ~n:1
+      ~net:(Thc_sim.Net.create ~n:1 ~default:(Thc_sim.Delay.Const 10L))
+      ()
+  in
+  Thc_sim.Engine.set_behavior engine 0
+    {
+      Thc_sim.Engine.init =
+        (fun ctx -> List.iter (fun obs -> ctx.output obs) observations);
+      on_message = (fun _ ~src:_ _ -> ());
+      on_timer = (fun _ _ -> ());
+    };
+  Thc_sim.Engine.run engine
+
+let executed ~seq op =
+  let store = Thc_replication.Kv_store.create () in
+  Thc_sim.Obs.Executed
+    {
+      seq;
+      op = Thc_replication.Kv_store.encode_op op;
+      result =
+        Thc_replication.Kv_store.encode_result
+          (Thc_replication.Kv_store.apply store op);
+    }
+
+let test_state_determinism_accepts_sequential () =
+  (* incr;incr replayed from scratch gives Counter 1, Counter 2 — record
+     exactly that. *)
+  let trace =
+    replay_trace
+      [
+        Thc_sim.Obs.Executed
+          {
+            seq = 1;
+            op = Thc_replication.Kv_store.encode_op (Incr "c");
+            result = Thc_replication.Kv_store.encode_result (Counter 1);
+          };
+        Thc_sim.Obs.Executed
+          {
+            seq = 2;
+            op = Thc_replication.Kv_store.encode_op (Incr "c");
+            result = Thc_replication.Kv_store.encode_result (Counter 2);
+          };
+      ]
+  in
+  Alcotest.(check int) "clean history accepted" 0
+    (List.length (Thc_replication.Smr_spec.check_state_determinism trace ~replicas:1))
+
+let test_state_determinism_rejects_stale_result () =
+  (* Both observations record the result of applying to a FRESH store, so
+     the second Incr claims Counter 1 where sequential replay gives 2. *)
+  let trace = replay_trace [ executed ~seq:1 (Incr "c"); executed ~seq:2 (Incr "c") ] in
+  (match Thc_replication.Smr_spec.check_state_determinism trace ~replicas:1 with
+  | [ { property = `Replay; _ } ] -> ()
+  | vs -> Alcotest.failf "expected one replay violation, got %d" (List.length vs))
+
+let test_state_determinism_rejects_gap () =
+  let trace = replay_trace [ executed ~seq:1 (Incr "c"); executed ~seq:3 (Incr "c") ] in
+  (match Thc_replication.Smr_spec.check_state_determinism trace ~replicas:1 with
+  | [ { property = `Replay; _ } ] -> ()
+  | vs -> Alcotest.failf "expected one replay violation, got %d" (List.length vs))
+
 let () =
   Alcotest.run "thc_replication"
     [
@@ -533,5 +651,19 @@ let () =
           Alcotest.test_case "unattested splits" `Quick test_ablation_unattested_splits;
           Alcotest.test_case "minbft holds" `Quick test_ablation_minbft_holds;
           qcheck prop_ablation_across_f;
+        ] );
+      ( "scripted",
+        [
+          Alcotest.test_case "within budget" `Quick test_scripted_scenario_minbft;
+          Alcotest.test_case "over budget waives liveness" `Quick
+            test_scripted_over_budget_waives_liveness;
+        ] );
+      ( "replay-monitor",
+        [
+          Alcotest.test_case "accepts sequential history" `Quick
+            test_state_determinism_accepts_sequential;
+          Alcotest.test_case "rejects stale result" `Quick
+            test_state_determinism_rejects_stale_result;
+          Alcotest.test_case "rejects gap" `Quick test_state_determinism_rejects_gap;
         ] );
     ]

@@ -394,6 +394,68 @@ let test_adversary_partition_blocks_cross_only () =
   Alcotest.(check bool) "cross blocked" true (blocked 0 2);
   Alcotest.(check bool) "within open" false (blocked 0 1)
 
+let prop_adversary_sexp_roundtrip =
+  QCheck.Test.make ~name:"adversary sexp codec round-trips" ~count:100
+    QCheck.(pair int64 (int_bound 3))
+    (fun (seed, crash_budget) ->
+      let rng = Thc_util.Rng.create seed in
+      let script =
+        Thc_sim.Adversary.random rng ~n:5 ~horizon:100_000L ~crash_budget ()
+      in
+      let text = Thc_util.Sexp.to_string (Thc_sim.Adversary.to_sexp script) in
+      let back =
+        Thc_sim.Adversary.of_sexp (Thc_util.Sexp.of_string_exn text)
+      in
+      Thc_sim.Adversary.equal script back)
+
+let test_adversary_block_at_horizon_still_heals () =
+  (* The subtle ordering case: a block event at exactly [horizon].  The
+     appended heal shares its timestamp, and the engine breaks the tie by
+     insertion order — install pushes the heal last, so the run must end on
+     a healed network, not a blocked one. *)
+  let n = 2 in
+  let engine = Thc_sim.Engine.create ~n ~net:(net n) () in
+  Thc_sim.Engine.set_behavior engine 0 Thc_sim.Engine.no_op;
+  Thc_sim.Engine.set_behavior engine 1 Thc_sim.Engine.no_op;
+  Thc_sim.Adversary.install
+    {
+      Thc_sim.Adversary.events =
+        [ { at = 50_000L; action = Thc_sim.Adversary.Block_link (0, 1) } ];
+      horizon = 50_000L;
+    }
+    engine;
+  ignore (Thc_sim.Engine.run engine);
+  (match Thc_sim.Net.get (Thc_sim.Engine.net engine) ~src:0 ~dst:1 with
+  | Thc_sim.Net.Deliver _ -> ()
+  | Thc_sim.Net.Block | Thc_sim.Net.Drop ->
+    Alcotest.fail "link still blocked after the horizon heal")
+
+let test_adversary_unsorted_script_heals () =
+  (* Events listed out of time order: the heal is scripted {e before} the
+     block in the list but {e after} it in time.  ends_healed/install must
+     judge the time-sorted view, append the horizon heal, and deliver the
+     held message. *)
+  let n = 2 in
+  let engine = Thc_sim.Engine.create ~n ~net:(net n) () in
+  let received = ref [] in
+  Thc_sim.Engine.set_behavior engine 0 (sender_at ~at:45_000L ~dst:1 1);
+  Thc_sim.Engine.set_behavior engine 1 (recorder received);
+  Thc_sim.Adversary.install
+    {
+      Thc_sim.Adversary.events =
+        [
+          { at = 40_000L; action = Thc_sim.Adversary.Block_link (0, 1) };
+          { at = 10_000L; action = Thc_sim.Adversary.Heal };
+        ];
+      horizon = 50_000L;
+    }
+    engine;
+  ignore (Thc_sim.Engine.run engine);
+  (match !received with
+  | [ (time, 0, 1) ] ->
+    if time < 50_000L then Alcotest.fail "delivered before the horizon heal"
+  | _ -> Alcotest.fail "held message lost: unsorted script skipped the heal")
+
 let () =
   Alcotest.run "thc_sim"
     [
@@ -440,5 +502,10 @@ let () =
           Alcotest.test_case "random admissible" `Quick test_adversary_random_admissible;
           Alcotest.test_case "install heals" `Quick test_adversary_install_heals;
           Alcotest.test_case "partition scope" `Quick test_adversary_partition_blocks_cross_only;
+          Alcotest.test_case "block at horizon still heals" `Quick
+            test_adversary_block_at_horizon_still_heals;
+          Alcotest.test_case "unsorted script heals" `Quick
+            test_adversary_unsorted_script_heals;
+          qcheck prop_adversary_sexp_roundtrip;
         ] );
     ]

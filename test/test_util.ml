@@ -237,6 +237,86 @@ let test_codec_canonical () =
   let b = Thc_util.Codec.encode (1, "x") in
   Alcotest.(check string) "canonical encoding" a b
 
+(* --- sexp ----------------------------------------------------------------- *)
+
+let test_sexp_print_parse () =
+  let s =
+    Thc_util.Sexp.(
+      list
+        [
+          atom "repro"; list [ atom "seed"; int64_atom 42L ];
+          list [ atom "events"; list [ int_atom 3; atom "heal" ] ];
+        ])
+  in
+  let text = Thc_util.Sexp.to_string s in
+  Alcotest.(check string)
+    "canonical rendering" "(repro (seed 42) (events (3 heal)))" text;
+  Alcotest.(check bool)
+    "parses back" true
+    (Thc_util.Sexp.of_string_exn text = s)
+
+let test_sexp_quoting () =
+  let s = Thc_util.Sexp.atom "has space (and parens) \"quote\"" in
+  let text = Thc_util.Sexp.to_string s in
+  Alcotest.(check bool) "round-trips" true (Thc_util.Sexp.of_string_exn text = s)
+
+let test_sexp_comments_and_whitespace () =
+  let text = "; a comment\n (a ; inline\n  b)\n" in
+  Alcotest.(check bool)
+    "comments ignored" true
+    (Thc_util.Sexp.of_string_exn text
+    = Thc_util.Sexp.(list [ atom "a"; atom "b" ]))
+
+let test_sexp_rejects_trailing () =
+  match Thc_util.Sexp.of_string "(a) (b)" with
+  | Ok _ -> Alcotest.fail "accepted two top-level sexps"
+  | Error _ -> ()
+
+let test_sexp_hum_parses_back () =
+  let s =
+    Thc_util.Sexp.(
+      list
+        [
+          atom "adversary";
+          list [ atom "horizon"; int64_atom 100_000L ];
+          list
+            (atom "events"
+            :: List.init 8 (fun i ->
+                   list [ int_atom (i * 1000); list [ atom "crash"; int_atom i ] ]));
+        ])
+  in
+  Alcotest.(check bool)
+    "human rendering parses to same value" true
+    (Thc_util.Sexp.of_string_exn (Thc_util.Sexp.to_string_hum s) = s)
+
+let sexp_gen =
+  let open QCheck.Gen in
+  let atom_gen =
+    oneof
+      [
+        map Thc_util.Sexp.atom (string_size ~gen:printable (int_range 0 12));
+        map Thc_util.Sexp.int_atom int;
+      ]
+  in
+  sized
+  @@ fix (fun self size ->
+         if size <= 0 then atom_gen
+         else
+           frequency
+             [
+               (1, atom_gen);
+               ( 2,
+                 map Thc_util.Sexp.list
+                   (list_size (int_range 0 4) (self (size / 2))) );
+             ])
+
+let prop_sexp_roundtrip =
+  QCheck.Test.make ~name:"sexp print/parse round-trips" ~count:200
+    (QCheck.make sexp_gen)
+    (fun s ->
+      Thc_util.Sexp.of_string_exn (Thc_util.Sexp.to_string s) = s
+      && Thc_util.Sexp.of_string_exn (Thc_util.Sexp.to_string_hum s) = s)
+
 let () =
   Alcotest.run "thc_util"
     [
@@ -283,5 +363,14 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
           Alcotest.test_case "canonical" `Quick test_codec_canonical;
           qcheck prop_codec_roundtrip;
+        ] );
+      ( "sexp",
+        [
+          Alcotest.test_case "print/parse" `Quick test_sexp_print_parse;
+          Alcotest.test_case "quoting" `Quick test_sexp_quoting;
+          Alcotest.test_case "comments" `Quick test_sexp_comments_and_whitespace;
+          Alcotest.test_case "rejects trailing" `Quick test_sexp_rejects_trailing;
+          Alcotest.test_case "hum parses back" `Quick test_sexp_hum_parses_back;
+          qcheck prop_sexp_roundtrip;
         ] );
     ]
