@@ -26,6 +26,55 @@ let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 (* ----------------------------------------------------------------------- *)
+(* Machine-readable results (BENCH_results.json)                            *)
+(*                                                                          *)
+(* Each deterministic table also records its headline numbers here; the     *)
+(* main function serialises them as                                         *)
+(*   {"schema":"thc-bench/v1","experiments":{<id>:{<metric>:<value>}}}      *)
+(* Only virtual-time metrics are recorded — the Bechamel wall-clock numbers *)
+(* stay stdout-only so the file is identical across machines and runs.      *)
+(* ----------------------------------------------------------------------- *)
+
+module J = Thc_obsv.Json
+
+let results : (string, (string * J.t) list ref) Hashtbl.t = Hashtbl.create 16
+
+let record exp name v =
+  let rows =
+    match Hashtbl.find_opt results exp with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add results exp r;
+      r
+  in
+  rows := (name, v) :: !rows
+
+let record_i exp name i = record exp name (J.Int i)
+let record_f exp name f = record exp name (J.Float f)
+let record_b exp name b = record exp name (J.Bool b)
+let record_s exp name s = record exp name (J.Str s)
+
+let results_path = "BENCH_results.json"
+
+let write_results () =
+  let by_name (a, _) (b, _) = compare a b in
+  let experiments =
+    Hashtbl.fold (fun id rows acc -> (id, !rows) :: acc) results []
+    |> List.sort by_name
+    |> List.map (fun (id, rows) -> (id, J.Obj (List.sort by_name rows)))
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.Str "thc-bench/v1"); ("experiments", J.Obj experiments) ]
+  in
+  let oc = open_out_bin results_path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "machine-readable results written to %s\n" results_path
+
+(* ----------------------------------------------------------------------- *)
 (* F1: hierarchy verification                                               *)
 (* ----------------------------------------------------------------------- *)
 
@@ -39,13 +88,23 @@ let table_f1 () =
         [ label; (if passed then "PASS" else "FAIL"); detail ])
     results;
   Thc_util.Table.print t;
+  record_i "f1" "edges_checked" (List.length results);
+  record_i "f1" "edges_passed"
+    (List.length (List.filter (fun (_, ok, _) -> ok) results));
   (match Thc_classify.Hierarchy.consistent Thc_classify.Hierarchy.paper with
   | Ok notes ->
+    record_b "f1" "consistent" true;
     Printf.printf "hierarchy consistent; %d side-condition notes\n"
       (List.length notes)
-  | Error ps -> Printf.printf "hierarchy INCONSISTENT (%d problems)\n" (List.length ps));
-  Printf.printf "equivalence classes proven: %d pairs\n"
-    (List.length (Thc_classify.Hierarchy.same_class_pairs Thc_classify.Hierarchy.paper))
+  | Error ps ->
+    record_b "f1" "consistent" false;
+    Printf.printf "hierarchy INCONSISTENT (%d problems)\n" (List.length ps));
+  let pairs =
+    List.length
+      (Thc_classify.Hierarchy.same_class_pairs Thc_classify.Hierarchy.paper)
+  in
+  record_i "f1" "equivalence_pairs" pairs;
+  Printf.printf "equivalence classes proven: %d pairs\n" pairs
 
 (* ----------------------------------------------------------------------- *)
 (* C1: unidirectional rounds from shared memory — round latency             *)
@@ -91,13 +150,18 @@ let table_c1 () =
           let rounds = 3 in
           let trace = run_driver_once ~driver:(mk n) ~n ~seed:7L ~rounds in
           let viol = Thc_rounds.Directionality.check_unidirectional trace in
+          let us_per_round =
+            Int64.to_float trace.Thc_sim.Trace.end_time /. float_of_int rounds
+          in
+          let key = Printf.sprintf "%s.n%d" name n in
+          record_f "c1" (key ^ ".sim_us_per_round") us_per_round;
+          record_i "c1" (key ^ ".uni_violations") (List.length viol);
           Thc_util.Table.add_row t
             [
               name;
               string_of_int n;
               string_of_int rounds;
-              Printf.sprintf "%.0f"
-                (Int64.to_float trace.Thc_sim.Trace.end_time /. float_of_int rounds);
+              Printf.sprintf "%.0f" us_per_round;
               string_of_int (List.length viol);
             ])
         [
@@ -119,11 +183,17 @@ let table_c1 () =
 let table_c2 () =
   section "C2/A2 — impossibility constructions (scenario outcomes)";
   List.iter
-    (fun r -> Format.printf "%a@.@." Thc_classify.Separations.pp_result r)
+    (fun (key, r) ->
+      record_b "c2" (key ^ ".holds") r.Thc_classify.Separations.holds;
+      record_i "c2" (key ^ ".scenarios")
+        (List.length r.Thc_classify.Separations.scenarios);
+      Format.printf "%a@.@." Thc_classify.Separations.pp_result r)
     [
-      Thc_classify.Separations.srb_cannot_implement_unidirectionality ();
-      Thc_classify.Separations.rb_cannot_solve_very_weak ();
-      Thc_classify.Separations.delta_wait_below_delta_not_unidirectional ();
+      ( "srb_no_uni",
+        Thc_classify.Separations.srb_cannot_implement_unidirectionality () );
+      ("rb_no_very_weak", Thc_classify.Separations.rb_cannot_solve_very_weak ());
+      ( "wait_below_delta",
+        Thc_classify.Separations.delta_wait_below_delta_not_unidirectional () );
     ]
 
 (* ----------------------------------------------------------------------- *)
@@ -196,33 +266,30 @@ let table_l1 () =
   List.iter
     (fun (n, faults) ->
       let msgs = 3 in
-      let uni_trace = run_srb_uni ~n ~faults ~seed:11L ~msgs in
       let spec v = if v = [] then "ok" else "VIOLATED" in
-      Thc_util.Table.add_row t
-        [
-          "srb-from-uni (Alg. 1)";
-          string_of_int n;
-          string_of_int faults;
-          string_of_int msgs;
-          (match srb_latency uni_trace ~sender:0 with
-          | Some l -> Int64.to_string l
-          | None -> "-");
-          string_of_int (Thc_sim.Trace.messages_sent uni_trace);
-          spec (Thc_broadcast.Srb_spec.check uni_trace ~sender:0);
-        ];
-      let trinc_trace = run_srb_trinc ~n ~seed:11L ~msgs in
-      Thc_util.Table.add_row t
-        [
-          "srb-from-trinc";
-          string_of_int n;
-          string_of_int faults;
-          string_of_int msgs;
-          (match srb_latency trinc_trace ~sender:0 with
-          | Some l -> Int64.to_string l
-          | None -> "-");
-          string_of_int (Thc_sim.Trace.messages_sent trinc_trace);
-          spec (Thc_broadcast.Srb_spec.check trinc_trace ~sender:0);
-        ])
+      let row impl key trace =
+        let latency = srb_latency trace ~sender:0 in
+        record "l1"
+          (Printf.sprintf "%s.n%d.latency_us" key n)
+          (match latency with Some l -> J.Int (Int64.to_int l) | None -> J.Null);
+        record_i "l1"
+          (Printf.sprintf "%s.n%d.net_msgs" key n)
+          (Thc_sim.Trace.messages_sent trace);
+        let ok = Thc_broadcast.Srb_spec.check trace ~sender:0 = [] in
+        record_b "l1" (Printf.sprintf "%s.n%d.spec_ok" key n) ok;
+        Thc_util.Table.add_row t
+          [
+            impl;
+            string_of_int n;
+            string_of_int faults;
+            string_of_int msgs;
+            (match latency with Some l -> Int64.to_string l | None -> "-");
+            string_of_int (Thc_sim.Trace.messages_sent trace);
+            spec (if ok then [] else [ () ]);
+          ]
+      in
+      row "srb-from-uni (Alg. 1)" "uni" (run_srb_uni ~n ~faults ~seed:11L ~msgs);
+      row "srb-from-trinc" "trinc" (run_srb_trinc ~n ~seed:11L ~msgs))
     [ (3, 1); (5, 2); (7, 3) ];
   Thc_util.Table.print t;
   print_endline
@@ -261,6 +328,10 @@ let table_a1 () =
           trace
         = []
       in
+      record_i "a1"
+        (Printf.sprintf "very_weak.n%d.sim_us" n)
+        (Int64.to_int trace.Thc_sim.Trace.end_time);
+      record_b "a1" (Printf.sprintf "very_weak.n%d.spec_ok" n) ok;
       Thc_util.Table.add_row t
         [
           "very-weak";
@@ -294,6 +365,10 @@ let table_a1 () =
           trace
         = []
       in
+      record_i "a1"
+        (Printf.sprintf "strong.n%d.sim_us" n)
+        ((f + 1) * 1_000);
+      record_b "a1" (Printf.sprintf "strong.n%d.spec_ok" n) ok;
       Thc_util.Table.add_row t
         [
           "strong-validity";
@@ -326,6 +401,14 @@ let table_a3 () =
           Thc_agreement.Weak_validity.run ~f ~inputs ~seed:31L
             ~crash_leader:crash ()
         in
+        let key =
+          Printf.sprintf "f%d.%s.%s" f label
+            (if crash then "crash_leader" else "fault_free")
+        in
+        record_b "a3" (key ^ ".agreement") o.agreement;
+        record_b "a3" (key ^ ".validity") o.validity;
+        record_b "a3" (key ^ ".termination") o.termination;
+        record_i "a3" (key ^ ".messages") o.messages;
         Thc_util.Table.add_row t
           [
             string_of_int f;
@@ -358,6 +441,25 @@ let table_ablation () =
   List.iter
     (fun f ->
       let split = Thc_replication.Ablation.equivocation_splits_unattested ~f () in
+      let held = Thc_replication.Ablation.equivocation_fails_against_minbft ~f () in
+      let trusted_total =
+        List.fold_left (fun acc (_, c) -> acc + c) 0 held.trusted_ops
+      in
+      record_i "ablation"
+        (Printf.sprintf "f%d.unattested.violations" f)
+        (List.length split.violations);
+      record_i "ablation"
+        (Printf.sprintf "f%d.unattested.distinct_ops_at_seq1" f)
+        split.distinct_ops_at_seq1;
+      record_i "ablation"
+        (Printf.sprintf "f%d.minbft.violations" f)
+        (List.length held.violations);
+      record_i "ablation"
+        (Printf.sprintf "f%d.minbft.distinct_ops_at_seq1" f)
+        held.distinct_ops_at_seq1;
+      record_i "ablation"
+        (Printf.sprintf "f%d.minbft.trusted_ops" f)
+        trusted_total;
       Thc_util.Table.add_row t
         [
           "f+1 quorums, plain signatures";
@@ -366,7 +468,6 @@ let table_ablation () =
           string_of_int split.distinct_ops_at_seq1;
           "SPLIT";
         ];
-      let held = Thc_replication.Ablation.equivocation_fails_against_minbft ~f () in
       Thc_util.Table.add_row t
         [
           "f+1 quorums, attested links (MinBFT)";
@@ -425,6 +526,15 @@ let table_s1 () =
                     seed = 17L;
                   }
               in
+              let key = Printf.sprintf "%s.f%d.%s" pname f sname in
+              record_i "s1" (key ^ ".completed") o.completed;
+              record_i "s1" (key ^ ".commits") o.commits;
+              record_f "s1" (key ^ ".msgs_per_op") o.messages_per_op;
+              record_f "s1" (key ^ ".mean_us") o.latency.mean;
+              record_f "s1" (key ^ ".p99_us") o.latency.p99;
+              record_f "s1" (key ^ ".trusted_per_commit") o.trusted_per_commit;
+              record_b "s1" (key ^ ".safe") (o.safety_violations = []);
+              record_b "s1" (key ^ ".live") (o.liveness_violations = []);
               Thc_util.Table.add_row t
                 [
                   pname;
@@ -487,6 +597,13 @@ let table_s1b () =
             |> List.map (fun (k, c) -> Printf.sprintf "%s:%d" k c)
             |> String.concat " "
           in
+          let key =
+            Printf.sprintf "%s.%s" pname
+              (String.map (function ' ' | '(' | ')' -> '_' | c -> c) dname)
+          in
+          record_f "s1b" (key ^ ".mean_us") o.latency.mean;
+          record_f "s1b" (key ^ ".p99_us") o.latency.p99;
+          record_f "s1b" (key ^ ".msgs_per_op") o.messages_per_op;
           Thc_util.Table.add_row t
             [
               pname;
@@ -547,6 +664,10 @@ let table_s2 () =
         else if !bi_bad > 0 then "unidirectional (not bi)"
         else "bidirectional"
       in
+      let key = Printf.sprintf "wait_%Ldus" wait in
+      record_i "s2" (key ^ ".uni_violating_runs") !uni_bad;
+      record_i "s2" (key ^ ".bi_violating_runs") !bi_bad;
+      record_s "s2" (key ^ ".classification") classification;
       Thc_util.Table.add_row t
         [ label; Printf.sprintf "%d/10" !uni_bad; Printf.sprintf "%d/10" !bi_bad; classification ])
     [ ("0.3 * delta", 300L); ("1.0 * delta", delta); ("2.0 * delta", 2_000L) ];
@@ -688,6 +809,8 @@ let table_problems () =
   print_string (Thc_classify.Problems.render ());
   let results = Thc_classify.Problems.verify () in
   let failed = List.filter (fun (_, ok, _) -> not ok) results in
+  record_i "problems" "cells_checked" (List.length results);
+  record_i "problems" "cells_passed" (List.length results - List.length failed);
   Printf.printf "machine-checkable cells: %d/%d PASS\n"
     (List.length results - List.length failed)
     (List.length results)
@@ -704,5 +827,6 @@ let () =
   table_s1b ();
   table_ablation ();
   table_s2 ();
+  write_results ();
   run_bechamel ();
   print_endline "\nbench: all experiment tables regenerated"

@@ -263,6 +263,321 @@ let smr_cmd =
        ~doc:"Run the replicated-state-machine comparison (MinBFT vs PBFT).")
     Term.(const run $ protocol $ f $ ops $ scenario $ seed)
 
+(* --- report ---------------------------------------------------------------- *)
+
+(* Dashboard rendering for the named experiments.  Everything printed here
+   is derived from virtual-time metrics, so identical seeds give
+   byte-identical dashboards (and exports). *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "export written to %s\n" path
+
+let print_latency_table (h : Thc_obsv.Metrics.Histogram.t) =
+  let cell = function None -> "-" | Some v -> Printf.sprintf "%Ld" v in
+  print_endline "commit latency (virtual µs):";
+  let t = Thc_util.Table.create [ "quantile"; "value" ] in
+  Thc_util.Table.add_row t [ "p50"; cell (Thc_obsv.Metrics.Histogram.p50 h) ];
+  Thc_util.Table.add_row t [ "p90"; cell (Thc_obsv.Metrics.Histogram.p90 h) ];
+  Thc_util.Table.add_row t [ "p99"; cell (Thc_obsv.Metrics.Histogram.p99 h) ];
+  Thc_util.Table.add_row t [ "max"; cell (Thc_obsv.Metrics.Histogram.max h) ];
+  Thc_util.Table.add_row t
+    [ "samples"; string_of_int (Thc_obsv.Metrics.Histogram.count h) ];
+  Thc_util.Table.print t
+
+let print_kind_table breakdown =
+  print_endline "message kinds:";
+  let t = Thc_util.Table.create [ "kind"; "sent" ] in
+  List.iter
+    (fun (kind, c) -> Thc_util.Table.add_row t [ kind; string_of_int c ])
+    breakdown;
+  Thc_util.Table.print t
+
+let print_sends_table ~replicas sends =
+  print_endline "sends by process:";
+  let t = Thc_util.Table.create [ "process"; "sent" ] in
+  List.iter
+    (fun (pid, c) ->
+      let label =
+        if pid < replicas then Printf.sprintf "p%d" pid
+        else Printf.sprintf "p%d (client)" pid
+      in
+      Thc_util.Table.add_row t [ label; string_of_int c ])
+    sends;
+  Thc_util.Table.print t
+
+let print_net_table (net : (string * int) list)
+    (d : Thc_sim.Metrics.delivery_report) =
+  print_endline "network:";
+  let t = Thc_util.Table.create [ "metric"; "value" ] in
+  List.iter
+    (fun (k, v) -> Thc_util.Table.add_row t [ k; string_of_int v ])
+    (net
+    @ [
+        ("undelivered at horizon", d.Thc_sim.Metrics.in_flight_at_end);
+        ("held at end (trace)", d.Thc_sim.Metrics.held_at_end);
+      ]);
+  Thc_util.Table.print t
+
+let print_ledger_table ~commits trusted_ops =
+  print_endline "trusted-op ledger:";
+  if trusted_ops = [] then
+    print_endline "  (empty — no trusted component in this run)"
+  else begin
+    let t = Thc_util.Table.create [ "op"; "count"; "per commit" ] in
+    let rate c =
+      if commits <= 0 then "0.00"
+      else Printf.sprintf "%.2f" (float_of_int c /. float_of_int commits)
+    in
+    List.iter
+      (fun (op, c) -> Thc_util.Table.add_row t [ op; string_of_int c; rate c ])
+      trusted_ops;
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 trusted_ops in
+    Thc_util.Table.add_row t [ "total"; string_of_int total; rate total ];
+    Thc_util.Table.print t
+  end
+
+let report_smr protocol ~name ~f ~ops ~seed ~export =
+  let setup =
+    {
+      Thc_replication.Harness.protocol;
+      f;
+      ops;
+      interval = 5_000L;
+      delay = Thc_sim.Delay.Uniform (50L, 500L);
+      scenario = Thc_replication.Harness.Fault_free;
+      seed;
+    }
+  in
+  let o, jsonl = Thc_replication.Harness.run_export setup in
+  Printf.printf "=== %s ===\n" name;
+  Printf.printf "replicas=%d (+1 client)  f=%d  seed=%Ld  ops=%d\n" o.replicas f
+    seed ops;
+  Printf.printf
+    "completed=%d/%d  commits=%d  messages=%d (%.1f/op)  duration=%Ldµs  \
+     final view=%d\n"
+    o.completed ops o.commits o.messages o.messages_per_op o.duration_us
+    o.final_view;
+  Printf.printf "safety violations: %d   liveness violations: %d\n\n"
+    (List.length o.safety_violations)
+    (List.length o.liveness_violations);
+  print_latency_table o.lat_hist;
+  print_newline ();
+  print_kind_table o.breakdown;
+  print_newline ();
+  print_sends_table ~replicas:o.replicas o.sends_by_replica;
+  print_newline ();
+  print_net_table o.net o.delivery;
+  print_newline ();
+  print_ledger_table ~commits:o.commits o.trusted_ops;
+  Printf.printf "\ntrusted ops per committed operation: %.2f\n"
+    o.trusted_per_commit;
+  Option.iter (fun file -> write_file file jsonl) export;
+  List.length o.safety_violations + List.length o.liveness_violations
+
+let report_ablation ~f ~seed ~export =
+  let ua = Thc_replication.Ablation.equivocation_splits_unattested ~f ~seed () in
+  let mb =
+    Thc_replication.Ablation.equivocation_fails_against_minbft ~f ~seed ()
+  in
+  Printf.printf "=== ablation: equivocation with and without trusted counters ===\n";
+  Printf.printf "f=%d  seed=%Ld\n\n" f seed;
+  let total ops = List.fold_left (fun acc (_, c) -> acc + c) 0 ops in
+  let rate (r : Thc_replication.Ablation.result) =
+    if r.commits <= 0 then 0.0
+    else float_of_int (total r.trusted_ops) /. float_of_int r.commits
+  in
+  let t =
+    Thc_util.Table.create [ "metric"; "unattested (2f+1)"; "minbft (2f+1 + trinc)" ]
+  in
+  let row name get = Thc_util.Table.add_row t [ name; get ua; get mb ] in
+  row "safety violations" (fun (r : Thc_replication.Ablation.result) ->
+      string_of_int (List.length r.violations));
+  row "distinct ops at seq 1" (fun r -> string_of_int r.distinct_ops_at_seq1);
+  row "commits" (fun r -> string_of_int r.commits);
+  row "messages" (fun r -> string_of_int r.messages);
+  row "trusted ops" (fun r -> string_of_int (total r.trusted_ops));
+  row "trusted ops per commit" (fun r -> Printf.sprintf "%.2f" (rate r));
+  Thc_util.Table.print t;
+  print_newline ();
+  print_ledger_table ~commits:mb.commits mb.trusted_ops;
+  Printf.printf
+    "\nthe unattested run spends 0.00 trusted ops per commit and loses \
+     safety;\nminbft pays %.2f per commit and keeps it.\n" (rate mb);
+  Option.iter
+    (fun file ->
+      let module J = Thc_obsv.Json in
+      let line (name, (r : Thc_replication.Ablation.result)) =
+        J.to_string
+          (J.Obj
+             [
+               ("type", J.Str "ablation");
+               ("variant", J.Str name);
+               ("violations", J.Int (List.length r.violations));
+               ("distinct_ops_at_seq1", J.Int r.distinct_ops_at_seq1);
+               ("commits", J.Int r.commits);
+               ("messages", J.Int r.messages);
+               ( "trusted_ops",
+                 J.Obj (List.map (fun (k, v) -> (k, J.Int v)) r.trusted_ops) );
+             ])
+        ^ "\n"
+      in
+      write_file file
+        (String.concat "" (List.map line [ ("unattested", ua); ("minbft", mb) ])))
+    export;
+  (* The split succeeding against the unattested variant IS the expected
+     outcome; only a violation on real MinBFT is a failure. *)
+  List.length mb.violations
+
+let report_srb ~n ~ops ~seed ~export =
+  let rng = Thc_util.Rng.create seed in
+  let world = Thc_hardware.Trinc.create_world rng ~n in
+  let net = Thc_sim.Net.create ~n ~default:(Thc_sim.Delay.Uniform (10L, 400L)) in
+  let engine = Thc_sim.Engine.create ~seed ~n ~net () in
+  for pid = 0 to n - 1 do
+    let st =
+      Thc_broadcast.Srb_from_trinc.create ~world
+        ~trinket:(Some (Thc_hardware.Trinc.trinket world ~owner:pid))
+        ~n ~self:pid
+    in
+    let plan =
+      if pid = 0 then
+        List.init ops (fun i ->
+            (Int64.add 100L (Int64.mul (Int64.of_int i) 1_000L),
+             Printf.sprintf "m%d" (i + 1)))
+      else []
+    in
+    Thc_sim.Engine.set_behavior engine pid
+      (Thc_broadcast.Srb_from_trinc.behavior st ~broadcast_plan:plan)
+  done;
+  let until = Int64.add 2_000_000L (Int64.mul (Int64.of_int ops) 1_000L) in
+  let trace = Thc_sim.Engine.run ~until ~max_events:10_000_000 engine in
+  let violations = Thc_broadcast.Srb_spec.check trace ~sender:0 in
+  let delivered =
+    List.fold_left
+      (fun acc pid ->
+        acc
+        + List.length (Thc_broadcast.Srb_spec.deliveries trace ~sender:0 ~pid))
+      0
+      (Thc_sim.Trace.correct_pids trace)
+  in
+  let delivery = Thc_sim.Metrics.delivery_report trace in
+  let hist = Thc_obsv.Metrics.Histogram.create () in
+  List.iter
+    (fun l -> Thc_obsv.Metrics.Histogram.record hist (Int64.of_float l))
+    delivery.Thc_sim.Metrics.latencies;
+  let ledger_rows = Thc_obsv.Ledger.rows (Thc_hardware.Trinc.ledger world) in
+  Printf.printf "=== SRB from TrInc (sequenced reliable broadcast) ===\n";
+  Printf.printf "processes=%d  sender=p0  seed=%Ld  values=%d\n" n seed ops;
+  Printf.printf
+    "deliveries=%d (of %d expected)  messages=%d  duration=%Ldµs\n"
+    delivered (ops * n)
+    (Thc_sim.Trace.messages_sent trace)
+    trace.Thc_sim.Trace.end_time;
+  Printf.printf "SRB spec violations: %d\n\n" (List.length violations);
+  print_latency_table hist;
+  print_newline ();
+  print_kind_table
+    (Thc_sim.Metrics.kind_counts trace ~classify:(fun _ -> "attestation"));
+  print_newline ();
+  print_sends_table ~replicas:n (Thc_sim.Metrics.sends_by_source trace);
+  print_newline ();
+  print_net_table
+    (Thc_obsv.Link_stats.rows (Thc_sim.Engine.stats engine))
+    delivery;
+  print_newline ();
+  print_ledger_table ~commits:delivered ledger_rows;
+  Printf.printf
+    "\n(per-commit column uses total correct-process deliveries as the \
+     denominator)\n";
+  Option.iter
+    (fun file ->
+      let module J = Thc_obsv.Json in
+      write_file file
+        (Thc_sim.Trace.to_jsonl ~encode_msg:Thc_util.Codec.encode trace
+        ^ J.to_string
+            (J.Obj
+               [
+                 ("type", J.Str "ledger");
+                 ( "ops",
+                   J.Obj (List.map (fun (k, v) -> (k, J.Int v)) ledger_rows) );
+                 ("deliveries", J.Int delivered);
+               ])
+        ^ "\n"))
+    export;
+  List.length violations
+
+let report_cmd =
+  let experiment =
+    Arg.(
+      required
+      & pos 0
+          (some (enum
+                   [ ("minbft", `Minbft); ("pbft", `Pbft);
+                     ("ablation", `Ablation); ("srb", `Srb) ]))
+          None
+      & info [] ~docv:"EXPERIMENT" ~doc:"minbft|pbft|ablation|srb.")
+  in
+  let n =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n" ]
+          ~doc:
+            "Cluster size.  For minbft the fault bound becomes (n-1)/2, for \
+             pbft (n-1)/3 (at least 1); for srb this is the process count.")
+  in
+  let f =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "f" ] ~doc:"Fault bound (overrides the $(b,--n) derivation).")
+  in
+  let ops =
+    Arg.(
+      value & opt int 30
+      & info [ "ops" ] ~doc:"Client requests (smr) or broadcast values (srb).")
+  in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"RNG seed.") in
+  let export =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"FILE"
+          ~doc:"Write the run's JSONL trace/metrics export to $(docv).")
+  in
+  let run experiment n f ops seed export =
+    let fault_bound ~per_fault =
+      match (f, n) with
+      | Some f, _ -> f
+      | None, Some n -> max 1 ((n - 1) / per_fault)
+      | None, None -> 1
+    in
+    let problems =
+      match experiment with
+      | `Minbft ->
+        report_smr Thc_replication.Harness.Minbft_protocol
+          ~name:"MinBFT (2f+1, trusted counters)" ~f:(fault_bound ~per_fault:2)
+          ~ops ~seed ~export
+      | `Pbft ->
+        report_smr Thc_replication.Harness.Pbft_protocol
+          ~name:"PBFT (3f+1 baseline)" ~f:(fault_bound ~per_fault:3) ~ops ~seed
+          ~export
+      | `Ablation -> report_ablation ~f:(fault_bound ~per_fault:2) ~seed ~export
+      | `Srb -> report_srb ~n:(Option.value n ~default:4) ~ops ~seed ~export
+    in
+    if problems > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a named experiment and render its telemetry dashboard: commit \
+          latency quantiles, message-kind breakdown, per-process sends, \
+          network counters, and the trusted-op ledger.")
+    Term.(const run $ experiment $ n $ f $ ops $ seed $ export)
+
 (* --- explore --------------------------------------------------------------- *)
 
 let protocol_arg =
@@ -304,8 +619,17 @@ let explore_cmd =
   in
   let run protocol runs seed crashes partitions no_shrink out =
     let h = Option.get (Thc_check.Harness.find protocol) in
+    (* Periodic progress: one line per tenth of the sweep (virtual-time
+       counters only, so repeated runs print identical lines). *)
+    let stride = max 1 ((runs + 9) / 10) in
+    let progress ~completed ~failures =
+      if completed mod stride = 0 || completed = runs then
+        Format.printf "[sweep] %d/%d seeds run, %d failure(s)@." completed runs
+          failures
+    in
     let summary =
-      Thc_check.Sweep.sweep h ?crashes ?partitions ~base_seed:seed ~runs ()
+      Thc_check.Sweep.sweep h ?crashes ?partitions ~progress ~base_seed:seed
+        ~runs ()
     in
     Format.printf "%a@." Thc_check.Sweep.pp_summary summary;
     Format.printf "expectation: %a@." Thc_check.Harness.pp_expectation
@@ -316,9 +640,20 @@ let explore_cmd =
         (fun (o : Thc_check.Sweep.outcome) ->
           if no_shrink then o
           else
+            let last_events = ref (-1) in
             let r =
-              Thc_check.Shrink.shrink h ~seed:o.Thc_check.Sweep.seed
-                ~script:o.Thc_check.Sweep.script ~report:o.Thc_check.Sweep.report
+              Thc_check.Shrink.shrink h
+                ~on_round:(fun ~rounds ~attempts ~events ->
+                  (* A line when the script actually shrank, plus a
+                     heartbeat every 10 rounds of horizon-halving. *)
+                  if events <> !last_events || rounds mod 10 = 0 then
+                    Format.printf
+                      "[shrink] seed %Ld: round %d, %d candidate runs, %d \
+                       events left@."
+                      o.Thc_check.Sweep.seed rounds attempts events;
+                  last_events := events)
+                ~seed:o.Thc_check.Sweep.seed ~script:o.Thc_check.Sweep.script
+                ~report:o.Thc_check.Sweep.report ()
             in
             Format.printf "seed %Ld: shrunk %d -> %d adversary events (%d runs, %d rounds)@."
               o.Thc_check.Sweep.seed
@@ -416,8 +751,13 @@ let replay_cmd =
 
 let () =
   let doc = "classifying trusted hardware via unidirectional communication" in
+  (* Accept the GNU-ish spellings --n/--f for the single-letter options
+     (cmdliner only auto-generates the short forms). *)
+  let argv =
+    Array.map (function "--n" -> "-n" | "--f" -> "-f" | s -> s) Sys.argv
+  in
   exit
-    (Cmd.eval
+    (Cmd.eval ~argv
        (Cmd.group (Cmd.info "thc" ~doc)
           [ figure1_cmd; verify_cmd; scenarios_cmd; problems_cmd; rounds_cmd;
-            smr_cmd; explore_cmd; replay_cmd ]))
+            smr_cmd; report_cmd; explore_cmd; replay_cmd ]))

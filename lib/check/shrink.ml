@@ -78,7 +78,8 @@ let candidates (s : Thc_sim.Adversary.t) =
   in
   halves @ singles @ thinned @ shorter_horizon
 
-let shrink (h : Harness.t) ~seed ~script ~(report : Harness.report) =
+let shrink (h : Harness.t) ?on_round ~seed ~script ~(report : Harness.report) ()
+    =
   if not (Monitor.failed report.verdict) then
     invalid_arg "Shrink.shrink: report must be failing";
   let reference = report.verdict in
@@ -106,6 +107,11 @@ let shrink (h : Harness.t) ~seed ~script ~(report : Harness.report) =
         end
         else attempt rest
     in
-    attempt (candidates !current)
+    attempt (candidates !current);
+    Option.iter
+      (fun f ->
+        f ~rounds:!rounds ~attempts:!attempts
+          ~events:(List.length !current.Thc_sim.Adversary.events))
+      on_round
   done;
   { script = !current; report = !current_report; attempts = !attempts; rounds = !rounds }

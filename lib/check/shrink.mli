@@ -24,7 +24,10 @@ type result = {
 }
 
 val shrink :
-  Harness.t -> seed:int64 -> script:Thc_sim.Adversary.t -> report:Harness.report ->
+  Harness.t -> ?on_round:(rounds:int -> attempts:int -> events:int -> unit) ->
+  seed:int64 -> script:Thc_sim.Adversary.t -> report:Harness.report -> unit ->
   result
 (** [report] must be the failing report of [script] under [seed] (raises
-    [Invalid_argument] on a passing report). *)
+    [Invalid_argument] on a passing report).  [on_round] fires after each
+    round with the cumulative candidate count and the current script's
+    event count — progress reporting only, never part of the result. *)

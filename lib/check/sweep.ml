@@ -28,10 +28,20 @@ let run_one (h : Harness.t) ?crashes ?partitions ~seed () =
   let script = script_for h ?crashes ?partitions ~seed () in
   { seed; script; report = h.run ~seed ~script }
 
-let sweep (h : Harness.t) ?crashes ?partitions ~base_seed ~runs () =
+let sweep (h : Harness.t) ?crashes ?partitions ?progress ~base_seed ~runs () =
+  let failed_so_far = ref 0 in
   let outcomes =
     List.init (max 0 runs) (fun i ->
-        run_one h ?crashes ?partitions ~seed:(Int64.add base_seed (Int64.of_int i)) ())
+        let o =
+          run_one h ?crashes ?partitions
+            ~seed:(Int64.add base_seed (Int64.of_int i))
+            ()
+        in
+        if Monitor.failed o.report.Harness.verdict then incr failed_so_far;
+        Option.iter
+          (fun f -> f ~completed:(i + 1) ~failures:!failed_so_far)
+          progress;
+        o)
   in
   let failures =
     List.filter (fun o -> Monitor.failed o.report.Harness.verdict) outcomes

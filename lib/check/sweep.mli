@@ -34,8 +34,12 @@ val run_one :
   Harness.t -> ?crashes:int -> ?partitions:int -> seed:int64 -> unit -> outcome
 
 val sweep :
-  Harness.t -> ?crashes:int -> ?partitions:int -> base_seed:int64 -> runs:int ->
-  unit -> summary
-(** Seeds [base_seed, base_seed + 1, ..., base_seed + runs - 1]. *)
+  Harness.t -> ?crashes:int -> ?partitions:int ->
+  ?progress:(completed:int -> failures:int -> unit) ->
+  base_seed:int64 -> runs:int -> unit -> summary
+(** Seeds [base_seed, base_seed + 1, ..., base_seed + runs - 1].
+    [progress] is invoked after every run with the number of seeds finished
+    and failures seen so far — callers decide how often to surface it; it
+    never affects the summary. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -8,13 +8,18 @@ type attestation = {
   tag : int64;
 }
 
-type world = { nonces : int64 array; claimed : bool array }
+type world = {
+  nonces : int64 array;
+  claimed : bool array;
+  ops : Thc_obsv.Ledger.t;
+}
 
 type device = {
   owner : int;
   nonce : int64;
   mutable next_log : int;
   logs : (int, string list ref) Hashtbl.t;  (* log id -> entries, reversed *)
+  ops : Thc_obsv.Ledger.t;
 }
 
 let create_world rng ~n =
@@ -22,14 +27,23 @@ let create_world rng ~n =
   {
     nonces = Array.init n (fun _ -> Thc_util.Rng.next_int64 rng);
     claimed = Array.make n false;
+    ops = Thc_obsv.Ledger.create ();
   }
+
+let ledger (world : world) = world.ops
 
 let device world ~owner =
   if owner < 0 || owner >= Array.length world.nonces then
     invalid_arg "A2m.device: unknown owner";
   if world.claimed.(owner) then invalid_arg "A2m.device: device already claimed";
   world.claimed.(owner) <- true;
-  { owner; nonce = world.nonces.(owner); next_log = 1; logs = Hashtbl.create 4 }
+  {
+    owner;
+    nonce = world.nonces.(owner);
+    next_log = 1;
+    logs = Hashtbl.create 4;
+    ops = world.ops;
+  }
 
 let create_log d =
   let id = d.next_log in
@@ -41,6 +55,7 @@ let append d ~log x =
   match Hashtbl.find_opt d.logs log with
   | None -> None
   | Some entries ->
+    Thc_obsv.Ledger.bump d.ops "a2m.append";
     entries := x :: !entries;
     Some (List.length !entries)
 
@@ -71,22 +86,30 @@ let lookup d ~log ~index ~z =
   | Some entries ->
     let len = List.length !entries in
     if index < 1 || index > len then None
-    else
+    else begin
+      Thc_obsv.Ledger.bump d.ops "a2m.lookup";
       let value = List.nth !entries (len - index) in
       Some (make d ~kind:`Lookup ~log ~index ~value ~challenge:z)
+    end
 
 let end_ d ~log ~z =
   match Hashtbl.find_opt d.logs log with
   | None -> None
   | Some entries ->
+    Thc_obsv.Ledger.bump d.ops "a2m.end";
     let len = List.length !entries in
     let value = match !entries with [] -> "" | v :: _ -> v in
     Some (make d ~kind:`End ~log ~index:len ~value ~challenge:z)
 
-let check world (a : attestation) ~owner =
-  a.owner = owner
-  && owner >= 0
-  && owner < Array.length world.nonces
-  && Int64.equal a.tag
-       (tag_of ~nonce:world.nonces.(owner) ~owner:a.owner ~kind:a.kind
-          ~log:a.log ~index:a.index ~value:a.value ~challenge:a.challenge)
+let check (world : world) (a : attestation) ~owner =
+  Thc_obsv.Ledger.bump world.ops "a2m.check";
+  let ok =
+    a.owner = owner
+    && owner >= 0
+    && owner < Array.length world.nonces
+    && Int64.equal a.tag
+         (tag_of ~nonce:world.nonces.(owner) ~owner:a.owner ~kind:a.kind
+            ~log:a.log ~index:a.index ~value:a.value ~challenge:a.challenge)
+  in
+  if not ok then Thc_obsv.Ledger.bump world.ops "a2m.check_fail";
+  ok

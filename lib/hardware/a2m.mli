@@ -29,6 +29,10 @@ type attestation = {
 
 val create_world : Thc_util.Rng.t -> n:int -> world
 
+val ledger : world -> Thc_obsv.Ledger.t
+(** Trusted-op accounting: ["a2m.append"], ["a2m.lookup"], ["a2m.end"],
+    ["a2m.check"], ["a2m.check_fail"]. *)
+
 val device : world -> owner:int -> device
 (** Claim the device of [owner]; second claim raises [Invalid_argument]. *)
 

@@ -7,6 +7,8 @@ type t = {
 
 let create trinket = { trinket; next_log = 1; logs = Hashtbl.create 4; all = [] }
 
+let ledger t = Trinc.ledger_of t.trinket
+
 let create_log t =
   let id = t.next_log in
   t.next_log <- id + 1;

@@ -23,6 +23,11 @@ type t
 val create : Trinc.t -> t
 (** Wrap a claimed trinket as an A2M-style device. *)
 
+val ledger : t -> Thc_obsv.Ledger.t
+(** The underlying trinket's trusted-op ledger: the reduction spends one
+    ["trinc.attest"] per append, making its trusted-op cost directly
+    comparable to a native {!A2m} device's. *)
+
 val create_log : t -> int
 
 val append : t -> log:int -> string -> int option

@@ -7,7 +7,11 @@ type attestation = {
   tag : int64;
 }
 
-type world = { nonces : int64 array; claimed : bool array }
+type world = {
+  nonces : int64 array;
+  claimed : bool array;
+  ops : Thc_obsv.Ledger.t;
+}
 
 type ('s, 'i, 'o) t = {
   owner : int;
@@ -15,6 +19,7 @@ type ('s, 'i, 'o) t = {
   step_fn : 's -> 'i -> 's * 'o;
   mutable state : 's;
   mutable steps : int;
+  ops : Thc_obsv.Ledger.t;
 }
 
 let create_world rng ~n =
@@ -22,20 +27,31 @@ let create_world rng ~n =
   {
     nonces = Array.init n (fun _ -> Thc_util.Rng.next_int64 rng);
     claimed = Array.make n false;
+    ops = Thc_obsv.Ledger.create ();
   }
+
+let ledger (world : world) = world.ops
 
 let enclave world ~owner ~init ~step =
   if owner < 0 || owner >= Array.length world.nonces then
     invalid_arg "Enclave.enclave: unknown owner";
   if world.claimed.(owner) then invalid_arg "Enclave.enclave: already claimed";
   world.claimed.(owner) <- true;
-  { owner; nonce = world.nonces.(owner); step_fn = step; state = init; steps = 0 }
+  {
+    owner;
+    nonce = world.nonces.(owner);
+    step_fn = step;
+    state = init;
+    steps = 0;
+    ops = world.ops;
+  }
 
 let tag_of ~nonce ~owner ~step ~input ~output ~state_digest =
   Thc_crypto.Digest.to_int64
     (Thc_crypto.Digest.of_value (nonce, owner, step, input, output, state_digest))
 
 let invoke t input =
+  Thc_obsv.Ledger.bump t.ops "enclave.invoke";
   let state', output = t.step_fn t.state input in
   t.state <- state';
   t.steps <- t.steps + 1;
@@ -58,13 +74,18 @@ let invoke t input =
 
 let step_count t = t.steps
 
-let check world (a : attestation) ~id =
-  a.owner = id
-  && id >= 0
-  && id < Array.length world.nonces
-  && Int64.equal a.tag
-       (tag_of ~nonce:world.nonces.(id) ~owner:a.owner ~step:a.step
-          ~input:a.input ~output:a.output ~state_digest:a.state_digest)
+let check (world : world) (a : attestation) ~id =
+  Thc_obsv.Ledger.bump world.ops "enclave.check";
+  let ok =
+    a.owner = id
+    && id >= 0
+    && id < Array.length world.nonces
+    && Int64.equal a.tag
+         (tag_of ~nonce:world.nonces.(id) ~owner:a.owner ~step:a.step
+            ~input:a.input ~output:a.output ~state_digest:a.state_digest)
+  in
+  if not ok then Thc_obsv.Ledger.bump world.ops "enclave.check_fail";
+  ok
 
 let check_chain world chain ~id =
   let rec go expected = function

@@ -28,6 +28,10 @@ type attestation = {
 
 val create_world : Thc_util.Rng.t -> n:int -> world
 
+val ledger : world -> Thc_obsv.Ledger.t
+(** Trusted-op accounting: ["enclave.invoke"], ["enclave.check"],
+    ["enclave.check_fail"]. *)
+
 val enclave :
   world -> owner:int -> init:'s -> step:('s -> 'i -> 's * 'o) ->
   ('s, 'i, 'o) t

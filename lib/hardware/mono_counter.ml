@@ -1,15 +1,27 @@
 type attestation = { owner : int; value : int; message : string; tag : int64 }
 
-type world = { nonces : int64 array; claimed : bool array }
+type world = {
+  nonces : int64 array;
+  claimed : bool array;
+  ops : Thc_obsv.Ledger.t;
+}
 
-type t = { owner : int; nonce : int64; mutable value : int }
+type t = {
+  owner : int;
+  nonce : int64;
+  mutable value : int;
+  ops : Thc_obsv.Ledger.t;
+}
 
 let create_world rng ~n =
   if n <= 0 then invalid_arg "Mono_counter.create_world: n must be positive";
   {
     nonces = Array.init n (fun _ -> Thc_util.Rng.next_int64 rng);
     claimed = Array.make n false;
+    ops = Thc_obsv.Ledger.create ();
   }
+
+let ledger (world : world) = world.ops
 
 let counter world ~owner =
   if owner < 0 || owner >= Array.length world.nonces then
@@ -17,13 +29,14 @@ let counter world ~owner =
   if world.claimed.(owner) then
     invalid_arg "Mono_counter.counter: already claimed";
   world.claimed.(owner) <- true;
-  { owner; nonce = world.nonces.(owner); value = 0 }
+  { owner; nonce = world.nonces.(owner); value = 0; ops = world.ops }
 
 let tag_of ~nonce ~owner ~value ~message =
   Thc_crypto.Digest.to_int64
     (Thc_crypto.Digest.of_value (nonce, owner, value, message))
 
 let increment t ~message =
+  Thc_obsv.Ledger.bump t.ops "counter.increment";
   t.value <- t.value + 1;
   {
     owner = t.owner;
@@ -34,10 +47,15 @@ let increment t ~message =
 
 let current t = t.value
 
-let check world (a : attestation) ~id =
-  a.owner = id
-  && id >= 0
-  && id < Array.length world.nonces
-  && Int64.equal a.tag
-       (tag_of ~nonce:world.nonces.(id) ~owner:a.owner ~value:a.value
-          ~message:a.message)
+let check (world : world) (a : attestation) ~id =
+  Thc_obsv.Ledger.bump world.ops "counter.check";
+  let ok =
+    a.owner = id
+    && id >= 0
+    && id < Array.length world.nonces
+    && Int64.equal a.tag
+         (tag_of ~nonce:world.nonces.(id) ~owner:a.owner ~value:a.value
+            ~message:a.message)
+  in
+  if not ok then Thc_obsv.Ledger.bump world.ops "counter.check_fail";
+  ok

@@ -19,6 +19,10 @@ type attestation = {
 
 val create_world : Thc_util.Rng.t -> n:int -> world
 
+val ledger : world -> Thc_obsv.Ledger.t
+(** Trusted-op accounting: ["counter.increment"], ["counter.check"],
+    ["counter.check_fail"]. *)
+
 val counter : world -> owner:int -> t
 (** Claim [owner]'s counter; single claim enforced. *)
 

@@ -6,16 +6,30 @@ type attestation = {
   tag : int64;
 }
 
-type world = { nonces : int64 array; claimed : bool array }
+type world = {
+  nonces : int64 array;
+  claimed : bool array;
+  ops : Thc_obsv.Ledger.t;
+}
 
-type t = { owner : int; nonce : int64; mutable last : int }
+type t = {
+  owner : int;
+  nonce : int64;
+  mutable last : int;
+  ops : Thc_obsv.Ledger.t;
+}
 
 let create_world rng ~n =
   if n <= 0 then invalid_arg "Trinc.create_world: n must be positive";
   {
     nonces = Array.init n (fun _ -> Thc_util.Rng.next_int64 rng);
     claimed = Array.make n false;
+    ops = Thc_obsv.Ledger.create ();
   }
+
+let ledger (world : world) = world.ops
+
+let ledger_of (t : t) = t.ops
 
 let trinket world ~owner =
   if owner < 0 || owner >= Array.length world.nonces then
@@ -23,15 +37,19 @@ let trinket world ~owner =
   if world.claimed.(owner) then
     invalid_arg "Trinc.trinket: trinket already claimed";
   world.claimed.(owner) <- true;
-  { owner; nonce = world.nonces.(owner); last = 0 }
+  { owner; nonce = world.nonces.(owner); last = 0; ops = world.ops }
 
 let tag_of ~nonce ~owner ~prev ~counter ~message =
   Thc_crypto.Digest.to_int64
     (Thc_crypto.Digest.of_value (nonce, owner, prev, counter, message))
 
 let attest t ~counter ~message =
-  if counter <= t.last then None
+  if counter <= t.last then begin
+    Thc_obsv.Ledger.bump t.ops "trinc.attest_denied";
+    None
+  end
   else begin
+    Thc_obsv.Ledger.bump t.ops "trinc.attest";
     let prev = t.last in
     t.last <- counter;
     Some
@@ -44,13 +62,18 @@ let attest t ~counter ~message =
       }
   end
 
-let check world (a : attestation) ~id =
-  a.owner = id
-  && id >= 0
-  && id < Array.length world.nonces
-  && Int64.equal a.tag
-       (tag_of ~nonce:world.nonces.(id) ~owner:a.owner ~prev:a.prev
-          ~counter:a.counter ~message:a.message)
+let check (world : world) (a : attestation) ~id =
+  Thc_obsv.Ledger.bump world.ops "trinc.check";
+  let ok =
+    a.owner = id
+    && id >= 0
+    && id < Array.length world.nonces
+    && Int64.equal a.tag
+         (tag_of ~nonce:world.nonces.(id) ~owner:a.owner ~prev:a.prev
+            ~counter:a.counter ~message:a.message)
+  in
+  if not ok then Thc_obsv.Ledger.bump world.ops "trinc.check_fail";
+  ok
 
 let last_counter t = t.last
 

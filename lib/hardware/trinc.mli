@@ -32,6 +32,15 @@ type attestation = {
 val create_world : Thc_util.Rng.t -> n:int -> world
 (** Provision trinkets for processes [0 .. n-1]. *)
 
+val ledger : world -> Thc_obsv.Ledger.t
+(** Trusted-op accounting shared by the world and every trinket claimed
+    from it: ["trinc.attest"], ["trinc.attest_denied"] (stale counter),
+    ["trinc.check"], ["trinc.check_fail"]. *)
+
+val ledger_of : t -> Thc_obsv.Ledger.t
+(** The claiming world's ledger (for wrappers built over a bare trinket,
+    e.g. {!A2m_from_trinc}). *)
+
 val trinket : world -> owner:int -> t
 (** Claim the trinket of [owner].  Callable exactly once per owner (the
     harness wires it to the process); a second call raises [Invalid_argument]

@@ -1,0 +1,38 @@
+(** Minimal JSON values: enough for the telemetry exports (JSONL traces,
+    metrics snapshots, BENCH_results.json) without an external dependency.
+
+    The printer is canonical — a given value always renders to the same
+    bytes — so identical runs produce byte-identical export files.  Strings
+    are treated as byte strings: bytes outside printable ASCII are escaped
+    as [\u00XX] and the parser folds such escapes back to single bytes,
+    which makes [parse (to_string (Str s)) = Ok (Str s)] hold for arbitrary
+    bytes (e.g. {!Thc_util.Codec} payloads). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** Fields kept in the order given. *)
+
+val to_string : t -> string
+(** Compact single-line rendering (no newlines — JSONL-safe). *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document (surrounding whitespace allowed).  Numbers
+    without [.]/[e] become [Int]; [\u] escapes above [00FF] are rejected
+    (the printer never emits them). *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj] (None on other constructors). *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [Int] widens to float. *)
+
+val to_str : t -> string option
+
+val equal : t -> t -> bool
+(** Structural equality; [Obj] fields must be in the same order. *)

@@ -1,0 +1,41 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let bump_by t label n =
+  match Hashtbl.find_opt t label with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t label (ref n)
+
+let bump t label = bump_by t label 1
+
+let count t label =
+  match Hashtbl.find_opt t label with Some r -> !r | None -> 0
+
+let rows t =
+  Hashtbl.fold (fun label r acc -> (label, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t 0
+
+let is_empty t = Hashtbl.length t = 0
+
+let per_commit t ~commits =
+  List.map
+    (fun (label, c) ->
+      ( label,
+        if commits <= 0 then 0.0
+        else float_of_int c /. float_of_int commits ))
+    (rows t)
+
+let to_json t =
+  Json.Obj (List.map (fun (label, c) -> (label, Json.Int c)) (rows t))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (label, c) ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%-24s %d" label c)
+    (rows t);
+  Format.fprintf ppf "@]"

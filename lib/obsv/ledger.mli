@@ -1,0 +1,35 @@
+(** Trusted-operation ledger.
+
+    Every trusted-hardware module charges its operations here (attest,
+    check, append, lookup, invoke, ...), so a run can report the paper's
+    cost axis: how many trusted-component invocations each mechanism class
+    spends per committed operation.  One ledger is owned by each hardware
+    [world] and shared by every device claimed from it. *)
+
+type t
+
+val create : unit -> t
+
+val bump : t -> string -> unit
+(** Charge one operation under the given label (e.g. ["trinc.attest"]). *)
+
+val bump_by : t -> string -> int -> unit
+
+val count : t -> string -> int
+(** 0 for labels never charged. *)
+
+val rows : t -> (string * int) list
+(** All charged labels with counts, sorted by label (deterministic). *)
+
+val total : t -> int
+(** Sum over all labels — total trusted-op invocations. *)
+
+val is_empty : t -> bool
+
+val per_commit : t -> commits:int -> (string * float) list
+(** [rows] divided by the commit count ([commits <= 0] yields 0. rates —
+    an unattested/hardware-free run charges nothing and reports 0). *)
+
+val to_json : t -> Json.t
+
+val pp : Format.formatter -> t -> unit

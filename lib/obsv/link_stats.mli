@@ -1,0 +1,62 @@
+(** Network instrumentation for the simulation engine.
+
+    Tracks, per engine: messages sent / delivered / dropped, the number of
+    messages currently in flight (enqueued for delivery but not yet
+    dispatched) with its high-water mark, and the per-link queues of
+    messages held on blocked links — current depth, deepest single-link
+    queue ever, and the total ever held.  The engine drives the [on_*]
+    transitions; everything here is passive bookkeeping, so enabling it
+    never perturbs a run. *)
+
+type t
+
+val create : n:int -> t
+
+(** {2 Transitions (called by {!Thc_sim.Engine})} *)
+
+val on_send : t -> unit
+
+val on_enqueue : t -> unit
+(** Message scheduled for delivery. *)
+
+val on_dequeue : t -> unit
+(** Delivery event dispatched (leaves the in-flight set even when the
+    destination has crashed). *)
+
+val on_deliver : t -> unit
+(** Message actually handed to a live destination. *)
+
+val on_held : t -> src:int -> dst:int -> unit
+
+val on_release : t -> src:int -> dst:int -> unit
+(** One message leaves the link's held queue (re-routed or dropped). *)
+
+val on_drop : t -> unit
+
+(** {2 Queries} *)
+
+val sends : t -> int
+
+val delivered : t -> int
+
+val dropped : t -> int
+
+val in_flight : t -> int
+
+val in_flight_hwm : t -> int
+
+val held_now : t -> int
+(** Messages currently held across all links. *)
+
+val held_total : t -> int
+(** Messages ever held. *)
+
+val held_hwm : t -> int
+(** Deepest single-link held queue ever seen. *)
+
+val held_depth : t -> src:int -> dst:int -> int
+
+val rows : t -> (string * int) list
+(** Summary as [(metric, value)] rows, fixed order. *)
+
+val to_json : t -> Json.t

@@ -3,13 +3,17 @@ type result = {
   distinct_ops_at_seq1 : int;
   messages : int;
   duration_us : int64;
+  commits : int;
+  trusted_ops : (string * int) list;
   detail : string;
 }
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "safety violations: %d; distinct ops at seq 1: %d — %s"
-    (List.length r.violations) r.distinct_ops_at_seq1 r.detail
+    "safety violations: %d; distinct ops at seq 1: %d; trusted ops: %d — %s"
+    (List.length r.violations) r.distinct_ops_at_seq1
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 r.trusted_ops)
+    r.detail
 
 (* ----------------------------------------------------------------------- *)
 (* The unattested variant: MinBFT's normal case over plain signatures.      *)
@@ -159,6 +163,8 @@ let run_unattested ?(f = 1) ~seed ~configure ~until () =
     distinct_ops_at_seq1 = distinct_at_seq1 trace ~replicas:n;
     messages = Thc_sim.Trace.messages_sent trace;
     duration_us = trace.Thc_sim.Trace.end_time;
+    commits = Smr_spec.commits trace ~replicas:n;
+    trusted_ops = [];  (* nothing attested: the whole point of the ablation *)
     detail =
       "f+1 quorums over plain signatures: the equivocating leader commits \
        two different operations at sequence 1";
@@ -206,6 +212,8 @@ let equivocation_fails_against_minbft ?(f = 1) ?(seed = 3L) () =
     distinct_ops_at_seq1 = distinct_at_seq1 trace ~replicas:n;
     messages = Thc_sim.Trace.messages_sent trace;
     duration_us = trace.Thc_sim.Trace.end_time;
+    commits = Smr_spec.commits trace ~replicas:n;
+    trusted_ops = Thc_obsv.Ledger.rows (Thc_hardware.Trinc.ledger world);
     detail =
       "same attack against attested links: the second proposal hides behind \
        a counter gap, at most one operation can commit";

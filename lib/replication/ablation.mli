@@ -28,6 +28,10 @@ type result = {
       (** How many different operations correct replicas executed at seq 1. *)
   messages : int;  (** Messages sent during the run. *)
   duration_us : int64;  (** Virtual end time. *)
+  commits : int;  (** Distinct committed sequence numbers ({!Smr_spec.commits}). *)
+  trusted_ops : (string * int) list;
+      (** Hardware-op ledger rows; [[]] for the unattested variant, whose
+          per-commit trusted-op cost is therefore exactly 0. *)
   detail : string;
 }
 

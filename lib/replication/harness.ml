@@ -19,7 +19,9 @@ type setup = {
 type outcome = {
   replicas : int;
   completed : int;
+  commits : int;
   latency : Thc_util.Stats.summary;
+  lat_hist : Thc_obsv.Metrics.Histogram.t;
   messages : int;
   messages_per_op : float;
   duration_us : int64;
@@ -27,6 +29,12 @@ type outcome = {
   liveness_violations : Smr_spec.violation list;
   final_view : int;
   breakdown : (string * int) list;
+  sends_by_replica : (int * int) list;
+  delivery : Thc_sim.Metrics.delivery_report;
+  net : (string * int) list;
+  trusted_ops : (string * int) list;
+  trusted_per_commit : float;
+  metrics : Thc_obsv.Metrics.t;
 }
 
 let default_workload ~ops ~seed =
@@ -67,15 +75,75 @@ let expected_liveness setup =
   | Scripted script ->
     List.length (Thc_sim.Adversary.crashed script) <= setup.f
 
+(* Fold everything the dashboard needs into one registry so a single
+   snapshot line in the export carries the whole numeric state of the run. *)
+let registry_of ~latencies ~completed ~commits ~messages ~breakdown
+    ~sends_by_replica ~(delivery : Thc_sim.Metrics.delivery_report) ~net_rows
+    ~trusted_ops =
+  let m = Thc_obsv.Metrics.create () in
+  let count name v = Thc_obsv.Metrics.add (Thc_obsv.Metrics.counter m name) v in
+  let lat = Thc_obsv.Metrics.histogram m "commit.latency_us" in
+  List.iter (fun l -> Thc_obsv.Metrics.Histogram.record lat (Int64.of_float l))
+    latencies;
+  count "client.completed" completed;
+  count "commit.count" commits;
+  count "net.sent" messages;
+  count "net.held_at_end" delivery.held_at_end;
+  count "net.in_flight_at_end" delivery.in_flight_at_end;
+  List.iter (fun (kind, c) -> count ("msg.kind." ^ kind) c) breakdown;
+  List.iter
+    (fun (pid, c) -> count (Printf.sprintf "net.sends.p%d" pid) c)
+    sends_by_replica;
+  List.iter
+    (fun (k, v) ->
+      match k with
+      | "in-flight at end" | "in-flight high-water" | "held at end"
+      | "held queue high-water" ->
+        (* levels, not monotone counts; hwm folded in by the rows below *)
+        ignore v
+      | _ -> count ("link." ^ String.map (function ' ' -> '_' | c -> c) k) v)
+    net_rows;
+  let level name ~last ~hwm =
+    let g = Thc_obsv.Metrics.gauge m name in
+    Thc_obsv.Metrics.set_gauge g hwm;
+    Thc_obsv.Metrics.set_gauge g last
+  in
+  (match
+     ( List.assoc_opt "in-flight at end" net_rows,
+       List.assoc_opt "in-flight high-water" net_rows )
+   with
+  | Some last, Some hwm -> level "link.in_flight" ~last ~hwm
+  | _ -> ());
+  (match
+     ( List.assoc_opt "held at end" net_rows,
+       List.assoc_opt "held queue high-water" net_rows )
+   with
+  | Some last, Some hwm -> level "link.held" ~last ~hwm
+  | _ -> ());
+  List.iter (fun (op, c) -> count ("hw." ^ op) c) trusted_ops;
+  (m, lat)
+
 let finish (type m) setup ~(trace : m Thc_sim.Trace.t) ~replicas ~client
-    ~final_view ~classify =
+    ~final_view ~classify ~net_stats ~hw =
   let latencies = Smr_spec.client_latencies trace in
   let completed = List.length latencies in
+  let commits = Smr_spec.commits trace ~replicas in
   let messages = Thc_sim.Trace.messages_sent trace in
+  let breakdown = Thc_sim.Metrics.kind_counts trace ~classify in
+  let sends_by_replica = Thc_sim.Metrics.sends_by_source trace in
+  let delivery = Thc_sim.Metrics.delivery_report trace in
+  let net = Thc_obsv.Link_stats.rows net_stats in
+  let trusted_ops = Thc_obsv.Ledger.rows hw in
+  let metrics, lat_hist =
+    registry_of ~latencies ~completed ~commits ~messages ~breakdown
+      ~sends_by_replica ~delivery ~net_rows:net ~trusted_ops
+  in
   {
     replicas;
     completed;
+    commits;
     latency = Thc_util.Stats.summarize latencies;
+    lat_hist;
     messages;
     messages_per_op =
       (if completed = 0 then 0.0 else float_of_int messages /. float_of_int completed);
@@ -88,8 +156,42 @@ let finish (type m) setup ~(trace : m Thc_sim.Trace.t) ~replicas ~client
          Smr_spec.check_liveness trace ~clients:[ client ] ~expected:setup.ops
        else []);
     final_view;
-    breakdown = Thc_sim.Metrics.kind_counts trace ~classify;
+    breakdown;
+    sends_by_replica;
+    delivery;
+    net;
+    trusted_ops;
+    trusted_per_commit =
+      (if commits = 0 then 0.0
+       else float_of_int (Thc_obsv.Ledger.total hw) /. float_of_int commits);
+    metrics;
   }
+
+let export_of (type m) ~(trace : m Thc_sim.Trace.t) ~outcome =
+  let module J = Thc_obsv.Json in
+  let b = Buffer.create 65536 in
+  Buffer.add_string b
+    (Thc_sim.Trace.to_jsonl ~encode_msg:Thc_util.Codec.encode trace);
+  let line j =
+    Buffer.add_string b (J.to_string j);
+    Buffer.add_char b '\n'
+  in
+  line
+    (J.Obj
+       [
+         ("type", J.Str "metrics");
+         ( "snapshot",
+           Thc_obsv.Metrics.snapshot_to_json
+             (Thc_obsv.Metrics.snapshot outcome.metrics) );
+       ]);
+  line
+    (J.Obj
+       [
+         ("type", J.Str "ledger");
+         ("ops", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) outcome.trusted_ops));
+         ("commits", J.Int outcome.commits);
+       ]);
+  Buffer.contents b
 
 let apply_scenario (type m) setup ~(engine : m Thc_sim.Engine.t) ~replicas =
   match setup.scenario with
@@ -136,8 +238,13 @@ let run_minbft setup =
   let final_view =
     Array.fold_left (fun acc st -> max acc (Minbft.view_of st)) 0 states
   in
-  finish setup ~trace ~replicas:n ~client:client_pid ~final_view
-    ~classify:Minbft.classify_msg
+  let outcome =
+    finish setup ~trace ~replicas:n ~client:client_pid ~final_view
+      ~classify:Minbft.classify_msg
+      ~net_stats:(Thc_sim.Engine.stats engine)
+      ~hw:(Thc_hardware.Trinc.ledger world)
+  in
+  (outcome, fun () -> export_of ~trace ~outcome)
 
 let run_pbft setup =
   let config = Pbft.default_config ~f:setup.f in
@@ -167,19 +274,36 @@ let run_pbft setup =
   let final_view =
     Array.fold_left (fun acc st -> max acc (Pbft.view_of st)) 0 states
   in
-  finish setup ~trace ~replicas:n ~client:client_pid ~final_view
-    ~classify:Pbft.classify_msg
+  let outcome =
+    finish setup ~trace ~replicas:n ~client:client_pid ~final_view
+      ~classify:Pbft.classify_msg
+      ~net_stats:(Thc_sim.Engine.stats engine)
+      (* PBFT spends no trusted ops; an empty ledger keeps the rate at 0. *)
+      ~hw:(Thc_obsv.Ledger.create ())
+  in
+  (outcome, fun () -> export_of ~trace ~outcome)
 
 let run setup =
   match setup.protocol with
-  | Minbft_protocol -> run_minbft setup
-  | Pbft_protocol -> run_pbft setup
+  | Minbft_protocol -> fst (run_minbft setup)
+  | Pbft_protocol -> fst (run_pbft setup)
+
+let run_export setup =
+  let outcome, export =
+    match setup.protocol with
+    | Minbft_protocol -> run_minbft setup
+    | Pbft_protocol -> run_pbft setup
+  in
+  (outcome, export ())
 
 let pp_outcome ppf o =
   Format.fprintf ppf
-    "@[<v>replicas=%d completed=%d msgs=%d (%.1f/op) dur=%Ldµs view=%d@,\
-     latency: %a@,safety: %d violation(s), liveness: %d violation(s)@]"
-    o.replicas o.completed o.messages o.messages_per_op o.duration_us
+    "@[<v>replicas=%d completed=%d commits=%d msgs=%d (%.1f/op) dur=%Ldµs \
+     view=%d@,latency: %a@,safety: %d violation(s), liveness: %d violation(s)@,\
+     trusted ops: %d (%.1f/commit)@]"
+    o.replicas o.completed o.commits o.messages o.messages_per_op o.duration_us
     o.final_view Thc_util.Stats.pp_summary o.latency
     (List.length o.safety_violations)
     (List.length o.liveness_violations)
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 o.trusted_ops)
+    o.trusted_per_commit

@@ -32,7 +32,10 @@ type setup = {
 type outcome = {
   replicas : int;
   completed : int;  (** Requests with a client quorum of replies. *)
+  commits : int;  (** Distinct sequence numbers committed ({!Smr_spec.commits}). *)
   latency : Thc_util.Stats.summary;  (** Client-observed, µs of virtual time. *)
+  lat_hist : Thc_obsv.Metrics.Histogram.t;
+      (** Same latencies bucketed for p50/p90/p99 (virtual-time µs). *)
   messages : int;  (** Total messages sent (protocol + client). *)
   messages_per_op : float;
   duration_us : int64;  (** Virtual time until quiescence. *)
@@ -41,11 +44,25 @@ type outcome = {
   final_view : int;  (** Maximum view among correct replicas at the end. *)
   breakdown : (string * int) list;
       (** Sent messages by kind (prepare/commit/...), descending. *)
+  sends_by_replica : (int * int) list;  (** [(pid, sends)], ascending pid. *)
+  delivery : Thc_sim.Metrics.delivery_report;
+  net : (string * int) list;  (** {!Thc_obsv.Link_stats.rows} of the engine. *)
+  trusted_ops : (string * int) list;
+      (** Hardware-op ledger rows; empty for PBFT (no trusted component). *)
+  trusted_per_commit : float;  (** Total trusted ops / {!commits}; 0 if none. *)
+  metrics : Thc_obsv.Metrics.t;
+      (** Everything above as one registry — the export's snapshot line. *)
 }
 
 val run : setup -> outcome
 (** Build the cluster, run to quiescence (bounded), and collect metrics.
     The client workload is a deterministic mix of puts/gets/incrs. *)
+
+val run_export : setup -> outcome * string
+(** Like {!run}, also returning the run's JSONL export: the full trace
+    ({!Thc_sim.Trace.to_jsonl} with {!Thc_util.Codec.encode}d messages)
+    followed by a [{"type":"metrics",...}] snapshot line and a
+    [{"type":"ledger",...}] trusted-op line.  Deterministic per seed. *)
 
 val default_workload : ops:int -> seed:int64 -> Kv_store.op list
 

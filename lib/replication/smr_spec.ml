@@ -114,3 +114,14 @@ let client_latencies trace =
     (Thc_sim.Trace.outputs trace)
 
 let executed_count trace ~pid = List.length (executions trace pid)
+
+let commits trace ~replicas =
+  List.filter_map
+    (fun (_, pid, obs) ->
+      match (obs : Thc_sim.Obs.t) with
+      | Committed { seq; _ } when pid < replicas && Thc_sim.Trace.correct trace pid
+        ->
+        Some seq
+      | _ -> None)
+    (Thc_sim.Trace.outputs trace)
+  |> List.sort_uniq compare |> List.length

@@ -35,3 +35,7 @@ val client_latencies : 'm Thc_sim.Trace.t -> float list
 (** All [Client_done] latencies, µs. *)
 
 val executed_count : 'm Thc_sim.Trace.t -> pid:int -> int
+
+val commits : 'm Thc_sim.Trace.t -> replicas:int -> int
+(** Distinct sequence numbers committed by at least one correct replica —
+    the denominator of the trusted-ops-per-commit rate. *)

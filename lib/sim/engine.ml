@@ -45,6 +45,7 @@ type 'm t = {
   held : (int * int, ('m * int) Queue.t) Hashtbl.t;
   mutable send_seq : int;
   ctxs : 'm ctx option array;
+  stats : Thc_obsv.Link_stats.t;
 }
 
 let compare_key (t1, s1) (t2, s2) =
@@ -68,9 +69,12 @@ let create ?(seed = 1L) ~n ~net () =
     held = Hashtbl.create 16;
     send_seq = 0;
     ctxs = Array.make n None;
+    stats = Thc_obsv.Link_stats.create ~n;
   }
 
 let net t = t.net
+
+let stats t = t.stats
 
 let push t time todo =
   let time = if time < t.clock then t.clock else time in
@@ -93,9 +97,11 @@ let route t ~src ~dst ~seq msg =
   match Net.get t.net ~src ~dst with
   | Net.Deliver dist ->
     let delay = Delay.sample t.rng dist in
+    Thc_obsv.Link_stats.on_enqueue t.stats;
     push t (Int64.add t.clock delay) (Deliver { src; dst; seq; msg })
   | Net.Block ->
     record t (Trace.Held { time = t.clock; src; dst; seq });
+    Thc_obsv.Link_stats.on_held t.stats ~src ~dst;
     let q =
       match Hashtbl.find_opt t.held (src, dst) with
       | Some q -> q
@@ -105,12 +111,15 @@ let route t ~src ~dst ~seq msg =
         q
     in
     Queue.push (msg, seq) q
-  | Net.Drop -> record t (Trace.Dropped { time = t.clock; src; dst; seq })
+  | Net.Drop ->
+    Thc_obsv.Link_stats.on_drop t.stats;
+    record t (Trace.Dropped { time = t.clock; src; dst; seq })
 
 let do_send t ~src ~dst msg =
   if not t.crashed.(src) then begin
     let seq = t.send_seq in
     t.send_seq <- seq + 1;
+    Thc_obsv.Link_stats.on_send t.stats;
     record t (Trace.Sent { time = t.clock; src; dst; seq; msg });
     route t ~src ~dst ~seq msg
   end
@@ -122,11 +131,14 @@ let release_held t ~src ~dst =
     Hashtbl.remove t.held (src, dst);
     Queue.iter
       (fun (msg, seq) ->
+        Thc_obsv.Link_stats.on_release t.stats ~src ~dst;
         match Net.get t.net ~src ~dst with
         | Net.Deliver dist ->
           let delay = Delay.sample t.rng dist in
+          Thc_obsv.Link_stats.on_enqueue t.stats;
           push t (Int64.add t.clock delay) (Deliver { src; dst; seq; msg })
         | Net.Block | Net.Drop ->
+          Thc_obsv.Link_stats.on_drop t.stats;
           record t (Trace.Dropped { time = t.clock; src; dst; seq }))
       q
 
@@ -179,7 +191,9 @@ let dispatch t todo =
   | Start pid ->
     if not t.crashed.(pid) then t.behaviors.(pid).init (ctx_of t pid)
   | Deliver { src; dst; seq; msg } ->
+    Thc_obsv.Link_stats.on_dequeue t.stats;
     if not t.crashed.(dst) then begin
+      Thc_obsv.Link_stats.on_deliver t.stats;
       record t (Trace.Delivered { time = t.clock; src; dst; seq; msg });
       t.behaviors.(dst).on_message (ctx_of t dst) ~src msg
     end

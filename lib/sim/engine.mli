@@ -43,6 +43,11 @@ val create : ?seed:int64 -> n:int -> net:Net.t -> unit -> 'm t
 
 val net : 'm t -> Net.t
 
+val stats : 'm t -> Thc_obsv.Link_stats.t
+(** Live network instrumentation: sends/deliveries/drops, in-flight
+    high-water mark, held-queue depths.  Updated as the engine routes;
+    read it after {!run} for the whole-run totals. *)
+
 val set_behavior : 'm t -> int -> 'm behavior -> unit
 (** Install a process.  Pids without behaviors act as crashed from start. *)
 

@@ -25,21 +25,55 @@ let sends_by_source trace =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
   |> List.sort compare
 
-let delivery_latencies trace =
+type delivery_report = {
+  latencies : float list;
+  delivered : int;
+  held_at_end : int;
+  dropped : int;
+  in_flight_at_end : int;
+}
+
+let delivery_report trace =
   let sent_at = Hashtbl.create 256 in
+  (* Per-seq lifecycle: a held message can later be delivered (link healed)
+     or dropped (link degraded); only seqs whose *last* state is Held are
+     still queued when the trace ends. *)
+  let delivered = Hashtbl.create 256 in
+  let dropped = Hashtbl.create 16 in
+  let held = Hashtbl.create 16 in
   let latencies = ref [] in
   List.iter
     (fun entry ->
       match entry with
       | Trace.Sent { time; seq; _ } -> Hashtbl.replace sent_at seq time
       | Trace.Delivered { time; seq; _ } ->
+        Hashtbl.replace delivered seq ();
         (match Hashtbl.find_opt sent_at seq with
         | Some t0 ->
           latencies := Int64.to_float (Int64.sub time t0) :: !latencies
         | None -> ())
-      | _ -> ())
+      | Trace.Dropped { seq; _ } -> Hashtbl.replace dropped seq ()
+      | Trace.Held { seq; _ } -> Hashtbl.replace held seq ()
+      | Trace.Timer_fired _ | Trace.Crashed _ | Trace.Output _ -> ())
     trace.Trace.entries;
-  List.rev !latencies
+  let held_at_end =
+    Hashtbl.fold
+      (fun seq () acc ->
+        if Hashtbl.mem delivered seq || Hashtbl.mem dropped seq then acc
+        else acc + 1)
+      held 0
+  in
+  let matched = Hashtbl.length delivered in
+  {
+    latencies = List.rev !latencies;
+    delivered = matched;
+    held_at_end;
+    dropped = Hashtbl.length dropped;
+    in_flight_at_end =
+      Hashtbl.length sent_at - matched - Hashtbl.length dropped - held_at_end;
+  }
+
+let delivery_latencies trace = (delivery_report trace).latencies
 
 let events_per_virtual_ms trace =
   let ms = Int64.to_float trace.Trace.end_time /. 1000.0 in

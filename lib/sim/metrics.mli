@@ -11,9 +11,25 @@ val kind_counts :
 val sends_by_source : 'm Trace.t -> (int * int) list
 (** [(pid, messages sent)] for every pid that sent anything, ascending pid. *)
 
+type delivery_report = {
+  latencies : float list;
+      (** Per-message µs between [Sent] and its [Delivered] (matched by
+          engine sequence number), in delivery order. *)
+  delivered : int;  (** Sends that were eventually delivered. *)
+  held_at_end : int;
+      (** Sends still sitting in a blocked link's queue when the trace
+          ended — previously silently excluded from every metric. *)
+  dropped : int;  (** Sends dropped by link policy. *)
+  in_flight_at_end : int;
+      (** Sends scheduled for delivery that the run's horizon cut off. *)
+}
+
+val delivery_report : 'm Trace.t -> delivery_report
+(** Full delivery accounting: every [Sent] is attributed to exactly one of
+    [delivered] / [dropped] / [held_at_end] / [in_flight_at_end]. *)
+
 val delivery_latencies : 'm Trace.t -> float list
-(** Per-message µs between [Sent] and its [Delivered] (matched by engine
-    sequence number); dropped/held-forever messages are excluded. *)
+(** [(delivery_report trace).latencies] — kept for existing callers. *)
 
 val events_per_virtual_ms : 'm Trace.t -> float
 (** Trace entries per virtual millisecond — a load measure. *)

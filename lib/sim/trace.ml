@@ -76,6 +76,164 @@ let messages_sent t = count t (function Sent _ -> true | _ -> false)
 
 let messages_delivered t = count t (function Delivered _ -> true | _ -> false)
 
+let map_msg f t =
+  {
+    n = t.n;
+    byzantine = t.byzantine;
+    end_time = t.end_time;
+    entries =
+      List.map
+        (function
+          | Sent { time; src; dst; seq; msg } ->
+            Sent { time; src; dst; seq; msg = f msg }
+          | Delivered { time; src; dst; seq; msg } ->
+            Delivered { time; src; dst; seq; msg = f msg }
+          | Held h -> Held h
+          | Dropped d -> Dropped d
+          | Timer_fired tf -> Timer_fired tf
+          | Crashed c -> Crashed c
+          | Output o -> Output o)
+        t.entries;
+  }
+
+(* --- JSONL export ------------------------------------------------------- *)
+
+module J = Thc_obsv.Json
+
+let int64 v = J.Int (Int64.to_int v)
+
+let entry_to_json ~encode_msg entry =
+  let wire kind time src dst seq msg =
+    J.Obj
+      ([ ("type", J.Str kind); ("time", int64 time); ("src", J.Int src);
+         ("dst", J.Int dst); ("seq", J.Int seq) ]
+      @ match msg with None -> [] | Some m -> [ ("msg", J.Str (encode_msg m)) ])
+  in
+  match entry with
+  | Sent { time; src; dst; seq; msg } -> wire "sent" time src dst seq (Some msg)
+  | Delivered { time; src; dst; seq; msg } ->
+    wire "delivered" time src dst seq (Some msg)
+  | Held { time; src; dst; seq } -> wire "held" time src dst seq None
+  | Dropped { time; src; dst; seq } -> wire "dropped" time src dst seq None
+  | Timer_fired { time; pid; tag } ->
+    J.Obj
+      [ ("type", J.Str "timer"); ("time", int64 time); ("pid", J.Int pid);
+        ("tag", J.Int tag) ]
+  | Crashed { time; pid } ->
+    J.Obj [ ("type", J.Str "crashed"); ("time", int64 time); ("pid", J.Int pid) ]
+  | Output { time; pid; obs } ->
+    J.Obj
+      [
+        ("type", J.Str "output");
+        ("time", int64 time);
+        ("pid", J.Int pid);
+        (* Codec bytes round-trip exactly; "show" is for human readers. *)
+        ("obs", J.Str (Thc_util.Codec.encode obs));
+        ("show", J.Str (Format.asprintf "%a" Obs.pp obs));
+      ]
+
+let to_jsonl ~encode_msg t =
+  let buf = Buffer.create 4096 in
+  let line j =
+    Buffer.add_string buf (J.to_string j);
+    Buffer.add_char buf '\n'
+  in
+  line
+    (J.Obj
+       [
+         ("type", J.Str "trace");
+         ("n", J.Int t.n);
+         ("byzantine", J.List (List.map (fun p -> J.Int p) t.byzantine));
+         ("end_time", int64 t.end_time);
+       ]);
+  List.iter (fun e -> line (entry_to_json ~encode_msg e)) t.entries;
+  Buffer.contents buf
+
+let of_jsonl s =
+  let ( let* ) = Result.bind in
+  let field name conv j =
+    match Option.bind (J.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+  in
+  let time j = Result.map Int64.of_int (field "time" J.to_int j) in
+  let entry_of_json j =
+    let* kind = field "type" J.to_str j in
+    let wire () =
+      let* time = time j in
+      let* src = field "src" J.to_int j in
+      let* dst = field "dst" J.to_int j in
+      let* seq = field "seq" J.to_int j in
+      Ok (time, src, dst, seq)
+    in
+    match kind with
+    | "sent" ->
+      let* time, src, dst, seq = wire () in
+      let* msg = field "msg" J.to_str j in
+      Ok (Some (Sent { time; src; dst; seq; msg }))
+    | "delivered" ->
+      let* time, src, dst, seq = wire () in
+      let* msg = field "msg" J.to_str j in
+      Ok (Some (Delivered { time; src; dst; seq; msg }))
+    | "held" ->
+      let* time, src, dst, seq = wire () in
+      Ok (Some (Held { time; src; dst; seq }))
+    | "dropped" ->
+      let* time, src, dst, seq = wire () in
+      Ok (Some (Dropped { time; src; dst; seq }))
+    | "timer" ->
+      let* time = time j in
+      let* pid = field "pid" J.to_int j in
+      let* tag = field "tag" J.to_int j in
+      Ok (Some (Timer_fired { time; pid; tag }))
+    | "crashed" ->
+      let* time = time j in
+      let* pid = field "pid" J.to_int j in
+      Ok (Some (Crashed { time; pid }))
+    | "output" ->
+      let* time = time j in
+      let* pid = field "pid" J.to_int j in
+      let* obs = field "obs" J.to_str j in
+      Ok (Some (Output { time; pid; obs = (Thc_util.Codec.decode obs : Obs.t) }))
+    | _ -> Ok None (* foreign line (metrics snapshot, ledger, ...) — skip *)
+  in
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty input"
+  | header :: rest ->
+    let* h = J.parse header in
+    let* kind = field "type" J.to_str h in
+    if kind <> "trace" then Error "first line is not a trace header"
+    else
+      let* n = field "n" J.to_int h in
+      let* end_time = Result.map Int64.of_int (field "end_time" J.to_int h) in
+      let* byzantine =
+        match J.member "byzantine" h with
+        | Some (J.List pids) ->
+          List.fold_left
+            (fun acc p ->
+              let* acc = acc in
+              match J.to_int p with
+              | Some p -> Ok (p :: acc)
+              | None -> Error "ill-typed byzantine pid")
+            (Ok []) pids
+          |> Result.map List.rev
+        | _ -> Error "missing byzantine list"
+      in
+      let* entries =
+        List.fold_left
+          (fun acc line ->
+            let* acc = acc in
+            let* j = J.parse line in
+            let* entry = entry_of_json j in
+            match entry with Some e -> Ok (e :: acc) | None -> Ok acc)
+          (Ok []) rest
+        |> Result.map List.rev
+      in
+      Ok { n; byzantine; end_time; entries }
+
 let pp pp_msg ppf t =
   let pp_entry ppf = function
     | Sent { time; src; dst; seq; msg } ->

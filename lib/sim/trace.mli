@@ -58,3 +58,21 @@ val messages_delivered : 'm t -> int
 
 val pp : (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit
 (** Full dump (for debugging small runs). *)
+
+val map_msg : ('m -> 'n) -> 'm t -> 'n t
+(** Rewrite the message payloads (e.g. encode for export). *)
+
+val entry_to_json : encode_msg:('m -> string) -> 'm entry -> Thc_obsv.Json.t
+
+val to_jsonl : encode_msg:('m -> string) -> 'm t -> string
+(** One-line header (n, byzantine pids, end time) followed by one JSON
+    object per entry, in execution order.  [encode_msg] may return
+    arbitrary bytes ({!Thc_util.Codec.encode} included): the JSON layer
+    escapes them losslessly.  Deterministic — identical traces export to
+    identical bytes. *)
+
+val of_jsonl : string -> (string t, string) result
+(** Parse a {!to_jsonl} export back into a trace whose messages are the
+    encoded strings; lines of unknown [type] (metrics snapshots appended
+    to the same file) are skipped.  Round trip:
+    [of_jsonl (to_jsonl ~encode_msg t) = Ok (map_msg encode_msg t)]. *)

@@ -93,7 +93,7 @@ let test_shrink_preserves_failure () =
   let o = failing_unattested_outcome () in
   let r =
     Thc_check.Shrink.shrink h ~seed:o.Thc_check.Sweep.seed
-      ~script:o.Thc_check.Sweep.script ~report:o.Thc_check.Sweep.report
+      ~script:o.Thc_check.Sweep.script ~report:o.Thc_check.Sweep.report ()
   in
   Alcotest.(check bool) "shrunk script still fails the same monitor" true
     (Thc_check.Monitor.reproduces
@@ -112,11 +112,11 @@ let test_shrink_idempotent () =
   let o = failing_unattested_outcome () in
   let r1 =
     Thc_check.Shrink.shrink h ~seed:o.Thc_check.Sweep.seed
-      ~script:o.Thc_check.Sweep.script ~report:o.Thc_check.Sweep.report
+      ~script:o.Thc_check.Sweep.script ~report:o.Thc_check.Sweep.report ()
   in
   let r2 =
     Thc_check.Shrink.shrink h ~seed:o.Thc_check.Sweep.seed
-      ~script:r1.Thc_check.Shrink.script ~report:r1.Thc_check.Shrink.report
+      ~script:r1.Thc_check.Shrink.script ~report:r1.Thc_check.Shrink.report ()
   in
   Alcotest.(check bool) "re-shrinking a minimum is the identity" true
     (Thc_sim.Adversary.equal r1.Thc_check.Shrink.script
@@ -129,7 +129,7 @@ let test_shrink_rejects_passing_report () =
   let o = Thc_check.Sweep.run_one h ~seed:1L () in
   match
     Thc_check.Shrink.shrink h ~seed:o.Thc_check.Sweep.seed
-      ~script:o.Thc_check.Sweep.script ~report:o.Thc_check.Sweep.report
+      ~script:o.Thc_check.Sweep.script ~report:o.Thc_check.Sweep.report ()
   with
   | _ -> Alcotest.fail "accepted a passing report"
   | exception Invalid_argument _ -> ()

@@ -1,0 +1,248 @@
+(* Tests for the telemetry layer: JSON codec, histogram quantiles, the
+   trusted-op ledger, and the JSONL trace export round trip. *)
+
+module J = Thc_obsv.Json
+module M = Thc_obsv.Metrics
+
+(* --- json ---------------------------------------------------------------------- *)
+
+let test_json_roundtrip_values () =
+  let check v =
+    match J.parse (J.to_string v) with
+    | Ok v' -> Alcotest.(check bool) "round trip" true (J.equal v v')
+    | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  in
+  check J.Null;
+  check (J.Bool true);
+  check (J.Int (-42));
+  check (J.Str "plain");
+  check (J.Str "quotes \" and \\ and\nnewlines\tand \x00\x1b\xff bytes");
+  check (J.List [ J.Int 1; J.Str "x"; J.Null ]);
+  check
+    (J.Obj
+       [ ("a", J.Int 1); ("b", J.List [ J.Bool false ]);
+         ("nested", J.Obj [ ("c", J.Str "v") ]) ])
+
+let test_json_arbitrary_bytes () =
+  (* Codec payloads are arbitrary bytes; the \u00XX escaping must fold back
+     to the identical string. *)
+  let s = String.init 256 Char.chr in
+  (match J.parse (J.to_string (J.Str s)) with
+  | Ok (J.Str s') -> Alcotest.(check string) "all 256 bytes survive" s s'
+  | Ok _ -> Alcotest.fail "wrong constructor"
+  | Error e -> Alcotest.fail e);
+  let enc = Thc_util.Codec.encode (3, "payload", [ 1L; 2L ]) in
+  match J.parse (J.to_string (J.Str enc)) with
+  | Ok (J.Str enc') ->
+    let x, y, z = Thc_util.Codec.decode enc' in
+    Alcotest.(check int) "codec int survives" 3 x;
+    Alcotest.(check string) "codec string survives" "payload" y;
+    Alcotest.(check (list int64)) "codec list survives" [ 1L; 2L ] z
+  | Ok _ -> Alcotest.fail "wrong constructor"
+  | Error e -> Alcotest.fail e
+
+(* --- histogram ----------------------------------------------------------------- *)
+
+let test_histogram_exact_quantiles () =
+  let h = M.Histogram.create () in
+  List.iter (M.Histogram.record h) [ 5L; 15L; 100L; 1_000L; 1_342L ];
+  Alcotest.(check int) "count" 5 (M.Histogram.count h);
+  Alcotest.(check int64) "sum" 2_462L (M.Histogram.sum h);
+  (* Rank 3 of 5 lands in the <=100 bucket. *)
+  Alcotest.(check (option int64)) "p50" (Some 100L) (M.Histogram.p50 h);
+  (* Ranks 5 land in the <=2000 bucket but clamp to the recorded max. *)
+  Alcotest.(check (option int64)) "p90 clamps to max" (Some 1_342L)
+    (M.Histogram.p90 h);
+  Alcotest.(check (option int64)) "p99 clamps to max" (Some 1_342L)
+    (M.Histogram.p99 h);
+  Alcotest.(check (option int64)) "min" (Some 5L) (M.Histogram.min h);
+  Alcotest.(check (option int64)) "max" (Some 1_342L) (M.Histogram.max h)
+
+let test_histogram_overflow_bucket () =
+  let h = M.Histogram.create () in
+  M.Histogram.record h 99_999_999L;
+  (* above the 10 s top bound *)
+  Alcotest.(check (option int64)) "overflow reports exact max"
+    (Some 99_999_999L) (M.Histogram.p50 h)
+
+let test_histogram_empty () =
+  let h = M.Histogram.create () in
+  Alcotest.(check int) "count" 0 (M.Histogram.count h);
+  Alcotest.(check (option int64)) "p50" None (M.Histogram.p50 h);
+  Alcotest.(check (option int64)) "p99" None (M.Histogram.p99 h);
+  Alcotest.(check (option int64)) "min" None (M.Histogram.min h);
+  Alcotest.(check (option int64)) "max" None (M.Histogram.max h)
+
+let test_histogram_bad_buckets () =
+  (match M.Histogram.create ~buckets:[||] () with
+  | _ -> Alcotest.fail "empty buckets accepted"
+  | exception Invalid_argument _ -> ());
+  match M.Histogram.create ~buckets:[| 10L; 10L |] () with
+  | _ -> Alcotest.fail "non-increasing buckets accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- registry ------------------------------------------------------------------ *)
+
+let test_registry_snapshot () =
+  let t = M.create () in
+  let c = M.counter t "b.counter" in
+  M.incr c;
+  M.add c 4;
+  let g = M.gauge t "a.gauge" in
+  M.set_gauge g 7;
+  M.set_gauge g 3;
+  let h = M.histogram t "c.hist" in
+  M.Histogram.record h 25L;
+  (match M.snapshot t with
+  | [ ("a.gauge", M.Level { last = 3; hwm = 7 });
+      ("b.counter", M.Count 5);
+      ("c.hist", M.Summary { count = 1; _ }) ] -> ()
+  | _ -> Alcotest.fail "snapshot not sorted or wrong values");
+  (* Same name returns the same metric; a kind clash raises. *)
+  M.incr (M.counter t "b.counter");
+  Alcotest.(check int) "shared counter" 6 (M.counter_value c);
+  match M.gauge t "b.counter" with
+  | _ -> Alcotest.fail "kind clash accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- ledger -------------------------------------------------------------------- *)
+
+let test_ledger_per_commit () =
+  let l = Thc_obsv.Ledger.create () in
+  Thc_obsv.Ledger.bump l "trinc.attest";
+  Thc_obsv.Ledger.bump_by l "trinc.check" 9;
+  Alcotest.(check int) "total" 10 (Thc_obsv.Ledger.total l);
+  Alcotest.(check (list (pair string int))) "rows sorted"
+    [ ("trinc.attest", 1); ("trinc.check", 9) ]
+    (Thc_obsv.Ledger.rows l);
+  (match Thc_obsv.Ledger.per_commit l ~commits:5 with
+  | [ ("trinc.attest", r1); ("trinc.check", r2) ] ->
+    Alcotest.(check (float 1e-9)) "attest rate" 0.2 r1;
+    Alcotest.(check (float 1e-9)) "check rate" 1.8 r2
+  | _ -> Alcotest.fail "per_commit shape");
+  match Thc_obsv.Ledger.per_commit l ~commits:0 with
+  | [ (_, 0.0); (_, 0.0) ] -> ()
+  | _ -> Alcotest.fail "zero commits must give zero rates"
+
+(* --- trace export -------------------------------------------------------------- *)
+
+let test_trace_jsonl_roundtrip_law () =
+  (* of_jsonl (to_jsonl ~encode_msg t) = Ok (map_msg encode_msg t) on a
+     trace with holds, drops and crashes. *)
+  let n = 3 in
+  let net = Thc_sim.Net.create ~n ~default:(Thc_sim.Delay.Const 100L) in
+  let engine = Thc_sim.Engine.create ~seed:9L ~n ~net () in
+  let b : string Thc_sim.Engine.behavior =
+    {
+      init =
+        (fun ctx ->
+          ctx.broadcast (Printf.sprintf "hello-%d" ctx.self);
+          ctx.set_timer ~delay:10L ~tag:1;
+          ctx.output (Thc_sim.Obs.Note "boot"));
+      on_message = (fun _ ~src:_ _ -> ());
+      on_timer = (fun _ _ -> ());
+    }
+  in
+  for pid = 0 to n - 1 do
+    Thc_sim.Engine.set_behavior engine pid b
+  done;
+  Thc_sim.Engine.set_link engine ~src:0 ~dst:1 Thc_sim.Net.Block;
+  Thc_sim.Engine.set_link engine ~src:0 ~dst:2 Thc_sim.Net.Drop;
+  Thc_sim.Engine.schedule_crash engine ~pid:2 ~at:50L;
+  let trace = Thc_sim.Engine.run ~until:1_000L engine in
+  let encode_msg = Thc_util.Codec.encode in
+  let exported = Thc_sim.Trace.to_jsonl ~encode_msg trace in
+  match Thc_sim.Trace.of_jsonl exported with
+  | Error e -> Alcotest.fail ("of_jsonl: " ^ e)
+  | Ok back ->
+    Alcotest.(check bool) "round-trip law" true
+      (back = Thc_sim.Trace.map_msg encode_msg trace)
+
+let test_replication_export_roundtrip () =
+  (* A real MinBFT run: the harness export must parse back to the run's
+     trace and carry a metrics snapshot plus a trusted-op ledger line. *)
+  let outcome, export =
+    Thc_replication.Harness.run_export
+      {
+        protocol = Thc_replication.Harness.Minbft_protocol;
+        f = 1;
+        ops = 5;
+        interval = 5_000L;
+        delay = Thc_sim.Delay.Uniform (50L, 500L);
+        scenario = Thc_replication.Harness.Fault_free;
+        seed = 3L;
+      }
+  in
+  (match Thc_sim.Trace.of_jsonl export with
+  | Error e -> Alcotest.fail ("of_jsonl: " ^ e)
+  | Ok trace ->
+    Alcotest.(check int) "sends survive the round trip" outcome.messages
+      (Thc_sim.Trace.messages_sent trace);
+    Alcotest.(check int) "n survives" outcome.replicas (trace.Thc_sim.Trace.n - 1));
+  let lines = String.split_on_char '\n' export in
+  let typed ty line =
+    match J.parse line with
+    | Ok j -> J.member "type" j = Some (J.Str ty)
+    | Error _ -> false
+  in
+  (match List.find_opt (typed "metrics") lines with
+  | None -> Alcotest.fail "no metrics line in export"
+  | Some line ->
+    let j = Result.get_ok (J.parse line) in
+    let snap = Option.get (J.member "snapshot" j) in
+    (match Option.bind (J.member "commit.count" snap) (J.member "value") with
+    | Some (J.Int c) -> Alcotest.(check int) "commit count" outcome.commits c
+    | _ -> Alcotest.fail "commit.count missing from snapshot"));
+  match List.find_opt (typed "ledger") lines with
+  | None -> Alcotest.fail "no ledger line in export"
+  | Some line ->
+    let j = Result.get_ok (J.parse line) in
+    (match J.member "commits" j with
+    | Some (J.Int c) -> Alcotest.(check int) "ledger commits" outcome.commits c
+    | _ -> Alcotest.fail "ledger commits missing");
+    (match Option.bind (J.member "ops" j) (J.member "trinc.attest") with
+    | Some (J.Int a) -> Alcotest.(check bool) "attests charged" true (a > 0)
+    | _ -> Alcotest.fail "trinc.attest missing from ledger line")
+
+let test_export_deterministic () =
+  let run () =
+    snd
+      (Thc_replication.Harness.run_export
+         {
+           protocol = Thc_replication.Harness.Minbft_protocol;
+           f = 1;
+           ops = 5;
+           interval = 5_000L;
+           delay = Thc_sim.Delay.Uniform (50L, 500L);
+           scenario = Thc_replication.Harness.Fault_free;
+           seed = 3L;
+         })
+  in
+  Alcotest.(check string) "same seed, byte-identical export" (run ()) (run ())
+
+let () =
+  Alcotest.run "thc_obsv"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "value round trips" `Quick test_json_roundtrip_values;
+          Alcotest.test_case "arbitrary bytes" `Quick test_json_arbitrary_bytes;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "exact quantiles" `Quick test_histogram_exact_quantiles;
+          Alcotest.test_case "overflow bucket" `Quick test_histogram_overflow_bucket;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "bad buckets" `Quick test_histogram_bad_buckets;
+        ] );
+      ("registry", [ Alcotest.test_case "snapshot" `Quick test_registry_snapshot ]);
+      ("ledger", [ Alcotest.test_case "per commit" `Quick test_ledger_per_commit ]);
+      ( "export",
+        [
+          Alcotest.test_case "jsonl round-trip law" `Quick
+            test_trace_jsonl_roundtrip_law;
+          Alcotest.test_case "replication export" `Quick
+            test_replication_export_roundtrip;
+          Alcotest.test_case "deterministic" `Quick test_export_deterministic;
+        ] );
+    ]

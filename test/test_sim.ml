@@ -336,6 +336,77 @@ let test_metrics_delivery_latency () =
   Alcotest.(check bool) "event rate positive" true
     (Thc_sim.Metrics.events_per_virtual_ms trace > 0.0)
 
+let test_metrics_seq_matching () =
+  (* Every Delivered seq must refer to a Sent seq on the same (src, dst)
+     link — the invariant delivery_report's matching relies on. *)
+  let n = 3 in
+  let engine =
+    Thc_sim.Engine.create ~seed:5L ~n
+      ~net:(net ~delay:(Thc_sim.Delay.Uniform (10L, 500L)) n)
+      ()
+  in
+  let b : msg Thc_sim.Engine.behavior =
+    {
+      init = (fun ctx -> ctx.broadcast (Ping ctx.self));
+      on_message =
+        (fun ctx ~src:_ (Ping k) -> if k < 2 then ctx.others (Ping (k + 1)));
+      on_timer = (fun _ _ -> ());
+    }
+  in
+  for pid = 0 to n - 1 do
+    Thc_sim.Engine.set_behavior engine pid b
+  done;
+  let trace = Thc_sim.Engine.run engine in
+  let sent = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Thc_sim.Trace.Sent { src; dst; seq; _ } ->
+        if Hashtbl.mem sent (src, dst, seq) then
+          Alcotest.fail "duplicate send seq on a link";
+        Hashtbl.add sent (src, dst, seq) ()
+      | _ -> ())
+    trace.Thc_sim.Trace.entries;
+  List.iter
+    (function
+      | Thc_sim.Trace.Delivered { src; dst; seq; _ } ->
+        if not (Hashtbl.mem sent (src, dst, seq)) then
+          Alcotest.fail "delivery without a matching send"
+      | _ -> ())
+    trace.Thc_sim.Trace.entries;
+  let r = Thc_sim.Metrics.delivery_report trace in
+  Alcotest.(check int) "every send accounted for"
+    (Thc_sim.Trace.messages_sent trace)
+    (r.delivered + r.dropped + r.held_at_end + r.in_flight_at_end);
+  Alcotest.(check int) "one latency per delivery" r.delivered
+    (List.length r.latencies)
+
+let test_metrics_delivery_report_held () =
+  (* A message still queued on a blocked link when the horizon hits must be
+     counted as held_at_end, not silently excluded. *)
+  let n = 2 in
+  let engine = Thc_sim.Engine.create ~n ~net:(net n) () in
+  Thc_sim.Engine.set_behavior engine 0 (sender_at ~at:50L ~dst:1 1);
+  Thc_sim.Engine.set_behavior engine 1 Thc_sim.Engine.no_op;
+  Thc_sim.Engine.set_link engine ~src:0 ~dst:1 Thc_sim.Net.Block;
+  let trace = Thc_sim.Engine.run ~until:1_000L engine in
+  let r = Thc_sim.Metrics.delivery_report trace in
+  Alcotest.(check int) "held at end" 1 r.held_at_end;
+  Alcotest.(check int) "nothing delivered" 0 r.delivered;
+  Alcotest.(check int) "nothing dropped" 0 r.dropped;
+  Alcotest.(check int) "nothing in flight" 0 r.in_flight_at_end;
+  Alcotest.(check int) "no latency samples" 0 (List.length r.latencies)
+
+let test_metrics_delivery_report_dropped () =
+  let n = 2 in
+  let engine = Thc_sim.Engine.create ~n ~net:(net n) () in
+  Thc_sim.Engine.set_behavior engine 0 (sender_at ~at:50L ~dst:1 1);
+  Thc_sim.Engine.set_behavior engine 1 Thc_sim.Engine.no_op;
+  Thc_sim.Engine.set_link engine ~src:0 ~dst:1 Thc_sim.Net.Drop;
+  let trace = Thc_sim.Engine.run engine in
+  let r = Thc_sim.Metrics.delivery_report trace in
+  Alcotest.(check int) "dropped" 1 r.dropped;
+  Alcotest.(check int) "not held" 0 r.held_at_end
+
 (* --- adversary scripts ---------------------------------------------------------- *)
 
 let test_adversary_random_admissible () =
@@ -496,6 +567,11 @@ let () =
         [
           Alcotest.test_case "kind counts" `Quick test_metrics_kind_counts;
           Alcotest.test_case "delivery latency" `Quick test_metrics_delivery_latency;
+          Alcotest.test_case "seq matching" `Quick test_metrics_seq_matching;
+          Alcotest.test_case "delivery report: held at end" `Quick
+            test_metrics_delivery_report_held;
+          Alcotest.test_case "delivery report: dropped" `Quick
+            test_metrics_delivery_report_dropped;
         ] );
       ( "adversary",
         [
