@@ -241,6 +241,8 @@ let smr_cmd =
         Thc_replication.Harness.protocol;
         f;
         ops;
+        clients = 1;
+        batch = 1;
         interval = 5_000L;
         delay = Thc_sim.Delay.Uniform (50L, 500L);
         scenario;
@@ -262,6 +264,154 @@ let smr_cmd =
     (Cmd.info "smr"
        ~doc:"Run the replicated-state-machine comparison (MinBFT vs PBFT).")
     Term.(const run $ protocol $ f $ ops $ scenario $ seed)
+
+(* --- loadtest -------------------------------------------------------------- *)
+
+let loadtest_write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "export written to %s\n" path
+
+let loadtest_cmd =
+  let module W = Thc_workload.Workload in
+  let module L = Thc_workload.Loadtest in
+  let protocol =
+    Arg.(
+      required
+      & pos 0
+          (some (enum
+                   [ ("minbft", L.Minbft_protocol); ("pbft", L.Pbft_protocol) ]))
+          None
+      & info [] ~docv:"PROTOCOL" ~doc:"minbft|pbft.")
+  in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Concurrent clients.")
+  in
+  let ops =
+    Arg.(value & opt int 25 & info [ "ops" ] ~doc:"Requests per client.")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (list float) [ 200.; 500.; 1000. ]
+      & info [ "rates" ]
+          ~doc:"Aggregate offered rates (req/s) swept for open-loop arrivals.")
+  in
+  let batches =
+    Arg.(
+      value
+      & opt (list int) [ 1; 4 ]
+      & info [ "batches" ] ~doc:"Leader batch sizes swept at each rate.")
+  in
+  let arrival =
+    Arg.(
+      value
+      & opt (enum
+               [ ("poisson", `Poisson); ("uniform", `Uniform);
+                 ("closed", `Closed) ])
+          `Poisson
+      & info [ "arrival" ]
+          ~doc:
+            "poisson|uniform (open loop over $(b,--rates)) or closed \
+             (fixed outstanding window; ignores $(b,--rates)).")
+  in
+  let window =
+    Arg.(
+      value & opt int 4
+      & info [ "window" ] ~doc:"Outstanding requests per closed-loop client.")
+  in
+  let think =
+    Arg.(
+      value & opt int64 0L
+      & info [ "think" ] ~doc:"Closed-loop think time (virtual µs).")
+  in
+  let keys = Arg.(value & opt int 64 & info [ "keys" ] ~doc:"Key-space size.") in
+  let theta =
+    Arg.(
+      value & opt float 0.99
+      & info [ "theta" ] ~doc:"Zipf skew; 0 selects the uniform key picker.")
+  in
+  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"RNG seed.") in
+  let export =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"FILE"
+          ~doc:"Write the thc-loadtest/v1 JSONL export to $(docv).")
+  in
+  let run protocol f clients ops rates batches arrival window think keys theta
+      seed export =
+    let key_dist =
+      if theta <= 0.0 then W.Keys_uniform { keys }
+      else W.Keys_zipf { keys; theta }
+    in
+    let arrivals =
+      match arrival with
+      | `Closed -> [ W.Closed { window; think_us = think } ]
+      | `Poisson -> List.map (fun r -> W.Open_poisson { rate_rps = r }) rates
+      | `Uniform -> List.map (fun r -> W.Open_uniform { rate_rps = r }) rates
+    in
+    let template =
+      {
+        L.protocol;
+        f;
+        batch = 1;
+        seed;
+        delay = Thc_sim.Delay.Uniform (50L, 500L);
+        spec =
+          {
+            W.clients;
+            requests_per_client = ops;
+            arrival = List.hd arrivals;
+            keys = key_dist;
+            mix = W.default_mix;
+          };
+      }
+    in
+    let results = L.sweep template ~arrivals ~batches in
+    Printf.printf "=== loadtest: %s  f=%d  clients=%d  ops/client=%d  seed=%Ld ===\n"
+      (L.protocol_name protocol) f clients ops seed;
+    let t =
+      Thc_util.Table.create
+        [ "arrival"; "batch"; "done"; "thru(r/s)"; "p50(µs)"; "p99(µs)";
+          "trusted/req"; "msgs"; "safety" ]
+    in
+    List.iter
+      (fun (r : L.result) ->
+        Thc_util.Table.add_row t
+          [
+            Format.asprintf "%a" W.pp_arrival r.L.point.L.spec.W.arrival;
+            string_of_int r.L.point.L.batch;
+            Printf.sprintf "%d/%d" r.L.completed r.L.offered;
+            Printf.sprintf "%.1f" r.L.throughput_rps;
+            Printf.sprintf "%.0f" r.L.latency.Thc_util.Stats.p50;
+            Printf.sprintf "%.0f" r.L.latency.Thc_util.Stats.p99;
+            Printf.sprintf "%.3f" r.L.trusted_per_request;
+            string_of_int r.L.messages;
+            string_of_int r.L.safety_violations;
+          ])
+      results;
+    Thc_util.Table.print t;
+    Option.iter
+      (fun file -> loadtest_write_file file (L.export ~seed results))
+      export;
+    let safety =
+      List.fold_left (fun acc (r : L.result) -> acc + r.L.safety_violations) 0
+        results
+    in
+    if safety > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadtest"
+       ~doc:
+         "Sweep offered load and batch size against a replication protocol \
+          and report the throughput\xe2\x80\x93latency curve plus trusted-op \
+          amortization.")
+    Term.(
+      const run $ protocol $ f $ clients $ ops $ rates $ batches $ arrival
+      $ window $ think $ keys $ theta $ seed $ export)
 
 (* --- report ---------------------------------------------------------------- *)
 
@@ -345,6 +495,8 @@ let report_smr protocol ~name ~f ~ops ~seed ~export =
       Thc_replication.Harness.protocol;
       f;
       ops;
+      clients = 1;
+      batch = 1;
       interval = 5_000L;
       delay = Thc_sim.Delay.Uniform (50L, 500L);
       scenario = Thc_replication.Harness.Fault_free;
@@ -509,6 +661,117 @@ let report_srb ~n ~ops ~seed ~export =
     export;
   List.length violations
 
+(* Render an exported thc-loadtest/v1 JSONL file: the throughput–latency
+   curve plus the batching ablation (trusted ops per request by batch size
+   at each operating point). *)
+let report_loadtest ~from =
+  match from with
+  | None ->
+    prerr_endline "report loadtest needs --from FILE (a thc loadtest --export)";
+    2
+  | Some file -> (
+    match
+      let ic = open_in_bin file in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      text
+    with
+    | exception Sys_error e ->
+      Printf.eprintf "%s\n" e;
+      2
+    | text ->
+    match Thc_workload.Loadtest.parse text with
+    | Error e ->
+      Printf.printf "%s: %s\n" file e;
+      1
+    | Ok rows ->
+      let module L = Thc_workload.Loadtest in
+      Printf.printf "=== loadtest report (%d points, %s) ===\n\n"
+        (List.length rows) L.schema;
+      print_endline "throughput-latency curve:";
+      let t =
+        Thc_util.Table.create
+          [ "protocol"; "arrival"; "rate(r/s)"; "batch"; "done"; "thru(r/s)";
+            "p50(µs)"; "p99(µs)"; "trusted/req"; "safety" ]
+      in
+      List.iter
+        (fun (r : L.row) ->
+          let rate =
+            if r.L.r_arrival = "closed" then
+              Printf.sprintf "w=%d" r.L.r_window
+            else Printf.sprintf "%.0f" r.L.r_rate_rps
+          in
+          Thc_util.Table.add_row t
+            [
+              r.L.r_protocol;
+              r.L.r_arrival;
+              rate;
+              string_of_int r.L.r_batch;
+              Printf.sprintf "%d/%d" r.L.r_completed r.L.r_offered;
+              Printf.sprintf "%.1f" r.L.r_throughput_rps;
+              Printf.sprintf "%.0f" r.L.r_p50_us;
+              Printf.sprintf "%.0f" r.L.r_p99_us;
+              Printf.sprintf "%.3f" r.L.r_trusted_per_request;
+              string_of_int r.L.r_safety;
+            ])
+        rows;
+      Thc_util.Table.print t;
+      (* Batch ablation: at each operating point, how the per-request
+         trusted-op cost moves as the leader batches harder.  Only
+         meaningful where trusted hardware is in the path (MinBFT). *)
+      let keyed =
+        List.filter_map
+          (fun (r : L.row) ->
+            if r.L.r_trusted_total > 0 || r.L.r_protocol = "minbft" then
+              Some ((r.L.r_protocol, r.L.r_arrival, r.L.r_rate_rps, r.L.r_window), r)
+            else None)
+          rows
+      in
+      let points =
+        List.sort_uniq compare (List.map fst keyed)
+      in
+      let multi_batch =
+        List.filter
+          (fun k ->
+            List.length (List.filter (fun (k', _) -> k' = k) keyed) > 1)
+          points
+      in
+      if multi_batch <> [] then begin
+        print_newline ();
+        print_endline "batch ablation (trusted ops per committed request):";
+        let t =
+          Thc_util.Table.create
+            [ "protocol"; "operating point"; "batch"; "trusted/req";
+              "trusted/commit"; "thru(r/s)" ]
+        in
+        List.iter
+          (fun ((proto, arrival, rate, window) as k) ->
+            List.iter
+              (fun (_, (r : L.row)) ->
+                let point_label =
+                  if arrival = "closed" then
+                    Printf.sprintf "closed w=%d" window
+                  else Printf.sprintf "%s %.0f r/s" arrival rate
+                in
+                Thc_util.Table.add_row t
+                  [
+                    proto;
+                    point_label;
+                    string_of_int r.L.r_batch;
+                    Printf.sprintf "%.3f" r.L.r_trusted_per_request;
+                    Printf.sprintf "%.3f" r.L.r_trusted_per_commit;
+                    Printf.sprintf "%.1f" r.L.r_throughput_rps;
+                  ])
+              (List.sort
+                 (fun (_, (a : L.row)) (_, (b : L.row)) ->
+                   compare a.L.r_batch b.L.r_batch)
+                 (List.filter (fun (k', _) -> k' = k) keyed)))
+          multi_batch;
+        Thc_util.Table.print t
+      end;
+      List.fold_left (fun acc (r : L.row) -> acc + r.L.r_safety) 0 rows)
+
 let report_cmd =
   let experiment =
     Arg.(
@@ -516,9 +779,10 @@ let report_cmd =
       & pos 0
           (some (enum
                    [ ("minbft", `Minbft); ("pbft", `Pbft);
-                     ("ablation", `Ablation); ("srb", `Srb) ]))
+                     ("ablation", `Ablation); ("srb", `Srb);
+                     ("loadtest", `Loadtest) ]))
           None
-      & info [] ~docv:"EXPERIMENT" ~doc:"minbft|pbft|ablation|srb.")
+      & info [] ~docv:"EXPERIMENT" ~doc:"minbft|pbft|ablation|srb|loadtest.")
   in
   let n =
     Arg.(
@@ -548,7 +812,16 @@ let report_cmd =
       & info [ "export" ] ~docv:"FILE"
           ~doc:"Write the run's JSONL trace/metrics export to $(docv).")
   in
-  let run experiment n f ops seed export =
+  let from =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"FILE"
+          ~doc:
+            "For $(b,loadtest): render this exported JSONL file instead of \
+             running an experiment.")
+  in
+  let run experiment n f ops seed export from =
     let fault_bound ~per_fault =
       match (f, n) with
       | Some f, _ -> f
@@ -567,6 +840,7 @@ let report_cmd =
           ~export
       | `Ablation -> report_ablation ~f:(fault_bound ~per_fault:2) ~seed ~export
       | `Srb -> report_srb ~n:(Option.value n ~default:4) ~ops ~seed ~export
+      | `Loadtest -> report_loadtest ~from
     in
     if problems > 0 then exit 1
   in
@@ -575,8 +849,9 @@ let report_cmd =
        ~doc:
          "Run a named experiment and render its telemetry dashboard: commit \
           latency quantiles, message-kind breakdown, per-process sends, \
-          network counters, and the trusted-op ledger.")
-    Term.(const run $ experiment $ n $ f $ ops $ seed $ export)
+          network counters, and the trusted-op ledger.  The $(b,loadtest) \
+          view instead renders a file exported by $(b,thc loadtest).")
+    Term.(const run $ experiment $ n $ f $ ops $ seed $ export $ from)
 
 (* --- explore --------------------------------------------------------------- *)
 
@@ -760,4 +1035,4 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group (Cmd.info "thc" ~doc)
           [ figure1_cmd; verify_cmd; scenarios_cmd; problems_cmd; rounds_cmd;
-            smr_cmd; report_cmd; explore_cmd; replay_cmd ]))
+            smr_cmd; loadtest_cmd; report_cmd; explore_cmd; replay_cmd ]))

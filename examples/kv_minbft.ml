@@ -43,7 +43,7 @@ let () =
     List.mapi (fun i op -> (Int64.of_int ((i + 1) * 4_000), op)) ops
   in
   Thc_sim.Engine.set_behavior engine client_pid
-    (Thc_replication.Minbft.client ~config ~keyring
+    (Thc_replication.Minbft.client ~rid_base:0 ~config ~keyring
        ~ident:(Thc_crypto.Keyring.secret keyring ~pid:client_pid)
        ~plan);
   (* Crash the initial leader while requests are in flight. *)

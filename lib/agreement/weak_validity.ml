@@ -54,7 +54,7 @@ let run ~f ~inputs ?(seed = 1L) ?(delay = Thc_sim.Delay.Uniform (50L, 500L))
   Array.iteri
     (fun i input ->
       Thc_sim.Engine.set_behavior engine (n + i)
-        (Thc_replication.Minbft.client ~config ~keyring
+        (Thc_replication.Minbft.client ~rid_base:0 ~config ~keyring
            ~ident:(Thc_crypto.Keyring.secret keyring ~pid:(n + i))
            ~plan:[ (Int64.of_int (100 + (i * 37)), op_of_input input) ]))
     inputs;

@@ -37,6 +37,8 @@ let smr_run protocol ~seed ~script =
         Thc_replication.Harness.protocol;
         f = 1;
         ops = 6;
+        clients = 1;
+        batch = 1;
         interval = 5_000L;
         delay = Thc_sim.Delay.Uniform (50L, 500L);
         scenario = Thc_replication.Harness.Scripted script;

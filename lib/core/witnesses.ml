@@ -507,6 +507,8 @@ let minbft_smr =
               Thc_replication.Harness.Minbft_protocol;
             f = 1;
             ops = 12;
+            clients = 1;
+            batch = 1;
             interval = 5_000L;
             delay = Thc_sim.Delay.Uniform (50L, 500L);
             scenario;

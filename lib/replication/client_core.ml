@@ -1,4 +1,4 @@
-let behavior ~n_replicas ~quorum ~ident ~plan ~wrap ~unwrap :
+let behavior ~rid_base ~n_replicas ~quorum ~ident ~plan ~wrap ~unwrap :
     'm Thc_sim.Engine.behavior =
   let plan = Array.of_list plan in
   let collector = Command.Collector.create ~quorum in
@@ -25,8 +25,9 @@ let behavior ~n_replicas ~quorum ~ident ~plan ~wrap ~unwrap :
       (fun ctx tag ->
         if tag >= 0 && tag < Array.length plan then begin
           let _, op = plan.(tag) in
-          let sr = Command.make ~ident ~rid:tag op in
-          Hashtbl.replace sent_at tag (ctx.now ());
+          let rid = rid_base + tag in
+          let sr = Command.make ~ident ~rid op in
+          Hashtbl.replace sent_at rid (ctx.now ());
           for replica = 0 to n_replicas - 1 do
             ctx.send replica (wrap sr)
           done

@@ -7,6 +7,7 @@
     out-vote liars) instantiate it over their message types. *)
 
 val behavior :
+  rid_base:int ->
   n_replicas:int ->
   quorum:int ->
   ident:Thc_crypto.Keyring.secret ->
@@ -15,4 +16,7 @@ val behavior :
   unwrap:('m -> Command.reply option) ->
   'm Thc_sim.Engine.behavior
 (** [wrap] embeds a request into the protocol's wire type; [unwrap] projects
-    replies out of it (anything else → [None]). *)
+    replies out of it (anything else → [None]).  Request ids are
+    [rid_base + i] for plan index [i]: when several clients
+    run concurrently, give each a disjoint base so rids stay globally unique
+    in the trace. *)

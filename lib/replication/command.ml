@@ -19,6 +19,29 @@ let key r = (r.client, r.rid)
 
 let pp ppf r = Format.fprintf ppf "req(c%d#%d)" r.client r.rid
 
+(* --- batches ----------------------------------------------------------- *)
+
+type batch = signed_request list
+
+let batch_digest_of_requests (rs : request list) =
+  Thc_crypto.Digest.to_int64 (Thc_crypto.Digest.of_value (List.map digest rs))
+
+let batch_digest (b : batch) =
+  batch_digest_of_requests
+    (List.map (fun (sr : signed_request) -> sr.Thc_crypto.Signature.value) b)
+
+let batch_valid keyring (b : batch) = b <> [] && List.for_all (valid keyring) b
+
+let batch_keys (b : batch) =
+  List.map (fun (sr : signed_request) -> key sr.Thc_crypto.Signature.value) b
+
+let pp_batch ppf (b : batch) =
+  Format.fprintf ppf "batch[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       (fun ppf (sr : signed_request) -> pp ppf sr.Thc_crypto.Signature.value))
+    b
+
 type reply = { replica : int; rid : int; result : string }
 
 module Collector = struct

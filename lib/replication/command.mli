@@ -22,6 +22,28 @@ val key : request -> int * int
 
 val pp : Format.formatter -> request -> unit
 
+type batch = signed_request list
+(** One consensus slot's worth of requests: the leader accumulates pending
+    signed requests and proposes them as a single batch, amortizing one
+    proposal (and, on MinBFT, one trusted-counter attestation) across every
+    request in it.  Order within a batch is the committed execution order. *)
+
+val batch_digest : batch -> int64
+(** Binding digest over the member-request digests, in order.  Independent
+    of the signatures, so any party that knows the request values (e.g. the
+    deterministic no-op filler during a PBFT view change) can predict it. *)
+
+val batch_digest_of_requests : request list -> int64
+(** {!batch_digest} over bare (unsigned) request values. *)
+
+val batch_valid : Thc_crypto.Keyring.t -> batch -> bool
+(** Non-empty and every member request is {!valid}. *)
+
+val batch_keys : batch -> (int * int) list
+(** Dedup keys of the member requests, in batch order. *)
+
+val pp_batch : Format.formatter -> batch -> unit
+
 type reply = { replica : int; rid : int; result : string }
 (** A replica's response; clients wait for matching replies from a quorum. *)
 

@@ -10,6 +10,8 @@ type setup = {
   protocol : protocol;
   f : int;
   ops : int;
+  clients : int;
+  batch : int;
   interval : int64;
   delay : Thc_sim.Delay.t;
   scenario : scenario;
@@ -34,6 +36,8 @@ type outcome = {
   net : (string * int) list;
   trusted_ops : (string * int) list;
   trusted_per_commit : float;
+  trusted_per_request : float;
+  latency_by_client : (int * Thc_util.Stats.summary) list;
   metrics : Thc_obsv.Metrics.t;
 }
 
@@ -47,10 +51,16 @@ let default_workload ~ops ~seed =
       | 2 -> Kv_store.Incr key
       | _ -> Kv_store.Put (key, Printf.sprintf "w%d" i))
 
-let plan_of setup =
+let n_clients setup = max 1 setup.clients
+
+(* Per-client seeds stay deterministic while giving each client its own
+   operation stream; client 0 keeps the single-client stream of old runs. *)
+let client_seed setup c = Int64.add setup.seed (Int64.of_int (7919 * c))
+
+let plan_for setup c =
   List.mapi
     (fun i op -> (Int64.mul (Int64.of_int (i + 1)) setup.interval, op))
-    (default_workload ~ops:setup.ops ~seed:setup.seed)
+    (default_workload ~ops:setup.ops ~seed:(client_seed setup c))
 
 (* Virtual-time horizon: leave room for timeouts and view changes; a
    scripted adversary extends it so the run continues well past the final
@@ -123,7 +133,7 @@ let registry_of ~latencies ~completed ~commits ~messages ~breakdown
   List.iter (fun (op, c) -> count ("hw." ^ op) c) trusted_ops;
   (m, lat)
 
-let finish (type m) setup ~(trace : m Thc_sim.Trace.t) ~replicas ~client
+let finish (type m) setup ~(trace : m Thc_sim.Trace.t) ~replicas
     ~final_view ~classify ~net_stats ~hw =
   let latencies = Smr_spec.client_latencies trace in
   let completed = List.length latencies in
@@ -153,7 +163,10 @@ let finish (type m) setup ~(trace : m Thc_sim.Trace.t) ~replicas ~client
       @ Smr_spec.check_state_determinism trace ~replicas;
     liveness_violations =
       (if expected_liveness setup then
-         Smr_spec.check_liveness trace ~clients:[ client ] ~expected:setup.ops
+         Smr_spec.check_liveness trace
+           ~expected:
+             (Smr_spec.expect_range ~clients:(n_clients setup)
+                ~per_client:setup.ops ~first_client_pid:replicas)
        else []);
     final_view;
     breakdown;
@@ -164,6 +177,14 @@ let finish (type m) setup ~(trace : m Thc_sim.Trace.t) ~replicas ~client
     trusted_per_commit =
       (if commits = 0 then 0.0
        else float_of_int (Thc_obsv.Ledger.total hw) /. float_of_int commits);
+    trusted_per_request =
+      (if completed = 0 then 0.0
+       else
+         float_of_int (Thc_obsv.Ledger.total hw) /. float_of_int completed);
+    latency_by_client =
+      List.map
+        (fun (pid, ls) -> (pid, Thc_util.Stats.summarize ls))
+        (Smr_spec.latencies_by_client trace);
     metrics;
   }
 
@@ -210,14 +231,17 @@ let apply_scenario (type m) setup ~(engine : m Thc_sim.Engine.t) ~replicas =
     Thc_sim.Adversary.install script engine
 
 let run_minbft setup =
-  let config = Minbft.default_config ~f:setup.f in
+  let config =
+    { (Minbft.default_config ~f:setup.f) with batch_size = max 1 setup.batch }
+  in
   let n = config.n in
-  let client_pid = n in
+  let clients = n_clients setup in
+  let total = n + clients in
   let rng = Thc_util.Rng.create setup.seed in
-  let keyring = Thc_crypto.Keyring.create rng ~n:(n + 1) in
+  let keyring = Thc_crypto.Keyring.create rng ~n:total in
   let world = Thc_hardware.Trinc.create_world rng ~n in
-  let net = Thc_sim.Net.create ~n:(n + 1) ~default:setup.delay in
-  let engine = Thc_sim.Engine.create ~seed:setup.seed ~n:(n + 1) ~net () in
+  let net = Thc_sim.Net.create ~n:total ~default:setup.delay in
+  let engine = Thc_sim.Engine.create ~seed:setup.seed ~n:total ~net () in
   let states =
     Array.init n (fun self ->
         Minbft.create_replica ~config ~keyring ~world
@@ -227,10 +251,13 @@ let run_minbft setup =
   Array.iteri
     (fun pid st -> Thc_sim.Engine.set_behavior engine pid (Minbft.replica st))
     states;
-  Thc_sim.Engine.set_behavior engine client_pid
-    (Minbft.client ~config ~keyring
-       ~ident:(Thc_crypto.Keyring.secret keyring ~pid:client_pid)
-       ~plan:(plan_of setup));
+  for c = 0 to clients - 1 do
+    let pid = n + c in
+    Thc_sim.Engine.set_behavior engine pid
+      (Minbft.client ~rid_base:(c * setup.ops) ~config ~keyring
+         ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+         ~plan:(plan_for setup c))
+  done;
   apply_scenario setup ~engine ~replicas:n;
   let trace =
     Thc_sim.Engine.run ~until:(horizon setup) ~max_events:20_000_000 engine
@@ -239,7 +266,7 @@ let run_minbft setup =
     Array.fold_left (fun acc st -> max acc (Minbft.view_of st)) 0 states
   in
   let outcome =
-    finish setup ~trace ~replicas:n ~client:client_pid ~final_view
+    finish setup ~trace ~replicas:n ~final_view
       ~classify:Minbft.classify_msg
       ~net_stats:(Thc_sim.Engine.stats engine)
       ~hw:(Thc_hardware.Trinc.ledger world)
@@ -247,13 +274,16 @@ let run_minbft setup =
   (outcome, fun () -> export_of ~trace ~outcome)
 
 let run_pbft setup =
-  let config = Pbft.default_config ~f:setup.f in
+  let config =
+    { (Pbft.default_config ~f:setup.f) with batch_size = max 1 setup.batch }
+  in
   let n = config.n in
-  let client_pid = n in
+  let clients = n_clients setup in
+  let total = n + clients in
   let rng = Thc_util.Rng.create setup.seed in
-  let keyring = Thc_crypto.Keyring.create rng ~n:(n + 1) in
-  let net = Thc_sim.Net.create ~n:(n + 1) ~default:setup.delay in
-  let engine = Thc_sim.Engine.create ~seed:setup.seed ~n:(n + 1) ~net () in
+  let keyring = Thc_crypto.Keyring.create rng ~n:total in
+  let net = Thc_sim.Net.create ~n:total ~default:setup.delay in
+  let engine = Thc_sim.Engine.create ~seed:setup.seed ~n:total ~net () in
   let states =
     Array.init n (fun self ->
         Pbft.create_replica ~config ~keyring
@@ -263,10 +293,13 @@ let run_pbft setup =
   Array.iteri
     (fun pid st -> Thc_sim.Engine.set_behavior engine pid (Pbft.replica st))
     states;
-  Thc_sim.Engine.set_behavior engine client_pid
-    (Pbft.client ~config ~keyring
-       ~ident:(Thc_crypto.Keyring.secret keyring ~pid:client_pid)
-       ~plan:(plan_of setup));
+  for c = 0 to clients - 1 do
+    let pid = n + c in
+    Thc_sim.Engine.set_behavior engine pid
+      (Pbft.client ~rid_base:(c * setup.ops) ~config ~keyring
+         ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+         ~plan:(plan_for setup c))
+  done;
   apply_scenario setup ~engine ~replicas:n;
   let trace =
     Thc_sim.Engine.run ~until:(horizon setup) ~max_events:20_000_000 engine
@@ -275,7 +308,7 @@ let run_pbft setup =
     Array.fold_left (fun acc st -> max acc (Pbft.view_of st)) 0 states
   in
   let outcome =
-    finish setup ~trace ~replicas:n ~client:client_pid ~final_view
+    finish setup ~trace ~replicas:n ~final_view
       ~classify:Pbft.classify_msg
       ~net_stats:(Thc_sim.Engine.stats engine)
       (* PBFT spends no trusted ops; an empty ledger keeps the rate at 0. *)
@@ -300,10 +333,10 @@ let pp_outcome ppf o =
   Format.fprintf ppf
     "@[<v>replicas=%d completed=%d commits=%d msgs=%d (%.1f/op) dur=%Ldµs \
      view=%d@,latency: %a@,safety: %d violation(s), liveness: %d violation(s)@,\
-     trusted ops: %d (%.1f/commit)@]"
+     trusted ops: %d (%.1f/commit, %.2f/req)@]"
     o.replicas o.completed o.commits o.messages o.messages_per_op o.duration_us
     o.final_view Thc_util.Stats.pp_summary o.latency
     (List.length o.safety_violations)
     (List.length o.liveness_violations)
     (List.fold_left (fun acc (_, c) -> acc + c) 0 o.trusted_ops)
-    o.trusted_per_commit
+    o.trusted_per_commit o.trusted_per_request

@@ -22,8 +22,10 @@ type scenario =
 type setup = {
   protocol : protocol;
   f : int;
-  ops : int;  (** Number of client requests. *)
-  interval : int64;  (** µs between requests (open loop). *)
+  ops : int;  (** Requests per client. *)
+  clients : int;  (** Concurrent clients (pids n..n+clients-1; min 1). *)
+  batch : int;  (** Leader batch size (requests per consensus slot; min 1). *)
+  interval : int64;  (** µs between each client's requests (open loop). *)
   delay : Thc_sim.Delay.t;  (** Link delay distribution. *)
   scenario : scenario;
   seed : int64;
@@ -50,6 +52,11 @@ type outcome = {
   trusted_ops : (string * int) list;
       (** Hardware-op ledger rows; empty for PBFT (no trusted component). *)
   trusted_per_commit : float;  (** Total trusted ops / {!commits}; 0 if none. *)
+  trusted_per_request : float;
+      (** Total trusted ops / {!completed} — the amortization batching buys:
+          with batch size b one attestation covers b requests. *)
+  latency_by_client : (int * Thc_util.Stats.summary) list;
+      (** Per-client-pid latency quantiles, ascending pid. *)
   metrics : Thc_obsv.Metrics.t;
       (** Everything above as one registry — the export's snapshot line. *)
 }

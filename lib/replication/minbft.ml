@@ -3,6 +3,8 @@ type config = {
   f : int;
   request_timeout : int64;
   check_interval : int64;
+  batch_size : int;
+  batch_delay : int64;
 }
 
 let default_config ~f =
@@ -11,11 +13,13 @@ let default_config ~f =
     f;
     request_timeout = 30_000L;
     check_interval = 10_000L;
+    batch_size = 1;
+    batch_delay = 2_000L;
   }
 
 type proto =
-  | Prepare of { view : int; seq : int; request : Command.signed_request }
-  | Commit of { view : int; seq : int; request : Command.signed_request }
+  | Prepare of { view : int; seq : int; batch : Command.batch }
+  | Commit of { view : int; seq : int; batch : Command.batch }
   | Rvc of { new_view : int }
   | View_change of {
       new_view : int;
@@ -39,6 +43,8 @@ let pp_msg ppf = function
 
 let check_timer_tag = 1_000_000
 
+let batch_timer_tag = 1_000_001
+
 type status = Normal | Changing of int
 
 type t = {
@@ -52,12 +58,17 @@ type t = {
   mutable view : int;
   mutable status : status;
   mutable next_seq : int;  (* leader: next sequence number to assign *)
-  proposals : (int, Command.signed_request) Hashtbl.t;  (* seq -> accepted proposal *)
+  proposals : (int, Command.batch) Hashtbl.t;  (* seq -> accepted proposal *)
   votes : (int * int * int64, (int, unit) Hashtbl.t) Hashtbl.t;
-      (* (view, seq, digest) -> voters *)
+      (* (view, seq, batch digest) -> voters *)
   commit_sent : (int * int, unit) Hashtbl.t;  (* (view, seq) voted already *)
-  committed : (int, Command.signed_request) Hashtbl.t;
-  mutable exec_upto : int;
+  committed : (int, Command.batch) Hashtbl.t;
+  mutable exec_upto : int;  (* highest executed slot *)
+  mutable exec_count : int;  (* dense per-request execution index *)
+  queue : Command.signed_request Queue.t;
+      (* leader: requests accumulating into the next batch *)
+  queued : (int * int, unit) Hashtbl.t;  (* request keys currently queued *)
+  mutable batch_armed : bool;  (* batch flush timer outstanding *)
   pending : (int * int, Command.signed_request * int64) Hashtbl.t;
       (* request key -> (request, arrival time) *)
   proposed_keys : (int * int, int) Hashtbl.t;  (* request key -> seq (leader) *)
@@ -92,6 +103,10 @@ let create_replica ~config ~keyring ~world ~trinket ~self =
     commit_sent = Hashtbl.create 64;
     committed = Hashtbl.create 64;
     exec_upto = 0;
+    exec_count = 0;
+    queue = Queue.create ();
+    queued = Hashtbl.create 64;
+    batch_armed = false;
     pending = Hashtbl.create 64;
     proposed_keys = Hashtbl.create 64;
     executed = Hashtbl.create 64;
@@ -137,84 +152,154 @@ let rvc_supporters t nv =
 
 (* --- execution --------------------------------------------------------- *)
 
+(* Executing a slot applies every request of its batch in batch order.  The
+   per-request [Executed] observations use a separate dense index
+   ([exec_count]) so state-determinism replay keeps seeing consecutive
+   sequence numbers even when slots carry more than one request. *)
+let execute_one t (ctx : msg Thc_sim.Engine.ctx) (sr : Command.signed_request)
+    =
+  let key = Command.key sr.value in
+  let result =
+    match Hashtbl.find_opt t.executed key with
+    | Some r -> r  (* duplicate commit of one request: do not re-apply *)
+    | None ->
+      let r =
+        Kv_store.encode_result
+          (Kv_store.apply t.store (Kv_store.decode_op sr.value.op))
+      in
+      Hashtbl.replace t.executed key r;
+      r
+  in
+  Hashtbl.remove t.pending key;
+  t.exec_count <- t.exec_count + 1;
+  ctx.output
+    (Thc_sim.Obs.Executed { seq = t.exec_count; op = sr.value.op; result });
+  ctx.send sr.value.client
+    (Reply { replica = t.self; rid = sr.value.rid; result })
+
 let rec try_execute t (ctx : msg Thc_sim.Engine.ctx) =
   match Hashtbl.find_opt t.committed (t.exec_upto + 1) with
   | None -> ()
-  | Some sr ->
-    let seq = t.exec_upto + 1 in
-    t.exec_upto <- seq;
-    let key = Command.key sr.value in
-    let result =
-      match Hashtbl.find_opt t.executed key with
-      | Some r -> r  (* duplicate commit of one request: do not re-apply *)
-      | None ->
-        let r =
-          Kv_store.encode_result
-            (Kv_store.apply t.store (Kv_store.decode_op sr.value.op))
-        in
-        Hashtbl.replace t.executed key r;
-        r
-    in
-    Hashtbl.remove t.pending key;
-    ctx.output (Thc_sim.Obs.Executed { seq; op = sr.value.op; result });
-    ctx.send sr.value.client
-      (Reply { replica = t.self; rid = sr.value.rid; result });
+  | Some batch ->
+    t.exec_upto <- t.exec_upto + 1;
+    List.iter (execute_one t ctx) batch;
     try_execute t ctx
 
-let record_commit t ctx ~view ~seq ~(request : Command.signed_request) ~voter =
-  let digest = Command.digest request.value in
+let record_commit t ctx ~view ~seq ~(batch : Command.batch) ~voter =
+  let digest = Command.batch_digest batch in
   let tbl = voters t (view, seq, digest) in
   Hashtbl.replace tbl voter ();
   if
     Hashtbl.length tbl >= t.config.f + 1
     && not (Hashtbl.mem t.committed seq)
   then begin
-    Hashtbl.replace t.committed seq request;
-    ctx.Thc_sim.Engine.output
-      (Thc_sim.Obs.Committed { view; seq; op = request.value.op });
+    Hashtbl.replace t.committed seq batch;
+    let op =
+      match batch with
+      | [ sr ] -> sr.Thc_crypto.Signature.value.op
+      | _ ->
+        Thc_util.Codec.encode
+          (List.map
+             (fun (sr : Command.signed_request) -> sr.value.op)
+             batch)
+    in
+    ctx.Thc_sim.Engine.output (Thc_sim.Obs.Committed { view; seq; op });
     try_execute t ctx
   end
 
 (* A replica votes for a proposal unless it contradicts what it committed or
    what the latest view change recovered. *)
-let proposal_acceptable t ~seq ~(request : Command.signed_request) =
+let proposal_acceptable t ~seq ~(batch : Command.batch) =
   (match Hashtbl.find_opt t.committed seq with
-  | Some sr -> Command.digest sr.value = Command.digest request.value
+  | Some b -> Command.batch_digest b = Command.batch_digest batch
   | None -> true)
   && (seq > t.recovered_bound
      ||
      match Hashtbl.find_opt t.expected seq with
-     | Some d -> d = Command.digest request.value
+     | Some d -> d = Command.batch_digest batch
      | None -> false)
 
-let handle_prepare t ctx ~owner ~view ~seq ~request =
+let handle_prepare t ctx ~owner ~view ~seq ~batch =
   if
     owner = leader_of t view
     && view = t.view
     && t.status = Normal
-    && Command.valid t.keyring request
-    && proposal_acceptable t ~seq ~request
+    && Command.batch_valid t.keyring batch
+    && proposal_acceptable t ~seq ~batch
   then begin
-    Hashtbl.replace t.proposals seq request;
-    Hashtbl.replace t.proposed_keys (Command.key request.value) seq;
-    record_commit t ctx ~view ~seq ~request ~voter:owner;
+    Hashtbl.replace t.proposals seq batch;
+    List.iter
+      (fun key -> Hashtbl.replace t.proposed_keys key seq)
+      (Command.batch_keys batch);
+    record_commit t ctx ~view ~seq ~batch ~voter:owner;
     if t.self <> owner && not (Hashtbl.mem t.commit_sent (view, seq)) then begin
       Hashtbl.replace t.commit_sent (view, seq) ();
-      seal_and_send t ctx (Commit { view; seq; request })
+      seal_and_send t ctx (Commit { view; seq; batch })
     end
   end
+
+(* --- leader batching --------------------------------------------------- *)
+
+let propose_batch t ctx (batch : Command.batch) =
+  if batch <> [] then begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    List.iter
+      (fun key -> Hashtbl.replace t.proposed_keys key seq)
+      (Command.batch_keys batch);
+    seal_and_send t ctx (Prepare { view = t.view; seq; batch })
+  end
+
+(* Pop up to [k] still-unproposed requests off the queue; requests proposed
+   or executed meanwhile (e.g. recovered by a view change) are dropped. *)
+let rec take_batch t acc k =
+  if k = 0 || Queue.is_empty t.queue then List.rev acc
+  else begin
+    let sr = Queue.pop t.queue in
+    let key = Command.key sr.Thc_crypto.Signature.value in
+    Hashtbl.remove t.queued key;
+    if Hashtbl.mem t.proposed_keys key || Hashtbl.mem t.executed key then
+      take_batch t acc k
+    else take_batch t (sr :: acc) (k - 1)
+  end
+
+(* Propose full batches; with [~force] also drain the partial remainder
+   (batch-delay expiry or view-change adoption). *)
+let rec flush_queue t ctx ~force =
+  if
+    Queue.length t.queue >= t.config.batch_size
+    || (force && not (Queue.is_empty t.queue))
+  then begin
+    propose_batch t ctx (take_batch t [] t.config.batch_size);
+    flush_queue t ctx ~force
+  end
+
+let arm_batch_timer t (ctx : msg Thc_sim.Engine.ctx) =
+  if (not t.batch_armed) && not (Queue.is_empty t.queue) then begin
+    t.batch_armed <- true;
+    ctx.set_timer ~delay:t.config.batch_delay ~tag:batch_timer_tag
+  end
+
+let enqueue_request t ctx (sr : Command.signed_request) =
+  let key = Command.key sr.Thc_crypto.Signature.value in
+  if not (Hashtbl.mem t.queued key) then begin
+    Hashtbl.replace t.queued key ();
+    Queue.push sr t.queue
+  end;
+  flush_queue t ctx ~force:false;
+  arm_batch_timer t ctx
 
 (* --- view change ------------------------------------------------------- *)
 
 (* Deterministic recovery from view-change evidence: for every sequence
-   number, adopt the request carried by the highest-view Prepare/Commit
+   number, adopt the batch carried by the highest-view Prepare/Commit
    found in any of the validated logs. *)
 let recover_from_evidence t evidence =
-  let best : (int, int * Command.signed_request) Hashtbl.t = Hashtbl.create 32 in
-  let consider ~view ~seq ~request =
+  let best : (int, int * Command.batch) Hashtbl.t = Hashtbl.create 32 in
+  let consider ~view ~seq ~batch =
     match Hashtbl.find_opt best seq with
     | Some (v, _) when v >= view -> ()
-    | Some _ | None -> Hashtbl.replace best seq (view, request)
+    | Some _ | None -> Hashtbl.replace best seq (view, batch)
   in
   List.iter
     (fun (att : Thc_hardware.Trinc.attestation) ->
@@ -226,17 +311,17 @@ let recover_from_evidence t evidence =
           List.iter
             (fun payload ->
               match decode_proto payload with
-              | Prepare { view; seq; request } ->
+              | Prepare { view; seq; batch } ->
                 (* A Prepare is leader evidence only from that view's leader. *)
-                if att.owner = leader_of t view then consider ~view ~seq ~request
-              | Commit { view; seq; request } -> consider ~view ~seq ~request
+                if att.owner = leader_of t view then consider ~view ~seq ~batch
+              | Commit { view; seq; batch } -> consider ~view ~seq ~batch
               | Rvc _ | View_change _ | New_view _ -> ()
               | exception _ -> ())
             payloads)
       | Rvc _ | Prepare _ | Commit _ | New_view _ -> ()
       | exception _ -> ())
     evidence;
-  Hashtbl.fold (fun seq (_, request) acc -> (seq, request) :: acc) best []
+  Hashtbl.fold (fun seq (_, batch) acc -> (seq, batch) :: acc) best []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let evidence_valid t ~new_view evidence =
@@ -269,35 +354,45 @@ let adopt_new_view t ctx ~new_view evidence =
   t.recovered_bound <-
     List.fold_left (fun acc (seq, _) -> max acc seq) 0 recovered;
   List.iter
-    (fun (seq, (request : Command.signed_request)) ->
-      Hashtbl.replace t.expected seq (Command.digest request.value);
-      Hashtbl.replace t.proposed_keys (Command.key request.value) seq)
+    (fun (seq, (batch : Command.batch)) ->
+      Hashtbl.replace t.expected seq (Command.batch_digest batch);
+      List.iter
+        (fun key -> Hashtbl.replace t.proposed_keys key seq)
+        (Command.batch_keys batch))
     recovered;
   (* The new leader re-proposes everything recovered, then continues with
-     fresh sequence numbers for still-pending requests. *)
+     fresh sequence numbers for still-pending requests (batched, drained
+     immediately in deterministic key order). *)
   if t.self = leader_of t new_view then begin
     t.next_seq <- t.recovered_bound + 1;
     List.iter
-      (fun (seq, request) ->
-        seal_and_send t ctx (Prepare { view = new_view; seq; request }))
+      (fun (seq, batch) ->
+        seal_and_send t ctx (Prepare { view = new_view; seq; batch }))
       recovered;
-    Hashtbl.iter
-      (fun key (request, _) ->
-        if not (Hashtbl.mem t.proposed_keys key) then begin
-          let seq = t.next_seq in
-          t.next_seq <- seq + 1;
-          Hashtbl.replace t.proposed_keys key seq;
-          seal_and_send t ctx (Prepare { view = new_view; seq; request })
+    let unproposed =
+      Hashtbl.fold
+        (fun key (request, _) acc ->
+          if Hashtbl.mem t.proposed_keys key then acc
+          else (key, request) :: acc)
+        t.pending []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter
+      (fun (key, sr) ->
+        if not (Hashtbl.mem t.queued key) then begin
+          Hashtbl.replace t.queued key ();
+          Queue.push sr t.queue
         end)
-      t.pending
+      unproposed;
+    flush_queue t ctx ~force:true
   end
 
 let handle_proto t (ctx : msg Thc_sim.Engine.ctx) ~owner payload =
   match decode_proto payload with
-  | Prepare { view; seq; request } -> handle_prepare t ctx ~owner ~view ~seq ~request
-  | Commit { view; seq; request } ->
-    if Command.valid t.keyring request then
-      record_commit t ctx ~view ~seq ~request ~voter:owner
+  | Prepare { view; seq; batch } -> handle_prepare t ctx ~owner ~view ~seq ~batch
+  | Commit { view; seq; batch } ->
+    if Command.batch_valid t.keyring batch then
+      record_commit t ctx ~view ~seq ~batch ~voter:owner
   | Rvc { new_view } ->
     if new_view > t.view then begin
       let tbl = rvc_supporters t new_view in
@@ -372,12 +467,7 @@ let handle_request t (ctx : msg Thc_sim.Engine.ctx) sr =
         t.self = leader_of t t.view
         && t.status = Normal
         && not (Hashtbl.mem t.proposed_keys key)
-      then begin
-        let seq = t.next_seq in
-        t.next_seq <- seq + 1;
-        Hashtbl.replace t.proposed_keys key seq;
-        seal_and_send t ctx (Prepare { view = t.view; seq; request = sr })
-      end
+      then enqueue_request t ctx sr
     end
     else
       (* Already executed: re-reply (client retransmission). *)
@@ -423,16 +513,29 @@ let replica t : msg Thc_sim.Engine.behavior =
         | Sealed att -> handle_sealed t ctx att
         | Reply _ -> ());
     on_timer =
-      (fun ctx tag -> if tag = check_timer_tag then handle_check t ctx);
+      (fun ctx tag ->
+        if tag = check_timer_tag then handle_check t ctx
+        else if tag = batch_timer_tag then begin
+          t.batch_armed <- false;
+          if t.self = leader_of t t.view && t.status = Normal then
+            flush_queue t ctx ~force:true
+        end);
   }
 
-let client ~config ~keyring:_ ~ident ~plan : msg Thc_sim.Engine.behavior =
-  Client_core.behavior ~n_replicas:config.n ~quorum:(config.f + 1) ~ident ~plan
+let client ~rid_base ~config ~keyring:_ ~ident ~plan :
+    msg Thc_sim.Engine.behavior =
+  Client_core.behavior ~rid_base ~n_replicas:config.n ~quorum:(config.f + 1)
+    ~ident ~plan
     ~wrap:(fun sr -> Request sr)
     ~unwrap:(function Reply r -> Some r | Request _ | Sealed _ -> None)
 
+let wrap_request sr = Request sr
+let unwrap_reply = function Reply r -> Some r | Request _ | Sealed _ -> None
+
 let adversarial_prepare ~out ~view ~seq ~request =
-  Sealed (Attested_link.Out.seal out (encode_proto (Prepare { view; seq; request })))
+  Sealed
+    (Attested_link.Out.seal out
+       (encode_proto (Prepare { view; seq; batch = [ request ] })))
 
 let classify_msg = function
   | Request _ -> "request"

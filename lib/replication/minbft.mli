@@ -8,13 +8,16 @@
     message phases — against PBFT's 2f+1-of-3f+1 and three phases
     ({!Pbft} is the baseline; bench group [smr/*] compares them).
 
-    Normal case: the view's leader assigns sequence numbers and seals
-    [Prepare(view, seq, request)]; every replica that accepts it (in the
-    leader's stream order) seals [Commit(view, seq, request)]; a request
+    Normal case: the view's leader packs pending requests into batches (up
+    to [batch_size] per slot, partial batches flushed after [batch_delay])
+    and seals [Prepare(view, seq, batch)]; every replica that accepts it (in
+    the leader's stream order) seals [Commit(view, seq, batch)]; a batch
     commits at a replica once f+1 distinct replicas' messages for it are in
-    (the leader's Prepare counting as its commit).  Execution is in
-    sequence order against {!Kv_store}; replicas reply directly to the
-    client, which waits for f+1 matching replies.
+    (the leader's Prepare counting as its commit).  One attestation covers
+    the whole batch, so trusted ops per committed request fall as batches
+    grow.  Execution applies batch members in order against {!Kv_store};
+    replicas reply directly to each request's client, which waits for f+1
+    matching replies.
 
     View change (the audited part that makes f+1 quorums safe): on request
     timeout a replica seals [Rvc(v+1)]; on f+1 matching Rvcs it seals
@@ -34,6 +37,11 @@ type config = {
   f : int;  (** Fault bound; requires [n = 2f+1] (checked). *)
   request_timeout : int64;  (** µs before a pending request triggers Rvc. *)
   check_interval : int64;  (** µs between timeout scans. *)
+  batch_size : int;
+      (** Max requests the leader packs into one Prepare; each batch costs a
+          single trusted-counter attestation, so larger batches amortize
+          trusted ops across requests. *)
+  batch_delay : int64;  (** µs a partial batch waits before being flushed. *)
 }
 
 val default_config : f:int -> config
@@ -53,6 +61,7 @@ val replica : t -> msg Thc_sim.Engine.behavior
 (** Emits [Obs.Committed] and [Obs.Executed] per operation. *)
 
 val client :
+  rid_base:int ->
   config:config ->
   keyring:Thc_crypto.Keyring.t ->
   ident:Thc_crypto.Keyring.secret ->
@@ -60,7 +69,16 @@ val client :
   msg Thc_sim.Engine.behavior
 (** Sends each planned request to all replicas at its time, waits for f+1
     matching replies, and emits [Obs.Client_done] with the end-to-end
-    latency. *)
+    latency.  [rid_base] offsets request ids so concurrent
+    clients keep disjoint rid ranges (see {!Client_core.behavior}). *)
+
+val wrap_request : Command.signed_request -> msg
+(** Wire-wrap a client request — lets external traffic generators (e.g.
+    {!Thc_workload.Traffic}) drive the cluster without access to the
+    concrete message type. *)
+
+val unwrap_reply : msg -> Command.reply option
+(** Inverse filter for client-side reply collection. *)
 
 val view_of : t -> int
 val executed_upto : t -> int

@@ -3,6 +3,8 @@ type config = {
   f : int;
   request_timeout : int64;
   check_interval : int64;
+  batch_size : int;
+  batch_delay : int64;
 }
 
 let default_config ~f =
@@ -11,28 +13,30 @@ let default_config ~f =
     f;
     request_timeout = 30_000L;
     check_interval = 10_000L;
+    batch_size = 1;
+    batch_delay = 2_000L;
   }
 
 type cert = {
   cview : int;
   cseq : int;
-  crequest : Command.signed_request;
+  cbatch : Command.batch;
   preprepare_sig : Thc_crypto.Signature.t;
   prepares : Thc_crypto.Signature.t list;  (* over ("prepare", view, seq, digest) *)
 }
 
-(* Proof that a request actually committed: 2f+1 signatures over the Commit
+(* Proof that a batch actually committed: 2f+1 signatures over the Commit
    proto value.  Shipped in view changes so a new leader can neither reuse
-   a committed sequence number nor lose a committed request. *)
+   a committed sequence number nor lose a committed batch. *)
 type final_cert = {
   fview : int;
   fseq : int;
-  frequest : Command.signed_request;
+  fbatch : Command.batch;
   commits : Thc_crypto.Signature.t list;
 }
 
 type proto =
-  | Pre_prepare of { view : int; seq : int; request : Command.signed_request }
+  | Pre_prepare of { view : int; seq : int; batch : Command.batch }
   | Prepare of { view : int; seq : int; digest : int64 }
   | Commit of { view : int; seq : int; digest : int64 }
   | View_change of { new_view : int; certs : cert list; finals : final_cert list }
@@ -46,9 +50,9 @@ type msg =
   | Reply of Command.reply
 
 let pp_proto ppf = function
-  | Pre_prepare { view; seq; request } ->
-    Format.fprintf ppf "pre-prepare(v%d,s%d,%a)" view seq Command.pp
-      request.Thc_crypto.Signature.value
+  | Pre_prepare { view; seq; batch } ->
+    Format.fprintf ppf "pre-prepare(v%d,s%d,%a)" view seq Command.pp_batch
+      batch
   | Prepare { view; seq; _ } -> Format.fprintf ppf "prepare(v%d,s%d)" view seq
   | Commit { view; seq; _ } -> Format.fprintf ppf "commit(v%d,s%d)" view seq
   | View_change { new_view; certs; finals } ->
@@ -65,6 +69,8 @@ let pp_msg ppf = function
 
 let check_timer_tag = 1_000_000
 
+let batch_timer_tag = 1_000_001
+
 type status = Normal | Changing of int
 
 type t = {
@@ -76,16 +82,20 @@ type t = {
   mutable view : int;
   mutable status : status;
   mutable next_seq : int;
-  preprepares : (int * int, Command.signed_request * Thc_crypto.Signature.t) Hashtbl.t;
+  preprepares : (int * int, Command.batch * Thc_crypto.Signature.t) Hashtbl.t;
       (* (view, seq) -> first pre-prepare and the leader's signature *)
   prepare_votes : (int * int * int64, (int, Thc_crypto.Signature.t) Hashtbl.t) Hashtbl.t;
   commit_votes : (int * int * int64, (int, Thc_crypto.Signature.t) Hashtbl.t) Hashtbl.t;
   prepare_sent : (int * int, unit) Hashtbl.t;
   commit_sent : (int * int, unit) Hashtbl.t;
   mutable prepared : (int * int, cert) Hashtbl.t;
-  committed : (int, Command.signed_request) Hashtbl.t;
+  committed : (int, Command.batch) Hashtbl.t;
   commit_certs : (int, final_cert) Hashtbl.t;
-  mutable exec_upto : int;
+  mutable exec_upto : int;  (* highest executed slot *)
+  mutable exec_count : int;  (* dense per-request execution index *)
+  queue : Command.signed_request Queue.t;
+  queued : (int * int, unit) Hashtbl.t;
+  mutable batch_armed : bool;
   pending : (int * int, Command.signed_request * int64) Hashtbl.t;
   proposed_keys : (int * int, int) Hashtbl.t;
   executed : (int * int, string) Hashtbl.t;
@@ -120,6 +130,10 @@ let create_replica ~config ~keyring ~ident ~self =
     committed = Hashtbl.create 64;
     commit_certs = Hashtbl.create 64;
     exec_upto = 0;
+    exec_count = 0;
+    queue = Queue.create ();
+    queued = Hashtbl.create 64;
+    batch_armed = false;
     pending = Hashtbl.create 64;
     proposed_keys = Hashtbl.create 64;
     executed = Hashtbl.create 64;
@@ -152,57 +166,67 @@ let table tbl key mk =
 
 (* --- execution (same discipline as Minbft) ------------------------------ *)
 
+let execute_one t (ctx : msg Thc_sim.Engine.ctx) (sr : Command.signed_request)
+    =
+  let key = Command.key sr.value in
+  let result =
+    match Hashtbl.find_opt t.executed key with
+    | Some r -> r
+    | None ->
+      let r =
+        Kv_store.encode_result
+          (Kv_store.apply t.store (Kv_store.decode_op sr.value.op))
+      in
+      Hashtbl.replace t.executed key r;
+      r
+  in
+  Hashtbl.remove t.pending key;
+  t.exec_count <- t.exec_count + 1;
+  ctx.output
+    (Thc_sim.Obs.Executed { seq = t.exec_count; op = sr.value.op; result });
+  ctx.send sr.value.client
+    (Reply { replica = t.self; rid = sr.value.rid; result })
+
 let rec try_execute t (ctx : msg Thc_sim.Engine.ctx) =
   match Hashtbl.find_opt t.committed (t.exec_upto + 1) with
   | None -> ()
-  | Some sr ->
-    let seq = t.exec_upto + 1 in
-    t.exec_upto <- seq;
-    let key = Command.key sr.value in
-    let result =
-      match Hashtbl.find_opt t.executed key with
-      | Some r -> r
-      | None ->
-        let r =
-          Kv_store.encode_result
-            (Kv_store.apply t.store (Kv_store.decode_op sr.value.op))
-        in
-        Hashtbl.replace t.executed key r;
-        r
-    in
-    Hashtbl.remove t.pending key;
-    ctx.output (Thc_sim.Obs.Executed { seq; op = sr.value.op; result });
-    ctx.send sr.value.client
-      (Reply { replica = t.self; rid = sr.value.rid; result });
+  | Some batch ->
+    t.exec_upto <- t.exec_upto + 1;
+    List.iter (execute_one t ctx) batch;
     try_execute t ctx
+
+let committed_op (batch : Command.batch) =
+  match batch with
+  | [ sr ] -> sr.Thc_crypto.Signature.value.op
+  | _ ->
+    Thc_util.Codec.encode
+      (List.map (fun (sr : Command.signed_request) -> sr.value.op) batch)
 
 let try_commit t ctx ~view ~seq ~digest =
   match Hashtbl.find_opt t.preprepares (view, seq) with
-  | Some (request, _)
-    when Command.digest request.Thc_crypto.Signature.value = digest ->
+  | Some (batch, _) when Command.batch_digest batch = digest ->
     let votes = table t.commit_votes (view, seq, digest) (fun () -> Hashtbl.create 8) in
     if
       Hashtbl.length votes >= (2 * t.config.f) + 1
       && not (Hashtbl.mem t.committed seq)
     then begin
-      Hashtbl.replace t.committed seq request;
+      Hashtbl.replace t.committed seq batch;
       Hashtbl.replace t.commit_certs seq
         {
           fview = view;
           fseq = seq;
-          frequest = request;
+          fbatch = batch;
           commits = Hashtbl.fold (fun _ s acc -> s :: acc) votes [];
         };
       ctx.Thc_sim.Engine.output
-        (Thc_sim.Obs.Committed { view; seq; op = request.value.op });
+        (Thc_sim.Obs.Committed { view; seq; op = committed_op batch });
       try_execute t ctx
     end
   | Some _ | None -> ()
 
 let try_prepare t ctx ~view ~seq ~digest =
   match Hashtbl.find_opt t.preprepares (view, seq) with
-  | Some (request, preprepare_sig)
-    when Command.digest request.Thc_crypto.Signature.value = digest ->
+  | Some (batch, preprepare_sig) when Command.batch_digest batch = digest ->
     let votes = table t.prepare_votes (view, seq, digest) (fun () -> Hashtbl.create 8) in
     if
       Hashtbl.length votes >= 2 * t.config.f
@@ -210,7 +234,7 @@ let try_prepare t ctx ~view ~seq ~digest =
     then begin
       let prepares = Hashtbl.fold (fun _ s acc -> s :: acc) votes [] in
       Hashtbl.replace t.prepared (view, seq)
-        { cview = view; cseq = seq; crequest = request; preprepare_sig; prepares };
+        { cview = view; cseq = seq; cbatch = batch; preprepare_sig; prepares };
       if not (Hashtbl.mem t.commit_sent (view, seq)) then begin
         Hashtbl.replace t.commit_sent (view, seq) ();
         send_signed t ctx (Commit { view; seq; digest })
@@ -218,24 +242,71 @@ let try_prepare t ctx ~view ~seq ~digest =
     end
   | Some _ | None -> ()
 
-let proposal_acceptable t ~seq ~(request : Command.signed_request) =
+let proposal_acceptable t ~seq ~(batch : Command.batch) =
   (match Hashtbl.find_opt t.committed seq with
-  | Some sr -> Command.digest sr.value = Command.digest request.value
+  | Some b -> Command.batch_digest b = Command.batch_digest batch
   | None -> true)
   && (seq > t.recovered_bound
      ||
      match Hashtbl.find_opt t.expected seq with
-     | Some d -> d = Command.digest request.value
+     | Some d -> d = Command.batch_digest batch
      | None -> false)
+
+(* --- leader batching (same discipline as Minbft) ------------------------ *)
+
+let propose_batch t ctx (batch : Command.batch) =
+  if batch <> [] then begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    List.iter
+      (fun key -> Hashtbl.replace t.proposed_keys key seq)
+      (Command.batch_keys batch);
+    send_signed t ctx (Pre_prepare { view = t.view; seq; batch })
+  end
+
+let rec take_batch t acc k =
+  if k = 0 || Queue.is_empty t.queue then List.rev acc
+  else begin
+    let sr = Queue.pop t.queue in
+    let key = Command.key sr.Thc_crypto.Signature.value in
+    Hashtbl.remove t.queued key;
+    if Hashtbl.mem t.proposed_keys key || Hashtbl.mem t.executed key then
+      take_batch t acc k
+    else take_batch t (sr :: acc) (k - 1)
+  end
+
+let rec flush_queue t ctx ~force =
+  if
+    Queue.length t.queue >= t.config.batch_size
+    || (force && not (Queue.is_empty t.queue))
+  then begin
+    propose_batch t ctx (take_batch t [] t.config.batch_size);
+    flush_queue t ctx ~force
+  end
+
+let arm_batch_timer t (ctx : msg Thc_sim.Engine.ctx) =
+  if (not t.batch_armed) && not (Queue.is_empty t.queue) then begin
+    t.batch_armed <- true;
+    ctx.set_timer ~delay:t.config.batch_delay ~tag:batch_timer_tag
+  end
+
+let enqueue_request t ctx (sr : Command.signed_request) =
+  let key = Command.key sr.Thc_crypto.Signature.value in
+  if not (Hashtbl.mem t.queued key) then begin
+    Hashtbl.replace t.queued key ();
+    Queue.push sr t.queue
+  end;
+  flush_queue t ctx ~force:false;
+  arm_batch_timer t ctx
 
 (* --- view change -------------------------------------------------------- *)
 
 let cert_valid t (c : cert) =
-  let digest = Command.digest c.crequest.value in
-  Command.valid t.keyring c.crequest
+  let digest = Command.batch_digest c.cbatch in
+  Command.batch_valid t.keyring c.cbatch
   && c.preprepare_sig.signer = leader_of t c.cview
   && Thc_crypto.Signature.verify_value t.keyring c.preprepare_sig
-       (Pre_prepare { view = c.cview; seq = c.cseq; request = c.crequest })
+       (Pre_prepare { view = c.cview; seq = c.cseq; batch = c.cbatch })
   &&
   let valid_prepares =
     List.filter
@@ -251,8 +322,8 @@ let cert_valid t (c : cert) =
   >= 2 * t.config.f
 
 let final_valid t (c : final_cert) =
-  let digest = Command.digest c.frequest.value in
-  Command.valid t.keyring c.frequest
+  let digest = Command.batch_digest c.fbatch in
+  Command.batch_valid t.keyring c.fbatch
   &&
   let valid_commits =
     List.filter
@@ -277,26 +348,26 @@ let vc_valid t ~new_view (w : wire) =
   | Pre_prepare _ | Prepare _ | Commit _ | New_view _ -> false
 
 let recover_from_vcs view_changes =
-  let best : (int, int * Command.signed_request) Hashtbl.t = Hashtbl.create 32 in
-  let consider ~view ~seq ~request =
+  let best : (int, int * Command.batch) Hashtbl.t = Hashtbl.create 32 in
+  let consider ~view ~seq ~batch =
     match Hashtbl.find_opt best seq with
     | Some (v, _) when v >= view -> ()
-    | Some _ | None -> Hashtbl.replace best seq (view, request)
+    | Some _ | None -> Hashtbl.replace best seq (view, batch)
   in
   List.iter
     (fun (w : wire) ->
       match w.value with
       | View_change { certs; finals; _ } ->
         List.iter
-          (fun c -> consider ~view:c.cview ~seq:c.cseq ~request:c.crequest)
+          (fun c -> consider ~view:c.cview ~seq:c.cseq ~batch:c.cbatch)
           certs;
         (* Commit proofs are final: they outrank any prepared cert. *)
         List.iter
-          (fun c -> consider ~view:max_int ~seq:c.fseq ~request:c.frequest)
+          (fun c -> consider ~view:max_int ~seq:c.fseq ~batch:c.fbatch)
           finals
       | Pre_prepare _ | Prepare _ | Commit _ | New_view _ -> ())
     view_changes;
-  Hashtbl.fold (fun seq (_, request) acc -> (seq, request) :: acc) best []
+  Hashtbl.fold (fun seq (_, batch) acc -> (seq, batch) :: acc) best []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* Forward reference: adopting a view replays buffered wires through the
@@ -328,9 +399,11 @@ let adopt_new_view t ctx ~new_view view_changes =
   t.recovered_bound <-
     List.fold_left (fun acc (seq, _) -> max acc seq) 0 recovered;
   List.iter
-    (fun (seq, (request : Command.signed_request)) ->
-      Hashtbl.replace t.expected seq (Command.digest request.value);
-      Hashtbl.replace t.proposed_keys (Command.key request.value) seq)
+    (fun (seq, (batch : Command.batch)) ->
+      Hashtbl.replace t.expected seq (Command.batch_digest batch);
+      List.iter
+        (fun key -> Hashtbl.replace t.proposed_keys key seq)
+        (Command.batch_keys batch))
     recovered;
   let gaps =
     List.filter
@@ -340,30 +413,38 @@ let adopt_new_view t ctx ~new_view view_changes =
   List.iter
     (fun seq ->
       Hashtbl.replace t.expected seq
-        (Command.digest (noop_request_value t ~new_view ~seq)))
+        (Command.batch_digest_of_requests [ noop_request_value t ~new_view ~seq ]))
     gaps;
   if t.self = leader_of t new_view then begin
     t.next_seq <- t.recovered_bound + 1;
     List.iter
-      (fun (seq, request) ->
-        send_signed t ctx (Pre_prepare { view = new_view; seq; request }))
+      (fun (seq, batch) ->
+        send_signed t ctx (Pre_prepare { view = new_view; seq; batch }))
       recovered;
     List.iter
       (fun seq ->
         let request =
           Thc_crypto.Signature.seal t.ident (noop_request_value t ~new_view ~seq)
         in
-        send_signed t ctx (Pre_prepare { view = new_view; seq; request }))
+        send_signed t ctx
+          (Pre_prepare { view = new_view; seq; batch = [ request ] }))
       gaps;
-    Hashtbl.iter
-      (fun key (request, _) ->
-        if not (Hashtbl.mem t.proposed_keys key) then begin
-          let seq = t.next_seq in
-          t.next_seq <- seq + 1;
-          Hashtbl.replace t.proposed_keys key seq;
-          send_signed t ctx (Pre_prepare { view = new_view; seq; request })
+    let unproposed =
+      Hashtbl.fold
+        (fun key (request, _) acc ->
+          if Hashtbl.mem t.proposed_keys key then acc
+          else (key, request) :: acc)
+        t.pending []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter
+      (fun (key, sr) ->
+        if not (Hashtbl.mem t.queued key) then begin
+          Hashtbl.replace t.queued key ();
+          Queue.push sr t.queue
         end)
-      t.pending
+      unproposed;
+    flush_queue t ctx ~force:true
   end;
   (* Replay re-proposals that raced ahead of this New_view. *)
   match Hashtbl.find_opt t.future_pp new_view with
@@ -388,7 +469,7 @@ let handle_wire t (ctx : msg Thc_sim.Engine.ctx) (w : wire) =
   if Thc_crypto.Signature.sealed_ok t.keyring w then begin
     let signer = w.signature.signer in
     match w.value with
-    | Pre_prepare { view; seq; request } ->
+    | Pre_prepare { view; seq; batch } ->
       if signer = leader_of t view && view > t.view then begin
         let buffered = Option.value ~default:[] (Hashtbl.find_opt t.future_pp view) in
         Hashtbl.replace t.future_pp view (w :: buffered)
@@ -397,13 +478,15 @@ let handle_wire t (ctx : msg Thc_sim.Engine.ctx) (w : wire) =
         signer = leader_of t view
         && view = t.view
         && t.status = Normal
-        && Command.valid t.keyring request
+        && Command.batch_valid t.keyring batch
         && (not (Hashtbl.mem t.preprepares (view, seq)))
-        && proposal_acceptable t ~seq ~request
+        && proposal_acceptable t ~seq ~batch
       then begin
-        Hashtbl.replace t.preprepares (view, seq) (request, w.signature);
-        Hashtbl.replace t.proposed_keys (Command.key request.value) seq;
-        let digest = Command.digest request.value in
+        Hashtbl.replace t.preprepares (view, seq) (batch, w.signature);
+        List.iter
+          (fun key -> Hashtbl.replace t.proposed_keys key seq)
+          (Command.batch_keys batch);
+        let digest = Command.batch_digest batch in
         if
           t.self <> leader_of t view
           && not (Hashtbl.mem t.prepare_sent (view, seq))
@@ -482,12 +565,7 @@ let handle_request t (ctx : msg Thc_sim.Engine.ctx) sr =
         t.self = leader_of t t.view
         && t.status = Normal
         && not (Hashtbl.mem t.proposed_keys key)
-      then begin
-        let seq = t.next_seq in
-        t.next_seq <- seq + 1;
-        Hashtbl.replace t.proposed_keys key seq;
-        send_signed t ctx (Pre_prepare { view = t.view; seq; request = sr })
-      end
+      then enqueue_request t ctx sr
   end
 
 let handle_check t (ctx : msg Thc_sim.Engine.ctx) =
@@ -521,13 +599,24 @@ let replica t : msg Thc_sim.Engine.behavior =
         | Signed w -> handle_wire t ctx w
         | Reply _ -> ());
     on_timer =
-      (fun ctx tag -> if tag = check_timer_tag then handle_check t ctx);
+      (fun ctx tag ->
+        if tag = check_timer_tag then handle_check t ctx
+        else if tag = batch_timer_tag then begin
+          t.batch_armed <- false;
+          if t.self = leader_of t t.view && t.status = Normal then
+            flush_queue t ctx ~force:true
+        end);
   }
 
-let client ~config ~keyring:_ ~ident ~plan : msg Thc_sim.Engine.behavior =
-  Client_core.behavior ~n_replicas:config.n ~quorum:(config.f + 1) ~ident ~plan
+let client ~rid_base ~config ~keyring:_ ~ident ~plan :
+    msg Thc_sim.Engine.behavior =
+  Client_core.behavior ~rid_base ~n_replicas:config.n ~quorum:(config.f + 1)
+    ~ident ~plan
     ~wrap:(fun sr -> Request sr)
     ~unwrap:(function Reply r -> Some r | Request _ | Signed _ -> None)
+
+let wrap_request sr = Request sr
+let unwrap_reply = function Reply r -> Some r | Request _ | Signed _ -> None
 
 let classify_msg = function
   | Request _ -> "request"

@@ -1,11 +1,12 @@
 (** PBFT-style replicated state machine (n = 3f+1) — the no-trusted-hardware
     baseline.
 
-    Castro–Liskov structure in its public-key variant, without checkpoints
-    or batching: the leader sends [PrePrepare(view, seq, request)]; replicas
-    send [Prepare]; a replica that holds the pre-prepare plus 2f matching
-    prepares is {e prepared} and sends [Commit]; 2f+1 matching commits make
-    the request committed.  View changes carry prepared certificates
+    Castro–Liskov structure in its public-key variant, without checkpoints:
+    the leader packs pending requests into batches (up to [batch_size] per
+    slot) and sends [PrePrepare(view, seq, batch)]; replicas send [Prepare]
+    over the batch digest; a replica that holds the pre-prepare plus 2f
+    matching prepares is {e prepared} and sends [Commit]; 2f+1 matching
+    commits make the batch committed.  View changes carry prepared certificates
     (pre-prepare plus 2f prepare signatures) and need 2f+1 view-change
     messages; quorum intersection (any two 2f+1 quorums of 3f+1 share a
     correct replica) does the work trusted counters do in {!Minbft}.
@@ -22,6 +23,8 @@ type config = {
   f : int;
   request_timeout : int64;
   check_interval : int64;
+  batch_size : int;  (** Max requests per Pre_prepare slot. *)
+  batch_delay : int64;  (** µs a partial batch waits before being flushed. *)
 }
 
 val default_config : f:int -> config
@@ -35,11 +38,20 @@ val create_replica :
 val replica : t -> msg Thc_sim.Engine.behavior
 
 val client :
+  rid_base:int ->
   config:config ->
   keyring:Thc_crypto.Keyring.t ->
   ident:Thc_crypto.Keyring.secret ->
   plan:(int64 * Kv_store.op) list ->
   msg Thc_sim.Engine.behavior
+(** [rid_base] offsets request ids so concurrent clients keep
+    disjoint rid ranges (see {!Client_core.behavior}). *)
+
+val wrap_request : Command.signed_request -> msg
+(** Wire-wrap a client request for external traffic generators (see
+    {!Minbft.wrap_request}). *)
+
+val unwrap_reply : msg -> Command.reply option
 
 val view_of : t -> int
 val executed_upto : t -> int

@@ -81,10 +81,10 @@ let check_state_determinism trace ~replicas =
     (Thc_sim.Trace.correct_pids trace);
   List.rev !violations
 
-let check_liveness trace ~clients ~expected =
+let check_liveness trace ~expected =
   let violations = ref [] in
   List.iter
-    (fun client ->
+    (fun (client, rids) ->
       let done_rids =
         List.filter_map
           (fun obs ->
@@ -93,17 +93,37 @@ let check_liveness trace ~clients ~expected =
             | _ -> None)
           (Thc_sim.Trace.outputs_of trace client)
       in
-      for rid = 0 to expected - 1 do
-        if not (List.mem rid done_rids) then
-          violations :=
-            {
-              property = `Liveness;
-              info = Printf.sprintf "client p%d request #%d incomplete" client rid;
-            }
-            :: !violations
-      done)
-    clients;
+      List.iter
+        (fun rid ->
+          if not (List.mem rid done_rids) then
+            violations :=
+              {
+                property = `Liveness;
+                info =
+                  Printf.sprintf "client p%d request #%d incomplete" client rid;
+              }
+              :: !violations)
+        rids)
+    expected;
   List.rev !violations
+
+let expect_range ~clients ~per_client ~first_client_pid =
+  List.init clients (fun i ->
+      ( first_client_pid + i,
+        List.init per_client (fun r -> (i * per_client) + r) ))
+
+let latencies_by_client trace =
+  let tbl : (int, float list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (_, pid, obs) ->
+      match (obs : Thc_sim.Obs.t) with
+      | Client_done { latency_us; _ } ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt tbl pid) in
+        Hashtbl.replace tbl pid (Int64.to_float latency_us :: prev)
+      | _ -> ())
+    (Thc_sim.Trace.outputs trace);
+  Hashtbl.fold (fun pid ls acc -> (pid, List.rev ls) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let client_latencies trace =
   List.filter_map

@@ -28,11 +28,22 @@ val check_state_determinism : 'm Thc_sim.Trace.t -> replicas:int -> violation li
     the committed history to one sequential execution of the service. *)
 
 val check_liveness :
-  'm Thc_sim.Trace.t -> clients:int list -> expected:int -> violation list
-(** Every client pid in [clients] completed requests [0 .. expected-1]. *)
+  'm Thc_sim.Trace.t -> expected:(int * int list) list -> violation list
+(** [expected] maps each client pid to the request ids it must have
+    completed; one violation per missing [Client_done]. *)
+
+val expect_range :
+  clients:int -> per_client:int -> first_client_pid:int -> (int * int list) list
+(** The {!check_liveness} expectation for the standard multi-client layout:
+    client [i] (pid [first_client_pid + i]) owns the contiguous rid block
+    [i * per_client .. (i+1) * per_client - 1]. *)
 
 val client_latencies : 'm Thc_sim.Trace.t -> float list
-(** All [Client_done] latencies, µs. *)
+(** All [Client_done] latencies, µs, across every client pid. *)
+
+val latencies_by_client : 'm Thc_sim.Trace.t -> (int * float list) list
+(** [Client_done] latencies grouped by the emitting client pid (sorted by
+    pid, latencies in completion order). *)
 
 val executed_count : 'm Thc_sim.Trace.t -> pid:int -> int
 

@@ -1,0 +1,328 @@
+module W = Workload
+module Minbft = Thc_replication.Minbft
+module Pbft = Thc_replication.Pbft
+module Smr_spec = Thc_replication.Smr_spec
+module J = Thc_obsv.Json
+
+let schema = "thc-loadtest/v1"
+
+type protocol = Minbft_protocol | Pbft_protocol
+
+let protocol_name = function
+  | Minbft_protocol -> "minbft"
+  | Pbft_protocol -> "pbft"
+
+type point = {
+  protocol : protocol;
+  f : int;
+  spec : W.spec;
+  batch : int;
+  seed : int64;
+  delay : Thc_sim.Delay.t;
+}
+
+type result = {
+  point : point;
+  replicas : int;
+  offered : int;
+  completed : int;
+  commits : int;
+  duration_us : int64;
+  makespan_us : int64;
+  throughput_rps : float;
+  latency : Thc_util.Stats.summary;
+  trusted_total : int;
+  trusted_per_commit : float;
+  trusted_per_request : float;
+  messages : int;
+  safety_violations : int;
+}
+
+(* Same layout as Harness: replicas at pids 0..n-1, clients at n..; client c
+   owns the contiguous rid block starting at [c * requests_per_client]. *)
+let client_behaviors (type m) p ~n ~keyring
+    ~(open_client :
+       rid_base:int ->
+       ident:Thc_crypto.Keyring.secret ->
+       plan:(int64 * Thc_replication.Kv_store.op) list ->
+       m Thc_sim.Engine.behavior)
+    ~(wrap : Thc_replication.Command.signed_request -> m)
+    ~(unwrap : m -> Thc_replication.Command.reply option) =
+  List.init p.spec.W.clients (fun c ->
+      let pid = n + c in
+      let ident = Thc_crypto.Keyring.secret keyring ~pid in
+      let rid_base = c * p.spec.W.requests_per_client in
+      let behavior =
+        match W.plan p.spec ~seed:p.seed ~client:c with
+        | Some plan -> open_client ~rid_base ~ident ~plan
+        | None ->
+          let window, think_us =
+            match p.spec.W.arrival with
+            | W.Closed { window; think_us } -> (window, think_us)
+            | W.Open_uniform _ | W.Open_poisson _ -> assert false
+          in
+          Traffic.closed_loop ~rid_base ~n_replicas:n ~quorum:(p.f + 1) ~ident
+            ~window ~think_us
+            ~ops:(W.ops p.spec ~seed:p.seed ~client:c)
+            ~wrap ~unwrap
+      in
+      (pid, behavior))
+
+let finish (type m) p ~(trace : m Thc_sim.Trace.t) ~replicas ~hw =
+  let latencies = Smr_spec.client_latencies trace in
+  let completed = List.length latencies in
+  let offered = W.total_requests p.spec in
+  let commits = Smr_spec.commits trace ~replicas in
+  (* Throughput over the makespan (time of the last completion), not the
+     trace end: replicas keep timeout-scan timers ticking until the horizon,
+     which would otherwise dilute the rate by idle drain time. *)
+  let makespan_us =
+    List.fold_left
+      (fun acc (t, ()) -> if Int64.compare t acc > 0 then t else acc)
+      0L
+      (Thc_sim.Trace.outputs_matching trace (fun _pid obs ->
+           match obs with Thc_sim.Obs.Client_done _ -> Some () | _ -> None))
+  in
+  let throughput_rps =
+    if completed = 0 || Int64.compare makespan_us 0L <= 0 then 0.0
+    else float_of_int completed /. (Int64.to_float makespan_us /. 1e6)
+  in
+  let trusted_total = Thc_obsv.Ledger.total hw in
+  {
+    point = p;
+    replicas;
+    offered;
+    completed;
+    commits;
+    duration_us = trace.Thc_sim.Trace.end_time;
+    makespan_us;
+    throughput_rps;
+    latency = Thc_util.Stats.summarize latencies;
+    trusted_total;
+    trusted_per_commit =
+      (if commits = 0 then 0.0
+       else float_of_int trusted_total /. float_of_int commits);
+    trusted_per_request =
+      (if completed = 0 then 0.0
+       else float_of_int trusted_total /. float_of_int completed);
+    messages = Thc_sim.Trace.messages_sent trace;
+    safety_violations =
+      List.length
+        (Smr_spec.check_safety trace ~replicas
+        @ Smr_spec.check_state_determinism trace ~replicas);
+  }
+
+let run_minbft p =
+  let config =
+    { (Minbft.default_config ~f:p.f) with batch_size = max 1 p.batch }
+  in
+  let n = config.n in
+  let total = n + p.spec.W.clients in
+  let rng = Thc_util.Rng.create p.seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:total in
+  let world = Thc_hardware.Trinc.create_world rng ~n in
+  let net = Thc_sim.Net.create ~n:total ~default:p.delay in
+  let engine = Thc_sim.Engine.create ~seed:p.seed ~n:total ~net () in
+  for self = 0 to n - 1 do
+    Thc_sim.Engine.set_behavior engine self
+      (Minbft.replica
+         (Minbft.create_replica ~config ~keyring ~world
+            ~trinket:(Thc_hardware.Trinc.trinket world ~owner:self)
+            ~self))
+  done;
+  List.iter
+    (fun (pid, b) -> Thc_sim.Engine.set_behavior engine pid b)
+    (client_behaviors p ~n ~keyring
+       ~open_client:(fun ~rid_base ~ident ~plan ->
+         Minbft.client ~rid_base ~config ~keyring ~ident ~plan)
+       ~wrap:Minbft.wrap_request ~unwrap:Minbft.unwrap_reply);
+  let trace =
+    Thc_sim.Engine.run ~until:(W.horizon_us p.spec) ~max_events:20_000_000
+      engine
+  in
+  finish p ~trace ~replicas:n ~hw:(Thc_hardware.Trinc.ledger world)
+
+let run_pbft p =
+  let config =
+    { (Pbft.default_config ~f:p.f) with batch_size = max 1 p.batch }
+  in
+  let n = config.n in
+  let total = n + p.spec.W.clients in
+  let rng = Thc_util.Rng.create p.seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:total in
+  let net = Thc_sim.Net.create ~n:total ~default:p.delay in
+  let engine = Thc_sim.Engine.create ~seed:p.seed ~n:total ~net () in
+  for self = 0 to n - 1 do
+    Thc_sim.Engine.set_behavior engine self
+      (Pbft.replica
+         (Pbft.create_replica ~config ~keyring
+            ~ident:(Thc_crypto.Keyring.secret keyring ~pid:self)
+            ~self))
+  done;
+  List.iter
+    (fun (pid, b) -> Thc_sim.Engine.set_behavior engine pid b)
+    (client_behaviors p ~n ~keyring
+       ~open_client:(fun ~rid_base ~ident ~plan ->
+         Pbft.client ~rid_base ~config ~keyring ~ident ~plan)
+       ~wrap:Pbft.wrap_request ~unwrap:Pbft.unwrap_reply);
+  let trace =
+    Thc_sim.Engine.run ~until:(W.horizon_us p.spec) ~max_events:20_000_000
+      engine
+  in
+  (* PBFT spends no trusted ops; an empty ledger keeps its rates at 0. *)
+  finish p ~trace ~replicas:n ~hw:(Thc_obsv.Ledger.create ())
+
+let run_point p =
+  W.validate p.spec;
+  match p.protocol with
+  | Minbft_protocol -> run_minbft p
+  | Pbft_protocol -> run_pbft p
+
+let sweep p ~arrivals ~batches =
+  List.concat_map
+    (fun arrival ->
+      List.map
+        (fun batch ->
+          run_point { p with batch; spec = { p.spec with W.arrival } })
+        batches)
+    arrivals
+
+(* --- JSONL export / parse ---------------------------------------------- *)
+
+let arrival_fields = function
+  | W.Open_uniform { rate_rps } -> ("open-uniform", rate_rps, 0, 0L)
+  | W.Open_poisson { rate_rps } -> ("open-poisson", rate_rps, 0, 0L)
+  | W.Closed { window; think_us } -> ("closed", 0.0, window, think_us)
+
+let result_to_json r =
+  let kind, rate_rps, window, think_us = arrival_fields r.point.spec.W.arrival in
+  J.Obj
+    [
+      ("type", J.Str "point");
+      ("protocol", J.Str (protocol_name r.point.protocol));
+      ("f", J.Int r.point.f);
+      ("arrival", J.Str kind);
+      ("rate_rps", J.Float rate_rps);
+      ("window", J.Int window);
+      ("think_us", J.Int (Int64.to_int think_us));
+      ("batch", J.Int r.point.batch);
+      ("clients", J.Int r.point.spec.W.clients);
+      ("requests_per_client", J.Int r.point.spec.W.requests_per_client);
+      ("offered", J.Int r.offered);
+      ("completed", J.Int r.completed);
+      ("commits", J.Int r.commits);
+      ("duration_us", J.Int (Int64.to_int r.duration_us));
+      ("makespan_us", J.Int (Int64.to_int r.makespan_us));
+      ("throughput_rps", J.Float r.throughput_rps);
+      ("latency_mean_us", J.Float r.latency.Thc_util.Stats.mean);
+      ("latency_p50_us", J.Float r.latency.Thc_util.Stats.p50);
+      ("latency_p90_us", J.Float r.latency.Thc_util.Stats.p90);
+      ("latency_p99_us", J.Float r.latency.Thc_util.Stats.p99);
+      ("trusted_total", J.Int r.trusted_total);
+      ("trusted_per_commit", J.Float r.trusted_per_commit);
+      ("trusted_per_request", J.Float r.trusted_per_request);
+      ("messages", J.Int r.messages);
+      ("safety_violations", J.Int r.safety_violations);
+    ]
+
+let export ~seed results =
+  let b = Buffer.create 4096 in
+  let line j =
+    Buffer.add_string b (J.to_string j);
+    Buffer.add_char b '\n'
+  in
+  line
+    (J.Obj
+       [
+         ("type", J.Str "loadtest");
+         ("schema", J.Str schema);
+         ("seed", J.Int (Int64.to_int seed));
+         ("points", J.Int (List.length results));
+       ]);
+  List.iter (fun r -> line (result_to_json r)) results;
+  Buffer.contents b
+
+type row = {
+  r_protocol : string;
+  r_arrival : string;
+  r_rate_rps : float;
+  r_window : int;
+  r_batch : int;
+  r_clients : int;
+  r_offered : int;
+  r_completed : int;
+  r_commits : int;
+  r_throughput_rps : float;
+  r_mean_us : float;
+  r_p50_us : float;
+  r_p99_us : float;
+  r_trusted_total : int;
+  r_trusted_per_commit : float;
+  r_trusted_per_request : float;
+  r_messages : int;
+  r_safety : int;
+}
+
+let row_of_json j =
+  let str k = Option.bind (J.member k j) J.to_str in
+  let int k = Option.value ~default:0 (Option.bind (J.member k j) J.to_int) in
+  let flt k =
+    Option.value ~default:0.0 (Option.bind (J.member k j) J.to_float)
+  in
+  match (str "protocol", str "arrival") with
+  | Some r_protocol, Some r_arrival ->
+    Some
+      {
+        r_protocol;
+        r_arrival;
+        r_rate_rps = flt "rate_rps";
+        r_window = int "window";
+        r_batch = int "batch";
+        r_clients = int "clients";
+        r_offered = int "offered";
+        r_completed = int "completed";
+        r_commits = int "commits";
+        r_throughput_rps = flt "throughput_rps";
+        r_mean_us = flt "latency_mean_us";
+        r_p50_us = flt "latency_p50_us";
+        r_p99_us = flt "latency_p99_us";
+        r_trusted_total = int "trusted_total";
+        r_trusted_per_commit = flt "trusted_per_commit";
+        r_trusted_per_request = flt "trusted_per_request";
+        r_messages = int "messages";
+        r_safety = int "safety_violations";
+      }
+  | _ -> None
+
+let parse text =
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' text)
+  in
+  match lines with
+  | [] -> Error "empty loadtest export"
+  | header :: rest -> (
+    match J.parse header with
+    | Error e -> Error (Printf.sprintf "bad header: %s" e)
+    | Ok h -> (
+      match
+        (Option.bind (J.member "type" h) J.to_str,
+         Option.bind (J.member "schema" h) J.to_str)
+      with
+      | Some "loadtest", Some s when s = schema ->
+        let rows =
+          List.filter_map
+            (fun l ->
+              match J.parse l with
+              | Error _ -> None
+              | Ok j -> (
+                match Option.bind (J.member "type" j) J.to_str with
+                | Some "point" -> row_of_json j
+                | _ -> None))
+            rest
+        in
+        Ok rows
+      | Some "loadtest", Some s ->
+        Error (Printf.sprintf "schema mismatch: got %s, want %s" s schema)
+      | _ -> Error "not a loadtest export (missing type/schema header)"))

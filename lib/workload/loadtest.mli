@@ -1,0 +1,91 @@
+(** Throughput–latency sweeps over the replication protocols.
+
+    A {!point} pins one experiment configuration (protocol, fault bound,
+    workload spec, batch size, seed, link delays); {!run_point} assembles
+    the cluster in the deterministic simulator, drives the workload's
+    clients against it, and reduces the trace to one {!result} of
+    throughput, latency quantiles and trusted-operation rates.  {!sweep}
+    runs the (arrival × batch) grid that backs the paper-style
+    throughput–latency curves and the batching ablation (one trusted
+    attestation per {e batch} in MinBFT, so trusted ops per committed
+    request fall as batches grow).
+
+    Results export to a JSONL document ([{!schema}] header line plus one
+    [point] object per result) that {!parse} reads back for the
+    [thc report loadtest] view. *)
+
+type protocol = Minbft_protocol | Pbft_protocol
+
+val protocol_name : protocol -> string
+
+type point = {
+  protocol : protocol;
+  f : int;
+  spec : Workload.spec;
+  batch : int;  (** Leader batch size (clamped to ≥ 1). *)
+  seed : int64;
+  delay : Thc_sim.Delay.t;
+}
+
+type result = {
+  point : point;
+  replicas : int;
+  offered : int;  (** Requests the workload generated. *)
+  completed : int;  (** Requests that reached a client quorum. *)
+  commits : int;  (** Consensus slots (batches) committed. *)
+  duration_us : int64;  (** Trace end time (includes idle drain). *)
+  makespan_us : int64;  (** Time of the last client completion. *)
+  throughput_rps : float;  (** [completed / makespan]. *)
+  latency : Thc_util.Stats.summary;  (** End-to-end request latencies, µs. *)
+  trusted_total : int;
+  trusted_per_commit : float;
+  trusted_per_request : float;
+  messages : int;
+  safety_violations : int;
+}
+
+val run_point : point -> result
+(** Deterministic: a given point always yields the same result.  Raises
+    [Invalid_argument] on a malformed workload spec. *)
+
+val sweep :
+  point -> arrivals:Workload.arrival list -> batches:int list -> result list
+(** [run_point] over the full (arrival × batch) grid, arrival-major, with
+    every other field taken from the template point. *)
+
+(** {1 JSONL export} *)
+
+val schema : string
+(** ["thc-loadtest/v1"]. *)
+
+val export : seed:int64 -> result list -> string
+(** Header line (type/schema/seed/point count) then one canonical-JSON
+    [point] line per result.  Byte-deterministic. *)
+
+type row = {
+  r_protocol : string;
+  r_arrival : string;
+  r_rate_rps : float;
+  r_window : int;
+  r_batch : int;
+  r_clients : int;
+  r_offered : int;
+  r_completed : int;
+  r_commits : int;
+  r_throughput_rps : float;
+  r_mean_us : float;
+  r_p50_us : float;
+  r_p99_us : float;
+  r_trusted_total : int;
+  r_trusted_per_commit : float;
+  r_trusted_per_request : float;
+  r_messages : int;
+  r_safety : int;
+}
+(** One parsed [point] line — what the report view renders. *)
+
+val parse : string -> (row list, string) Stdlib.result
+(** Read an {!export}ed document back; rejects missing or mismatched
+    schema headers and skips unknown line types. *)
+
+val result_to_json : result -> Thc_obsv.Json.t

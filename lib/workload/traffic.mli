@@ -1,0 +1,26 @@
+(** Closed-loop client behavior.
+
+    Where {!Thc_replication.Client_core.behavior} replays a fixed
+    time-stamped plan (open loop — arrivals ignore the system's state), a
+    closed-loop client keeps a fixed number of requests outstanding and
+    issues the next one only when a previous one completes, optionally
+    after a think time.  Closed loops self-clock: they measure the system
+    at its natural saturation point instead of at a chosen offered rate. *)
+
+val closed_loop :
+  rid_base:int ->
+  n_replicas:int ->
+  quorum:int ->
+  ident:Thc_crypto.Keyring.secret ->
+  window:int ->
+  think_us:int64 ->
+  ops:Thc_replication.Kv_store.op list ->
+  wrap:(Thc_replication.Command.signed_request -> 'm) ->
+  unwrap:('m -> Thc_replication.Command.reply option) ->
+  'm Thc_sim.Engine.behavior
+(** Sends the first [min window (length ops)] requests at time 0; each
+    quorum-confirmed completion emits [Obs.Client_done] and (after
+    [think_us]) releases the next request.  Request ids are
+    [rid_base + index], matching the open-loop convention so per-client
+    rid ranges stay disjoint.  Raises [Invalid_argument] on a
+    non-positive [window]. *)

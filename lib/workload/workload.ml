@@ -1,0 +1,132 @@
+type arrival =
+  | Open_uniform of { rate_rps : float }
+  | Open_poisson of { rate_rps : float }
+  | Closed of { window : int; think_us : int64 }
+
+type key_dist =
+  | Keys_uniform of { keys : int }
+  | Keys_zipf of { keys : int; theta : float }
+
+type mix = { gets : int; puts : int; incrs : int }
+
+let default_mix = { gets = 50; puts = 40; incrs = 10 }
+
+type spec = {
+  clients : int;
+  requests_per_client : int;
+  arrival : arrival;
+  keys : key_dist;
+  mix : mix;
+}
+
+let total_requests spec = spec.clients * spec.requests_per_client
+
+let pp_arrival ppf = function
+  | Open_uniform { rate_rps } ->
+    Format.fprintf ppf "open-uniform(%.0f req/s)" rate_rps
+  | Open_poisson { rate_rps } ->
+    Format.fprintf ppf "open-poisson(%.0f req/s)" rate_rps
+  | Closed { window; think_us } ->
+    Format.fprintf ppf "closed(window=%d,think=%Ldµs)" window think_us
+
+(* Every stream below hangs off one per-(seed, client) generator, split per
+   concern, so arrival times, key picks and op kinds are independent draws
+   yet the whole schedule is a pure function of (spec, seed, client). *)
+let client_rng ~seed ~client =
+  let rng = Thc_util.Rng.create seed in
+  let per_client = ref rng in
+  for _ = 0 to client do
+    per_client := Thc_util.Rng.split rng
+  done;
+  !per_client
+
+let validate spec =
+  if spec.clients <= 0 then invalid_arg "Workload: clients must be positive";
+  if spec.requests_per_client <= 0 then
+    invalid_arg "Workload: requests_per_client must be positive";
+  (match spec.keys with
+  | Keys_uniform { keys } | Keys_zipf { keys; _ } ->
+    if keys <= 0 then invalid_arg "Workload: keys must be positive");
+  let { gets; puts; incrs } = spec.mix in
+  if gets < 0 || puts < 0 || incrs < 0 || gets + puts + incrs <= 0 then
+    invalid_arg "Workload: mix weights must be non-negative and sum > 0";
+  match spec.arrival with
+  | Open_uniform { rate_rps } | Open_poisson { rate_rps } ->
+    if rate_rps <= 0.0 then invalid_arg "Workload: rate must be positive"
+  | Closed { window; think_us } ->
+    if window <= 0 then invalid_arg "Workload: window must be positive";
+    if Int64.compare think_us 0L < 0 then
+      invalid_arg "Workload: think time must be non-negative"
+
+(* The offered rate is aggregate across clients: each of the [c] clients
+   generates at rate/c, so per-client inter-arrival gaps average
+   [c * 1e6 / rate] µs. *)
+let mean_gap_us spec ~rate_rps = float_of_int spec.clients *. 1e6 /. rate_rps
+
+let ops spec ~seed ~client =
+  validate spec;
+  let rng = client_rng ~seed ~client in
+  let key_rng = Thc_util.Rng.split rng in
+  let mix_rng = Thc_util.Rng.split rng in
+  let pick_key =
+    match spec.keys with
+    | Keys_uniform { keys } -> fun () -> Thc_util.Rng.int key_rng keys
+    | Keys_zipf { keys; theta } ->
+      let z = Zipf.create ~n:keys ~theta in
+      fun () -> Zipf.sample z key_rng
+  in
+  let { gets; puts; incrs } = spec.mix in
+  let total = gets + puts + incrs in
+  List.init spec.requests_per_client (fun i ->
+      let key = Printf.sprintf "k%d" (pick_key ()) in
+      let roll = Thc_util.Rng.int mix_rng total in
+      if roll < gets then Thc_replication.Kv_store.Get key
+      else if roll < gets + puts then
+        Thc_replication.Kv_store.Put (key, Printf.sprintf "c%d-%d" client i)
+      else Thc_replication.Kv_store.Incr key)
+
+let arrival_times spec ~seed ~client =
+  validate spec;
+  let rng = client_rng ~seed ~client in
+  (* Mirror [ops]' split order so both streams come from the same
+     generator without perturbing each other. *)
+  let _key_rng = Thc_util.Rng.split rng in
+  let _mix_rng = Thc_util.Rng.split rng in
+  let gap_rng = Thc_util.Rng.split rng in
+  match spec.arrival with
+  | Closed _ -> None
+  | Open_uniform { rate_rps } ->
+    let gap = mean_gap_us spec ~rate_rps in
+    Some
+      (List.init spec.requests_per_client (fun i ->
+           Int64.of_float (gap *. float_of_int (i + 1))))
+  | Open_poisson { rate_rps } ->
+    let mean = mean_gap_us spec ~rate_rps in
+    let t = ref 0.0 in
+    Some
+      (List.init spec.requests_per_client (fun _ ->
+           t := !t +. Float.max 1.0 (Thc_util.Rng.exponential gap_rng ~mean);
+           Int64.of_float !t))
+
+let plan spec ~seed ~client =
+  match arrival_times spec ~seed ~client with
+  | None -> None
+  | Some times -> Some (List.combine times (ops spec ~seed ~client))
+
+let horizon_us spec =
+  match spec.arrival with
+  | Open_uniform { rate_rps } | Open_poisson { rate_rps } ->
+    (* Last scheduled arrival plus generous drain time: Poisson tails can
+       overshoot the nominal schedule, and commits lag arrivals. *)
+    let nominal =
+      mean_gap_us spec ~rate_rps *. float_of_int (spec.requests_per_client + 2)
+    in
+    Int64.add (Int64.of_float (3.0 *. nominal)) 2_000_000L
+  | Closed { think_us; _ } ->
+    (* Closed loops self-pace; bound the run by a pessimistic per-request
+       round trip. *)
+    Int64.add
+      (Int64.mul
+         (Int64.of_int spec.requests_per_client)
+         (Int64.add think_us 50_000L))
+      2_000_000L

@@ -1,0 +1,70 @@
+(** Deterministic, seeded traffic generation for the replication stack.
+
+    A {!spec} describes the offered load of a whole experiment point: how
+    many concurrent clients, how each client paces its requests (open loop
+    with uniform or Poisson inter-arrivals, or a closed loop with a fixed
+    outstanding window), which keys it touches (uniform or Zipf-skewed) and
+    the read/write mix.  Every derived stream is a pure function of
+    [(spec, seed, client)] — the same triple always produces byte-identical
+    schedules, which is what makes loadtest sweeps reproducible. *)
+
+type arrival =
+  | Open_uniform of { rate_rps : float }
+      (** Open loop, fixed inter-arrival gaps; [rate_rps] is the aggregate
+          offered rate across all clients. *)
+  | Open_poisson of { rate_rps : float }
+      (** Open loop, exponential inter-arrival gaps (memoryless arrivals at
+          the same aggregate rate). *)
+  | Closed of { window : int; think_us : int64 }
+      (** Closed loop: each client keeps [window] requests outstanding and
+          issues the next one [think_us] after a completion. *)
+
+type key_dist =
+  | Keys_uniform of { keys : int }
+  | Keys_zipf of { keys : int; theta : float }  (** See {!Zipf}. *)
+
+type mix = { gets : int; puts : int; incrs : int }
+(** Relative weights (need not sum to 100). *)
+
+val default_mix : mix
+(** 50% gets / 40% puts / 10% incrs. *)
+
+type spec = {
+  clients : int;
+  requests_per_client : int;
+  arrival : arrival;
+  keys : key_dist;
+  mix : mix;
+}
+
+val total_requests : spec -> int
+
+val validate : spec -> unit
+(** Raises [Invalid_argument] on non-positive counts/rates/windows or an
+    all-zero mix. *)
+
+val ops :
+  spec -> seed:int64 -> client:int -> Thc_replication.Kv_store.op list
+(** Client [client]'s operation stream ([requests_per_client] long). *)
+
+val arrival_times : spec -> seed:int64 -> client:int -> int64 list option
+(** Send times (µs, ascending) for open-loop specs; [None] for closed
+    loops, whose timing is reactive. *)
+
+val plan :
+  spec ->
+  seed:int64 ->
+  client:int ->
+  (int64 * Thc_replication.Kv_store.op) list option
+(** [arrival_times] zipped with [ops] — directly feedable to
+    {!Thc_replication.Client_core.behavior}.  [None] for closed loops
+    (use {!Traffic.closed_loop}). *)
+
+val horizon_us : spec -> int64
+(** A virtual-time budget generous enough for the schedule to complete and
+    drain. *)
+
+val mean_gap_us : spec -> rate_rps:float -> float
+(** Mean per-client inter-arrival gap implied by an aggregate rate. *)
+
+val pp_arrival : Format.formatter -> arrival -> unit

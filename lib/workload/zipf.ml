@@ -1,0 +1,32 @@
+type t = { cdf : float array }
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 then invalid_arg "Zipf.create: theta must be non-negative";
+  let weights =
+    Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta)
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  (* Guard against float round-off leaving the last bucket slightly under
+     1.0: a draw of 0.999999... must still land inside the table. *)
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let size t = Array.length t.cdf
+
+let sample t rng =
+  let u = Thc_util.Rng.float rng 1.0 in
+  (* First index whose cumulative weight covers u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo

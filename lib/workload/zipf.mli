@@ -1,0 +1,20 @@
+(** Zipf(theta) sampler over ranks [0 .. n-1].
+
+    Rank [i] is drawn with probability proportional to [1 / (i+1)^theta]:
+    rank 0 is the hottest key, and popularity decays polynomially — the
+    standard skewed-access model for KV workloads (YCSB uses the same
+    family).  [theta = 0] degenerates to the uniform distribution.
+
+    The sampler precomputes the CDF once ([O(n)]) and draws by binary
+    search ([O(log n)]); sampling is deterministic given the
+    {!Thc_util.Rng.t} stream. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** Raises [Invalid_argument] if [n <= 0] or [theta < 0]. *)
+
+val size : t -> int
+
+val sample : t -> Thc_util.Rng.t -> int
+(** A rank in [0 .. n-1]; rank 0 most popular. *)

@@ -167,6 +167,8 @@ let test_replication_export_roundtrip () =
         protocol = Thc_replication.Harness.Minbft_protocol;
         f = 1;
         ops = 5;
+        clients = 1;
+        batch = 1;
         interval = 5_000L;
         delay = Thc_sim.Delay.Uniform (50L, 500L);
         scenario = Thc_replication.Harness.Fault_free;
@@ -212,6 +214,8 @@ let test_export_deterministic () =
            protocol = Thc_replication.Harness.Minbft_protocol;
            f = 1;
            ops = 5;
+           clients = 1;
+           batch = 1;
            interval = 5_000L;
            delay = Thc_sim.Delay.Uniform (50L, 500L);
            scenario = Thc_replication.Harness.Fault_free;

@@ -166,6 +166,8 @@ let setup protocol scenario seed =
     Thc_replication.Harness.protocol;
     f = 1;
     ops = 15;
+    clients = 1;
+    batch = 1;
     interval = 5_000L;
     delay = Thc_sim.Delay.Uniform (50L, 500L);
     scenario;
@@ -355,7 +357,7 @@ let test_minbft_byzantine_replica_flood () =
         (Int64.of_int ((i + 1) * 5_000), Thc_replication.Kv_store.Incr "c"))
   in
   Thc_sim.Engine.set_behavior engine n
-    (Thc_replication.Minbft.client ~config ~keyring
+    (Thc_replication.Minbft.client ~rid_base:0 ~config ~keyring
        ~ident:(Thc_crypto.Keyring.secret keyring ~pid:n)
        ~plan);
   let trace =
@@ -365,8 +367,8 @@ let test_minbft_byzantine_replica_flood () =
     (List.length (Thc_replication.Smr_spec.check_safety trace ~replicas:n));
   Alcotest.(check int) "all requests complete" 0
     (List.length
-       (Thc_replication.Smr_spec.check_liveness trace ~clients:[ n ]
-          ~expected:10))
+       (Thc_replication.Smr_spec.check_liveness trace
+          ~expected:[ (n, List.init 10 Fun.id) ]))
 
 let test_pbft_byzantine_replica_flood () =
   (* PBFT's counterpart: a Byzantine non-leader spams forged signed wires
@@ -409,7 +411,7 @@ let test_pbft_byzantine_replica_flood () =
         (Int64.of_int ((i + 1) * 5_000), Thc_replication.Kv_store.Incr "c"))
   in
   Thc_sim.Engine.set_behavior engine n
-    (Thc_replication.Pbft.client ~config ~keyring
+    (Thc_replication.Pbft.client ~rid_base:0 ~config ~keyring
        ~ident:(Thc_crypto.Keyring.secret keyring ~pid:n)
        ~plan);
   let trace = Thc_sim.Engine.run ~until:200_000L ~max_events:20_000_000 engine in
@@ -417,8 +419,8 @@ let test_pbft_byzantine_replica_flood () =
     (List.length (Thc_replication.Smr_spec.check_safety trace ~replicas:n));
   Alcotest.(check int) "liveness clean" 0
     (List.length
-       (Thc_replication.Smr_spec.check_liveness trace ~clients:[ n ]
-          ~expected:10))
+       (Thc_replication.Smr_spec.check_liveness trace
+          ~expected:[ (n, List.init 10 Fun.id) ]))
 
 (* --- random admissible adversaries ------------------------------------------------ *)
 
@@ -449,13 +451,13 @@ let run_minbft_under_adversary seed =
         (Int64.of_int ((i + 1) * 5_000), Thc_replication.Kv_store.Incr "c"))
   in
   Thc_sim.Engine.set_behavior engine n
-    (Thc_replication.Minbft.client ~config ~keyring
+    (Thc_replication.Minbft.client ~rid_base:0 ~config ~keyring
        ~ident:(Thc_crypto.Keyring.secret keyring ~pid:n)
        ~plan);
   Thc_sim.Adversary.install script engine;
   let trace = Thc_sim.Engine.run ~until:2_000_000L ~max_events:20_000_000 engine in
   ( Thc_replication.Smr_spec.check_safety trace ~replicas:n,
-    Thc_replication.Smr_spec.check_liveness trace ~clients:[ n ] ~expected:10 )
+    Thc_replication.Smr_spec.check_liveness trace ~expected:[ (n, List.init 10 Fun.id) ] )
 
 let prop_minbft_random_adversaries =
   QCheck.Test.make
@@ -539,6 +541,128 @@ let test_scripted_over_budget_waives_liveness () =
   in
   Alcotest.(check int) "still safe" 0 (List.length o.safety_violations);
   Alcotest.(check int) "liveness not demanded" 0
+    (List.length o.liveness_violations)
+
+(* --- batching and multiple clients ------------------------------------------ *)
+
+let total_trusted (o : Thc_replication.Harness.outcome) =
+  List.fold_left (fun acc (_, c) -> acc + c) 0 o.trusted_ops
+
+let test_multi_client_disjoint_rids () =
+  (* Three clients, each with its own rid block; every request must complete
+     and the per-client latency map must cover all three client pids. *)
+  let o =
+    Thc_replication.Harness.run
+      {
+        (setup Thc_replication.Harness.Minbft_protocol
+           Thc_replication.Harness.Fault_free 23L)
+        with
+        clients = 3;
+      }
+  in
+  Alcotest.(check int) "all clients' requests completed" 45 o.completed;
+  Alcotest.(check int) "no safety violations" 0
+    (List.length o.safety_violations);
+  Alcotest.(check int) "no liveness violations" 0
+    (List.length o.liveness_violations);
+  Alcotest.(check (list int)) "per-client latency groups"
+    [ o.replicas; o.replicas + 1; o.replicas + 2 ]
+    (List.map fst o.latency_by_client);
+  List.iter
+    (fun (_, (s : Thc_util.Stats.summary)) ->
+      Alcotest.(check int) "15 latencies per client" 15 s.count)
+    o.latency_by_client
+
+let test_batching_amortizes_attestations () =
+  (* One attestation seals a whole Prepare/Commit batch, so at batch 4 the
+     per-request trusted-op rate must fall strictly below batch 1's. *)
+  let run batch =
+    Thc_replication.Harness.run
+      {
+        (setup Thc_replication.Harness.Minbft_protocol
+           Thc_replication.Harness.Fault_free 29L)
+        with
+        clients = 2;
+        batch;
+        interval = 1_000L;
+      }
+  in
+  let b1 = run 1 and b4 = run 4 in
+  Alcotest.(check int) "batch 1 completes all" 30 b1.completed;
+  Alcotest.(check int) "batch 4 completes all" 30 b4.completed;
+  Alcotest.(check bool) "fewer slots with batching" true
+    (b4.commits < b1.commits);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer trusted ops per request (%.2f < %.2f)"
+       b4.trusted_per_request b1.trusted_per_request)
+    true
+    (b4.trusted_per_request < b1.trusted_per_request);
+  Alcotest.(check bool) "fewer trusted ops in total" true
+    (total_trusted b4 < total_trusted b1)
+
+let test_batched_safety_under_scripted_adversary () =
+  (* Batch 4 with two clients under a crash (= f) plus a healed partition:
+     the linearizability monitors (pairwise prefixes + dense sequential
+     replay) and liveness must still pass, and attestations stay per batch:
+     strictly fewer trusted ops than the same script at batch 1. *)
+  let script =
+    {
+      Thc_sim.Adversary.events =
+        [
+          { at = 30_000L; action = Thc_sim.Adversary.Crash 2 };
+          {
+            at = 60_000L;
+            action = Thc_sim.Adversary.Block_groups [ [ 0 ]; [ 1; 2 ] ];
+          };
+          { at = 90_000L; action = Thc_sim.Adversary.Heal };
+        ];
+      horizon = 120_000L;
+    }
+  in
+  let run batch =
+    Thc_replication.Harness.run
+      {
+        (setup Thc_replication.Harness.Minbft_protocol
+           (Thc_replication.Harness.Scripted script) 31L)
+        with
+        clients = 2;
+        batch;
+      }
+  in
+  let b4 = run 4 in
+  Alcotest.(check int) "all requests completed" 30 b4.completed;
+  Alcotest.(check int) "linearizable prefixes (safety)" 0
+    (List.length b4.safety_violations);
+  Alcotest.(check int) "liveness within fault budget" 0
+    (List.length b4.liveness_violations);
+  let b1 = run 1 in
+  Alcotest.(check int) "unbatched run is the baseline" 0
+    (List.length b1.safety_violations);
+  Alcotest.(check bool) "per-batch attestations beat per-request" true
+    (total_trusted b4 < total_trusted b1)
+
+let test_pbft_batched_under_scripted_adversary () =
+  let script =
+    {
+      Thc_sim.Adversary.events =
+        [ { at = 30_000L; action = Thc_sim.Adversary.Crash 2 } ];
+      horizon = 100_000L;
+    }
+  in
+  let o =
+    Thc_replication.Harness.run
+      {
+        (setup Thc_replication.Harness.Pbft_protocol
+           (Thc_replication.Harness.Scripted script) 37L)
+        with
+        clients = 2;
+        batch = 4;
+      }
+  in
+  Alcotest.(check int) "all requests completed" 30 o.completed;
+  Alcotest.(check int) "no safety violations" 0
+    (List.length o.safety_violations);
+  Alcotest.(check int) "no liveness violations" 0
     (List.length o.liveness_violations)
 
 (* A synthetic trace exercising the replay monitor without a protocol: one
@@ -657,6 +781,17 @@ let () =
           Alcotest.test_case "within budget" `Quick test_scripted_scenario_minbft;
           Alcotest.test_case "over budget waives liveness" `Quick
             test_scripted_over_budget_waives_liveness;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "multi-client disjoint rids" `Quick
+            test_multi_client_disjoint_rids;
+          Alcotest.test_case "amortizes attestations" `Quick
+            test_batching_amortizes_attestations;
+          Alcotest.test_case "safe under scripted adversary" `Quick
+            test_batched_safety_under_scripted_adversary;
+          Alcotest.test_case "pbft batched under script" `Quick
+            test_pbft_batched_under_scripted_adversary;
         ] );
       ( "replay-monitor",
         [
