@@ -1,0 +1,439 @@
+module E = Thc_sim.Engine
+module Trinc = Thc_hardware.Trinc
+module R = Thc_replication
+
+type kind =
+  | Equivocate
+  | Replay_stale
+  | Reuse_attestation
+  | Mismatched_vc
+  | Selective_send
+  | Silent_then_lie
+
+let all =
+  [
+    Equivocate;
+    Replay_stale;
+    Reuse_attestation;
+    Mismatched_vc;
+    Selective_send;
+    Silent_then_lie;
+  ]
+
+let name = function
+  | Equivocate -> "equivocation"
+  | Replay_stale -> "replay"
+  | Reuse_attestation -> "reuse"
+  | Mismatched_vc -> "mismatched-vc"
+  | Selective_send -> "selective-send"
+  | Silent_then_lie -> "silent-then-lie"
+
+let of_name = function
+  | "equivocation" -> Some Equivocate
+  | "replay" -> Some Replay_stale
+  | "reuse" -> Some Reuse_attestation
+  | "mismatched-vc" -> Some Mismatched_vc
+  | "selective-send" -> Some Selective_send
+  | "silent-then-lie" -> Some Silent_then_lie
+  | _ -> None
+
+let describe = function
+  | Equivocate ->
+    "the leader proposes two different operations for the same slot, each \
+     shown to a different replica"
+  | Replay_stale ->
+    "a corrupted replica re-sends an old attested message, trying to run \
+     the same counter value past its peers twice"
+  | Reuse_attestation ->
+    "an attestation produced for one slot is re-labelled as evidence for a \
+     different slot (fields copied, message swapped)"
+  | Mismatched_vc ->
+    "a replica joins a view change carrying a fabricated sent-log instead \
+     of its real attested history"
+  | Selective_send ->
+    "the leader keeps serving a bare quorum and silently starves one \
+     replica, hiding part of its message stream"
+  | Silent_then_lie ->
+    "a two-phase attacker: first fully silent (indistinguishable from a \
+     crash), then it comes back and equivocates from its stale view"
+
+let paper_claim = function
+  | Equivocate | Replay_stale | Reuse_attestation ->
+    "trusted-log mechanisms (TrInc class) make each replica's outbound \
+     stream a sequenced reliable broadcast: one counter, one message, ever"
+  | Mismatched_vc ->
+    "view-change evidence is audited against the dense attested log, so a \
+     Byzantine member cannot present an alternative history"
+  | Selective_send ->
+    "hiding sent messages only creates counter gaps that receivers refuse \
+     to step over — selective delivery cannot split a quorum"
+  | Silent_then_lie ->
+    "silence is a crash fault the 2f+1 protocol already tolerates; the \
+     late lie is ordinary equivocation and dies on the counter discipline"
+
+type target = Minbft | Unattested
+
+let target_name = function Minbft -> "minbft" | Unattested -> "unattested"
+
+let target_of_name = function
+  | "minbft" -> Some Minbft
+  | "unattested" -> Some Unattested
+  | _ -> None
+
+type result = {
+  attack : kind;
+  target : target;
+  seed : int64;
+  corrupt_at : int64;
+  safety_violations : int;
+  distinct_ops_at_seq1 : int;
+  commits : int;
+  rejections : int;
+  trusted_ops : (string * int) list;
+  messages : int;
+  duration_us : int64;
+  client_finished : bool;
+  detail : string;
+}
+
+let holds r =
+  match r.target with
+  | Minbft -> r.safety_violations = 0 && r.rejections > 0
+  | Unattested -> r.safety_violations > 0
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%s vs %s (seed %Ld, corrupt at %Ld):@,\
+    \  safety violations : %d@,\
+    \  ops at seq 1      : %d distinct@,\
+    \  commits           : %d@,\
+    \  hw rejections     : %d@,\
+    \  messages          : %d@,\
+    \  client served     : %b@,\
+    \  verdict           : %s@,\
+    \  %s@]"
+    (name r.attack) (target_name r.target) r.seed r.corrupt_at
+    r.safety_violations r.distinct_ops_at_seq1 r.commits r.rejections
+    r.messages r.client_finished
+    (if holds r then "as the paper predicts" else "UNEXPECTED")
+    r.detail
+
+(* --- shared helpers ----------------------------------------------------- *)
+
+let distinct_ops_at_seq1 trace ~replicas =
+  List.filter_map
+    (fun pid ->
+      List.find_map
+        (fun obs ->
+          match (obs : Thc_sim.Obs.t) with
+          | Executed { seq = 1; op; _ } -> Some op
+          | _ -> None)
+        (Thc_sim.Trace.outputs_of trace pid))
+    (List.filter (fun p -> p < replicas) (Thc_sim.Trace.correct_pids trace))
+  |> List.sort_uniq compare |> List.length
+
+let client_finished trace ~pid ~expected =
+  let done_count =
+    List.length
+      (List.filter
+         (function Thc_sim.Obs.Client_done _ -> true | _ -> false)
+         (Thc_sim.Trace.outputs_of trace pid))
+  in
+  done_count >= expected
+
+(* --- the MinBFT side ----------------------------------------------------- *)
+
+(* Every corruption starts with the same probe: the attacker asks its own
+   trinket to re-attest at an already-consumed counter value.  The trinket
+   refuses (charging [trinc.attest_denied]), which is the direct form of the
+   non-equivocation guarantee; the rest of each attack is the attacker's
+   fallback once the rewind is denied. *)
+let rewind_probe trinket =
+  ignore
+    (Trinc.attest trinket
+       ~counter:(Trinc.last_counter trinket)
+       ~message:"rewind probe")
+
+let minbft_inject ~attack ~engine ~wrap ~trinket ~replica ~attacker_ident ~n ()
+    =
+  let ctx = Wrap.raw_ctx wrap in
+  let out = R.Minbft.attack_out replica in
+  let conflicting () =
+    ( R.Command.make ~ident:attacker_ident ~rid:9_000 (R.Kv_store.Put ("byz", "A")),
+      R.Command.make ~ident:attacker_ident ~rid:9_001 (R.Kv_store.Put ("byz", "B"))
+    )
+  in
+  (* The slot the honest leader would assign next: one past the prepares the
+     wrapped behavior has sealed so far. *)
+  let next_slot () =
+    1
+    + List.length
+        (List.filter
+           (fun (_, m) -> R.Minbft.classify_msg m = "prepare")
+           (Wrap.sent wrap))
+  in
+  let first_sealed () =
+    List.find_map (fun (_, m) -> R.Minbft.attestation_of m) (Wrap.sent wrap)
+  in
+  let equivocate_now () =
+    let req_a, req_b = conflicting () in
+    let view = R.Minbft.view_of replica in
+    let seq = next_slot () in
+    ctx.E.send 1 (R.Minbft.adversarial_prepare ~out ~view ~seq ~request:req_a);
+    ctx.E.send (n - 1)
+      (R.Minbft.adversarial_prepare ~out ~view ~seq ~request:req_b)
+  in
+  match attack with
+  | Equivocate ->
+    rewind_probe trinket;
+    equivocate_now ()
+  | Replay_stale -> (
+    rewind_probe trinket;
+    match first_sealed () with
+    | Some a -> ctx.E.broadcast (R.Minbft.adversarial_wire a)
+    | None -> ())
+  | Reuse_attestation -> (
+    rewind_probe trinket;
+    match first_sealed () with
+    | Some a ->
+      let forged =
+        Trinc.counterfeit ~owner:a.owner ~prev:a.prev ~counter:a.counter
+          ~message:"reused in a different slot" ~tag:a.tag
+      in
+      ctx.E.broadcast (R.Minbft.adversarial_wire forged)
+    | None -> ())
+  | Mismatched_vc ->
+    rewind_probe trinket;
+    let new_view = R.Minbft.view_of replica + 1 in
+    let fabricated =
+      Trinc.counterfeit ~owner:ctx.E.self ~prev:0 ~counter:1
+        ~message:"fabricated history" ~tag:0L
+    in
+    ctx.E.broadcast
+      (R.Minbft.adversarial_view_change ~out ~new_view ~log:[ fabricated ])
+  | Selective_send ->
+    rewind_probe trinket;
+    Wrap.drop_to wrap (n - 1)
+  | Silent_then_lie ->
+    Wrap.mute wrap;
+    E.at engine
+      (Int64.add (ctx.E.now ()) 60_000L)
+      (fun () ->
+        rewind_probe trinket;
+        equivocate_now ())
+
+let minbft_detail = function
+  | Equivocate ->
+    "both equivocating prepares seal onto the one counter chain; the \
+     second hides behind a gap, the audited view change carries whichever \
+     one a correct replica committed"
+  | Replay_stale ->
+    "every inbox is already past the replayed counter; each receiver \
+     charges link.reject_replay and drops it"
+  | Reuse_attestation ->
+    "the tag binds owner, counters and message, so the relabelled \
+     attestation fails CheckAttestation at every receiver \
+     (link.reject_forged)"
+  | Mismatched_vc ->
+    "the fabricated log fails the dense-chain audit at the would-be new \
+     leader (trinc.check_fail); the view change proceeds on honest \
+     evidence only"
+  | Selective_send ->
+    "the starved replica sees a counter gap instead of a fork; its \
+     timeout drives an audited view change and the cluster converges"
+  | Silent_then_lie ->
+    "the silent phase is handled as a leader crash (view change); the \
+     late equivocation is stale-view traffic stuck behind its own \
+     counter gap"
+
+let run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until () =
+  let config = R.Minbft.default_config ~f in
+  let n = config.R.Minbft.n in
+  (* pids: replicas 0..n-1, honest client n, attacker's client identity n+1
+     (a colluding client whose signing key the corrupted replica holds). *)
+  let total = n + 2 in
+  let rng = Thc_util.Rng.create seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:total in
+  let world = Trinc.create_world rng ~n in
+  let net =
+    Thc_sim.Net.create ~n:total ~default:(Thc_sim.Delay.Uniform (50L, 500L))
+  in
+  let engine = E.create ~seed ~n:total ~net () in
+  let byz_pid = match attack with Mismatched_vc -> n - 1 | _ -> 0 in
+  let trinkets = Array.init n (fun owner -> Trinc.trinket world ~owner) in
+  let replicas =
+    Array.init n (fun pid ->
+        R.Minbft.create_replica ~config ~keyring ~world ~trinket:trinkets.(pid)
+          ~self:pid)
+  in
+  let wrap = Wrap.create () in
+  for pid = 0 to n - 1 do
+    let honest = R.Minbft.replica replicas.(pid) in
+    E.set_behavior engine pid
+      (if pid = byz_pid then Wrap.behavior wrap honest else honest)
+  done;
+  let plan =
+    [
+      (0L, R.Kv_store.Put ("x", "1"));
+      (10_000L, R.Kv_store.Put ("y", "2"));
+      (40_000L, R.Kv_store.Put ("x", "3"));
+      (90_000L, R.Kv_store.Get "x");
+    ]
+  in
+  E.set_behavior engine n
+    (R.Minbft.client ~rid_base:0 ~config ~keyring
+       ~ident:(Thc_crypto.Keyring.secret keyring ~pid:n)
+       ~plan);
+  let attacker_ident = Thc_crypto.Keyring.secret keyring ~pid:(n + 1) in
+  E.on_corrupt engine ~pid:byz_pid (fun _ ->
+      minbft_inject ~attack ~engine ~wrap ~trinket:trinkets.(byz_pid)
+        ~replica:replicas.(byz_pid) ~attacker_ident ~n ());
+  (* Corruption rides the ordinary adversary machinery: a [Corrupt] event
+     marks the pid Byzantine and fires the handler above at [corrupt_at]. *)
+  Thc_sim.Adversary.install
+    {
+      Thc_sim.Adversary.events =
+        [
+          {
+            Thc_sim.Adversary.at = corrupt_at;
+            action =
+              Thc_sim.Adversary.Corrupt { pid = byz_pid; attack = name attack };
+          };
+        ];
+      horizon = corrupt_at;
+    }
+    engine;
+  Option.iter (fun s -> Thc_sim.Adversary.install s engine) script;
+  let trace = E.run ~until engine in
+  let ledger = Trinc.ledger world in
+  {
+    attack;
+    target = Minbft;
+    seed;
+    corrupt_at;
+    safety_violations = List.length (R.Smr_spec.check_safety trace ~replicas:n);
+    distinct_ops_at_seq1 = distinct_ops_at_seq1 trace ~replicas:n;
+    commits = R.Smr_spec.commits trace ~replicas:n;
+    rejections = Thc_obsv.Ledger.rejections ledger;
+    trusted_ops = Thc_obsv.Ledger.rows ledger;
+    messages = Thc_sim.Trace.messages_sent trace;
+    duration_us = trace.Thc_sim.Trace.end_time;
+    client_finished = client_finished trace ~pid:n ~expected:(List.length plan);
+    detail = minbft_detail attack;
+  }
+
+(* --- the unattested side ------------------------------------------------- *)
+
+let unattested_detail = function
+  | Equivocate ->
+    "nothing orders the leader's stream: each half adopts its proposal and \
+     finds an f+1 quorum, committing different operations at slot 1"
+  | Replay_stale ->
+    "the leader rewinds its history and proposes slot 1 again later with \
+     different content; the late half has no way to tell"
+  | Reuse_attestation ->
+    "the same signed proposal is replayed into a second slot while slot 1 \
+     diverges — plain signatures bind content, not position"
+  | Mismatched_vc ->
+    "the leader hands each half a self-consistent certificate (proposal \
+     plus its own commit vote) for conflicting operations"
+  | Selective_send ->
+    "a bare quorum commits one operation while the starved side is later \
+     fed another; no counter gap exists to expose the omission"
+  | Silent_then_lie ->
+    "after the silent phase the comeback equivocation works exactly as at \
+     time zero — without attested history, silence erases nothing"
+
+let unattested_attacker ~attack ~corrupt_at ~script
+    (env : R.Ablation.Unattested.env) :
+    R.Ablation.Unattested.wire E.behavior =
+  Option.iter (fun s -> Thc_sim.Adversary.install s env.R.Ablation.Unattested.engine) script;
+  let module U = R.Ablation.Unattested in
+  let send_to (ctx : _ E.ctx) group wire =
+    List.iter (fun dst -> ctx.E.send dst wire) group
+  in
+  let phase1 = 777 and phase2 = 778 in
+  let split ctx =
+    send_to ctx env.U.group_a (U.prepare env ~seq:1 env.U.req_a);
+    send_to ctx env.U.group_b (U.prepare env ~seq:1 env.U.req_b)
+  in
+  let arm (ctx : _ E.ctx) ~delay ~tag = ctx.E.set_timer ~delay ~tag in
+  let on_timer ctx tag =
+    match (attack, tag) with
+    | Equivocate, t when t = phase1 -> split ctx
+    | Replay_stale, t when t = phase1 ->
+      send_to ctx env.U.group_a (U.prepare env ~seq:1 env.U.req_a)
+    | Replay_stale, t when t = phase2 ->
+      (* the "rewound" second proposal for an already-used slot *)
+      send_to ctx env.U.group_b (U.prepare env ~seq:1 env.U.req_b)
+    | Reuse_attestation, t when t = phase1 ->
+      send_to ctx env.U.group_a (U.prepare env ~seq:1 env.U.req_a);
+      send_to ctx env.U.group_b (U.prepare env ~seq:1 env.U.req_b);
+      (* the slot-1 proposal reused verbatim as the slot-2 proposal *)
+      send_to ctx env.U.group_b (U.prepare env ~seq:2 env.U.req_a)
+    | Mismatched_vc, t when t = phase1 ->
+      send_to ctx env.U.group_a (U.prepare env ~seq:1 env.U.req_a);
+      send_to ctx env.U.group_a
+        (U.commit env ~seq:1 ~digest:(U.digest env.U.req_a));
+      send_to ctx env.U.group_b (U.prepare env ~seq:1 env.U.req_b);
+      send_to ctx env.U.group_b
+        (U.commit env ~seq:1 ~digest:(U.digest env.U.req_b))
+    | Selective_send, t when t = phase1 ->
+      send_to ctx env.U.group_a (U.prepare env ~seq:1 env.U.req_a)
+    | Selective_send, t when t = phase2 ->
+      send_to ctx env.U.group_b (U.prepare env ~seq:1 env.U.req_b)
+    | Silent_then_lie, t when t = phase1 -> split ctx
+    | _ -> ()
+  in
+  {
+    init =
+      (fun ctx ->
+        (match attack with
+        | Equivocate | Reuse_attestation | Mismatched_vc ->
+          arm ctx ~delay:corrupt_at ~tag:phase1
+        | Replay_stale | Selective_send ->
+          arm ctx ~delay:corrupt_at ~tag:phase1;
+          arm ctx ~delay:(Int64.add corrupt_at 20_000L) ~tag:phase2
+        | Silent_then_lie ->
+          arm ctx ~delay:(Int64.add corrupt_at 50_000L) ~tag:phase1));
+    on_message = (fun _ ~src:_ _ -> ());
+    on_timer;
+  }
+
+let run_unattested ~attack ~f ~seed ~corrupt_at ~script ~until () =
+  let r =
+    R.Ablation.Unattested.run ~f ~seed
+      ~attacker:(unattested_attacker ~attack ~corrupt_at ~script)
+      ~detail:(unattested_detail attack) ~until ()
+  in
+  {
+    attack;
+    target = Unattested;
+    seed;
+    corrupt_at;
+    safety_violations = List.length r.R.Ablation.violations;
+    distinct_ops_at_seq1 = r.R.Ablation.distinct_ops_at_seq1;
+    commits = r.R.Ablation.commits;
+    rejections = 0;
+    trusted_ops = [];
+    messages = r.R.Ablation.messages;
+    duration_us = r.R.Ablation.duration_us;
+    client_finished = false;
+    detail = r.R.Ablation.detail;
+  }
+
+let run ?(f = 1) ?(seed = 1L) ?(corrupt_at = 5_000L) ?script ~target ~attack ()
+    =
+  let corrupt_at = if corrupt_at < 1L then 1L else corrupt_at in
+  let slack =
+    match script with
+    | None -> 0L
+    | Some s -> s.Thc_sim.Adversary.horizon
+  in
+  match target with
+  | Minbft ->
+    let until = Int64.add 500_000L (Int64.add corrupt_at slack) in
+    run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until ()
+  | Unattested ->
+    let until = Int64.add 1_000_000L (Int64.add corrupt_at slack) in
+    run_unattested ~attack ~f ~seed ~corrupt_at ~script ~until ()

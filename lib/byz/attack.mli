@@ -1,0 +1,90 @@
+(** The Byzantine attack catalog.
+
+    Six scripted active-adversary behaviors, each runnable against two
+    targets: real MinBFT on trusted counters ([Minbft]) and the
+    unattested 2f+1 ablation ([Unattested]).  Together they turn the
+    paper's central claim — non-equivocation is what the trusted-log class
+    buys — from an asserted ablation into a demonstrated one: every attack
+    that merely bounces off the attested protocol (safety intact, the
+    hardware ledger recording the rejected operation) forks the unattested
+    protocol into a concrete divergent commit.
+
+    Against MinBFT the attacker corrupts a running honest replica in place
+    (via {!Wrap} and an adversary-script [Corrupt] event), inheriting its
+    state, its signing secret and its claimed trinket — everything except
+    the ability to make the trinket lie. *)
+
+type kind =
+  | Equivocate  (** Two proposals, one slot, different audiences. *)
+  | Replay_stale  (** Re-send an old attested message (counter rewind). *)
+  | Reuse_attestation  (** Relabel one slot's attestation for another. *)
+  | Mismatched_vc  (** Fabricated sent-log in a view-change certificate. *)
+  | Selective_send  (** Serve a bare quorum, starve the last replica. *)
+  | Silent_then_lie  (** Crash-silent phase, then stale-view equivocation. *)
+
+val all : kind list
+(** Every attack, in catalog order. *)
+
+val name : kind -> string
+(** Stable CLI/JSONL identifier (e.g. ["equivocation"], ["mismatched-vc"]).
+    Persisted in thc-attack/v1 exports — do not rename. *)
+
+val of_name : string -> kind option
+
+val describe : kind -> string
+(** One-sentence threat model, for [--list] and the docs. *)
+
+val paper_claim : kind -> string
+(** Which claim of the paper the attack exercises. *)
+
+type target = Minbft | Unattested
+
+val target_name : target -> string
+
+val target_of_name : string -> target option
+
+type result = {
+  attack : kind;
+  target : target;
+  seed : int64;
+  corrupt_at : int64;  (** Virtual µs at which the corruption fired. *)
+  safety_violations : int;
+      (** {!Thc_replication.Smr_spec.check_safety} violations among correct
+          replicas. *)
+  distinct_ops_at_seq1 : int;
+      (** > 1 is the divergent commit made concrete. *)
+  commits : int;
+  rejections : int;
+      (** {!Thc_obsv.Ledger.rejections} of the hardware world's ledger —
+          refused attest/check/link operations; 0 for unattested runs,
+          which have no hardware to refuse anything. *)
+  trusted_ops : (string * int) list;  (** Full ledger rows. *)
+  messages : int;
+  duration_us : int64;  (** Virtual end time of the run. *)
+  client_finished : bool;
+      (** Did the honest client get all its replies (MinBFT runs only)? *)
+  detail : string;  (** What mechanically happened, for the report. *)
+}
+
+val holds : result -> bool
+(** The paper's prediction for this (attack, target) pair: under [Minbft],
+    no safety violation {e and} a nonzero hardware-rejection count; under
+    [Unattested], a safety violation. *)
+
+val run :
+  ?f:int ->
+  ?seed:int64 ->
+  ?corrupt_at:int64 ->
+  ?script:Thc_sim.Adversary.t ->
+  target:target ->
+  attack:kind ->
+  unit ->
+  result
+(** One attack run, deterministic in [(f, seed, corrupt_at, script)].
+    Defaults: [f = 1], [seed = 1], [corrupt_at = 5000]µs.  [script]
+    composes an additional network-fault schedule (crashes, partitions —
+    e.g. drawn by {!Thc_sim.Adversary.random}) on top of the corruption;
+    the run horizon is extended past the script's horizon so held traffic
+    drains before verdicts are read. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,122 @@
+module J = Thc_obsv.Json
+
+type cell = { result : Attack.result; holds : bool }
+
+type t = {
+  f : int;
+  seeds : int64 list;
+  timings : int64 list;
+  attacks : Attack.kind list;
+  targets : Attack.target list;
+  cells : cell list;
+}
+
+let sweep ?(f = 1) ?(seeds = [ 1L; 2L; 3L ])
+    ?(timings = [ 2_000L; 5_000L; 20_000L ]) ?(attacks = Attack.all)
+    ?(targets = [ Attack.Minbft; Attack.Unattested ]) () =
+  let cells =
+    List.concat_map
+      (fun target ->
+        List.concat_map
+          (fun attack ->
+            List.concat_map
+              (fun seed ->
+                List.map
+                  (fun corrupt_at ->
+                    let result =
+                      Attack.run ~f ~seed ~corrupt_at ~target ~attack ()
+                    in
+                    { result; holds = Attack.holds result })
+                  timings)
+              seeds)
+          attacks)
+      targets
+  in
+  { f; seeds; timings; attacks; targets; cells }
+
+let all_hold t = List.for_all (fun c -> c.holds) t.cells
+
+let tally t ~attack ~target =
+  List.fold_left
+    (fun (ok, total) c ->
+      if c.result.Attack.attack = attack && c.result.Attack.target = target
+      then ((if c.holds then ok + 1 else ok), total + 1)
+      else (ok, total))
+    (0, 0) t.cells
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>attack-sweep: f=%d, %d seeds x %d timings@,@,"
+    t.f (List.length t.seeds) (List.length t.timings);
+  Format.fprintf ppf "| %-15s |" "attack";
+  List.iter
+    (fun tgt -> Format.fprintf ppf " %-10s |" (Attack.target_name tgt))
+    t.targets;
+  Format.fprintf ppf "@,|-----------------|";
+  List.iter (fun _ -> Format.fprintf ppf "------------|") t.targets;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun attack ->
+      Format.fprintf ppf "| %-15s |" (Attack.name attack);
+      List.iter
+        (fun target ->
+          let ok, total = tally t ~attack ~target in
+          Format.fprintf ppf " %-10s |"
+            (Printf.sprintf "%s %d/%d"
+               (if ok = total then "pass" else "FAIL")
+               ok total))
+        t.targets;
+      Format.fprintf ppf "@,")
+    t.attacks;
+  Format.fprintf ppf "@,%s@]"
+    (if all_hold t then
+       "every cell matches the paper's prediction (attested: safe + \
+        rejection logged; unattested: divergent commit)"
+     else "SOME CELLS DIVERGE FROM THE PREDICTION")
+
+let cell_to_json c =
+  let r = c.result in
+  J.Obj
+    [
+      ("type", J.Str "cell");
+      ("attack", J.Str (Attack.name r.Attack.attack));
+      ("target", J.Str (Attack.target_name r.Attack.target));
+      ("seed", J.Int (Int64.to_int r.Attack.seed));
+      ("corrupt_at", J.Int (Int64.to_int r.Attack.corrupt_at));
+      ("safety_violations", J.Int r.Attack.safety_violations);
+      ("distinct_ops_at_seq1", J.Int r.Attack.distinct_ops_at_seq1);
+      ("commits", J.Int r.Attack.commits);
+      ("rejections", J.Int r.Attack.rejections);
+      ("messages", J.Int r.Attack.messages);
+      ("duration_us", J.Int (Int64.to_int r.Attack.duration_us));
+      ("client_finished", J.Bool r.Attack.client_finished);
+      ("holds", J.Bool c.holds);
+    ]
+
+let to_jsonl t =
+  let header =
+    J.Obj
+      [
+        ("type", J.Str "attack-sweep");
+        ("schema", J.Str "thc-attack/v1");
+        ("f", J.Int t.f);
+        ("seeds", J.List (List.map (fun s -> J.Int (Int64.to_int s)) t.seeds));
+        ( "timings",
+          J.List (List.map (fun s -> J.Int (Int64.to_int s)) t.timings) );
+        ("attacks", J.Int (List.length t.attacks));
+        ("targets", J.Int (List.length t.targets));
+        ("cells", J.Int (List.length t.cells));
+        ("all_hold", J.Bool (all_hold t));
+      ]
+  in
+  List.map J.to_string (header :: List.map cell_to_json t.cells)
+
+let export t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (to_jsonl t))

@@ -1,0 +1,69 @@
+type route = To of int | Broadcast | Others
+
+type 'm t = {
+  mutable cached : ('m Thc_sim.Engine.ctx * 'm Thc_sim.Engine.ctx) option;
+      (* (raw, filtered) — captured at the first engine upcall *)
+  mutable muted : bool;
+  mutable dropped : int list;
+  mutable log : (route * 'm) list;  (* newest first *)
+}
+
+let create () = { cached = None; muted = false; dropped = []; log = [] }
+
+let blocked t dst = t.muted || List.mem dst t.dropped
+
+let filtered t (ctx : 'm Thc_sim.Engine.ctx) : 'm Thc_sim.Engine.ctx =
+  {
+    ctx with
+    send =
+      (fun dst msg ->
+        t.log <- (To dst, msg) :: t.log;
+        if not (blocked t dst) then ctx.send dst msg);
+    broadcast =
+      (fun msg ->
+        t.log <- (Broadcast, msg) :: t.log;
+        for dst = 0 to ctx.n - 1 do
+          if not (blocked t dst) then ctx.send dst msg
+        done);
+    others =
+      (fun msg ->
+        t.log <- (Others, msg) :: t.log;
+        for dst = 0 to ctx.n - 1 do
+          if dst <> ctx.self && not (blocked t dst) then ctx.send dst msg
+        done);
+  }
+
+let ctx_pair t ctx =
+  match t.cached with
+  | Some pair -> pair
+  | None ->
+    let pair = (ctx, filtered t ctx) in
+    t.cached <- Some pair;
+    pair
+
+let behavior t (inner : 'm Thc_sim.Engine.behavior) : 'm Thc_sim.Engine.behavior
+    =
+  {
+    init = (fun ctx -> inner.init (snd (ctx_pair t ctx)));
+    on_message =
+      (fun ctx ~src msg ->
+        if not t.muted then inner.on_message (snd (ctx_pair t ctx)) ~src msg);
+    on_timer = (fun ctx tag -> inner.on_timer (snd (ctx_pair t ctx)) tag);
+  }
+
+let raw_ctx t =
+  match t.cached with
+  | Some (raw, _) -> raw
+  | None -> failwith "Wrap.raw_ctx: wrapped behavior not started yet"
+
+let mute t = t.muted <- true
+
+let unmute t = t.muted <- false
+
+let drop_to t dst = if not (List.mem dst t.dropped) then t.dropped <- dst :: t.dropped
+
+let allow_all t =
+  t.dropped <- [];
+  t.muted <- false
+
+let sent t = List.rev t.log

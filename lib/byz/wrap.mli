@@ -1,0 +1,48 @@
+(** Behavior-wrapping combinator: corrupt an honest process in place.
+
+    A Byzantine process in this catalog is not written from scratch — it is
+    the {e honest} behavior, wrapped so that attack code can observe its
+    traffic, gag or skew its outbound links, and inject messages of its own
+    through the process's real capabilities.  This mirrors the threat
+    model: the adversary takes over a correct replica mid-run and inherits
+    exactly its state and credentials, nothing more.
+
+    The wrapper starts fully transparent; attack code flips the switches
+    at corruption time (typically from an {!Thc_sim.Engine.on_corrupt}
+    handler fired by an adversary-script [Corrupt] event). *)
+
+type route = To of int | Broadcast | Others
+(** How the wrapped behavior addressed an outbound message. *)
+
+type 'm t
+(** Wrapper state: the traffic log and the current interference mode. *)
+
+val create : unit -> 'm t
+
+val behavior : 'm t -> 'm Thc_sim.Engine.behavior -> 'm Thc_sim.Engine.behavior
+(** Wrap an honest behavior.  Every outbound message is recorded in the
+    log (whether or not it is then let through); {!mute} additionally
+    stops inbound delivery, so a muted process looks exactly like a
+    crashed one from the outside while its timers keep running. *)
+
+val raw_ctx : 'm t -> 'm Thc_sim.Engine.ctx
+(** The unfiltered engine context of the wrapped process — the injection
+    path for attack messages (works even while muted).  Raises [Failure]
+    before the engine has started the process. *)
+
+val mute : 'm t -> unit
+(** Drop all outbound sends and inbound deliveries from now on. *)
+
+val unmute : 'm t -> unit
+
+val drop_to : 'm t -> int -> unit
+(** Silently drop subsequent sends to one destination (selective-send:
+    the process appears correct to everyone else). *)
+
+val allow_all : 'm t -> unit
+(** Clear every interference switch; the wrapper is transparent again. *)
+
+val sent : 'm t -> (route * 'm) list
+(** Everything the wrapped behavior tried to send, oldest first —
+    including messages that were muted or dropped.  Replay attacks pick
+    their ammunition here. *)

@@ -98,6 +98,81 @@ let agreement_run ~start ~seed ~script =
     duration_us = r.duration_us;
   }
 
+(* --- byzantine attack catalog ------------------------------------------- *)
+
+(* The twelve (attack x target) cells from lib/byz, each under the same
+   adversary-script exploration as every other harness.  The MinBFT side is
+   [Clean]: whatever the network does on top of the corruption, safety must
+   hold and the hardware ledger must record at least one refused operation.
+   The unattested side is [Broken]: the same behavior forks it. *)
+
+let byz_violations (r : Thc_byz.Attack.result) =
+  match r.Thc_byz.Attack.target with
+  | Thc_byz.Attack.Minbft ->
+    (if r.Thc_byz.Attack.safety_violations > 0 then
+       [
+         {
+           Monitor.monitor = "byz-safety";
+           info =
+             Printf.sprintf "%d safety violations among correct replicas"
+               r.Thc_byz.Attack.safety_violations;
+         };
+       ]
+     else [])
+    @
+    (if r.Thc_byz.Attack.rejections = 0 then
+       [
+         {
+           Monitor.monitor = "byz-rejection";
+           info = "attack left no refused operation in the hardware ledger";
+         };
+       ]
+     else [])
+  | Thc_byz.Attack.Unattested ->
+    if r.Thc_byz.Attack.safety_violations > 0 then
+      [ { Monitor.monitor = "byz-divergence"; info = r.Thc_byz.Attack.detail } ]
+    else []
+
+let attack_run ~target attack ~seed ~script =
+  let r = Thc_byz.Attack.run ~seed ~script ~target ~attack () in
+  {
+    verdict = Monitor.verdict (byz_violations r);
+    messages = r.Thc_byz.Attack.messages;
+    duration_us = r.Thc_byz.Attack.duration_us;
+  }
+
+(* Crash budget stays 0: a crashed replica on top of the Byzantine one
+   exceeds f = 1, which is outside the model the catalog argues about.
+   Partitions are fair game — they only delay attested traffic. *)
+let byz_profile =
+  { n = 3; crash_budget = 0; partition_budget = 1; horizon = 200_000L }
+
+let byz_harnesses =
+  List.concat_map
+    (fun attack ->
+      let aname = Thc_byz.Attack.name attack in
+      [
+        {
+          name = "minbft-" ^ aname;
+          summary =
+            Printf.sprintf "MinBFT under %s: %s" aname
+              (Thc_byz.Attack.describe attack);
+          profile = byz_profile;
+          expect = Clean;
+          run = attack_run ~target:Thc_byz.Attack.Minbft attack;
+        };
+        {
+          name = "unattested-" ^ aname;
+          summary =
+            Printf.sprintf "unattested 2f+1 under %s: %s" aname
+              (Thc_byz.Attack.describe attack);
+          profile = byz_profile;
+          expect = Broken;
+          run = attack_run ~target:Thc_byz.Attack.Unattested attack;
+        };
+      ])
+    Thc_byz.Attack.all
+
 (* --- registry ----------------------------------------------------------- *)
 
 let all =
@@ -160,6 +235,8 @@ let all =
       run = agreement_run ~start:2_500L;
     };
   ]
+
+let all = all @ byz_harnesses
 
 let find name = List.find_opt (fun h -> h.name = name) all
 

@@ -44,7 +44,16 @@ val all : t list
     [srb-trinc] and [srb-uni] (both SRB implementations under the full
     four-property spec); [agreement] (strong validity, crash-only profile)
     and [agreement-partition] (same protocol with partitions that violate
-    its synchrony assumption — the explorer finds the separation). *)
+    its synchrony assumption — the explorer finds the separation).
+
+    The Byzantine attack catalog ({!Thc_byz.Attack}) contributes one
+    harness per (attack, target) cell: [minbft-<attack>] ([Clean] — safety
+    holds and the hardware ledger records a refused operation under every
+    admissible script, monitors [byz-safety] / [byz-rejection]) and
+    [unattested-<attack>] ([Broken] — the same behavior forks the 2f+1
+    ablation, monitor [byz-divergence]) for each of [equivocation],
+    [replay], [reuse], [mismatched-vc], [selective-send],
+    [silent-then-lie]. *)
 
 val find : string -> t option
 val names : unit -> string list

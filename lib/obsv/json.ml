@@ -96,7 +96,11 @@ let parse s =
   in
   let hex4 () =
     if !pos + 4 > len then fail "truncated \\u escape";
-    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    let v =
+      match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+      | Some v -> v
+      | None -> fail "malformed \\u escape (non-hex digits)"
+    in
     pos := !pos + 4;
     v
   in

@@ -18,6 +18,22 @@ let rows t =
 
 let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t 0
 
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+let rejections t =
+  Hashtbl.fold
+    (fun label r acc ->
+      if
+        contains_sub ~sub:"denied" label
+        || contains_sub ~sub:"fail" label
+        || contains_sub ~sub:"reject" label
+      then acc + !r
+      else acc)
+    t 0
+
 let is_empty t = Hashtbl.length t = 0
 
 let per_commit t ~commits =

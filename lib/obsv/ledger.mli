@@ -24,6 +24,14 @@ val rows : t -> (string * int) list
 val total : t -> int
 (** Sum over all labels — total trusted-op invocations. *)
 
+val rejections : t -> int
+(** Sum over the labels that record the hardware turning something away —
+    any label containing ["denied"], ["fail"] or ["reject"] (e.g.
+    ["trinc.attest_denied"], ["trinc.check_fail"], ["link.reject_replay"]).
+    Nonzero iff the run charged at least one refused operation; the attack
+    harness uses it to certify that an attack was actually stopped by the
+    hardware rather than never attempted. *)
+
 val is_empty : t -> bool
 
 val per_commit : t -> commits:int -> (string * float) list

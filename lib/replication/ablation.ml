@@ -173,6 +173,79 @@ let run_unattested ?(f = 1) ~seed ~configure ~until () =
 let equivocation_splits_unattested ?(f = 1) ?(seed = 3L) () =
   run_unattested ~f ~seed ~configure:(fun _ -> ()) ~until:1_000_000L ()
 
+(* ----------------------------------------------------------------------- *)
+(* Scriptable attacker interface: the byz catalog runs arbitrary leader     *)
+(* behaviors against the same unattested protocol.  A separate entry point  *)
+(* so the legacy runs above (replayed from the checked-in repro corpus)     *)
+(* keep their exact event order.                                            *)
+(* ----------------------------------------------------------------------- *)
+
+module Unattested = struct
+  type wire = umsg
+
+  type env = {
+    engine : wire Thc_sim.Engine.t;
+    f : int;
+    n : int;
+    group_a : int list;
+    group_b : int list;
+    req_a : Command.signed_request;
+    req_b : Command.signed_request;
+    leader_ident : Thc_crypto.Keyring.secret;
+  }
+
+  let prepare env ~seq request =
+    Thc_crypto.Signature.seal env.leader_ident (Uprepare { seq; request })
+
+  let commit env ~seq ~digest =
+    Thc_crypto.Signature.seal env.leader_ident (Ucommit { seq; digest })
+
+  let digest req = Command.digest req.Thc_crypto.Signature.value
+
+  let run ?(f = 1) ~seed ~attacker ~detail ?(until = 1_000_000L) () =
+    let n = (2 * f) + 1 in
+    let total = n + 1 (* one client identity for signing requests *) in
+    let rng = Thc_util.Rng.create seed in
+    let keyring = Thc_crypto.Keyring.create rng ~n:total in
+    let net =
+      Thc_sim.Net.create ~n:total ~default:(Thc_sim.Delay.Uniform (50L, 500L))
+    in
+    let engine = Thc_sim.Engine.create ~seed ~n:total ~net () in
+    for pid = 1 to n - 1 do
+      Thc_sim.Engine.set_behavior engine pid
+        (unattested_replica ~keyring
+           ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+           ~f ~self:pid)
+    done;
+    let req_a, req_b = requests ~keyring ~client_pid:n in
+    let group_a, group_b = groups ~f in
+    let env =
+      {
+        engine;
+        f;
+        n;
+        group_a;
+        group_b;
+        req_a;
+        req_b;
+        leader_ident = Thc_crypto.Keyring.secret keyring ~pid:0;
+      }
+    in
+    Thc_sim.Engine.mark_byzantine engine 0;
+    Thc_sim.Engine.set_behavior engine 0 (attacker env);
+    let trace = Thc_sim.Engine.run ~until engine in
+    let violations = Smr_spec.check_safety trace ~replicas:n in
+    {
+      violations;
+      distinct_ops_at_seq1 = distinct_at_seq1 trace ~replicas:n;
+      messages = Thc_sim.Trace.messages_sent trace;
+      duration_us = trace.Thc_sim.Trace.end_time;
+      commits = Smr_spec.commits trace ~replicas:n;
+      trusted_ops = [];
+      detail;
+    }
+end
+
 let unattested_under_script ?(f = 1) ~seed ~script () =
   run_unattested ~f ~seed
     ~configure:(Thc_sim.Adversary.install script)

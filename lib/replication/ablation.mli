@@ -50,3 +50,46 @@ val unattested_under_script :
     exactly what script shrinking strips away. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** Scriptable attacker interface over the unattested protocol, for the
+    [Thc_byz] attack catalog: the honest side (2f correct replicas, f+1
+    quorums, plain signatures, fixed leader 0) is wired exactly as in the
+    legacy runs above, but pid 0 runs an arbitrary caller-supplied behavior
+    built from the leader's own signing capability. *)
+module Unattested : sig
+  type wire
+  (** A signed protocol message; construct with {!prepare} / {!commit}. *)
+
+  type env = {
+    engine : wire Thc_sim.Engine.t;
+    f : int;
+    n : int;  (** Replica count [2f+1]; the leader under attack is pid 0. *)
+    group_a : int list;  (** Replicas [1..f] — one side of a split. *)
+    group_b : int list;  (** Replicas [f+1..2f] — the other side. *)
+    req_a : Command.signed_request;  (** Client request writing ["A"]. *)
+    req_b : Command.signed_request;  (** Conflicting request writing ["B"]. *)
+    leader_ident : Thc_crypto.Keyring.secret;
+  }
+  (** What the attacker gets: exactly the leader's legitimate capabilities
+      plus knowledge of two conflicting signed client requests. *)
+
+  val prepare : env -> seq:int -> Command.signed_request -> wire
+  (** A leader-signed proposal for slot [seq]. *)
+
+  val commit : env -> seq:int -> digest:int64 -> wire
+  (** A leader-signed commit vote. *)
+
+  val digest : Command.signed_request -> int64
+  (** The digest replicas vote on for a request. *)
+
+  val run :
+    ?f:int ->
+    seed:int64 ->
+    attacker:(env -> wire Thc_sim.Engine.behavior) ->
+    detail:string ->
+    ?until:int64 ->
+    unit ->
+    result
+  (** Run the unattested protocol with [attacker env] installed as pid 0
+      (marked Byzantine for the monitors).  Deterministic in [seed]. *)
+end

@@ -32,16 +32,19 @@ module In = struct
         Array.init n (fun _ -> { pending = Hashtbl.create 8; released = 0 });
     }
 
+  let reject t label =
+    Thc_obsv.Ledger.bump (Thc_hardware.Trinc.ledger t.world) label;
+    []
+
   let accept t (a : Thc_hardware.Trinc.attestation) =
-    if
-      a.owner < 0
-      || a.owner >= Array.length t.streams
-      || a.prev <> a.counter - 1
-      || not (Thc_hardware.Trinc.check t.world a ~id:a.owner)
-    then []
+    if a.owner < 0 || a.owner >= Array.length t.streams || a.prev <> a.counter - 1
+    then reject t "link.reject_malformed"
+    else if not (Thc_hardware.Trinc.check t.world a ~id:a.owner) then
+      reject t "link.reject_forged"
     else begin
       let s = t.streams.(a.owner) in
-      if a.counter <= s.released || Hashtbl.mem s.pending a.counter then []
+      if a.counter <= s.released || Hashtbl.mem s.pending a.counter then
+        reject t "link.reject_replay"
       else begin
         Hashtbl.replace s.pending a.counter a;
         let out = ref [] in

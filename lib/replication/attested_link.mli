@@ -44,7 +44,15 @@ module In : sig
       the attestations newly released {e in counter order} from that stream
       (empty while a gap remains); their [message] fields are the payloads.
       Forwarded attestations are accepted from any transport source —
-      attestations are self-certifying. *)
+      attestations are self-certifying.
+
+      Rejections are charged to the owning world's trusted-op ledger:
+      ["link.reject_malformed"] (owner out of range or broken [prev] link),
+      ["link.reject_forged"] (tag check failed — also visible as
+      ["trinc.check_fail"]) and ["link.reject_replay"] (counter at or below
+      the released watermark, or a duplicate of a pending counter).
+      Out-of-order but fresh attestations are held silently — reordering is
+      the network's doing, not an attack. *)
 
   val delivered_upto : t -> owner:int -> int
 end

@@ -550,3 +550,10 @@ let classify_msg = function
     | exception _ -> "garbage")
 
 let adversarial_wire a = Sealed a
+
+let adversarial_view_change ~out ~new_view ~log =
+  Sealed (Attested_link.Out.seal out (encode_proto (View_change { new_view; log })))
+
+let attack_out t = t.out
+
+let attestation_of = function Sealed a -> Some a | Request _ | Reply _ -> None

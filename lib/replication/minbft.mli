@@ -100,6 +100,27 @@ val adversarial_wire : Thc_hardware.Trinc.attestation -> msg
 (** Wrap any attestation as a wire message — lets tests inject replays,
     counterfeits and garbage payloads at the transport level. *)
 
+val adversarial_view_change :
+  out:Attested_link.Out.t ->
+  new_view:int ->
+  log:Thc_hardware.Trinc.attestation list ->
+  msg
+(** Seal a View_change carrying an arbitrary (e.g. counterfeit or
+    truncated) sent-log — the mismatched-certificate attack.  The sealing
+    itself is honest (the trinket will attest anything once), so receivers
+    accept the envelope and the defense is {!Attested_link.check_log}
+    rejecting the evidence inside. *)
+
+val attack_out : t -> Attested_link.Out.t
+(** The replica's own attested outbound link.  Handing it to attack code
+    models full corruption of a replica that still cannot subvert its
+    trinket: everything it seals stays on the one dense counter chain. *)
+
+val attestation_of : msg -> Thc_hardware.Trinc.attestation option
+(** The attestation inside a sealed wire message, if any — lets attack
+    code lift a message it previously sent (or observed) back into material
+    for replay and reuse attempts. *)
+
 val classify_msg : msg -> string
 (** Short label per wire-message kind (request/prepare/commit/...), for
     {!Thc_sim.Metrics.kind_counts} breakdowns. *)

@@ -3,6 +3,7 @@ type action =
   | Block_groups of int list list
   | Block_link of int * int
   | Heal
+  | Corrupt of { pid : int; attack : string }
 
 type event = { at : int64; action : action }
 
@@ -20,6 +21,7 @@ let pp_action ppf = function
             groups))
   | Block_link (src, dst) -> Format.fprintf ppf "block p%d->p%d" src dst
   | Heal -> Format.pp_print_string ppf "heal"
+  | Corrupt { pid; attack } -> Format.fprintf ppf "corrupt p%d (%s)" pid attack
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>adversary (horizon %Ld):@,%a@]" t.horizon
@@ -38,7 +40,7 @@ let ends_healed t =
   let rec last_state healed = function
     | [] -> healed
     | { action = Heal; _ } :: rest -> last_state true rest
-    | { action = Crash _; _ } :: rest -> last_state healed rest
+    | { action = Crash _ | Corrupt _; _ } :: rest -> last_state healed rest
     | { action = Block_groups _ | Block_link _; _ } :: rest ->
       last_state false rest
   in
@@ -55,7 +57,9 @@ let install t (engine : 'm Engine.t) =
       | Block_link (src, dst) ->
         Engine.at engine e.at (fun () ->
             Engine.set_link engine ~src ~dst Net.Block)
-      | Heal -> Engine.at engine e.at (fun () -> Engine.heal_all engine fast))
+      | Heal -> Engine.at engine e.at (fun () -> Engine.heal_all engine fast)
+      | Corrupt { pid; attack } ->
+        Engine.at engine e.at (fun () -> Engine.corrupt engine ~pid ~attack))
     (by_time t.events);
   (* Pushed after every scripted event, so when the last block event sits at
      exactly [horizon] the engine's same-time tie-break still runs this heal
@@ -76,6 +80,8 @@ let action_to_sexp = function
   | Block_link (src, dst) ->
     Sexp.list [ Sexp.atom "block-link"; Sexp.int_atom src; Sexp.int_atom dst ]
   | Heal -> Sexp.list [ Sexp.atom "heal" ]
+  | Corrupt { pid; attack } ->
+    Sexp.list [ Sexp.atom "corrupt"; Sexp.int_atom pid; Sexp.atom attack ]
 
 let action_of_sexp = function
   | Sexp.List [ Sexp.Atom "crash"; pid ] -> Crash (Sexp.to_int pid)
@@ -89,6 +95,8 @@ let action_of_sexp = function
   | Sexp.List [ Sexp.Atom "block-link"; src; dst ] ->
     Block_link (Sexp.to_int src, Sexp.to_int dst)
   | Sexp.List [ Sexp.Atom "heal" ] -> Heal
+  | Sexp.List [ Sexp.Atom "corrupt"; pid; Sexp.Atom attack ] ->
+    Corrupt { pid = Sexp.to_int pid; attack }
   | s -> failwith ("Adversary.of_sexp: bad action " ^ Sexp.to_string s)
 
 let to_sexp t =
@@ -128,6 +136,49 @@ let crashed t =
   List.filter_map
     (fun e -> match e.action with Crash pid -> Some pid | _ -> None)
     t.events
+
+let corrupted t =
+  List.filter_map
+    (fun e ->
+      match e.action with
+      | Corrupt { pid; attack } -> Some (pid, attack)
+      | _ -> None)
+    t.events
+
+let admissible t ~n ?(crash_budget = 0) ?(corrupt_budget = 0) () =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let pid_ok p = p >= 0 && p < n in
+  let distinct l = List.sort_uniq compare l in
+  let bad_time = List.find_opt (fun e -> e.at < 0L || e.at > t.horizon) t.events in
+  let bad_pid =
+    List.find_opt
+      (fun e ->
+        match e.action with
+        | Crash pid | Corrupt { pid; _ } -> not (pid_ok pid)
+        | Block_link (src, dst) -> not (pid_ok src && pid_ok dst)
+        | Block_groups groups ->
+          List.exists (fun g -> List.exists (fun p -> not (pid_ok p)) g) groups
+        | Heal -> false)
+      t.events
+  in
+  match (bad_time, bad_pid) with
+  | Some e, _ -> err "event at %Ld outside horizon %Ld" e.at t.horizon
+  | None, Some e -> err "pid out of range 0..%d in %a" (n - 1) pp_action e.action
+  | None, None ->
+    let crashes = distinct (crashed t) in
+    let corrupts = distinct (List.map fst (corrupted t)) in
+    if List.length crashes > crash_budget then
+      err "%d crash victims exceed crash budget %d" (List.length crashes)
+        crash_budget
+    else if List.length corrupts > corrupt_budget then
+      err "%d corrupted processes exceed corruption budget %d"
+        (List.length corrupts) corrupt_budget
+    else if List.exists (fun p -> List.mem p crashes) corrupts then
+      err "a process is both crashed and corrupted"
+    else if
+      List.length (corrupted t) > List.length corrupts
+    then err "a process is corrupted twice"
+    else Ok ()
 
 let random rng ~n ~horizon ?(crash_budget = 0) ?(partition_budget = 2) () =
   let events = ref [] in

@@ -46,6 +46,7 @@ type 'm t = {
   mutable send_seq : int;
   ctxs : 'm ctx option array;
   stats : Thc_obsv.Link_stats.t;
+  corrupt_handlers : (int, string -> unit) Hashtbl.t;
 }
 
 let compare_key (t1, s1) (t2, s2) =
@@ -70,6 +71,7 @@ let create ?(seed = 1L) ~n ~net () =
     send_seq = 0;
     ctxs = Array.make n None;
     stats = Thc_obsv.Link_stats.create ~n;
+    corrupt_handlers = Hashtbl.create 4;
   }
 
 let net t = t.net
@@ -86,6 +88,14 @@ let record t entry = t.entries <- entry :: t.entries
 let set_behavior t pid behavior = t.behaviors.(pid) <- behavior
 
 let mark_byzantine t pid = t.byzantine.(pid) <- true
+
+let on_corrupt t ~pid handler = Hashtbl.replace t.corrupt_handlers pid handler
+
+let corrupt t ~pid ~attack =
+  t.byzantine.(pid) <- true;
+  match Hashtbl.find_opt t.corrupt_handlers pid with
+  | Some handler -> handler attack
+  | None -> ()
 
 let schedule_crash t ~pid ~at = push t at (Crash pid)
 

@@ -54,6 +54,19 @@ val set_behavior : 'm t -> int -> 'm behavior -> unit
 val mark_byzantine : 'm t -> int -> unit
 (** Tag a pid as faulty for the monitors; does not change its execution. *)
 
+val on_corrupt : 'm t -> pid:int -> (string -> unit) -> unit
+(** Register a corruption handler for [pid].  When an adversary script
+    corrupts the process ({!corrupt}, or an [Adversary] [Corrupt] event),
+    the handler receives the attack name and may switch the installed
+    behavior into its Byzantine mode.  At most one handler per pid; a later
+    registration replaces the earlier one. *)
+
+val corrupt : 'm t -> pid:int -> attack:string -> unit
+(** Mark [pid] Byzantine for the monitors and invoke its {!on_corrupt}
+    handler (a no-op if none is registered).  Typically called from a
+    scheduled script action, so corruption happens at a chosen virtual
+    time mid-run. *)
+
 val schedule_crash : 'm t -> pid:int -> at:int64 -> unit
 (** Stop delivering messages/timers to [pid] from time [at] on. *)
 

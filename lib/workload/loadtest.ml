@@ -297,12 +297,12 @@ let row_of_json j =
 let parse text =
   let lines =
     List.filter
-      (fun l -> String.trim l <> "")
-      (String.split_on_char '\n' text)
+      (fun (_, l) -> String.trim l <> "")
+      (List.mapi (fun i l -> (i + 1, l)) (String.split_on_char '\n' text))
   in
   match lines with
   | [] -> Error "empty loadtest export"
-  | header :: rest -> (
+  | (_, header) :: rest -> (
     match J.parse header with
     | Error e -> Error (Printf.sprintf "bad header: %s" e)
     | Ok h -> (
@@ -311,18 +311,29 @@ let parse text =
          Option.bind (J.member "schema" h) J.to_str)
       with
       | Some "loadtest", Some s when s = schema ->
-        let rows =
-          List.filter_map
-            (fun l ->
-              match J.parse l with
-              | Error _ -> None
-              | Ok j -> (
-                match Option.bind (J.member "type" j) J.to_str with
-                | Some "point" -> row_of_json j
-                | _ -> None))
-            rest
+        (* A line that does not parse — truncated writes included — is a
+           hard error naming the line, not a silent drop: a report over a
+           partial export must say so rather than under-count. *)
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | (lineno, l) :: rest -> (
+            match J.parse l with
+            | Error e ->
+              Error
+                (Printf.sprintf "line %d: malformed or truncated JSONL (%s)"
+                   lineno e)
+            | Ok j -> (
+              match Option.bind (J.member "type" j) J.to_str with
+              | Some "point" -> (
+                match row_of_json j with
+                | Some r -> collect (r :: acc) rest
+                | None ->
+                  Error
+                    (Printf.sprintf
+                       "line %d: point row missing protocol/arrival" lineno))
+              | _ -> collect acc rest))
         in
-        Ok rows
+        collect [] rest
       | Some "loadtest", Some s ->
         Error (Printf.sprintf "schema mismatch: got %s, want %s" s schema)
       | _ -> Error "not a loadtest export (missing type/schema header)"))

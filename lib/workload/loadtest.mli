@@ -86,6 +86,9 @@ type row = {
 
 val parse : string -> (row list, string) Stdlib.result
 (** Read an {!export}ed document back; rejects missing or mismatched
-    schema headers and skips unknown line types. *)
+    schema headers and skips unknown line types.  A line that fails to
+    parse — e.g. a write truncated mid-file — is an [Error] naming the
+    line number, so a report over a partial export fails loudly instead
+    of silently under-counting points. *)
 
 val result_to_json : result -> Thc_obsv.Json.t

@@ -1,0 +1,130 @@
+(* Tests for the Byzantine attack catalog: stable attack names, the paper's
+   prediction holding on both targets, deterministic thc-attack/v1 exports,
+   and the catalog's fault-explorer harness registrations. *)
+
+module A = Thc_byz.Attack
+module M = Thc_byz.Matrix
+
+let test_names_stable () =
+  (* The CLI/JSONL identifiers are persisted in exports and repro files —
+     this pins them. *)
+  Alcotest.(check (list string))
+    "catalog order and spelling"
+    [
+      "equivocation"; "replay"; "reuse"; "mismatched-vc"; "selective-send";
+      "silent-then-lie";
+    ]
+    (List.map A.name A.all);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "of_name inverts name" true
+        (A.of_name (A.name k) = Some k))
+    A.all;
+  Alcotest.(check bool) "unknown name rejected" true (A.of_name "melt" = None);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "target name inverts" true
+        (A.target_of_name (A.target_name t) = Some t))
+    [ A.Minbft; A.Unattested ]
+
+let test_attack_bounces_off_minbft () =
+  let r = A.run ~target:A.Minbft ~attack:A.Equivocate () in
+  Alcotest.(check int) "no safety violation" 0 r.A.safety_violations;
+  Alcotest.(check int) "no fork at seq 1" 1 r.A.distinct_ops_at_seq1;
+  Alcotest.(check bool) "hardware refused something" true (r.A.rejections > 0);
+  Alcotest.(check bool) "honest client still served" true r.A.client_finished;
+  Alcotest.(check bool) "prediction holds" true (A.holds r)
+
+let test_attack_forks_unattested () =
+  let r = A.run ~target:A.Unattested ~attack:A.Equivocate () in
+  Alcotest.(check bool) "safety violated" true (r.A.safety_violations > 0);
+  Alcotest.(check bool) "divergent commit is concrete" true
+    (r.A.distinct_ops_at_seq1 > 1);
+  Alcotest.(check bool) "prediction holds" true (A.holds r)
+
+let test_run_deterministic () =
+  let run () = A.run ~seed:7L ~target:A.Minbft ~attack:A.Replay_stale () in
+  Alcotest.(check bool) "identical results" true (run () = run ())
+
+let small_sweep () =
+  M.sweep ~seeds:[ 1L ] ~timings:[ 5_000L ]
+    ~attacks:[ A.Equivocate; A.Reuse_attestation ]
+    ~targets:[ A.Minbft; A.Unattested ] ()
+
+let test_matrix_export_deterministic () =
+  let lines () = M.to_jsonl (small_sweep ()) in
+  Alcotest.(check (list string)) "byte-identical JSONL" (lines ()) (lines ())
+
+let test_matrix_schema () =
+  let m = small_sweep () in
+  Alcotest.(check int) "cell count" 4 (List.length m.M.cells);
+  Alcotest.(check bool) "all cells hold" true (M.all_hold m);
+  match M.to_jsonl m with
+  | [] -> Alcotest.fail "empty export"
+  | header :: cells ->
+    let j = Result.get_ok (Thc_obsv.Json.parse header) in
+    let str k = Option.bind (Thc_obsv.Json.member k j) Thc_obsv.Json.to_str in
+    Alcotest.(check (option string)) "schema" (Some "thc-attack/v1")
+      (str "schema");
+    Alcotest.(check (option string)) "type" (Some "attack-sweep") (str "type");
+    List.iter
+      (fun line ->
+        let c = Result.get_ok (Thc_obsv.Json.parse line) in
+        Alcotest.(check (option string))
+          "cell type" (Some "cell")
+          (Option.bind (Thc_obsv.Json.member "type" c) Thc_obsv.Json.to_str))
+      cells
+
+let empty_script = { Thc_sim.Adversary.events = []; horizon = 0L }
+
+let test_harness_registration () =
+  (* Every (attack, target) cell is also a fault-explorer harness; the
+     MinBFT side must pass under the empty script, the ablated side fail. *)
+  List.iter
+    (fun attack ->
+      let aname = A.name attack in
+      let get n =
+        match Thc_check.Harness.find n with
+        | Some h -> h
+        | None -> Alcotest.failf "harness %s not registered" n
+      in
+      let clean = get ("minbft-" ^ aname) in
+      let broken = get ("unattested-" ^ aname) in
+      let run (h : Thc_check.Harness.t) =
+        (h.Thc_check.Harness.run ~seed:1L ~script:empty_script)
+          .Thc_check.Harness.verdict
+      in
+      Alcotest.(check bool)
+        (aname ^ " clean side passes")
+        false
+        (Thc_check.Monitor.failed (run clean));
+      Alcotest.(check bool)
+        (aname ^ " broken side fails")
+        true
+        (Thc_check.Monitor.failed (run broken)))
+    [ A.Equivocate; A.Selective_send ]
+
+let () =
+  Alcotest.run "thc_byz"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "names stable" `Quick test_names_stable;
+          Alcotest.test_case "bounces off minbft" `Quick
+            test_attack_bounces_off_minbft;
+          Alcotest.test_case "forks unattested" `Quick
+            test_attack_forks_unattested;
+          Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "export deterministic" `Quick
+            test_matrix_export_deterministic;
+          Alcotest.test_case "thc-attack/v1 schema" `Quick test_matrix_schema;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "registered in explorer" `Quick
+            test_harness_registration;
+        ] );
+    ]

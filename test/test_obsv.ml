@@ -41,6 +41,23 @@ let test_json_arbitrary_bytes () =
   | Ok _ -> Alcotest.fail "wrong constructor"
   | Error e -> Alcotest.fail e
 
+let test_json_malformed_input_is_error () =
+  (* Every malformed input must come back as [Error], never an escaped
+     exception — report tooling reads JSONL written by interrupted runs. *)
+  let expect_error label text =
+    match J.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s parsed" label
+    | exception e ->
+      Alcotest.failf "%s escaped with %s" label (Printexc.to_string e)
+  in
+  expect_error "truncated object" {|{"type":"cell","seed":1,"commi|};
+  expect_error "truncated string" {|"unterminated|};
+  expect_error "truncated \\u escape" {|"\u00|};
+  expect_error "non-hex \\u escape" {|"\u00zz"|};
+  expect_error "bare garbage" "}{";
+  expect_error "trailing garbage" {|{"a":1} extra|}
+
 (* --- histogram ----------------------------------------------------------------- *)
 
 let test_histogram_exact_quantiles () =
@@ -231,6 +248,8 @@ let () =
         [
           Alcotest.test_case "value round trips" `Quick test_json_roundtrip_values;
           Alcotest.test_case "arbitrary bytes" `Quick test_json_arbitrary_bytes;
+          Alcotest.test_case "malformed input is Error" `Quick
+            test_json_malformed_input_is_error;
         ] );
       ( "histogram",
         [

@@ -125,6 +125,49 @@ let test_link_check_log () =
   Alcotest.(check bool) "wrong owner rejected" true
     (Thc_replication.Attested_link.check_log ~world ~owner:0 log = None)
 
+let test_link_rejection_ledger () =
+  (* Each rejection class charges its own ledger label, and they all roll
+     up into [Ledger.rejections] — the attack catalog's observable. *)
+  let world = trinc_world () in
+  let ledger = Thc_hardware.Trinc.ledger world in
+  let out =
+    Thc_replication.Attested_link.Out.create
+      (Thc_hardware.Trinc.trinket world ~owner:0)
+  in
+  let a1 = Thc_replication.Attested_link.Out.seal out "m1" in
+  let inbox = Thc_replication.Attested_link.In.create ~world ~n:3 in
+  Alcotest.(check int) "fresh accepted" 1
+    (List.length (Thc_replication.Attested_link.In.accept inbox a1));
+  (* replay: counter already released *)
+  Alcotest.(check int) "replay dropped" 0
+    (List.length (Thc_replication.Attested_link.In.accept inbox a1));
+  Alcotest.(check int) "replay charged" 1
+    (Thc_obsv.Ledger.count ledger "link.reject_replay");
+  (* forged: well-formed fields, tag from nowhere *)
+  let forged =
+    Thc_hardware.Trinc.counterfeit ~owner:0 ~prev:1 ~counter:2
+      ~message:"forged" ~tag:99L
+  in
+  Alcotest.(check int) "forged dropped" 0
+    (List.length (Thc_replication.Attested_link.In.accept inbox forged));
+  Alcotest.(check int) "forged charged" 1
+    (Thc_obsv.Ledger.count ledger "link.reject_forged");
+  (* malformed: owner outside the cluster, and a broken prev chain *)
+  let bad_owner =
+    Thc_hardware.Trinc.counterfeit ~owner:7 ~prev:0 ~counter:1 ~message:"x"
+      ~tag:0L
+  in
+  let bad_prev =
+    Thc_hardware.Trinc.counterfeit ~owner:1 ~prev:3 ~counter:2 ~message:"x"
+      ~tag:0L
+  in
+  ignore (Thc_replication.Attested_link.In.accept inbox bad_owner);
+  ignore (Thc_replication.Attested_link.In.accept inbox bad_prev);
+  Alcotest.(check int) "malformed charged" 2
+    (Thc_obsv.Ledger.count ledger "link.reject_malformed");
+  Alcotest.(check bool) "rejections rolls them up" true
+    (Thc_obsv.Ledger.rejections ledger >= 4)
+
 (* --- client collector -------------------------------------------------------------- *)
 
 let test_collector_quorum () =
@@ -745,6 +788,8 @@ let () =
           Alcotest.test_case "seal dense" `Quick test_link_seal_dense;
           Alcotest.test_case "in-order release" `Quick test_link_in_order_release;
           Alcotest.test_case "check log" `Quick test_link_check_log;
+          Alcotest.test_case "rejection ledger" `Quick
+            test_link_rejection_ledger;
         ] );
       ( "client",
         [

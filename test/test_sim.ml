@@ -527,6 +527,61 @@ let test_adversary_unsorted_script_heals () =
     if time < 50_000L then Alcotest.fail "delivered before the horizon heal"
   | _ -> Alcotest.fail "held message lost: unsorted script skipped the heal")
 
+let test_adversary_corrupt_roundtrip () =
+  (* Scripts carrying [Corrupt] events — the attack-catalog extension — must
+     survive the repro codec byte-for-byte like every other action. *)
+  let script =
+    {
+      Thc_sim.Adversary.events =
+        [
+          { at = 1L; action = Thc_sim.Adversary.Corrupt { pid = 0; attack = "equivocation" } };
+          { at = 5_000L; action = Thc_sim.Adversary.Block_link (1, 2) };
+          { at = 9_000L; action = Thc_sim.Adversary.Heal };
+        ];
+      horizon = 10_000L;
+    }
+  in
+  let text = Thc_util.Sexp.to_string (Thc_sim.Adversary.to_sexp script) in
+  let back = Thc_sim.Adversary.of_sexp (Thc_util.Sexp.of_string_exn text) in
+  Alcotest.(check bool) "corrupt round-trips" true
+    (Thc_sim.Adversary.equal script back);
+  Alcotest.(check (list (pair int string)))
+    "corrupted pairs" [ (0, "equivocation") ]
+    (Thc_sim.Adversary.corrupted back)
+
+let test_adversary_admissible_budgets () =
+  let corrupt ~at pid attack =
+    { Thc_sim.Adversary.at; action = Thc_sim.Adversary.Corrupt { pid; attack } }
+  in
+  let script events = { Thc_sim.Adversary.events; horizon = 10_000L } in
+  let ok s ~crash_budget ~corrupt_budget =
+    Thc_sim.Adversary.admissible s ~n:3 ~crash_budget ~corrupt_budget ()
+  in
+  (match ok (script [ corrupt ~at:1L 0 "replay" ]) ~crash_budget:0 ~corrupt_budget:1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "within budget rejected: %s" e);
+  (match ok (script [ corrupt ~at:1L 0 "replay" ]) ~crash_budget:0 ~corrupt_budget:0 with
+  | Ok () -> Alcotest.fail "over-budget corruption accepted"
+  | Error _ -> ());
+  (match
+     ok
+       (script [ corrupt ~at:1L 0 "replay"; corrupt ~at:2L 0 "reuse" ])
+       ~crash_budget:0 ~corrupt_budget:2
+   with
+  | Ok () -> Alcotest.fail "double corruption of one pid accepted"
+  | Error _ -> ());
+  match
+    ok
+      (script
+         [
+           { at = 1L; action = Thc_sim.Adversary.Crash 0 };
+           corrupt ~at:2L 0 "replay";
+         ])
+      ~crash_budget:1 ~corrupt_budget:1
+  with
+  | Ok () -> Alcotest.fail "crash+corrupt overlap accepted"
+  | Error _ -> ()
+
 let () =
   Alcotest.run "thc_sim"
     [
@@ -583,5 +638,9 @@ let () =
           Alcotest.test_case "unsorted script heals" `Quick
             test_adversary_unsorted_script_heals;
           qcheck prop_adversary_sexp_roundtrip;
+          Alcotest.test_case "corrupt round-trips" `Quick
+            test_adversary_corrupt_roundtrip;
+          Alcotest.test_case "admissible budgets" `Quick
+            test_adversary_admissible_budgets;
         ] );
     ]

@@ -189,6 +189,32 @@ let test_parse_rejects_garbage () =
     (reject
        (L.parse "{\"type\":\"loadtest\",\"schema\":\"thc-loadtest/v9\"}\n"))
 
+let test_parse_names_truncated_line () =
+  (* A mid-file truncation — the tail of an interrupted export — must be a
+     clean [Error] naming the offending line, not a silent drop and not an
+     escaped exception. *)
+  let results = L.sweep (point ()) ~arrivals:[ W.Open_poisson { rate_rps = 800.0 } ] ~batches:[ 1 ] in
+  let text = L.export ~seed:41L results in
+  let truncated = String.sub text 0 (String.length text - 20) in
+  (match L.parse truncated with
+  | Ok _ -> Alcotest.fail "truncated export parsed"
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error names a line (%s)" e)
+      true
+      (String.length e >= 5 && String.sub e 0 5 = "line "));
+  (* a corrupt line in the middle, with valid lines after it *)
+  let with_bad_middle =
+    match String.split_on_char '\n' text with
+    | header :: rest -> String.concat "\n" ((header :: [ "{\"type\":\"point\",\"protocol\"" ]) @ rest)
+    | [] -> assert false
+  in
+  match L.parse with_bad_middle with
+  | Ok _ -> Alcotest.fail "corrupt middle line parsed"
+  | Error e ->
+    Alcotest.(check bool) "names line 2" true
+      (String.length e >= 7 && String.sub e 0 7 = "line 2:")
+
 let () =
   Alcotest.run "thc_workload"
     [
@@ -220,5 +246,7 @@ let () =
             test_export_parse_roundtrip;
           Alcotest.test_case "parse rejects garbage" `Quick
             test_parse_rejects_garbage;
+          Alcotest.test_case "parse names truncated line" `Quick
+            test_parse_names_truncated_line;
         ] );
     ]
