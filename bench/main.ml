@@ -4,7 +4,15 @@
    1. the paper-style result tables (virtual-time metrics measured inside the
       simulator) — one table per experiment id of DESIGN.md;
    2. Bechamel wall-clock micro/macro benchmarks — one Test.make per
-      experiment id, measuring how fast the reproduction itself runs. *)
+      experiment id, measuring how fast the reproduction itself runs.
+
+   The sweep-shaped tables (S1, S3, BYZ) run through Thc_exec.Pool, so
+   `--jobs N` fans their cells out over forked workers; results merge in
+   key order and both stdout tables and BENCH_results.json stay
+   byte-identical at every value.  With --jobs > 1 the S1 grid is also
+   timed sequentially and a wall-clock comparison line is printed (to
+   stdout, clearly marked as wall clock — it is the one non-deterministic
+   line and lives outside every recorded table). *)
 
 let fast = Thc_sim.Delay.Uniform (10L, 400L)
 
@@ -38,6 +46,32 @@ let section title =
 (* ----------------------------------------------------------------------- *)
 
 module J = Thc_obsv.Json
+module Pool = Thc_exec.Pool
+
+(* Parallelism for the sweep-shaped tables, set once from --jobs.  Tables
+   read it instead of threading a parameter through every section. *)
+let jobs = ref 1
+
+(* Campaign size for the BENCH_results.json envelope: how many sweep cells
+   the pooled tables executed.  Independent of --jobs, so the file stays
+   byte-identical across parallelism (the timed comparison re-run is
+   deliberately not counted twice). *)
+let pool_keys_total = ref 0
+
+let count_keys keys =
+  pool_keys_total := !pool_keys_total + List.length keys;
+  keys
+
+(* Fan a table's cells out over the pool at the configured parallelism.
+   Cells are pure and deterministic, so a failed job is a bug worth dying
+   loudly on, not a hole to paper over. *)
+let pool_run ?(jobs = 1) f keys =
+  let stats st = if jobs > 1 then Format.eprintf "%a@." Pool.pp_stats st in
+  List.map
+    (function Ok r -> r | Error e -> failwith ("bench worker: " ^ e))
+    (let rs, st = Pool.map_stats ~jobs f keys in
+     stats st;
+     rs)
 
 let results : (string, (string * J.t) list ref) Hashtbl.t = Hashtbl.create 16
 
@@ -67,8 +101,11 @@ let write_results () =
     |> List.map (fun (id, rows) -> (id, J.Obj (List.sort by_name rows)))
   in
   let doc =
-    J.Obj
-      [ ("schema", J.Str "thc-bench/v2"); ("experiments", J.Obj experiments) ]
+    Thc_obsv.Envelope.header ~typ:"bench" ~schema:"thc-bench/v2"
+      ~jobs:!pool_keys_total
+      ~git:(Thc_exec.Gitinfo.describe ())
+      ~extra:[ ("experiments", J.Obj experiments) ]
+      ()
   in
   let oc = open_out_bin results_path in
   output_string oc (J.to_string doc);
@@ -498,13 +535,24 @@ let table_byz () =
       ]
   in
   let all_hold = ref true in
-  List.iter
-    (fun attack ->
+  let cells =
+    count_keys
+      (List.concat_map
+         (fun attack ->
+           List.map
+             (fun target -> (attack, target))
+             [ Thc_byz.Attack.Minbft; Thc_byz.Attack.Unattested ])
+         Thc_byz.Attack.all)
+  in
+  let rows =
+    pool_run ~jobs:!jobs
+      (fun (attack, target) -> Thc_byz.Attack.run ~seed:1L ~target ~attack ())
+      cells
+  in
+  List.iter2
+    (fun (attack, target) r ->
       let aname = Thc_byz.Attack.name attack in
-      List.iter
-        (fun target ->
-          let r = Thc_byz.Attack.run ~seed:1L ~target ~attack () in
-          let holds = Thc_byz.Attack.holds r in
+      let holds = Thc_byz.Attack.holds r in
           all_hold := !all_hold && holds;
           let tname = Thc_byz.Attack.target_name target in
           record_i "byz"
@@ -531,8 +579,7 @@ let table_byz () =
               | Thc_byz.Attack.Unattested -> "-");
               (if holds then "as predicted" else "DIVERGES");
             ])
-        [ Thc_byz.Attack.Minbft; Thc_byz.Attack.Unattested ])
-    Thc_byz.Attack.all;
+    cells rows;
   record_b "byz" "all_hold" !all_hold;
   Thc_util.Table.print t;
   print_endline
@@ -565,27 +612,55 @@ let table_s1 () =
       ("f-silent", Thc_replication.Harness.Silent_replicas);
     ]
   in
-  List.iter
-    (fun f ->
-      List.iter
-        (fun (pname, protocol) ->
-          List.iter
-            (fun (sname, scenario) ->
-              let o =
-                Thc_replication.Harness.run
-                  {
-                    protocol;
-                    f;
-                    ops = 25;
-                    clients = 1;
-                    batch = 1;
-                    interval = 5_000L;
-                    delay = Thc_sim.Delay.Uniform (50L, 500L);
-                    scenario;
-                    seed = 17L;
-                  }
-              in
-              let key = Printf.sprintf "%s.f%d.%s" pname f sname in
+  let cells =
+    count_keys
+      (List.concat_map
+         (fun f ->
+           List.concat_map
+             (fun (pname, protocol) ->
+               List.map
+                 (fun (sname, scenario) -> (f, pname, protocol, sname, scenario))
+                 scenarios)
+             protocols)
+         [ 1; 2; 3 ])
+  in
+  let run_cell (f, _, protocol, _, scenario) =
+    Thc_replication.Harness.run
+      {
+        protocol;
+        f;
+        ops = 25;
+        clients = 1;
+        batch = 1;
+        interval = 5_000L;
+        delay = Thc_sim.Delay.Uniform (50L, 500L);
+        scenario;
+        seed = 17L;
+      }
+  in
+  (* With --jobs > 1, time the grid both ways and report the wall-clock win.
+     The comparison line goes to stdout only in parallel runs, so the default
+     (sequential) bench transcript stays byte-stable. *)
+  let outcomes =
+    if !jobs > 1 then begin
+      let t0 = Unix.gettimeofday () in
+      let seq = pool_run ~jobs:1 run_cell cells in
+      let t1 = Unix.gettimeofday () in
+      let par = pool_run ~jobs:!jobs run_cell cells in
+      let t2 = Unix.gettimeofday () in
+      let seq_s = t1 -. t0 and par_s = t2 -. t1 in
+      Printf.printf
+        "s1 wall-clock: sequential %.3fs vs %d-worker %.3fs (%.2fx speedup)\n"
+        seq_s !jobs par_s
+        (if par_s > 0. then seq_s /. par_s else 0.);
+      ignore seq;
+      par
+    end
+    else pool_run ~jobs:1 run_cell cells
+  in
+  List.iter2
+    (fun (f, pname, _, sname, _) (o : Thc_replication.Harness.outcome) ->
+      let key = Printf.sprintf "%s.f%d.%s" pname f sname in
               record_i "s1" (key ^ ".completed") o.completed;
               record_i "s1" (key ^ ".commits") o.commits;
               record_f "s1" (key ^ ".msgs_per_op") o.messages_per_op;
@@ -608,9 +683,7 @@ let table_s1 () =
                   (if o.safety_violations = [] then "yes" else "NO");
                   (if o.liveness_violations = [] then "yes" else "NO");
                 ])
-            scenarios)
-        protocols)
-    [ 1; 2; 3 ];
+    cells outcomes;
   Thc_util.Table.print t;
   print_endline
     "(shape: MinBFT commits with 2f+1 replicas, ~1/3 the messages per op and\n\
@@ -722,11 +795,17 @@ let table_s3 () =
             };
         }
       in
-      let results =
-        L.sweep template
-          ~arrivals:(List.map (fun r -> W.Open_poisson { rate_rps = r }) rates)
-          ~batches
+      let arrivals =
+        List.map (fun r -> W.Open_poisson { rate_rps = r }) rates
       in
+      ignore
+        (count_keys
+           (List.concat_map (fun a -> List.map (fun b -> (a, b)) batches)
+              arrivals));
+      let stats st =
+        if !jobs > 1 then Format.eprintf "%a@." Pool.pp_stats st
+      in
+      let results = L.sweep ~jobs:!jobs ~stats template ~arrivals ~batches in
       List.iter
         (fun (r : L.result) ->
           let rate =
@@ -956,20 +1035,63 @@ let table_problems () =
     (List.length results - List.length failed)
     (List.length results)
 
+let tables =
+  [
+    ("f1", table_f1);
+    ("problems", table_problems);
+    ("c1", table_c1);
+    ("c2", table_c2);
+    ("l1", table_l1);
+    ("a1", table_a1);
+    ("a3", table_a3);
+    ("s1", table_s1);
+    ("s1b", table_s1b);
+    ("s3", table_s3);
+    ("ablation", table_ablation);
+    ("byz", table_byz);
+    ("s2", table_s2);
+  ]
+
+let main jobs_n only =
+  jobs := max 1 jobs_n;
+  (match
+     List.filter (fun id -> not (List.mem_assoc id tables)) only
+   with
+  | [] -> ()
+  | unknown ->
+    Printf.eprintf "bench: unknown table(s): %s (known: %s)\n"
+      (String.concat ", " unknown)
+      (String.concat ", " (List.map fst tables));
+    exit 2);
+  let selected = match only with [] -> List.map fst tables | ids -> ids in
+  List.iter
+    (fun (id, table) -> if List.mem id selected then table ())
+    tables;
+  if only = [] then begin
+    write_results ();
+    run_bechamel ();
+    print_endline "\nbench: all experiment tables regenerated"
+  end
+  else
+    print_endline
+      "\nbench: selected tables regenerated (partial run: BENCH_results.json \
+       and the Bechamel suite were skipped)"
+
 let () =
-  table_f1 ();
-  table_problems ();
-  table_c1 ();
-  table_c2 ();
-  table_l1 ();
-  table_a1 ();
-  table_a3 ();
-  table_s1 ();
-  table_s1b ();
-  table_s3 ();
-  table_ablation ();
-  table_byz ();
-  table_s2 ();
-  write_results ();
-  run_bechamel ();
-  print_endline "\nbench: all experiment tables regenerated"
+  let open Cmdliner in
+  let only =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "only" ] ~docv:"TABLES"
+          ~doc:
+            "Comma-separated experiment table ids to run (e.g. s1,byz). A \
+             partial run skips BENCH_results.json and the Bechamel \
+             wall-clock suite.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "bench" ~doc:"Regenerate the thwclass experiment tables")
+      Term.(const main $ Thc_exec.Cli.jobs () $ only)
+  in
+  exit (Cmd.eval cmd)

@@ -4,6 +4,13 @@
 
 open Cmdliner
 
+(* Sweep-shaped subcommands (explore, attack, loadtest — and the bench
+   binary) share their --runs/--seed/--export/--jobs flags through
+   Thc_exec.Cli, so the spellings, defaults and docs cannot drift apart.
+   Pool utilization goes to stderr via the obsv registry; stdout stays
+   byte-identical at every --jobs value. *)
+module Cli = Thc_exec.Cli
+
 (* --- figure1 ------------------------------------------------------------- *)
 
 let figure1_cmd =
@@ -114,7 +121,7 @@ let rounds_cmd =
   in
   let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Processes.") in
   let rounds_n = Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Rounds to run.") in
-  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"RNG seed.") in
+  let seed = Cli.seed ~default:42L () in
   let run driver n rounds seed =
     let rng = Thc_util.Rng.create seed in
     let keyring = Thc_crypto.Keyring.create rng ~n in
@@ -228,7 +235,7 @@ let smr_cmd =
           `Ff
       & info [ "scenario" ] ~doc:"fault-free|crash-leader|silent.")
   in
-  let seed = Arg.(value & opt int64 11L & info [ "seed" ] ~doc:"RNG seed.") in
+  let seed = Cli.seed ~default:11L () in
   let run protocol f ops scenario seed =
     let scenario =
       match scenario with
@@ -333,16 +340,13 @@ let loadtest_cmd =
       value & opt float 0.99
       & info [ "theta" ] ~doc:"Zipf skew; 0 selects the uniform key picker.")
   in
-  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"RNG seed.") in
+  let seed = Cli.seed () in
   let export =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "export" ] ~docv:"FILE"
-          ~doc:"Write the thc-loadtest/v1 JSONL export to $(docv).")
+    Cli.export ~doc:"Write the thc-loadtest/v1 JSONL export to $(docv)." ()
   in
+  let jobs = Cli.jobs () in
   let run protocol f clients ops rates batches arrival window think keys theta
-      seed export =
+      seed export jobs =
     let key_dist =
       if theta <= 0.0 then W.Keys_uniform { keys }
       else W.Keys_zipf { keys; theta }
@@ -370,7 +374,10 @@ let loadtest_cmd =
           };
       }
     in
-    let results = L.sweep template ~arrivals ~batches in
+    let results =
+      L.sweep ~jobs ~stats:(Cli.stats_reporter ~jobs) template ~arrivals
+        ~batches
+    in
     Printf.printf "=== loadtest: %s  f=%d  clients=%d  ops/client=%d  seed=%Ld ===\n"
       (L.protocol_name protocol) f clients ops seed;
     let t =
@@ -411,7 +418,7 @@ let loadtest_cmd =
           amortization.")
     Term.(
       const run $ protocol $ f $ clients $ ops $ rates $ batches $ arrival
-      $ window $ think $ keys $ theta $ seed $ export)
+      $ window $ think $ keys $ theta $ seed $ export $ jobs)
 
 (* --- report ---------------------------------------------------------------- *)
 
@@ -804,13 +811,9 @@ let report_cmd =
       value & opt int 30
       & info [ "ops" ] ~doc:"Client requests (smr) or broadcast values (srb).")
   in
-  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"RNG seed.") in
+  let seed = Cli.seed () in
   let export =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "export" ] ~docv:"FILE"
-          ~doc:"Write the run's JSONL trace/metrics export to $(docv).")
+    Cli.export ~doc:"Write the run's JSONL trace/metrics export to $(docv)." ()
   in
   let from =
     Arg.(
@@ -866,10 +869,9 @@ let protocol_arg =
              (String.concat "|" names)))
 
 let explore_cmd =
-  let runs =
-    Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Number of (seed, script) pairs.")
-  in
-  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Base seed.") in
+  let runs = Cli.runs ~default:100 ~doc:"Number of (seed, script) pairs." () in
+  let seed = Cli.seed () in
+  let jobs = Cli.jobs () in
   let crashes =
     Arg.(
       value
@@ -892,10 +894,11 @@ let explore_cmd =
       & info [ "out" ] ~docv:"DIR"
           ~doc:"Write one repro file per failing seed into $(docv).")
   in
-  let run protocol runs seed crashes partitions no_shrink out =
+  let run protocol runs seed jobs crashes partitions no_shrink out =
     let h = Option.get (Thc_check.Harness.find protocol) in
     (* Periodic progress: one line per tenth of the sweep (virtual-time
-       counters only, so repeated runs print identical lines). *)
+       counters only, so repeated runs print identical lines — the pool
+       delivers outcomes in seed order at every --jobs value). *)
     let stride = max 1 ((runs + 9) / 10) in
     let progress ~completed ~failures =
       if completed mod stride = 0 || completed = runs then
@@ -903,8 +906,8 @@ let explore_cmd =
           failures
     in
     let summary =
-      Thc_check.Sweep.sweep h ?crashes ?partitions ~progress ~base_seed:seed
-        ~runs ()
+      Thc_check.Sweep.sweep h ?crashes ?partitions ~progress ~jobs
+        ~stats:(Cli.stats_reporter ~jobs) ~base_seed:seed ~runs ()
     in
     Format.printf "%a@." Thc_check.Sweep.pp_summary summary;
     Format.printf "expectation: %a@." Thc_check.Harness.pp_expectation
@@ -985,8 +988,8 @@ let explore_cmd =
          "Sweep a protocol harness over random adversary scripts, shrink any \
           counterexamples, and print them as repro S-expressions.")
     Term.(
-      const run $ protocol_arg $ runs $ seed $ crashes $ partitions $ no_shrink
-      $ out)
+      const run $ protocol_arg $ runs $ seed $ jobs $ crashes $ partitions
+      $ no_shrink $ out)
 
 (* --- replay ---------------------------------------------------------------- *)
 
@@ -1047,7 +1050,7 @@ let attack_cmd =
       & info [] ~docv:"ATTACK"
           ~doc:"Attack name (see $(b,--list)) or $(b,all).")
   in
-  let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Base seed.") in
+  let seed = Cli.seed () in
   let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound (n = 2f+1).") in
   let corrupt_at =
     Arg.(
@@ -1056,24 +1059,20 @@ let attack_cmd =
           ~doc:"Virtual µs at which the corruption fires (single-run mode).")
   in
   let runs =
-    Arg.(
-      value & opt int 1
-      & info [ "runs" ]
-          ~doc:
-            "Seeds to sweep.  With more than one, every attack runs across \
-             seeds x corruption timings and a pass/fail matrix is printed.")
+    Cli.runs ~default:1
+      ~doc:
+        "Seeds to sweep.  With more than one, every attack runs across \
+         seeds x corruption timings and a pass/fail matrix is printed."
+      ()
   in
   let export =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "export" ] ~docv:"FILE"
-          ~doc:"Write the sweep as thc-attack/v1 JSONL to $(docv).")
+    Cli.export ~doc:"Write the sweep as thc-attack/v1 JSONL to $(docv)." ()
   in
+  let jobs = Cli.jobs () in
   let list_only =
     Arg.(value & flag & info [ "list" ] ~doc:"List the catalog and exit.")
   in
-  let run target attack seed f corrupt_at runs export list_only =
+  let run target attack seed f corrupt_at runs export jobs list_only =
     if list_only then
       List.iter
         (fun k ->
@@ -1102,7 +1101,10 @@ let attack_cmd =
       let timings =
         if runs > 1 then [ 2_000L; 5_000L; 20_000L ] else [ corrupt_at ]
       in
-      let m = M.sweep ~f ~seeds ~timings ~attacks ~targets () in
+      let m =
+        M.sweep ~jobs ~stats:(Cli.stats_reporter ~jobs) ~f ~seeds ~timings
+          ~attacks ~targets ()
+      in
       if runs > 1 then Format.printf "%a@." M.pp m
       else
         List.iter
@@ -1128,7 +1130,7 @@ let attack_cmd =
           the rejection; the unattested one commits a divergent operation.")
     Term.(
       const run $ target $ attack $ seed $ f $ corrupt_at $ runs $ export
-      $ list_only)
+      $ jobs $ list_only)
 
 (* --- main ------------------------------------------------------------------ *)
 

@@ -11,28 +11,38 @@ type t = {
   cells : cell list;
 }
 
-let sweep ?(f = 1) ?(seeds = [ 1L; 2L; 3L ])
+let runner ?(f = 1) ?(seeds = [ 1L; 2L; 3L ])
     ?(timings = [ 2_000L; 5_000L; 20_000L ]) ?(attacks = Attack.all)
     ?(targets = [ Attack.Minbft; Attack.Unattested ]) () =
-  let cells =
+  (* Keys in the documented cell order (target, attack, seed, timing); the
+     pool merges results in key order, so the matrix is identical at every
+     parallelism. *)
+  let keys =
     List.concat_map
       (fun target ->
         List.concat_map
           (fun attack ->
             List.concat_map
               (fun seed ->
-                List.map
-                  (fun corrupt_at ->
-                    let result =
-                      Attack.run ~f ~seed ~corrupt_at ~target ~attack ()
-                    in
-                    { result; holds = Attack.holds result })
+                List.map (fun corrupt_at -> (target, attack, seed, corrupt_at))
                   timings)
               seeds)
           attacks)
       targets
   in
-  { f; seeds; timings; attacks; targets; cells }
+  {
+    Thc_exec.Runner.name = "attack-matrix";
+    keys;
+    run_one =
+      (fun (target, attack, seed, corrupt_at) ->
+        let result = Attack.run ~f ~seed ~corrupt_at ~target ~attack () in
+        { result; holds = Attack.holds result });
+    summarize = (fun cells -> { f; seeds; timings; attacks; targets; cells });
+  }
+
+let sweep ?jobs ?stats ?f ?seeds ?timings ?attacks ?targets () =
+  Thc_exec.Runner.run ?jobs ?stats
+    (runner ?f ?seeds ?timings ?attacks ?targets ())
 
 let all_hold t = List.for_all (fun c -> c.holds) t.cells
 
@@ -94,19 +104,25 @@ let cell_to_json c =
 
 let to_jsonl t =
   let header =
-    J.Obj
-      [
-        ("type", J.Str "attack-sweep");
-        ("schema", J.Str "thc-attack/v1");
-        ("f", J.Int t.f);
-        ("seeds", J.List (List.map (fun s -> J.Int (Int64.to_int s)) t.seeds));
-        ( "timings",
-          J.List (List.map (fun s -> J.Int (Int64.to_int s)) t.timings) );
-        ("attacks", J.Int (List.length t.attacks));
-        ("targets", J.Int (List.length t.targets));
-        ("cells", J.Int (List.length t.cells));
-        ("all_hold", J.Bool (all_hold t));
-      ]
+    (* The common envelope (schema id, campaign size, revision) plus the
+       matrix-specific axes; [jobs] counts cells, never workers — exports
+       must stay byte-identical across --jobs values. *)
+    Thc_obsv.Envelope.header ~typ:"attack-sweep" ~schema:"thc-attack/v1"
+      ~jobs:(List.length t.cells)
+      ~git:(Thc_exec.Gitinfo.describe ())
+      ~extra:
+        [
+          ("f", J.Int t.f);
+          ( "seeds",
+            J.List (List.map (fun s -> J.Int (Int64.to_int s)) t.seeds) );
+          ( "timings",
+            J.List (List.map (fun s -> J.Int (Int64.to_int s)) t.timings) );
+          ("attacks", J.Int (List.length t.attacks));
+          ("targets", J.Int (List.length t.targets));
+          ("cells", J.Int (List.length t.cells));
+          ("all_hold", J.Bool (all_hold t));
+        ]
+      ()
   in
   List.map J.to_string (header :: List.map cell_to_json t.cells)
 

@@ -25,7 +25,20 @@ type t = {
   cells : cell list;  (** Ordered: target, then attack, seed, timing. *)
 }
 
+val runner :
+  ?f:int ->
+  ?seeds:int64 list ->
+  ?timings:int64 list ->
+  ?attacks:Attack.kind list ->
+  ?targets:Attack.target list ->
+  unit ->
+  (Attack.target * Attack.kind * int64 * int64, cell, t) Thc_exec.Runner.t
+(** The matrix as the repository-wide runner shape: keys are the cross
+    product in documented cell order, [run_one] is one {!Attack.run}. *)
+
 val sweep :
+  ?jobs:int ->
+  ?stats:(Thc_exec.Pool.stats -> unit) ->
   ?f:int ->
   ?seeds:int64 list ->
   ?timings:int64 list ->
@@ -34,7 +47,9 @@ val sweep :
   unit ->
   t
 (** Run the full cross product ({!Attack.run} per cell).  Defaults: seeds
-    1-3, corruption at 2ms/5ms/20ms, all attacks, both targets. *)
+    1-3, corruption at 2ms/5ms/20ms, all attacks, both targets.  [jobs]
+    fans cells out over worker processes; cells merge in key order, so
+    the matrix — and its export — is byte-identical at every value. *)
 
 val all_hold : t -> bool
 

@@ -28,21 +28,7 @@ let run_one (h : Harness.t) ?crashes ?partitions ~seed () =
   let script = script_for h ?crashes ?partitions ~seed () in
   { seed; script; report = h.run ~seed ~script }
 
-let sweep (h : Harness.t) ?crashes ?partitions ?progress ~base_seed ~runs () =
-  let failed_so_far = ref 0 in
-  let outcomes =
-    List.init (max 0 runs) (fun i ->
-        let o =
-          run_one h ?crashes ?partitions
-            ~seed:(Int64.add base_seed (Int64.of_int i))
-            ()
-        in
-        if Monitor.failed o.report.Harness.verdict then incr failed_so_far;
-        Option.iter
-          (fun f -> f ~completed:(i + 1) ~failures:!failed_so_far)
-          progress;
-        o)
-  in
+let summarize (h : Harness.t) ~runs outcomes =
   let failures =
     List.filter (fun o -> Monitor.failed o.report.Harness.verdict) outcomes
   in
@@ -75,6 +61,30 @@ let sweep (h : Harness.t) ?crashes ?partitions ?progress ~base_seed ~runs () =
         (fun acc o -> acc + List.length o.script.Thc_sim.Adversary.events)
         0 outcomes;
   }
+
+let runner (h : Harness.t) ?crashes ?partitions ~base_seed ~runs () =
+  {
+    Thc_exec.Runner.name = "sweep:" ^ h.name;
+    keys =
+      List.init (max 0 runs) (fun i ->
+          Int64.add base_seed (Int64.of_int i));
+    run_one = (fun seed -> run_one h ?crashes ?partitions ~seed ());
+    summarize = summarize h ~runs;
+  }
+
+let sweep (h : Harness.t) ?crashes ?partitions ?progress ?jobs ?stats
+    ~base_seed ~runs () =
+  (* Failure counting rides the in-order outcome stream, so the progress
+     lines are byte-identical at every [jobs] value. *)
+  let failed_so_far = ref 0 in
+  let on_outcome i o =
+    if Monitor.failed o.report.Harness.verdict then incr failed_so_far;
+    Option.iter
+      (fun f -> f ~completed:(i + 1) ~failures:!failed_so_far)
+      progress
+  in
+  Thc_exec.Runner.run ?jobs ~on_outcome ?stats
+    (runner h ?crashes ?partitions ~base_seed ~runs ())
 
 let pp_summary ppf s =
   Format.fprintf ppf "@[<v>%s: %d runs, %d pass, %d fail" s.protocol s.runs

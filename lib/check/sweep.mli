@@ -33,13 +33,29 @@ val script_for :
 val run_one :
   Harness.t -> ?crashes:int -> ?partitions:int -> seed:int64 -> unit -> outcome
 
+val summarize : Harness.t -> runs:int -> outcome list -> summary
+(** Tally a seed-ordered outcome list (exactly what {!sweep} returns). *)
+
+val runner :
+  Harness.t -> ?crashes:int -> ?partitions:int ->
+  base_seed:int64 -> runs:int -> unit ->
+  (int64, outcome, summary) Thc_exec.Runner.t
+(** The sweep as the repository-wide runner shape: keys are the seeds
+    [base_seed .. base_seed + runs - 1], [run_one] is {!run_one}, and
+    [summarize] is {!summarize}. *)
+
 val sweep :
   Harness.t -> ?crashes:int -> ?partitions:int ->
   ?progress:(completed:int -> failures:int -> unit) ->
+  ?jobs:int -> ?stats:(Thc_exec.Pool.stats -> unit) ->
   base_seed:int64 -> runs:int -> unit -> summary
 (** Seeds [base_seed, base_seed + 1, ..., base_seed + runs - 1].
     [progress] is invoked after every run with the number of seeds finished
     and failures seen so far — callers decide how often to surface it; it
-    never affects the summary. *)
+    never affects the summary.  [jobs] fans the runs out over that many
+    worker processes ({!Thc_exec.Pool}); outcomes are merged in seed order,
+    so the summary — and the [progress] call sequence — is identical at
+    every [jobs] value.  [stats] receives the pool's wall-clock
+    accounting. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,30 @@
+open Cmdliner
+
+let runs ?(default = 1) ~doc () =
+  Arg.(value & opt int default & info [ "runs" ] ~docv:"N" ~doc)
+
+let seed ?(default = 1L) () =
+  Arg.(
+    value & opt int64 default
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Base RNG seed; sweeps use $(docv), $(docv)+1, ….")
+
+let export ~doc () =
+  Arg.(value & opt (some string) None & info [ "export" ] ~docv:"FILE" ~doc)
+
+let jobs () =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker processes for the sweep; 1 runs sequentially.  Results \
+           are merged in key order, so summaries and exports are \
+           byte-identical at every value.")
+
+let stats_reporter ~jobs st =
+  if jobs > 1 then begin
+    let registry = Thc_obsv.Metrics.create () in
+    Pool.record registry ~name:"exec" st;
+    Format.eprintf "%a@.%a@." Pool.pp_stats st Thc_obsv.Metrics.pp_snapshot
+      (Thc_obsv.Metrics.snapshot registry)
+  end

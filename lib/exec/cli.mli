@@ -1,0 +1,31 @@
+(** The shared sweep flags, spelled once.
+
+    Every sweep-shaped command ([thc explore], [thc attack],
+    [thc loadtest], the bench binary) takes the same four knobs; this
+    module is the single definition of their names, defaults and
+    documentation so the surfaces cannot drift apart again:
+
+    - [--runs N] — campaign size (seeds swept from the base seed),
+    - [--seed S] — base RNG seed, default 1,
+    - [--export FILE] — write the run's JSONL export,
+    - [--jobs N] — worker processes, default 1; output is byte-identical
+      at every value. *)
+
+val runs : ?default:int -> doc:string -> unit -> int Cmdliner.Term.t
+
+val seed : ?default:int64 -> unit -> int64 Cmdliner.Term.t
+(** [--seed] with the repository-wide default of [1L]. *)
+
+val export : doc:string -> unit -> string option Cmdliner.Term.t
+(** [--export FILE]. *)
+
+val jobs : unit -> int Cmdliner.Term.t
+(** [--jobs N], default 1 (sequential).  Values above 1 fork worker
+    processes; summaries and exports stay byte-identical. *)
+
+val stats_reporter : jobs:int -> Pool.stats -> unit
+(** The standard way a CLI surfaces pool accounting: when [jobs > 1],
+    record the run into a fresh {!Thc_obsv.Metrics} registry and print
+    the one-line summary plus the registry snapshot to {e stderr} (never
+    stdout — wall-clock numbers must not contaminate deterministic
+    output). *)

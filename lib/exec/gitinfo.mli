@@ -1,0 +1,8 @@
+(** The source revision baked into export headers.
+
+    [git describe --always --dirty] of the working tree, computed once per
+    process and cached, ["unknown"] when git or the repository is absent.
+    Stable within a checkout, so back-to-back runs of the same build still
+    produce byte-identical exports. *)
+
+val describe : unit -> string

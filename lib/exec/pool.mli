@@ -1,0 +1,70 @@
+(** Process-pool parallel execution over [Unix.fork].
+
+    A pool maps a pure job function over a list of keys, fanning the work
+    out to forked worker processes that stream results back over pipes.
+    The merge is {e deterministic}: results come back in key order no
+    matter which worker finishes first, and the optional [on_result] hook
+    fires in key order too, so a caller that prints progress or counts
+    failures produces byte-identical output at every [jobs] value.  That
+    property is what lets the sweep drivers expose [--jobs N] without
+    giving up the repository's reproducibility invariant.
+
+    Jobs must be pure functions of their key (every sweep driver in this
+    repository already is): a forked child sees a copy-on-write snapshot
+    of the parent heap, and nothing it mutates is visible back in the
+    parent except the marshalled outcome.
+
+    Failure is data, not a hang: a job that raises reports
+    [Error (Printexc.to_string exn)], and a worker that dies outright
+    (killed, segfault, [exit]) turns every one of its unfinished keys into
+    an [Error] naming the exit status.  The pool always returns one result
+    per key. *)
+
+val can_fork : bool
+(** Whether this platform supports [Unix.fork] (false on Windows).  When
+    false every map runs sequentially whatever [jobs] says. *)
+
+type stats = {
+  requested_jobs : int;  (** The [jobs] argument, clamped to ≥ 1. *)
+  workers : int;  (** Forked workers; 0 when the map ran sequentially. *)
+  keys : int;
+  failed : int;  (** Keys whose result is [Error _]. *)
+  wall_us : int64;  (** Real (not virtual) elapsed time for the map. *)
+  busy_us : int64 array;  (** Per-worker time spent inside jobs. *)
+  keys_per_worker : int array;  (** Per-worker completed-key counts. *)
+}
+
+val utilization : stats -> float
+(** Aggregate worker busy time over [workers * wall] (0 when
+    sequential) — how well the fan-out kept its workers fed. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One human line: keys, workers, wall clock, utilization.  Wall-clock
+    values are real time — print this to stderr, never into an export. *)
+
+val record : Thc_obsv.Metrics.t -> name:string -> stats -> unit
+(** Report the run into a metrics registry under [name]: counters
+    [<name>.keys] / [<name>.failed], gauges [<name>.workers] /
+    [<name>.wall_us] / [<name>.utilization_pct], and per-worker
+    [<name>.worker<i>.keys] / [<name>.worker<i>.busy_us]. *)
+
+val map :
+  ?jobs:int ->
+  ?on_result:(int -> ('r, string) result -> unit) ->
+  ('k -> 'r) ->
+  'k list ->
+  ('r, string) result list
+(** [map ~jobs f keys] is [f] applied to every key, in key order.  With
+    [jobs <= 1], an empty or singleton key list, or no fork support, it
+    runs in-process; otherwise [min jobs (length keys)] workers are forked
+    and keys are striped across them.  [on_result i r] is invoked exactly
+    once per key, in ascending key order (result [i] is delivered only
+    after results [0..i-1]), whatever order workers finish in. *)
+
+val map_stats :
+  ?jobs:int ->
+  ?on_result:(int -> ('r, string) result -> unit) ->
+  ('k -> 'r) ->
+  'k list ->
+  ('r, string) result list * stats
+(** [map] plus the wall-clock/utilization accounting of the run. *)

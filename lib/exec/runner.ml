@@ -1,0 +1,36 @@
+type ('k, 'o, 's) t = {
+  name : string;
+  keys : 'k list;
+  run_one : 'k -> 'o;
+  summarize : 'o list -> 's;
+}
+
+exception
+  Job_failed of {
+    runner : string;
+    index : int;
+    reason : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Job_failed { runner; index; reason } ->
+      Some (Printf.sprintf "Job_failed(%s: key %d: %s)" runner index reason)
+    | _ -> None)
+
+let outcomes ?jobs ?on_outcome ?stats r =
+  let on_result =
+    Option.map
+      (fun g i -> function Ok o -> g i o | Error _ -> ())
+      on_outcome
+  in
+  let results, st = Pool.map_stats ?jobs ?on_result r.run_one r.keys in
+  Option.iter (fun f -> f st) stats;
+  List.mapi
+    (fun index -> function
+      | Ok o -> o
+      | Error reason -> raise (Job_failed { runner = r.name; index; reason }))
+    results
+
+let run ?jobs ?on_outcome ?stats r =
+  r.summarize (outcomes ?jobs ?on_outcome ?stats r)

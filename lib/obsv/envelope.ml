@@ -1,0 +1,8 @@
+let header ~typ ~schema ?seed ?jobs ?git ?(extra = []) () =
+  let opt name = function Some v -> [ (name, v) ] | None -> [] in
+  Json.Obj
+    ([ ("type", Json.Str typ); ("schema", Json.Str schema) ]
+    @ opt "seed" (Option.map (fun s -> Json.Int (Int64.to_int s)) seed)
+    @ opt "jobs" (Option.map (fun j -> Json.Int j) jobs)
+    @ opt "git" (Option.map (fun g -> Json.Str g) git)
+    @ extra)

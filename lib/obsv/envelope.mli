@@ -1,0 +1,30 @@
+(** The common JSONL export header.
+
+    Every machine-readable export in the repository (thc-bench/v2,
+    thc-attack/v1, thc-loadtest/v1) opens with one header object built
+    here, so the envelope fields spell and order identically everywhere:
+
+    [{"type":T, "schema":S, "seed":…, "jobs":…, "git":…, <extra>…}]
+
+    [jobs] is the {e campaign size} — how many units of work (seeds,
+    cells, points, tables) the export covers — never the worker count:
+    recording parallelism would break the invariant that [--jobs N]
+    exports are byte-identical to sequential ones.  [git] is the source
+    revision ([git describe --always --dirty], cached per process by the
+    exec library); it varies across commits but not
+    across runs of one build, which is what export-determinism checks
+    compare.  Readers must treat all envelope fields beyond [type] and
+    [schema] as optional: v1 parsers predate them. *)
+
+val header :
+  typ:string ->
+  schema:string ->
+  ?seed:int64 ->
+  ?jobs:int ->
+  ?git:string ->
+  ?extra:(string * Json.t) list ->
+  unit ->
+  Json.t
+(** Fields in fixed order: [type], [schema], then [seed]/[jobs]/[git] when
+    given, then [extra] in the order supplied (canonical rendering keeps
+    the export byte-deterministic). *)

@@ -178,14 +178,21 @@ let run_point p =
   | Minbft_protocol -> run_minbft p
   | Pbft_protocol -> run_pbft p
 
-let sweep p ~arrivals ~batches =
-  List.concat_map
-    (fun arrival ->
-      List.map
-        (fun batch ->
-          run_point { p with batch; spec = { p.spec with W.arrival } })
-        batches)
-    arrivals
+let runner p ~arrivals ~batches =
+  {
+    Thc_exec.Runner.name = "loadtest";
+    keys =
+      List.concat_map
+        (fun arrival -> List.map (fun batch -> (arrival, batch)) batches)
+        arrivals;
+    run_one =
+      (fun (arrival, batch) ->
+        run_point { p with batch; spec = { p.spec with W.arrival } });
+    summarize = Fun.id;
+  }
+
+let sweep ?jobs ?stats p ~arrivals ~batches =
+  Thc_exec.Runner.run ?jobs ?stats (runner p ~arrivals ~batches)
 
 (* --- JSONL export / parse ---------------------------------------------- *)
 
@@ -232,13 +239,11 @@ let export ~seed results =
     Buffer.add_char b '\n'
   in
   line
-    (J.Obj
-       [
-         ("type", J.Str "loadtest");
-         ("schema", J.Str schema);
-         ("seed", J.Int (Int64.to_int seed));
-         ("points", J.Int (List.length results));
-       ]);
+    (Thc_obsv.Envelope.header ~typ:"loadtest" ~schema ~seed
+       ~jobs:(List.length results)
+       ~git:(Thc_exec.Gitinfo.describe ())
+       ~extra:[ ("points", J.Int (List.length results)) ]
+       ());
   List.iter (fun r -> line (result_to_json r)) results;
   Buffer.contents b
 
@@ -300,9 +305,31 @@ let parse text =
       (fun (_, l) -> String.trim l <> "")
       (List.mapi (fun i l -> (i + 1, l)) (String.split_on_char '\n' text))
   in
+  (* A line that does not parse — truncated writes included — is a
+     hard error naming the line, not a silent drop: a report over a
+     partial export must say so rather than under-count. *)
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | (lineno, l) :: rest -> (
+      match J.parse l with
+      | Error e ->
+        Error
+          (Printf.sprintf "line %d: malformed or truncated JSONL (%s)" lineno
+             e)
+      | Ok j -> (
+        match Option.bind (J.member "type" j) J.to_str with
+        | Some "point" -> (
+          match row_of_json j with
+          | Some r -> collect (r :: acc) rest
+          | None ->
+            Error
+              (Printf.sprintf "line %d: point row missing protocol/arrival"
+                 lineno))
+        | _ -> collect acc rest))
+  in
   match lines with
   | [] -> Error "empty loadtest export"
-  | (_, header) :: rest -> (
+  | ((_, header) :: rest) as all -> (
     match J.parse header with
     | Error e -> Error (Printf.sprintf "bad header: %s" e)
     | Ok h -> (
@@ -310,30 +337,12 @@ let parse text =
         (Option.bind (J.member "type" h) J.to_str,
          Option.bind (J.member "schema" h) J.to_str)
       with
-      | Some "loadtest", Some s when s = schema ->
-        (* A line that does not parse — truncated writes included — is a
-           hard error naming the line, not a silent drop: a report over a
-           partial export must say so rather than under-count. *)
-        let rec collect acc = function
-          | [] -> Ok (List.rev acc)
-          | (lineno, l) :: rest -> (
-            match J.parse l with
-            | Error e ->
-              Error
-                (Printf.sprintf "line %d: malformed or truncated JSONL (%s)"
-                   lineno e)
-            | Ok j -> (
-              match Option.bind (J.member "type" j) J.to_str with
-              | Some "point" -> (
-                match row_of_json j with
-                | Some r -> collect (r :: acc) rest
-                | None ->
-                  Error
-                    (Printf.sprintf
-                       "line %d: point row missing protocol/arrival" lineno))
-              | _ -> collect acc rest))
-        in
-        collect [] rest
+      | Some "loadtest", Some s when s = schema -> collect [] rest
       | Some "loadtest", Some s ->
         Error (Printf.sprintf "schema mismatch: got %s, want %s" s schema)
+      | Some "point", _ ->
+        (* Headerless v1 stream: every line is a point row.  Pre-envelope
+           tooling concatenated or tailed exports without the header; keep
+           reading them. *)
+        collect [] all
       | _ -> Error "not a loadtest export (missing type/schema header)"))

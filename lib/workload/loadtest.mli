@@ -48,10 +48,26 @@ val run_point : point -> result
 (** Deterministic: a given point always yields the same result.  Raises
     [Invalid_argument] on a malformed workload spec. *)
 
+val runner :
+  point ->
+  arrivals:Workload.arrival list ->
+  batches:int list ->
+  (Workload.arrival * int, result, result list) Thc_exec.Runner.t
+(** The sweep as the repository-wide runner shape: keys are the
+    (arrival × batch) grid, arrival-major; [run_one] is one
+    {!run_point}. *)
+
 val sweep :
-  point -> arrivals:Workload.arrival list -> batches:int list -> result list
+  ?jobs:int ->
+  ?stats:(Thc_exec.Pool.stats -> unit) ->
+  point ->
+  arrivals:Workload.arrival list ->
+  batches:int list ->
+  result list
 (** [run_point] over the full (arrival × batch) grid, arrival-major, with
-    every other field taken from the template point. *)
+    every other field taken from the template point.  [jobs] fans points
+    out over worker processes; results merge in grid order, so the list —
+    and its export — is byte-identical at every value. *)
 
 (** {1 JSONL export} *)
 
@@ -59,8 +75,9 @@ val schema : string
 (** ["thc-loadtest/v1"]. *)
 
 val export : seed:int64 -> result list -> string
-(** Header line (type/schema/seed/point count) then one canonical-JSON
-    [point] line per result.  Byte-deterministic. *)
+(** Envelope header line ({!Thc_obsv.Envelope}: type, schema, seed, jobs =
+    point count, git revision, points) then one canonical-JSON [point]
+    line per result.  Byte-deterministic within a checkout. *)
 
 type row = {
   r_protocol : string;
@@ -86,7 +103,9 @@ type row = {
 
 val parse : string -> (row list, string) Stdlib.result
 (** Read an {!export}ed document back; rejects missing or mismatched
-    schema headers and skips unknown line types.  A line that fails to
+    schema headers and skips unknown line types.  A headerless document
+    whose first line is a [point] row (pre-envelope v1 streams) is
+    accepted and read as all rows.  A line that fails to
     parse — e.g. a write truncated mid-file — is an [Error] naming the
     line number, so a report over a partial export fails loudly instead
     of silently under-counting points. *)
