@@ -41,8 +41,11 @@ let section title =
 (*   {"schema":"thc-bench/v2","experiments":{<id>:{<metric>:<value>}}}      *)
 (* v2 adds the s3.* throughput–latency curve keys produced by table_s3 and  *)
 (* the byz.* attack-catalog keys produced by table_byz.                      *)
-(* Only virtual-time metrics are recorded — the Bechamel wall-clock numbers *)
-(* stay stdout-only so the file is identical across machines and runs.      *)
+(* Every key is a virtual-time metric — identical across machines and runs  *)
+(* — except the s4.* engine-throughput block, which is wall-clock by        *)
+(* definition (events/sec, ops/sec).  Byte-determinism comparisons must     *)
+(* therefore exclude s4; CI asserts its keys are present and positive, not  *)
+(* their values.  The Bechamel numbers stay stdout-only as before.          *)
 (* ----------------------------------------------------------------------- *)
 
 module J = Thc_obsv.Json
@@ -1035,6 +1038,112 @@ let table_problems () =
     (List.length results - List.length failed)
     (List.length results)
 
+(* ----------------------------------------------------------------------- *)
+(* S4: engine throughput (wall clock)                                        *)
+(* ----------------------------------------------------------------------- *)
+
+let s4_timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let s4_cell ~ops ~clients ~seed =
+  {
+    Thc_replication.Harness.protocol = Thc_replication.Harness.Minbft_protocol;
+    f = 1;
+    ops;
+    clients;
+    batch = 1;
+    interval = 5_000L;
+    delay = Thc_sim.Delay.Uniform (50L, 500L);
+    scenario = Thc_replication.Harness.Fault_free;
+    seed;
+  }
+
+(* Throughput mode: same cluster and schedule as an S1 cell, but
+   Outputs_only tracing and the lite reduction, so nearly all wall time
+   is simulation.  One warm-up run, then [trials] timed runs on distinct
+   seeds so no run amortizes another's caches. *)
+let s4_lite_samples ~ops ~clients ~trials =
+  ignore (Thc_replication.Harness.run_lite (s4_cell ~ops ~clients ~seed:17L));
+  List.init trials (fun i ->
+      let cell = s4_cell ~ops ~clients ~seed:(Int64.of_int (i + 1)) in
+      let l, el = s4_timed (fun () -> Thc_replication.Harness.run_lite cell) in
+      {
+        Thc_obsv.Throughput.events = l.Thc_replication.Harness.l_events;
+        ops = l.Thc_replication.Harness.l_completed;
+        elapsed_s = el;
+      })
+
+(* The full pipeline (Full tracing + every metric fold) on the same cell,
+   for the overhead comparison row. *)
+let s4_full_samples ~ops ~clients ~trials =
+  ignore (Thc_replication.Harness.run (s4_cell ~ops ~clients ~seed:17L));
+  List.init trials (fun i ->
+      let cell = s4_cell ~ops ~clients ~seed:(Int64.of_int (i + 1)) in
+      let o, el = s4_timed (fun () -> Thc_replication.Harness.run cell) in
+      {
+        Thc_obsv.Throughput.events = o.Thc_replication.Harness.events;
+        ops = o.Thc_replication.Harness.completed;
+        elapsed_s = el;
+      })
+
+(* Raw engine ceiling: n all-to-all broadcasters on 10us timers, no
+   protocol work at all — every cycle is pop, dispatch, push.  Measures
+   the calendar queue + arena + pool machinery itself. *)
+let s4_storm ~tracing ~n ~horizon () =
+  let net = Thc_sim.Net.create ~n ~default:(Thc_sim.Delay.Uniform (5L, 50L)) in
+  let eng : int Thc_sim.Engine.t =
+    Thc_sim.Engine.create ~seed:7L ~tracing ~n ~net ()
+  in
+  let behavior =
+    {
+      Thc_sim.Engine.init = (fun ctx -> ctx.set_timer ~delay:10L ~tag:0);
+      on_message = (fun _ ~src:_ _ -> ());
+      on_timer =
+        (fun ctx _ ->
+          ctx.others (ctx.self * 1000);
+          if ctx.now () < horizon then ctx.set_timer ~delay:10L ~tag:0);
+    }
+  in
+  for pid = 0 to n - 1 do
+    Thc_sim.Engine.set_behavior eng pid behavior
+  done;
+  ignore (Thc_sim.Engine.run ~max_events:10_000_000 eng);
+  Thc_sim.Engine.events_processed eng
+
+let s4_storm_samples ~tracing ~trials =
+  let run = s4_storm ~tracing ~n:4 ~horizon:50_000L in
+  ignore (run ());
+  List.init trials (fun _ ->
+      let events, el = s4_timed run in
+      { Thc_obsv.Throughput.events; ops = 0; elapsed_s = el })
+
+let table_s4 () =
+  section "S4 — engine throughput: events/sec and ops/sec (wall clock)";
+  let t = Thc_util.Table.create ("workload" :: Thc_obsv.Throughput.columns) in
+  let rows =
+    [
+      ("s1_lite_ops25", s4_lite_samples ~ops:25 ~clients:1 ~trials:5);
+      ("s1_lite_ops100x4", s4_lite_samples ~ops:100 ~clients:4 ~trials:3);
+      ("s1_full_ops25", s4_full_samples ~ops:25 ~clients:1 ~trials:3);
+      ("storm_full", s4_storm_samples ~tracing:Thc_sim.Engine.Full ~trials:3);
+      ("storm_off", s4_storm_samples ~tracing:Thc_sim.Engine.Off ~trials:3);
+    ]
+  in
+  List.iter
+    (fun (name, samples) ->
+      let s = Thc_obsv.Throughput.summarize samples in
+      record "s4" name (Thc_obsv.Throughput.to_json s);
+      Thc_util.Table.add_row t (name :: Thc_obsv.Throughput.cells s))
+    rows;
+  Thc_util.Table.print t;
+  print_endline
+    "(wall-clock and nondeterministic by design — the one table whose\n\
+    \ numbers measure the machine, not the model.  s1_lite_* is the\n\
+    \ measurement mode: the S1 schedule under Outputs_only tracing.\n\
+    \ storm_* is the bare engine; min is the robust column on a noisy box.)"
+
 let tables =
   [
     ("f1", table_f1);
@@ -1050,6 +1159,7 @@ let tables =
     ("ablation", table_ablation);
     ("byz", table_byz);
     ("s2", table_s2);
+    ("s4", table_s4);
   ]
 
 let main jobs_n only =
@@ -1067,15 +1177,16 @@ let main jobs_n only =
   List.iter
     (fun (id, table) -> if List.mem id selected then table ())
     tables;
+  write_results ();
   if only = [] then begin
-    write_results ();
     run_bechamel ();
     print_endline "\nbench: all experiment tables regenerated"
   end
   else
     print_endline
-      "\nbench: selected tables regenerated (partial run: BENCH_results.json \
-       and the Bechamel suite were skipped)"
+      "\nbench: selected tables regenerated (partial run: \
+       BENCH_results.json holds only the selected tables; the Bechamel \
+       suite was skipped)"
 
 let () =
   let open Cmdliner in
@@ -1086,8 +1197,8 @@ let () =
       & info [ "only" ] ~docv:"TABLES"
           ~doc:
             "Comma-separated experiment table ids to run (e.g. s1,byz). A \
-             partial run skips BENCH_results.json and the Bechamel \
-             wall-clock suite.")
+             partial run writes BENCH_results.json with just the selected \
+             tables' keys and skips the Bechamel wall-clock suite.")
   in
   let cmd =
     Cmd.v

@@ -306,7 +306,7 @@ let run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until () =
   Option.iter (fun s -> Thc_sim.Adversary.install s engine) script;
   let trace = E.run ~until engine in
   let ledger = Trinc.ledger world in
-  {
+  ( {
     attack;
     target = Minbft;
     seed;
@@ -320,7 +320,8 @@ let run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until () =
     duration_us = trace.Thc_sim.Trace.end_time;
     client_finished = client_finished trace ~pid:n ~expected:(List.length plan);
     detail = minbft_detail attack;
-  }
+  },
+    trace )
 
 (* --- the unattested side ------------------------------------------------- *)
 
@@ -422,18 +423,25 @@ let run_unattested ~attack ~f ~seed ~corrupt_at ~script ~until () =
     detail = r.R.Ablation.detail;
   }
 
+let script_slack = function
+  | None -> 0L
+  | Some s -> s.Thc_sim.Adversary.horizon
+
 let run ?(f = 1) ?(seed = 1L) ?(corrupt_at = 5_000L) ?script ~target ~attack ()
     =
   let corrupt_at = if corrupt_at < 1L then 1L else corrupt_at in
-  let slack =
-    match script with
-    | None -> 0L
-    | Some s -> s.Thc_sim.Adversary.horizon
-  in
+  let slack = script_slack script in
   match target with
   | Minbft ->
     let until = Int64.add 500_000L (Int64.add corrupt_at slack) in
-    run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until ()
+    fst (run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until ())
   | Unattested ->
     let until = Int64.add 1_000_000L (Int64.add corrupt_at slack) in
     run_unattested ~attack ~f ~seed ~corrupt_at ~script ~until ()
+
+let run_export ?(f = 1) ?(seed = 1L) ?(corrupt_at = 5_000L) ?script ~attack ()
+    =
+  let corrupt_at = if corrupt_at < 1L then 1L else corrupt_at in
+  let until = Int64.add 500_000L (Int64.add corrupt_at (script_slack script)) in
+  let result, trace = run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until () in
+  (result, Thc_sim.Trace.to_jsonl ~encode_msg:Thc_util.Codec.encode trace)

@@ -87,4 +87,18 @@ val run :
     the run horizon is extended past the script's horizon so held traffic
     drains before verdicts are read. *)
 
+val run_export :
+  ?f:int ->
+  ?seed:int64 ->
+  ?corrupt_at:int64 ->
+  ?script:Thc_sim.Adversary.t ->
+  attack:kind ->
+  unit ->
+  result * string
+(** Like {!run} against the [Minbft] target, additionally returning the
+    run's full engine trace as JSONL ({!Thc_sim.Trace.to_jsonl} with
+    {!Thc_util.Codec.encode}d messages).  Byte-deterministic per
+    [(f, seed, corrupt_at, script)] — the attack driver's contribution to
+    the golden-trace equivalence corpus. *)
+
 val pp_result : Format.formatter -> result -> unit

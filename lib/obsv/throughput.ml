@@ -1,0 +1,81 @@
+type sample = { events : int; ops : int; elapsed_s : float }
+
+type summary = {
+  samples : int;
+  events : int;
+  ops : int;
+  elapsed_s : float;
+  ev_s_min : float;
+  ev_s_mean : float;
+  ev_s_max : float;
+  ops_s_min : float;
+  ops_s_mean : float;
+  ops_s_max : float;
+}
+
+let rate count elapsed = if elapsed > 0.0 then float_of_int count /. elapsed else 0.0
+
+let summarize (samples : sample list) =
+  match samples with
+  | [] -> invalid_arg "Throughput.summarize: no samples"
+  | _ ->
+    let events = List.fold_left (fun a (s : sample) -> a + s.events) 0 samples in
+    let ops = List.fold_left (fun a (s : sample) -> a + s.ops) 0 samples in
+    let elapsed_s =
+      List.fold_left (fun a (s : sample) -> a +. s.elapsed_s) 0.0 samples
+    in
+    let fold f init sel =
+      List.fold_left
+        (fun a (s : sample) -> f a (rate (sel s) s.elapsed_s))
+        init samples
+    in
+    {
+      samples = List.length samples;
+      events;
+      ops;
+      elapsed_s;
+      (* min/max are per-sample rates (min is the robust statistic on a
+         noisy machine); mean is the pooled total-over-total rate, not
+         the mean of per-sample rates, so long samples weigh more. *)
+      ev_s_min = fold min infinity (fun s -> s.events);
+      ev_s_mean = rate events elapsed_s;
+      ev_s_max = fold max 0.0 (fun s -> s.events);
+      ops_s_min = fold min infinity (fun s -> s.ops);
+      ops_s_mean = rate ops elapsed_s;
+      ops_s_max = fold max 0.0 (fun s -> s.ops);
+    }
+
+(* Compact humanized rate: 6.29M, 517k, 842. *)
+let pp_rate ppf r =
+  if r >= 1e6 then Format.fprintf ppf "%.2fM" (r /. 1e6)
+  else if r >= 1e3 then Format.fprintf ppf "%.0fk" (r /. 1e3)
+  else Format.fprintf ppf "%.0f" r
+
+let rate_string r = Format.asprintf "%a" pp_rate r
+
+let columns = [ "runs"; "events"; "ev/s min"; "ev/s mean"; "ev/s max"; "ops/s" ]
+
+let cells t =
+  [
+    string_of_int t.samples;
+    string_of_int t.events;
+    rate_string t.ev_s_min;
+    rate_string t.ev_s_mean;
+    rate_string t.ev_s_max;
+    rate_string t.ops_s_mean;
+  ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("samples", Json.Int t.samples);
+      ("events", Json.Int t.events);
+      ("ops", Json.Int t.ops);
+      ("elapsed_s", Json.Float t.elapsed_s);
+      ("ev_per_s_min", Json.Float t.ev_s_min);
+      ("ev_per_s_mean", Json.Float t.ev_s_mean);
+      ("ev_per_s_max", Json.Float t.ev_s_max);
+      ("ops_per_s_min", Json.Float t.ops_s_min);
+      ("ops_per_s_mean", Json.Float t.ops_s_mean);
+      ("ops_per_s_max", Json.Float t.ops_s_max);
+    ]

@@ -1,0 +1,42 @@
+(** Wall-clock throughput as a first-class metric.
+
+    The simulator's other metrics are virtual-time and deterministic;
+    throughput is the one observable that is {e about} the wall clock:
+    engine events dispatched per second and application operations
+    (committed requests) per second.  A {!sample} is one timed run;
+    {!summarize} reduces repeated runs benchmark-harness style into
+    min/mean/max rate columns, where min is the robust statistic on a
+    noisy machine and mean is pooled (total events over total seconds).
+
+    Values are nondeterministic by nature, so exports carrying them are
+    excluded from byte-determinism comparisons — CI asserts presence and
+    positivity, not values. *)
+
+type sample = { events : int; ops : int; elapsed_s : float }
+
+type summary = {
+  samples : int;
+  events : int;  (** Total events across samples. *)
+  ops : int;  (** Total operations across samples. *)
+  elapsed_s : float;  (** Total wall time across samples. *)
+  ev_s_min : float;
+  ev_s_mean : float;  (** Pooled: [events / elapsed_s]. *)
+  ev_s_max : float;
+  ops_s_min : float;
+  ops_s_mean : float;
+  ops_s_max : float;
+}
+
+val summarize : sample list -> summary
+(** Raises [Invalid_argument] on an empty list. *)
+
+val rate_string : float -> string
+(** Humanized rate: ["6.29M"], ["517k"], ["842"]. *)
+
+val columns : string list
+(** Table headers matching {!cells}. *)
+
+val cells : summary -> string list
+(** One table row: runs, events, ev/s min/mean/max, ops/s. *)
+
+val to_json : summary -> Json.t

@@ -39,6 +39,7 @@ type outcome = {
   trusted_per_request : float;
   latency_by_client : (int * Thc_util.Stats.summary) list;
   metrics : Thc_obsv.Metrics.t;
+  events : int;
 }
 
 let default_workload ~ops ~seed =
@@ -134,7 +135,7 @@ let registry_of ~latencies ~completed ~commits ~messages ~breakdown
   (m, lat)
 
 let finish (type m) setup ~(trace : m Thc_sim.Trace.t) ~replicas
-    ~final_view ~classify ~net_stats ~hw =
+    ~final_view ~classify ~net_stats ~hw ~events =
   let latencies = Smr_spec.client_latencies trace in
   let completed = List.length latencies in
   let commits = Smr_spec.commits trace ~replicas in
@@ -186,6 +187,7 @@ let finish (type m) setup ~(trace : m Thc_sim.Trace.t) ~replicas
         (fun (pid, ls) -> (pid, Thc_util.Stats.summarize ls))
         (Smr_spec.latencies_by_client trace);
     metrics;
+    events;
   }
 
 let export_of (type m) ~(trace : m Thc_sim.Trace.t) ~outcome =
@@ -230,7 +232,12 @@ let apply_scenario (type m) setup ~(engine : m Thc_sim.Engine.t) ~replicas =
       (Thc_sim.Adversary.crashed script);
     Thc_sim.Adversary.install script engine
 
-let run_minbft setup =
+(* The two protocol builders share their shape through a continuation:
+   assemble the cluster (engine at the requested tracing level, replicas,
+   clients, fault schedule), then hand the engine plus the
+   protocol-specific accessors to [k].  Full-fidelity runs and the
+   throughput-mode lite runs differ only in the continuation. *)
+let with_minbft setup ~tracing k =
   let config =
     { (Minbft.default_config ~f:setup.f) with batch_size = max 1 setup.batch }
   in
@@ -241,7 +248,9 @@ let run_minbft setup =
   let keyring = Thc_crypto.Keyring.create rng ~n:total in
   let world = Thc_hardware.Trinc.create_world rng ~n in
   let net = Thc_sim.Net.create ~n:total ~default:setup.delay in
-  let engine = Thc_sim.Engine.create ~seed:setup.seed ~n:total ~net () in
+  let engine =
+    Thc_sim.Engine.create ~seed:setup.seed ~tracing ~n:total ~net ()
+  in
   let states =
     Array.init n (fun self ->
         Minbft.create_replica ~config ~keyring ~world
@@ -259,21 +268,13 @@ let run_minbft setup =
          ~plan:(plan_for setup c))
   done;
   apply_scenario setup ~engine ~replicas:n;
-  let trace =
-    Thc_sim.Engine.run ~until:(horizon setup) ~max_events:20_000_000 engine
-  in
-  let final_view =
-    Array.fold_left (fun acc st -> max acc (Minbft.view_of st)) 0 states
-  in
-  let outcome =
-    finish setup ~trace ~replicas:n ~final_view
-      ~classify:Minbft.classify_msg
-      ~net_stats:(Thc_sim.Engine.stats engine)
-      ~hw:(Thc_hardware.Trinc.ledger world)
-  in
-  (outcome, fun () -> export_of ~trace ~outcome)
+  k engine ~replicas:n
+    ~final_view:(fun () ->
+      Array.fold_left (fun acc st -> max acc (Minbft.view_of st)) 0 states)
+    ~classify:Minbft.classify_msg
+    ~hw:(Thc_hardware.Trinc.ledger world)
 
-let run_pbft setup =
+let with_pbft setup ~tracing k =
   let config =
     { (Pbft.default_config ~f:setup.f) with batch_size = max 1 setup.batch }
   in
@@ -283,7 +284,9 @@ let run_pbft setup =
   let rng = Thc_util.Rng.create setup.seed in
   let keyring = Thc_crypto.Keyring.create rng ~n:total in
   let net = Thc_sim.Net.create ~n:total ~default:setup.delay in
-  let engine = Thc_sim.Engine.create ~seed:setup.seed ~n:total ~net () in
+  let engine =
+    Thc_sim.Engine.create ~seed:setup.seed ~tracing ~n:total ~net ()
+  in
   let states =
     Array.init n (fun self ->
         Pbft.create_replica ~config ~keyring
@@ -301,20 +304,30 @@ let run_pbft setup =
          ~plan:(plan_for setup c))
   done;
   apply_scenario setup ~engine ~replicas:n;
+  k engine ~replicas:n
+    ~final_view:(fun () ->
+      Array.fold_left (fun acc st -> max acc (Pbft.view_of st)) 0 states)
+    ~classify:Pbft.classify_msg
+    (* PBFT spends no trusted ops; an empty ledger keeps the rate at 0. *)
+    ~hw:(Thc_obsv.Ledger.create ())
+
+let full_run setup engine ~replicas ~final_view ~classify ~hw =
   let trace =
     Thc_sim.Engine.run ~until:(horizon setup) ~max_events:20_000_000 engine
   in
-  let final_view =
-    Array.fold_left (fun acc st -> max acc (Pbft.view_of st)) 0 states
-  in
   let outcome =
-    finish setup ~trace ~replicas:n ~final_view
-      ~classify:Pbft.classify_msg
+    finish setup ~trace ~replicas ~final_view:(final_view ()) ~classify
       ~net_stats:(Thc_sim.Engine.stats engine)
-      (* PBFT spends no trusted ops; an empty ledger keeps the rate at 0. *)
-      ~hw:(Thc_obsv.Ledger.create ())
+      ~hw
+      ~events:(Thc_sim.Engine.events_processed engine)
   in
   (outcome, fun () -> export_of ~trace ~outcome)
+
+let run_minbft setup =
+  with_minbft setup ~tracing:Thc_sim.Engine.Full (full_run setup)
+
+let run_pbft setup =
+  with_pbft setup ~tracing:Thc_sim.Engine.Full (full_run setup)
 
 let run setup =
   match setup.protocol with
@@ -328,6 +341,42 @@ let run_export setup =
     | Pbft_protocol -> run_pbft setup
   in
   (outcome, export ())
+
+type lite = {
+  l_completed : int;
+  l_commits : int;
+  l_messages : int;
+  l_events : int;
+  l_duration_us : int64;
+}
+
+(* Throughput-mode run: same cluster, same schedule, same RNG draws —
+   the engine records only Output/Crashed entries and the reduction
+   skips the full metric registry, so nearly all of the wall time is the
+   simulation itself.  Used by the S4 engine-throughput benchmarks. *)
+let run_lite setup =
+  let lite : type m.
+      m Thc_sim.Engine.t ->
+      replicas:int ->
+      final_view:(unit -> int) ->
+      classify:(m -> string) ->
+      hw:Thc_obsv.Ledger.t ->
+      lite =
+   fun engine ~replicas ~final_view:_ ~classify:_ ~hw:_ ->
+    let trace =
+      Thc_sim.Engine.run ~until:(horizon setup) ~max_events:20_000_000 engine
+    in
+    {
+      l_completed = List.length (Smr_spec.client_latencies trace);
+      l_commits = Smr_spec.commits trace ~replicas;
+      l_messages = Thc_obsv.Link_stats.sends (Thc_sim.Engine.stats engine);
+      l_events = Thc_sim.Engine.events_processed engine;
+      l_duration_us = trace.Thc_sim.Trace.end_time;
+    }
+  in
+  match setup.protocol with
+  | Minbft_protocol -> with_minbft setup ~tracing:Thc_sim.Engine.Outputs_only lite
+  | Pbft_protocol -> with_pbft setup ~tracing:Thc_sim.Engine.Outputs_only lite
 
 let pp_outcome ppf o =
   Format.fprintf ppf

@@ -59,6 +59,10 @@ type outcome = {
       (** Per-client-pid latency quantiles, ascending pid. *)
   metrics : Thc_obsv.Metrics.t;
       (** Everything above as one registry — the export's snapshot line. *)
+  events : int;
+      (** Engine events dispatched ({!Thc_sim.Engine.events_processed}) —
+          the numerator of the events/sec throughput metric.  Not folded
+          into {!metrics} so existing export bytes are unchanged. *)
 }
 
 val run : setup -> outcome
@@ -70,6 +74,23 @@ val run_export : setup -> outcome * string
     ({!Thc_sim.Trace.to_jsonl} with {!Thc_util.Codec.encode}d messages)
     followed by a [{"type":"metrics",...}] snapshot line and a
     [{"type":"ledger",...}] trusted-op line.  Deterministic per seed. *)
+
+type lite = {
+  l_completed : int;
+  l_commits : int;
+  l_messages : int;
+  l_events : int;
+  l_duration_us : int64;
+}
+(** The throughput-mode reduction: just the counts that define
+    events/sec and ops/sec, none of the full metric registry. *)
+
+val run_lite : setup -> lite
+(** Same cluster, schedule and RNG draws as {!run} — scheduling is
+    bit-identical — but the engine records only Output/Crashed entries
+    ({!Thc_sim.Engine.Outputs_only}) and the reduction skips the trace
+    folds, so nearly all wall time is simulation.  The measurement mode
+    of the S4 engine-throughput benchmarks. *)
 
 val default_workload : ops:int -> seed:int64 -> Kv_store.op list
 

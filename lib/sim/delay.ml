@@ -10,6 +10,19 @@ let sample rng = function
     let d = Thc_util.Rng.exponential rng ~mean in
     Int64.of_float (Float.max 1.0 d)
 
+(* Unboxed twin of [sample] for the engine's hot path: same RNG draw
+   sequence, same value, but as an immediate int (virtual-time µs fit a
+   63-bit int) so scheduling arithmetic allocates nothing. *)
+let sample_us rng = function
+  | Const d -> if d < 0L then 0 else Int64.to_int d
+  | Uniform (lo, hi) ->
+    if hi < lo then invalid_arg "Delay.sample: empty range";
+    let span = Int64.to_int (Int64.sub hi lo) in
+    Int64.to_int lo + Thc_util.Rng.int rng (span + 1)
+  | Exponential mean ->
+    let d = Thc_util.Rng.exponential rng ~mean in
+    int_of_float (Float.max 1.0 d)
+
 let pp ppf = function
   | Const d -> Format.fprintf ppf "const(%Ldµs)" d
   | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%Ld,%Ldµs)" lo hi

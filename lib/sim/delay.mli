@@ -15,4 +15,8 @@ type t =
 val sample : Thc_util.Rng.t -> t -> int64
 (** Draw one delay; always ≥ 0. *)
 
+val sample_us : Thc_util.Rng.t -> t -> int
+(** Exactly {!sample} — same RNG consumption, same value — returned as
+    an immediate [int] so the scheduler's arithmetic stays unboxed. *)
+
 val pp : Format.formatter -> t -> unit

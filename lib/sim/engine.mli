@@ -38,8 +38,31 @@ type 'm behavior = {
 val no_op : 'm behavior
 (** Behavior that does nothing (a silent/crashed-from-start process). *)
 
-val create : ?seed:int64 -> n:int -> net:Net.t -> unit -> 'm t
-(** Fresh engine over [n] processes.  [net] must have the same [n]. *)
+type tracing =
+  | Full
+      (** Record every entry (sends, deliveries, holds, drops, timers,
+          outputs, crashes) — the golden-trace/export fidelity mode, and
+          the default. *)
+  | Outputs_only
+      (** Record only [Output] and [Crashed] entries — enough for the
+          SMR monitors' commit and latency reductions
+          ({!Thc_replication.Smr_spec}-style folds over outputs), at a
+          fraction of the allocation.  The throughput-measurement mode. *)
+  | Off  (** Record nothing; {!run}'s trace has an empty entry list. *)
+
+val create :
+  ?seed:int64 -> ?tracing:tracing -> ?recycle:bool -> n:int -> net:Net.t ->
+  unit -> 'm t
+(** Fresh engine over [n] processes.  [net] must have the same [n].
+
+    [tracing] (default [Full]) selects how much of the run is recorded;
+    it changes {e only} what {!run}'s trace contains — scheduling, RNG
+    consumption and behavior execution are bit-identical across modes.
+
+    [recycle] (default [true]) arena-recycles the engine's internal
+    event records through a free list; [false] allocates every event
+    fresh.  Observable behavior is identical — the flag exists so tests
+    can prove it. *)
 
 val net : 'm t -> Net.t
 
@@ -84,6 +107,11 @@ val heal_all : 'm t -> Delay.t -> unit
     temporary partition. *)
 
 val now : 'm t -> int64
+
+val events_processed : 'm t -> int
+(** Events the run loop has dispatched so far — the numerator of the
+    events/sec throughput metric.  Counts every popped event (including
+    deliveries to crashed processes), not trace entries. *)
 
 val run : ?max_events:int -> ?until:int64 -> 'm t -> 'm Trace.t
 (** Process events in time order until quiescence, [until] (events after it

@@ -15,6 +15,37 @@ type policy =
           set back to [Deliver] (see {!Engine.set_link}). *)
   | Drop  (** Silently discard. *)
 
+(** Recycled flat buffers for held (blocked-link) traffic.  The engine
+    parks messages for a blocked link in one [buf] per directed link and
+    returns it to the pool when the link heals, so repeated partition
+    episodes reuse the same backing arrays instead of allocating queue
+    cells per message. *)
+module Pool : sig
+  type 'a buf
+  (** Growable vector of parked values, FIFO by insertion index. *)
+
+  type 'a t
+
+  val create : null:'a -> unit -> 'a t
+  (** [null] is the sentinel written into vacated slots on {!release} so
+      a pooled buffer never pins its previous contents. *)
+
+  val acquire : 'a t -> 'a buf
+  (** An empty buffer — a recycled one when available. *)
+
+  val release : 'a t -> 'a buf -> unit
+  (** Clear [buf] (slots overwritten with the null sentinel) and return
+      it to the pool for the next {!acquire}. *)
+
+  val push : 'a buf -> 'a -> unit
+
+  val length : 'a buf -> int
+
+  val get : 'a buf -> int -> 'a
+  (** [get buf i] is the [i]-th pushed value; raises [Invalid_argument]
+      out of bounds. *)
+end
+
 type t
 
 val create : n:int -> default:Delay.t -> t

@@ -1,0 +1,303 @@
+(* Calendar queue with a binary-heap fallback for sparse horizons.
+
+   The structure is a classic discrete-event calendar: the near future
+   (one "year" = nbuckets * width time units) is divided into
+   fixed-width bucket slices, and an event lands in the bucket of its
+   slice in O(1).  Events beyond the current year go to an overflow
+   binary heap; when the calendar drains, the year re-anchors at the
+   overflow minimum and every overflow event inside the new year
+   migrates into the buckets.  Both sides are structs-of-arrays (parallel
+   int arrays for times and ties, a value array alongside) so the hot
+   path touches flat unboxed memory instead of boxed tuple keys.
+
+   Ordering invariants (the simulator depends on all three):
+
+   - bucketed events always precede overflow events: an event is only
+     bucketed while its time < year_end, and every overflow event has
+     time >= year_end;
+   - within the current year, the cursor bucket's events all precede
+     later buckets' events: past-time pushes are clamped into the cursor
+     bucket, and a bucket strictly before the cursor is necessarily
+     empty (the cursor only advances over drained buckets);
+   - two co-resident events with equal time are always in the same
+     bucket, and [pop] selects the bucket minimum by (time, tie), so the
+     caller's tie counter is a total insertion order at equal times. *)
+
+type 'v bucket = {
+  mutable bt : int array;  (* times *)
+  mutable bs : int array;  (* ties *)
+  mutable bv : 'v array;  (* values *)
+  mutable blen : int;
+}
+
+type 'v t = {
+  null : 'v;  (* sentinel written into vacated value slots *)
+  nbuckets : int;
+  width : int;
+  buckets : 'v bucket array;
+  mutable year_start : int;  (* inclusive, a multiple of width *)
+  mutable ys_slice : int;  (* year_start / width, cached for push *)
+  mutable year_end : int;  (* year_start + nbuckets * width *)
+  mutable cursor : int;  (* bucket currently being drained *)
+  mutable bucketed : int;  (* physical entries across all buckets *)
+  (* Overflow min-heap on (time, tie), struct-of-arrays. *)
+  mutable ht : int array;
+  mutable hs : int array;
+  mutable hv : 'v array;
+  mutable hlen : int;
+  cancelled : (int, unit) Hashtbl.t;  (* ties cancelled, not yet purged *)
+  mutable live : int;  (* pushed - popped - cancelled *)
+}
+
+let create ?(nbuckets = 256) ?(width = 32) ~null () =
+  if nbuckets < 1 then invalid_arg "Calendar_queue.create: nbuckets < 1";
+  if width < 1 then invalid_arg "Calendar_queue.create: width < 1";
+  {
+    null;
+    nbuckets;
+    width;
+    buckets =
+      Array.init nbuckets (fun _ ->
+          { bt = [||]; bs = [||]; bv = [||]; blen = 0 });
+    year_start = 0;
+    ys_slice = 0;
+    year_end = nbuckets * width;
+    cursor = 0;
+    bucketed = 0;
+    ht = [||];
+    hs = [||];
+    hv = [||];
+    hlen = 0;
+    cancelled = Hashtbl.create 16;
+    live = 0;
+  }
+
+let length t = t.live
+
+let is_empty t = t.live = 0
+
+(* ---------- bucket vectors ---------- *)
+
+let bucket_push t b time tie v =
+  let cap = Array.length b.bt in
+  if b.blen = cap then begin
+    let cap' = if cap = 0 then 8 else cap * 2 in
+    let bt = Array.make cap' 0 and bs = Array.make cap' 0 in
+    let bv = Array.make cap' t.null in
+    Array.blit b.bt 0 bt 0 b.blen;
+    Array.blit b.bs 0 bs 0 b.blen;
+    Array.blit b.bv 0 bv 0 b.blen;
+    b.bt <- bt;
+    b.bs <- bs;
+    b.bv <- bv
+  end;
+  b.bt.(b.blen) <- time;
+  b.bs.(b.blen) <- tie;
+  b.bv.(b.blen) <- v;
+  b.blen <- b.blen + 1
+
+(* Swap-remove slot [i]; order within a bucket is irrelevant (pop scans
+   for the minimum). *)
+let bucket_remove t b i =
+  let last = b.blen - 1 in
+  b.bt.(i) <- b.bt.(last);
+  b.bs.(i) <- b.bs.(last);
+  b.bv.(i) <- b.bv.(last);
+  b.bv.(last) <- t.null;
+  b.blen <- last
+
+(* ---------- overflow heap ---------- *)
+
+let heap_less t i j =
+  t.ht.(i) < t.ht.(j) || (t.ht.(i) = t.ht.(j) && t.hs.(i) < t.hs.(j))
+
+let heap_swap t i j =
+  let tt = t.ht.(i) and ss = t.hs.(i) and vv = t.hv.(i) in
+  t.ht.(i) <- t.ht.(j);
+  t.hs.(i) <- t.hs.(j);
+  t.hv.(i) <- t.hv.(j);
+  t.ht.(j) <- tt;
+  t.hs.(j) <- ss;
+  t.hv.(j) <- vv
+
+let heap_push t time tie v =
+  let cap = Array.length t.ht in
+  if t.hlen = cap then begin
+    let cap' = if cap = 0 then 8 else cap * 2 in
+    let ht = Array.make cap' 0 and hs = Array.make cap' 0 in
+    let hv = Array.make cap' t.null in
+    Array.blit t.ht 0 ht 0 t.hlen;
+    Array.blit t.hs 0 hs 0 t.hlen;
+    Array.blit t.hv 0 hv 0 t.hlen;
+    t.ht <- ht;
+    t.hs <- hs;
+    t.hv <- hv
+  end;
+  t.ht.(t.hlen) <- time;
+  t.hs.(t.hlen) <- tie;
+  t.hv.(t.hlen) <- v;
+  t.hlen <- t.hlen + 1;
+  let i = ref (t.hlen - 1) in
+  while !i > 0 && heap_less t !i ((!i - 1) / 2) do
+    heap_swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+(* Remove the heap minimum, returning (time, tie, v). *)
+let heap_pop_min t =
+  let time = t.ht.(0) and tie = t.hs.(0) and v = t.hv.(0) in
+  let last = t.hlen - 1 in
+  t.ht.(0) <- t.ht.(last);
+  t.hs.(0) <- t.hs.(last);
+  t.hv.(0) <- t.hv.(last);
+  t.hv.(last) <- t.null;
+  t.hlen <- last;
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let m = ref !i in
+    if l < t.hlen && heap_less t l !m then m := l;
+    if r < t.hlen && heap_less t r !m then m := r;
+    if !m = !i then continue := false
+    else begin
+      heap_swap t !i !m;
+      i := !m
+    end
+  done;
+  (time, tie, v)
+
+(* ---------- push ---------- *)
+
+let push t ~time ~tie v =
+  if time < 0 then invalid_arg "Calendar_queue.push: negative time";
+  t.live <- t.live + 1;
+  if time >= t.year_end then heap_push t time tie v
+  else begin
+    (* Slice index relative to the year; anything at or before the
+       cursor's slice (including past times) drains via the cursor
+       bucket, which pop scans for its (time, tie) minimum anyway. *)
+    let rel = (time / t.width) - t.ys_slice in
+    let idx = if rel <= t.cursor then t.cursor else rel in
+    bucket_push t t.buckets.(idx) time tie v;
+    t.bucketed <- t.bucketed + 1
+  end
+
+(* ---------- cancel ---------- *)
+
+let cancel t ~tie =
+  Hashtbl.replace t.cancelled tie ();
+  t.live <- t.live - 1
+
+(* ---------- pop / peek ---------- *)
+
+(* Drop every cancelled entry from bucket [b]. *)
+let purge_bucket t b =
+  let i = ref 0 in
+  while !i < b.blen do
+    if Hashtbl.mem t.cancelled b.bs.(!i) then begin
+      Hashtbl.remove t.cancelled b.bs.(!i);
+      bucket_remove t b !i;
+      t.bucketed <- t.bucketed - 1
+    end
+    else incr i
+  done
+
+(* Re-anchor the year at the overflow minimum and migrate every overflow
+   event now inside the year into the buckets.  Requires hlen > 0. *)
+let re_anchor t =
+  let min_time = t.ht.(0) in
+  t.ys_slice <- min_time / t.width;
+  t.year_start <- t.ys_slice * t.width;
+  t.year_end <- t.year_start + (t.nbuckets * t.width);
+  t.cursor <- 0;
+  while t.hlen > 0 && t.ht.(0) < t.year_end do
+    let time, tie, v = heap_pop_min t in
+    (* Cancelled entries were already subtracted from [live]; dropping
+       them here is the purge. *)
+    if Hashtbl.mem t.cancelled tie then Hashtbl.remove t.cancelled tie
+    else begin
+      let rel = (time / t.width) - t.ys_slice in
+      bucket_push t t.buckets.(rel) time tie v;
+      t.bucketed <- t.bucketed + 1
+    end
+  done
+
+(* Advance to the first nonempty, non-cancelled bucket entry and return
+   the index of its bucket; the caller then scans it for the minimum.
+   Returns -1 when the queue is logically empty. *)
+let rec locate t =
+  if t.live = 0 then -1
+  else if t.bucketed > 0 then begin
+    while t.buckets.(t.cursor).blen = 0 do
+      t.cursor <- t.cursor + 1
+      (* t.bucketed > 0 guarantees a nonempty bucket at or after the
+         cursor (buckets before it are drained), so no bounds check. *)
+    done;
+    let b = t.buckets.(t.cursor) in
+    (* The common case has no pending cancellations at all; skip the
+       purge scan entirely then. *)
+    if Hashtbl.length t.cancelled > 0 then purge_bucket t b;
+    if b.blen = 0 then locate t else t.cursor
+  end
+  else begin
+    (* All live entries sit in the overflow heap: shed cancelled heap
+       minima, then re-anchor the year there. *)
+    while t.hlen > 0 && Hashtbl.mem t.cancelled t.hs.(0) do
+      let _, tie, _ = heap_pop_min t in
+      Hashtbl.remove t.cancelled tie
+    done;
+    if t.hlen = 0 then locate t
+    else begin
+      re_anchor t;
+      locate t
+    end
+  end
+
+(* Index of the (time, tie)-minimum entry of bucket [b]. *)
+let bucket_min b =
+  let m = ref 0 in
+  for i = 1 to b.blen - 1 do
+    if
+      b.bt.(i) < b.bt.(!m)
+      || (b.bt.(i) = b.bt.(!m) && b.bs.(i) < b.bs.(!m))
+    then m := i
+  done;
+  !m
+
+let peek t =
+  let idx = locate t in
+  if idx < 0 then None
+  else
+    let b = t.buckets.(idx) in
+    let i = bucket_min b in
+    Some (b.bt.(i), b.bs.(i), b.bv.(i))
+
+let pop t =
+  let idx = locate t in
+  if idx < 0 then None
+  else begin
+    let b = t.buckets.(idx) in
+    let i = bucket_min b in
+    let time = b.bt.(i) and tie = b.bs.(i) and v = b.bv.(i) in
+    bucket_remove t b i;
+    t.bucketed <- t.bucketed - 1;
+    t.live <- t.live - 1;
+    Some (time, tie, v)
+  end
+
+let clear t =
+  Array.iter
+    (fun b ->
+      Array.fill b.bv 0 (Array.length b.bv) t.null;
+      b.blen <- 0)
+    t.buckets;
+  Array.fill t.hv 0 (Array.length t.hv) t.null;
+  t.hlen <- 0;
+  t.bucketed <- 0;
+  t.cursor <- 0;
+  t.year_start <- 0;
+  t.ys_slice <- 0;
+  t.year_end <- t.nbuckets * t.width;
+  Hashtbl.reset t.cancelled;
+  t.live <- 0

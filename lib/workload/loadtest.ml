@@ -112,6 +112,9 @@ let finish (type m) p ~(trace : m Thc_sim.Trace.t) ~replicas ~hw =
         @ Smr_spec.check_state_determinism trace ~replicas);
   }
 
+(* Each run_* returns the reduced result plus a thunk for the raw engine
+   trace as JSONL, so the sweep path never pays for serialisation and the
+   golden-trace corpus can still capture the loadtest driver byte-for-byte. *)
 let run_minbft p =
   let config =
     { (Minbft.default_config ~f:p.f) with batch_size = max 1 p.batch }
@@ -140,7 +143,8 @@ let run_minbft p =
     Thc_sim.Engine.run ~until:(W.horizon_us p.spec) ~max_events:20_000_000
       engine
   in
-  finish p ~trace ~replicas:n ~hw:(Thc_hardware.Trinc.ledger world)
+  ( finish p ~trace ~replicas:n ~hw:(Thc_hardware.Trinc.ledger world),
+    fun () -> Thc_sim.Trace.to_jsonl ~encode_msg:Thc_util.Codec.encode trace )
 
 let run_pbft p =
   let config =
@@ -170,13 +174,26 @@ let run_pbft p =
       engine
   in
   (* PBFT spends no trusted ops; an empty ledger keeps its rates at 0. *)
-  finish p ~trace ~replicas:n ~hw:(Thc_obsv.Ledger.create ())
+  ( finish p ~trace ~replicas:n ~hw:(Thc_obsv.Ledger.create ()),
+    fun () -> Thc_sim.Trace.to_jsonl ~encode_msg:Thc_util.Codec.encode trace )
+
+let run_point_export p =
+  W.validate p.spec;
+  let result, export =
+    match p.protocol with
+    | Minbft_protocol -> run_minbft p
+    | Pbft_protocol -> run_pbft p
+  in
+  (result, export ())
 
 let run_point p =
   W.validate p.spec;
-  match p.protocol with
-  | Minbft_protocol -> run_minbft p
-  | Pbft_protocol -> run_pbft p
+  let result, _ =
+    match p.protocol with
+    | Minbft_protocol -> run_minbft p
+    | Pbft_protocol -> run_pbft p
+  in
+  result
 
 let runner p ~arrivals ~batches =
   {

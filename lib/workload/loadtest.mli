@@ -48,6 +48,12 @@ val run_point : point -> result
 (** Deterministic: a given point always yields the same result.  Raises
     [Invalid_argument] on a malformed workload spec. *)
 
+val run_point_export : point -> result * string
+(** Like {!run_point}, additionally returning the run's full engine trace
+    as JSONL ({!Thc_sim.Trace.to_jsonl} with {!Thc_util.Codec.encode}d
+    messages).  Byte-deterministic per point — the loadtest driver's
+    contribution to the golden-trace equivalence corpus. *)
+
 val runner :
   point ->
   arrivals:Workload.arrival list ->

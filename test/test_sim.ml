@@ -216,6 +216,113 @@ let test_seed_changes_schedule () =
     (Thc_util.Codec.encode t1.Thc_sim.Trace.entries
     <> Thc_util.Codec.encode t2.Thc_sim.Trace.entries)
 
+(* --- engine hot path (calendar queue + arena) --------------------------------------- *)
+
+(* Documented ordering invariant: events scheduled for the same virtual
+   time dispatch in push order (Engine.push's per-engine tie counter).
+   Every driver's byte-determinism rests on this, so it gets a direct
+   regression test: a timer, a Const-delay self-send landing at the same
+   instant, and two more timers — popped exactly as pushed. *)
+let test_tie_break_insertion_order () =
+  let n = 1 in
+  let engine = Thc_sim.Engine.create ~n ~net:(net n) () in
+  let log = ref [] in
+  let b : msg Thc_sim.Engine.behavior =
+    {
+      init =
+        (fun ctx ->
+          ctx.set_timer ~delay:100L ~tag:1;
+          ctx.send 0 (Ping 2);
+          ctx.set_timer ~delay:100L ~tag:3;
+          ctx.set_timer ~delay:100L ~tag:1);
+      on_message = (fun _ ~src:_ (Ping k) -> log := k :: !log);
+      on_timer = (fun _ tag -> log := tag :: !log);
+    }
+  in
+  Thc_sim.Engine.set_behavior engine 0 b;
+  ignore (Thc_sim.Engine.run engine);
+  Alcotest.(check (list int))
+    "same virtual time pops in push order" [ 1; 2; 3; 1 ] (List.rev !log)
+
+(* A run busy enough to cycle the event arena and the held-buffer pool:
+   broadcasts, RNG-routed forwards, outputs on pid 0, a mid-run crash. *)
+let busy ?(recycle = true) ?(tracing = Thc_sim.Engine.Full) seed =
+  let n = 4 in
+  let engine =
+    Thc_sim.Engine.create ~seed ~tracing ~recycle ~n
+      ~net:(net ~delay:(Thc_sim.Delay.Uniform (10L, 500L)) n)
+      ()
+  in
+  let b : msg Thc_sim.Engine.behavior =
+    {
+      init = (fun ctx -> ctx.broadcast (Ping ctx.self));
+      on_message =
+        (fun ctx ~src:_ (Ping k) ->
+          if ctx.self = 0 then ctx.output (Thc_sim.Obs.Note (string_of_int k));
+          if k < 3 then ctx.send (Thc_util.Rng.int ctx.rng 4) (Ping (k + 1)));
+      on_timer = (fun _ _ -> ());
+    }
+  in
+  for pid = 0 to n - 1 do
+    Thc_sim.Engine.set_behavior engine pid b
+  done;
+  Thc_sim.Engine.schedule_crash engine ~pid:3 ~at:400L;
+  let trace = Thc_sim.Engine.run engine in
+  (trace, Thc_sim.Engine.events_processed engine)
+
+(* Arena recycling must be invisible: a reused event record with a stale
+   field would corrupt the trace or the schedule, so the recycling and
+   fresh-allocation engines must agree byte for byte. *)
+let test_recycle_equivalence () =
+  let tr, er = busy ~recycle:true 7L in
+  let tf, ef = busy ~recycle:false 7L in
+  Alcotest.(check string) "identical traces with and without recycling"
+    (Thc_util.Codec.encode tr.Thc_sim.Trace.entries)
+    (Thc_util.Codec.encode tf.Thc_sim.Trace.entries);
+  Alcotest.(check int64)
+    "identical end time" tr.Thc_sim.Trace.end_time tf.Thc_sim.Trace.end_time;
+  Alcotest.(check int) "identical event count" er ef;
+  let report t =
+    let r = Thc_sim.Metrics.delivery_report t in
+    ( List.length r.Thc_sim.Metrics.latencies,
+      r.Thc_sim.Metrics.delivered,
+      r.Thc_sim.Metrics.held_at_end,
+      r.Thc_sim.Metrics.dropped,
+      r.Thc_sim.Metrics.in_flight_at_end )
+  in
+  Alcotest.(check (pair int (pair int (pair int (pair int int)))))
+    "identical delivery report"
+    (let a, b, c, d, e = report tr in
+     (a, (b, (c, (d, e)))))
+    (let a, b, c, d, e = report tf in
+     (a, (b, (c, (d, e)))))
+
+(* Tracing modes drop records, never events: Outputs_only keeps exactly
+   the Output/Crashed subsequence of the Full trace, Off keeps nothing,
+   and the schedule (event count, end time) is identical in all three. *)
+let test_tracing_modes () =
+  let full, e_full = busy ~tracing:Thc_sim.Engine.Full 7L in
+  let lite, e_lite = busy ~tracing:Thc_sim.Engine.Outputs_only 7L in
+  let off, e_off = busy ~tracing:Thc_sim.Engine.Off 7L in
+  let key_only entries =
+    List.filter
+      (function
+        | Thc_sim.Trace.Output _ | Thc_sim.Trace.Crashed _ -> true
+        | _ -> false)
+      entries
+  in
+  Alcotest.(check string) "Outputs_only = Full filtered to Output/Crashed"
+    (Thc_util.Codec.encode (key_only full.Thc_sim.Trace.entries))
+    (Thc_util.Codec.encode lite.Thc_sim.Trace.entries);
+  Alcotest.(check int) "Off records nothing" 0
+    (List.length off.Thc_sim.Trace.entries);
+  Alcotest.(check int64) "lite end time"
+    full.Thc_sim.Trace.end_time lite.Thc_sim.Trace.end_time;
+  Alcotest.(check int64) "off end time"
+    full.Thc_sim.Trace.end_time off.Thc_sim.Trace.end_time;
+  Alcotest.(check int) "lite event count" e_full e_lite;
+  Alcotest.(check int) "off event count" e_full e_off
+
 (* --- outputs and queries ------------------------------------------------------------ *)
 
 let test_outputs () =
@@ -608,6 +715,14 @@ let () =
         [
           Alcotest.test_case "same seed same trace" `Quick test_determinism;
           Alcotest.test_case "seed matters" `Quick test_seed_changes_schedule;
+        ] );
+      ( "engine hot path",
+        [
+          Alcotest.test_case "tie-break: push order" `Quick
+            test_tie_break_insertion_order;
+          Alcotest.test_case "recycle equivalence" `Quick
+            test_recycle_equivalence;
+          Alcotest.test_case "tracing modes" `Quick test_tracing_modes;
         ] );
       ( "trace",
         [

@@ -163,6 +163,176 @@ let prop_heap_drains_sorted =
       in
       drain [] = List.sort compare keys)
 
+(* --- calendar queue --------------------------------------------------------- *)
+
+module Cq = Thc_util.Calendar_queue
+
+let drain_cq q =
+  let rec go acc =
+    match Cq.pop q with None -> List.rev acc | Some e -> go (e :: acc)
+  in
+  go []
+
+let test_cq_tie_break () =
+  (* Equal virtual times pop in insertion (tie) order, interleaved with
+     later times across bucket and overflow boundaries. *)
+  let q = Cq.create ~nbuckets:4 ~width:8 ~null:"" () in
+  Cq.push q ~time:50 ~tie:1 "a";
+  Cq.push q ~time:50 ~tie:2 "b";
+  Cq.push q ~time:7 ~tie:3 "c";
+  Cq.push q ~time:50 ~tie:4 "d";
+  Cq.push q ~time:1_000_000 ~tie:5 "e";
+  Alcotest.(check (list string))
+    "ascending (time, tie)"
+    [ "c"; "a"; "b"; "d"; "e" ]
+    (List.map (fun (_, _, v) -> v) (drain_cq q))
+
+let test_cq_past_time_push () =
+  (* After the cursor has advanced, an earlier-time push still pops
+     before everything later (it lands in the cursor bucket). *)
+  let q = Cq.create ~nbuckets:8 ~width:16 ~null:0 () in
+  Cq.push q ~time:1000 ~tie:1 1;
+  Cq.push q ~time:2000 ~tie:2 2;
+  Alcotest.(check (option (triple int int int)))
+    "first pop" (Some (1000, 1, 1)) (Cq.pop q);
+  Cq.push q ~time:5 ~tie:3 3;
+  Alcotest.(check (option (triple int int int)))
+    "past-time entry pops next" (Some (5, 3, 3)) (Cq.pop q);
+  Alcotest.(check (option (triple int int int)))
+    "then the later one" (Some (2000, 2, 2)) (Cq.pop q)
+
+let test_cq_overflow_re_anchor () =
+  (* Events far past the year go to the overflow heap; draining the
+     calendar re-anchors the year there and keeps global order. *)
+  let q = Cq.create ~nbuckets:4 ~width:4 ~null:0 () in
+  let year = 4 * 4 in
+  Cq.push q ~time:(year * 1000) ~tie:1 1;
+  Cq.push q ~time:3 ~tie:2 2;
+  Cq.push q ~time:(year * 1000 + 1) ~tie:3 3;
+  Cq.push q ~time:((year * 2000) + 5) ~tie:4 4;
+  Alcotest.(check (list int))
+    "order across re-anchors" [ 2; 1; 3; 4 ]
+    (List.map (fun (_, _, v) -> v) (drain_cq q));
+  (* Pushes after the re-anchor land relative to the new year. *)
+  Cq.push q ~time:((year * 2000) + 6) ~tie:5 5;
+  Alcotest.(check (option (triple int int int)))
+    "post-re-anchor push" (Some ((year * 2000) + 6, 5, 5)) (Cq.pop q)
+
+let test_cq_cancel () =
+  let q = Cq.create ~null:0 () in
+  Cq.push q ~time:10 ~tie:1 1;
+  Cq.push q ~time:20 ~tie:2 2;
+  Cq.push q ~time:1_000_000_000 ~tie:3 3;
+  Cq.cancel q ~tie:1;
+  Cq.cancel q ~tie:3;
+  Alcotest.(check int) "length sees cancellations" 1 (Cq.length q);
+  Alcotest.(check (list int))
+    "cancelled entries never pop" [ 2 ]
+    (List.map (fun (_, _, v) -> v) (drain_cq q));
+  Alcotest.(check bool) "empty after drain" true (Cq.is_empty q)
+
+let test_cq_degenerate_geometry () =
+  (* nbuckets = 1, width = 1: everything funnels through one slice and
+     the overflow heap; ordering must survive. *)
+  let q = Cq.create ~nbuckets:1 ~width:1 ~null:0 () in
+  List.iteri
+    (fun i time -> Cq.push q ~time ~tie:i time)
+    [ 9; 2; 2; 77; 0; 1_000_000 ];
+  Alcotest.(check (list int))
+    "sorted drain" [ 0; 2; 2; 9; 77; 1_000_000 ]
+    (List.map (fun (t, _, _) -> t) (drain_cq q))
+
+(* Random push/pop/cancel/peek interleavings, cross-checked against the
+   binary heap (plus a cancelled-tie set) as the reference model.  Times
+   are drawn from a mixture of same-timestamp, near-future and far-future
+   offsets from the last popped time, so bucket rotation, cursor
+   clamping and overflow re-anchoring all get exercised. *)
+let run_cq_scenario seed steps =
+  let rng = Thc_util.Rng.create seed in
+  let q = Cq.create ~nbuckets:16 ~width:8 ~null:(-1) () in
+  let model = Thc_util.Heap.create ~compare in
+  let model_cancelled = Hashtbl.create 16 in
+  let live_ties = ref [] in
+  let tie = ref 0 in
+  let clock = ref 0 in
+  let model_pop () =
+    let rec go () =
+      match Thc_util.Heap.pop model with
+      | None -> None
+      | Some ((time, k), v) ->
+        if Hashtbl.mem model_cancelled k then begin
+          Hashtbl.remove model_cancelled k;
+          go ()
+        end
+        else Some (time, k, v)
+    in
+    go ()
+  in
+  for step = 1 to steps do
+    match Thc_util.Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+      (* push *)
+      let offset =
+        match Thc_util.Rng.int rng 4 with
+        | 0 -> 0 (* same timestamp: tie-break path *)
+        | 1 -> Thc_util.Rng.int rng 100 (* same/nearby bucket *)
+        | 2 -> Thc_util.Rng.int rng 5_000 (* bucket rotation *)
+        | _ -> 1_000_000 + Thc_util.Rng.int rng 1_000_000 (* overflow *)
+      in
+      incr tie;
+      let time = !clock + offset in
+      Cq.push q ~time ~tie:!tie !tie;
+      Thc_util.Heap.push model (time, !tie) !tie;
+      live_ties := !tie :: !live_ties
+    | 4 | 5 | 6 | 7 ->
+      (* pop, compare against the model *)
+      let got = Cq.pop q in
+      let expect = model_pop () in
+      (match (got, expect) with
+      | None, None -> ()
+      | Some (t, k, v), Some (t', k', v') when t = t' && k = k' && v = v' ->
+        clock := t;
+        live_ties := List.filter (fun x -> x <> k) !live_ties
+      | _ ->
+        QCheck.Test.fail_reportf "step %d: pop mismatch (seed %Ld)" step seed)
+    | 8 -> (
+      (* cancel a random live entry in both *)
+      match !live_ties with
+      | [] -> ()
+      | ties ->
+        let victim = List.nth ties (Thc_util.Rng.int rng (List.length ties)) in
+        Cq.cancel q ~tie:victim;
+        Hashtbl.replace model_cancelled victim ();
+        live_ties := List.filter (fun x -> x <> victim) !live_ties)
+    | _ ->
+      (* peek agrees with length-preserving model minimum *)
+      let len_before = Cq.length q in
+      (match (Cq.peek q, model_pop ()) with
+      | None, None -> ()
+      | Some (t, k, v), Some (t', k', v') when t = t' && k = k' && v = v' ->
+        (* put the model entry back; peek must not consume *)
+        Thc_util.Heap.push model (t', k') v'
+      | _ ->
+        QCheck.Test.fail_reportf "step %d: peek mismatch (seed %Ld)" step seed);
+      if Cq.length q <> len_before then
+        QCheck.Test.fail_reportf "step %d: peek changed length" step
+  done;
+  (* Drain both to the end: every remaining entry must agree. *)
+  let rec drain () =
+    match (Cq.pop q, model_pop ()) with
+    | None, None -> ()
+    | Some (t, k, v), Some (t', k', v') when t = t' && k = k' && v = v' ->
+      drain ()
+    | _ -> QCheck.Test.fail_reportf "drain mismatch (seed %Ld)" seed
+  in
+  drain ();
+  true
+
+let prop_cq_matches_heap_model =
+  QCheck.Test.make ~name:"calendar queue matches heap model" ~count:60
+    QCheck.(int64)
+    (fun seed -> run_cq_scenario seed 800)
+
 (* --- stats ------------------------------------------------------------------ *)
 
 let test_stats_known () =
@@ -343,6 +513,17 @@ let () =
           Alcotest.test_case "clear" `Quick test_heap_clear;
           Alcotest.test_case "sorted listing" `Quick test_heap_to_sorted_list_nondestructive;
           qcheck prop_heap_drains_sorted;
+        ] );
+      ( "calendar-queue",
+        [
+          Alcotest.test_case "tie-break at equal times" `Quick test_cq_tie_break;
+          Alcotest.test_case "past-time push" `Quick test_cq_past_time_push;
+          Alcotest.test_case "overflow re-anchor" `Quick
+            test_cq_overflow_re_anchor;
+          Alcotest.test_case "cancel" `Quick test_cq_cancel;
+          Alcotest.test_case "degenerate geometry" `Quick
+            test_cq_degenerate_geometry;
+          qcheck prop_cq_matches_heap_model;
         ] );
       ( "stats",
         [
