@@ -380,25 +380,46 @@ let loadtest_cmd =
     in
     Printf.printf "=== loadtest: %s  f=%d  clients=%d  ops/client=%d  seed=%Ld ===\n"
       (L.protocol_name protocol) f clients ops seed;
+    (* Per-phase p50 columns from the span recorder, in causal order; the
+       union across results keeps every point comparable even if a phase
+       went untraversed at some operating point. *)
+    let phases =
+      List.fold_left
+        (fun acc (r : L.result) ->
+          List.fold_left
+            (fun acc (name, _) ->
+              if List.mem name acc then acc else acc @ [ name ])
+            acc r.L.phase_p50_us)
+        [] results
+    in
     let t =
       Thc_util.Table.create
-        [ "arrival"; "batch"; "done"; "thru(r/s)"; "p50(µs)"; "p99(µs)";
-          "trusted/req"; "msgs"; "safety" ]
+        ([ "arrival"; "batch"; "done"; "thru(r/s)"; "p50(µs)"; "p99(µs)" ]
+        @ List.map (fun p -> p ^ "(µs)") phases
+        @ [ "trusted/req"; "msgs"; "safety" ])
     in
     List.iter
       (fun (r : L.result) ->
         Thc_util.Table.add_row t
-          [
-            Format.asprintf "%a" W.pp_arrival r.L.point.L.spec.W.arrival;
-            string_of_int r.L.point.L.batch;
-            Printf.sprintf "%d/%d" r.L.completed r.L.offered;
-            Printf.sprintf "%.1f" r.L.throughput_rps;
-            Printf.sprintf "%.0f" r.L.latency.Thc_util.Stats.p50;
-            Printf.sprintf "%.0f" r.L.latency.Thc_util.Stats.p99;
-            Printf.sprintf "%.3f" r.L.trusted_per_request;
-            string_of_int r.L.messages;
-            string_of_int r.L.safety_violations;
-          ])
+          ([
+             Format.asprintf "%a" W.pp_arrival r.L.point.L.spec.W.arrival;
+             string_of_int r.L.point.L.batch;
+             Printf.sprintf "%d/%d" r.L.completed r.L.offered;
+             Printf.sprintf "%.1f" r.L.throughput_rps;
+             Printf.sprintf "%.0f" r.L.latency.Thc_util.Stats.p50;
+             Printf.sprintf "%.0f" r.L.latency.Thc_util.Stats.p99;
+           ]
+          @ List.map
+              (fun p ->
+                match List.assoc_opt p r.L.phase_p50_us with
+                | Some v -> Printf.sprintf "%.0f" v
+                | None -> "-")
+              phases
+          @ [
+              Printf.sprintf "%.3f" r.L.trusted_per_request;
+              string_of_int r.L.messages;
+              string_of_int r.L.safety_violations;
+            ]))
       results;
     Thc_util.Table.print t;
     Option.iter
@@ -439,6 +460,15 @@ let print_latency_table (h : Thc_obsv.Metrics.Histogram.t) =
   Thc_util.Table.add_row t [ "p50"; cell (Thc_obsv.Metrics.Histogram.p50 h) ];
   Thc_util.Table.add_row t [ "p90"; cell (Thc_obsv.Metrics.Histogram.p90 h) ];
   Thc_util.Table.add_row t [ "p99"; cell (Thc_obsv.Metrics.Histogram.p99 h) ];
+  Thc_util.Table.add_row t
+    [ "p999"; cell (Thc_obsv.Metrics.Histogram.p999 h) ];
+  Thc_util.Table.add_row t
+    [
+      "mean";
+      (match Thc_obsv.Metrics.Histogram.mean h with
+      | None -> "-"
+      | Some m -> Printf.sprintf "%.1f" m);
+    ];
   Thc_util.Table.add_row t [ "max"; cell (Thc_obsv.Metrics.Histogram.max h) ];
   Thc_util.Table.add_row t
     [ "samples"; string_of_int (Thc_obsv.Metrics.Histogram.count h) ];
@@ -697,10 +727,21 @@ let report_loadtest ~from =
       Printf.printf "=== loadtest report (%d points, %s) ===\n\n"
         (List.length rows) L.schema;
       print_endline "throughput-latency curve:";
+      let phases =
+        List.fold_left
+          (fun acc (r : L.row) ->
+            List.fold_left
+              (fun acc (name, _) ->
+                if List.mem name acc then acc else acc @ [ name ])
+              acc r.L.r_phase_p50)
+          [] rows
+      in
       let t =
         Thc_util.Table.create
-          [ "protocol"; "arrival"; "rate(r/s)"; "batch"; "done"; "thru(r/s)";
-            "p50(µs)"; "p99(µs)"; "trusted/req"; "safety" ]
+          ([ "protocol"; "arrival"; "rate(r/s)"; "batch"; "done";
+             "thru(r/s)"; "p50(µs)"; "p99(µs)" ]
+          @ List.map (fun p -> p ^ "(µs)") phases
+          @ [ "trusted/req"; "safety" ])
       in
       List.iter
         (fun (r : L.row) ->
@@ -710,18 +751,26 @@ let report_loadtest ~from =
             else Printf.sprintf "%.0f" r.L.r_rate_rps
           in
           Thc_util.Table.add_row t
-            [
-              r.L.r_protocol;
-              r.L.r_arrival;
-              rate;
-              string_of_int r.L.r_batch;
-              Printf.sprintf "%d/%d" r.L.r_completed r.L.r_offered;
-              Printf.sprintf "%.1f" r.L.r_throughput_rps;
-              Printf.sprintf "%.0f" r.L.r_p50_us;
-              Printf.sprintf "%.0f" r.L.r_p99_us;
-              Printf.sprintf "%.3f" r.L.r_trusted_per_request;
-              string_of_int r.L.r_safety;
-            ])
+            ([
+               r.L.r_protocol;
+               r.L.r_arrival;
+               rate;
+               string_of_int r.L.r_batch;
+               Printf.sprintf "%d/%d" r.L.r_completed r.L.r_offered;
+               Printf.sprintf "%.1f" r.L.r_throughput_rps;
+               Printf.sprintf "%.0f" r.L.r_p50_us;
+               Printf.sprintf "%.0f" r.L.r_p99_us;
+             ]
+            @ List.map
+                (fun p ->
+                  match List.assoc_opt p r.L.r_phase_p50 with
+                  | Some v -> Printf.sprintf "%.0f" v
+                  | None -> "-")
+                phases
+            @ [
+                Printf.sprintf "%.3f" r.L.r_trusted_per_request;
+                string_of_int r.L.r_safety;
+              ]))
         rows;
       Thc_util.Table.print t;
       (* Batch ablation: at each operating point, how the per-request
@@ -1069,10 +1118,45 @@ let attack_cmd =
     Cli.export ~doc:"Write the sweep as thc-attack/v1 JSONL to $(docv)." ()
   in
   let jobs = Cli.jobs () in
+  let top =
+    Cli.top ~default:4
+      ~doc:
+        "Stalled request spans shown per attack in single-run mode (where \
+         each injected or starved request's causal trace says which phase \
+         the hardware discipline stopped it at)."
+      ()
+  in
   let list_only =
     Arg.(value & flag & info [ "list" ] ~doc:"List the catalog and exit.")
   in
-  let run target attack seed f corrupt_at runs export jobs list_only =
+  (* Single-run drill-down: the causal span of every request that never
+     reached its reply — the attacker's conflicting writes die mid-pipeline
+     and the furthest mark names the phase that refused them. *)
+  let pp_stalled ~top (c : M.cell) =
+    match c.M.result.A.stalled_spans with
+    | [] -> ()
+    | spans ->
+      Format.printf "  requests stopped mid-pipeline (%d):@."
+        (List.length spans);
+      List.iteri
+        (fun i (v : Thc_obsv.Span.view) ->
+          if i < top then
+            match Thc_obsv.Span.last_mark v with
+            | Some (mark, at) ->
+              Format.printf "    rid %d (client %d): reached %s at %Ldµs, \
+                             then nothing@."
+                v.Thc_obsv.Span.v_rid v.Thc_obsv.Span.v_client mark at
+            | None ->
+              Format.printf
+                "    rid %d: no marks — refused before any replica \
+                 accepted it@."
+                v.Thc_obsv.Span.v_rid)
+        spans;
+      if List.length spans > top then
+        Format.printf "    ... and %d more@." (List.length spans - top);
+      Format.printf "@."
+  in
+  let run target attack seed f corrupt_at runs export jobs top list_only =
     if list_only then
       List.iter
         (fun k ->
@@ -1108,7 +1192,9 @@ let attack_cmd =
       if runs > 1 then Format.printf "%a@." M.pp m
       else
         List.iter
-          (fun (c : M.cell) -> Format.printf "%a@.@." A.pp_result c.M.result)
+          (fun (c : M.cell) ->
+            Format.printf "%a@.@." A.pp_result c.M.result;
+            pp_stalled ~top c)
           m.M.cells;
       Option.iter
         (fun path ->
@@ -1130,7 +1216,98 @@ let attack_cmd =
           the rejection; the unattested one commits a divergent operation.")
     Term.(
       const run $ target $ attack $ seed $ f $ corrupt_at $ runs $ export
-      $ jobs $ list_only)
+      $ jobs $ top $ list_only)
+
+(* --- trace ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let module PT = Thc_workload.Phase_trace in
+  let module H = Thc_replication.Harness in
+  let protocol =
+    Arg.(
+      required
+      & pos 0
+          (some (enum
+                   [ ("minbft", H.Minbft_protocol); ("pbft", H.Pbft_protocol) ]))
+          None
+      & info [] ~docv:"PROTOCOL" ~doc:"minbft|pbft.")
+  in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
+  let ops =
+    Arg.(value & opt int 30 & info [ "ops" ] ~doc:"Requests per client.")
+  in
+  let clients =
+    Arg.(value & opt int 2 & info [ "clients" ] ~doc:"Concurrent clients.")
+  in
+  let batch =
+    Arg.(value & opt int 4 & info [ "batch" ] ~doc:"Leader batch size.")
+  in
+  let interval =
+    Arg.(
+      value & opt int64 5_000L
+      & info [ "interval" ] ~doc:"µs between each client's requests.")
+  in
+  let runs = Cli.runs ~default:3 ~doc:"Seeds traced (seed, seed+1, …)." () in
+  let seed = Cli.seed () in
+  let jobs = Cli.jobs () in
+  let top = Cli.top ~doc:"Slowest requests to drill into." () in
+  let export =
+    Cli.export ~doc:"Write the thc-span/v1 JSONL export to $(docv)." ()
+  in
+  let run protocol f ops clients batch interval runs seed jobs top export =
+    let setup =
+      {
+        H.protocol;
+        f;
+        ops;
+        clients;
+        batch;
+        interval;
+        delay = Thc_sim.Delay.Uniform (50L, 500L);
+        scenario = H.Fault_free;
+        seed;
+      }
+    in
+    let campaign =
+      {
+        PT.setup;
+        seeds = List.init (max 1 runs) (fun i -> Int64.add seed (Int64.of_int i));
+      }
+    in
+    let report = PT.run ~jobs ~stats:(Cli.stats_reporter ~jobs) campaign in
+    Printf.printf
+      "=== trace: %s  f=%d  clients=%d  ops/client=%d  batch=%d  seeds=%d \
+       (base %Ld) ===\n"
+      (match protocol with
+      | H.Minbft_protocol -> "minbft"
+      | H.Pbft_protocol -> "pbft")
+      f clients ops batch (max 1 runs) seed;
+    let completed =
+      List.fold_left (fun acc rd -> acc + rd.PT.rd_completed) 0 report.PT.runs
+    in
+    let commits =
+      List.fold_left (fun acc rd -> acc + rd.PT.rd_commits) 0 report.PT.runs
+    in
+    Printf.printf "completed=%d  commits=%d  spans=%d (%d complete)\n\n"
+      completed commits report.PT.summary.Thc_obsv.Span.spans_total
+      report.PT.summary.Thc_obsv.Span.spans_complete;
+    Format.printf "%a@." (PT.pp_report ~top) report;
+    Option.iter
+      (fun file -> write_file file (PT.export campaign report))
+      export
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Trace every client request through the replication pipeline \
+          (submit, leader ingress, batching, prepare, commit, execute, \
+          reply) in virtual time and report the per-phase latency \
+          breakdown, per-phase trusted-op attribution, and the slowest \
+          requests' critical paths.  Deterministic per seed; spans export \
+          as thc-span/v1 JSONL.")
+    Term.(
+      const run $ protocol $ f $ ops $ clients $ batch $ interval $ runs
+      $ seed $ jobs $ top $ export)
 
 (* --- main ------------------------------------------------------------------ *)
 
@@ -1145,5 +1322,5 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group (Cmd.info "thc" ~doc)
           [ figure1_cmd; verify_cmd; scenarios_cmd; problems_cmd; rounds_cmd;
-            smr_cmd; loadtest_cmd; report_cmd; attack_cmd; explore_cmd;
-            replay_cmd ]))
+            smr_cmd; loadtest_cmd; trace_cmd; report_cmd; attack_cmd;
+            explore_cmd; replay_cmd ]))

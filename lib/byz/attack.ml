@@ -94,6 +94,7 @@ type result = {
   duration_us : int64;
   client_finished : bool;
   detail : string;
+  stalled_spans : Thc_obsv.Span.view list;
 }
 
 let holds r =
@@ -258,7 +259,8 @@ let run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until () =
   let net =
     Thc_sim.Net.create ~n:total ~default:(Thc_sim.Delay.Uniform (50L, 500L))
   in
-  let engine = E.create ~seed ~n:total ~net () in
+  let spans = Thc_obsv.Span.create () in
+  let engine = E.create ~seed ~spans ~n:total ~net () in
   let byz_pid = match attack with Mismatched_vc -> n - 1 | _ -> 0 in
   let trinkets = Array.init n (fun owner -> Trinc.trinket world ~owner) in
   let replicas =
@@ -304,6 +306,8 @@ let run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until () =
     }
     engine;
   Option.iter (fun s -> Thc_sim.Adversary.install s engine) script;
+  Thc_obsv.Ledger.set_observer (Trinc.ledger world)
+    (Thc_obsv.Span.attribute spans);
   let trace = E.run ~until engine in
   let ledger = Trinc.ledger world in
   ( {
@@ -320,6 +324,13 @@ let run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until () =
     duration_us = trace.Thc_sim.Trace.end_time;
     client_finished = client_finished trace ~pid:n ~expected:(List.length plan);
     detail = minbft_detail attack;
+    (* Requests that never reached their reply — the injected conflicting
+       writes (rids 9000/9001) and any honest request the attack starved.
+       Their span views show exactly which phase the pipeline stopped at. *)
+    stalled_spans =
+      List.filter
+        (fun v -> not (Thc_obsv.Span.complete v))
+        (Thc_obsv.Span.views spans);
   },
     trace )
 
@@ -421,6 +432,7 @@ let run_unattested ~attack ~f ~seed ~corrupt_at ~script ~until () =
     duration_us = r.R.Ablation.duration_us;
     client_finished = false;
     detail = r.R.Ablation.detail;
+    stalled_spans = [];
   }
 
 let script_slack = function

@@ -64,6 +64,13 @@ type result = {
   client_finished : bool;
       (** Did the honest client get all its replies (MinBFT runs only)? *)
   detail : string;  (** What mechanically happened, for the report. *)
+  stalled_spans : Thc_obsv.Span.view list;
+      (** Request spans that never reached their reply (MinBFT runs only;
+          [[]] for unattested) — the attacker's injected conflicting
+          writes and any honest request the attack starved.  Each view's
+          last mark names the phase where the hardware discipline stopped
+          the request; rendered by [thc attack]'s span drill-down.  Not
+          part of the JSONL export, whose bytes are unchanged. *)
 }
 
 val holds : result -> bool

@@ -12,6 +12,9 @@ let seed ?(default = 1L) () =
 let export ~doc () =
   Arg.(value & opt (some string) None & info [ "export" ] ~docv:"FILE" ~doc)
 
+let top ?(default = 5) ~doc () =
+  Arg.(value & opt int default & info [ "top" ] ~docv:"N" ~doc)
+
 let jobs () =
   Arg.(
     value & opt int 1

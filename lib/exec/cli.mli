@@ -19,6 +19,10 @@ val seed : ?default:int64 -> unit -> int64 Cmdliner.Term.t
 val export : doc:string -> unit -> string option Cmdliner.Term.t
 (** [--export FILE]. *)
 
+val top : ?default:int -> doc:string -> unit -> int Cmdliner.Term.t
+(** [--top N] — how many worst-case items a drill-down shows (slowest
+    requests in [thc trace], stalled spans in [thc attack]). *)
+
 val jobs : unit -> int Cmdliner.Term.t
 (** [--jobs N], default 1 (sequential).  Values above 1 fork worker
     processes; summaries and exports stay byte-identical. *)

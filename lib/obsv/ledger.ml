@@ -1,22 +1,30 @@
-type t = (string, int ref) Hashtbl.t
+type t = {
+  counts : (string, int ref) Hashtbl.t;
+  mutable observer : (string -> int -> unit) option;
+}
 
-let create () : t = Hashtbl.create 16
+let create () = { counts = Hashtbl.create 16; observer = None }
+
+let set_observer t f = t.observer <- Some f
+
+let clear_observer t = t.observer <- None
 
 let bump_by t label n =
-  match Hashtbl.find_opt t label with
+  (match Hashtbl.find_opt t.counts label with
   | Some r -> r := !r + n
-  | None -> Hashtbl.add t label (ref n)
+  | None -> Hashtbl.add t.counts label (ref n));
+  match t.observer with None -> () | Some f -> f label n
 
 let bump t label = bump_by t label 1
 
 let count t label =
-  match Hashtbl.find_opt t label with Some r -> !r | None -> 0
+  match Hashtbl.find_opt t.counts label with Some r -> !r | None -> 0
 
 let rows t =
-  Hashtbl.fold (fun label r acc -> (label, !r) :: acc) t []
+  Hashtbl.fold (fun label r acc -> (label, !r) :: acc) t.counts []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t 0
+let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t.counts 0
 
 let contains_sub ~sub s =
   let n = String.length sub and m = String.length s in
@@ -32,9 +40,9 @@ let rejections t =
         || contains_sub ~sub:"reject" label
       then acc + !r
       else acc)
-    t 0
+    t.counts 0
 
-let is_empty t = Hashtbl.length t = 0
+let is_empty t = Hashtbl.length t.counts = 0
 
 let per_commit t ~commits =
   List.map

@@ -15,6 +15,15 @@ val bump : t -> string -> unit
 
 val bump_by : t -> string -> int -> unit
 
+val set_observer : t -> (string -> int -> unit) -> unit
+(** Install a charge observer: every {!bump}/{!bump_by} also calls
+    [f label n] after updating the count.  At most one observer; the span
+    layer uses this to attribute trusted ops to protocol phases
+    ({!Span.attribute}) without the hardware modules knowing about spans.
+    The observer must not charge the same ledger (no re-entrancy). *)
+
+val clear_observer : t -> unit
+
 val count : t -> string -> int
 (** 0 for labels never charged. *)
 

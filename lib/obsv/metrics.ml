@@ -77,6 +77,12 @@ module Histogram = struct
   let p90 t = quantile t 0.9
 
   let p99 t = quantile t 0.99
+
+  let p999 t = quantile t 0.999
+
+  let mean t =
+    if t.count = 0 then None
+    else Some (Int64.to_float t.sum /. float_of_int t.count)
 end
 
 type counter = int ref

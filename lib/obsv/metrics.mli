@@ -34,6 +34,13 @@ module Histogram : sig
   val p50 : t -> int64 option
   val p90 : t -> int64 option
   val p99 : t -> int64 option
+
+  val p999 : t -> int64 option
+  (** Tail quantile for the latency tables; same clamping as {!quantile}. *)
+
+  val mean : t -> float option
+  (** [sum / count] as a float; [None] on an empty histogram.  Exact (the
+      sum tracks raw samples), unlike the bucketed quantiles. *)
 end
 
 type t

@@ -13,7 +13,16 @@ type summary = {
   ops_s_max : float;
 }
 
-let rate count elapsed = if elapsed > 0.0 then float_of_int count /. elapsed else 0.0
+(* Sub-millisecond lite runs can land at or below the wall clock's
+   resolution; rating against a raw ~0 denominator explodes to [inf] (or,
+   at exactly 0, used to report a flat 0 ev/s for real work).  Clamp every
+   denominator to one microsecond so rates stay finite and positive
+   whenever any events were counted. *)
+let min_elapsed_s = 1e-6
+
+let rate count elapsed =
+  if count = 0 then 0.0
+  else float_of_int count /. Stdlib.max elapsed min_elapsed_s
 
 let summarize (samples : sample list) =
   match samples with

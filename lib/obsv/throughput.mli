@@ -27,8 +27,16 @@ type summary = {
   ops_s_max : float;
 }
 
+val min_elapsed_s : float
+(** Denominator floor (1 µs).  Sub-millisecond lite runs can report
+    elapsed times at or below the clock's resolution; every rate clamps
+    its denominator to this floor, so rates stay finite — and positive
+    whenever any events were counted — instead of dividing by ~0 into
+    [inf] (or a flat 0 at exactly 0 s). *)
+
 val summarize : sample list -> summary
-(** Raises [Invalid_argument] on an empty list. *)
+(** Raises [Invalid_argument] on an empty list.  Per-sample and pooled
+    denominators are clamped to {!min_elapsed_s}. *)
 
 val rate_string : float -> string
 (** Humanized rate: ["6.29M"], ["517k"], ["842"]. *)

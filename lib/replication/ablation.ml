@@ -42,6 +42,9 @@ let unattested_replica ~keyring ~ident ~f ~self : umsg Thc_sim.Engine.behavior =
       let resultv =
         Kv_store.encode_result (Kv_store.apply store (Kv_store.decode_op sr.value.op))
       in
+      if Thc_obsv.Span.enabled ctx.spans then
+        Thc_obsv.Span.mark ctx.spans ~client:sr.value.client ~rid:sr.value.rid
+          Thc_obsv.Span.Executed ~at:(ctx.now ());
       ctx.output
         (Thc_sim.Obs.Executed { seq = !exec_upto; op = sr.value.op; result = resultv });
       try_execute ctx
@@ -62,6 +65,9 @@ let unattested_replica ~keyring ~ident ~f ~self : umsg Thc_sim.Engine.behavior =
            && Hashtbl.length tbl >= f + 1
            && not (Hashtbl.mem committed seq) ->
       Hashtbl.replace committed seq sr;
+      if Thc_obsv.Span.enabled ctx.Thc_sim.Engine.spans then
+        Thc_obsv.Span.mark ctx.Thc_sim.Engine.spans ~client:sr.value.client
+          ~rid:sr.value.rid ~seq Thc_obsv.Span.Committed ~at:(ctx.Thc_sim.Engine.now ());
       ctx.Thc_sim.Engine.output
         (Thc_sim.Obs.Committed { view = 0; seq; op = sr.value.op });
       try_execute ctx
@@ -82,10 +88,16 @@ let unattested_replica ~keyring ~ident ~f ~self : umsg Thc_sim.Engine.behavior =
               && not (Hashtbl.mem proposals seq)
             then begin
               Hashtbl.replace proposals seq request;
+              if Thc_obsv.Span.enabled ctx.spans then
+                Thc_obsv.Span.mark ctx.spans ~client:request.value.client
+                  ~rid:request.value.rid ~seq Thc_obsv.Span.Propose ~at:(ctx.now ());
               let digest = Command.digest request.value in
               record ctx ~seq ~digest ~voter:0;
               if self <> 0 && not (Hashtbl.mem commit_sent seq) then begin
                 Hashtbl.replace commit_sent seq ();
+                if Thc_obsv.Span.enabled ctx.spans then
+                  Thc_obsv.Span.mark ctx.spans ~rid:request.value.rid ~seq
+                    Thc_obsv.Span.Commit_send ~at:(ctx.now ());
                 ctx.broadcast
                   (Thc_crypto.Signature.seal ident (Ucommit { seq; digest }));
                 record ctx ~seq ~digest ~voter:self
@@ -202,7 +214,8 @@ module Unattested = struct
 
   let digest req = Command.digest req.Thc_crypto.Signature.value
 
-  let run ?(f = 1) ~seed ~attacker ~detail ?(until = 1_000_000L) () =
+  let run ?(f = 1) ?(spans = Thc_obsv.Span.nop) ~seed ~attacker ~detail
+      ?(until = 1_000_000L) () =
     let n = (2 * f) + 1 in
     let total = n + 1 (* one client identity for signing requests *) in
     let rng = Thc_util.Rng.create seed in
@@ -210,7 +223,7 @@ module Unattested = struct
     let net =
       Thc_sim.Net.create ~n:total ~default:(Thc_sim.Delay.Uniform (50L, 500L))
     in
-    let engine = Thc_sim.Engine.create ~seed ~n:total ~net () in
+    let engine = Thc_sim.Engine.create ~seed ~spans ~n:total ~net () in
     for pid = 1 to n - 1 do
       Thc_sim.Engine.set_behavior engine pid
         (unattested_replica ~keyring

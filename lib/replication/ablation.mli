@@ -84,6 +84,7 @@ module Unattested : sig
 
   val run :
     ?f:int ->
+    ?spans:Thc_obsv.Span.t ->
     seed:int64 ->
     attacker:(env -> wire Thc_sim.Engine.behavior) ->
     detail:string ->
@@ -91,5 +92,13 @@ module Unattested : sig
     unit ->
     result
   (** Run the unattested protocol with [attacker env] installed as pid 0
-      (marked Byzantine for the monitors).  Deterministic in [seed]. *)
+      (marked Byzantine for the monitors).  Deterministic in [seed].
+
+      [spans] (default {!Thc_obsv.Span.nop}) collects request spans from
+      the correct replicas: [Propose] on proposal adoption, [Commit_send]
+      on the first commit vote, [Committed] at quorum, [Executed] on apply.
+      There is no client behavior in this rig, so [Submit]/[Ingress]/
+      reply marks stay unset and only the prepare → commit → execute
+      phases report — exactly the slice the S5 phase-breakdown bench
+      compares against the attested protocols. *)
 end

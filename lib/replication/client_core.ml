@@ -15,6 +15,9 @@ let behavior ~rid_base ~n_replicas ~quorum ~ident ~plan ~wrap ~unwrap :
           | Some _result ->
             (match Hashtbl.find_opt sent_at reply.rid with
             | Some t0 ->
+              if Thc_obsv.Span.enabled ctx.spans then
+                Thc_obsv.Span.mark ctx.spans ~client:ctx.self ~rid:reply.rid
+                  Thc_obsv.Span.Reply_done ~at:(ctx.now ());
               ctx.output
                 (Thc_sim.Obs.Client_done
                    { rid = reply.rid; latency_us = Int64.sub (ctx.now ()) t0 })
@@ -28,6 +31,9 @@ let behavior ~rid_base ~n_replicas ~quorum ~ident ~plan ~wrap ~unwrap :
           let rid = rid_base + tag in
           let sr = Command.make ~ident ~rid op in
           Hashtbl.replace sent_at rid (ctx.now ());
+          if Thc_obsv.Span.enabled ctx.spans then
+            Thc_obsv.Span.mark ctx.spans ~client:ctx.self ~rid
+              Thc_obsv.Span.Submit ~at:(ctx.now ());
           for replica = 0 to n_replicas - 1 do
             ctx.send replica (wrap sr)
           done

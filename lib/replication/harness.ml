@@ -237,7 +237,7 @@ let apply_scenario (type m) setup ~(engine : m Thc_sim.Engine.t) ~replicas =
    clients, fault schedule), then hand the engine plus the
    protocol-specific accessors to [k].  Full-fidelity runs and the
    throughput-mode lite runs differ only in the continuation. *)
-let with_minbft setup ~tracing k =
+let with_minbft ?(spans = Thc_obsv.Span.nop) setup ~tracing k =
   let config =
     { (Minbft.default_config ~f:setup.f) with batch_size = max 1 setup.batch }
   in
@@ -249,8 +249,14 @@ let with_minbft setup ~tracing k =
   let world = Thc_hardware.Trinc.create_world rng ~n in
   let net = Thc_sim.Net.create ~n:total ~default:setup.delay in
   let engine =
-    Thc_sim.Engine.create ~seed:setup.seed ~tracing ~n:total ~net ()
+    Thc_sim.Engine.create ~seed:setup.seed ~tracing ~spans ~n:total ~net ()
   in
+  (* Every trusted-hardware bump lands on the ambient span phase, so the
+     per-phase table attributes seals/verifies to prepare vs commit. *)
+  if Thc_obsv.Span.enabled spans then
+    Thc_obsv.Ledger.set_observer
+      (Thc_hardware.Trinc.ledger world)
+      (Thc_obsv.Span.attribute spans);
   let states =
     Array.init n (fun self ->
         Minbft.create_replica ~config ~keyring ~world
@@ -274,7 +280,7 @@ let with_minbft setup ~tracing k =
     ~classify:Minbft.classify_msg
     ~hw:(Thc_hardware.Trinc.ledger world)
 
-let with_pbft setup ~tracing k =
+let with_pbft ?(spans = Thc_obsv.Span.nop) setup ~tracing k =
   let config =
     { (Pbft.default_config ~f:setup.f) with batch_size = max 1 setup.batch }
   in
@@ -285,7 +291,7 @@ let with_pbft setup ~tracing k =
   let keyring = Thc_crypto.Keyring.create rng ~n:total in
   let net = Thc_sim.Net.create ~n:total ~default:setup.delay in
   let engine =
-    Thc_sim.Engine.create ~seed:setup.seed ~tracing ~n:total ~net ()
+    Thc_sim.Engine.create ~seed:setup.seed ~tracing ~spans ~n:total ~net ()
   in
   let states =
     Array.init n (fun self ->
@@ -341,6 +347,21 @@ let run_export setup =
     | Pbft_protocol -> run_pbft setup
   in
   (outcome, export ())
+
+(* Span-collecting run: a full-fidelity run with a live recorder installed,
+   so the caller gets both the ordinary outcome and the per-request causal
+   views.  The recorder stamps virtual time only — the trace, metrics and
+   RNG draws are byte-identical to [run] on the same setup. *)
+let run_spans setup =
+  let spans = Thc_obsv.Span.create () in
+  let outcome =
+    match setup.protocol with
+    | Minbft_protocol ->
+      fst (with_minbft ~spans setup ~tracing:Thc_sim.Engine.Full (full_run setup))
+    | Pbft_protocol ->
+      fst (with_pbft ~spans setup ~tracing:Thc_sim.Engine.Full (full_run setup))
+  in
+  (outcome, Thc_obsv.Span.views spans, Thc_obsv.Span.ops_rows spans)
 
 type lite = {
   l_completed : int;

@@ -75,6 +75,20 @@ val run_export : setup -> outcome * string
     followed by a [{"type":"metrics",...}] snapshot line and a
     [{"type":"ledger",...}] trusted-op line.  Deterministic per seed. *)
 
+val run_spans :
+  setup -> outcome * Thc_obsv.Span.view list * (string * (string * int) list) list
+(** Like {!run}, with a {!Thc_obsv.Span} recorder installed on the engine:
+    every request becomes a causal span (submit → leader ingress →
+    propose → commit round → execute → reply) stamped in virtual time,
+    and — for MinBFT — every trusted-hardware ledger bump is attributed
+    to the phase it happened in ({!Thc_obsv.Ledger.set_observer}).
+
+    Returns the ordinary outcome, the per-request span views (rid order),
+    and the per-phase trusted-op attribution rows
+    ({!Thc_obsv.Span.ops_rows}; [[]] for PBFT, which spends no trusted
+    ops).  Recording is virtual-time-only: the outcome, trace and export
+    are byte-identical to {!run} on the same setup. *)
+
 type lite = {
   l_completed : int;
   l_commits : int;

@@ -130,8 +130,28 @@ let encode_proto (p : proto) = Thc_util.Codec.encode p
 
 let decode_proto s = (Thc_util.Codec.decode s : proto)
 
+let batch_rids (batch : Command.batch) =
+  List.map
+    (fun (sr : Command.signed_request) -> sr.Thc_crypto.Signature.value.rid)
+    batch
+
+(* Which span phase a sealed protocol message belongs to, and on behalf of
+   which requests — used to attribute the trusted ops the seal/accept
+   charges (attest on the way out, counter checks on the way in). *)
+let span_phase_of_proto = function
+  | Prepare { batch; _ } -> (Thc_obsv.Span.Prepare_phase, batch_rids batch)
+  | Commit { batch; _ } -> (Thc_obsv.Span.Commit_phase, batch_rids batch)
+  | Rvc _ | View_change _ | New_view _ -> (Thc_obsv.Span.Other_phase, [])
+
 let seal_and_send t (ctx : msg Thc_sim.Engine.ctx) p =
-  let a = Attested_link.Out.seal t.out (encode_proto p) in
+  let a =
+    if Thc_obsv.Span.enabled ctx.spans then begin
+      let phase, rids = span_phase_of_proto p in
+      Thc_obsv.Span.in_phase ctx.spans phase ~rids (fun () ->
+          Attested_link.Out.seal t.out (encode_proto p))
+    end
+    else Attested_link.Out.seal t.out (encode_proto p)
+  in
   ctx.broadcast (Sealed a)
 
 let voters t key =
@@ -172,6 +192,9 @@ let execute_one t (ctx : msg Thc_sim.Engine.ctx) (sr : Command.signed_request)
   in
   Hashtbl.remove t.pending key;
   t.exec_count <- t.exec_count + 1;
+  if Thc_obsv.Span.enabled ctx.spans then
+    Thc_obsv.Span.mark ctx.spans ~client:sr.value.client ~rid:sr.value.rid
+      Thc_obsv.Span.Executed ~at:(ctx.now ());
   ctx.output
     (Thc_sim.Obs.Executed { seq = t.exec_count; op = sr.value.op; result });
   ctx.send sr.value.client
@@ -185,7 +208,8 @@ let rec try_execute t (ctx : msg Thc_sim.Engine.ctx) =
     List.iter (execute_one t ctx) batch;
     try_execute t ctx
 
-let record_commit t ctx ~view ~seq ~(batch : Command.batch) ~voter =
+let record_commit t (ctx : msg Thc_sim.Engine.ctx) ~view ~seq
+    ~(batch : Command.batch) ~voter =
   let digest = Command.batch_digest batch in
   let tbl = voters t (view, seq, digest) in
   Hashtbl.replace tbl voter ();
@@ -194,6 +218,9 @@ let record_commit t ctx ~view ~seq ~(batch : Command.batch) ~voter =
     && not (Hashtbl.mem t.committed seq)
   then begin
     Hashtbl.replace t.committed seq batch;
+    if Thc_obsv.Span.enabled ctx.spans then
+      Thc_obsv.Span.mark_all ctx.spans ~seq ~rids:(batch_rids batch)
+        Thc_obsv.Span.Committed ~at:(ctx.now ());
     let op =
       match batch with
       | [ sr ] -> sr.Thc_crypto.Signature.value.op
@@ -219,7 +246,7 @@ let proposal_acceptable t ~seq ~(batch : Command.batch) =
      | Some d -> d = Command.batch_digest batch
      | None -> false)
 
-let handle_prepare t ctx ~owner ~view ~seq ~batch =
+let handle_prepare t (ctx : msg Thc_sim.Engine.ctx) ~owner ~view ~seq ~batch =
   if
     owner = leader_of t view
     && view = t.view
@@ -234,19 +261,25 @@ let handle_prepare t ctx ~owner ~view ~seq ~batch =
     record_commit t ctx ~view ~seq ~batch ~voter:owner;
     if t.self <> owner && not (Hashtbl.mem t.commit_sent (view, seq)) then begin
       Hashtbl.replace t.commit_sent (view, seq) ();
+      if Thc_obsv.Span.enabled ctx.spans then
+        Thc_obsv.Span.mark_all ctx.spans ~seq ~rids:(batch_rids batch)
+          Thc_obsv.Span.Commit_send ~at:(ctx.now ());
       seal_and_send t ctx (Commit { view; seq; batch })
     end
   end
 
 (* --- leader batching --------------------------------------------------- *)
 
-let propose_batch t ctx (batch : Command.batch) =
+let propose_batch t (ctx : msg Thc_sim.Engine.ctx) (batch : Command.batch) =
   if batch <> [] then begin
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
     List.iter
       (fun key -> Hashtbl.replace t.proposed_keys key seq)
       (Command.batch_keys batch);
+    if Thc_obsv.Span.enabled ctx.spans then
+      Thc_obsv.Span.mark_all ctx.spans ~seq ~rids:(batch_rids batch)
+        Thc_obsv.Span.Propose ~at:(ctx.now ());
     seal_and_send t ctx (Prepare { view = t.view; seq; batch })
   end
 
@@ -424,8 +457,24 @@ let handle_proto t (ctx : msg Thc_sim.Engine.ctx) ~owner payload =
       && evidence_valid t ~new_view evidence
     then adopt_new_view t ctx ~new_view evidence
 
-let handle_sealed t ctx (att : Thc_hardware.Trinc.attestation) =
-  let released = Attested_link.In.accept t.inbox att in
+let handle_sealed t (ctx : msg Thc_sim.Engine.ctx)
+    (att : Thc_hardware.Trinc.attestation) =
+  let released =
+    (* Attribute the inbound verification ops (counter checks, replay/forge
+       rejections) to the phase of the carried message.  The classifying
+       decode happens only when spans are live; disabled runs keep the
+       single decode they always had. *)
+    if Thc_obsv.Span.enabled ctx.spans then begin
+      let phase, rids =
+        match span_phase_of_proto (decode_proto att.message) with
+        | pr -> pr
+        | exception _ -> (Thc_obsv.Span.Other_phase, [])
+      in
+      Thc_obsv.Span.in_phase ctx.spans phase ~rids (fun () ->
+          Attested_link.In.accept t.inbox att)
+    end
+    else Attested_link.In.accept t.inbox att
+  in
   List.iter
     (fun (a : Thc_hardware.Trinc.attestation) ->
       (* View_change needs the attestation itself (evidence); everything
@@ -467,7 +516,12 @@ let handle_request t (ctx : msg Thc_sim.Engine.ctx) sr =
         t.self = leader_of t t.view
         && t.status = Normal
         && not (Hashtbl.mem t.proposed_keys key)
-      then enqueue_request t ctx sr
+      then begin
+        if Thc_obsv.Span.enabled ctx.spans then
+          Thc_obsv.Span.mark ctx.spans ~client:sr.value.client
+            ~rid:sr.value.rid Thc_obsv.Span.Ingress ~at:(ctx.now ());
+        enqueue_request t ctx sr
+      end
     end
     else
       (* Already executed: re-reply (client retransmission). *)

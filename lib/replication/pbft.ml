@@ -156,6 +156,11 @@ let leader_of t view = view mod t.config.n
 let send_signed t (ctx : msg Thc_sim.Engine.ctx) p =
   ctx.broadcast (Signed (Thc_crypto.Signature.seal t.ident p))
 
+let batch_rids (batch : Command.batch) =
+  List.map
+    (fun (sr : Command.signed_request) -> sr.Thc_crypto.Signature.value.rid)
+    batch
+
 let table tbl key mk =
   match Hashtbl.find_opt tbl key with
   | Some v -> v
@@ -182,6 +187,9 @@ let execute_one t (ctx : msg Thc_sim.Engine.ctx) (sr : Command.signed_request)
   in
   Hashtbl.remove t.pending key;
   t.exec_count <- t.exec_count + 1;
+  if Thc_obsv.Span.enabled ctx.spans then
+    Thc_obsv.Span.mark ctx.spans ~client:sr.value.client ~rid:sr.value.rid
+      Thc_obsv.Span.Executed ~at:(ctx.now ());
   ctx.output
     (Thc_sim.Obs.Executed { seq = t.exec_count; op = sr.value.op; result });
   ctx.send sr.value.client
@@ -202,7 +210,7 @@ let committed_op (batch : Command.batch) =
     Thc_util.Codec.encode
       (List.map (fun (sr : Command.signed_request) -> sr.value.op) batch)
 
-let try_commit t ctx ~view ~seq ~digest =
+let try_commit t (ctx : msg Thc_sim.Engine.ctx) ~view ~seq ~digest =
   match Hashtbl.find_opt t.preprepares (view, seq) with
   | Some (batch, _) when Command.batch_digest batch = digest ->
     let votes = table t.commit_votes (view, seq, digest) (fun () -> Hashtbl.create 8) in
@@ -211,6 +219,9 @@ let try_commit t ctx ~view ~seq ~digest =
       && not (Hashtbl.mem t.committed seq)
     then begin
       Hashtbl.replace t.committed seq batch;
+      if Thc_obsv.Span.enabled ctx.spans then
+        Thc_obsv.Span.mark_all ctx.spans ~seq ~rids:(batch_rids batch)
+          Thc_obsv.Span.Committed ~at:(ctx.now ());
       Hashtbl.replace t.commit_certs seq
         {
           fview = view;
@@ -224,7 +235,7 @@ let try_commit t ctx ~view ~seq ~digest =
     end
   | Some _ | None -> ()
 
-let try_prepare t ctx ~view ~seq ~digest =
+let try_prepare t (ctx : msg Thc_sim.Engine.ctx) ~view ~seq ~digest =
   match Hashtbl.find_opt t.preprepares (view, seq) with
   | Some (batch, preprepare_sig) when Command.batch_digest batch = digest ->
     let votes = table t.prepare_votes (view, seq, digest) (fun () -> Hashtbl.create 8) in
@@ -237,6 +248,9 @@ let try_prepare t ctx ~view ~seq ~digest =
         { cview = view; cseq = seq; cbatch = batch; preprepare_sig; prepares };
       if not (Hashtbl.mem t.commit_sent (view, seq)) then begin
         Hashtbl.replace t.commit_sent (view, seq) ();
+        if Thc_obsv.Span.enabled ctx.spans then
+          Thc_obsv.Span.mark_all ctx.spans ~seq ~rids:(batch_rids batch)
+            Thc_obsv.Span.Commit_send ~at:(ctx.now ());
         send_signed t ctx (Commit { view; seq; digest })
       end
     end
@@ -254,13 +268,16 @@ let proposal_acceptable t ~seq ~(batch : Command.batch) =
 
 (* --- leader batching (same discipline as Minbft) ------------------------ *)
 
-let propose_batch t ctx (batch : Command.batch) =
+let propose_batch t (ctx : msg Thc_sim.Engine.ctx) (batch : Command.batch) =
   if batch <> [] then begin
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
     List.iter
       (fun key -> Hashtbl.replace t.proposed_keys key seq)
       (Command.batch_keys batch);
+    if Thc_obsv.Span.enabled ctx.spans then
+      Thc_obsv.Span.mark_all ctx.spans ~seq ~rids:(batch_rids batch)
+        Thc_obsv.Span.Propose ~at:(ctx.now ());
     send_signed t ctx (Pre_prepare { view = t.view; seq; batch })
   end
 
@@ -565,7 +582,12 @@ let handle_request t (ctx : msg Thc_sim.Engine.ctx) sr =
         t.self = leader_of t t.view
         && t.status = Normal
         && not (Hashtbl.mem t.proposed_keys key)
-      then enqueue_request t ctx sr
+      then begin
+        if Thc_obsv.Span.enabled ctx.spans then
+          Thc_obsv.Span.mark ctx.spans ~client:sr.value.client
+            ~rid:sr.value.rid Thc_obsv.Span.Ingress ~at:(ctx.now ());
+        enqueue_request t ctx sr
+      end
   end
 
 let handle_check t (ctx : msg Thc_sim.Engine.ctx) =

@@ -8,6 +8,7 @@ type 'm ctx = {
   set_timer : delay:int64 -> tag:int -> unit;
   output : Obs.t -> unit;
   rng : Thc_util.Rng.t;
+  spans : Thc_obsv.Span.t;
 }
 
 type 'm behavior = {
@@ -72,6 +73,7 @@ type 'm t = {
   held_pool : 'm ev Net.Pool.t;
   mutable send_seq : int;
   ctxs : 'm ctx option array;
+  spans : Thc_obsv.Span.t;
   stats : Thc_obsv.Link_stats.t;
   corrupt_handlers : (int, string -> unit) Hashtbl.t;
   recycle : bool;
@@ -84,9 +86,14 @@ type 'm t = {
 let fresh_ev () =
   { kind = -1; a = 0; b = 0; c = 0; msg = None; script = None }
 
-let create ?(seed = 1L) ?(tracing = Full) ?(recycle = true) ~n ~net () =
+let create ?(seed = 1L) ?(tracing = Full) ?(recycle = true)
+    ?(spans = Thc_obsv.Span.nop) ~n ~net () =
   if Net.n net <> n then invalid_arg "Engine.create: net size mismatch";
   let rng = Thc_util.Rng.create seed in
+  (* Span recording rides the tracing dial: [Off] is the promise that the
+     hot path pays nothing beyond the simulation itself, so it forces the
+     nop recorder no matter what the caller handed in. *)
+  let spans = if tracing = Off then Thc_obsv.Span.nop else spans in
   {
     n;
     net;
@@ -113,6 +120,7 @@ let create ?(seed = 1L) ?(tracing = Full) ?(recycle = true) ~n ~net () =
     held_pool = Net.Pool.create ~null:(fresh_ev ()) ();
     send_seq = 0;
     ctxs = Array.make n None;
+    spans;
     stats = Thc_obsv.Link_stats.create ~n;
     corrupt_handlers = Hashtbl.create 4;
     recycle;
@@ -308,6 +316,7 @@ let ctx_of t pid =
             if t.trace_key then
               t.entries <- Trace.Output { time = t.clock; pid; obs } :: t.entries);
         rng = t.proc_rngs.(pid);
+        spans = t.spans;
       }
     in
     t.ctxs.(pid) <- Some c;

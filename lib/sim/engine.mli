@@ -25,6 +25,12 @@ type 'm ctx = {
       (** One-shot timer; [on_timer] fires with [tag] after [delay]. *)
   output : Obs.t -> unit;  (** Record an observation in the trace. *)
   rng : Thc_util.Rng.t;  (** Per-process deterministic stream. *)
+  spans : Thc_obsv.Span.t;
+      (** Request-span recorder shared by every process of the engine
+          ({!Thc_obsv.Span.nop} unless one was passed to {!create}).
+          Protocol code stamps causal marks on it in virtual time; when
+          disabled every call is one boolean test.  Recording never
+          perturbs scheduling, RNG draws or the trace. *)
 }
 (** Capabilities handed to a behavior.  All interaction with the world goes
     through this record. *)
@@ -51,13 +57,19 @@ type tracing =
   | Off  (** Record nothing; {!run}'s trace has an empty entry list. *)
 
 val create :
-  ?seed:int64 -> ?tracing:tracing -> ?recycle:bool -> n:int -> net:Net.t ->
-  unit -> 'm t
+  ?seed:int64 -> ?tracing:tracing -> ?recycle:bool ->
+  ?spans:Thc_obsv.Span.t -> n:int -> net:Net.t -> unit -> 'm t
 (** Fresh engine over [n] processes.  [net] must have the same [n].
 
     [tracing] (default [Full]) selects how much of the run is recorded;
     it changes {e only} what {!run}'s trace contains — scheduling, RNG
     consumption and behavior execution are bit-identical across modes.
+
+    [spans] (default {!Thc_obsv.Span.nop}) is the request-span recorder
+    handed to every behavior via [ctx.spans].  [tracing = Off] forces the
+    nop recorder — the arena/recycling fast path keeps its pay-nothing
+    promise — and span recording is itself virtual-time-only, so traces
+    and exports are byte-identical whether or not spans are collected.
 
     [recycle] (default [true]) arena-recycles the engine's internal
     event records through a free list; [false] allocates every event

@@ -36,6 +36,7 @@ type result = {
   trusted_per_request : float;
   messages : int;
   safety_violations : int;
+  phase_p50_us : (string * float) list;
 }
 
 (* Same layout as Harness: replicas at pids 0..n-1, clients at n..; client c
@@ -68,7 +69,16 @@ let client_behaviors (type m) p ~n ~keyring
       in
       (pid, behavior))
 
-let finish (type m) p ~(trace : m Thc_sim.Trace.t) ~replicas ~hw =
+(* Per-phase p50s from the run's span recorder: [(phase, µs)] in causal
+   order, traversed phases only.  Plain data so results stay Marshal-safe
+   across sweep workers. *)
+let phase_p50s spans =
+  List.filter_map
+    (fun (r : Thc_obsv.Span.phase_row) ->
+      Option.map (fun p50 -> (r.p_name, Int64.to_float p50)) r.p_p50)
+    (Thc_obsv.Span.summarize (Thc_obsv.Span.views spans)).rows
+
+let finish (type m) p ~(trace : m Thc_sim.Trace.t) ~replicas ~hw ~phase_p50_us =
   let latencies = Smr_spec.client_latencies trace in
   let completed = List.length latencies in
   let offered = W.total_requests p.spec in
@@ -110,6 +120,7 @@ let finish (type m) p ~(trace : m Thc_sim.Trace.t) ~replicas ~hw =
       List.length
         (Smr_spec.check_safety trace ~replicas
         @ Smr_spec.check_state_determinism trace ~replicas);
+    phase_p50_us;
   }
 
 (* Each run_* returns the reduced result plus a thunk for the raw engine
@@ -125,7 +136,11 @@ let run_minbft p =
   let keyring = Thc_crypto.Keyring.create rng ~n:total in
   let world = Thc_hardware.Trinc.create_world rng ~n in
   let net = Thc_sim.Net.create ~n:total ~default:p.delay in
-  let engine = Thc_sim.Engine.create ~seed:p.seed ~n:total ~net () in
+  let spans = Thc_obsv.Span.create () in
+  Thc_obsv.Ledger.set_observer
+    (Thc_hardware.Trinc.ledger world)
+    (Thc_obsv.Span.attribute spans);
+  let engine = Thc_sim.Engine.create ~seed:p.seed ~spans ~n:total ~net () in
   for self = 0 to n - 1 do
     Thc_sim.Engine.set_behavior engine self
       (Minbft.replica
@@ -143,7 +158,9 @@ let run_minbft p =
     Thc_sim.Engine.run ~until:(W.horizon_us p.spec) ~max_events:20_000_000
       engine
   in
-  ( finish p ~trace ~replicas:n ~hw:(Thc_hardware.Trinc.ledger world),
+  ( finish p ~trace ~replicas:n
+      ~hw:(Thc_hardware.Trinc.ledger world)
+      ~phase_p50_us:(phase_p50s spans),
     fun () -> Thc_sim.Trace.to_jsonl ~encode_msg:Thc_util.Codec.encode trace )
 
 let run_pbft p =
@@ -155,7 +172,8 @@ let run_pbft p =
   let rng = Thc_util.Rng.create p.seed in
   let keyring = Thc_crypto.Keyring.create rng ~n:total in
   let net = Thc_sim.Net.create ~n:total ~default:p.delay in
-  let engine = Thc_sim.Engine.create ~seed:p.seed ~n:total ~net () in
+  let spans = Thc_obsv.Span.create () in
+  let engine = Thc_sim.Engine.create ~seed:p.seed ~spans ~n:total ~net () in
   for self = 0 to n - 1 do
     Thc_sim.Engine.set_behavior engine self
       (Pbft.replica
@@ -174,7 +192,9 @@ let run_pbft p =
       engine
   in
   (* PBFT spends no trusted ops; an empty ledger keeps its rates at 0. *)
-  ( finish p ~trace ~replicas:n ~hw:(Thc_obsv.Ledger.create ()),
+  ( finish p ~trace ~replicas:n
+      ~hw:(Thc_obsv.Ledger.create ())
+      ~phase_p50_us:(phase_p50s spans),
     fun () -> Thc_sim.Trace.to_jsonl ~encode_msg:Thc_util.Codec.encode trace )
 
 let run_point_export p =
@@ -247,6 +267,8 @@ let result_to_json r =
       ("trusted_per_request", J.Float r.trusted_per_request);
       ("messages", J.Int r.messages);
       ("safety_violations", J.Int r.safety_violations);
+      ( "phase_p50_us",
+        J.Obj (List.map (fun (k, v) -> (k, J.Float v)) r.phase_p50_us) );
     ]
 
 let export ~seed results =
@@ -283,6 +305,7 @@ type row = {
   r_trusted_per_request : float;
   r_messages : int;
   r_safety : int;
+  r_phase_p50 : (string * float) list;
 }
 
 let row_of_json j =
@@ -313,6 +336,13 @@ let row_of_json j =
         r_trusted_per_request = flt "trusted_per_request";
         r_messages = int "messages";
         r_safety = int "safety_violations";
+        r_phase_p50 =
+          (match J.member "phase_p50_us" j with
+          | Some (J.Obj kvs) ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun f -> (k, f)) (J.to_float v))
+              kvs
+          | Some _ | None -> [] (* pre-span exports: no per-phase columns *));
       }
   | _ -> None
 

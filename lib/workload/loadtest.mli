@@ -42,6 +42,11 @@ type result = {
   trusted_per_request : float;
   messages : int;
   safety_violations : int;
+  phase_p50_us : (string * float) list;
+      (** Per-phase p50 latencies from the run's request-span recorder
+          ([(phase, µs)], causal order, traversed phases only) — where
+          time went inside the pipeline at this operating point.  See
+          {!Thc_obsv.Span}. *)
 }
 
 val run_point : point -> result
@@ -104,6 +109,8 @@ type row = {
   r_trusted_per_request : float;
   r_messages : int;
   r_safety : int;
+  r_phase_p50 : (string * float) list;
+      (** Parsed [phase_p50_us] object; [[]] for pre-span exports. *)
 }
 (** One parsed [point] line — what the report view renders. *)
 

@@ -1,0 +1,179 @@
+module Span = Thc_obsv.Span
+module Harness = Thc_replication.Harness
+module J = Thc_obsv.Json
+
+let schema = "thc-span/v1"
+
+type campaign = {
+  setup : Harness.setup;  (** Template; its [seed] is replaced per run. *)
+  seeds : int64 list;
+}
+
+type run_data = {
+  rd_seed : int64;
+  rd_views : Span.view list;
+  rd_ops : (string * (string * int) list) list;
+  rd_completed : int;
+  rd_commits : int;
+}
+
+type report = {
+  runs : run_data list;  (** Seed order (= key order). *)
+  summary : Span.summary;  (** Merged over every run's views and ops. *)
+}
+
+let run_seed setup seed =
+  let outcome, views, ops = Harness.run_spans { setup with Harness.seed } in
+  {
+    rd_seed = seed;
+    rd_views = views;
+    rd_ops = ops;
+    rd_completed = outcome.Harness.completed;
+    rd_commits = outcome.Harness.commits;
+  }
+
+let merge runs =
+  {
+    runs;
+    summary =
+      Span.summarize
+        ~ops:(Span.merge_ops (List.map (fun rd -> rd.rd_ops) runs))
+        (List.concat_map (fun rd -> rd.rd_views) runs);
+  }
+
+let runner campaign =
+  {
+    Thc_exec.Runner.name = "trace";
+    keys = campaign.seeds;
+    run_one = run_seed campaign.setup;
+    summarize = merge;
+  }
+
+let run ?jobs ?stats campaign =
+  if campaign.seeds = [] then invalid_arg "Phase_trace.run: no seeds";
+  Thc_exec.Runner.run ?jobs ?stats (runner campaign)
+
+(* Slowest requests across the whole campaign, as (seed, view) so the
+   drill-down can name the run a span came from.  Ties break toward the
+   lower (seed, rid) — fully deterministic, any [--jobs]. *)
+let slowest ?(top = 5) report =
+  let keyed =
+    List.concat_map
+      (fun rd ->
+        List.filter_map
+          (fun v ->
+            Option.map (fun l -> (l, rd.rd_seed, v)) (Span.total_latency v))
+          rd.rd_views)
+      report.runs
+  in
+  let sorted =
+    List.sort
+      (fun (l1, s1, (v1 : Span.view)) (l2, s2, (v2 : Span.view)) ->
+        match Int64.compare l2 l1 with
+        | 0 -> (
+          match Int64.compare s1 s2 with
+          | 0 -> compare v1.Span.v_rid v2.Span.v_rid
+          | c -> c)
+        | c -> c)
+      keyed
+  in
+  List.filteri (fun i _ -> i < top) sorted
+  |> List.map (fun (_, s, v) -> (s, v))
+
+(* --- JSONL export / parse ---------------------------------------------- *)
+
+(* One span line per request with its run's seed spliced in right after
+   the type tag, then the merged per-phase rows.  Byte-deterministic per
+   (campaign, checkout), independent of [--jobs]. *)
+let span_line ~seed v =
+  match Span.view_to_json v with
+  | J.Obj (("type", t) :: rest) ->
+    J.Obj (("type", t) :: ("seed", J.Int (Int64.to_int seed)) :: rest)
+  | j -> j
+
+let export campaign report =
+  let b = Buffer.create 8192 in
+  let line j =
+    Buffer.add_string b (J.to_string j);
+    Buffer.add_char b '\n'
+  in
+  line
+    (Thc_obsv.Envelope.header ~typ:"spans" ~schema
+       ~seed:campaign.setup.Harness.seed
+       ~jobs:(List.length campaign.seeds)
+       ~git:(Thc_exec.Gitinfo.describe ())
+       ~extra:
+         [
+           ( "protocol",
+             J.Str
+               (match campaign.setup.Harness.protocol with
+               | Harness.Minbft_protocol -> "minbft"
+               | Harness.Pbft_protocol -> "pbft") );
+           ("seeds", J.Int (List.length campaign.seeds));
+           ("spans", J.Int report.summary.Span.spans_total);
+         ]
+       ());
+  List.iter
+    (fun rd ->
+      List.iter (fun v -> line (span_line ~seed:rd.rd_seed v)) rd.rd_views)
+    report.runs;
+  List.iter
+    (fun row -> line (Span.phase_row_to_json row))
+    report.summary.Span.rows;
+  Buffer.contents b
+
+let parse text =
+  let lines =
+    List.filter
+      (fun (_, l) -> String.trim l <> "")
+      (List.mapi (fun i l -> (i + 1, l)) (String.split_on_char '\n' text))
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | (lineno, l) :: rest -> (
+      match J.parse l with
+      | Error e ->
+        Error
+          (Printf.sprintf "line %d: malformed or truncated JSONL (%s)" lineno e)
+      | Ok j -> (
+        match Option.bind (J.member "type" j) J.to_str with
+        | Some "span" -> (
+          match Span.view_of_json j with
+          | Some v ->
+            let seed =
+              Int64.of_int
+                (Option.value ~default:0
+                   (Option.bind (J.member "seed" j) J.to_int))
+            in
+            collect ((seed, v) :: acc) rest
+          | None ->
+            Error (Printf.sprintf "line %d: span row missing marks" lineno))
+        | _ -> collect acc rest (* phase rows and unknown types: skipped *)))
+  in
+  match lines with
+  | [] -> Error "empty span export"
+  | (_, header) :: rest -> (
+    match J.parse header with
+    | Error e -> Error (Printf.sprintf "bad header: %s" e)
+    | Ok h -> (
+      match
+        ( Option.bind (J.member "type" h) J.to_str,
+          Option.bind (J.member "schema" h) J.to_str )
+      with
+      | Some "spans", Some s when s = schema -> collect [] rest
+      | Some "spans", Some s ->
+        Error (Printf.sprintf "schema mismatch: got %s, want %s" s schema)
+      | _ -> Error "not a span export (missing type/schema header)"))
+
+let pp_report ?(top = 3) ppf report =
+  Span.pp_summary ppf report.summary;
+  match slowest ~top report with
+  | [] -> ()
+  | worst ->
+    Format.fprintf ppf "@,@[<v>slowest requests:@,";
+    List.iter
+      (fun (seed, v) ->
+        Format.fprintf ppf "@[<v 2>seed %Ld rid %d (client %d):@,%a@]@," seed
+          v.Span.v_rid v.Span.v_client Span.pp_critical_path v)
+      worst;
+    Format.fprintf ppf "@]"

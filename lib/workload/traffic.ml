@@ -14,6 +14,9 @@ let closed_loop ~rid_base ~n_replicas ~quorum ~ident ~window ~think_us ~ops
       let rid = rid_base + i in
       let sr = Command.make ~ident ~rid ops.(i) in
       Hashtbl.replace sent_at rid (ctx.now ());
+      if Thc_obsv.Span.enabled ctx.spans then
+        Thc_obsv.Span.mark ctx.spans ~client:ctx.self ~rid Thc_obsv.Span.Submit
+          ~at:(ctx.now ());
       for replica = 0 to n_replicas - 1 do
         ctx.send replica (wrap sr)
       done
@@ -37,6 +40,9 @@ let closed_loop ~rid_base ~n_replicas ~quorum ~ident ~window ~think_us ~ops
           | Some _result ->
             (match Hashtbl.find_opt sent_at reply.rid with
             | Some t0 ->
+              if Thc_obsv.Span.enabled ctx.spans then
+                Thc_obsv.Span.mark ctx.spans ~client:ctx.self ~rid:reply.rid
+                  Thc_obsv.Span.Reply_done ~at:(ctx.now ());
               ctx.output
                 (Thc_sim.Obs.Client_done
                    { rid = reply.rid; latency_us = Int64.sub (ctx.now ()) t0 })

@@ -231,6 +231,42 @@ let test_loadtest_headerless_parse_compat () =
     Alcotest.(check bool) "same rows" true (a = b)
   | Error e, _ | _, Error e -> Alcotest.failf "parse failed: %s" e
 
+let test_phase_trace_export_jobs_identical () =
+  (* The span campaign behind `thc trace`: run_spans outcomes (span views
+     plus attribution rows) crossing the worker pipe, merged in seed order
+     — export bytes must not depend on the worker count. *)
+  let module PT = Thc_workload.Phase_trace in
+  let campaign =
+    {
+      PT.setup =
+        {
+          Thc_replication.Harness.protocol =
+            Thc_replication.Harness.Minbft_protocol;
+          f = 1;
+          ops = 6;
+          clients = 2;
+          batch = 2;
+          interval = 5_000L;
+          delay = Thc_sim.Delay.Uniform (50L, 500L);
+          scenario = Thc_replication.Harness.Fault_free;
+          seed = 1L;
+        };
+      seeds = [ 1L; 2L; 3L ];
+    }
+  in
+  let doc jobs = PT.export campaign (PT.run ~jobs campaign) in
+  let a = doc 1 in
+  Alcotest.check str "span export identical across jobs" a (doc 3);
+  match PT.parse a with
+  | Ok rows ->
+    Alcotest.(check bool) "export parses back nonempty" true (rows <> []);
+    List.iter
+      (fun (seed, _) ->
+        Alcotest.(check bool) "each span carries a campaign seed" true
+          (List.mem seed [ 1L; 2L; 3L ]))
+      rows
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
 (* --- bench-shaped grid through the pool ------------------------------------ *)
 
 let test_replication_grid_jobs_identical () =
@@ -309,6 +345,8 @@ let () =
             test_loadtest_export_jobs_identical;
           Alcotest.test_case "headerless v1 parse compat" `Quick
             test_loadtest_headerless_parse_compat;
+          Alcotest.test_case "phase trace export identical across jobs" `Quick
+            test_phase_trace_export_jobs_identical;
           Alcotest.test_case "replication grid identical across jobs" `Quick
             test_replication_grid_jobs_identical;
         ] );

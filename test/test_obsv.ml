@@ -98,6 +98,177 @@ let test_histogram_bad_buckets () =
   | _ -> Alcotest.fail "non-increasing buckets accepted"
   | exception Invalid_argument _ -> ()
 
+let test_histogram_p999_and_mean () =
+  let h = M.Histogram.create () in
+  Alcotest.(check (option int64)) "empty p999" None (M.Histogram.p999 h);
+  Alcotest.(check bool) "empty mean" true (M.Histogram.mean h = None);
+  List.iter (M.Histogram.record h) [ 10L; 20L; 30L; 40L ];
+  Alcotest.(check (option int64)) "p999 clamps to recorded max" (Some 40L)
+    (M.Histogram.p999 h);
+  match M.Histogram.mean h with
+  | Some m -> Alcotest.(check (float 1e-9)) "mean is exact, not bucketed" 25.0 m
+  | None -> Alcotest.fail "mean missing on non-empty histogram"
+
+(* --- spans --------------------------------------------------------------------- *)
+
+module S = Thc_obsv.Span
+
+let test_span_marks_first_win () =
+  let t = S.create () in
+  S.mark t ~client:7 ~rid:1 S.Submit ~at:100L;
+  (* Re-deliveries and duplicate quorums must not move a mark — nor
+     overwrite the identity fields learned first. *)
+  S.mark t ~client:9 ~rid:1 S.Submit ~at:250L;
+  S.mark t ~rid:1 ~seq:3 S.Propose ~at:400L;
+  S.mark t ~rid:1 ~seq:5 S.Propose ~at:500L;
+  S.mark t ~rid:1 S.Reply_done ~at:900L;
+  match S.views t with
+  | [ v ] ->
+    Alcotest.(check int) "client first wins" 7 v.S.v_client;
+    Alcotest.(check int) "seq first wins" 3 v.S.v_seq;
+    Alcotest.(check (option int64)) "total latency" (Some 800L)
+      (S.total_latency v);
+    Alcotest.(check bool) "complete" true (S.complete v);
+    (match S.last_mark v with
+    | Some (name, at) ->
+      Alcotest.(check string) "last mark name" "done" name;
+      Alcotest.(check int64) "last mark time" 900L at
+    | None -> Alcotest.fail "no last mark")
+  | vs -> Alcotest.failf "expected one view, got %d" (List.length vs)
+
+let test_span_incomplete_last_mark () =
+  let t = S.create () in
+  S.mark t ~rid:2 S.Ingress ~at:50L;
+  S.mark t ~rid:2 S.Propose ~at:80L;
+  let v = List.hd (S.views t) in
+  Alcotest.(check bool) "incomplete" false (S.complete v);
+  Alcotest.(check (option int64)) "no total latency" None (S.total_latency v);
+  (match S.last_mark v with
+  | Some ("propose", 80L) -> ()
+  | _ -> Alcotest.fail "last mark should be propose at 80");
+  let blank = { v with S.v_marks = Array.make 7 (-1L) } in
+  Alcotest.(check bool) "no marks at all" true (S.last_mark blank = None)
+
+let test_span_attribution_nesting () =
+  let t = S.create () in
+  S.in_phase t S.Prepare_phase ~rids:[ 1; 2 ] (fun () ->
+      S.attribute t "attest" 1;
+      S.in_phase t S.Commit_phase ~rids:[ 2 ] (fun () ->
+          S.attribute t "check" 2);
+      (* back in the outer scope after the nested one exits *)
+      S.attribute t "attest" 1);
+  (* an exception must restore the outer (no-phase) scope *)
+  (try S.in_phase t S.Execute_phase ~rids:[ 1 ] (fun () -> failwith "boom")
+   with Failure _ -> ());
+  S.attribute t "stray" 5;
+  (match S.ops_rows t with
+  | [
+   ("prepare", [ ("attest", 2) ]);
+   ("commit", [ ("check", 2) ]);
+   ("other", [ ("stray", 5) ]);
+  ] ->
+    ()
+  | rows -> Alcotest.failf "unexpected ops rows (%d)" (List.length rows));
+  match S.views t with
+  | [ v1; v2 ] ->
+    (* phase indices: 2 = prepare, 3 = commit *)
+    Alcotest.(check int) "rid 1 charged for prepare" 2 v1.S.v_ops.(2);
+    Alcotest.(check int) "rid 1 not in commit scope" 0 v1.S.v_ops.(3);
+    Alcotest.(check int) "rid 2 charged for both" 2 v2.S.v_ops.(3)
+  | vs -> Alcotest.failf "expected two spans, got %d" (List.length vs)
+
+let test_span_merge_ops () =
+  let a = [ ("prepare", [ ("attest", 1); ("check", 2) ]) ] in
+  let b = [ ("prepare", [ ("check", 3) ]); ("other", [ ("probe", 1) ]) ] in
+  match S.merge_ops [ a; b ] with
+  | [ ("prepare", [ ("attest", 1); ("check", 5) ]); ("other", [ ("probe", 1) ]) ]
+    ->
+    ()
+  | _ -> Alcotest.fail "merge_ops must sum pointwise in phase order"
+
+let test_span_json_roundtrip () =
+  let t = S.create () in
+  S.mark t ~client:3 ~rid:11 S.Submit ~at:10L;
+  S.mark t ~rid:11 ~seq:2 S.Propose ~at:40L;
+  S.mark t ~rid:11 S.Reply_done ~at:90L;
+  S.in_phase t S.Prepare_phase ~rids:[ 11 ] (fun () ->
+      S.attribute t "attest" 4);
+  (* incomplete span with no client/seq: the Null/omitted-field paths *)
+  S.mark t ~rid:12 S.Ingress ~at:15L;
+  List.iter
+    (fun v ->
+      match S.view_of_json (S.view_to_json v) with
+      | Some v' -> Alcotest.(check bool) "view round trips" true (v = v')
+      | None -> Alcotest.fail "view_of_json rejected its own encoding")
+    (S.views t)
+
+let test_span_nop_and_summary () =
+  Alcotest.(check bool) "nop is disabled" false (S.enabled S.nop);
+  S.mark S.nop ~rid:1 S.Submit ~at:5L;
+  S.in_phase S.nop S.Prepare_phase ~rids:[ 1 ] (fun () ->
+      S.attribute S.nop "x" 9);
+  Alcotest.(check bool) "nop records no spans" true (S.views S.nop = []);
+  Alcotest.(check bool) "nop records no ops" true (S.ops_rows S.nop = []);
+  let t = S.create () in
+  List.iter
+    (fun (rid, at) ->
+      S.mark t ~rid S.Submit ~at:0L;
+      S.mark t ~rid S.Ingress ~at;
+      S.mark t ~rid S.Reply_done ~at)
+    [ (1, 100L); (2, 300L); (3, 200L) ];
+  let sum = S.summarize (S.views t) in
+  Alcotest.(check int) "spans total" 3 sum.S.spans_total;
+  Alcotest.(check int) "spans complete" 3 sum.S.spans_complete;
+  match sum.S.rows with
+  | [ r ] ->
+    (* only the submit phase was traversed; untraversed phases are omitted *)
+    Alcotest.(check string) "phase" "submit" r.S.p_name;
+    Alcotest.(check int) "count" 3 r.S.p_count;
+    Alcotest.(check (option int64)) "max" (Some 300L) r.S.p_max
+  | rows -> Alcotest.failf "expected one phase row, got %d" (List.length rows)
+
+let test_span_critical_path_and_slowest () =
+  let t = S.create () in
+  let mk rid ~ingress ~done_ =
+    S.mark t ~rid S.Submit ~at:0L;
+    S.mark t ~rid S.Ingress ~at:ingress;
+    S.mark t ~rid S.Executed ~at:ingress;
+    S.mark t ~rid S.Reply_done ~at:done_
+  in
+  mk 1 ~ingress:40L ~done_:100L;
+  mk 2 ~ingress:10L ~done_:300L;
+  mk 3 ~ingress:10L ~done_:300L;
+  (match S.slowest ~top:2 (S.views t) with
+  | [ a; b ] ->
+    Alcotest.(check int) "slowest first" 2 a.S.v_rid;
+    Alcotest.(check int) "tie breaks toward lower rid" 3 b.S.v_rid
+  | _ -> Alcotest.fail "slowest shape");
+  let v1 = List.hd (S.views t) in
+  match S.critical_path v1 with
+  | [ ("reply", 60L, s1); ("submit", 40L, s2) ] ->
+    Alcotest.(check (float 1e-9)) "reply share" 0.6 s1;
+    Alcotest.(check (float 1e-9)) "submit share" 0.4 s2
+  | _ -> Alcotest.fail "critical path: largest phase first, with shares"
+
+(* --- throughput ---------------------------------------------------------------- *)
+
+let test_throughput_zero_elapsed_clamp () =
+  let module T = Thc_obsv.Throughput in
+  (* Sub-resolution timings must clamp the denominator, not divide by ~0. *)
+  let s = T.summarize [ { T.events = 1000; ops = 10; elapsed_s = 0.0 } ] in
+  Alcotest.(check bool) "mean rate finite" true (Float.is_finite s.T.ev_s_mean);
+  Alcotest.(check bool) "mean clamps to the 1us floor" true
+    (s.T.ev_s_mean = 1000. /. T.min_elapsed_s);
+  Alcotest.(check bool) "per-sample min clamps too" true
+    (s.T.ev_s_min = 1000. /. T.min_elapsed_s);
+  (* Zero work stays exactly zero instead of 0/0. *)
+  let z = T.summarize [ { T.events = 0; ops = 0; elapsed_s = 0.0 } ] in
+  Alcotest.(check (float 0.)) "no events, zero rate" 0.0 z.T.ev_s_mean;
+  Alcotest.(check (float 0.)) "no ops, zero rate" 0.0 z.T.ops_s_mean;
+  match T.summarize [] with
+  | _ -> Alcotest.fail "empty sample list accepted"
+  | exception Invalid_argument _ -> ()
+
 (* --- registry ------------------------------------------------------------------ *)
 
 let test_registry_snapshot () =
@@ -257,6 +428,28 @@ let () =
           Alcotest.test_case "overflow bucket" `Quick test_histogram_overflow_bucket;
           Alcotest.test_case "empty" `Quick test_histogram_empty;
           Alcotest.test_case "bad buckets" `Quick test_histogram_bad_buckets;
+          Alcotest.test_case "p999 and mean" `Quick test_histogram_p999_and_mean;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "marks: first write wins" `Quick
+            test_span_marks_first_win;
+          Alcotest.test_case "incomplete span last mark" `Quick
+            test_span_incomplete_last_mark;
+          Alcotest.test_case "attribution scopes nest" `Quick
+            test_span_attribution_nesting;
+          Alcotest.test_case "merge_ops sums pointwise" `Quick
+            test_span_merge_ops;
+          Alcotest.test_case "json round trip" `Quick test_span_json_roundtrip;
+          Alcotest.test_case "nop recorder and summary" `Quick
+            test_span_nop_and_summary;
+          Alcotest.test_case "critical path and slowest" `Quick
+            test_span_critical_path_and_slowest;
+        ] );
+      ( "throughput",
+        [
+          Alcotest.test_case "zero-elapsed clamp" `Quick
+            test_throughput_zero_elapsed_clamp;
         ] );
       ("registry", [ Alcotest.test_case "snapshot" `Quick test_registry_snapshot ]);
       ("ledger", [ Alcotest.test_case "per commit" `Quick test_ledger_per_commit ]);
