@@ -222,8 +222,13 @@ let smr_cmd =
   let protocol =
     Arg.(
       value
-      & opt (enum [ ("minbft", `Minbft); ("pbft", `Pbft); ("both", `Both) ]) `Both
-      & info [ "protocol" ] ~doc:"minbft|pbft|both.")
+      & opt
+          (enum
+             [ ("minbft", `Minbft); ("pbft", `Pbft); ("ubft", `Ubft);
+               ("both", `Both); ("all", `All) ])
+          `Both
+      & info [ "protocol" ]
+          ~doc:"minbft|pbft|ubft|both (minbft+pbft)|all.")
   in
   let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
   let ops = Arg.(value & opt int 30 & info [ "ops" ] ~doc:"Client requests.") in
@@ -263,13 +268,20 @@ let smr_cmd =
     (match protocol with
     | `Minbft -> show "MinBFT (2f+1, trusted counters)" Thc_replication.Harness.Minbft_protocol
     | `Pbft -> show "PBFT (3f+1 baseline)" Thc_replication.Harness.Pbft_protocol
+    | `Ubft -> show "uBFT-sim (2f+1, SWMR registers)" Thc_replication.Harness.Ubft_protocol
     | `Both ->
       show "MinBFT (2f+1, trusted counters)" Thc_replication.Harness.Minbft_protocol;
-      show "PBFT (3f+1 baseline)" Thc_replication.Harness.Pbft_protocol)
+      show "PBFT (3f+1 baseline)" Thc_replication.Harness.Pbft_protocol
+    | `All ->
+      show "MinBFT (2f+1, trusted counters)" Thc_replication.Harness.Minbft_protocol;
+      show "PBFT (3f+1 baseline)" Thc_replication.Harness.Pbft_protocol;
+      show "uBFT-sim (2f+1, SWMR registers)" Thc_replication.Harness.Ubft_protocol)
   in
   Cmd.v
     (Cmd.info "smr"
-       ~doc:"Run the replicated-state-machine comparison (MinBFT vs PBFT).")
+       ~doc:
+         "Run the replicated-state-machine comparison (MinBFT vs PBFT vs \
+          uBFT-sim).")
     Term.(const run $ protocol $ f $ ops $ scenario $ seed)
 
 (* --- loadtest -------------------------------------------------------------- *)
@@ -288,9 +300,10 @@ let loadtest_cmd =
       required
       & pos 0
           (some (enum
-                   [ ("minbft", L.Minbft_protocol); ("pbft", L.Pbft_protocol) ]))
+                   [ ("minbft", L.Minbft_protocol); ("pbft", L.Pbft_protocol);
+                     ("ubft", L.Ubft_protocol) ]))
           None
-      & info [] ~docv:"PROTOCOL" ~doc:"minbft|pbft.")
+      & info [] ~docv:"PROTOCOL" ~doc:"minbft|pbft|ubft.")
   in
   let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
   let clients =
@@ -834,11 +847,12 @@ let report_cmd =
       required
       & pos 0
           (some (enum
-                   [ ("minbft", `Minbft); ("pbft", `Pbft);
+                   [ ("minbft", `Minbft); ("pbft", `Pbft); ("ubft", `Ubft);
                      ("ablation", `Ablation); ("srb", `Srb);
                      ("loadtest", `Loadtest) ]))
           None
-      & info [] ~docv:"EXPERIMENT" ~doc:"minbft|pbft|ablation|srb|loadtest.")
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"minbft|pbft|ubft|ablation|srb|loadtest.")
   in
   let n =
     Arg.(
@@ -890,6 +904,10 @@ let report_cmd =
         report_smr Thc_replication.Harness.Pbft_protocol
           ~name:"PBFT (3f+1 baseline)" ~f:(fault_bound ~per_fault:3) ~ops ~seed
           ~export
+      | `Ubft ->
+        report_smr Thc_replication.Harness.Ubft_protocol
+          ~name:"uBFT-sim (2f+1, SWMR registers)" ~f:(fault_bound ~per_fault:2)
+          ~ops ~seed ~export
       | `Ablation -> report_ablation ~f:(fault_bound ~per_fault:2) ~seed ~export
       | `Srb -> report_srb ~n:(Option.value n ~default:4) ~ops ~seed ~export
       | `Loadtest -> report_loadtest ~from
@@ -1085,13 +1103,15 @@ let attack_cmd =
       & pos 0
           (enum
              [
-               ("minbft", `Minbft); ("unattested", `Unattested); ("both", `Both);
+               ("minbft", `Minbft); ("unattested", `Unattested);
+               ("ubft", `Ubft); ("both", `Both); ("all", `All);
              ])
           `Both
       & info [] ~docv:"TARGET"
           ~doc:
             "Protocol to attack: $(b,minbft) (trusted counters), \
-             $(b,unattested) (the 2f+1 ablation) or $(b,both).")
+             $(b,unattested) (the 2f+1 ablation), $(b,ubft) (SWMR \
+             registers), $(b,both) (minbft + unattested) or $(b,all).")
   in
   let attack =
     Arg.(
@@ -1157,15 +1177,21 @@ let attack_cmd =
       Format.printf "@."
   in
   let run target attack seed f corrupt_at runs export jobs top list_only =
-    if list_only then
-      List.iter
-        (fun k ->
-          Format.printf "%-15s %s@.%-15s claim: %s@." (A.name k) (A.describe k)
-            "" (A.paper_claim k))
-        A.all
+    if list_only then begin
+      let pp_catalog header kinds =
+        Format.printf "%s@." header;
+        List.iter
+          (fun k ->
+            Format.printf "%-17s %s@.%-17s claim: %s@." (A.name k)
+              (A.describe k) "" (A.paper_claim k))
+          kinds
+      in
+      pp_catalog "trusted-log catalog (minbft / unattested):" A.all;
+      pp_catalog "register catalog (ubft):" A.ubft_all
+    end
     else begin
       let attacks =
-        if attack = "all" then A.all
+        if attack = "all" then A.all @ A.ubft_all
         else
           match A.of_name attack with
           | Some k -> [ k ]
@@ -1177,8 +1203,22 @@ let attack_cmd =
         match target with
         | `Minbft -> [ A.Minbft ]
         | `Unattested -> [ A.Unattested ]
+        | `Ubft -> [ A.Ubft ]
         | `Both -> [ A.Minbft; A.Unattested ]
+        | `All -> [ A.Minbft; A.Unattested; A.Ubft ]
       in
+      (* Attacks outside every requested target's catalog would make an
+         empty sweep read as success; reject the combination instead. *)
+      let attacks =
+        List.filter
+          (fun a -> List.exists (fun t -> A.applies ~target:t ~attack:a) targets)
+          attacks
+      in
+      if attacks = [] then begin
+        Format.eprintf
+          "attack %S applies to no requested target (try --list)@." attack;
+        exit 2
+      end;
       let seeds =
         List.init (max 1 runs) (fun i -> Int64.add seed (Int64.of_int i))
       in
@@ -1211,9 +1251,11 @@ let attack_cmd =
          "Run the Byzantine attack catalog: scripted active adversaries \
           (equivocation, replay, attestation reuse, forged view-change \
           certificates, selective send, silent-then-lie) against MinBFT and \
-          against the unattested 2f+1 ablation.  Expected outcome, checked: \
-          the attested protocol stays safe and the hardware ledger records \
-          the rejection; the unattested one commits a divergent operation.")
+          against the unattested 2f+1 ablation, plus a register catalog \
+          (forged slots/acks, frozen reads, withheld appends) against \
+          uBFT-sim.  Expected outcome, checked: the attested protocols stay \
+          safe and the hardware ledger records the rejection; the \
+          unattested one commits a divergent operation.")
     Term.(
       const run $ target $ attack $ seed $ f $ corrupt_at $ runs $ export
       $ jobs $ top $ list_only)
@@ -1228,9 +1270,10 @@ let trace_cmd =
       required
       & pos 0
           (some (enum
-                   [ ("minbft", H.Minbft_protocol); ("pbft", H.Pbft_protocol) ]))
+                   [ ("minbft", H.Minbft_protocol); ("pbft", H.Pbft_protocol);
+                     ("ubft", H.Ubft_protocol) ]))
           None
-      & info [] ~docv:"PROTOCOL" ~doc:"minbft|pbft.")
+      & info [] ~docv:"PROTOCOL" ~doc:"minbft|pbft|ubft.")
   in
   let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
   let ops =
@@ -1280,7 +1323,8 @@ let trace_cmd =
        (base %Ld) ===\n"
       (match protocol with
       | H.Minbft_protocol -> "minbft"
-      | H.Pbft_protocol -> "pbft")
+      | H.Pbft_protocol -> "pbft"
+      | H.Ubft_protocol -> "ubft")
       f clients ops batch (max 1 runs) seed;
     let completed =
       List.fold_left (fun acc rd -> acc + rd.PT.rd_completed) 0 report.PT.runs

@@ -1,6 +1,7 @@
 module E = Thc_sim.Engine
 module Trinc = Thc_hardware.Trinc
 module R = Thc_replication
+module Swmr = Thc_sharedmem.Swmr
 
 type kind =
   | Equivocate
@@ -9,6 +10,10 @@ type kind =
   | Mismatched_vc
   | Selective_send
   | Silent_then_lie
+  | Register_forge
+  | Ack_forge
+  | Stale_read
+  | Withheld_append
 
 let all =
   [
@@ -20,6 +25,8 @@ let all =
     Silent_then_lie;
   ]
 
+let ubft_all = [ Register_forge; Ack_forge; Stale_read; Withheld_append ]
+
 let name = function
   | Equivocate -> "equivocation"
   | Replay_stale -> "replay"
@@ -27,6 +34,10 @@ let name = function
   | Mismatched_vc -> "mismatched-vc"
   | Selective_send -> "selective-send"
   | Silent_then_lie -> "silent-then-lie"
+  | Register_forge -> "register-forge"
+  | Ack_forge -> "ack-forge"
+  | Stale_read -> "stale-read"
+  | Withheld_append -> "withheld-append"
 
 let of_name = function
   | "equivocation" -> Some Equivocate
@@ -35,6 +46,10 @@ let of_name = function
   | "mismatched-vc" -> Some Mismatched_vc
   | "selective-send" -> Some Selective_send
   | "silent-then-lie" -> Some Silent_then_lie
+  | "register-forge" -> Some Register_forge
+  | "ack-forge" -> Some Ack_forge
+  | "stale-read" -> Some Stale_read
+  | "withheld-append" -> Some Withheld_append
   | _ -> None
 
 let describe = function
@@ -56,6 +71,19 @@ let describe = function
   | Silent_then_lie ->
     "a two-phase attacker: first fully silent (indistinguishable from a \
      crash), then it comes back and equivocates from its stale view"
+  | Register_forge ->
+    "a corrupted follower tries to plant a conflicting Slot directly in \
+     the leader's register, then rings doorbells for the slot it could \
+     not write"
+  | Ack_forge ->
+    "a corrupted follower tries to append a coverage Ack into a peer's \
+     register, then sends the leader a lying Ack_note doorbell"
+  | Stale_read ->
+    "a corrupted follower freezes on a stale register snapshot: it stops \
+     reading, acking and replying (after one parting forgery attempt)"
+  | Withheld_append ->
+    "the corrupted leader withholds all further register appends, \
+     leaving its doorbells ringing over an empty log"
 
 let paper_claim = function
   | Equivocate | Replay_stale | Reuse_attestation ->
@@ -70,15 +98,36 @@ let paper_claim = function
   | Silent_then_lie ->
     "silence is a crash fault the 2f+1 protocol already tolerates; the \
      late lie is ordinary equivocation and dies on the counter discipline"
+  | Register_forge | Ack_forge ->
+    "SWMR registers sit strictly above trusted logs in Figure 1: where a \
+     TrInc attacker gets to ask and be refused per message, the register \
+     ACL makes writing another's history impossible outright"
+  | Stale_read ->
+    "withholding reads is self-harm: the register's append order is the \
+     one history, so a frozen reader is just a crash the 2f+1 protocol \
+     absorbs"
+  | Withheld_append ->
+    "withholding appends starves the one place followers read from; the \
+     register-vote view change replaces the writer and recovers its \
+     published prefix"
 
-type target = Minbft | Unattested
+type target = Minbft | Unattested | Ubft
 
-let target_name = function Minbft -> "minbft" | Unattested -> "unattested"
+let target_name = function
+  | Minbft -> "minbft"
+  | Unattested -> "unattested"
+  | Ubft -> "ubft"
 
 let target_of_name = function
   | "minbft" -> Some Minbft
   | "unattested" -> Some Unattested
+  | "ubft" -> Some Ubft
   | _ -> None
+
+let applies ~target ~attack =
+  match target with
+  | Minbft | Unattested -> List.mem attack all
+  | Ubft -> List.mem attack ubft_all
 
 type result = {
   attack : kind;
@@ -101,6 +150,16 @@ let holds r =
   match r.target with
   | Minbft -> r.safety_violations = 0 && r.rejections > 0
   | Unattested -> r.safety_violations > 0
+  | Ubft -> (
+    r.safety_violations = 0 && r.rejections > 0
+    &&
+    (* The forge attempts bounce off the ACL without disturbing the run;
+       the availability attacks must additionally leave the cluster able
+       to finish serving the honest client (crash-tolerance, possibly
+       through a view change). *)
+    match r.attack with
+    | Stale_read | Withheld_append -> r.client_finished
+    | _ -> true)
 
 let pp_result ppf r =
   Format.fprintf ppf
@@ -222,6 +281,9 @@ let minbft_inject ~attack ~engine ~wrap ~trinket ~replica ~attacker_ident ~n ()
       (fun () ->
         rewind_probe trinket;
         equivocate_now ())
+  | Register_forge | Ack_forge | Stale_read | Withheld_append ->
+    (* Register-catalog kinds never reach this rig (see [applies]). *)
+    ()
 
 let minbft_detail = function
   | Equivocate ->
@@ -246,6 +308,8 @@ let minbft_detail = function
     "the silent phase is handled as a leader crash (view change); the \
      late equivocation is stale-view traffic stuck behind its own \
      counter gap"
+  | Register_forge | Ack_forge | Stale_read | Withheld_append ->
+    "not part of the trusted-log catalog"
 
 let run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until () =
   let config = R.Minbft.default_config ~f in
@@ -355,6 +419,8 @@ let unattested_detail = function
   | Silent_then_lie ->
     "after the silent phase the comeback equivocation works exactly as at \
      time zero — without attested history, silence erases nothing"
+  | Register_forge | Ack_forge | Stale_read | Withheld_append ->
+    "not part of the unattested catalog"
 
 let unattested_attacker ~attack ~corrupt_at ~script
     (env : R.Ablation.Unattested.env) :
@@ -407,7 +473,8 @@ let unattested_attacker ~attack ~corrupt_at ~script
           arm ctx ~delay:corrupt_at ~tag:phase1;
           arm ctx ~delay:(Int64.add corrupt_at 20_000L) ~tag:phase2
         | Silent_then_lie ->
-          arm ctx ~delay:(Int64.add corrupt_at 50_000L) ~tag:phase1));
+          arm ctx ~delay:(Int64.add corrupt_at 50_000L) ~tag:phase1
+        | Register_forge | Ack_forge | Stale_read | Withheld_append -> ()));
     on_message = (fun _ ~src:_ _ -> ());
     on_timer;
   }
@@ -435,6 +502,156 @@ let run_unattested ~attack ~f ~seed ~corrupt_at ~script ~until () =
     stalled_spans = [];
   }
 
+(* --- the uBFT-sim side --------------------------------------------------- *)
+
+let ubft_detail = function
+  | Register_forge ->
+    "both forged appends die on the ACL before touching memory \
+     (swmr.append_denied); the doorbells point followers at a register \
+     that never held the forgery"
+  | Ack_forge ->
+    "the foreign-register Ack append is refused (swmr.append_denied) and \
+     the lying Ack_note is audited away: the leader re-reads the real \
+     register and finds no digest-matching acks"
+  | Stale_read ->
+    "the frozen follower is a crash from the outside; the remaining 2f \
+     replicas keep the f+1 reply quorum and coverage going"
+  | Withheld_append ->
+    "starved followers time out, plant register votes, and the new \
+     leader re-publishes the recovered prefix under the next view"
+  | Equivocate | Replay_stale | Reuse_attestation | Mismatched_vc
+  | Selective_send | Silent_then_lie ->
+    "not part of the register catalog"
+
+(* Every corruption opens with the same probe pair: plant a forged Slot in
+   the leader's register and a forged Ack in a peer follower's.  The ACL
+   refuses both outright — where the TrInc attacker at least gets to ask
+   its own trinket and be told no, here the write into another's history
+   has no interface at all; the attempts land in the ledger as
+   [swmr.append_denied].  The rest of each attack is the fallback once
+   forgery is off the table. *)
+let ubft_inject ~attack ~(registers : R.Ubft.registers) ~wrap ~replica
+    ~attacker_ident ~byz_ident ~byz_pid ~n () =
+  let ctx = Wrap.raw_ctx wrap in
+  let view = R.Ubft.view_of replica in
+  let leader = view mod n in
+  let peer = (byz_pid + 1) mod n in
+  let next_seq = R.Ubft.executed_upto replica + 1 in
+  let forged_batch tag =
+    [
+      R.Command.make ~ident:attacker_ident ~rid:9_000
+        (R.Kv_store.Put ("byz", tag));
+    ]
+  in
+  let plant owner record =
+    try Swmr.append registers.(owner) ~ident:byz_ident record
+    with Thc_sharedmem.Acl.Violation _ -> ()
+  in
+  let forge_probe () =
+    plant leader
+      (R.Ubft.forged_slot ~view ~seq:next_seq ~batch:(forged_batch "A"));
+    plant peer (R.Ubft.forged_ack ~view ~seq:next_seq ~digest:0L)
+  in
+  forge_probe ();
+  match attack with
+  | Register_forge ->
+    (* Second conflicting slot for the same seq, then ring everyone: the
+       doorbell is harmless because the register never held either. *)
+    plant leader
+      (R.Ubft.forged_slot ~view ~seq:next_seq ~batch:(forged_batch "B"));
+    ctx.E.broadcast (R.Ubft.adversarial_notify ~view ~upto:next_seq)
+  | Ack_forge ->
+    ctx.E.send leader (R.Ubft.adversarial_ack_note ~view ~upto:(next_seq + 99))
+  | Stale_read -> Wrap.mute wrap
+  | Withheld_append -> Wrap.mute wrap
+  | Equivocate | Replay_stale | Reuse_attestation | Mismatched_vc
+  | Selective_send | Silent_then_lie ->
+    ()
+
+let run_ubft ~attack ~f ~seed ~corrupt_at ~script ~until () =
+  let config = R.Ubft.default_config ~f in
+  let n = config.R.Ubft.n in
+  (* Same pid layout as the MinBFT rig: replicas 0..n-1, honest client n,
+     colluding-client identity n+1. *)
+  let total = n + 2 in
+  let rng = Thc_util.Rng.create seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:total in
+  let net =
+    Thc_sim.Net.create ~n:total ~default:(Thc_sim.Delay.Uniform (50L, 500L))
+  in
+  let spans = Thc_obsv.Span.create () in
+  let registers : R.Ubft.registers = Swmr.log_array ~n in
+  let hw = Thc_obsv.Ledger.create () in
+  Swmr.attach_ledger_all registers hw;
+  Thc_obsv.Ledger.set_observer hw (Thc_obsv.Span.attribute spans);
+  let engine = E.create ~seed ~spans ~n:total ~net () in
+  (* The append-withholder must own the register followers read from; the
+     other attackers corrupt a follower. *)
+  let byz_pid = match attack with Withheld_append -> 0 | _ -> n - 1 in
+  let replicas =
+    Array.init n (fun pid ->
+        R.Ubft.create_replica ~config ~keyring ~registers
+          ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+          ~self:pid)
+  in
+  let wrap = Wrap.create () in
+  for pid = 0 to n - 1 do
+    let honest = R.Ubft.replica replicas.(pid) in
+    E.set_behavior engine pid
+      (if pid = byz_pid then Wrap.behavior wrap honest else honest)
+  done;
+  let plan =
+    [
+      (0L, R.Kv_store.Put ("x", "1"));
+      (10_000L, R.Kv_store.Put ("y", "2"));
+      (40_000L, R.Kv_store.Put ("x", "3"));
+      (90_000L, R.Kv_store.Get "x");
+    ]
+  in
+  E.set_behavior engine n
+    (R.Ubft.client ~rid_base:0 ~config ~keyring
+       ~ident:(Thc_crypto.Keyring.secret keyring ~pid:n)
+       ~plan);
+  let attacker_ident = Thc_crypto.Keyring.secret keyring ~pid:(n + 1) in
+  let byz_ident = Thc_crypto.Keyring.secret keyring ~pid:byz_pid in
+  E.on_corrupt engine ~pid:byz_pid (fun _ ->
+      ubft_inject ~attack ~registers ~wrap ~replica:replicas.(byz_pid)
+        ~attacker_ident ~byz_ident ~byz_pid ~n ());
+  Thc_sim.Adversary.install
+    {
+      Thc_sim.Adversary.events =
+        [
+          {
+            Thc_sim.Adversary.at = corrupt_at;
+            action =
+              Thc_sim.Adversary.Corrupt { pid = byz_pid; attack = name attack };
+          };
+        ];
+      horizon = corrupt_at;
+    }
+    engine;
+  Option.iter (fun s -> Thc_sim.Adversary.install s engine) script;
+  let trace = E.run ~until engine in
+  {
+    attack;
+    target = Ubft;
+    seed;
+    corrupt_at;
+    safety_violations = List.length (R.Smr_spec.check_safety trace ~replicas:n);
+    distinct_ops_at_seq1 = distinct_ops_at_seq1 trace ~replicas:n;
+    commits = R.Smr_spec.commits trace ~replicas:n;
+    rejections = Thc_obsv.Ledger.rejections hw;
+    trusted_ops = Thc_obsv.Ledger.rows hw;
+    messages = Thc_sim.Trace.messages_sent trace;
+    duration_us = trace.Thc_sim.Trace.end_time;
+    client_finished = client_finished trace ~pid:n ~expected:(List.length plan);
+    detail = ubft_detail attack;
+    stalled_spans =
+      List.filter
+        (fun v -> not (Thc_obsv.Span.complete v))
+        (Thc_obsv.Span.views spans);
+  }
+
 let script_slack = function
   | None -> 0L
   | Some s -> s.Thc_sim.Adversary.horizon
@@ -450,6 +667,9 @@ let run ?(f = 1) ?(seed = 1L) ?(corrupt_at = 5_000L) ?script ~target ~attack ()
   | Unattested ->
     let until = Int64.add 1_000_000L (Int64.add corrupt_at slack) in
     run_unattested ~attack ~f ~seed ~corrupt_at ~script ~until ()
+  | Ubft ->
+    let until = Int64.add 500_000L (Int64.add corrupt_at slack) in
+    run_ubft ~attack ~f ~seed ~corrupt_at ~script ~until ()
 
 let run_export ?(f = 1) ?(seed = 1L) ?(corrupt_at = 5_000L) ?script ~attack ()
     =

@@ -1,18 +1,30 @@
 (** The Byzantine attack catalog.
 
-    Six scripted active-adversary behaviors, each runnable against two
-    targets: real MinBFT on trusted counters ([Minbft]) and the
-    unattested 2f+1 ablation ([Unattested]).  Together they turn the
-    paper's central claim — non-equivocation is what the trusted-log class
-    buys — from an asserted ablation into a demonstrated one: every attack
-    that merely bounces off the attested protocol (safety intact, the
-    hardware ledger recording the rejected operation) forks the unattested
-    protocol into a concrete divergent commit.
+    Two attack families over three targets.  The original six scripted
+    active-adversary behaviors run against real MinBFT on trusted
+    counters ([Minbft]) and the unattested 2f+1 ablation ([Unattested]);
+    together they turn the paper's central claim — non-equivocation is
+    what the trusted-log class buys — from an asserted ablation into a
+    demonstrated one: every attack that merely bounces off the attested
+    protocol (safety intact, the hardware ledger recording the rejected
+    operation) forks the unattested protocol into a concrete divergent
+    commit.
 
-    Against MinBFT the attacker corrupts a running honest replica in place
-    (via {!Wrap} and an adversary-script [Corrupt] event), inheriting its
-    state, its signing secret and its claimed trinket — everything except
-    the ability to make the trinket lie. *)
+    The register catalog ([ubft_all]) targets [Ubft], the SWMR-register
+    protocol one level {e up} Figure 1's order: equivocation there is not
+    detected-and-rejected by a counter discipline, it has no interface at
+    all — writing into another replica's history is an ACL violation
+    before it touches memory.  Its attacks are therefore forgery probes
+    (refused, landing in the ledger as [swmr.append_denied]) paired with
+    the omission behaviors that {e are} in the adversary's power
+    (freezing reads, withholding appends), which cost availability until
+    a view change, never safety.
+
+    Against MinBFT and uBFT-sim the attacker corrupts a running honest
+    replica in place (via {!Wrap} and an adversary-script [Corrupt]
+    event), inheriting its state, its signing secret and its claimed
+    trinket or register — everything except the ability to make the
+    hardware lie. *)
 
 type kind =
   | Equivocate  (** Two proposals, one slot, different audiences. *)
@@ -21,9 +33,22 @@ type kind =
   | Mismatched_vc  (** Fabricated sent-log in a view-change certificate. *)
   | Selective_send  (** Serve a bare quorum, starve the last replica. *)
   | Silent_then_lie  (** Crash-silent phase, then stale-view equivocation. *)
+  | Register_forge
+      (** Append conflicting forged slots into the leader's register. *)
+  | Ack_forge
+      (** Plant a forged ack in a peer's register, then lie about coverage. *)
+  | Stale_read
+      (** Freeze a follower: stop reading the leader's register (mute). *)
+  | Withheld_append
+      (** A leader that stops appending — starving every follower's read. *)
 
 val all : kind list
-(** Every attack, in catalog order. *)
+(** The trusted-log catalog (the original six), in order — what runs
+    against [Minbft] and [Unattested].  Stable: sweep cell counts in the
+    thc-attack/v1 export depend on its length. *)
+
+val ubft_all : kind list
+(** The register catalog — what runs against [Ubft]. *)
 
 val name : kind -> string
 (** Stable CLI/JSONL identifier (e.g. ["equivocation"], ["mismatched-vc"]).
@@ -37,11 +62,16 @@ val describe : kind -> string
 val paper_claim : kind -> string
 (** Which claim of the paper the attack exercises. *)
 
-type target = Minbft | Unattested
+type target = Minbft | Unattested | Ubft
 
 val target_name : target -> string
 
 val target_of_name : string -> target option
+
+val applies : target:target -> attack:kind -> bool
+(** Whether the attack belongs to the target's catalog ({!all} for
+    [Minbft]/[Unattested], {!ubft_all} for [Ubft]).  {!Matrix} sweeps
+    filter their cell grid through this. *)
 
 type result = {
   attack : kind;
@@ -55,9 +85,11 @@ type result = {
       (** > 1 is the divergent commit made concrete. *)
   commits : int;
   rejections : int;
-      (** {!Thc_obsv.Ledger.rejections} of the hardware world's ledger —
-          refused attest/check/link operations; 0 for unattested runs,
-          which have no hardware to refuse anything. *)
+      (** {!Thc_obsv.Ledger.rejections} of the run's hardware ledger —
+          refused attest/check/link operations under [Minbft], refused
+          register writes/appends ([swmr.append_denied]) under [Ubft];
+          0 for unattested runs, which have no hardware to refuse
+          anything. *)
   trusted_ops : (string * int) list;  (** Full ledger rows. *)
   messages : int;
   duration_us : int64;  (** Virtual end time of the run. *)
@@ -76,7 +108,11 @@ type result = {
 val holds : result -> bool
 (** The paper's prediction for this (attack, target) pair: under [Minbft],
     no safety violation {e and} a nonzero hardware-rejection count; under
-    [Unattested], a safety violation. *)
+    [Unattested], a safety violation; under [Ubft], no safety violation
+    {e and} nonzero register-op rejections ([swmr.append_denied] from the
+    forgery probe), with the honest client additionally finishing for the
+    omission kinds ([Stale_read]/[Withheld_append] — availability
+    recovered by quorum slack or view change). *)
 
 val run :
   ?f:int ->

@@ -16,17 +16,21 @@ let runner ?(f = 1) ?(seeds = [ 1L; 2L; 3L ])
     ?(targets = [ Attack.Minbft; Attack.Unattested ]) () =
   (* Keys in the documented cell order (target, attack, seed, timing); the
      pool merges results in key order, so the matrix is identical at every
-     parallelism. *)
+     parallelism.  Attacks outside a target's catalog (trusted-log kinds vs
+     register kinds) are skipped, not run. *)
   let keys =
     List.concat_map
       (fun target ->
         List.concat_map
           (fun attack ->
-            List.concat_map
-              (fun seed ->
-                List.map (fun corrupt_at -> (target, attack, seed, corrupt_at))
-                  timings)
-              seeds)
+            if not (Attack.applies ~target ~attack) then []
+            else
+              List.concat_map
+                (fun seed ->
+                  List.map
+                    (fun corrupt_at -> (target, attack, seed, corrupt_at))
+                    timings)
+                seeds)
           attacks)
       targets
   in
@@ -66,16 +70,23 @@ let pp ppf t =
   Format.fprintf ppf "@,";
   List.iter
     (fun attack ->
-      Format.fprintf ppf "| %-15s |" (Attack.name attack);
-      List.iter
-        (fun target ->
-          let ok, total = tally t ~attack ~target in
-          Format.fprintf ppf " %-10s |"
-            (Printf.sprintf "%s %d/%d"
-               (if ok = total then "pass" else "FAIL")
-               ok total))
-        t.targets;
-      Format.fprintf ppf "@,")
+      (* A row appears only if the attack applies to at least one swept
+         target; out-of-catalog cells render as "—". *)
+      if List.exists (fun target -> Attack.applies ~target ~attack) t.targets
+      then begin
+        Format.fprintf ppf "| %-15s |" (Attack.name attack);
+        List.iter
+          (fun target ->
+            let ok, total = tally t ~attack ~target in
+            Format.fprintf ppf " %-10s |"
+              (if total = 0 then "-"
+               else
+                 Printf.sprintf "%s %d/%d"
+                   (if ok = total then "pass" else "FAIL")
+                   ok total))
+          t.targets;
+        Format.fprintf ppf "@,"
+      end)
     t.attacks;
   Format.fprintf ppf "@,%s@]"
     (if all_hold t then

@@ -34,7 +34,9 @@ val runner :
   unit ->
   (Attack.target * Attack.kind * int64 * int64, cell, t) Thc_exec.Runner.t
 (** The matrix as the repository-wide runner shape: keys are the cross
-    product in documented cell order, [run_one] is one {!Attack.run}. *)
+    product in documented cell order — filtered through {!Attack.applies},
+    so catalog-foreign (attack, target) pairs produce no cell — and
+    [run_one] is one {!Attack.run}. *)
 
 val sweep :
   ?jobs:int ->

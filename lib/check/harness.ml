@@ -108,7 +108,7 @@ let agreement_run ~start ~seed ~script =
 
 let byz_violations (r : Thc_byz.Attack.result) =
   match r.Thc_byz.Attack.target with
-  | Thc_byz.Attack.Minbft ->
+  | Thc_byz.Attack.Minbft | Thc_byz.Attack.Ubft ->
     (if r.Thc_byz.Attack.safety_violations > 0 then
        [
          {
@@ -172,6 +172,19 @@ let byz_harnesses =
         };
       ])
     Thc_byz.Attack.all
+  @ List.map
+      (fun attack ->
+        let aname = Thc_byz.Attack.name attack in
+        {
+          name = "ubft-" ^ aname;
+          summary =
+            Printf.sprintf "uBFT-sim (SWMR registers) under %s: %s" aname
+              (Thc_byz.Attack.describe attack);
+          profile = byz_profile;
+          expect = Clean;
+          run = attack_run ~target:Thc_byz.Attack.Ubft attack;
+        })
+      Thc_byz.Attack.ubft_all
 
 (* --- registry ----------------------------------------------------------- *)
 
@@ -190,6 +203,13 @@ let all =
       profile = { n = 4; crash_budget = 1; partition_budget = 1; horizon = 200_000L };
       expect = Clean;
       run = smr_run Thc_replication.Harness.Pbft_protocol;
+    };
+    {
+      name = "ubft";
+      summary = "uBFT-sim (2f+1, SWMR registers) replicated KV, f = 1";
+      profile = { n = 3; crash_budget = 1; partition_budget = 1; horizon = 200_000L };
+      expect = Clean;
+      run = smr_run Thc_replication.Harness.Ubft_protocol;
     };
     {
       name = "minbft-unattested";

@@ -1,4 +1,4 @@
-type protocol = Minbft_protocol | Pbft_protocol
+type protocol = Minbft_protocol | Pbft_protocol | Ubft_protocol
 
 type scenario =
   | Fault_free
@@ -317,6 +317,49 @@ let with_pbft ?(spans = Thc_obsv.Span.nop) setup ~tracing k =
     (* PBFT spends no trusted ops; an empty ledger keeps the rate at 0. *)
     ~hw:(Thc_obsv.Ledger.create ())
 
+let with_ubft ?(spans = Thc_obsv.Span.nop) setup ~tracing k =
+  let config =
+    { (Ubft.default_config ~f:setup.f) with batch_size = max 1 setup.batch }
+  in
+  let n = config.n in
+  let clients = n_clients setup in
+  let total = n + clients in
+  let rng = Thc_util.Rng.create setup.seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:total in
+  let net = Thc_sim.Net.create ~n:total ~default:setup.delay in
+  let engine =
+    Thc_sim.Engine.create ~seed:setup.seed ~tracing ~spans ~n:total ~net ()
+  in
+  (* uBFT's trusted hardware is the shared memory itself: one ledger
+     attached to every register counts reads/writes/appends (and denied
+     forgeries) the way the trinket ledger counts seals/verifies. *)
+  let registers : Ubft.registers = Thc_sharedmem.Swmr.log_array ~n in
+  let hw = Thc_obsv.Ledger.create () in
+  Thc_sharedmem.Swmr.attach_ledger_all registers hw;
+  if Thc_obsv.Span.enabled spans then
+    Thc_obsv.Ledger.set_observer hw (Thc_obsv.Span.attribute spans);
+  let states =
+    Array.init n (fun self ->
+        Ubft.create_replica ~config ~keyring ~registers
+          ~ident:(Thc_crypto.Keyring.secret keyring ~pid:self)
+          ~self)
+  in
+  Array.iteri
+    (fun pid st -> Thc_sim.Engine.set_behavior engine pid (Ubft.replica st))
+    states;
+  for c = 0 to clients - 1 do
+    let pid = n + c in
+    Thc_sim.Engine.set_behavior engine pid
+      (Ubft.client ~rid_base:(c * setup.ops) ~config ~keyring
+         ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+         ~plan:(plan_for setup c))
+  done;
+  apply_scenario setup ~engine ~replicas:n;
+  k engine ~replicas:n
+    ~final_view:(fun () ->
+      Array.fold_left (fun acc st -> max acc (Ubft.view_of st)) 0 states)
+    ~classify:Ubft.classify_msg ~hw
+
 let full_run setup engine ~replicas ~final_view ~classify ~hw =
   let trace =
     Thc_sim.Engine.run ~until:(horizon setup) ~max_events:20_000_000 engine
@@ -335,16 +378,21 @@ let run_minbft setup =
 let run_pbft setup =
   with_pbft setup ~tracing:Thc_sim.Engine.Full (full_run setup)
 
+let run_ubft setup =
+  with_ubft setup ~tracing:Thc_sim.Engine.Full (full_run setup)
+
 let run setup =
   match setup.protocol with
   | Minbft_protocol -> fst (run_minbft setup)
   | Pbft_protocol -> fst (run_pbft setup)
+  | Ubft_protocol -> fst (run_ubft setup)
 
 let run_export setup =
   let outcome, export =
     match setup.protocol with
     | Minbft_protocol -> run_minbft setup
     | Pbft_protocol -> run_pbft setup
+    | Ubft_protocol -> run_ubft setup
   in
   (outcome, export ())
 
@@ -360,6 +408,8 @@ let run_spans setup =
       fst (with_minbft ~spans setup ~tracing:Thc_sim.Engine.Full (full_run setup))
     | Pbft_protocol ->
       fst (with_pbft ~spans setup ~tracing:Thc_sim.Engine.Full (full_run setup))
+    | Ubft_protocol ->
+      fst (with_ubft ~spans setup ~tracing:Thc_sim.Engine.Full (full_run setup))
   in
   (outcome, Thc_obsv.Span.views spans, Thc_obsv.Span.ops_rows spans)
 
@@ -398,6 +448,7 @@ let run_lite setup =
   match setup.protocol with
   | Minbft_protocol -> with_minbft setup ~tracing:Thc_sim.Engine.Outputs_only lite
   | Pbft_protocol -> with_pbft setup ~tracing:Thc_sim.Engine.Outputs_only lite
+  | Ubft_protocol -> with_ubft setup ~tracing:Thc_sim.Engine.Outputs_only lite
 
 let pp_outcome ppf o =
   Format.fprintf ppf

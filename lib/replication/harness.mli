@@ -1,8 +1,11 @@
 (** One-call experiment runner for the replication comparison (experiment
     S1): same workload, same network, same fault bound — MinBFT (2f+1
-    replicas on trusted counters) vs PBFT (3f+1 replicas, pure crypto). *)
+    replicas on trusted counters) vs PBFT (3f+1 replicas, pure crypto) vs
+    uBFT-sim (2f+1 replicas on SWMR shared-memory registers; its
+    trusted-op ledger counts [swmr.*] register operations instead of
+    seals/verifies). *)
 
-type protocol = Minbft_protocol | Pbft_protocol
+type protocol = Minbft_protocol | Pbft_protocol | Ubft_protocol
 
 type scenario =
   | Fault_free  (** All replicas correct. *)

@@ -1,0 +1,721 @@
+type config = {
+  n : int;
+  f : int;
+  request_timeout : int64;
+  check_interval : int64;
+  batch_size : int;
+  batch_delay : int64;
+  checkpoint_interval : int;
+}
+
+let default_config ~f =
+  {
+    n = (2 * f) + 1;
+    f;
+    request_timeout = 30_000L;
+    check_interval = 10_000L;
+    batch_size = 1;
+    batch_delay = 2_000L;
+    checkpoint_interval = 16;
+  }
+
+(* What lives in the SWMR registers.  The registers carry the protocol's
+   whole data plane: slots (leader), acks (followers), view-change votes
+   and checkpoint markers.  Wire messages below are only doorbells. *)
+type record =
+  | Slot of { view : int; seq : int; batch : Command.batch }
+  | Ack of { view : int; seq : int; digest : int64 }
+  | Vc of { new_view : int }
+  | Checkpoint of { upto : int; state : int64 }
+
+type registers = record Thc_sharedmem.Swmr.log array
+
+type msg =
+  | Request of Command.signed_request
+  | Notify of { view : int; upto : int }
+  | Ack_note of { view : int; upto : int }
+  | Rvc of { new_view : int }
+  | New_view_note of { new_view : int; upto : int }
+  | Reply of Command.reply
+
+let pp_msg ppf = function
+  | Request sr -> Format.fprintf ppf "request(%a)" Command.pp sr.value
+  | Notify { view; upto } -> Format.fprintf ppf "notify(v%d,<=%d)" view upto
+  | Ack_note { view; upto } ->
+    Format.fprintf ppf "ack-note(v%d,<=%d)" view upto
+  | Rvc { new_view } -> Format.fprintf ppf "rvc(v%d)" new_view
+  | New_view_note { new_view; upto } ->
+    Format.fprintf ppf "new-view(v%d,<=%d)" new_view upto
+  | Reply r -> Format.fprintf ppf "reply(p%d,#%d)" r.replica r.rid
+
+let check_timer_tag = 1_000_000
+
+let batch_timer_tag = 1_000_001
+
+type status = Normal | Changing of int
+
+type t = {
+  config : config;
+  keyring : Thc_crypto.Keyring.t;
+  registers : registers;
+  ident : Thc_crypto.Keyring.secret;
+  self : int;
+  store : Kv_store.t;
+  mutable view : int;
+  mutable status : status;
+  mutable next_seq : int;  (* leader: next sequence number to assign *)
+  slots : (int, Command.batch) Hashtbl.t;
+      (* seq -> adopted batch (first valid Slot per seq wins, so every
+         reader of the same register resolves identically) *)
+  mutable exec_upto : int;  (* highest executed slot *)
+  mutable exec_count : int;  (* dense per-request execution index *)
+  queue : Command.signed_request Queue.t;
+  queued : (int * int, unit) Hashtbl.t;
+  mutable batch_armed : bool;
+  pending : (int * int, Command.signed_request * int64) Hashtbl.t;
+  proposed_keys : (int * int, int) Hashtbl.t;  (* request key -> seq *)
+  executed : (int * int, string) Hashtbl.t;  (* request key -> result *)
+  acked : int array;
+      (* leader: per-follower ack frontier for the current view, verified
+         against the follower's register on each Ack_note doorbell *)
+  acked_keys : (int * int, unit) Hashtbl.t;  (* (view, seq) we acked *)
+  rvc_votes : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable max_rvc_sent : int;
+  mutable last_rvc_at : int64;
+  mutable trunc_base : int;  (* own register pruned up to this slot *)
+}
+
+let create_replica ~config ~keyring ~registers ~ident ~self =
+  if config.n <> (2 * config.f) + 1 then
+    invalid_arg "Ubft: config requires n = 2f + 1";
+  if Array.length registers <> config.n then
+    invalid_arg "Ubft: one register per replica required";
+  {
+    config;
+    keyring;
+    registers;
+    ident;
+    self;
+    store = Kv_store.create ();
+    view = 0;
+    status = Normal;
+    next_seq = 1;
+    slots = Hashtbl.create 64;
+    exec_upto = 0;
+    exec_count = 0;
+    queue = Queue.create ();
+    queued = Hashtbl.create 64;
+    batch_armed = false;
+    pending = Hashtbl.create 64;
+    proposed_keys = Hashtbl.create 64;
+    executed = Hashtbl.create 64;
+    acked = Array.make config.n 0;
+    acked_keys = Hashtbl.create 64;
+    rvc_votes = Hashtbl.create 8;
+    max_rvc_sent = 0;
+    last_rvc_at = 0L;
+    trunc_base = 0;
+  }
+
+let view_of t = t.view
+
+let executed_upto t = t.exec_upto
+
+let store_digest t = Kv_store.digest t.store
+
+let register_len t = List.length (Thc_sharedmem.Swmr.read t.registers.(t.self))
+
+let leader_of t view = view mod t.config.n
+
+let batch_rids (batch : Command.batch) =
+  List.map
+    (fun (sr : Command.signed_request) -> sr.Thc_crypto.Signature.value.rid)
+    batch
+
+(* Append a record to our own register, attributing the register op (and
+   any trusted-op charges the attached ledger raises) to a span phase. *)
+let own_append t (ctx : msg Thc_sim.Engine.ctx) ~phase ~rids record =
+  if Thc_obsv.Span.enabled ctx.spans then
+    Thc_obsv.Span.in_phase ctx.spans phase ~rids (fun () ->
+        Thc_sharedmem.Swmr.append t.registers.(t.self) ~ident:t.ident record)
+  else Thc_sharedmem.Swmr.append t.registers.(t.self) ~ident:t.ident record
+
+let rvc_supporters t nv =
+  match Hashtbl.find_opt t.rvc_votes nv with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 8 in
+    Hashtbl.add t.rvc_votes nv tbl;
+    tbl
+
+(* --- checkpoint truncation --------------------------------------------- *)
+
+(* Highest slot a replica's register acknowledges: its own Slot appends if
+   it leads, its Ack appends otherwise.  Registers are append-ordered, so
+   the maximum is also the contiguous frontier. *)
+let covered_upto t ~owner =
+  List.fold_left
+    (fun acc r ->
+      match r with
+      | Slot { seq; _ } | Ack { seq; _ } -> max acc seq
+      | Checkpoint { upto; _ } -> max acc upto
+      | Vc _ -> acc)
+    0
+    (Thc_sharedmem.Swmr.entries t.registers.(owner))
+
+(* Rewrite our own register with everything at or below [upto] pruned,
+   leaving one Checkpoint record as the oldest entry — the uBFT bounded
+   per-register memory discipline.  The rewrite is one owner [write], so
+   the ACL and write-count semantics are those of any other update. *)
+let truncate_own t ~upto =
+  if upto > t.trunc_base then begin
+    t.trunc_base <- upto;
+    let raw = Thc_sharedmem.Swmr.read t.registers.(t.self) in
+    (* Our highest view-change vote must outlive truncation: the f+1
+       registers holding Vc votes for an activated view are the evidence
+       [higher_view_evidence] relies on to keep speculation safe. *)
+    let max_vc =
+      List.fold_left
+        (fun acc r ->
+          match r with Vc { new_view } -> max acc new_view | _ -> acc)
+        0 raw
+    in
+    let keep =
+      List.filter
+        (fun r ->
+          match r with
+          | Slot { seq; _ } | Ack { seq; _ } -> seq > upto
+          | Vc { new_view } -> new_view = max_vc || new_view > t.view
+          | Checkpoint _ -> false)
+        raw
+    in
+    Thc_sharedmem.Swmr.write t.registers.(t.self) ~ident:t.ident
+      (keep @ [ Checkpoint { upto; state = Kv_store.digest t.store } ]);
+    let stale =
+      Hashtbl.fold
+        (fun seq _ acc -> if seq <= upto then seq :: acc else acc)
+        t.slots []
+    in
+    List.iter (Hashtbl.remove t.slots) stale;
+    let stale_acks =
+      Hashtbl.fold
+        (fun ((_, seq) as key) _ acc -> if seq <= upto then key :: acc else acc)
+        t.acked_keys []
+    in
+    List.iter (Hashtbl.remove t.acked_keys) stale_acks
+  end
+
+let maybe_checkpoint t ~seq =
+  if seq mod t.config.checkpoint_interval = 0 then
+    if t.self = leader_of t t.view then begin
+      (* The leader prunes only slots every register covers.  A replica's
+         ack frontier is also its adoption frontier, so nothing a live
+         replica still needs ever disappears from the log it reads.
+         (Real uBFT truncates at f+1 coverage and state-transfers
+         laggards past the gap; the sim keeps every replica's replay
+         dense instead, at the cost of a crashed replica stalling
+         truncation.) *)
+      let stable =
+        ref (if t.config.n = 1 then t.exec_upto else max_int)
+      in
+      for owner = 0 to t.config.n - 1 do
+        if owner <> t.self then
+          stable := min !stable (covered_upto t ~owner)
+      done;
+      truncate_own t ~upto:(min !stable seq)
+    end
+    else
+      (* Followers keep a full checkpoint interval of acknowledgements as
+         recovery slack behind their execution frontier. *)
+      truncate_own t ~upto:(seq - t.config.checkpoint_interval)
+
+(* --- execution --------------------------------------------------------- *)
+
+let execute_one t (ctx : msg Thc_sim.Engine.ctx) (sr : Command.signed_request)
+    =
+  let key = Command.key sr.value in
+  let result =
+    match Hashtbl.find_opt t.executed key with
+    | Some r -> r
+    | None ->
+      let r =
+        Kv_store.encode_result
+          (Kv_store.apply t.store (Kv_store.decode_op sr.value.op))
+      in
+      Hashtbl.replace t.executed key r;
+      r
+  in
+  Hashtbl.remove t.pending key;
+  t.exec_count <- t.exec_count + 1;
+  if Thc_obsv.Span.enabled ctx.spans then
+    Thc_obsv.Span.mark ctx.spans ~client:sr.value.client ~rid:sr.value.rid
+      Thc_obsv.Span.Executed ~at:(ctx.now ());
+  ctx.output
+    (Thc_sim.Obs.Executed { seq = t.exec_count; op = sr.value.op; result });
+  ctx.send sr.value.client
+    (Reply { replica = t.self; rid = sr.value.rid; result })
+
+(* The leader executes (and replies) only once a slot is {e covered}: in
+   f+1 registers counting its own Slot append, so a view change that
+   gathers f+1 votes — silencing f+1 replicas' old-view acks — can never
+   strand an executed slot outside recovery's reach.  Followers execute
+   speculatively at adoption; [higher_view_evidence] keeps that safe. *)
+let slot_covered t ~seq =
+  let votes = ref 1 in
+  Array.iteri
+    (fun owner upto -> if owner <> t.self && upto >= seq then incr votes)
+    t.acked;
+  !votes >= t.config.f + 1
+
+let rec try_execute t (ctx : msg Thc_sim.Engine.ctx) =
+  match Hashtbl.find_opt t.slots (t.exec_upto + 1) with
+  | None -> ()
+  | Some batch
+    when t.self = leader_of t t.view
+         && not (slot_covered t ~seq:(t.exec_upto + 1)) ->
+    ignore batch
+  | Some batch ->
+    let seq = t.exec_upto + 1 in
+    t.exec_upto <- seq;
+    if Thc_obsv.Span.enabled ctx.spans then
+      Thc_obsv.Span.mark_all ctx.spans ~seq ~rids:(batch_rids batch)
+        Thc_obsv.Span.Committed ~at:(ctx.now ());
+    let op =
+      match batch with
+      | [ sr ] -> sr.Thc_crypto.Signature.value.op
+      | _ ->
+        Thc_util.Codec.encode
+          (List.map
+             (fun (sr : Command.signed_request) -> sr.value.op)
+             batch)
+    in
+    ctx.Thc_sim.Engine.output (Thc_sim.Obs.Committed { view = t.view; seq; op });
+    List.iter (execute_one t ctx) batch;
+    maybe_checkpoint t ~seq;
+    try_execute t ctx
+
+(* --- fast path --------------------------------------------------------- *)
+
+let adopt_slot t ~seq ~(batch : Command.batch) =
+  Hashtbl.replace t.slots seq batch;
+  List.iter
+    (fun key -> Hashtbl.replace t.proposed_keys key seq)
+    (Command.batch_keys batch)
+
+(* Count registers carrying a view-change vote above our view.  An
+   activated higher view necessarily left Vc votes in f+1 registers
+   before its leader recovered (and truncation preserves the highest
+   vote), so — handlers being atomic over linearizable registers — a
+   scan seeing fewer than f+1 votes proves no higher view is active
+   yet, and anything we adopt now is visible to any later recovery. *)
+let higher_view_evidence t =
+  let count = ref 0 in
+  for owner = 0 to t.config.n - 1 do
+    if
+      List.exists
+        (function Vc { new_view } -> new_view > t.view | _ -> false)
+        (Thc_sharedmem.Swmr.entries t.registers.(owner))
+    then incr count
+  done;
+  !count
+
+(* Follower fast path: read the leader's register and adopt, in append
+   order, the first valid Slot per sequence number of the current view.
+   Every follower reads the same register, so first-valid-wins resolves
+   identically everywhere — the non-equivocation the SWMR layer buys.
+   Each adoption is acknowledged with an Ack append in our own register
+   (the leader's coverage evidence, confirmed by one Ack_note doorbell),
+   then executed speculatively in dense slot order. *)
+let refresh t (ctx : msg Thc_sim.Engine.ctx) =
+  if t.status = Normal && t.self <> leader_of t t.view then begin
+    let lead = leader_of t t.view in
+    let evidence =
+      if Thc_obsv.Span.enabled ctx.spans then
+        Thc_obsv.Span.in_phase ctx.spans Thc_obsv.Span.Other_phase ~rids:[]
+          (fun () -> higher_view_evidence t)
+      else higher_view_evidence t
+    in
+    if evidence < t.config.f + 1 then begin
+      let log =
+        if Thc_obsv.Span.enabled ctx.spans then
+          Thc_obsv.Span.in_phase ctx.spans Thc_obsv.Span.Commit_phase ~rids:[]
+            (fun () -> Thc_sharedmem.Swmr.entries t.registers.(lead))
+        else Thc_sharedmem.Swmr.entries t.registers.(lead)
+      in
+      let acked_max = ref 0 in
+      List.iter
+        (fun r ->
+          match r with
+          | Slot { view; seq; batch }
+            when view = t.view && seq > t.exec_upto
+                 && (not (Hashtbl.mem t.acked_keys (view, seq)))
+                 && Command.batch_valid t.keyring batch ->
+            let adoptable =
+              match Hashtbl.find_opt t.slots seq with
+              | None ->
+                adopt_slot t ~seq ~batch;
+                true
+              | Some prev ->
+                (* Same slot re-published by a recovering leader: ack it
+                   again under the new view.  A conflicting batch (never
+                   reachable from a correct leader) is left unacked. *)
+                Command.batch_digest prev = Command.batch_digest batch
+            in
+            if adoptable then begin
+              Hashtbl.replace t.acked_keys (view, seq) ();
+              acked_max := max !acked_max seq;
+              let digest = Command.batch_digest batch in
+              let rids = batch_rids batch in
+              if Thc_obsv.Span.enabled ctx.spans then
+                Thc_obsv.Span.mark_all ctx.spans ~seq ~rids
+                  Thc_obsv.Span.Commit_send ~at:(ctx.now ());
+              own_append t ctx ~phase:Thc_obsv.Span.Commit_phase ~rids
+                (Ack { view = t.view; seq; digest })
+            end
+          | Slot _ | Ack _ | Vc _ | Checkpoint _ -> ())
+        log;
+      if !acked_max > 0 then
+        ctx.send lead (Ack_note { view = t.view; upto = !acked_max });
+      try_execute t ctx
+    end
+  end
+
+(* Leader side of the ack doorbell: re-read the sender's register and
+   advance its verified ack frontier — only acks whose digest matches
+   our adopted slot count, so a forged Ack_note cannot fake coverage. *)
+let handle_ack_note t (ctx : msg Thc_sim.Engine.ctx) ~src ~view =
+  if
+    view = t.view
+    && t.self = leader_of t t.view
+    && src <> t.self
+    && src >= 0
+    && src < t.config.n
+  then begin
+    let log =
+      if Thc_obsv.Span.enabled ctx.spans then
+        Thc_obsv.Span.in_phase ctx.spans Thc_obsv.Span.Commit_phase ~rids:[]
+          (fun () -> Thc_sharedmem.Swmr.entries t.registers.(src))
+      else Thc_sharedmem.Swmr.entries t.registers.(src)
+    in
+    let verified =
+      List.fold_left
+        (fun acc r ->
+          match r with
+          | Ack { view = v; seq; digest } when v = t.view ->
+            let ok =
+              match Hashtbl.find_opt t.slots seq with
+              | Some batch -> Command.batch_digest batch = digest
+              | None -> seq <= t.exec_upto
+            in
+            if ok then max acc seq else acc
+          | Slot _ | Ack _ | Vc _ | Checkpoint _ -> acc)
+        0 log
+    in
+    if verified > t.acked.(src) then begin
+      t.acked.(src) <- verified;
+      try_execute t ctx
+    end
+  end
+
+(* --- leader batching --------------------------------------------------- *)
+
+let propose_batch t (ctx : msg Thc_sim.Engine.ctx) (batch : Command.batch) =
+  if batch <> [] then begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let rids = batch_rids batch in
+    if Thc_obsv.Span.enabled ctx.spans then begin
+      let at = ctx.now () in
+      Thc_obsv.Span.mark_all ctx.spans ~seq ~rids Thc_obsv.Span.Propose ~at;
+      (* The append is proposal and commit vote in one: stamping
+         Commit_send here makes the commit phase measure append-to-
+         follower-adoption (one doorbell hop; the follower acks that
+         arrive later are first-write-wins no-ops on this mark). *)
+      Thc_obsv.Span.mark_all ctx.spans ~seq ~rids Thc_obsv.Span.Commit_send
+        ~at
+    end;
+    (* One register append is the whole proposal: once it lands, the slot
+       is in trusted memory and cannot be equivocated or withdrawn. *)
+    own_append t ctx ~phase:Thc_obsv.Span.Prepare_phase ~rids
+      (Slot { view = t.view; seq; batch });
+    adopt_slot t ~seq ~batch
+  end
+
+let rec take_batch t acc k =
+  if k = 0 || Queue.is_empty t.queue then List.rev acc
+  else begin
+    let sr = Queue.pop t.queue in
+    let key = Command.key sr.Thc_crypto.Signature.value in
+    Hashtbl.remove t.queued key;
+    if Hashtbl.mem t.proposed_keys key || Hashtbl.mem t.executed key then
+      take_batch t acc k
+    else take_batch t (sr :: acc) (k - 1)
+  end
+
+let rec flush_slots t ctx ~force =
+  if
+    Queue.length t.queue >= t.config.batch_size
+    || (force && not (Queue.is_empty t.queue))
+  then begin
+    propose_batch t ctx (take_batch t [] t.config.batch_size);
+    flush_slots t ctx ~force
+  end
+
+(* Propose everything due and ring the doorbell once for the whole flush
+   (followers learn the data from the register, not the message).  Our
+   own execution waits for coverage — the try_execute here only drains
+   slots already covered by earlier ack rounds. *)
+let flush_queue t (ctx : msg Thc_sim.Engine.ctx) ~force =
+  let before = t.next_seq in
+  flush_slots t ctx ~force;
+  if t.next_seq > before then begin
+    ctx.others (Notify { view = t.view; upto = t.next_seq - 1 });
+    try_execute t ctx
+  end
+
+let arm_batch_timer t (ctx : msg Thc_sim.Engine.ctx) =
+  if (not t.batch_armed) && not (Queue.is_empty t.queue) then begin
+    t.batch_armed <- true;
+    ctx.set_timer ~delay:t.config.batch_delay ~tag:batch_timer_tag
+  end
+
+let enqueue_request t ctx (sr : Command.signed_request) =
+  let key = Command.key sr.Thc_crypto.Signature.value in
+  if not (Hashtbl.mem t.queued key) then begin
+    Hashtbl.replace t.queued key ();
+    Queue.push sr t.queue
+  end;
+  flush_queue t ctx ~force:false;
+  arm_batch_timer t ctx
+
+(* --- view change ------------------------------------------------------- *)
+
+(* A view-change vote is authentic iff it sits in the voter's own register:
+   ownership is the authentication, no signature or attestation needed. *)
+let register_has_vc t ~owner ~new_view =
+  List.exists
+    (function Vc { new_view = nv } -> nv = new_view | _ -> false)
+    (Thc_sharedmem.Swmr.entries t.registers.(owner))
+
+let vc_support t ~new_view =
+  let count = ref 0 in
+  for owner = 0 to t.config.n - 1 do
+    if register_has_vc t ~owner ~new_view then incr count
+  done;
+  !count
+
+(* Recovery reads every register and, per sequence number, adopts the
+   batch of the highest-view first-valid Slot found in that view's
+   leader's register.  Any slot acknowledged by f+1 replicas survives in
+   its proposer's register (truncation only prunes stable prefixes), so
+   the recovery covers everything any replica may have executed. *)
+let recover_from_registers t ~new_view =
+  let best : (int, int * Command.batch) Hashtbl.t = Hashtbl.create 32 in
+  for owner = 0 to t.config.n - 1 do
+    let taken = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        match r with
+        | Slot { view; seq; batch }
+          when view < new_view
+               && owner = view mod t.config.n
+               && (not (Hashtbl.mem taken (view, seq)))
+               && Command.batch_valid t.keyring batch ->
+          Hashtbl.replace taken (view, seq) ();
+          (match Hashtbl.find_opt best seq with
+          | Some (v, _) when v >= view -> ()
+          | Some _ | None -> Hashtbl.replace best seq (view, batch))
+        | Slot _ | Ack _ | Vc _ | Checkpoint _ -> ())
+      (Thc_sharedmem.Swmr.entries t.registers.(owner))
+  done;
+  Hashtbl.fold (fun seq (_, batch) acc -> (seq, batch) :: acc) best []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let restart_pending_clocks t (ctx : msg Thc_sim.Engine.ctx) =
+  let now = ctx.now () in
+  Hashtbl.filter_map_inplace (fun _ (r, _) -> Some (r, now)) t.pending
+
+(* New leader: recover from the registers, re-publish every recovered slot
+   under the new view in our own register (giving followers one place to
+   read), then drain still-pending requests behind the recovery. *)
+let adopt_new_view t (ctx : msg Thc_sim.Engine.ctx) ~new_view =
+  let recovered = recover_from_registers t ~new_view in
+  t.view <- new_view;
+  t.status <- Normal;
+  Array.fill t.acked 0 (Array.length t.acked) 0;
+  restart_pending_clocks t ctx;
+  let bound =
+    List.fold_left (fun acc (seq, _) -> max acc seq) t.exec_upto recovered
+  in
+  t.next_seq <- bound + 1;
+  List.iter
+    (fun (seq, (batch : Command.batch)) ->
+      let rids = batch_rids batch in
+      own_append t ctx ~phase:Thc_obsv.Span.Prepare_phase ~rids
+        (Slot { view = new_view; seq; batch });
+      if seq > t.exec_upto && not (Hashtbl.mem t.slots seq) then
+        adopt_slot t ~seq ~batch)
+    recovered;
+  ctx.others (New_view_note { new_view; upto = t.next_seq - 1 });
+  try_execute t ctx;
+  let unproposed =
+    Hashtbl.fold
+      (fun key (request, _) acc ->
+        if Hashtbl.mem t.proposed_keys key then acc
+        else (key, request) :: acc)
+      t.pending []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (key, sr) ->
+      if not (Hashtbl.mem t.queued key) then begin
+        Hashtbl.replace t.queued key ();
+        Queue.push sr t.queue
+      end)
+    unproposed;
+  flush_queue t ctx ~force:true
+
+let announce_rvc t ctx ~new_view =
+  t.max_rvc_sent <- new_view;
+  own_append t ctx ~phase:Thc_obsv.Span.Other_phase ~rids:[] (Vc { new_view });
+  Hashtbl.replace (rvc_supporters t new_view) t.self ();
+  ctx.others (Rvc { new_view })
+
+let note_vc_support t (ctx : msg Thc_sim.Engine.ctx) ~owner ~new_view =
+  if new_view > t.view && register_has_vc t ~owner ~new_view then begin
+    Hashtbl.replace (rvc_supporters t new_view) owner ();
+    (* Join a view-change attempt ahead of our own: keeps escalation
+       targets aligned across replicas. *)
+    if owner <> t.self && new_view > t.max_rvc_sent then
+      announce_rvc t ctx ~new_view;
+    if Hashtbl.length (rvc_supporters t new_view) >= t.config.f + 1 then
+      if t.self = leader_of t new_view then
+        adopt_new_view t ctx ~new_view
+      else begin
+        let already_changing =
+          match t.status with
+          | Changing nv -> nv >= new_view
+          | Normal -> false
+        in
+        if not already_changing then t.status <- Changing new_view
+      end
+  end
+
+let handle_new_view_note t (ctx : msg Thc_sim.Engine.ctx) ~src ~new_view =
+  if
+    src = leader_of t new_view
+    && new_view > t.view
+    && vc_support t ~new_view >= t.config.f + 1
+  then begin
+    t.view <- new_view;
+    t.status <- Normal;
+    Array.fill t.acked 0 (Array.length t.acked) 0;
+    t.max_rvc_sent <- max t.max_rvc_sent new_view;
+    restart_pending_clocks t ctx;
+    refresh t ctx
+  end
+
+let handle_request t (ctx : msg Thc_sim.Engine.ctx) sr =
+  if Command.valid t.keyring sr then begin
+    let key = Command.key sr.Thc_crypto.Signature.value in
+    if not (Hashtbl.mem t.executed key) then begin
+      if not (Hashtbl.mem t.pending key) then
+        Hashtbl.replace t.pending key (sr, ctx.now ());
+      if
+        t.self = leader_of t t.view
+        && t.status = Normal
+        && not (Hashtbl.mem t.proposed_keys key)
+      then begin
+        if Thc_obsv.Span.enabled ctx.spans then
+          Thc_obsv.Span.mark ctx.spans ~client:sr.value.client
+            ~rid:sr.value.rid Thc_obsv.Span.Ingress ~at:(ctx.now ());
+        enqueue_request t ctx sr
+      end
+    end
+    else
+      match Hashtbl.find_opt t.executed key with
+      | Some result ->
+        ctx.send sr.value.client
+          (Reply { replica = t.self; rid = sr.value.rid; result })
+      | None -> ()
+  end
+
+let handle_check t (ctx : msg Thc_sim.Engine.ctx) =
+  let now = ctx.now () in
+  let stuck =
+    Hashtbl.fold
+      (fun _ (_, since) acc ->
+        acc || Int64.sub now since > t.config.request_timeout)
+      t.pending false
+  in
+  (if stuck then
+     let fresh_attempt = t.max_rvc_sent <= t.view in
+     let timed_out =
+       Int64.sub now t.last_rvc_at > t.config.request_timeout
+     in
+     if fresh_attempt || timed_out then begin
+       let target = max t.view t.max_rvc_sent + 1 in
+       t.last_rvc_at <- now;
+       announce_rvc t ctx ~new_view:target;
+       note_vc_support t ctx ~owner:t.self ~new_view:target
+     end);
+  ctx.set_timer ~delay:t.config.check_interval ~tag:check_timer_tag
+
+let replica t : msg Thc_sim.Engine.behavior =
+  {
+    init =
+      (fun ctx ->
+        ctx.set_timer ~delay:t.config.check_interval ~tag:check_timer_tag);
+    on_message =
+      (fun ctx ~src m ->
+        match m with
+        | Request sr -> handle_request t ctx sr
+        | Notify { view; upto = _ } ->
+          if view = t.view && src = leader_of t view then refresh t ctx
+        | Ack_note { view; upto = _ } -> handle_ack_note t ctx ~src ~view
+        | Rvc { new_view } -> note_vc_support t ctx ~owner:src ~new_view
+        | New_view_note { new_view; upto = _ } ->
+          handle_new_view_note t ctx ~src ~new_view
+        | Reply _ -> ());
+    on_timer =
+      (fun ctx tag ->
+        if tag = check_timer_tag then handle_check t ctx
+        else if tag = batch_timer_tag then begin
+          t.batch_armed <- false;
+          if t.self = leader_of t t.view && t.status = Normal then
+            flush_queue t ctx ~force:true
+        end);
+  }
+
+let client ~rid_base ~config ~keyring:_ ~ident ~plan :
+    msg Thc_sim.Engine.behavior =
+  Client_core.behavior ~rid_base ~n_replicas:config.n ~quorum:(config.f + 1)
+    ~ident ~plan
+    ~wrap:(fun sr -> Request sr)
+    ~unwrap:(function
+      | Reply r -> Some r
+      | Request _ | Notify _ | Ack_note _ | Rvc _ | New_view_note _ -> None)
+
+let wrap_request sr = Request sr
+
+let unwrap_reply = function
+  | Reply r -> Some r
+  | Request _ | Notify _ | Ack_note _ | Rvc _ | New_view_note _ -> None
+
+let classify_msg = function
+  | Request _ -> "request"
+  | Notify _ -> "notify"
+  | Ack_note _ -> "ack-note"
+  | Rvc _ -> "req-view-change"
+  | New_view_note _ -> "new-view"
+  | Reply _ -> "reply"
+
+(* --- adversarial surface ----------------------------------------------- *)
+
+let forged_slot ~view ~seq ~batch = Slot { view; seq; batch }
+
+let forged_ack ~view ~seq ~digest = Ack { view; seq; digest }
+
+let adversarial_notify ~view ~upto = Notify { view; upto }
+
+let adversarial_ack_note ~view ~upto = Ack_note { view; upto }

@@ -1,0 +1,145 @@
+(** uBFT-style replicated state machine on SWMR shared memory
+    (n = 2f+1; after Aguilera et al., "uBFT: Microsecond-Scale BFT using
+    Disaggregated Memory").
+
+    The protocol that measures Figure 1's "strictly stronger" edge: SWMR
+    registers with ACLs sit {e above} the trusted logs/counters MinBFT
+    builds on, and a protocol that exploits them directly needs one fewer
+    network phase in the common case.  Each replica owns one
+    {!Thc_sharedmem.Swmr.log_array} register that every replica can read;
+    the register {e is} the data plane, wire messages are doorbells.
+
+    Normal case: the view's leader packs pending requests into batches,
+    appends [Slot(view, seq, batch)] to {e its own} register — one trusted
+    register op, after which the slot can no longer be equivocated or
+    withdrawn — and broadcasts a tiny [Notify].  Each follower reads the
+    leader's register, adopts the first valid [Slot] per sequence number
+    (the shared append order makes this resolution identical at every
+    reader — non-equivocation for free), appends an [Ack] to its own
+    register, executes speculatively in slot order, replies, and rings an
+    [Ack_note] doorbell back.  The leader executes a slot only once f+1
+    registers cover it (its own Slot plus follower Acks it re-verifies on
+    each doorbell), so a view change — which silences f+1 replicas' old-
+    view acks — can never strand a leader-executed slot outside
+    recovery's reach.  The client quorum is f+1 matching replies, served
+    by the 2f speculative followers: three network hops instead of
+    MinBFT's request → Prepare → Commit → reply four, which is the
+    fault-free p50 gap bench table S6 reports.
+
+    Speculation is kept safe by an evidence rule: before adopting, a
+    follower counts registers holding a view-change vote above its view
+    and refuses once f+1 carry one.  An activated higher view necessarily
+    planted those votes before its leader recovered, so (handlers being
+    atomic over linearizable registers) anything adopted under the old
+    view is visible to every later recovery.
+
+    Bounded memory (uBFT's distinguishing discipline): every
+    [checkpoint_interval] executed slots a replica rewrites its own
+    register with the stable prefix pruned, leaving a [Checkpoint]
+    marker.  The leader prunes only slots every register covers — a
+    replica's ack frontier is also its adoption frontier, so nothing a
+    live replica still reads ever disappears.  (Real uBFT truncates at
+    f+1 coverage and state-transfers laggards; the sim keeps every
+    replica's replay dense instead, at the cost of a crashed replica
+    stalling truncation.)
+
+    View change (fallback when the fast path stalls): a replica with a
+    timed-out pending request appends [Vc(v+1)] to its register and
+    broadcasts an [Rvc] hint; a vote counts only if it sits in the
+    voter's own register (ownership is the authentication).  On f+1
+    register votes, the new leader reads {e all} registers, recovers per
+    sequence number the batch of the highest-view valid [Slot] from that
+    view's leader's register, re-publishes the recovery under the new
+    view in its own register, and notifies.  Followers verify the f+1
+    register votes themselves before switching their read source. *)
+
+type msg
+
+type config = {
+  n : int;  (** Replicas (pids 0..n-1); clients live at pids ≥ n. *)
+  f : int;  (** Fault bound; requires [n = 2f+1] (checked). *)
+  request_timeout : int64;  (** µs before a pending request triggers Rvc. *)
+  check_interval : int64;  (** µs between timeout scans. *)
+  batch_size : int;
+      (** Max requests the leader packs into one Slot; each batch costs a
+          single register append, so larger batches amortize register ops. *)
+  batch_delay : int64;  (** µs a partial batch waits before being flushed. *)
+  checkpoint_interval : int;
+      (** Executed slots between register truncations (bounded memory). *)
+}
+
+val default_config : f:int -> config
+
+type record
+(** What registers hold: slots, acks, view-change votes, checkpoints. *)
+
+type registers = record Thc_sharedmem.Swmr.log array
+(** One register per replica, [registers.(i)] owned by [i] — build with
+    {!Thc_sharedmem.Swmr.log_array} [~n:(2f+1)] and share the array across
+    the cluster (and attach a ledger to it for register-op accounting). *)
+
+type t
+(** Replica state, kept by the harness for post-run inspection. *)
+
+val create_replica :
+  config:config ->
+  keyring:Thc_crypto.Keyring.t ->
+  registers:registers ->
+  ident:Thc_crypto.Keyring.secret ->
+  self:int ->
+  t
+(** [ident] must be the keyring secret of [self] — it is the write
+    capability for [registers.(self)]. *)
+
+val replica : t -> msg Thc_sim.Engine.behavior
+(** Emits [Obs.Committed] and [Obs.Executed] per operation. *)
+
+val client :
+  rid_base:int ->
+  config:config ->
+  keyring:Thc_crypto.Keyring.t ->
+  ident:Thc_crypto.Keyring.secret ->
+  plan:(int64 * Kv_store.op) list ->
+  msg Thc_sim.Engine.behavior
+(** Sends each planned request to all replicas at its time, waits for f+1
+    matching replies, and emits [Obs.Client_done] (see
+    {!Client_core.behavior}). *)
+
+val wrap_request : Command.signed_request -> msg
+
+val unwrap_reply : msg -> Command.reply option
+
+val view_of : t -> int
+val executed_upto : t -> int
+val store_digest : t -> int64
+
+val register_len : t -> int
+(** Current length of the replica's own register — what the
+    truncate-on-checkpoint discipline keeps bounded. *)
+
+val classify_msg : msg -> string
+(** Short label per wire-message kind (request/notify/...), for
+    {!Thc_sim.Metrics.kind_counts} breakdowns. *)
+
+val pp_msg : Format.formatter -> msg -> unit
+
+(** {1 Adversarial surface}
+
+    Register records an attacker may try to plant.  Building one is free;
+    {e landing} it requires an append into the target's register, which
+    the ACL refuses for any identity but the owner's — the attempts show
+    up as [swmr.append_denied] ledger rejections (see {!Thc_byz.Attack}). *)
+
+val forged_slot : view:int -> seq:int -> batch:Command.batch -> record
+
+val forged_ack : view:int -> seq:int -> digest:int64 -> record
+
+val adversarial_notify : view:int -> upto:int -> msg
+(** A doorbell for a view the sender does not lead — harmless by itself
+    (receivers validate against the register), used to dress up forgery
+    attempts. *)
+
+val adversarial_ack_note : view:int -> upto:int -> msg
+(** A lying coverage doorbell: claims acks the sender never appended.
+    Harmless — the leader re-reads the sender's actual register and
+    counts only digest-matching acks. *)

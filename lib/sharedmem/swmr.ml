@@ -3,17 +3,34 @@ type 'a t = {
   acl : Acl.t;
   mutable value : 'a;
   mutable writes : int;
+  mutable hw : Thc_obsv.Ledger.t option;
 }
 
 let create ~owner ~init =
-  { owner; acl = Acl.only owner; value = init; writes = 0 }
+  { owner; acl = Acl.only owner; value = init; writes = 0; hw = None }
 
 let owner t = t.owner
 
-let read t = t.value
+let attach_ledger t ledger = t.hw <- Some ledger
+
+let attach_ledger_all a ledger = Array.iter (fun t -> attach_ledger t ledger) a
+
+let charge t label =
+  match t.hw with None -> () | Some hw -> Thc_obsv.Ledger.bump hw label
+
+let read t =
+  charge t "swmr.read";
+  t.value
+
+let enforce t ~ident ~op =
+  try ignore (Acl.enforce t.acl ~ident ~op : int)
+  with Acl.Violation _ as e ->
+    charge t (Printf.sprintf "swmr.%s_denied" op);
+    raise e
 
 let write t ~ident v =
-  let _pid = Acl.enforce t.acl ~ident ~op:"write" in
+  enforce t ~ident ~op:"write";
+  charge t "swmr.write";
   t.value <- v;
   t.writes <- t.writes + 1
 
@@ -23,7 +40,11 @@ type 'a log = 'a list t
 
 let create_log ~owner = create ~owner ~init:[]
 
-let append t ~ident v = write t ~ident (v :: read t)
+let append t ~ident v =
+  enforce t ~ident ~op:"append";
+  charge t "swmr.append";
+  t.value <- v :: t.value;
+  t.writes <- t.writes + 1
 
 let entries t = List.rev (read t)
 

@@ -8,7 +8,14 @@
 
     The unidirectional-round protocol (paper §3.2) needs registers whose
     contents {e grow}: the owner "appends (r, m)".  [append] provides
-    that pattern directly on a list-valued register. *)
+    that pattern directly on a list-valued register.
+
+    Registers can carry a trusted-op ledger ({!attach_ledger}): every
+    [read]/[write]/[append] then charges one [swmr.*] ledger op, and an
+    {!Acl.Violation} charges a [swmr.<op>_denied] rejection before
+    re-raising — so protocols built on shared memory (uBFT-sim) report
+    register-ops-per-request next to MinBFT's seal/verify counts, and
+    [thc attack] shows blocked register forgeries instead of silence. *)
 
 type 'a t
 (** A register holding ['a], with an owner-only write ACL. *)
@@ -16,6 +23,16 @@ type 'a t
 val create : owner:int -> init:'a -> 'a t
 
 val owner : 'a t -> int
+
+val attach_ledger : 'a t -> Thc_obsv.Ledger.t -> unit
+(** Route this register's operation accounting to [ledger]: successful
+    ops charge [swmr.read] / [swmr.write] / [swmr.append]; denied writes
+    and appends charge [swmr.write_denied] / [swmr.append_denied] (which
+    {!Thc_obsv.Ledger.rejections} counts) before the {!Acl.Violation}
+    propagates.  Unattached registers (the default) charge nothing. *)
+
+val attach_ledger_all : 'a t array -> Thc_obsv.Ledger.t -> unit
+(** {!attach_ledger} over a whole {!array} / {!log_array}. *)
 
 val read : 'a t -> 'a
 (** Readable by everyone (no identity needed — reads are unrestricted in the
@@ -33,7 +50,9 @@ type 'a log = 'a list t
 val create_log : owner:int -> 'a log
 
 val append : 'a log -> ident:Thc_crypto.Keyring.secret -> 'a -> unit
-(** Owner-only append ([write] of [v :: read t]). *)
+(** Owner-only append: pushes [v] as the newest element in one register
+    operation (one [swmr.append] ledger charge, one write-count tick).
+    @raise Acl.Violation for any caller but the owner. *)
 
 val entries : 'a log -> 'a list
 (** Oldest first. *)

@@ -1,16 +1,18 @@
 module W = Workload
 module Minbft = Thc_replication.Minbft
 module Pbft = Thc_replication.Pbft
+module Ubft = Thc_replication.Ubft
 module Smr_spec = Thc_replication.Smr_spec
 module J = Thc_obsv.Json
 
 let schema = "thc-loadtest/v1"
 
-type protocol = Minbft_protocol | Pbft_protocol
+type protocol = Minbft_protocol | Pbft_protocol | Ubft_protocol
 
 let protocol_name = function
   | Minbft_protocol -> "minbft"
   | Pbft_protocol -> "pbft"
+  | Ubft_protocol -> "ubft"
 
 type point = {
   protocol : protocol;
@@ -197,12 +199,51 @@ let run_pbft p =
       ~phase_p50_us:(phase_p50s spans),
     fun () -> Thc_sim.Trace.to_jsonl ~encode_msg:Thc_util.Codec.encode trace )
 
+(* uBFT's trusted hardware is the register array itself: a fresh ledger
+   attached to every register plays the role the trinket ledger plays in
+   the MinBFT runs, so trusted_per_request counts register ops. *)
+let run_ubft p =
+  let config =
+    { (Ubft.default_config ~f:p.f) with batch_size = max 1 p.batch }
+  in
+  let n = config.n in
+  let total = n + p.spec.W.clients in
+  let rng = Thc_util.Rng.create p.seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:total in
+  let net = Thc_sim.Net.create ~n:total ~default:p.delay in
+  let spans = Thc_obsv.Span.create () in
+  let registers : Ubft.registers = Thc_sharedmem.Swmr.log_array ~n in
+  let hw = Thc_obsv.Ledger.create () in
+  Thc_sharedmem.Swmr.attach_ledger_all registers hw;
+  Thc_obsv.Ledger.set_observer hw (Thc_obsv.Span.attribute spans);
+  let engine = Thc_sim.Engine.create ~seed:p.seed ~spans ~n:total ~net () in
+  for self = 0 to n - 1 do
+    Thc_sim.Engine.set_behavior engine self
+      (Ubft.replica
+         (Ubft.create_replica ~config ~keyring ~registers
+            ~ident:(Thc_crypto.Keyring.secret keyring ~pid:self)
+            ~self))
+  done;
+  List.iter
+    (fun (pid, b) -> Thc_sim.Engine.set_behavior engine pid b)
+    (client_behaviors p ~n ~keyring
+       ~open_client:(fun ~rid_base ~ident ~plan ->
+         Ubft.client ~rid_base ~config ~keyring ~ident ~plan)
+       ~wrap:Ubft.wrap_request ~unwrap:Ubft.unwrap_reply);
+  let trace =
+    Thc_sim.Engine.run ~until:(W.horizon_us p.spec) ~max_events:20_000_000
+      engine
+  in
+  ( finish p ~trace ~replicas:n ~hw ~phase_p50_us:(phase_p50s spans),
+    fun () -> Thc_sim.Trace.to_jsonl ~encode_msg:Thc_util.Codec.encode trace )
+
 let run_point_export p =
   W.validate p.spec;
   let result, export =
     match p.protocol with
     | Minbft_protocol -> run_minbft p
     | Pbft_protocol -> run_pbft p
+    | Ubft_protocol -> run_ubft p
   in
   (result, export ())
 
@@ -212,6 +253,7 @@ let run_point p =
     match p.protocol with
     | Minbft_protocol -> run_minbft p
     | Pbft_protocol -> run_pbft p
+    | Ubft_protocol -> run_ubft p
   in
   result
 

@@ -14,9 +14,10 @@
     [point] object per result) that {!parse} reads back for the
     [thc report loadtest] view. *)
 
-type protocol = Minbft_protocol | Pbft_protocol
+type protocol = Minbft_protocol | Pbft_protocol | Ubft_protocol
 
 val protocol_name : protocol -> string
+(** ["minbft"] / ["pbft"] / ["ubft"]. *)
 
 type point = {
   protocol : protocol;

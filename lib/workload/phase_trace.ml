@@ -108,7 +108,8 @@ let export campaign report =
              J.Str
                (match campaign.setup.Harness.protocol with
                | Harness.Minbft_protocol -> "minbft"
-               | Harness.Pbft_protocol -> "pbft") );
+               | Harness.Pbft_protocol -> "pbft"
+               | Harness.Ubft_protocol -> "ubft") );
            ("seeds", J.Int (List.length campaign.seeds));
            ("spans", J.Int report.summary.Span.spans_total);
          ]

@@ -20,12 +20,37 @@ let test_names_stable () =
       Alcotest.(check bool) "of_name inverts name" true
         (A.of_name (A.name k) = Some k))
     A.all;
+  Alcotest.(check (list string))
+    "register catalog order and spelling"
+    [ "register-forge"; "ack-forge"; "stale-read"; "withheld-append" ]
+    (List.map A.name A.ubft_all);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "of_name inverts name" true
+        (A.of_name (A.name k) = Some k))
+    A.ubft_all;
   Alcotest.(check bool) "unknown name rejected" true (A.of_name "melt" = None);
   List.iter
     (fun t ->
       Alcotest.(check bool) "target name inverts" true
         (A.target_of_name (A.target_name t) = Some t))
-    [ A.Minbft; A.Unattested ]
+    [ A.Minbft; A.Unattested; A.Ubft ]
+
+let test_applies_partitions_catalogs () =
+  List.iter
+    (fun attack ->
+      Alcotest.(check bool) "log kinds hit minbft" true
+        (A.applies ~target:A.Minbft ~attack);
+      Alcotest.(check bool) "log kinds skip ubft" false
+        (A.applies ~target:A.Ubft ~attack))
+    A.all;
+  List.iter
+    (fun attack ->
+      Alcotest.(check bool) "register kinds hit ubft" true
+        (A.applies ~target:A.Ubft ~attack);
+      Alcotest.(check bool) "register kinds skip minbft" false
+        (A.applies ~target:A.Minbft ~attack))
+    A.ubft_all
 
 let test_attack_bounces_off_minbft () =
   let r = A.run ~target:A.Minbft ~attack:A.Equivocate () in
@@ -46,6 +71,30 @@ let test_run_deterministic () =
   let run () = A.run ~seed:7L ~target:A.Minbft ~attack:A.Replay_stale () in
   Alcotest.(check bool) "identical results" true (run () = run ())
 
+let test_register_attacks_bounce_off_ubft () =
+  (* The Figure 1 step above trusted logs: every register attack leaves
+     safety intact and an ACL refusal in the ledger — the forgery has no
+     interface, so the adversary is reduced to omission. *)
+  List.iter
+    (fun attack ->
+      let r = A.run ~target:A.Ubft ~attack () in
+      Alcotest.(check int)
+        (A.name attack ^ " no safety violation")
+        0 r.A.safety_violations;
+      Alcotest.(check bool)
+        (A.name attack ^ " ACL refused the forgery probe")
+        true (r.A.rejections > 0);
+      Alcotest.(check bool)
+        (A.name attack ^ " honest client still served")
+        true r.A.client_finished;
+      Alcotest.(check bool) (A.name attack ^ " prediction holds") true
+        (A.holds r))
+    A.ubft_all
+
+let test_ubft_run_deterministic () =
+  let run () = A.run ~seed:3L ~target:A.Ubft ~attack:A.Register_forge () in
+  Alcotest.(check bool) "identical results" true (run () = run ())
+
 let small_sweep () =
   M.sweep ~seeds:[ 1L ] ~timings:[ 5_000L ]
     ~attacks:[ A.Equivocate; A.Reuse_attestation ]
@@ -54,6 +103,24 @@ let small_sweep () =
 let test_matrix_export_deterministic () =
   let lines () = M.to_jsonl (small_sweep ()) in
   Alcotest.(check (list string)) "byte-identical JSONL" (lines ()) (lines ())
+
+let test_matrix_applies_filter () =
+  (* A mixed sweep produces cells only for catalog-matching pairs: the six
+     log kinds x {minbft, unattested} plus the four register kinds x ubft —
+     never a register kind against minbft or vice versa. *)
+  let m =
+    M.sweep ~seeds:[ 1L ] ~timings:[ 5_000L ]
+      ~attacks:(A.all @ A.ubft_all)
+      ~targets:[ A.Minbft; A.Unattested; A.Ubft ] ()
+  in
+  Alcotest.(check int) "cells" (List.length A.all * 2 + List.length A.ubft_all)
+    (List.length m.M.cells);
+  Alcotest.(check bool) "all cells hold" true (M.all_hold m);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "every cell is in-catalog" true
+        (A.applies ~target:c.M.result.A.target ~attack:c.M.result.A.attack))
+    m.M.cells
 
 let test_matrix_schema () =
   let m = small_sweep () in
@@ -104,27 +171,51 @@ let test_harness_registration () =
         (Thc_check.Monitor.failed (run broken)))
     [ A.Equivocate; A.Selective_send ]
 
+let test_ubft_harness_registration () =
+  List.iter
+    (fun attack ->
+      let aname = A.name attack in
+      match Thc_check.Harness.find ("ubft-" ^ aname) with
+      | None -> Alcotest.failf "harness ubft-%s not registered" aname
+      | Some h ->
+        Alcotest.(check bool)
+          (aname ^ " clean under empty script")
+          false
+          (Thc_check.Monitor.failed
+             (h.Thc_check.Harness.run ~seed:1L ~script:empty_script)
+               .Thc_check.Harness.verdict))
+    [ A.Register_forge; A.Withheld_append ]
+
 let () =
   Alcotest.run "thc_byz"
     [
       ( "catalog",
         [
           Alcotest.test_case "names stable" `Quick test_names_stable;
+          Alcotest.test_case "applies partitions catalogs" `Quick
+            test_applies_partitions_catalogs;
           Alcotest.test_case "bounces off minbft" `Quick
             test_attack_bounces_off_minbft;
           Alcotest.test_case "forks unattested" `Quick
             test_attack_forks_unattested;
+          Alcotest.test_case "bounces off ubft" `Quick
+            test_register_attacks_bounce_off_ubft;
           Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+          Alcotest.test_case "ubft deterministic" `Quick
+            test_ubft_run_deterministic;
         ] );
       ( "matrix",
         [
           Alcotest.test_case "export deterministic" `Quick
             test_matrix_export_deterministic;
           Alcotest.test_case "thc-attack/v1 schema" `Quick test_matrix_schema;
+          Alcotest.test_case "applies filter" `Quick test_matrix_applies_filter;
         ] );
       ( "harness",
         [
           Alcotest.test_case "registered in explorer" `Quick
             test_harness_registration;
+          Alcotest.test_case "ubft registered in explorer" `Quick
+            test_ubft_harness_registration;
         ] );
     ]

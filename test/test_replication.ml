@@ -323,6 +323,132 @@ let test_workload_deterministic () =
     (Thc_replication.Harness.default_workload ~ops:20 ~seed:5L
     = Thc_replication.Harness.default_workload ~ops:20 ~seed:5L)
 
+(* --- uBFT-sim on SWMR registers ------------------------------------------------------ *)
+
+let test_ubft_scenarios () =
+  List.iter
+    (fun (name, scenario) ->
+      let o =
+        Thc_replication.Harness.run
+          (setup Thc_replication.Harness.Ubft_protocol scenario 7L)
+      in
+      if not (healthy o) then
+        Alcotest.failf "ubft %s: %d/%d completed, %d safety, %d liveness"
+          name o.completed 15
+          (List.length o.safety_violations)
+          (List.length o.liveness_violations))
+    scenarios
+
+let test_ubft_beats_minbft () =
+  (* The "strictly stronger" edge as a measurement: the register protocol's
+     3-hop common case undercuts MinBFT's 4 hops at equal f, on both the
+     median and the wire bill — while spending register ops where MinBFT
+     spends counter seals. *)
+  let u =
+    Thc_replication.Harness.run
+      (setup Thc_replication.Harness.Ubft_protocol
+         Thc_replication.Harness.Fault_free 9L)
+  in
+  let m =
+    Thc_replication.Harness.run
+      (setup Thc_replication.Harness.Minbft_protocol
+         Thc_replication.Harness.Fault_free 9L)
+  in
+  let p50 o =
+    match Thc_obsv.Metrics.Histogram.p50 o.Thc_replication.Harness.lat_hist with
+    | Some v -> v
+    | None -> Alcotest.fail "empty latency histogram"
+  in
+  Alcotest.(check bool) "same replica count" true (u.replicas = m.replicas);
+  Alcotest.(check bool) "lower p50 latency" true (p50 u < p50 m);
+  Alcotest.(check bool) "fewer messages per op" true
+    (u.messages_per_op < m.messages_per_op);
+  Alcotest.(check bool) "spends register ops" true (u.trusted_per_request > 0.)
+
+let test_ubft_crash_leader_forces_view_change () =
+  let o =
+    Thc_replication.Harness.run
+      (setup Thc_replication.Harness.Ubft_protocol
+         (Thc_replication.Harness.Crash_leader 35_000L)
+         13L)
+  in
+  Alcotest.(check bool) "view advanced" true (o.final_view >= 1);
+  Alcotest.(check bool) "still healthy" true (healthy o)
+
+let test_ubft_deterministic () =
+  let run () =
+    Thc_replication.Harness.run
+      (setup Thc_replication.Harness.Ubft_protocol
+         (Thc_replication.Harness.Crash_leader 35_000L)
+         21L)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check string) "identical outcomes"
+    (Thc_util.Codec.encode (a.completed, a.messages, a.final_view, a.latency))
+    (Thc_util.Codec.encode (b.completed, b.messages, b.final_view, b.latency))
+
+let prop_ubft_random_seeds =
+  QCheck.Test.make ~name:"ubft safe and live across seeds" ~count:5
+    QCheck.int64
+    (fun seed ->
+      healthy
+        (Thc_replication.Harness.run
+           (setup Thc_replication.Harness.Ubft_protocol
+              Thc_replication.Harness.Fault_free seed)))
+
+let test_ubft_registers_bounded () =
+  (* The truncate-on-checkpoint discipline: run well past several checkpoint
+     intervals and check no register grew linearly with history.  40 slots
+     at checkpoint_interval 16 means a leader register that would hold 40+
+     records without truncation. *)
+  let f = 1 in
+  let config = Thc_replication.Ubft.default_config ~f in
+  let n = config.Thc_replication.Ubft.n in
+  let seed = 11L in
+  let rng = Thc_util.Rng.create seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:(n + 1) in
+  let registers = Thc_sharedmem.Swmr.log_array ~n in
+  let net =
+    Thc_sim.Net.create ~n:(n + 1) ~default:(Thc_sim.Delay.Uniform (50L, 500L))
+  in
+  let engine = Thc_sim.Engine.create ~seed ~n:(n + 1) ~net () in
+  let replicas =
+    Array.init n (fun pid ->
+        Thc_replication.Ubft.create_replica ~config ~keyring ~registers
+          ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+          ~self:pid)
+  in
+  Array.iteri
+    (fun pid r ->
+      Thc_sim.Engine.set_behavior engine pid (Thc_replication.Ubft.replica r))
+    replicas;
+  let ops = 40 in
+  let plan =
+    List.init ops (fun i ->
+        (Int64.of_int ((i + 1) * 3_000), Thc_replication.Kv_store.Incr "c"))
+  in
+  Thc_sim.Engine.set_behavior engine n
+    (Thc_replication.Ubft.client ~rid_base:0 ~config ~keyring
+       ~ident:(Thc_crypto.Keyring.secret keyring ~pid:n)
+       ~plan);
+  let trace =
+    Thc_sim.Engine.run ~until:400_000L ~max_events:20_000_000 engine
+  in
+  Alcotest.(check int) "safety clean" 0
+    (List.length (Thc_replication.Smr_spec.check_safety trace ~replicas:n));
+  Alcotest.(check bool) "all slots executed" true
+    (Array.for_all
+       (fun r -> Thc_replication.Ubft.executed_upto r = ops)
+       replicas);
+  Array.iteri
+    (fun pid r ->
+      let len = Thc_replication.Ubft.register_len r in
+      if len <= 0 || len > 2 * config.Thc_replication.Ubft.checkpoint_interval + 4
+      then
+        Alcotest.failf "replica %d register has %d records (interval %d)" pid
+          len config.Thc_replication.Ubft.checkpoint_interval)
+    replicas
+
 (* --- Byzantine replica attacks ------------------------------------------------------ *)
 
 (* A Byzantine non-leader replica with a real trinket, throwing everything it
@@ -806,6 +932,14 @@ let () =
           Alcotest.test_case "harness deterministic" `Quick test_harness_deterministic;
           qcheck prop_minbft_random_seeds;
           qcheck prop_minbft_crash_random_seeds;
+          Alcotest.test_case "ubft all scenarios" `Quick test_ubft_scenarios;
+          Alcotest.test_case "ubft beats minbft" `Quick test_ubft_beats_minbft;
+          Alcotest.test_case "ubft crash forces view change" `Quick
+            test_ubft_crash_leader_forces_view_change;
+          Alcotest.test_case "ubft deterministic" `Quick test_ubft_deterministic;
+          Alcotest.test_case "ubft registers bounded" `Quick
+            test_ubft_registers_bounded;
+          qcheck prop_ubft_random_seeds;
         ] );
       ( "adversary",
         [

@@ -80,6 +80,86 @@ let prop_swmr_log_preserves_sequence =
       List.iter (Thc_sharedmem.Swmr.append l ~ident:(ident k 1)) entries;
       Thc_sharedmem.Swmr.entries l = entries)
 
+let test_log_array_non_owner_append () =
+  let k = keyring () in
+  let a = Thc_sharedmem.Swmr.log_array ~n:3 in
+  Thc_sharedmem.Swmr.append a.(1) ~ident:(ident k 1) "mine";
+  match Thc_sharedmem.Swmr.append a.(1) ~ident:(ident k 2) "forged" with
+  | () -> Alcotest.fail "non-owner append accepted"
+  | exception Thc_sharedmem.Acl.Violation _ ->
+    Alcotest.(check (list string)) "register untouched" [ "mine" ]
+      (Thc_sharedmem.Swmr.entries a.(1))
+
+let test_swmr_write_count_monotone () =
+  let k = keyring () in
+  let l = Thc_sharedmem.Swmr.create_log ~owner:0 in
+  let counts = ref [ Thc_sharedmem.Swmr.write_count l ] in
+  let tick () = counts := Thc_sharedmem.Swmr.write_count l :: !counts in
+  Thc_sharedmem.Swmr.append l ~ident:(ident k 0) "a";
+  tick ();
+  (* A denied append must not tick the linearization counter. *)
+  (try Thc_sharedmem.Swmr.append l ~ident:(ident k 3) "x"
+   with Thc_sharedmem.Acl.Violation _ -> ());
+  tick ();
+  Thc_sharedmem.Swmr.write l ~ident:(ident k 0) [];
+  tick ();
+  Thc_sharedmem.Swmr.append l ~ident:(ident k 0) "b";
+  tick ();
+  Alcotest.(check (list int)) "one tick per successful op, denial ticks none"
+    [ 3; 2; 1; 1; 0 ] !counts
+
+let test_log_array_interleaved_oldest_first () =
+  let k = keyring () in
+  let a = Thc_sharedmem.Swmr.log_array ~n:2 in
+  (* Interleave appends across owners: each register sees only its own
+     stream, in order, oldest first. *)
+  List.iter
+    (fun (owner, v) -> Thc_sharedmem.Swmr.append a.(owner) ~ident:(ident k owner) v)
+    [ (0, "a0"); (1, "b0"); (0, "a1"); (1, "b1"); (0, "a2") ];
+  Alcotest.(check (list string)) "owner 0 stream" [ "a0"; "a1"; "a2" ]
+    (Thc_sharedmem.Swmr.entries a.(0));
+  Alcotest.(check (list string)) "owner 1 stream" [ "b0"; "b1" ]
+    (Thc_sharedmem.Swmr.entries a.(1))
+
+let test_swmr_ledger_accounting () =
+  let k = keyring () in
+  let a = Thc_sharedmem.Swmr.log_array ~n:2 in
+  let ledger = Thc_obsv.Ledger.create () in
+  Thc_sharedmem.Swmr.attach_ledger_all a ledger;
+  Thc_sharedmem.Swmr.append a.(0) ~ident:(ident k 0) "x";
+  Thc_sharedmem.Swmr.append a.(0) ~ident:(ident k 0) "y";
+  ignore (Thc_sharedmem.Swmr.read a.(0));
+  ignore (Thc_sharedmem.Swmr.read a.(1));
+  ignore (Thc_sharedmem.Swmr.read a.(1));
+  ignore (Thc_sharedmem.Swmr.read a.(1));
+  Thc_sharedmem.Swmr.write a.(1) ~ident:(ident k 1) [ "w" ];
+  Alcotest.(check int) "appends charged" 2
+    (Thc_obsv.Ledger.count ledger "swmr.append");
+  Alcotest.(check int) "reads charged" 4
+    (Thc_obsv.Ledger.count ledger "swmr.read");
+  Alcotest.(check int) "writes charged" 1
+    (Thc_obsv.Ledger.count ledger "swmr.write");
+  Alcotest.(check int) "no rejections yet" 0 (Thc_obsv.Ledger.rejections ledger)
+
+let test_swmr_ledger_denials_are_rejections () =
+  let k = keyring () in
+  let a = Thc_sharedmem.Swmr.log_array ~n:2 in
+  let ledger = Thc_obsv.Ledger.create () in
+  Thc_sharedmem.Swmr.attach_ledger_all a ledger;
+  (try Thc_sharedmem.Swmr.append a.(0) ~ident:(ident k 1) "forged"
+   with Thc_sharedmem.Acl.Violation _ -> ());
+  (try Thc_sharedmem.Swmr.write a.(1) ~ident:(ident k 0) []
+   with Thc_sharedmem.Acl.Violation _ -> ());
+  Alcotest.(check int) "append denial labelled" 1
+    (Thc_obsv.Ledger.count ledger "swmr.append_denied");
+  Alcotest.(check int) "write denial labelled" 1
+    (Thc_obsv.Ledger.count ledger "swmr.write_denied");
+  Alcotest.(check int) "denials count as rejections" 2
+    (Thc_obsv.Ledger.rejections ledger);
+  Alcotest.(check int) "nothing charged as a successful op" 0
+    (Thc_obsv.Ledger.count ledger "swmr.append"
+    + Thc_obsv.Ledger.count ledger "swmr.write")
+
 (* --- sticky ---------------------------------------------------------------------- *)
 
 let test_sticky_first_write_wins () =
@@ -223,6 +303,15 @@ let () =
           Alcotest.test_case "non-owner rejected" `Quick test_swmr_non_owner_rejected;
           Alcotest.test_case "log order" `Quick test_swmr_log_append_order;
           Alcotest.test_case "array layout" `Quick test_swmr_array_layout;
+          Alcotest.test_case "log_array non-owner append"
+            `Quick test_log_array_non_owner_append;
+          Alcotest.test_case "write_count monotone"
+            `Quick test_swmr_write_count_monotone;
+          Alcotest.test_case "interleaved logs oldest first"
+            `Quick test_log_array_interleaved_oldest_first;
+          Alcotest.test_case "ledger accounting" `Quick test_swmr_ledger_accounting;
+          Alcotest.test_case "ledger denials"
+            `Quick test_swmr_ledger_denials_are_rejections;
           qcheck prop_swmr_log_preserves_sequence;
         ] );
       ( "sticky",

@@ -142,6 +142,21 @@ let test_run_point_deterministic () =
     (L.export ~seed:41L [ a ])
     (L.export ~seed:41L [ b ])
 
+let test_ubft_point_completes () =
+  let r = L.run_point (point ~protocol:L.Ubft_protocol ()) in
+  Alcotest.(check int) "all requests completed" r.L.offered r.L.completed;
+  Alcotest.(check int) "no safety violations" 0 r.L.safety_violations;
+  Alcotest.(check bool) "register ops charged" true
+    (r.L.trusted_per_request > 0.0)
+
+let test_ubft_point_deterministic () =
+  let run () = L.run_point (point ~protocol:L.Ubft_protocol ()) in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical results" true (a = b);
+  Alcotest.(check string) "identical export bytes"
+    (L.export ~seed:41L [ a ])
+    (L.export ~seed:41L [ b ])
+
 let test_batching_amortizes () =
   let b1 = L.run_point (point ~batch:1 ())
   and b4 = L.run_point (point ~batch:4 ()) in
@@ -242,6 +257,10 @@ let () =
           Alcotest.test_case "closed loop completes" `Quick
             test_closed_loop_completes;
           Alcotest.test_case "batching amortizes" `Quick test_batching_amortizes;
+          Alcotest.test_case "ubft point completes" `Quick
+            test_ubft_point_completes;
+          Alcotest.test_case "ubft point deterministic" `Quick
+            test_ubft_point_deterministic;
           Alcotest.test_case "export/parse roundtrip" `Quick
             test_export_parse_roundtrip;
           Alcotest.test_case "parse rejects garbage" `Quick
