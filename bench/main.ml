@@ -55,6 +55,11 @@ module Pool = Thc_exec.Pool
    read it instead of threading a parameter through every section. *)
 let jobs = ref 1
 
+(* The shared --network override: when set, the replication-harness and
+   loadtest tables run under the named model instead of their legacy
+   uniform clique (the S7 grid ignores it — it sweeps its own models). *)
+let bench_network : Thc_network.Model.t option ref = ref None
+
 (* Campaign size for the BENCH_results.json envelope: how many sweep cells
    the pooled tables executed.  Independent of --jobs, so the file stays
    byte-identical across parallelism (the timed comparison re-run is
@@ -639,6 +644,7 @@ let table_s1 () =
         delay = Thc_sim.Delay.Uniform (50L, 500L);
         scenario;
         seed = 17L;
+        network = !bench_network;
       }
   in
   (* With --jobs > 1, time the grid both ways and report the wall-clock win.
@@ -726,6 +732,7 @@ let table_s1b () =
                 delay;
                 scenario = Thc_replication.Harness.Fault_free;
                 seed = 19L;
+                network = !bench_network;
               }
           in
           let top =
@@ -788,6 +795,7 @@ let table_s3 () =
           batch = 1;
           seed = 29L;
           delay = Thc_sim.Delay.Uniform (50L, 500L);
+          network = !bench_network;
           spec =
             {
               W.clients = 4;
@@ -970,6 +978,7 @@ let bechamel_tests () =
                   delay = Thc_sim.Delay.Uniform (50L, 500L);
                   scenario = Thc_replication.Harness.Fault_free;
                   seed = 23L;
+                  network = !bench_network;
                 })))
   in
   let t_sig =
@@ -1058,6 +1067,7 @@ let s4_cell ~ops ~clients ~seed =
     delay = Thc_sim.Delay.Uniform (50L, 500L);
     scenario = Thc_replication.Harness.Fault_free;
     seed;
+    network = !bench_network;
   }
 
 (* Throughput mode: same cluster and schedule as an S1 cell, but
@@ -1226,6 +1236,7 @@ let table_s5 () =
       delay = Thc_sim.Delay.Uniform (50L, 500L);
       scenario = Thc_replication.Harness.Fault_free;
       seed = 17L;
+      network = !bench_network;
     }
   in
   List.iter
@@ -1295,6 +1306,7 @@ let table_s6 () =
         delay = Thc_sim.Delay.Uniform (50L, 500L);
         scenario = Thc_replication.Harness.Fault_free;
         seed = 17L;
+        network = !bench_network;
       }
   in
   let outcomes = pool_run ~jobs:!jobs run_cell cells in
@@ -1339,6 +1351,107 @@ let table_s6 () =
     \ and fewer messages; PBFT needs f extra replicas to buy the same\n\
     \ safety with no hardware at all)"
 
+let table_s7 () =
+  section "S7 — protocol x network grid: where the topology moves the ranking";
+  let t =
+    Thc_util.Table.create
+      [
+        "protocol"; "network"; "completed"; "p50 us"; "p99 us"; "msgs/op";
+        "trusted/req"; "safe";
+      ]
+  in
+  let protocols =
+    [
+      ("minbft", Thc_replication.Harness.Minbft_protocol);
+      ("pbft", Thc_replication.Harness.Pbft_protocol);
+      ("ubft", Thc_replication.Harness.Ubft_protocol);
+    ]
+  in
+  (* Named presets from the same parser the CLIs use, so every cell of this
+     grid is reproducible as `thc ... --network <name>`. *)
+  let networks =
+    List.map
+      (fun name ->
+        match Thc_network.Model.of_string name with
+        | Ok m -> (name, m)
+        | Error e -> failwith ("s7: bad preset " ^ name ^ ": " ^ e))
+      [ "lan"; "uniform"; "geo3"; "lossy" ]
+  in
+  let cells =
+    count_keys
+      (List.concat_map
+         (fun (pname, protocol) ->
+           List.map (fun (nname, m) -> (pname, protocol, nname, m)) networks)
+         protocols)
+  in
+  (* Same fault-free workload and seed for every cell: the measured movement
+     is the network model alone.  f = 1 keeps uBFT and MinBFT at 3 replicas
+     vs PBFT's 4 — under geo3 the fourth replica drags PBFT's quorums
+     across the WAN more often. *)
+  let run_cell (_, protocol, _, m) =
+    Thc_replication.Harness.run
+      {
+        protocol;
+        f = 1;
+        ops = 25;
+        clients = 2;
+        batch = 1;
+        interval = 5_000L;
+        delay = Thc_sim.Delay.Uniform (50L, 500L);
+        scenario = Thc_replication.Harness.Fault_free;
+        seed = 17L;
+        network = Some m;
+      }
+  in
+  let outcomes = pool_run ~jobs:!jobs run_cell cells in
+  let pq h q =
+    match Thc_obsv.Metrics.Histogram.quantile h q with
+    | Some v -> Int64.to_int v
+    | None -> 0
+  in
+  let p50s = ref [] in
+  List.iter2
+    (fun (pname, _, nname, m) (o : Thc_replication.Harness.outcome) ->
+      let key = Printf.sprintf "%s.%s" pname nname in
+      let p50 = pq o.lat_hist 0.50 and p99 = pq o.lat_hist 0.99 in
+      p50s := ((pname, nname), p50) :: !p50s;
+      record_s "s7" (key ^ ".network_tag") (Thc_network.Model.tag m);
+      record_i "s7" (key ^ ".completed") o.completed;
+      record_i "s7" (key ^ ".p50_us") p50;
+      record_i "s7" (key ^ ".p99_us") p99;
+      record_f "s7" (key ^ ".msgs_per_op") o.messages_per_op;
+      record_f "s7" (key ^ ".trusted_per_req") o.trusted_per_request;
+      record_b "s7" (key ^ ".safe") (o.safety_violations = []);
+      Thc_util.Table.add_row t
+        [
+          pname;
+          nname;
+          Printf.sprintf "%d/50" o.completed;
+          string_of_int p50;
+          string_of_int p99;
+          Printf.sprintf "%.1f" o.messages_per_op;
+          Printf.sprintf "%.1f" o.trusted_per_request;
+          (if o.safety_violations = [] then "yes" else "NO");
+        ])
+    cells outcomes;
+  Thc_util.Table.print t;
+  (* The headline: uBFT's 3-hop register path beats MinBFT on a LAN, but
+     every register operation is a network round under geo3's WAN mix, so
+     the gap moves with the topology.  Record the ratio so the claim is a
+     number, not prose. *)
+  let p50 pname nname =
+    float_of_int (List.assoc (pname, nname) !p50s)
+  in
+  let ratio nname = p50 "ubft" nname /. p50 "minbft" nname in
+  record_f "s7" "headline.ubft_vs_minbft_p50_ratio_lan" (ratio "lan");
+  record_f "s7" "headline.ubft_vs_minbft_p50_ratio_geo3" (ratio "geo3");
+  Printf.printf
+    "(headline: uBFT p50 / MinBFT p50 = %.2f on lan vs %.2f under geo3 —\n\
+    \ the protocol ranking is a property of the network model, which is\n\
+    \ why the grid exists; every cell reproduces as\n\
+    \ `thc smr <proto> --network <name>`-style runs at seed 17)\n"
+    (ratio "lan") (ratio "geo3")
+
 let tables =
   [
     ("f1", table_f1);
@@ -1357,10 +1470,12 @@ let tables =
     ("s4", table_s4);
     ("s5", table_s5);
     ("s6", table_s6);
+    ("s7", table_s7);
   ]
 
-let main jobs_n only =
+let main jobs_n only network =
   jobs := max 1 jobs_n;
+  bench_network := network;
   (match
      List.filter (fun id -> not (List.mem_assoc id tables)) only
    with
@@ -1400,6 +1515,6 @@ let () =
   let cmd =
     Cmd.v
       (Cmd.info "bench" ~doc:"Regenerate the thwclass experiment tables")
-      Term.(const main $ Thc_exec.Cli.jobs () $ only)
+      Term.(const main $ Thc_exec.Cli.jobs () $ only $ Thc_exec.Cli.network ())
   in
   exit (Cmd.eval cmd)

@@ -259,6 +259,7 @@ let smr_cmd =
         delay = Thc_sim.Delay.Uniform (50L, 500L);
         scenario;
         seed;
+        network = None;
       }
     in
     let show name p =
@@ -358,8 +359,9 @@ let loadtest_cmd =
     Cli.export ~doc:"Write the thc-loadtest/v1 JSONL export to $(docv)." ()
   in
   let jobs = Cli.jobs () in
+  let network = Cli.network () in
   let run protocol f clients ops rates batches arrival window think keys theta
-      seed export jobs =
+      seed export jobs network =
     let key_dist =
       if theta <= 0.0 then W.Keys_uniform { keys }
       else W.Keys_zipf { keys; theta }
@@ -377,6 +379,7 @@ let loadtest_cmd =
         batch = 1;
         seed;
         delay = Thc_sim.Delay.Uniform (50L, 500L);
+        network;
         spec =
           {
             W.clients;
@@ -436,7 +439,8 @@ let loadtest_cmd =
       results;
     Thc_util.Table.print t;
     Option.iter
-      (fun file -> loadtest_write_file file (L.export ~seed results))
+      (fun file ->
+        loadtest_write_file file (L.export ?network ~seed results))
       export;
     let safety =
       List.fold_left (fun acc (r : L.result) -> acc + r.L.safety_violations) 0
@@ -452,7 +456,7 @@ let loadtest_cmd =
           amortization.")
     Term.(
       const run $ protocol $ f $ clients $ ops $ rates $ batches $ arrival
-      $ window $ think $ keys $ theta $ seed $ export $ jobs)
+      $ window $ think $ keys $ theta $ seed $ export $ jobs $ network)
 
 (* --- report ---------------------------------------------------------------- *)
 
@@ -551,6 +555,7 @@ let report_smr protocol ~name ~f ~ops ~seed ~export =
       delay = Thc_sim.Delay.Uniform (50L, 500L);
       scenario = Thc_replication.Harness.Fault_free;
       seed;
+      network = None;
     }
   in
   let o, jsonl = Thc_replication.Harness.run_export setup in
@@ -961,7 +966,7 @@ let explore_cmd =
       & info [ "out" ] ~docv:"DIR"
           ~doc:"Write one repro file per failing seed into $(docv).")
   in
-  let run protocol runs seed jobs crashes partitions no_shrink out =
+  let run protocol runs seed jobs crashes partitions no_shrink out network =
     let h = Option.get (Thc_check.Harness.find protocol) in
     (* Periodic progress: one line per tenth of the sweep (virtual-time
        counters only, so repeated runs print identical lines — the pool
@@ -973,7 +978,7 @@ let explore_cmd =
           failures
     in
     let summary =
-      Thc_check.Sweep.sweep h ?crashes ?partitions ~progress ~jobs
+      Thc_check.Sweep.sweep h ?crashes ?partitions ?network ~progress ~jobs
         ~stats:(Cli.stats_reporter ~jobs) ~base_seed:seed ~runs ()
     in
     Format.printf "%a@." Thc_check.Sweep.pp_summary summary;
@@ -987,7 +992,7 @@ let explore_cmd =
           else
             let last_events = ref (-1) in
             let r =
-              Thc_check.Shrink.shrink h
+              Thc_check.Shrink.shrink h ?network
                 ~on_round:(fun ~rounds ~attempts ~events ->
                   (* A line when the script actually shrank, plus a
                      heartbeat every 10 rounds of horizon-halving. *)
@@ -1056,7 +1061,7 @@ let explore_cmd =
           counterexamples, and print them as repro S-expressions.")
     Term.(
       const run $ protocol_arg $ runs $ seed $ jobs $ crashes $ partitions
-      $ no_shrink $ out)
+      $ no_shrink $ out $ Cli.network ())
 
 (* --- replay ---------------------------------------------------------------- *)
 
@@ -1176,7 +1181,8 @@ let attack_cmd =
         Format.printf "    ... and %d more@." (List.length spans - top);
       Format.printf "@."
   in
-  let run target attack seed f corrupt_at runs export jobs top list_only =
+  let run target attack seed f corrupt_at runs export jobs top list_only
+      network =
     if list_only then begin
       let pp_catalog header kinds =
         Format.printf "%s@." header;
@@ -1227,7 +1233,7 @@ let attack_cmd =
       in
       let m =
         M.sweep ~jobs ~stats:(Cli.stats_reporter ~jobs) ~f ~seeds ~timings
-          ~attacks ~targets ()
+          ~attacks ~targets ?network ()
       in
       if runs > 1 then Format.printf "%a@." M.pp m
       else
@@ -1258,7 +1264,7 @@ let attack_cmd =
           unattested one commits a divergent operation.")
     Term.(
       const run $ target $ attack $ seed $ f $ corrupt_at $ runs $ export
-      $ jobs $ top $ list_only)
+      $ jobs $ top $ list_only $ Cli.network ())
 
 (* --- trace ------------------------------------------------------------------ *)
 
@@ -1297,7 +1303,8 @@ let trace_cmd =
   let export =
     Cli.export ~doc:"Write the thc-span/v1 JSONL export to $(docv)." ()
   in
-  let run protocol f ops clients batch interval runs seed jobs top export =
+  let run protocol f ops clients batch interval runs seed jobs top export
+      network =
     let setup =
       {
         H.protocol;
@@ -1309,6 +1316,7 @@ let trace_cmd =
         delay = Thc_sim.Delay.Uniform (50L, 500L);
         scenario = H.Fault_free;
         seed;
+        network;
       }
     in
     let campaign =
@@ -1351,7 +1359,7 @@ let trace_cmd =
           as thc-span/v1 JSONL.")
     Term.(
       const run $ protocol $ f $ ops $ clients $ batch $ interval $ runs
-      $ seed $ jobs $ top $ export)
+      $ seed $ jobs $ top $ export $ Cli.network ())
 
 (* --- main ------------------------------------------------------------------ *)
 

@@ -31,7 +31,7 @@ let delayed_start ~by (inner : 'm Thc_sim.Engine.behavior) :
           else if !started then inner.on_timer ctx tag);
     }
 
-let run ~seed ~(script : Thc_sim.Adversary.t) ?(n = 5) ?(f = 2) ?(period = 1_000L)
+let run ?network ~seed ~(script : Thc_sim.Adversary.t) ?(n = 5) ?(f = 2) ?(period = 1_000L)
     ?(start = 0L) ~inputs () =
   if Array.length inputs <> n then invalid_arg "Agreement_harness.run: inputs size";
   let keyring = Thc_crypto.Keyring.create (Thc_util.Rng.create seed) ~n in
@@ -48,6 +48,9 @@ let run ~seed ~(script : Thc_sim.Adversary.t) ?(n = 5) ?(f = 2) ?(period = 1_000
                     ~n ~f ~input)))))
     inputs;
   Thc_sim.Adversary.install script engine;
+  Option.iter
+    (fun m -> Thc_network.Model.install m engine ~replicas:n ~script ())
+    network;
   let until = max 60_000L (Int64.add script.horizon 30_000L) in
   let trace = Thc_sim.Engine.run ~until ~max_events:10_000_000 engine in
   let decided =

@@ -22,6 +22,7 @@ type report = {
 }
 
 val run :
+  ?network:Thc_network.Model.t ->
   seed:int64 ->
   script:Thc_sim.Adversary.t ->
   ?n:int ->

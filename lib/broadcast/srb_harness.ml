@@ -28,7 +28,7 @@ let plan_times ~horizon ~values =
   List.init values (fun i ->
       Int64.add 100L (Int64.mul (Int64.of_int i) (Int64.div horizon (Int64.of_int (4 * values)))))
 
-let run_trinc ~seed ~(script : Thc_sim.Adversary.t) ?(n = 4) ?(values = 3) () =
+let run_trinc ?network ~seed ~(script : Thc_sim.Adversary.t) ?(n = 4) ?(values = 3) () =
   let rng = Thc_util.Rng.create seed in
   let world = Thc_hardware.Trinc.create_world rng ~n in
   let net = Thc_sim.Net.create ~n ~default:fast in
@@ -49,10 +49,13 @@ let run_trinc ~seed ~(script : Thc_sim.Adversary.t) ?(n = 4) ?(values = 3) () =
     Thc_sim.Engine.set_behavior engine pid (Srb_from_trinc.behavior st ~broadcast_plan:plan)
   done;
   Thc_sim.Adversary.install script engine;
+  Option.iter
+    (fun m -> Thc_network.Model.install m engine ~replicas:n ~script ())
+    network;
   let until = Int64.add script.horizon 2_000_000L in
   finish (Thc_sim.Engine.run ~until ~max_events:10_000_000 engine)
 
-let run_uni ~seed ~(script : Thc_sim.Adversary.t) ?(n = 5) ?(faults = 2) ?(values = 2) () =
+let run_uni ?network ~seed ~(script : Thc_sim.Adversary.t) ?(n = 5) ?(faults = 2) ?(values = 2) () =
   let keyring = Thc_crypto.Keyring.create (Thc_util.Rng.create seed) ~n in
   let net = Thc_sim.Net.create ~n ~default:fast in
   let engine = Thc_sim.Engine.create ~seed ~n ~net () in
@@ -73,5 +76,8 @@ let run_uni ~seed ~(script : Thc_sim.Adversary.t) ?(n = 5) ?(faults = 2) ?(value
          (Srb_from_uni.app srbs.(pid)))
   done;
   Thc_sim.Adversary.install script engine;
+  Option.iter
+    (fun m -> Thc_network.Model.install m engine ~replicas:n ~script ())
+    network;
   let until = max 600_000L (Int64.add script.horizon 300_000L) in
   finish (Thc_sim.Engine.run ~until ~max_events:10_000_000 engine)

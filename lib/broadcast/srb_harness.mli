@@ -17,13 +17,18 @@ type report = {
 }
 
 val run_trinc :
+  ?network:Thc_network.Model.t ->
   seed:int64 -> script:Thc_sim.Adversary.t -> ?n:int -> ?values:int -> unit -> report
 (** {!Srb_from_trinc} (trusted-log SRB, any [f < n]): sender 0 broadcasts
     [values] (default 3) attested values early in the run; receivers chain
     and echo.  Default [n] = 4.  Crashes and partitions from the script are
-    tolerated by construction — the expected verdict is a clean spec. *)
+    tolerated by construction — the expected verdict is a clean spec.
+    [network] lowers a named topology onto the links
+    ({!Thc_network.Model.install}, re-lowered after every scripted heal);
+    rational client strategies do not apply (there are no clients). *)
 
 val run_uni :
+  ?network:Thc_network.Model.t ->
   seed:int64 -> script:Thc_sim.Adversary.t -> ?n:int -> ?faults:int -> ?values:int ->
   unit -> report
 (** Algorithm 1 ({!Srb_from_uni}) over SWMR-register rounds, [n] = 5,

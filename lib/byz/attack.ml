@@ -311,7 +311,17 @@ let minbft_detail = function
   | Register_forge | Ack_forge | Stale_read | Withheld_append ->
     "not part of the trusted-log catalog"
 
-let run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until () =
+(* Lower the optional network model onto a rig's engine.  Installed after
+   every [Adversary.install] so the re-lowering scheduled at each heal time
+   runs after the heal itself (the engine breaks same-time ties by
+   installation order).  Rational client strategies are skipped: the rigs'
+   scripted clients are part of the attack fixture, not a workload. *)
+let install_network network engine ~replicas ~script =
+  Option.iter
+    (fun m -> Thc_network.Model.install m engine ~replicas ?script ())
+    network
+
+let run_minbft ?network ~attack ~f ~seed ~corrupt_at ~script ~until () =
   let config = R.Minbft.default_config ~f in
   let n = config.R.Minbft.n in
   (* pids: replicas 0..n-1, honest client n, attacker's client identity n+1
@@ -370,6 +380,7 @@ let run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until () =
     }
     engine;
   Option.iter (fun s -> Thc_sim.Adversary.install s engine) script;
+  install_network network engine ~replicas:n ~script;
   Thc_obsv.Ledger.set_observer (Trinc.ledger world)
     (Thc_obsv.Span.attribute spans);
   let trace = E.run ~until engine in
@@ -422,10 +433,12 @@ let unattested_detail = function
   | Register_forge | Ack_forge | Stale_read | Withheld_append ->
     "not part of the unattested catalog"
 
-let unattested_attacker ~attack ~corrupt_at ~script
+let unattested_attacker ?network ~attack ~corrupt_at ~script
     (env : R.Ablation.Unattested.env) :
     R.Ablation.Unattested.wire E.behavior =
   Option.iter (fun s -> Thc_sim.Adversary.install s env.R.Ablation.Unattested.engine) script;
+  install_network network env.R.Ablation.Unattested.engine
+    ~replicas:env.R.Ablation.Unattested.n ~script;
   let module U = R.Ablation.Unattested in
   let send_to (ctx : _ E.ctx) group wire =
     List.iter (fun dst -> ctx.E.send dst wire) group
@@ -479,10 +492,10 @@ let unattested_attacker ~attack ~corrupt_at ~script
     on_timer;
   }
 
-let run_unattested ~attack ~f ~seed ~corrupt_at ~script ~until () =
+let run_unattested ?network ~attack ~f ~seed ~corrupt_at ~script ~until () =
   let r =
     R.Ablation.Unattested.run ~f ~seed
-      ~attacker:(unattested_attacker ~attack ~corrupt_at ~script)
+      ~attacker:(unattested_attacker ?network ~attack ~corrupt_at ~script)
       ~detail:(unattested_detail attack) ~until ()
   in
   {
@@ -568,7 +581,7 @@ let ubft_inject ~attack ~(registers : R.Ubft.registers) ~wrap ~replica
   | Selective_send | Silent_then_lie ->
     ()
 
-let run_ubft ~attack ~f ~seed ~corrupt_at ~script ~until () =
+let run_ubft ?network ~attack ~f ~seed ~corrupt_at ~script ~until () =
   let config = R.Ubft.default_config ~f in
   let n = config.R.Ubft.n in
   (* Same pid layout as the MinBFT rig: replicas 0..n-1, honest client n,
@@ -631,6 +644,7 @@ let run_ubft ~attack ~f ~seed ~corrupt_at ~script ~until () =
     }
     engine;
   Option.iter (fun s -> Thc_sim.Adversary.install s engine) script;
+  install_network network engine ~replicas:n ~script;
   let trace = E.run ~until engine in
   {
     attack;
@@ -656,24 +670,26 @@ let script_slack = function
   | None -> 0L
   | Some s -> s.Thc_sim.Adversary.horizon
 
-let run ?(f = 1) ?(seed = 1L) ?(corrupt_at = 5_000L) ?script ~target ~attack ()
-    =
+let run ?(f = 1) ?(seed = 1L) ?(corrupt_at = 5_000L) ?script ?network ~target
+    ~attack () =
   let corrupt_at = if corrupt_at < 1L then 1L else corrupt_at in
   let slack = script_slack script in
   match target with
   | Minbft ->
     let until = Int64.add 500_000L (Int64.add corrupt_at slack) in
-    fst (run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until ())
+    fst (run_minbft ?network ~attack ~f ~seed ~corrupt_at ~script ~until ())
   | Unattested ->
     let until = Int64.add 1_000_000L (Int64.add corrupt_at slack) in
-    run_unattested ~attack ~f ~seed ~corrupt_at ~script ~until ()
+    run_unattested ?network ~attack ~f ~seed ~corrupt_at ~script ~until ()
   | Ubft ->
     let until = Int64.add 500_000L (Int64.add corrupt_at slack) in
-    run_ubft ~attack ~f ~seed ~corrupt_at ~script ~until ()
+    run_ubft ?network ~attack ~f ~seed ~corrupt_at ~script ~until ()
 
-let run_export ?(f = 1) ?(seed = 1L) ?(corrupt_at = 5_000L) ?script ~attack ()
-    =
+let run_export ?(f = 1) ?(seed = 1L) ?(corrupt_at = 5_000L) ?script ?network
+    ~attack () =
   let corrupt_at = if corrupt_at < 1L then 1L else corrupt_at in
   let until = Int64.add 500_000L (Int64.add corrupt_at (script_slack script)) in
-  let result, trace = run_minbft ~attack ~f ~seed ~corrupt_at ~script ~until () in
+  let result, trace =
+    run_minbft ?network ~attack ~f ~seed ~corrupt_at ~script ~until ()
+  in
   (result, Thc_sim.Trace.to_jsonl ~encode_msg:Thc_util.Codec.encode trace)

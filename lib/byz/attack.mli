@@ -119,6 +119,7 @@ val run :
   ?seed:int64 ->
   ?corrupt_at:int64 ->
   ?script:Thc_sim.Adversary.t ->
+  ?network:Thc_network.Model.t ->
   target:target ->
   attack:kind ->
   unit ->
@@ -128,13 +129,17 @@ val run :
     composes an additional network-fault schedule (crashes, partitions —
     e.g. drawn by {!Thc_sim.Adversary.random}) on top of the corruption;
     the run horizon is extended past the script's horizon so held traffic
-    drains before verdicts are read. *)
+    drains before verdicts are read.  [network] lowers a named topology
+    onto the rig's links ({!Thc_network.Model.install}; re-lowered after
+    every scripted heal); rational client strategies are ignored — the
+    rigs' scripted clients are attack fixtures, not a workload. *)
 
 val run_export :
   ?f:int ->
   ?seed:int64 ->
   ?corrupt_at:int64 ->
   ?script:Thc_sim.Adversary.t ->
+  ?network:Thc_network.Model.t ->
   attack:kind ->
   unit ->
   result * string

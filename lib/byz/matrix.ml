@@ -8,12 +8,13 @@ type t = {
   timings : int64 list;
   attacks : Attack.kind list;
   targets : Attack.target list;
+  network : Thc_network.Model.t option;
   cells : cell list;
 }
 
 let runner ?(f = 1) ?(seeds = [ 1L; 2L; 3L ])
     ?(timings = [ 2_000L; 5_000L; 20_000L ]) ?(attacks = Attack.all)
-    ?(targets = [ Attack.Minbft; Attack.Unattested ]) () =
+    ?(targets = [ Attack.Minbft; Attack.Unattested ]) ?network () =
   (* Keys in the documented cell order (target, attack, seed, timing); the
      pool merges results in key order, so the matrix is identical at every
      parallelism.  Attacks outside a target's catalog (trusted-log kinds vs
@@ -39,14 +40,17 @@ let runner ?(f = 1) ?(seeds = [ 1L; 2L; 3L ])
     keys;
     run_one =
       (fun (target, attack, seed, corrupt_at) ->
-        let result = Attack.run ~f ~seed ~corrupt_at ~target ~attack () in
+        let result =
+          Attack.run ~f ~seed ~corrupt_at ?network ~target ~attack ()
+        in
         { result; holds = Attack.holds result });
-    summarize = (fun cells -> { f; seeds; timings; attacks; targets; cells });
+    summarize =
+      (fun cells -> { f; seeds; timings; attacks; targets; network; cells });
   }
 
-let sweep ?jobs ?stats ?f ?seeds ?timings ?attacks ?targets () =
+let sweep ?jobs ?stats ?f ?seeds ?timings ?attacks ?targets ?network () =
   Thc_exec.Runner.run ?jobs ?stats
-    (runner ?f ?seeds ?timings ?attacks ?targets ())
+    (runner ?f ?seeds ?timings ?attacks ?targets ?network ())
 
 let all_hold t = List.for_all (fun c -> c.holds) t.cells
 
@@ -122,7 +126,7 @@ let to_jsonl t =
       ~jobs:(List.length t.cells)
       ~git:(Thc_exec.Gitinfo.describe ())
       ~extra:
-        [
+        ([
           ("f", J.Int t.f);
           ( "seeds",
             J.List (List.map (fun s -> J.Int (Int64.to_int s)) t.seeds) );
@@ -133,6 +137,12 @@ let to_jsonl t =
           ("cells", J.Int (List.length t.cells));
           ("all_hold", J.Bool (all_hold t));
         ]
+        (* Network tag only when a model is set, so pre-S7 sweeps export
+           the exact bytes they always did. *)
+        @
+        match t.network with
+        | None -> []
+        | Some m -> [ ("network", J.Str (Thc_network.Model.tag m)) ])
       ()
   in
   List.map J.to_string (header :: List.map cell_to_json t.cells)

@@ -22,6 +22,9 @@ type t = {
   timings : int64 list;  (** Corruption times (virtual µs). *)
   attacks : Attack.kind list;
   targets : Attack.target list;
+  network : Thc_network.Model.t option;
+      (** Network model every cell ran under; [None] for the legacy
+          uniform clique.  Recorded in the export envelope when set. *)
   cells : cell list;  (** Ordered: target, then attack, seed, timing. *)
 }
 
@@ -31,6 +34,7 @@ val runner :
   ?timings:int64 list ->
   ?attacks:Attack.kind list ->
   ?targets:Attack.target list ->
+  ?network:Thc_network.Model.t ->
   unit ->
   (Attack.target * Attack.kind * int64 * int64, cell, t) Thc_exec.Runner.t
 (** The matrix as the repository-wide runner shape: keys are the cross
@@ -46,6 +50,7 @@ val sweep :
   ?timings:int64 list ->
   ?attacks:Attack.kind list ->
   ?targets:Attack.target list ->
+  ?network:Thc_network.Model.t ->
   unit ->
   t
 (** Run the full cross product ({!Attack.run} per cell).  Defaults: seeds

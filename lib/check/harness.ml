@@ -18,7 +18,12 @@ type t = {
   summary : string;
   profile : profile;
   expect : expectation;
-  run : seed:int64 -> script:Thc_sim.Adversary.t -> report;
+  run :
+    ?network:Thc_network.Model.t ->
+    seed:int64 ->
+    script:Thc_sim.Adversary.t ->
+    unit ->
+    report;
 }
 
 let pp_expectation ppf e =
@@ -30,7 +35,7 @@ let pp_expectation ppf e =
 
 (* --- replication -------------------------------------------------------- *)
 
-let smr_run protocol ~seed ~script =
+let smr_run protocol ?network ~seed ~script () =
   let outcome =
     Thc_replication.Harness.run
       {
@@ -43,6 +48,7 @@ let smr_run protocol ~seed ~script =
         delay = Thc_sim.Delay.Uniform (50L, 500L);
         scenario = Thc_replication.Harness.Scripted script;
         seed;
+        network;
       }
   in
   {
@@ -55,8 +61,10 @@ let smr_run protocol ~seed ~script =
     duration_us = outcome.Thc_replication.Harness.duration_us;
   }
 
-let unattested_run ~seed ~script =
-  let result = Thc_replication.Ablation.unattested_under_script ~seed ~script () in
+let unattested_run ?network ~seed ~script () =
+  let result =
+    Thc_replication.Ablation.unattested_under_script ?network ~seed ~script ()
+  in
   {
     verdict = Monitor.verdict (Monitor.of_smr result.Thc_replication.Ablation.violations);
     messages = result.Thc_replication.Ablation.messages;
@@ -86,10 +94,10 @@ let agreement_inputs ~seed ~n =
    messages already in flight are immune to blocking, so a time-0 start
    would put round 1 — the only round that matters against non-Byzantine
    senders — beyond the reach of any admissible script. *)
-let agreement_run ~start ~seed ~script =
+let agreement_run ~start ?network ~seed ~script () =
   let n = 5 in
   let r =
-    Thc_agreement.Agreement_harness.run ~seed ~script ~n ~f:2 ~start
+    Thc_agreement.Agreement_harness.run ?network ~seed ~script ~n ~f:2 ~start
       ~inputs:(agreement_inputs ~seed ~n) ()
   in
   {
@@ -133,8 +141,8 @@ let byz_violations (r : Thc_byz.Attack.result) =
       [ { Monitor.monitor = "byz-divergence"; info = r.Thc_byz.Attack.detail } ]
     else []
 
-let attack_run ~target attack ~seed ~script =
-  let r = Thc_byz.Attack.run ~seed ~script ~target ~attack () in
+let attack_run ~target attack ?network ~seed ~script () =
+  let r = Thc_byz.Attack.run ~seed ~script ?network ~target ~attack () in
   {
     verdict = Monitor.verdict (byz_violations r);
     messages = r.Thc_byz.Attack.messages;
@@ -226,8 +234,9 @@ let all =
       profile = { n = 4; crash_budget = 1; partition_budget = 2; horizon = 400_000L };
       expect = Clean;
       run =
-        (fun ~seed ~script ->
-          srb_report (Thc_broadcast.Srb_harness.run_trinc ~seed ~script ()));
+        (fun ?network ~seed ~script () ->
+          srb_report
+            (Thc_broadcast.Srb_harness.run_trinc ?network ~seed ~script ()));
     };
     {
       name = "srb-uni";
@@ -235,8 +244,9 @@ let all =
       profile = { n = 5; crash_budget = 2; partition_budget = 0; horizon = 100_000L };
       expect = Clean;
       run =
-        (fun ~seed ~script ->
-          srb_report (Thc_broadcast.Srb_harness.run_uni ~seed ~script ()));
+        (fun ?network ~seed ~script () ->
+          srb_report
+            (Thc_broadcast.Srb_harness.run_uni ?network ~seed ~script ()));
     };
     {
       name = "agreement";

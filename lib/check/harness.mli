@@ -33,7 +33,17 @@ type t = {
   summary : string;
   profile : profile;
   expect : expectation;
-  run : seed:int64 -> script:Thc_sim.Adversary.t -> report;
+  run :
+    ?network:Thc_network.Model.t ->
+    seed:int64 ->
+    script:Thc_sim.Adversary.t ->
+    unit ->
+    report;
+      (** Deterministic in [(network, seed, script)].  [network] lowers a
+          named {!Thc_network.Model} onto the run's links (re-lowered
+          after every scripted heal); omitted, the harness's legacy
+          uniform clique is kept and runs are byte-identical to pre-S7
+          sweeps. *)
 }
 
 val all : t list

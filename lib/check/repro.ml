@@ -102,7 +102,7 @@ let replay r =
   match Harness.find r.protocol with
   | None -> Error (Printf.sprintf "unknown protocol %S" r.protocol)
   | Some h ->
-    let report = h.Harness.run ~seed:r.seed ~script:r.script in
+    let report = h.Harness.run ~seed:r.seed ~script:r.script () in
     Ok { repro = r; report; matched = matches r.expect report.Harness.verdict }
 
 let pp_replay ppf { repro; report; matched } =

@@ -78,8 +78,8 @@ let candidates (s : Thc_sim.Adversary.t) =
   in
   halves @ singles @ thinned @ shorter_horizon
 
-let shrink (h : Harness.t) ?on_round ~seed ~script ~(report : Harness.report) ()
-    =
+let shrink (h : Harness.t) ?on_round ?network ~seed ~script
+    ~(report : Harness.report) () =
   if not (Monitor.failed report.verdict) then
     invalid_arg "Shrink.shrink: report must be failing";
   let reference = report.verdict in
@@ -99,7 +99,7 @@ let shrink (h : Harness.t) ?on_round ~seed ~script ~(report : Harness.report) ()
       | [] -> ()
       | cand :: rest ->
         incr attempts;
-        let r = h.run ~seed ~script:cand in
+        let r = h.run ?network ~seed ~script:cand () in
         if Monitor.reproduces ~reference r.Harness.verdict then begin
           current := cand;
           current_report := r;

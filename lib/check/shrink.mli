@@ -25,6 +25,7 @@ type result = {
 
 val shrink :
   Harness.t -> ?on_round:(rounds:int -> attempts:int -> events:int -> unit) ->
+  ?network:Thc_network.Model.t ->
   seed:int64 -> script:Thc_sim.Adversary.t -> report:Harness.report -> unit ->
   result
 (** [report] must be the failing report of [script] under [seed] (raises

@@ -24,9 +24,9 @@ let script_for (h : Harness.t) ?crashes ?partitions ~seed () =
   Thc_sim.Adversary.random rng ~n:p.n ~horizon:p.horizon ~crash_budget
     ~partition_budget ()
 
-let run_one (h : Harness.t) ?crashes ?partitions ~seed () =
+let run_one (h : Harness.t) ?crashes ?partitions ?network ~seed () =
   let script = script_for h ?crashes ?partitions ~seed () in
-  { seed; script; report = h.run ~seed ~script }
+  { seed; script; report = h.run ?network ~seed ~script () }
 
 let summarize (h : Harness.t) ~runs outcomes =
   let failures =
@@ -62,17 +62,17 @@ let summarize (h : Harness.t) ~runs outcomes =
         0 outcomes;
   }
 
-let runner (h : Harness.t) ?crashes ?partitions ~base_seed ~runs () =
+let runner (h : Harness.t) ?crashes ?partitions ?network ~base_seed ~runs () =
   {
     Thc_exec.Runner.name = "sweep:" ^ h.name;
     keys =
       List.init (max 0 runs) (fun i ->
           Int64.add base_seed (Int64.of_int i));
-    run_one = (fun seed -> run_one h ?crashes ?partitions ~seed ());
+    run_one = (fun seed -> run_one h ?crashes ?partitions ?network ~seed ());
     summarize = summarize h ~runs;
   }
 
-let sweep (h : Harness.t) ?crashes ?partitions ?progress ?jobs ?stats
+let sweep (h : Harness.t) ?crashes ?partitions ?network ?progress ?jobs ?stats
     ~base_seed ~runs () =
   (* Failure counting rides the in-order outcome stream, so the progress
      lines are byte-identical at every [jobs] value. *)
@@ -84,7 +84,7 @@ let sweep (h : Harness.t) ?crashes ?partitions ?progress ?jobs ?stats
       progress
   in
   Thc_exec.Runner.run ?jobs ~on_outcome ?stats
-    (runner h ?crashes ?partitions ~base_seed ~runs ())
+    (runner h ?crashes ?partitions ?network ~base_seed ~runs ())
 
 let pp_summary ppf s =
   Format.fprintf ppf "@[<v>%s: %d runs, %d pass, %d fail" s.protocol s.runs

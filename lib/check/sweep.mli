@@ -31,13 +31,16 @@ val script_for :
     budget overrides) using a generator derived from [seed] alone. *)
 
 val run_one :
-  Harness.t -> ?crashes:int -> ?partitions:int -> seed:int64 -> unit -> outcome
+  Harness.t ->
+  ?crashes:int -> ?partitions:int -> ?network:Thc_network.Model.t ->
+  seed:int64 -> unit -> outcome
 
 val summarize : Harness.t -> runs:int -> outcome list -> summary
 (** Tally a seed-ordered outcome list (exactly what {!sweep} returns). *)
 
 val runner :
   Harness.t -> ?crashes:int -> ?partitions:int ->
+  ?network:Thc_network.Model.t ->
   base_seed:int64 -> runs:int -> unit ->
   (int64, outcome, summary) Thc_exec.Runner.t
 (** The sweep as the repository-wide runner shape: keys are the seeds
@@ -46,6 +49,7 @@ val runner :
 
 val sweep :
   Harness.t -> ?crashes:int -> ?partitions:int ->
+  ?network:Thc_network.Model.t ->
   ?progress:(completed:int -> failures:int -> unit) ->
   ?jobs:int -> ?stats:(Thc_exec.Pool.stats -> unit) ->
   base_seed:int64 -> runs:int -> unit -> summary

@@ -513,6 +513,7 @@ let minbft_smr =
             delay = Thc_sim.Delay.Uniform (50L, 500L);
             scenario;
             seed;
+            network = None;
           }
         in
         let healthy o =

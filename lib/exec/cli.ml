@@ -24,6 +24,27 @@ let jobs () =
            are merged in key order, so summaries and exports are \
            byte-identical at every value.")
 
+let network_conv =
+  let parse s =
+    match Thc_network.Model.of_string s with
+    | Ok m -> Ok m
+    | Error e -> Error (`Msg (Printf.sprintf "bad network term %S: %s" s e))
+  in
+  let print ppf m = Format.pp_print_string ppf (Thc_network.Model.tag m) in
+  Arg.conv (parse, print)
+
+let network () =
+  Arg.(
+    value
+    & opt (some network_conv) None
+    & info [ "network" ] ~docv:"MODEL"
+        ~doc:
+          "Network model: a preset (uniform, lan, wan, geo2, geo3, asym, \
+           lossy), a topology s-expression, or either followed by rational \
+           strategies ($(b,+race:ALPHA), $(b,+lazy:ALPHA,SLACK)).  Omitted, \
+           the command's legacy uniform clique is kept and output is \
+           byte-identical to earlier releases.  See NETWORKS.md.")
+
 let stats_reporter ~jobs st =
   if jobs > 1 then begin
     let registry = Thc_obsv.Metrics.create () in

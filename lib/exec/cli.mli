@@ -27,6 +27,15 @@ val jobs : unit -> int Cmdliner.Term.t
 (** [--jobs N], default 1 (sequential).  Values above 1 fork worker
     processes; summaries and exports stay byte-identical. *)
 
+val network : unit -> Thc_network.Model.t option Cmdliner.Term.t
+(** [--network MODEL] — the shared network-model flag: a preset name
+    (uniform, lan, wan, geo2, geo3, asym, lossy), a
+    {!Thc_network.Topology} s-expression, or either followed by
+    [+race:ALPHA] / [+lazy:ALPHA,SLACK] rational-strategy terms
+    ({!Thc_network.Model.of_string}).  [None] (the default) keeps each
+    command's legacy uniform clique, byte-identical to pre-S7 output.
+    Documented per-model in NETWORKS.md. *)
+
 val stats_reporter : jobs:int -> Pool.stats -> unit
 (** The standard way a CLI surfaces pool accounting: when [jobs > 1],
     record the run into a fresh {!Thc_obsv.Metrics} registry and print

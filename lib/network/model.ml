@@ -1,0 +1,110 @@
+module Sexp = Thc_util.Sexp
+module Engine = Thc_sim.Engine
+module Adversary = Thc_sim.Adversary
+
+type t = { topology : Topology.t; rational : Rational.t list }
+
+let make ?(rational = []) topology = { topology; rational }
+
+let tag t =
+  String.concat "+" (Topology.tag t.topology :: List.map Rational.tag t.rational)
+
+let describe t =
+  String.concat "; "
+    (Topology.describe t.topology :: List.map Rational.describe t.rational)
+
+let to_sexp t =
+  Sexp.list
+    (Sexp.atom "model" :: Topology.to_sexp t.topology
+    ::
+    (if t.rational = [] then []
+     else
+       [
+         Sexp.list
+           (Sexp.atom "rational" :: List.map Rational.to_sexp t.rational);
+       ]))
+
+let of_sexp = function
+  | Sexp.List (Sexp.Atom "model" :: topo :: rest) ->
+    let rational =
+      match rest with
+      | [] -> []
+      | [ Sexp.List (Sexp.Atom "rational" :: rs) ] ->
+        List.map Rational.of_sexp rs
+      | s ->
+        failwith
+          ("Model: bad rational clause: "
+          ^ String.concat " " (List.map Sexp.to_string s))
+    in
+    { topology = Topology.of_sexp topo; rational }
+  | s -> failwith ("Model: bad model sexp: " ^ Sexp.to_string s)
+
+let of_string s =
+  let s = String.trim s in
+  if String.length s > 0 && s.[0] = '(' then
+    (* A sexp can be a bare topology or a full (model …) form. *)
+    match Sexp.of_string s with
+    | Error e -> Error e
+    | Ok (Sexp.List (Sexp.Atom "model" :: _) as sexp) -> (
+      match of_sexp sexp with
+      | t -> Ok t
+      | exception Failure msg -> Error msg)
+    | Ok sexp -> (
+      match Topology.of_sexp sexp with
+      | topo -> Ok (make topo)
+      | exception Failure msg -> Error msg)
+  else
+    match String.split_on_char '+' s with
+    | [] -> Error "empty network term"
+    | topo :: rats ->
+      Result.bind (Topology.of_string topo) (fun topology ->
+          let rec parse acc = function
+            | [] -> Ok (List.rev acc)
+            | r :: rest ->
+              Result.bind (Rational.of_term r) (fun strat ->
+                  parse (strat :: acc) rest)
+          in
+          Result.map
+            (fun rational -> { topology; rational })
+            (parse [] rats))
+
+let lower t engine ~replicas =
+  Topology.apply t.topology engine;
+  List.iter (fun r -> Rational.apply_links r ~replicas engine) t.rational
+
+(* The times at which a scripted adversary resets every link to its own
+   fast policy: each scripted Heal, plus the auto-heal Adversary.install
+   appends at the horizon when the script does not end healed. *)
+let heal_times (script : Adversary.t) =
+  let heals =
+    List.filter_map
+      (fun (e : Adversary.event) ->
+        match e.action with
+        | Adversary.Heal -> Some e.at
+        | Adversary.Crash _ | Adversary.Block_groups _ | Adversary.Block_link _
+        | Adversary.Corrupt _ ->
+          None)
+      script.events
+  in
+  if Adversary.ends_healed script then heals else heals @ [ script.horizon ]
+
+let install t engine ~replicas ?script () =
+  lower t engine ~replicas;
+  Option.iter
+    (fun script ->
+      List.iter
+        (fun at ->
+          Topology.reapply t.topology engine ~at;
+          Engine.at engine at (fun () ->
+              List.iter
+                (fun r -> Rational.apply_links r ~replicas engine)
+                t.rational))
+        (heal_times script))
+    script
+
+let wrap_client t ~replicas ~f ~clients ~client_index ~pid behavior =
+  List.fold_left
+    (fun b r ->
+      Rational.wrap_client r ~topology:t.topology ~replicas ~f ~clients
+        ~client_index ~pid b)
+    behavior t.rational

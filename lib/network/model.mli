@@ -1,0 +1,61 @@
+(** A complete network model: one {!Topology} plus any number of
+    {!Rational} strategies — the value of a [--network] argument.
+
+    The textual form is what every driver accepts and what export
+    envelopes record: a topology (preset name or sexp) optionally
+    followed by [+]-joined rational terms, e.g. [geo3],
+    [lan+race:0.5], [lossy+lazy:0.3,2000].  {!install} is the one
+    entry point harnesses call: it compiles the topology, applies the
+    lazy-replica link rewrites, and — when an adversary script is in
+    play — schedules re-lowerings after every scripted heal (a heal
+    resets all links to the script's fixed fast policy, which must not
+    silently discard the configured model for the rest of the run). *)
+
+type t = { topology : Topology.t; rational : Rational.t list }
+
+val make : ?rational:Rational.t list -> Topology.t -> t
+
+val tag : t -> string
+(** [<topology tag>] with [+<rational tag>] per strategy — stable, and
+    the exact string recorded in the [network] field of export envelope
+    headers. *)
+
+val describe : t -> string
+
+val to_sexp : t -> Thc_util.Sexp.t
+(** [(model <topology> (rational <strategy>…))]. *)
+
+val of_sexp : Thc_util.Sexp.t -> t
+(** Raises [Failure] on malformed input. *)
+
+val of_string : string -> (t, string) result
+(** Parse a [--network] term: [<topology>[+<rational>…]] where the
+    topology is a {!Topology.presets} name or a sexp, and each rational
+    term is [race:<alpha>] or [lazy:<alpha>[,<slack_us>]]. *)
+
+val install :
+  t ->
+  'm Thc_sim.Engine.t ->
+  replicas:int ->
+  ?script:Thc_sim.Adversary.t ->
+  unit ->
+  unit
+(** Compile the model onto the engine: {!Topology.apply}, then
+    {!Rational.apply_links} for each strategy, then — if [script] is
+    given — schedule a re-lowering ({!Topology.reapply} + lazy links)
+    after every scripted [Heal] (and after the auto-heal
+    {!Thc_sim.Adversary.install} appends at the horizon when the script
+    does not end healed).  Call {e after} {!Thc_sim.Adversary.install}
+    so the same-time tie-break runs the re-lowering after the heal. *)
+
+val wrap_client :
+  t ->
+  replicas:int ->
+  f:int ->
+  clients:int ->
+  client_index:int ->
+  pid:int ->
+  'm Thc_sim.Engine.behavior ->
+  'm Thc_sim.Engine.behavior
+(** Fold {!Rational.wrap_client} over the model's strategies — the hook
+    harnesses apply to each client behavior they install. *)

@@ -259,9 +259,14 @@ module Unattested = struct
     }
 end
 
-let unattested_under_script ?(f = 1) ~seed ~script () =
+let unattested_under_script ?(f = 1) ?network ~seed ~script () =
   run_unattested ~f ~seed
-    ~configure:(Thc_sim.Adversary.install script)
+    ~configure:(fun engine ->
+      Thc_sim.Adversary.install script engine;
+      Option.iter
+        (fun m ->
+          Thc_network.Model.install m engine ~replicas:((2 * f) + 1) ~script ())
+        network)
     ~until:(max 1_000_000L (Int64.add script.Thc_sim.Adversary.horizon 1_000_000L))
     ()
 

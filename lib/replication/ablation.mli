@@ -42,7 +42,9 @@ val equivocation_fails_against_minbft : ?f:int -> ?seed:int64 -> unit -> result
 (** Expected: [violations = []] and [distinct_ops_at_seq1 <= 1]. *)
 
 val unattested_under_script :
-  ?f:int -> seed:int64 -> script:Thc_sim.Adversary.t -> unit -> result
+  ?f:int ->
+  ?network:Thc_network.Model.t ->
+  seed:int64 -> script:Thc_sim.Adversary.t -> unit -> result
 (** The unattested split attack under an additional scripted fault schedule
     — the known-bad target of the {!Thc_check} fault explorer.  The split
     succeeds under (almost) any admissible schedule; schedules that crash a

@@ -16,6 +16,7 @@ type setup = {
   delay : Thc_sim.Delay.t;
   scenario : scenario;
   seed : int64;
+  network : Thc_network.Model.t option;
 }
 
 type outcome = {
@@ -232,6 +233,29 @@ let apply_scenario (type m) setup ~(engine : m Thc_sim.Engine.t) ~replicas =
       (Thc_sim.Adversary.crashed script);
     Thc_sim.Adversary.install script engine
 
+(* Lower the named network model (if any) onto the engine.  Must run after
+   [apply_scenario]: the model schedules re-lowerings at the script's heal
+   times, and the engine breaks same-time ties by installation order. *)
+let install_network setup ~engine ~replicas =
+  match setup.network with
+  | None -> ()
+  | Some m ->
+    let script =
+      match setup.scenario with
+      | Scripted s -> Some s
+      | Fault_free | Crash_leader _ | Silent_replicas -> None
+    in
+    Thc_network.Model.install m engine ~replicas ?script ()
+
+(* Rational client strategies (racing duplicates) ride on the installed
+   client behaviors; identity when no model is set. *)
+let wrap_net_client setup ~replicas ~clients ~c ~pid behavior =
+  match setup.network with
+  | None -> behavior
+  | Some m ->
+    Thc_network.Model.wrap_client m ~replicas ~f:setup.f ~clients
+      ~client_index:c ~pid behavior
+
 (* The two protocol builders share their shape through a continuation:
    assemble the cluster (engine at the requested tracing level, replicas,
    clients, fault schedule), then hand the engine plus the
@@ -269,11 +293,13 @@ let with_minbft ?(spans = Thc_obsv.Span.nop) setup ~tracing k =
   for c = 0 to clients - 1 do
     let pid = n + c in
     Thc_sim.Engine.set_behavior engine pid
-      (Minbft.client ~rid_base:(c * setup.ops) ~config ~keyring
-         ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
-         ~plan:(plan_for setup c))
+      (wrap_net_client setup ~replicas:n ~clients ~c ~pid
+         (Minbft.client ~rid_base:(c * setup.ops) ~config ~keyring
+            ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+            ~plan:(plan_for setup c)))
   done;
   apply_scenario setup ~engine ~replicas:n;
+  install_network setup ~engine ~replicas:n;
   k engine ~replicas:n
     ~final_view:(fun () ->
       Array.fold_left (fun acc st -> max acc (Minbft.view_of st)) 0 states)
@@ -305,11 +331,13 @@ let with_pbft ?(spans = Thc_obsv.Span.nop) setup ~tracing k =
   for c = 0 to clients - 1 do
     let pid = n + c in
     Thc_sim.Engine.set_behavior engine pid
-      (Pbft.client ~rid_base:(c * setup.ops) ~config ~keyring
-         ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
-         ~plan:(plan_for setup c))
+      (wrap_net_client setup ~replicas:n ~clients ~c ~pid
+         (Pbft.client ~rid_base:(c * setup.ops) ~config ~keyring
+            ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+            ~plan:(plan_for setup c)))
   done;
   apply_scenario setup ~engine ~replicas:n;
+  install_network setup ~engine ~replicas:n;
   k engine ~replicas:n
     ~final_view:(fun () ->
       Array.fold_left (fun acc st -> max acc (Pbft.view_of st)) 0 states)
@@ -350,11 +378,13 @@ let with_ubft ?(spans = Thc_obsv.Span.nop) setup ~tracing k =
   for c = 0 to clients - 1 do
     let pid = n + c in
     Thc_sim.Engine.set_behavior engine pid
-      (Ubft.client ~rid_base:(c * setup.ops) ~config ~keyring
-         ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
-         ~plan:(plan_for setup c))
+      (wrap_net_client setup ~replicas:n ~clients ~c ~pid
+         (Ubft.client ~rid_base:(c * setup.ops) ~config ~keyring
+            ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
+            ~plan:(plan_for setup c)))
   done;
   apply_scenario setup ~engine ~replicas:n;
+  install_network setup ~engine ~replicas:n;
   k engine ~replicas:n
     ~final_view:(fun () ->
       Array.fold_left (fun acc st -> max acc (Ubft.view_of st)) 0 states)

@@ -32,6 +32,12 @@ type setup = {
   delay : Thc_sim.Delay.t;  (** Link delay distribution. *)
   scenario : scenario;
   seed : int64;
+  network : Thc_network.Model.t option;
+      (** Named network model ({!Thc_network.Topology} × rational
+          strategies) compiled onto the links after the cluster is wired;
+          [None] keeps the legacy uniform clique built from [delay], so
+          existing runs stay byte-identical.  Under a [Scripted] scenario
+          the model is re-lowered after every scripted heal. *)
 }
 
 type outcome = {

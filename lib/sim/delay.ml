@@ -23,6 +23,18 @@ let sample_us rng = function
     let d = Thc_util.Rng.exponential rng ~mean in
     int_of_float (Float.max 1.0 d)
 
+let shift t off =
+  let off = if off < 0L then 0L else off in
+  match t with
+  | Const d -> Const (Int64.add d off)
+  | Uniform (lo, hi) -> Uniform (Int64.add lo off, Int64.add hi off)
+  | Exponential m -> Exponential (m +. Int64.to_float off)
+
+let mean_us = function
+  | Const d -> Int64.to_float d
+  | Uniform (lo, hi) -> (Int64.to_float lo +. Int64.to_float hi) /. 2.0
+  | Exponential m -> m
+
 let pp ppf = function
   | Const d -> Format.fprintf ppf "const(%Ldµs)" d
   | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%Ld,%Ldµs)" lo hi

@@ -3,7 +3,13 @@
     Virtual time is in integer microseconds.  Asynchrony in the simulator is
     the combination of sampled delays and adversarial link reconfiguration
     (blocking/healing, see {!Net}); the distributions here cover the
-    well-behaved part. *)
+    well-behaved part.
+
+    Callers rarely assign distributions link by link: the intended
+    high-level entry point is the topology compiler
+    ([Thc_network.Topology.apply]), which lowers a named network model
+    (clique, geo regions, asymmetric, lossy) onto a whole {!Net} policy
+    table built from these distributions. *)
 
 type t =
   | Const of int64  (** Fixed delay. *)
@@ -18,5 +24,19 @@ val sample : Thc_util.Rng.t -> t -> int64
 val sample_us : Thc_util.Rng.t -> t -> int
 (** Exactly {!sample} — same RNG consumption, same value — returned as
     an immediate [int] so the scheduler's arithmetic stays unboxed. *)
+
+val shift : t -> int64 -> t
+(** Add a constant offset (µs, clamped to ≥ 0) while preserving the
+    constructor — [Const d] stays [Const], [Uniform (lo, hi)] shifts both
+    bounds, [Exponential m] shifts the mean — so a shifted distribution
+    consumes exactly the same RNG draws as the original.  Used by the
+    lazy-replica rational strategy to slow a link without perturbing any
+    other link's samples. *)
+
+val mean_us : t -> float
+(** Expected delay in µs ([Const d] → d; [Uniform (lo, hi)] → midpoint;
+    [Exponential m] → m).  The ranking key for "fastest replica" style
+    decisions (e.g. the racing-client strategy), never used for
+    sampling. *)
 
 val pp : Format.formatter -> t -> unit

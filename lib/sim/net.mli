@@ -6,7 +6,13 @@
     ([Block], the paper's "arbitrarily delayed"), or drop them ([Drop],
     used only on links from Byzantine processes or to model fair-loss
     experiments — correct-to-correct links must stay eventually live for
-    the asynchronous model's guarantees to apply). *)
+    the asynchronous model's guarantees to apply).
+
+    Hand-setting links is the low-level interface; the intended
+    high-level entry point is the topology compiler
+    ([Thc_network.Topology.apply]), which lowers a named network model —
+    clique, geo regions, asymmetric skew, seeded loss — onto this policy
+    table in one call and schedules any heals it needs. *)
 
 type policy =
   | Deliver of Delay.t  (** Deliver after a sampled delay. *)

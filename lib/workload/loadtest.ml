@@ -21,6 +21,7 @@ type point = {
   batch : int;
   seed : int64;
   delay : Thc_sim.Delay.t;
+  network : Thc_network.Model.t option;
 }
 
 type result = {
@@ -68,6 +69,13 @@ let client_behaviors (type m) p ~n ~keyring
             ~window ~think_us
             ~ops:(W.ops p.spec ~seed:p.seed ~client:c)
             ~wrap ~unwrap
+      in
+      let behavior =
+        match p.network with
+        | None -> behavior
+        | Some m ->
+          Thc_network.Model.wrap_client m ~replicas:n ~f:p.f
+            ~clients:p.spec.W.clients ~client_index:c ~pid behavior
       in
       (pid, behavior))
 
@@ -156,6 +164,9 @@ let run_minbft p =
        ~open_client:(fun ~rid_base ~ident ~plan ->
          Minbft.client ~rid_base ~config ~keyring ~ident ~plan)
        ~wrap:Minbft.wrap_request ~unwrap:Minbft.unwrap_reply);
+  Option.iter
+    (fun m -> Thc_network.Model.install m engine ~replicas:n ())
+    p.network;
   let trace =
     Thc_sim.Engine.run ~until:(W.horizon_us p.spec) ~max_events:20_000_000
       engine
@@ -189,6 +200,9 @@ let run_pbft p =
        ~open_client:(fun ~rid_base ~ident ~plan ->
          Pbft.client ~rid_base ~config ~keyring ~ident ~plan)
        ~wrap:Pbft.wrap_request ~unwrap:Pbft.unwrap_reply);
+  Option.iter
+    (fun m -> Thc_network.Model.install m engine ~replicas:n ())
+    p.network;
   let trace =
     Thc_sim.Engine.run ~until:(W.horizon_us p.spec) ~max_events:20_000_000
       engine
@@ -230,6 +244,9 @@ let run_ubft p =
        ~open_client:(fun ~rid_base ~ident ~plan ->
          Ubft.client ~rid_base ~config ~keyring ~ident ~plan)
        ~wrap:Ubft.wrap_request ~unwrap:Ubft.unwrap_reply);
+  Option.iter
+    (fun m -> Thc_network.Model.install m engine ~replicas:n ())
+    p.network;
   let trace =
     Thc_sim.Engine.run ~until:(W.horizon_us p.spec) ~max_events:20_000_000
       engine
@@ -313,7 +330,7 @@ let result_to_json r =
         J.Obj (List.map (fun (k, v) -> (k, J.Float v)) r.phase_p50_us) );
     ]
 
-let export ~seed results =
+let export ?network ~seed results =
   let b = Buffer.create 4096 in
   let line j =
     Buffer.add_string b (J.to_string j);
@@ -323,7 +340,14 @@ let export ~seed results =
     (Thc_obsv.Envelope.header ~typ:"loadtest" ~schema ~seed
        ~jobs:(List.length results)
        ~git:(Thc_exec.Gitinfo.describe ())
-       ~extra:[ ("points", J.Int (List.length results)) ]
+       ~extra:
+         (("points", J.Int (List.length results))
+         ::
+         (* Only emitted when a model is set, so pre-S7 exports keep
+            their exact bytes; readers treat it as optional. *)
+         (match network with
+         | None -> []
+         | Some m -> [ ("network", J.Str (Thc_network.Model.tag m)) ]))
        ());
   List.iter (fun r -> line (result_to_json r)) results;
   Buffer.contents b

@@ -26,6 +26,12 @@ type point = {
   batch : int;  (** Leader batch size (clamped to ≥ 1). *)
   seed : int64;
   delay : Thc_sim.Delay.t;
+  network : Thc_network.Model.t option;
+      (** Named network model compiled onto the links after the cluster is
+          wired ({!Thc_network.Model.install}); rational client strategies
+          wrap the workload's client behaviors.  [None] keeps the legacy
+          uniform clique built from [delay] — pre-S7 points stay
+          byte-identical. *)
 }
 
 type result = {
@@ -86,10 +92,13 @@ val sweep :
 val schema : string
 (** ["thc-loadtest/v1"]. *)
 
-val export : seed:int64 -> result list -> string
+val export :
+  ?network:Thc_network.Model.t -> seed:int64 -> result list -> string
 (** Envelope header line ({!Thc_obsv.Envelope}: type, schema, seed, jobs =
-    point count, git revision, points) then one canonical-JSON [point]
-    line per result.  Byte-deterministic within a checkout. *)
+    point count, git revision, points, and — when [network] is given — the
+    model's {!Thc_network.Model.tag}) then one canonical-JSON [point]
+    line per result.  Byte-deterministic within a checkout; omitting
+    [network] reproduces pre-S7 exports exactly. *)
 
 type row = {
   r_protocol : string;

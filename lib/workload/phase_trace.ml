@@ -103,16 +103,22 @@ let export campaign report =
        ~jobs:(List.length campaign.seeds)
        ~git:(Thc_exec.Gitinfo.describe ())
        ~extra:
-         [
-           ( "protocol",
-             J.Str
-               (match campaign.setup.Harness.protocol with
-               | Harness.Minbft_protocol -> "minbft"
-               | Harness.Pbft_protocol -> "pbft"
-               | Harness.Ubft_protocol -> "ubft") );
-           ("seeds", J.Int (List.length campaign.seeds));
-           ("spans", J.Int report.summary.Span.spans_total);
-         ]
+         ([
+            ( "protocol",
+              J.Str
+                (match campaign.setup.Harness.protocol with
+                | Harness.Minbft_protocol -> "minbft"
+                | Harness.Pbft_protocol -> "pbft"
+                | Harness.Ubft_protocol -> "ubft") );
+            ("seeds", J.Int (List.length campaign.seeds));
+            ("spans", J.Int report.summary.Span.spans_total);
+          ]
+         (* Network tag only when a model is set: pre-S7 exports keep
+            their exact bytes. *)
+         @
+         match campaign.setup.Harness.network with
+         | None -> []
+         | Some m -> [ ("network", J.Str (Thc_network.Model.tag m)) ])
        ());
   List.iter
     (fun rd ->

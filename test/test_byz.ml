@@ -158,7 +158,7 @@ let test_harness_registration () =
       let clean = get ("minbft-" ^ aname) in
       let broken = get ("unattested-" ^ aname) in
       let run (h : Thc_check.Harness.t) =
-        (h.Thc_check.Harness.run ~seed:1L ~script:empty_script)
+        (h.Thc_check.Harness.run ~seed:1L ~script:empty_script ())
           .Thc_check.Harness.verdict
       in
       Alcotest.(check bool)
@@ -182,7 +182,7 @@ let test_ubft_harness_registration () =
           (aname ^ " clean under empty script")
           false
           (Thc_check.Monitor.failed
-             (h.Thc_check.Harness.run ~seed:1L ~script:empty_script)
+             (h.Thc_check.Harness.run ~seed:1L ~script:empty_script ())
                .Thc_check.Harness.verdict))
     [ A.Register_forge; A.Withheld_append ]
 

@@ -45,6 +45,7 @@ let explore_trace () =
          delay = fast;
          scenario = H.Scripted script;
          seed = 42L;
+         network = None;
        })
 
 (* The attack driver's flagship cell: equivocation against attested MinBFT
@@ -63,6 +64,7 @@ let loadtest_trace () =
          batch = 4;
          seed = 29L;
          delay = fast;
+         network = None;
          spec =
            {
              W.clients = 4;
@@ -87,6 +89,7 @@ let bench_s1_trace () =
          delay = fast;
          scenario = H.Fault_free;
          seed = 17L;
+         network = None;
        })
 
 let corpus =

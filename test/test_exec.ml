@@ -189,6 +189,7 @@ let loadtest_template =
     batch = 1;
     seed = 5L;
     delay = Thc_sim.Delay.Uniform (50L, 500L);
+    network = None;
     spec =
       {
         W.clients = 2;
@@ -250,6 +251,7 @@ let test_phase_trace_export_jobs_identical () =
           delay = Thc_sim.Delay.Uniform (50L, 500L);
           scenario = Thc_replication.Harness.Fault_free;
           seed = 1L;
+          network = None;
         };
       seeds = [ 1L; 2L; 3L ];
     }
@@ -291,6 +293,7 @@ let test_replication_grid_jobs_identical () =
         delay = Thc_sim.Delay.Uniform (50L, 500L);
         scenario = Thc_replication.Harness.Fault_free;
         seed = 17L;
+        network = None;
       }
   in
   let summarise rs =

@@ -361,6 +361,7 @@ let test_replication_export_roundtrip () =
         delay = Thc_sim.Delay.Uniform (50L, 500L);
         scenario = Thc_replication.Harness.Fault_free;
         seed = 3L;
+        network = None;
       }
   in
   (match Thc_sim.Trace.of_jsonl export with
@@ -408,6 +409,7 @@ let test_export_deterministic () =
            delay = Thc_sim.Delay.Uniform (50L, 500L);
            scenario = Thc_replication.Harness.Fault_free;
            seed = 3L;
+           network = None;
          })
   in
   Alcotest.(check string) "same seed, byte-identical export" (run ()) (run ())

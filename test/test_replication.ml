@@ -215,6 +215,7 @@ let setup protocol scenario seed =
     delay = Thc_sim.Delay.Uniform (50L, 500L);
     scenario;
     seed;
+    network = None;
   }
 
 let healthy o =

@@ -123,6 +123,7 @@ let point ?(protocol = L.Minbft_protocol) ?(batch = 1)
     batch;
     seed = 41L;
     delay = Thc_sim.Delay.Uniform (50L, 500L);
+    network = None;
     spec = spec ~clients:3 ~requests_per_client:10 ~arrival ();
   }
 
