@@ -51,6 +51,12 @@ let section title =
 module J = Thc_obsv.Json
 module Pool = Thc_exec.Pool
 
+(* Every (label, protocol) pair below goes through the one codec
+   (Thc_replication.Protocol) — no hand-copied name maps. *)
+let pname = Thc_replication.Protocol.to_string
+
+let with_names ps = List.map (fun p -> (pname p, p)) ps
+
 (* Parallelism for the sweep-shaped tables, set once from --jobs.  Tables
    read it instead of threading a parameter through every section. *)
 let jobs = ref 1
@@ -608,10 +614,7 @@ let table_s1 () =
       ]
   in
   let protocols =
-    [
-      ("minbft", Thc_replication.Harness.Minbft_protocol);
-      ("pbft", Thc_replication.Harness.Pbft_protocol);
-    ]
+    with_names [ Thc_replication.Protocol.Minbft; Thc_replication.Protocol.Pbft ]
   in
   let scenarios =
     [
@@ -634,18 +637,8 @@ let table_s1 () =
   in
   let run_cell (f, _, protocol, _, scenario) =
     Thc_replication.Harness.run
-      {
-        protocol;
-        f;
-        ops = 25;
-        clients = 1;
-        batch = 1;
-        interval = 5_000L;
-        delay = Thc_sim.Delay.Uniform (50L, 500L);
-        scenario;
-        seed = 17L;
-        network = !bench_network;
-      }
+      (Thc_replication.Harness.Setup.make ~protocol ~f ~scenario ~seed:17L
+         ?network:!bench_network ())
   in
   (* With --jobs > 1, time the grid both ways and report the wall-clock win.
      The comparison line goes to stdout only in parallel runs, so the default
@@ -722,18 +715,8 @@ let table_s1b () =
         (fun (dname, delay) ->
           let o =
             Thc_replication.Harness.run
-              {
-                protocol;
-                f = 1;
-                ops = 25;
-                clients = 1;
-                batch = 1;
-                interval = 5_000L;
-                delay;
-                scenario = Thc_replication.Harness.Fault_free;
-                seed = 19L;
-                network = !bench_network;
-              }
+              (Thc_replication.Harness.Setup.make ~protocol ~f:1 ~delay
+                 ~seed:19L ?network:!bench_network ())
           in
           let top =
             o.breakdown
@@ -758,10 +741,7 @@ let table_s1b () =
               top;
             ])
         delays)
-    [
-      ("minbft", Thc_replication.Harness.Minbft_protocol);
-      ("pbft", Thc_replication.Harness.Pbft_protocol);
-    ];
+    (with_names [ Thc_replication.Protocol.Minbft; Thc_replication.Protocol.Pbft ]);
   Thc_util.Table.print t;
   print_endline
     "(latency tracks the delay distribution with the same protocol-phase\n\
@@ -845,7 +825,7 @@ let table_s3 () =
               Printf.sprintf "%.3f" r.L.trusted_per_request;
             ])
         results)
-    [ ("minbft", L.Minbft_protocol); ("pbft", L.Pbft_protocol) ];
+    (with_names [ Thc_replication.Protocol.Minbft; Thc_replication.Protocol.Pbft ]);
   Thc_util.Table.print t;
   print_endline
     "(one trusted-counter attestation seals a whole MinBFT batch, so\n\
@@ -968,18 +948,8 @@ let bechamel_tests () =
       (Staged.stage (fun () ->
            ignore
              (Thc_replication.Harness.run
-                {
-                  protocol;
-                  f = 1;
-                  ops = 10;
-                  clients = 1;
-                  batch = 1;
-                  interval = 5_000L;
-                  delay = Thc_sim.Delay.Uniform (50L, 500L);
-                  scenario = Thc_replication.Harness.Fault_free;
-                  seed = 23L;
-                  network = !bench_network;
-                })))
+                (Thc_replication.Harness.Setup.make ~protocol ~f:1 ~ops:10
+                   ~seed:23L ?network:!bench_network ()))))
   in
   let t_sig =
     let k = keyring ~n:2 ~seed:29L in
@@ -997,8 +967,8 @@ let bechamel_tests () =
       t_l1;
       t_t1;
       t_a1;
-      smr Thc_replication.Harness.Minbft_protocol "s1/minbft-10ops-f1";
-      smr Thc_replication.Harness.Pbft_protocol "s1/pbft-10ops-f1";
+      smr Thc_replication.Harness.Minbft "s1/minbft-10ops-f1";
+      smr Thc_replication.Harness.Pbft "s1/pbft-10ops-f1";
       t_sig;
     ]
 
@@ -1057,18 +1027,8 @@ let s4_timed f =
   (r, Unix.gettimeofday () -. t0)
 
 let s4_cell ~ops ~clients ~seed =
-  {
-    Thc_replication.Harness.protocol = Thc_replication.Harness.Minbft_protocol;
-    f = 1;
-    ops;
-    clients;
-    batch = 1;
-    interval = 5_000L;
-    delay = Thc_sim.Delay.Uniform (50L, 500L);
-    scenario = Thc_replication.Harness.Fault_free;
-    seed;
-    network = !bench_network;
-  }
+  Thc_replication.Harness.Setup.make ~protocol:Thc_replication.Harness.Minbft
+    ~f:1 ~ops ~clients ~seed ?network:!bench_network ()
 
 (* Throughput mode: same cluster and schedule as an S1 cell, but
    Outputs_only tracing and the lite reduction, so nearly all wall time
@@ -1226,27 +1186,14 @@ let table_s5 () =
       summary.Thc_obsv.Span.rows
   in
   let setup protocol : Thc_replication.Harness.setup =
-    {
-      protocol;
-      f = 1;
-      ops = 25;
-      clients = 2;
-      batch = 4;
-      interval = 5_000L;
-      delay = Thc_sim.Delay.Uniform (50L, 500L);
-      scenario = Thc_replication.Harness.Fault_free;
-      seed = 17L;
-      network = !bench_network;
-    }
+    Thc_replication.Harness.Setup.make ~protocol ~f:1 ~clients:2 ~batch:4
+      ~seed:17L ?network:!bench_network ()
   in
   List.iter
     (fun (vname, protocol) ->
       let _, views, ops = Thc_replication.Harness.run_spans (setup protocol) in
       add_rows vname (Thc_obsv.Span.summarize ~ops views))
-    [
-      ("minbft", Thc_replication.Harness.Minbft_protocol);
-      ("pbft", Thc_replication.Harness.Pbft_protocol);
-    ];
+    (with_names [ Thc_replication.Protocol.Minbft; Thc_replication.Protocol.Pbft ]);
   let spans = Thc_obsv.Span.create () in
   ignore
     (Thc_replication.Ablation.Unattested.run ~f:1 ~spans ~seed:17L
@@ -1277,11 +1224,7 @@ let table_s6 () =
       ]
   in
   let protocols =
-    [
-      ("minbft", Thc_replication.Harness.Minbft_protocol);
-      ("pbft", Thc_replication.Harness.Pbft_protocol);
-      ("ubft", Thc_replication.Harness.Ubft_protocol);
-    ]
+    with_names Thc_replication.Protocol.all
   in
   let cells =
     count_keys
@@ -1296,18 +1239,8 @@ let table_s6 () =
      currencies of adjacent Figure 1 classes; PBFT spends neither. *)
   let run_cell (f, _, protocol) =
     Thc_replication.Harness.run
-      {
-        protocol;
-        f;
-        ops = 25;
-        clients = 2;
-        batch = 1;
-        interval = 5_000L;
-        delay = Thc_sim.Delay.Uniform (50L, 500L);
-        scenario = Thc_replication.Harness.Fault_free;
-        seed = 17L;
-        network = !bench_network;
-      }
+      (Thc_replication.Harness.Setup.make ~protocol ~f ~clients:2 ~seed:17L
+         ?network:!bench_network ())
   in
   let outcomes = pool_run ~jobs:!jobs run_cell cells in
   let pq h q =
@@ -1361,11 +1294,7 @@ let table_s7 () =
       ]
   in
   let protocols =
-    [
-      ("minbft", Thc_replication.Harness.Minbft_protocol);
-      ("pbft", Thc_replication.Harness.Pbft_protocol);
-      ("ubft", Thc_replication.Harness.Ubft_protocol);
-    ]
+    with_names Thc_replication.Protocol.all
   in
   (* Named presets from the same parser the CLIs use, so every cell of this
      grid is reproducible as `thc ... --network <name>`. *)
@@ -1390,18 +1319,8 @@ let table_s7 () =
      across the WAN more often. *)
   let run_cell (_, protocol, _, m) =
     Thc_replication.Harness.run
-      {
-        protocol;
-        f = 1;
-        ops = 25;
-        clients = 2;
-        batch = 1;
-        interval = 5_000L;
-        delay = Thc_sim.Delay.Uniform (50L, 500L);
-        scenario = Thc_replication.Harness.Fault_free;
-        seed = 17L;
-        network = Some m;
-      }
+      (Thc_replication.Harness.Setup.make ~protocol ~f:1 ~clients:2 ~seed:17L
+         ~network:m ())
   in
   let outcomes = pool_run ~jobs:!jobs run_cell cells in
   let pq h q =
@@ -1452,6 +1371,149 @@ let table_s7 () =
     \ `thc smr <proto> --network <name>`-style runs at seed 17)\n"
     (ratio "lan") (ratio "geo3")
 
+(* ----------------------------------------------------------------------- *)
+(* S8: durability — attested checkpoints, truncation, state transfer        *)
+(* ----------------------------------------------------------------------- *)
+
+let table_s8 () =
+  section
+    "S8 — durability: attested checkpoints bound the log, verified state \
+     transfer survives attack";
+  (* Part 1: the checkpoint-interval sweep.  The live log's high-water-mark
+     must stay within Durability.bound (2 x interval); interval 0 is the
+     unbounded baseline. *)
+  let t =
+    Thc_util.Table.create
+      [
+        "interval"; "completed"; "log hwm"; "bound"; "stable"; "truncations";
+        "trusted/req"; "safe";
+      ]
+  in
+  let intervals = count_keys [ 0; 2; 4; 8 ] in
+  let run_interval interval =
+    Thc_replication.Harness.run
+      (Thc_replication.Harness.Setup.make ~ops:60
+         ~checkpoint_interval:interval
+         ~protocol:Thc_replication.Protocol.Minbft ~f:1 ~seed:11L ())
+  in
+  let outcomes = pool_run ~jobs:!jobs run_interval intervals in
+  let all_bounds = ref true in
+  List.iter2
+    (fun interval (o : Thc_replication.Harness.outcome) ->
+      let d = o.Thc_replication.Harness.durability in
+      let bound =
+        Thc_replication.Durability.bound ~checkpoint_interval:interval
+      in
+      let ok =
+        Thc_replication.Durability.bound_ok ~checkpoint_interval:interval d
+      in
+      all_bounds := !all_bounds && ok;
+      let key = Printf.sprintf "interval%d" interval in
+      record_i "s8" (key ^ ".log_hwm") d.Thc_replication.Durability.hwm;
+      record_i "s8" (key ^ ".stable_upto")
+        d.Thc_replication.Durability.stable_upto;
+      record_i "s8" (key ^ ".truncations")
+        d.Thc_replication.Durability.truncations;
+      record_i "s8" (key ^ ".completed") o.completed;
+      record_b "s8" (key ^ ".bound_ok") ok;
+      record_f "s8" (key ^ ".trusted_per_req") o.trusted_per_request;
+      Thc_util.Table.add_row t
+        [
+          (if interval = 0 then "off" else string_of_int interval);
+          Printf.sprintf "%d/60" o.completed;
+          string_of_int d.Thc_replication.Durability.hwm;
+          (if interval = 0 then "-" else string_of_int bound);
+          string_of_int d.Thc_replication.Durability.stable_upto;
+          string_of_int d.Thc_replication.Durability.truncations;
+          Printf.sprintf "%.1f" o.trusted_per_request;
+          (if o.safety_violations = [] then "yes" else "NO");
+        ])
+    intervals outcomes;
+  record_b "s8" "all_bounds_hold" !all_bounds;
+  Thc_util.Table.print t;
+  (* Part 2: restart and recovery.  A non-leader replica loses all volatile
+     state mid-workload; with checkpoints it rejoins by verified state
+     transfer, without them its only donor material is the full log replay
+     the truncation already threw away. *)
+  let restart interval =
+    Thc_replication.Harness.run
+      (Thc_replication.Harness.Setup.make ~ops:30
+         ~scenario:
+           (Thc_replication.Harness.Restart_replica { pid = 2; at = 60_000L })
+         ~checkpoint_interval:interval
+         ~protocol:Thc_replication.Protocol.Minbft ~f:1 ~seed:11L ())
+  in
+  let r4 = restart 4 in
+  record_i "s8" "restart.interval4.completed" r4.completed;
+  record_i "s8" "restart.interval4.stable_upto"
+    r4.Thc_replication.Harness.durability.Thc_replication.Durability.stable_upto;
+  record_b "s8" "restart.interval4.safe" (r4.safety_violations = []);
+  Printf.printf
+    "(restart at 60ms, interval 4: %d/30 served, stable checkpoint %d, \
+     safety %s)\n"
+    r4.completed
+    r4.Thc_replication.Harness.durability.Thc_replication.Durability.stable_upto
+    (if r4.safety_violations = [] then "intact" else "VIOLATED");
+  (* Part 3: the checkpoint attack family — forged certificates, stale
+     replays and join-time equivocation bounce off the attested protocol
+     and fork the unattested one, exactly like the live-protocol catalog. *)
+  let t =
+    Thc_util.Table.create
+      [ "attack"; "target"; "violations"; "hw rejections"; "verdict" ]
+  in
+  let all_hold = ref true in
+  let cells =
+    count_keys
+      (List.concat_map
+         (fun attack ->
+           List.map
+             (fun target -> (attack, target))
+             [ Thc_byz.Attack.Minbft; Thc_byz.Attack.Unattested ])
+         Thc_byz.Attack.ckpt_all)
+  in
+  let rows =
+    pool_run ~jobs:!jobs
+      (fun (attack, target) -> Thc_byz.Attack.run ~seed:1L ~target ~attack ())
+      cells
+  in
+  List.iter2
+    (fun (attack, target) r ->
+      let aname = Thc_byz.Attack.name attack in
+      let tname = Thc_byz.Attack.target_name target in
+      let holds = Thc_byz.Attack.holds r in
+      all_hold := !all_hold && holds;
+      record_i "s8"
+        (Printf.sprintf "%s.%s.violations" aname tname)
+        r.Thc_byz.Attack.safety_violations;
+      record_i "s8"
+        (Printf.sprintf "%s.%s.rejections" aname tname)
+        r.Thc_byz.Attack.rejections;
+      Thc_util.Table.add_row t
+        [
+          aname;
+          tname;
+          string_of_int r.Thc_byz.Attack.safety_violations;
+          (match target with
+          | Thc_byz.Attack.Minbft | Thc_byz.Attack.Ubft ->
+            string_of_int r.Thc_byz.Attack.rejections
+          | Thc_byz.Attack.Unattested -> "-");
+          (if holds then "as predicted" else "DIVERGES");
+        ])
+    cells rows;
+  record_b "s8" "ckpt_attacks_hold" !all_hold;
+  Thc_util.Table.print t;
+  (* Part 4: the soak headline — doubling horizons, hwm flat vs growing. *)
+  let soak = Thc_workload.Soak.run ~rounds:2 ~base_ops:25 ~seed:11L () in
+  record_b "s8" "soak.stabilised" soak.Thc_workload.Soak.stabilised;
+  record_i "s8" "soak.baseline_growth" soak.Thc_workload.Soak.baseline_growth;
+  Printf.printf
+    "(soak: log hwm %s across doubling horizons under interval %d; the\n\
+    \ uncheckpointed baseline grew %+d entries — the log is the memory\n\
+    \ unless a quorum certifies a prefix and the replicas throw it away)\n"
+    (if soak.Thc_workload.Soak.stabilised then "stabilised"
+     else "DID NOT stabilise")
+    soak.Thc_workload.Soak.interval soak.Thc_workload.Soak.baseline_growth
+
 let tables =
   [
     ("f1", table_f1);
@@ -1471,6 +1533,7 @@ let tables =
     ("s5", table_s5);
     ("s6", table_s6);
     ("s7", table_s7);
+    ("s8", table_s8);
   ]
 
 let main jobs_n only network =

@@ -10,6 +10,16 @@ open Cmdliner
    Pool utilization goes to stderr via the obsv registry; stdout stays
    byte-identical at every --jobs value. *)
 module Cli = Thc_exec.Cli
+module Protocol = Thc_replication.Protocol
+
+(* Every protocol name↔value map below derives from Protocol, the tree's
+   one codec; subcommands only add their own extras (both/all). *)
+let protocol_assoc = List.map (fun p -> (Protocol.to_string p, p)) Protocol.all
+
+let protocol_label = function
+  | Protocol.Minbft -> "MinBFT (2f+1, trusted counters)"
+  | Protocol.Pbft -> "PBFT (3f+1 baseline)"
+  | Protocol.Ubft -> "uBFT-sim (2f+1, SWMR registers)"
 
 (* --- figure1 ------------------------------------------------------------- *)
 
@@ -224,8 +234,8 @@ let smr_cmd =
       value
       & opt
           (enum
-             [ ("minbft", `Minbft); ("pbft", `Pbft); ("ubft", `Ubft);
-               ("both", `Both); ("all", `All) ])
+             (List.map (fun (s, p) -> (s, `One p)) protocol_assoc
+             @ [ ("both", `Both); ("all", `All) ]))
           `Both
       & info [ "protocol" ]
           ~doc:"minbft|pbft|ubft|both (minbft+pbft)|all.")
@@ -236,54 +246,92 @@ let smr_cmd =
     Arg.(
       value
       & opt (enum
-               [ ("fault-free", `Ff); ("crash-leader", `Cl); ("silent", `Si) ])
+               [ ("fault-free", `Ff); ("crash-leader", `Cl); ("silent", `Si);
+                 ("restart", `Restart) ])
           `Ff
-      & info [ "scenario" ] ~doc:"fault-free|crash-leader|silent.")
+      & info [ "scenario" ]
+          ~doc:
+            "fault-free|crash-leader|silent|restart (a non-leader replica \
+             crashes mid-run, loses all volatile state and rejoins via \
+             verified state transfer; minbft only — pair with \
+             $(b,--checkpoint-interval)).")
+  in
+  let ckpt =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-interval" ]
+          ~doc:
+            "Attested-checkpoint cadence in executed slots (0 = off): \
+             checkpoint certificates, log truncation and state transfer.")
   in
   let seed = Cli.seed ~default:11L () in
-  let run protocol f ops scenario seed =
+  let run protocol f ops scenario ckpt seed =
     let scenario =
       match scenario with
       | `Ff -> Thc_replication.Harness.Fault_free
       | `Cl -> Thc_replication.Harness.Crash_leader 40_000L
       | `Si -> Thc_replication.Harness.Silent_replicas
+      | `Restart ->
+        (* Last replica (never the view-0 leader) restarts mid-workload. *)
+        Thc_replication.Harness.Restart_replica { pid = 2 * f; at = 60_000L }
     in
     let base protocol =
-      {
-        Thc_replication.Harness.protocol;
-        f;
-        ops;
-        clients = 1;
-        batch = 1;
-        interval = 5_000L;
-        delay = Thc_sim.Delay.Uniform (50L, 500L);
-        scenario;
-        seed;
-        network = None;
-      }
+      Thc_replication.Harness.Setup.make ~protocol ~f ~ops ~scenario
+        ~checkpoint_interval:ckpt ~seed ()
     in
-    let show name p =
+    let show p =
       let o = Thc_replication.Harness.run (base p) in
-      Format.printf "=== %s ===@.%a@.@." name Thc_replication.Harness.pp_outcome o
+      Format.printf "=== %s ===@.%a@.@." (protocol_label p)
+        Thc_replication.Harness.pp_outcome o
     in
-    (match protocol with
-    | `Minbft -> show "MinBFT (2f+1, trusted counters)" Thc_replication.Harness.Minbft_protocol
-    | `Pbft -> show "PBFT (3f+1 baseline)" Thc_replication.Harness.Pbft_protocol
-    | `Ubft -> show "uBFT-sim (2f+1, SWMR registers)" Thc_replication.Harness.Ubft_protocol
+    match protocol with
+    | `One p -> show p
     | `Both ->
-      show "MinBFT (2f+1, trusted counters)" Thc_replication.Harness.Minbft_protocol;
-      show "PBFT (3f+1 baseline)" Thc_replication.Harness.Pbft_protocol
-    | `All ->
-      show "MinBFT (2f+1, trusted counters)" Thc_replication.Harness.Minbft_protocol;
-      show "PBFT (3f+1 baseline)" Thc_replication.Harness.Pbft_protocol;
-      show "uBFT-sim (2f+1, SWMR registers)" Thc_replication.Harness.Ubft_protocol)
+      show Protocol.Minbft;
+      show Protocol.Pbft
+    | `All -> List.iter show Protocol.all
   in
   Cmd.v
     (Cmd.info "smr"
        ~doc:
          "Run the replicated-state-machine comparison (MinBFT vs PBFT vs \
           uBFT-sim).")
-    Term.(const run $ protocol $ f $ ops $ scenario $ seed)
+    Term.(const run $ protocol $ f $ ops $ scenario $ ckpt $ seed)
+
+(* --- soak ------------------------------------------------------------------ *)
+
+let soak_cmd =
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
+  let interval =
+    Arg.(
+      value & opt int 4
+      & info [ "checkpoint-interval" ]
+          ~doc:"Attested-checkpoint cadence in executed slots (must be > 0).")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 3
+      & info [ "rounds" ] ~doc:"Doubling horizons to run (min 2).")
+  in
+  let base_ops =
+    Arg.(
+      value & opt int 50
+      & info [ "base-ops" ] ~doc:"Requests in the first (shortest) round.")
+  in
+  let seed = Cli.seed ~default:11L () in
+  let run f interval rounds base_ops seed =
+    let r = Thc_workload.Soak.run ~f ~interval ~rounds ~base_ops ~seed () in
+    Format.printf "%a" Thc_workload.Soak.pp_report r;
+    if not r.Thc_workload.Soak.stabilised then exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Long-lived-service soak: run MinBFT over doubling horizons with \
+          and without attested checkpoints and verify the log \
+          high-water-mark stabilises under the truncation bound while the \
+          uncheckpointed baseline's grows.  Exits 1 if it does not.")
+    Term.(const run $ f $ interval $ rounds $ base_ops $ seed)
 
 (* --- loadtest -------------------------------------------------------------- *)
 
@@ -299,11 +347,7 @@ let loadtest_cmd =
   let protocol =
     Arg.(
       required
-      & pos 0
-          (some (enum
-                   [ ("minbft", L.Minbft_protocol); ("pbft", L.Pbft_protocol);
-                     ("ubft", L.Ubft_protocol) ]))
-          None
+      & pos 0 (some Protocol.conv) None
       & info [] ~docv:"PROTOCOL" ~doc:"minbft|pbft|ubft.")
   in
   let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
@@ -544,20 +588,7 @@ let print_ledger_table ~commits trusted_ops =
   end
 
 let report_smr protocol ~name ~f ~ops ~seed ~export =
-  let setup =
-    {
-      Thc_replication.Harness.protocol;
-      f;
-      ops;
-      clients = 1;
-      batch = 1;
-      interval = 5_000L;
-      delay = Thc_sim.Delay.Uniform (50L, 500L);
-      scenario = Thc_replication.Harness.Fault_free;
-      seed;
-      network = None;
-    }
-  in
+  let setup = Thc_replication.Harness.Setup.make ~protocol ~f ~ops ~seed () in
   let o, jsonl = Thc_replication.Harness.run_export setup in
   Printf.printf "=== %s ===\n" name;
   Printf.printf "replicas=%d (+1 client)  f=%d  seed=%Ld  ops=%d\n" o.replicas f
@@ -797,7 +828,10 @@ let report_loadtest ~from =
       let keyed =
         List.filter_map
           (fun (r : L.row) ->
-            if r.L.r_trusted_total > 0 || r.L.r_protocol = "minbft" then
+            if
+              r.L.r_trusted_total > 0
+              || Protocol.of_string r.L.r_protocol = Some Protocol.Minbft
+            then
               Some ((r.L.r_protocol, r.L.r_arrival, r.L.r_rate_rps, r.L.r_window), r)
             else None)
           rows
@@ -902,15 +936,15 @@ let report_cmd =
     let problems =
       match experiment with
       | `Minbft ->
-        report_smr Thc_replication.Harness.Minbft_protocol
+        report_smr Thc_replication.Harness.Minbft
           ~name:"MinBFT (2f+1, trusted counters)" ~f:(fault_bound ~per_fault:2)
           ~ops ~seed ~export
       | `Pbft ->
-        report_smr Thc_replication.Harness.Pbft_protocol
+        report_smr Thc_replication.Harness.Pbft
           ~name:"PBFT (3f+1 baseline)" ~f:(fault_bound ~per_fault:3) ~ops ~seed
           ~export
       | `Ubft ->
-        report_smr Thc_replication.Harness.Ubft_protocol
+        report_smr Thc_replication.Harness.Ubft
           ~name:"uBFT-sim (2f+1, SWMR registers)" ~f:(fault_bound ~per_fault:2)
           ~ops ~seed ~export
       | `Ablation -> report_ablation ~f:(fault_bound ~per_fault:2) ~seed ~export
@@ -1193,7 +1227,11 @@ let attack_cmd =
           kinds
       in
       pp_catalog "trusted-log catalog (minbft / unattested):" A.all;
-      pp_catalog "register catalog (ubft):" A.ubft_all
+      pp_catalog "register catalog (ubft):" A.ubft_all;
+      pp_catalog
+        "checkpoint catalog (minbft / unattested; named runs only — kept \
+         out of the 'all' sweep so its cell grid stays pinned):"
+        A.ckpt_all
     end
     else begin
       let attacks =
@@ -1274,11 +1312,7 @@ let trace_cmd =
   let protocol =
     Arg.(
       required
-      & pos 0
-          (some (enum
-                   [ ("minbft", H.Minbft_protocol); ("pbft", H.Pbft_protocol);
-                     ("ubft", H.Ubft_protocol) ]))
-          None
+      & pos 0 (some Protocol.conv) None
       & info [] ~docv:"PROTOCOL" ~doc:"minbft|pbft|ubft.")
   in
   let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.") in
@@ -1306,18 +1340,7 @@ let trace_cmd =
   let run protocol f ops clients batch interval runs seed jobs top export
       network =
     let setup =
-      {
-        H.protocol;
-        f;
-        ops;
-        clients;
-        batch;
-        interval;
-        delay = Thc_sim.Delay.Uniform (50L, 500L);
-        scenario = H.Fault_free;
-        seed;
-        network;
-      }
+      H.Setup.make ~protocol ~f ~ops ~clients ~batch ~interval ~seed ?network ()
     in
     let campaign =
       {
@@ -1329,11 +1352,7 @@ let trace_cmd =
     Printf.printf
       "=== trace: %s  f=%d  clients=%d  ops/client=%d  batch=%d  seeds=%d \
        (base %Ld) ===\n"
-      (match protocol with
-      | H.Minbft_protocol -> "minbft"
-      | H.Pbft_protocol -> "pbft"
-      | H.Ubft_protocol -> "ubft")
-      f clients ops batch (max 1 runs) seed;
+      (Protocol.to_string protocol) f clients ops batch (max 1 runs) seed;
     let completed =
       List.fold_left (fun acc rd -> acc + rd.PT.rd_completed) 0 report.PT.runs
     in
@@ -1374,5 +1393,5 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group (Cmd.info "thc" ~doc)
           [ figure1_cmd; verify_cmd; scenarios_cmd; problems_cmd; rounds_cmd;
-            smr_cmd; loadtest_cmd; trace_cmd; report_cmd; attack_cmd;
-            explore_cmd; replay_cmd ]))
+            smr_cmd; soak_cmd; loadtest_cmd; trace_cmd; report_cmd;
+            attack_cmd; explore_cmd; replay_cmd ]))

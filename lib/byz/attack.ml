@@ -14,6 +14,9 @@ type kind =
   | Ack_forge
   | Stale_read
   | Withheld_append
+  | Forged_checkpoint
+  | Stale_transfer
+  | Join_equivocation
 
 let all =
   [
@@ -27,6 +30,11 @@ let all =
 
 let ubft_all = [ Register_forge; Ack_forge; Stale_read; Withheld_append ]
 
+(* The durability catalog: state-transfer attacks at a restarting replica.
+   Kept separate from [all] — the thc-attack/v1 sweep cell counts depend on
+   that list's length — and run by dedicated rigs with a scripted restart. *)
+let ckpt_all = [ Forged_checkpoint; Stale_transfer; Join_equivocation ]
+
 let name = function
   | Equivocate -> "equivocation"
   | Replay_stale -> "replay"
@@ -38,6 +46,9 @@ let name = function
   | Ack_forge -> "ack-forge"
   | Stale_read -> "stale-read"
   | Withheld_append -> "withheld-append"
+  | Forged_checkpoint -> "forged-checkpoint"
+  | Stale_transfer -> "stale-transfer"
+  | Join_equivocation -> "join-equivocation"
 
 let of_name = function
   | "equivocation" -> Some Equivocate
@@ -50,6 +61,9 @@ let of_name = function
   | "ack-forge" -> Some Ack_forge
   | "stale-read" -> Some Stale_read
   | "withheld-append" -> Some Withheld_append
+  | "forged-checkpoint" -> Some Forged_checkpoint
+  | "stale-transfer" -> Some Stale_transfer
+  | "join-equivocation" -> Some Join_equivocation
   | _ -> None
 
 let describe = function
@@ -84,6 +98,16 @@ let describe = function
   | Withheld_append ->
     "the corrupted leader withholds all further register appends, \
      leaving its doorbells ringing over an empty log"
+  | Forged_checkpoint ->
+    "a Byzantine donor answers a restarting replica's state-transfer \
+     request with a snapshot under a counterfeit checkpoint certificate"
+  | Stale_transfer ->
+    "a Byzantine donor replays a superseded — but genuinely certified — \
+     checkpoint at a restarting replica, trying to roll the service back"
+  | Join_equivocation ->
+    "a Byzantine donor rides a genuine certificate but lies about the \
+     committed suffix above it, telling the joiner a history no correct \
+     replica has"
 
 let paper_claim = function
   | Equivocate | Replay_stale | Reuse_attestation ->
@@ -110,23 +134,37 @@ let paper_claim = function
     "withholding appends starves the one place followers read from; the \
      register-vote view change replaces the writer and recovers its \
      published prefix"
+  | Forged_checkpoint | Stale_transfer ->
+    "a checkpoint certificate is f+1 trusted-counter attestations, and the \
+     certified floor survives a crash in NVRAM: forged certificates fail \
+     CheckAttestation, genuine-but-superseded ones fall below the floor"
+  | Join_equivocation ->
+    "the certificate covers the checkpoint, not the suffix a donor attaches \
+     to it; demanding f+1 distinct donors per suffix slot puts a correct \
+     replica behind every installed claim, and the next certified \
+     checkpoint jumps whatever stays contested"
 
 type target = Minbft | Unattested | Ubft
 
+(* Target names ride the one protocol codec; "unattested" is the ablation's
+   own label (deliberately not a Protocol.t — it is MinBFT minus the
+   hardware, not a protocol the harness runs). *)
 let target_name = function
-  | Minbft -> "minbft"
+  | Minbft -> R.Protocol.to_string R.Protocol.Minbft
   | Unattested -> "unattested"
-  | Ubft -> "ubft"
+  | Ubft -> R.Protocol.to_string R.Protocol.Ubft
 
-let target_of_name = function
-  | "minbft" -> Some Minbft
-  | "unattested" -> Some Unattested
-  | "ubft" -> Some Ubft
-  | _ -> None
+let target_of_name s =
+  if String.equal s "unattested" then Some Unattested
+  else
+    match R.Protocol.of_string s with
+    | Some R.Protocol.Minbft -> Some Minbft
+    | Some R.Protocol.Ubft -> Some Ubft
+    | Some R.Protocol.Pbft | None -> None
 
 let applies ~target ~attack =
   match target with
-  | Minbft | Unattested -> List.mem attack all
+  | Minbft | Unattested -> List.mem attack all || List.mem attack ckpt_all
   | Ubft -> List.mem attack ubft_all
 
 type result = {
@@ -281,8 +319,11 @@ let minbft_inject ~attack ~engine ~wrap ~trinket ~replica ~attacker_ident ~n ()
       (fun () ->
         rewind_probe trinket;
         equivocate_now ())
-  | Register_forge | Ack_forge | Stale_read | Withheld_append ->
-    (* Register-catalog kinds never reach this rig (see [applies]). *)
+  | Register_forge | Ack_forge | Stale_read | Withheld_append
+  | Forged_checkpoint | Stale_transfer | Join_equivocation ->
+    (* Register- and durability-catalog kinds never reach this rig:
+       [applies] filters the former, [run] routes the latter to the
+       checkpoint rig. *)
     ()
 
 let minbft_detail = function
@@ -310,6 +351,18 @@ let minbft_detail = function
      counter gap"
   | Register_forge | Ack_forge | Stale_read | Withheld_append ->
     "not part of the trusted-log catalog"
+  | Forged_checkpoint ->
+    "the counterfeit certificate dies on CheckAttestation at the joiner \
+     (trinc.check_fail, ckpt.reject_forged); recovery completes from an \
+     honest donor's certified snapshot once the links open"
+  | Stale_transfer ->
+    "the joiner's NVRAM floor outlives its crash: the replayed certificate \
+     is genuine but below the floor (ckpt.reject_stale), so the rollback \
+     never installs"
+  | Join_equivocation ->
+    "the lying suffix rides a genuine certificate but a suffix slot needs \
+     f+1 distinct donors (ckpt.reject_suffix_equivocation); the contested \
+     slot stays out until the next certified checkpoint jumps it"
 
 (* Lower the optional network model onto a rig's engine.  Installed after
    every [Adversary.install] so the re-lowering scheduled at each heal time
@@ -432,6 +485,16 @@ let unattested_detail = function
      time zero — without attested history, silence erases nothing"
   | Register_forge | Ack_forge | Stale_read | Withheld_append ->
     "not part of the unattested catalog"
+  | Forged_checkpoint ->
+    "nothing certifies the snapshot: the joiner installs the fabricated \
+     state wholesale and its next read diverges from its peers"
+  | Stale_transfer ->
+    "the rolled-back snapshot erases a committed slot and the leader \
+     rewrites it with different content; order diverges at the rewritten \
+     slot"
+  | Join_equivocation ->
+    "each restarted replica is handed a different state; the next read \
+     commits at one slot with different results on each"
 
 let unattested_attacker ?network ~attack ~corrupt_at ~script
     (env : R.Ablation.Unattested.env) :
@@ -487,7 +550,9 @@ let unattested_attacker ?network ~attack ~corrupt_at ~script
           arm ctx ~delay:(Int64.add corrupt_at 20_000L) ~tag:phase2
         | Silent_then_lie ->
           arm ctx ~delay:(Int64.add corrupt_at 50_000L) ~tag:phase1
-        | Register_forge | Ack_forge | Stale_read | Withheld_append -> ()));
+        | Register_forge | Ack_forge | Stale_read | Withheld_append
+        | Forged_checkpoint | Stale_transfer | Join_equivocation ->
+          ()));
     on_message = (fun _ ~src:_ _ -> ());
     on_timer;
   }
@@ -496,6 +561,300 @@ let run_unattested ?network ~attack ~f ~seed ~corrupt_at ~script ~until () =
   let r =
     R.Ablation.Unattested.run ~f ~seed
       ~attacker:(unattested_attacker ?network ~attack ~corrupt_at ~script)
+      ~detail:(unattested_detail attack) ~until ()
+  in
+  {
+    attack;
+    target = Unattested;
+    seed;
+    corrupt_at;
+    safety_violations = List.length r.R.Ablation.violations;
+    distinct_ops_at_seq1 = r.R.Ablation.distinct_ops_at_seq1;
+    commits = r.R.Ablation.commits;
+    rejections = 0;
+    trusted_ops = [];
+    messages = r.R.Ablation.messages;
+    duration_us = r.R.Ablation.duration_us;
+    client_finished = false;
+    detail = r.R.Ablation.detail;
+    stalled_spans = [];
+  }
+
+(* --- the durability/checkpoint side --------------------------------------- *)
+
+(* One shared timeline for the checkpoint rigs.  Checkpoints every 2 slots:
+   the five pre-crash operations put the cluster at stable(4) with prev(2);
+   the joiner crashes at 120ms, the attack window runs to the heal at 150ms,
+   and the post-crash operations (slots 6..9) give the joiner two more
+   certified boundaries to finish recovering against. *)
+let ckpt_interval = 2
+
+let ckpt_restart_at = 120_000L
+
+let ckpt_heal_at = 150_000L
+
+let ckpt_plan =
+  [
+    (0L, R.Kv_store.Put ("x", "1"));
+    (10_000L, R.Kv_store.Put ("y", "2"));
+    (20_000L, R.Kv_store.Put ("x", "3"));
+    (30_000L, R.Kv_store.Put ("z", "4"));
+    (40_000L, R.Kv_store.Put ("x", "5"));
+    (150_000L, R.Kv_store.Put ("y", "6"));
+    (160_000L, R.Kv_store.Put ("x", "7"));
+    (170_000L, R.Kv_store.Put ("z", "8"));
+    (180_000L, R.Kv_store.Get "x");
+  ]
+
+let ckpt_minbft_inject ~attack ~engine ~wrap ~trinket ~f ~(byz : R.Minbft.t)
+    ~attacker_ident ~joiner () =
+  let ctx = Wrap.raw_ctx wrap in
+  rewind_probe trinket;
+  (* The byz donor suppresses its own genuine replies to the joiner while
+     the link script holds the honest donors' (see [run_ckpt_minbft]):
+     during the window the only snapshots the joiner sees are the attack's.
+     Everything opens again at the heal. *)
+  Wrap.drop_to wrap joiner;
+  E.at engine ckpt_heal_at (fun () -> Wrap.allow_all wrap);
+  let inject_at offset build =
+    E.at engine
+      (Int64.add ckpt_restart_at offset)
+      (fun () ->
+        match build () with Some m -> ctx.E.send joiner m | None -> ())
+  in
+  List.iter
+    (fun offset ->
+      match attack with
+      | Forged_checkpoint ->
+        inject_at offset (fun () ->
+            (* A fabricated boundary above the joiner's NVRAM floor, so only
+               the certificate verification stands in the way. *)
+            let upto = R.Minbft.stable_upto byz + ckpt_interval in
+            let cert =
+              List.init (f + 1) (fun owner ->
+                  Trinc.counterfeit ~owner ~prev:(900 + owner)
+                    ~counter:(901 + owner) ~message:"forged checkpoint vote"
+                    ~tag:0L)
+            in
+            Some
+              (R.Minbft.adversarial_snapshot ~upto ~digest:0xDEAD_BEEFL
+                 ~exec_count:upto ~cert
+                 ~state:[ ("x", "forged") ]
+                 ~suffix:[]))
+      | Stale_transfer ->
+        inject_at offset (fun () -> R.Minbft.stale_snapshot byz)
+      | Join_equivocation ->
+        inject_at offset (fun () ->
+            (* Genuine certificate and state, lying committed suffix: a
+               validly-signed colluding-client batch at the slot right above
+               the checkpoint, where the honest donors carry the real
+               slot-5 batch. *)
+            let forged =
+              R.Command.make ~ident:attacker_ident ~rid:9_100
+                (R.Kv_store.Put ("byz", "Z"))
+            in
+            R.Minbft.stable_snapshot byz
+              ~suffix:[ (R.Minbft.stable_upto byz + 1, [ forged ]) ])
+      | _ -> ())
+    [ 6_000L; 12_000L; 18_000L ]
+
+let run_ckpt_minbft ?network ~attack ~f ~seed ~corrupt_at ~script ~until () =
+  let config =
+    {
+      (R.Minbft.default_config ~f) with
+      R.Minbft.checkpoint_interval = ckpt_interval;
+    }
+  in
+  let n = config.R.Minbft.n in
+  (* Same pid layout as [run_minbft]: replicas 0..n-1, honest client n,
+     colluding-client identity n+1.  The corrupted donor and the restarting
+     joiner must differ, and the leader stays honest so the service keeps
+     running through the window. *)
+  let total = n + 2 in
+  let byz_pid = 1 in
+  let joiner = n - 1 in
+  (* The rig needs the corruption in place before the crash it preys on. *)
+  let corrupt_at = min corrupt_at 60_000L in
+  let rng = Thc_util.Rng.create seed in
+  let keyring = Thc_crypto.Keyring.create rng ~n:total in
+  let world = Trinc.create_world rng ~n in
+  let net =
+    Thc_sim.Net.create ~n:total ~default:(Thc_sim.Delay.Uniform (50L, 500L))
+  in
+  let spans = Thc_obsv.Span.create () in
+  let engine = E.create ~seed ~spans ~n:total ~net () in
+  let trinkets = Array.init n (fun owner -> Trinc.trinket world ~owner) in
+  let replicas =
+    Array.init n (fun pid ->
+        R.Minbft.create_replica ~config ~keyring ~world ~trinket:trinkets.(pid)
+          ~self:pid)
+  in
+  let wrap = Wrap.create () in
+  for pid = 0 to n - 1 do
+    let honest =
+      if pid = joiner then
+        R.Minbft.replica ~restart_at:ckpt_restart_at replicas.(pid)
+      else R.Minbft.replica replicas.(pid)
+    in
+    E.set_behavior engine pid
+      (if pid = byz_pid then Wrap.behavior wrap honest else honest)
+  done;
+  E.set_behavior engine n
+    (R.Minbft.client ~rid_base:0 ~config ~keyring
+       ~ident:(Thc_crypto.Keyring.secret keyring ~pid:n)
+       ~plan:ckpt_plan);
+  let attacker_ident = Thc_crypto.Keyring.secret keyring ~pid:(n + 1) in
+  E.on_corrupt engine ~pid:byz_pid (fun _ ->
+      ckpt_minbft_inject ~attack ~engine ~wrap ~trinket:trinkets.(byz_pid) ~f
+        ~byz:replicas.(byz_pid) ~attacker_ident ~joiner ());
+  (* Corruption plus the delivery window: every honest donor's link to the
+     joiner is held from the crash to the heal, so the byz donor's replies
+     are the only snapshots arriving while the joiner awaits — the
+     rejection is a deterministic fact of the rig, not a delivery race.  At
+     the heal the held genuine snapshots flow and recovery completes. *)
+  let window =
+    List.filter_map
+      (fun donor ->
+        if donor = byz_pid || donor = joiner then None
+        else
+          Some
+            {
+              Thc_sim.Adversary.at = ckpt_restart_at;
+              action = Thc_sim.Adversary.Block_link (donor, joiner);
+            })
+      (List.init n Fun.id)
+  in
+  Thc_sim.Adversary.install
+    {
+      Thc_sim.Adversary.events =
+        ({
+           Thc_sim.Adversary.at = corrupt_at;
+           action =
+             Thc_sim.Adversary.Corrupt { pid = byz_pid; attack = name attack };
+         }
+        :: window)
+        @ [
+            {
+              Thc_sim.Adversary.at = ckpt_heal_at;
+              action = Thc_sim.Adversary.Heal;
+            };
+          ];
+      horizon = ckpt_heal_at;
+    }
+    engine;
+  Option.iter (fun s -> Thc_sim.Adversary.install s engine) script;
+  install_network network engine ~replicas:n ~script;
+  Thc_obsv.Ledger.set_observer (Trinc.ledger world)
+    (Thc_obsv.Span.attribute spans);
+  let trace = E.run ~until engine in
+  let ledger = Trinc.ledger world in
+  ( {
+      attack;
+      target = Minbft;
+      seed;
+      corrupt_at;
+      safety_violations =
+        List.length (R.Smr_spec.check_safety trace ~replicas:n);
+      distinct_ops_at_seq1 = distinct_ops_at_seq1 trace ~replicas:n;
+      commits = R.Smr_spec.commits trace ~replicas:n;
+      rejections = Thc_obsv.Ledger.rejections ledger;
+      trusted_ops = Thc_obsv.Ledger.rows ledger;
+      messages = Thc_sim.Trace.messages_sent trace;
+      duration_us = trace.Thc_sim.Trace.end_time;
+      client_finished =
+        client_finished trace ~pid:n ~expected:(List.length ckpt_plan);
+      detail = minbft_detail attack;
+      stalled_spans =
+        List.filter
+          (fun v -> not (Thc_obsv.Span.complete v))
+          (Thc_obsv.Span.views spans);
+    },
+    trace )
+
+(* The same three attacks against the unattested strawman, where state
+   transfer is the leader's unverifiable word.  The attacker is the leader:
+   it runs a normal prefix (slots 1-2), waits out the scripted restarts,
+   serves each joiner whatever snapshot the kind calls for, and then drives
+   one more slot whose execution makes the divergence observable. *)
+let ckpt_unattested_attacker ?network ~attack ~script ~joiners
+    (env : R.Ablation.Unattested.env) : R.Ablation.Unattested.wire E.behavior =
+  Option.iter
+    (fun s -> Thc_sim.Adversary.install s env.R.Ablation.Unattested.engine)
+    script;
+  install_network network env.R.Ablation.Unattested.engine
+    ~replicas:env.R.Ablation.Unattested.n ~script;
+  let module U = R.Ablation.Unattested in
+  let propose = 801 and serve = 802 and rewrite = 803 in
+  let send_all (ctx : _ E.ctx) wire =
+    List.iter (fun dst -> ctx.E.send dst wire) (env.U.group_a @ env.U.group_b)
+  in
+  let req_c () = U.request env ~rid:9_200 (R.Kv_store.Put ("k", "C")) in
+  let on_timer (ctx : _ E.ctx) tag =
+    if tag = propose then begin
+      send_all ctx (U.prepare env ~seq:1 env.U.req_a);
+      send_all ctx (U.prepare env ~seq:2 (req_c ()))
+    end
+    else if tag = serve then begin
+      match attack with
+      | Forged_checkpoint ->
+        List.iter
+          (fun j ->
+            ctx.E.send j (U.snapshot env ~state:[ ("k", "forged") ] ~upto:2))
+          joiners
+      | Stale_transfer ->
+        (* Roll the joiner back behind the committed slot 2. *)
+        List.iter
+          (fun j -> ctx.E.send j (U.snapshot env ~state:[ ("k", "A") ] ~upto:1))
+          joiners
+      | Join_equivocation ->
+        List.iteri
+          (fun i j ->
+            ctx.E.send j
+              (U.snapshot env
+                 ~state:[ ("k", "fork" ^ string_of_int i) ]
+                 ~upto:2))
+          joiners
+      | _ -> ()
+    end
+    else if tag = rewrite then begin
+      (match attack with
+      | Stale_transfer ->
+        (* Rewrite the erased slot at the rolled-back joiner only. *)
+        let req_d = U.request env ~rid:9_201 (R.Kv_store.Put ("k", "D")) in
+        List.iter
+          (fun j ->
+            ctx.E.send j (U.prepare env ~seq:2 req_d);
+            ctx.E.send j (U.commit env ~seq:2 ~digest:(U.digest req_d)))
+          joiners
+      | _ -> ());
+      (* A read everyone commits: its result pins the divergence. *)
+      send_all ctx (U.prepare env ~seq:3 (U.request env ~rid:9_202 (R.Kv_store.Get "k")))
+    end
+  in
+  {
+    init =
+      (fun ctx ->
+        ctx.E.set_timer ~delay:1_000L ~tag:propose;
+        ctx.E.set_timer ~delay:55_000L ~tag:serve;
+        ctx.E.set_timer ~delay:80_000L ~tag:rewrite);
+    on_message = (fun _ ~src:_ _ -> ());
+    on_timer;
+  }
+
+let ckpt_unattested_restart_at = 50_000L
+
+let run_ckpt_unattested ?network ~attack ~f ~seed ~corrupt_at ~script ~until ()
+    =
+  let n = (2 * f) + 1 in
+  let joiners =
+    match attack with
+    | Join_equivocation -> List.init (n - 1) (fun i -> i + 1)
+    | _ -> [ n - 1 ]
+  in
+  let restarts = List.map (fun pid -> (pid, ckpt_unattested_restart_at)) joiners in
+  let r =
+    R.Ablation.Unattested.run ~f ~seed ~restarts
+      ~attacker:(ckpt_unattested_attacker ?network ~attack ~script ~joiners)
       ~detail:(unattested_detail attack) ~until ()
   in
   {
@@ -533,7 +892,8 @@ let ubft_detail = function
     "starved followers time out, plant register votes, and the new \
      leader re-publishes the recovered prefix under the next view"
   | Equivocate | Replay_stale | Reuse_attestation | Mismatched_vc
-  | Selective_send | Silent_then_lie ->
+  | Selective_send | Silent_then_lie | Forged_checkpoint | Stale_transfer
+  | Join_equivocation ->
     "not part of the register catalog"
 
 (* Every corruption opens with the same probe pair: plant a forged Slot in
@@ -578,7 +938,8 @@ let ubft_inject ~attack ~(registers : R.Ubft.registers) ~wrap ~replica
   | Stale_read -> Wrap.mute wrap
   | Withheld_append -> Wrap.mute wrap
   | Equivocate | Replay_stale | Reuse_attestation | Mismatched_vc
-  | Selective_send | Silent_then_lie ->
+  | Selective_send | Silent_then_lie | Forged_checkpoint | Stale_transfer
+  | Join_equivocation ->
     ()
 
 let run_ubft ?network ~attack ~f ~seed ~corrupt_at ~script ~until () =
@@ -674,13 +1035,18 @@ let run ?(f = 1) ?(seed = 1L) ?(corrupt_at = 5_000L) ?script ?network ~target
     ~attack () =
   let corrupt_at = if corrupt_at < 1L then 1L else corrupt_at in
   let slack = script_slack script in
+  let ckpt = List.mem attack ckpt_all in
   match target with
   | Minbft ->
     let until = Int64.add 500_000L (Int64.add corrupt_at slack) in
-    fst (run_minbft ?network ~attack ~f ~seed ~corrupt_at ~script ~until ())
+    if ckpt then
+      fst (run_ckpt_minbft ?network ~attack ~f ~seed ~corrupt_at ~script ~until ())
+    else fst (run_minbft ?network ~attack ~f ~seed ~corrupt_at ~script ~until ())
   | Unattested ->
     let until = Int64.add 1_000_000L (Int64.add corrupt_at slack) in
-    run_unattested ?network ~attack ~f ~seed ~corrupt_at ~script ~until ()
+    if ckpt then
+      run_ckpt_unattested ?network ~attack ~f ~seed ~corrupt_at ~script ~until ()
+    else run_unattested ?network ~attack ~f ~seed ~corrupt_at ~script ~until ()
   | Ubft ->
     let until = Int64.add 500_000L (Int64.add corrupt_at slack) in
     run_ubft ?network ~attack ~f ~seed ~corrupt_at ~script ~until ()
@@ -690,6 +1056,8 @@ let run_export ?(f = 1) ?(seed = 1L) ?(corrupt_at = 5_000L) ?script ?network
   let corrupt_at = if corrupt_at < 1L then 1L else corrupt_at in
   let until = Int64.add 500_000L (Int64.add corrupt_at (script_slack script)) in
   let result, trace =
-    run_minbft ?network ~attack ~f ~seed ~corrupt_at ~script ~until ()
+    if List.mem attack ckpt_all then
+      run_ckpt_minbft ?network ~attack ~f ~seed ~corrupt_at ~script ~until ()
+    else run_minbft ?network ~attack ~f ~seed ~corrupt_at ~script ~until ()
   in
   (result, Thc_sim.Trace.to_jsonl ~encode_msg:Thc_util.Codec.encode trace)

@@ -41,6 +41,15 @@ type kind =
       (** Freeze a follower: stop reading the leader's register (mute). *)
   | Withheld_append
       (** A leader that stops appending — starving every follower's read. *)
+  | Forged_checkpoint
+      (** Serve a joiner a snapshot under a counterfeit checkpoint
+          certificate. *)
+  | Stale_transfer
+      (** Replay a superseded stable checkpoint (genuine certificate) to
+          roll a joiner behind its NVRAM floor. *)
+  | Join_equivocation
+      (** Genuine certificate, lying committed suffix — tell the joiner a
+          different history than the one the honest donors vouch for. *)
 
 val all : kind list
 (** The trusted-log catalog (the original six), in order — what runs
@@ -49,6 +58,11 @@ val all : kind list
 
 val ubft_all : kind list
 (** The register catalog — what runs against [Ubft]. *)
+
+val ckpt_all : kind list
+(** The checkpoint/state-transfer catalog — what the durability rigs run
+    against [Minbft] and [Unattested].  Kept separate from {!all} so the
+    sweep cell counts pinned to its length stay valid. *)
 
 val name : kind -> string
 (** Stable CLI/JSONL identifier (e.g. ["equivocation"], ["mismatched-vc"]).

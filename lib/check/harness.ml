@@ -38,18 +38,8 @@ let pp_expectation ppf e =
 let smr_run protocol ?network ~seed ~script () =
   let outcome =
     Thc_replication.Harness.run
-      {
-        Thc_replication.Harness.protocol;
-        f = 1;
-        ops = 6;
-        clients = 1;
-        batch = 1;
-        interval = 5_000L;
-        delay = Thc_sim.Delay.Uniform (50L, 500L);
-        scenario = Thc_replication.Harness.Scripted script;
-        seed;
-        network;
-      }
+      (Thc_replication.Harness.Setup.make ~protocol ~f:1 ~ops:6
+         ~scenario:(Thc_replication.Harness.Scripted script) ~seed ?network ())
   in
   {
     verdict =
@@ -194,6 +184,35 @@ let byz_harnesses =
         })
       Thc_byz.Attack.ubft_all
 
+(* The durability/state-transfer cells, same Clean/Broken split.  A separate
+   list (like [ckpt_all] itself) so nothing pinned to the size of
+   [Attack.all]'s grid moves. *)
+let ckpt_harnesses =
+  List.concat_map
+    (fun attack ->
+      let aname = Thc_byz.Attack.name attack in
+      [
+        {
+          name = "minbft-" ^ aname;
+          summary =
+            Printf.sprintf "MinBFT durability under %s: %s" aname
+              (Thc_byz.Attack.describe attack);
+          profile = byz_profile;
+          expect = Clean;
+          run = attack_run ~target:Thc_byz.Attack.Minbft attack;
+        };
+        {
+          name = "unattested-" ^ aname;
+          summary =
+            Printf.sprintf "unattested state transfer under %s: %s" aname
+              (Thc_byz.Attack.describe attack);
+          profile = byz_profile;
+          expect = Broken;
+          run = attack_run ~target:Thc_byz.Attack.Unattested attack;
+        };
+      ])
+    Thc_byz.Attack.ckpt_all
+
 (* --- registry ----------------------------------------------------------- *)
 
 let all =
@@ -203,21 +222,21 @@ let all =
       summary = "MinBFT (2f+1, trusted counters) replicated KV, f = 1";
       profile = { n = 3; crash_budget = 1; partition_budget = 1; horizon = 200_000L };
       expect = Clean;
-      run = smr_run Thc_replication.Harness.Minbft_protocol;
+      run = smr_run Thc_replication.Harness.Minbft;
     };
     {
       name = "pbft";
       summary = "PBFT (3f+1 baseline) replicated KV, f = 1";
       profile = { n = 4; crash_budget = 1; partition_budget = 1; horizon = 200_000L };
       expect = Clean;
-      run = smr_run Thc_replication.Harness.Pbft_protocol;
+      run = smr_run Thc_replication.Harness.Pbft;
     };
     {
       name = "ubft";
       summary = "uBFT-sim (2f+1, SWMR registers) replicated KV, f = 1";
       profile = { n = 3; crash_budget = 1; partition_budget = 1; horizon = 200_000L };
       expect = Clean;
-      run = smr_run Thc_replication.Harness.Ubft_protocol;
+      run = smr_run Thc_replication.Harness.Ubft;
     };
     {
       name = "minbft-unattested";
@@ -266,7 +285,7 @@ let all =
     };
   ]
 
-let all = all @ byz_harnesses
+let all = all @ byz_harnesses @ ckpt_harnesses
 
 let find name = List.find_opt (fun h -> h.name = name) all
 

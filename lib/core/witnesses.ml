@@ -502,19 +502,9 @@ let minbft_smr =
     run =
       (fun () ->
         let base scenario seed =
-          {
-            Thc_replication.Harness.protocol =
-              Thc_replication.Harness.Minbft_protocol;
-            f = 1;
-            ops = 12;
-            clients = 1;
-            batch = 1;
-            interval = 5_000L;
-            delay = Thc_sim.Delay.Uniform (50L, 500L);
-            scenario;
-            seed;
-            network = None;
-          }
+          Thc_replication.Harness.Setup.make
+            ~protocol:Thc_replication.Harness.Minbft ~f:1 ~ops:12 ~scenario
+            ~seed ()
         in
         let healthy o =
           o.Thc_replication.Harness.safety_violations = []

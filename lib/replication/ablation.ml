@@ -22,19 +22,33 @@ let pp_result ppf r =
 type uproto =
   | Uprepare of { seq : int; request : Command.signed_request }
   | Ucommit of { seq : int; digest : int64 }
+  | Ufetch
+  | Usnapshot of { state : (string * string) list; upto : int }
+      (* appended last: encoded protos keep their bytes.  Ufetch/Usnapshot
+         are the unattested strawman of state transfer: the payload carries
+         no certificate, so a joiner can only install it on faith. *)
 
 type umsg = uproto Thc_crypto.Signature.signed
 
+let urestart_timer_tag = 901
+
 (* A correct replica of the unattested protocol (fixed leader 0, no view
-   change — the attack only needs the normal case). *)
-let unattested_replica ~keyring ~ident ~f ~self : umsg Thc_sim.Engine.behavior =
+   change — the attack only needs the normal case).  [restart_at] models a
+   crash-and-restart: all state is lost and the replica re-joins by asking
+   the leader for a snapshot — which, lacking any attestation, it has no
+   choice but to install blindly. *)
+let unattested_replica ?restart_at ~keyring ~ident ~f ~self () :
+    umsg Thc_sim.Engine.behavior =
   let store = Kv_store.create () in
   let proposals : (int, Command.signed_request) Hashtbl.t = Hashtbl.create 8 in
   let votes : (int * int64, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
   let committed : (int, Command.signed_request) Hashtbl.t = Hashtbl.create 8 in
   let commit_sent : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let exec_upto = ref 0 in
+  let awaiting = ref false in
   let rec try_execute (ctx : umsg Thc_sim.Engine.ctx) =
+    if !awaiting then ()
+    else
     match Hashtbl.find_opt committed (!exec_upto + 1) with
     | None -> ()
     | Some sr ->
@@ -74,11 +88,35 @@ let unattested_replica ~keyring ~ident ~f ~self : umsg Thc_sim.Engine.behavior =
     | Some _ | None -> ()
   in
   {
-    init = (fun _ -> ());
+    init =
+      (fun ctx ->
+        match restart_at with
+        | Some delay -> ctx.set_timer ~delay ~tag:urestart_timer_tag
+        | None -> ());
     on_message =
-      (fun ctx ~src:_ (w : umsg) ->
+      (fun ctx ~src (w : umsg) ->
         if Thc_crypto.Signature.sealed_ok keyring w then
           match w.value with
+          | Ufetch ->
+            (* Only the leader serves state transfer in this strawman —
+               which is exactly what hands a Byzantine leader the joiner. *)
+            if self = 0 && not !awaiting then
+              ctx.send src
+                (Thc_crypto.Signature.seal ident
+                   (Usnapshot
+                      { state = Kv_store.snapshot store; upto = !exec_upto }))
+          | Usnapshot { state; upto } ->
+            (* Nothing certifies the payload: first answer wins, wholesale.
+               This blind install is the ablation's point — compare the
+               certificate/floor/quorum ladder in {!Minbft}. *)
+            if !awaiting then begin
+              Kv_store.reset_to store state;
+              exec_upto := upto;
+              awaiting := false;
+              ctx.output
+                (Thc_sim.Obs.Recovered { upto; exec_count = upto });
+              try_execute ctx
+            end
           | Uprepare { seq; request } ->
             (* Without non-equivocation all a replica can do is adopt the
                first leader proposal it sees. *)
@@ -105,7 +143,20 @@ let unattested_replica ~keyring ~ident ~f ~self : umsg Thc_sim.Engine.behavior =
             end
           | Ucommit { seq; digest } ->
             record ctx ~seq ~digest ~voter:w.signature.signer);
-    on_timer = (fun _ _ -> ());
+    on_timer =
+      (fun ctx tag ->
+        if tag = urestart_timer_tag then begin
+          (* Crash-and-restart: everything volatile is gone — and unlike
+             the attested protocol there is no NVRAM floor to keep. *)
+          Hashtbl.reset proposals;
+          Hashtbl.reset votes;
+          Hashtbl.reset committed;
+          Hashtbl.reset commit_sent;
+          Kv_store.reset_to store [];
+          exec_upto := 0;
+          awaiting := true;
+          ctx.broadcast (Thc_crypto.Signature.seal ident Ufetch)
+        end);
   }
 
 (* The equivocating leader: proposal A to the first half, proposal B to the
@@ -159,7 +210,7 @@ let run_unattested ?(f = 1) ~seed ~configure ~until () =
     Thc_sim.Engine.set_behavior engine pid
       (unattested_replica ~keyring
          ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
-         ~f ~self:pid)
+         ~f ~self:pid ())
   done;
   let req_a, req_b = requests ~keyring ~client_pid:n in
   let leader_ident = Thc_crypto.Keyring.secret keyring ~pid:0 in
@@ -204,6 +255,7 @@ module Unattested = struct
     req_a : Command.signed_request;
     req_b : Command.signed_request;
     leader_ident : Thc_crypto.Keyring.secret;
+    client_ident : Thc_crypto.Keyring.secret;
   }
 
   let prepare env ~seq request =
@@ -212,10 +264,15 @@ module Unattested = struct
   let commit env ~seq ~digest =
     Thc_crypto.Signature.seal env.leader_ident (Ucommit { seq; digest })
 
+  let request env ~rid op = Command.make ~ident:env.client_ident ~rid op
+
+  let snapshot env ~state ~upto =
+    Thc_crypto.Signature.seal env.leader_ident (Usnapshot { state; upto })
+
   let digest req = Command.digest req.Thc_crypto.Signature.value
 
-  let run ?(f = 1) ?(spans = Thc_obsv.Span.nop) ~seed ~attacker ~detail
-      ?(until = 1_000_000L) () =
+  let run ?(f = 1) ?(spans = Thc_obsv.Span.nop) ?(restarts = []) ~seed ~attacker
+      ~detail ?(until = 1_000_000L) () =
     let n = (2 * f) + 1 in
     let total = n + 1 (* one client identity for signing requests *) in
     let rng = Thc_util.Rng.create seed in
@@ -226,9 +283,11 @@ module Unattested = struct
     let engine = Thc_sim.Engine.create ~seed ~spans ~n:total ~net () in
     for pid = 1 to n - 1 do
       Thc_sim.Engine.set_behavior engine pid
-        (unattested_replica ~keyring
+        (unattested_replica
+           ?restart_at:(List.assoc_opt pid restarts)
+           ~keyring
            ~ident:(Thc_crypto.Keyring.secret keyring ~pid)
-           ~f ~self:pid)
+           ~f ~self:pid ())
     done;
     let req_a, req_b = requests ~keyring ~client_pid:n in
     let group_a, group_b = groups ~f in
@@ -242,6 +301,7 @@ module Unattested = struct
         req_a;
         req_b;
         leader_ident = Thc_crypto.Keyring.secret keyring ~pid:0;
+        client_ident = Thc_crypto.Keyring.secret keyring ~pid:n;
       }
     in
     Thc_sim.Engine.mark_byzantine engine 0;

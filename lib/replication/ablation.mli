@@ -71,6 +71,9 @@ module Unattested : sig
     req_a : Command.signed_request;  (** Client request writing ["A"]. *)
     req_b : Command.signed_request;  (** Conflicting request writing ["B"]. *)
     leader_ident : Thc_crypto.Keyring.secret;
+    client_ident : Thc_crypto.Keyring.secret;
+        (** A colluding client's signing key: lets the attacker mint
+            arbitrary validly-signed requests (see {!request}). *)
   }
   (** What the attacker gets: exactly the leader's legitimate capabilities
       plus knowledge of two conflicting signed client requests. *)
@@ -81,12 +84,23 @@ module Unattested : sig
   val commit : env -> seq:int -> digest:int64 -> wire
   (** A leader-signed commit vote. *)
 
+  val request : env -> rid:int -> Kv_store.op -> Command.signed_request
+  (** A fresh validly-signed request from the colluding client. *)
+
+  val snapshot : env -> state:(string * string) list -> upto:int -> wire
+  (** A leader-signed state-transfer reply carrying an arbitrary claim.
+      Nothing in the unattested protocol certifies it: a restarted replica
+      installs the first one it receives wholesale, which is what the
+      checkpoint attack family exploits (compare the certificate, NVRAM
+      floor and donor-quorum checks in {!Minbft}). *)
+
   val digest : Command.signed_request -> int64
   (** The digest replicas vote on for a request. *)
 
   val run :
     ?f:int ->
     ?spans:Thc_obsv.Span.t ->
+    ?restarts:(int * int64) list ->
     seed:int64 ->
     attacker:(env -> wire Thc_sim.Engine.behavior) ->
     detail:string ->
@@ -95,6 +109,10 @@ module Unattested : sig
     result
   (** Run the unattested protocol with [attacker env] installed as pid 0
       (marked Byzantine for the monitors).  Deterministic in [seed].
+
+      [restarts] maps replica pids to crash-and-restart times (µs): each
+      listed replica wipes all state at its time and re-joins by asking the
+      leader — i.e. the attacker — for a snapshot it must install blindly.
 
       [spans] (default {!Thc_obsv.Span.nop}) collects request spans from
       the correct replicas: [Propose] on proposal adoption, [Commit_send]

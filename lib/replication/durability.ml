@@ -1,0 +1,54 @@
+type vote = { owner : int; upto : int; digest : int64; exec_count : int }
+
+let quorum ~f = f + 1
+
+let cert_stable ~f votes =
+  match votes with
+  | [] -> false
+  | first :: _ ->
+    (* Votes certify the metadata of the first one; distinct owners only. *)
+    let owners = Hashtbl.create 8 in
+    List.iter
+      (fun v ->
+        if
+          v.upto = first.upto && v.digest = first.digest
+          && v.exec_count = first.exec_count
+        then Hashtbl.replace owners v.owner ())
+      votes;
+    Hashtbl.length owners >= quorum ~f
+
+type stats = {
+  live : int;
+  hwm : int;
+  stable_upto : int;
+  truncations : int;
+}
+
+let zero = { live = 0; hwm = 0; stable_upto = 0; truncations = 0 }
+
+let merge = function
+  | [] -> zero
+  | first :: rest ->
+    List.fold_left
+      (fun acc s ->
+        {
+          live = max acc.live s.live;
+          hwm = max acc.hwm s.hwm;
+          stable_upto = min acc.stable_upto s.stable_upto;
+          truncations = acc.truncations + s.truncations;
+        })
+      first rest
+
+let rows ~prefix s =
+  [
+    (prefix ^ ".log_live", s.live);
+    (prefix ^ ".log_hwm", s.hwm);
+    (prefix ^ ".stable_upto", s.stable_upto);
+    (prefix ^ ".truncations", s.truncations);
+  ]
+
+let bound ~checkpoint_interval =
+  if checkpoint_interval <= 0 then 0 else 2 * checkpoint_interval
+
+let bound_ok ~checkpoint_interval s =
+  checkpoint_interval <= 0 || s.hwm <= bound ~checkpoint_interval

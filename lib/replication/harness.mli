@@ -5,7 +5,10 @@
     trusted-op ledger counts [swmr.*] register operations instead of
     seals/verifies). *)
 
-type protocol = Minbft_protocol | Pbft_protocol | Ubft_protocol
+type protocol = Protocol.t = Minbft | Pbft | Ubft
+(** Re-export of {!Protocol.t} — the one protocol identity in the tree.
+    Codecs ([to_string]/[of_string]), the catalogue ([all]) and the
+    cmdliner converter all live on {!Protocol}. *)
 
 type scenario =
   | Fault_free  (** All replicas correct. *)
@@ -21,6 +24,12 @@ type scenario =
           horizon is extended past the script's so the post-heal network has
           room to drain.  Liveness is demanded only when the script crashes
           at most [f] replicas. *)
+  | Restart_replica of { pid : int; at : int64 }
+      (** Replica [pid] crashes at [at] (µs) and restarts immediately with
+          all volatile state lost, rejoining via verified state transfer
+          (MinBFT only; see {!Minbft.replica}).  Pick a non-leader pid —
+          liveness is still demanded (the other replicas form f+1
+          quorums). *)
 
 type setup = {
   protocol : protocol;
@@ -38,7 +47,37 @@ type setup = {
           [None] keeps the legacy uniform clique built from [delay], so
           existing runs stay byte-identical.  Under a [Scripted] scenario
           the model is re-lowered after every scripted heal. *)
+  checkpoint_interval : int;
+      (** Attested-checkpoint cadence in executed slots; [0] disables
+          durability (the legacy behavior — traces stay byte-identical).
+          Positive values turn on checkpoint certificates, log truncation
+          and state transfer for MinBFT, and override uBFT's register
+          truncation cadence (uBFT always truncates; PBFT ignores this). *)
 }
+
+(** The one construction path for setups.  Optional arguments default to
+    the historical literals (ops 25, 1 client, batch 1, 5ms interval,
+    uniform 50–500µs links, fault-free, no network model, checkpointing
+    off), so [Setup.make ~protocol ~f ~seed ()] reproduces yesterday's
+    record literals byte-for-byte — the golden corpus locks this. *)
+module Setup : sig
+  type t = setup
+
+  val make :
+    ?ops:int ->
+    ?clients:int ->
+    ?batch:int ->
+    ?interval:int64 ->
+    ?delay:Thc_sim.Delay.t ->
+    ?scenario:scenario ->
+    ?network:Thc_network.Model.t ->
+    ?checkpoint_interval:int ->
+    protocol:protocol ->
+    f:int ->
+    seed:int64 ->
+    unit ->
+    setup
+end
 
 type outcome = {
   replicas : int;
@@ -72,6 +111,14 @@ type outcome = {
       (** Engine events dispatched ({!Thc_sim.Engine.events_processed}) —
           the numerator of the events/sec throughput metric.  Not folded
           into {!metrics} so existing export bytes are unchanged. *)
+  durability : Durability.stats;
+      (** Cluster-wide log/checkpoint stats ({!Durability.merge} across
+          replicas): max live log, max high-water-mark, min stable
+          boundary, total truncations.  All zero for PBFT and for runs
+          with [checkpoint_interval = 0] (uBFT reports its register
+          discipline regardless).  Folded into {!metrics} as [ckpt.*]
+          gauges only when [checkpoint_interval > 0], so legacy exports
+          keep their bytes. *)
 }
 
 val run : setup -> outcome

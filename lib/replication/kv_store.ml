@@ -34,6 +34,22 @@ let digest t =
 
 let size = Hashtbl.length
 
+(* Sorted bindings, so two stores with equal contents snapshot to equal
+   lists — state transfer ships these and verifies the digest after
+   [restore]. *)
+let snapshot t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let restore bindings =
+  let t = create () in
+  List.iter (fun (k, v) -> Hashtbl.replace t k v) bindings;
+  t
+
+let reset_to t bindings =
+  Hashtbl.reset t;
+  List.iter (fun (k, v) -> Hashtbl.replace t k v) bindings
+
 let encode_op (o : op) = Thc_util.Codec.encode o
 let decode_op s = (Thc_util.Codec.decode s : op)
 let encode_result (r : result) = Thc_util.Codec.encode r

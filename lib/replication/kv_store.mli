@@ -28,6 +28,19 @@ val digest : t -> int64
 
 val size : t -> int
 
+val snapshot : t -> (string * string) list
+(** Current contents as sorted bindings — equal stores snapshot to equal
+    lists.  What a checkpoint certificate's digest commits to and what
+    state transfer ships. *)
+
+val restore : (string * string) list -> t
+(** Fresh store holding exactly the given bindings;
+    [digest (restore (snapshot t)) = digest t]. *)
+
+val reset_to : t -> (string * string) list -> unit
+(** Replace [t]'s contents in place (a restarting replica installing a
+    verified snapshot into its existing store). *)
+
 val encode_op : op -> string
 val decode_op : string -> op
 val encode_result : result -> string

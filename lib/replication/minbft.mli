@@ -42,6 +42,16 @@ type config = {
           single trusted-counter attestation, so larger batches amortize
           trusted ops across requests. *)
   batch_delay : int64;  (** µs a partial batch waits before being flushed. *)
+  checkpoint_interval : int;
+      (** Slots between attested checkpoints; [0] (the default) disables
+          durability entirely — no Checkpoint traffic, no truncation — so
+          pre-existing runs keep their traces byte-for-byte.  When positive,
+          every replica seals a [Checkpoint(upto, digest, exec_count)] after
+          executing each multiple of this many slots; f+1 matching
+          attestations from distinct trinkets form a {e stable checkpoint
+          certificate}, after which the consensus log up to that slot is
+          truncated and state transfer can serve joiners from the snapshot
+          (see {!Durability}). *)
 }
 
 val default_config : f:int -> config
@@ -57,8 +67,17 @@ val create_replica :
   self:int ->
   t
 
-val replica : t -> msg Thc_sim.Engine.behavior
-(** Emits [Obs.Committed] and [Obs.Executed] per operation. *)
+val replica : ?restart_at:int64 -> t -> msg Thc_sim.Engine.behavior
+(** Emits [Obs.Committed] and [Obs.Executed] per operation.
+
+    [restart_at] (µs of simulation time) models a crash-and-restart at that
+    instant: the replica loses all volatile state — consensus log, store,
+    execution indexes — keeping only its trusted hardware (trinket and
+    attested links) and the latest stable checkpoint's {e metadata} (a tiny
+    NVRAM record that makes stale state transfer detectable).  It then
+    broadcasts [Fetch] until a donor's [Snapshot] passes certificate,
+    digest and staleness verification, installs it, emits
+    [Obs.Recovered], and resumes normal participation. *)
 
 val client :
   rid_base:int ->
@@ -83,6 +102,13 @@ val unwrap_reply : msg -> Command.reply option
 val view_of : t -> int
 val executed_upto : t -> int
 val store_digest : t -> int64
+
+val durability : t -> Durability.stats
+(** Live log size, its high-water-mark, the stable checkpoint boundary and
+    the truncation count — all zero while [checkpoint_interval = 0]. *)
+
+val stable_upto : t -> int
+(** Highest slot covered by a stable checkpoint certificate (0 if none). *)
 
 val adversarial_prepare :
   out:Attested_link.Out.t ->
@@ -120,6 +146,37 @@ val attestation_of : msg -> Thc_hardware.Trinc.attestation option
 (** The attestation inside a sealed wire message, if any — lets attack
     code lift a message it previously sent (or observed) back into material
     for replay and reuse attempts. *)
+
+val stable_snapshot : ?suffix:(int * Command.batch) list -> t -> msg option
+(** The replica's latest stable checkpoint packaged as a [Snapshot] wire
+    message (suffix-free by default) — [None] until one is certified
+    locally.  Attack rigs use it as the honest baseline and, with a
+    fabricated [suffix], as the join-time-equivocation payload: a genuine
+    certificate carrying a lying committed suffix.  The joiner's f+1
+    distinct-donor suffix quorum is the defense. *)
+
+val stale_snapshot : t -> msg option
+(** The {e previous} stable checkpoint with its genuine — but superseded —
+    certificate: exactly what a stale-state-transfer attacker replays at a
+    joiner to roll the service back.  [None] until two checkpoints have
+    stabilized. *)
+
+val adversarial_snapshot :
+  upto:int ->
+  digest:int64 ->
+  exec_count:int ->
+  cert:Thc_hardware.Trinc.attestation list ->
+  state:(string * string) list ->
+  suffix:(int * Command.batch) list ->
+  msg
+(** Assemble an arbitrary [Snapshot] claim — forged certificates (e.g. from
+    {!Thc_hardware.Trinc.counterfeit}), mismatched state, fabricated
+    suffixes.  The joiner's verification is the only defense, which is the
+    point of the forged-checkpoint attack family. *)
+
+val snapshot_cert : msg -> Thc_hardware.Trinc.attestation list option
+(** The certificate inside a [Snapshot] message, if any — lets attack rigs
+    splice genuine certificates into forged payloads. *)
 
 val classify_msg : msg -> string
 (** Short label per wire-message kind (request/prepare/commit/...), for

@@ -1,0 +1,28 @@
+type t = Minbft | Pbft | Ubft
+
+let all = [ Minbft; Pbft; Ubft ]
+
+let to_string = function
+  | Minbft -> "minbft"
+  | Pbft -> "pbft"
+  | Ubft -> "ubft"
+
+let of_string = function
+  | "minbft" -> Some Minbft
+  | "pbft" -> Some Pbft
+  | "ubft" -> Some Ubft
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let conv =
+  let parse s =
+    match of_string s with
+    | Some t -> Ok t
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown protocol %S (expected one of: %s)" s
+             (String.concat ", " (List.map to_string all))))
+  in
+  Cmdliner.Arg.conv (parse, pp)

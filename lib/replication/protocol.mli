@@ -1,0 +1,27 @@
+(** The one protocol identity.
+
+    Every driver (smr, loadtest, report, attack, trace, soak, bench) names
+    the three replication protocols; before this module each kept its own
+    constructor set and string map.  This is now the single codec: parse
+    with {!of_string}, print with {!to_string}, and take CLI arguments
+    through {!conv}.  {!Harness.protocol} is an alias of {!t}, so harness
+    setups and CLI flags share constructors directly. *)
+
+type t = Minbft | Pbft | Ubft
+
+val all : t list
+(** [[Minbft; Pbft; Ubft]] — catalog order, used for "run everything"
+    sweeps and error messages. *)
+
+val to_string : t -> string
+(** ["minbft"] / ["pbft"] / ["ubft"] — the names used in exports, CLI
+    arguments and bench table rows. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] on anything else. *)
+
+val pp : Format.formatter -> t -> unit
+
+val conv : t Cmdliner.Arg.conv
+(** Shared cmdliner converter, so every command's [PROTO] positional and
+    [--protocol] flag parses and error-reports identically. *)

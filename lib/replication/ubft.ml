@@ -83,6 +83,11 @@ type t = {
   mutable max_rvc_sent : int;
   mutable last_rvc_at : int64;
   mutable trunc_base : int;  (* own register pruned up to this slot *)
+  mutable own_len : int;
+      (* shadow of our register's entry count — kept in software so the
+         durability report never spends a trusted register read *)
+  mutable reg_hwm : int;  (* high-water-mark of own_len *)
+  mutable truncations : int;
 }
 
 let create_replica ~config ~keyring ~registers ~ident ~self =
@@ -115,6 +120,9 @@ let create_replica ~config ~keyring ~registers ~ident ~self =
     max_rvc_sent = 0;
     last_rvc_at = 0L;
     trunc_base = 0;
+    own_len = 0;
+    reg_hwm = 0;
+    truncations = 0;
   }
 
 let view_of t = t.view
@@ -124,6 +132,18 @@ let executed_upto t = t.exec_upto
 let store_digest t = Kv_store.digest t.store
 
 let register_len t = List.length (Thc_sharedmem.Swmr.read t.registers.(t.self))
+
+(* uBFT's "log" is its own SWMR register; the truncate-on-checkpoint
+   discipline plays the role MinBFT's checkpoint certificates play, so the
+   same stats vocabulary applies (live entries, high-water-mark, pruned
+   boundary, truncation count). *)
+let durability t =
+  {
+    Durability.live = t.own_len;
+    hwm = t.reg_hwm;
+    stable_upto = t.trunc_base;
+    truncations = t.truncations;
+  }
 
 let leader_of t view = view mod t.config.n
 
@@ -135,10 +155,12 @@ let batch_rids (batch : Command.batch) =
 (* Append a record to our own register, attributing the register op (and
    any trusted-op charges the attached ledger raises) to a span phase. *)
 let own_append t (ctx : msg Thc_sim.Engine.ctx) ~phase ~rids record =
-  if Thc_obsv.Span.enabled ctx.spans then
-    Thc_obsv.Span.in_phase ctx.spans phase ~rids (fun () ->
-        Thc_sharedmem.Swmr.append t.registers.(t.self) ~ident:t.ident record)
-  else Thc_sharedmem.Swmr.append t.registers.(t.self) ~ident:t.ident record
+  (if Thc_obsv.Span.enabled ctx.spans then
+     Thc_obsv.Span.in_phase ctx.spans phase ~rids (fun () ->
+         Thc_sharedmem.Swmr.append t.registers.(t.self) ~ident:t.ident record)
+   else Thc_sharedmem.Swmr.append t.registers.(t.self) ~ident:t.ident record);
+  t.own_len <- t.own_len + 1;
+  if t.own_len > t.reg_hwm then t.reg_hwm <- t.own_len
 
 let rvc_supporters t nv =
   match Hashtbl.find_opt t.rvc_votes nv with
@@ -191,6 +213,8 @@ let truncate_own t ~upto =
     in
     Thc_sharedmem.Swmr.write t.registers.(t.self) ~ident:t.ident
       (keep @ [ Checkpoint { upto; state = Kv_store.digest t.store } ]);
+    t.own_len <- List.length keep + 1;
+    t.truncations <- t.truncations + 1;
     let stale =
       Hashtbl.fold
         (fun seq _ acc -> if seq <= upto then seq :: acc else acc)

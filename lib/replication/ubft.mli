@@ -115,7 +115,13 @@ val store_digest : t -> int64
 
 val register_len : t -> int
 (** Current length of the replica's own register — what the
-    truncate-on-checkpoint discipline keeps bounded. *)
+    truncate-on-checkpoint discipline keeps bounded.  Costs a trusted
+    register read; post-run inspection only. *)
+
+val durability : t -> Durability.stats
+(** Register-log durability stats (software shadow counters — spends no
+    trusted ops): live entries, high-water-mark, pruned boundary and
+    truncation count.  Comparable with {!Minbft.durability}. *)
 
 val classify_msg : msg -> string
 (** Short label per wire-message kind (request/notify/...), for

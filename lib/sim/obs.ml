@@ -12,6 +12,7 @@ type t =
   | Checked of { ok : bool; info : string }
   | Client_done of { rid : int; latency_us : int64 }
   | Note of string
+  | Recovered of { upto : int; exec_count : int }
 
 let equal (a : t) (b : t) = a = b
 
@@ -42,3 +43,5 @@ let pp ppf = function
   | Client_done { rid; latency_us } ->
     Format.fprintf ppf "client-done(r%d,%Ldµs)" rid latency_us
   | Note s -> Format.fprintf ppf "note(%s)" s
+  | Recovered { upto; exec_count } ->
+    Format.fprintf ppf "recovered(s%d,x%d)" upto exec_count

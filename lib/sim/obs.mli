@@ -38,6 +38,11 @@ type t =
   | Client_done of { rid : int; latency_us : int64 }
       (** Replication client: request [rid] completed end-to-end. *)
   | Note of string  (** Free-form annotation for debugging and demos. *)
+  | Recovered of { upto : int; exec_count : int }
+      (** Replication: the replica installed a verified state-transfer
+          snapshot covering slots 1..[upto]; its dense execution index
+          resumes at [exec_count + 1].  Appended last so existing encoded
+          observations keep their bytes. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -7,12 +7,9 @@ module J = Thc_obsv.Json
 
 let schema = "thc-loadtest/v1"
 
-type protocol = Minbft_protocol | Pbft_protocol | Ubft_protocol
+type protocol = Thc_replication.Protocol.t = Minbft | Pbft | Ubft
 
-let protocol_name = function
-  | Minbft_protocol -> "minbft"
-  | Pbft_protocol -> "pbft"
-  | Ubft_protocol -> "ubft"
+let protocol_name = Thc_replication.Protocol.to_string
 
 type point = {
   protocol : protocol;
@@ -258,9 +255,9 @@ let run_point_export p =
   W.validate p.spec;
   let result, export =
     match p.protocol with
-    | Minbft_protocol -> run_minbft p
-    | Pbft_protocol -> run_pbft p
-    | Ubft_protocol -> run_ubft p
+    | Minbft -> run_minbft p
+    | Pbft -> run_pbft p
+    | Ubft -> run_ubft p
   in
   (result, export ())
 
@@ -268,9 +265,9 @@ let run_point p =
   W.validate p.spec;
   let result, _ =
     match p.protocol with
-    | Minbft_protocol -> run_minbft p
-    | Pbft_protocol -> run_pbft p
-    | Ubft_protocol -> run_ubft p
+    | Minbft -> run_minbft p
+    | Pbft -> run_pbft p
+    | Ubft -> run_ubft p
   in
   result
 

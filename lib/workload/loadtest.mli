@@ -14,10 +14,12 @@
     [point] object per result) that {!parse} reads back for the
     [thc report loadtest] view. *)
 
-type protocol = Minbft_protocol | Pbft_protocol | Ubft_protocol
+type protocol = Thc_replication.Protocol.t = Minbft | Pbft | Ubft
+(** Re-export of {!Thc_replication.Protocol.t} — one protocol identity
+    tree-wide. *)
 
 val protocol_name : protocol -> string
-(** ["minbft"] / ["pbft"] / ["ubft"]. *)
+(** [= Thc_replication.Protocol.to_string]. *)
 
 type point = {
   protocol : protocol;

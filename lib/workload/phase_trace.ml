@@ -106,10 +106,8 @@ let export campaign report =
          ([
             ( "protocol",
               J.Str
-                (match campaign.setup.Harness.protocol with
-                | Harness.Minbft_protocol -> "minbft"
-                | Harness.Pbft_protocol -> "pbft"
-                | Harness.Ubft_protocol -> "ubft") );
+                (Thc_replication.Protocol.to_string
+                   campaign.setup.Harness.protocol) );
             ("seeds", J.Int (List.length campaign.seeds));
             ("spans", J.Int report.summary.Span.spans_total);
           ]

@@ -186,6 +186,107 @@ let test_ubft_harness_registration () =
                .Thc_check.Harness.verdict))
     [ A.Register_forge; A.Withheld_append ]
 
+(* --- the checkpoint/state-transfer family -------------------------------- *)
+
+let test_ckpt_catalog () =
+  Alcotest.(check (list string))
+    "ckpt catalog order and spelling"
+    [ "forged-checkpoint"; "stale-transfer"; "join-equivocation" ]
+    (List.map A.name A.ckpt_all);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "of_name inverts name" true
+        (A.of_name (A.name k) = Some k);
+      Alcotest.(check bool) "hits minbft" true
+        (A.applies ~target:A.Minbft ~attack:k);
+      Alcotest.(check bool) "hits unattested" true
+        (A.applies ~target:A.Unattested ~attack:k);
+      Alcotest.(check bool) "skips ubft" false
+        (A.applies ~target:A.Ubft ~attack:k))
+    A.ckpt_all;
+  (* The sweep grids are pinned to [all]'s length — the ckpt kinds must not
+     leak into it. *)
+  List.iter
+    (fun k -> Alcotest.(check bool) "not in all" false (List.mem k A.all))
+    A.ckpt_all
+
+let ckpt_label = function
+  | A.Forged_checkpoint -> "ckpt.reject_forged"
+  | A.Stale_transfer -> "ckpt.reject_stale"
+  | A.Join_equivocation -> "ckpt.reject_suffix_equivocation"
+  | _ -> assert false
+
+let test_ckpt_bounces_off_minbft () =
+  List.iter
+    (fun attack ->
+      let aname = A.name attack in
+      let r = A.run ~target:A.Minbft ~attack () in
+      Alcotest.(check int) (aname ^ ": no safety violation") 0
+        r.A.safety_violations;
+      Alcotest.(check bool) (aname ^ ": hardware refused something") true
+        (r.A.rejections > 0);
+      (* Not just any refusal: the ledger row naming this family's defense
+         (certificate check, NVRAM floor, donor quorum) must be present. *)
+      Alcotest.(check bool)
+        (aname ^ ": " ^ ckpt_label attack ^ " in the ledger")
+        true
+        (List.mem_assoc (ckpt_label attack) r.A.trusted_ops);
+      Alcotest.(check bool) (aname ^ ": honest client still served") true
+        r.A.client_finished;
+      Alcotest.(check bool) (aname ^ ": paper prediction holds") true
+        (A.holds r))
+    A.ckpt_all
+
+let test_ckpt_forks_unattested () =
+  List.iter
+    (fun attack ->
+      let aname = A.name attack in
+      let r = A.run ~target:A.Unattested ~attack () in
+      Alcotest.(check bool) (aname ^ ": state transfer forked the service")
+        true
+        (r.A.safety_violations > 0);
+      Alcotest.(check int) (aname ^ ": nothing to refuse") 0 r.A.rejections;
+      Alcotest.(check bool) (aname ^ ": paper prediction holds") true
+        (A.holds r))
+    A.ckpt_all
+
+let test_ckpt_deterministic () =
+  let digest (r : A.result) =
+    ( r.A.safety_violations, r.A.rejections, r.A.commits, r.A.messages,
+      r.A.duration_us, r.A.trusted_ops )
+  in
+  List.iter
+    (fun target ->
+      let a = A.run ~seed:7L ~target ~attack:A.Forged_checkpoint () in
+      let b = A.run ~seed:7L ~target ~attack:A.Forged_checkpoint () in
+      Alcotest.(check bool) "same seed, same run" true (digest a = digest b))
+    [ A.Minbft; A.Unattested ]
+
+let test_ckpt_harness_registration () =
+  List.iter
+    (fun attack ->
+      let aname = A.name attack in
+      let get n =
+        match Thc_check.Harness.find n with
+        | Some h -> h
+        | None -> Alcotest.failf "harness %s not registered" n
+      in
+      let clean = get ("minbft-" ^ aname) in
+      let broken = get ("unattested-" ^ aname) in
+      let run (h : Thc_check.Harness.t) =
+        (h.Thc_check.Harness.run ~seed:1L ~script:empty_script ())
+          .Thc_check.Harness.verdict
+      in
+      Alcotest.(check bool)
+        (aname ^ " clean side passes")
+        false
+        (Thc_check.Monitor.failed (run clean));
+      Alcotest.(check bool)
+        (aname ^ " broken side fails")
+        true
+        (Thc_check.Monitor.failed (run broken)))
+    A.ckpt_all
+
 let () =
   Alcotest.run "thc_byz"
     [
@@ -217,5 +318,16 @@ let () =
             test_harness_registration;
           Alcotest.test_case "ubft registered in explorer" `Quick
             test_ubft_harness_registration;
+        ] );
+      ( "ckpt",
+        [
+          Alcotest.test_case "catalog stable" `Quick test_ckpt_catalog;
+          Alcotest.test_case "bounces off minbft" `Quick
+            test_ckpt_bounces_off_minbft;
+          Alcotest.test_case "forks unattested" `Quick
+            test_ckpt_forks_unattested;
+          Alcotest.test_case "deterministic" `Quick test_ckpt_deterministic;
+          Alcotest.test_case "registered in explorer" `Quick
+            test_ckpt_harness_registration;
         ] );
     ]

@@ -35,18 +35,8 @@ let explore_trace () =
   in
   snd
     (H.run_export
-       {
-         H.protocol = H.Minbft_protocol;
-         f = 1;
-         ops = 6;
-         clients = 1;
-         batch = 1;
-         interval = 5_000L;
-         delay = fast;
-         scenario = H.Scripted script;
-         seed = 42L;
-         network = None;
-       })
+       (H.Setup.make ~protocol:H.Minbft ~f:1 ~ops:6 ~delay:fast
+          ~scenario:(H.Scripted script) ~seed:42L ()))
 
 (* The attack driver's flagship cell: equivocation against attested MinBFT
    at the catalog's default seed. *)
@@ -59,7 +49,7 @@ let loadtest_trace () =
   snd
     (L.run_point_export
        {
-         L.protocol = L.Minbft_protocol;
+         L.protocol = L.Minbft;
          f = 1;
          batch = 4;
          seed = 29L;
@@ -77,20 +67,7 @@ let loadtest_trace () =
 
 (* The bench S1 grid's (minbft, f=1, fault-free) cell at its table seed. *)
 let bench_s1_trace () =
-  snd
-    (H.run_export
-       {
-         H.protocol = H.Minbft_protocol;
-         f = 1;
-         ops = 25;
-         clients = 1;
-         batch = 1;
-         interval = 5_000L;
-         delay = fast;
-         scenario = H.Fault_free;
-         seed = 17L;
-         network = None;
-       })
+  snd (H.run_export (H.Setup.make ~protocol:H.Minbft ~f:1 ~seed:17L ()))
 
 let corpus =
   [

@@ -184,7 +184,7 @@ let loadtest_template =
   let module W = Thc_workload.Workload in
   let module L = Thc_workload.Loadtest in
   {
-    L.protocol = L.Minbft_protocol;
+    L.protocol = L.Minbft;
     f = 1;
     batch = 1;
     seed = 5L;
@@ -240,19 +240,9 @@ let test_phase_trace_export_jobs_identical () =
   let campaign =
     {
       PT.setup =
-        {
-          Thc_replication.Harness.protocol =
-            Thc_replication.Harness.Minbft_protocol;
-          f = 1;
-          ops = 6;
-          clients = 2;
-          batch = 2;
-          interval = 5_000L;
-          delay = Thc_sim.Delay.Uniform (50L, 500L);
-          scenario = Thc_replication.Harness.Fault_free;
-          seed = 1L;
-          network = None;
-        };
+        Thc_replication.Harness.Setup.make
+          ~protocol:Thc_replication.Harness.Minbft ~f:1 ~ops:6 ~clients:2
+          ~batch:2 ~seed:1L ();
       seeds = [ 1L; 2L; 3L ];
     }
   in
@@ -276,25 +266,14 @@ let test_replication_grid_jobs_identical () =
      nested stats and a metrics registry) crossing the worker pipe. *)
   let cells =
     [
-      (Thc_replication.Harness.Minbft_protocol, 1);
-      (Thc_replication.Harness.Pbft_protocol, 1);
-      (Thc_replication.Harness.Minbft_protocol, 2);
+      (Thc_replication.Harness.Minbft, 1);
+      (Thc_replication.Harness.Pbft, 1);
+      (Thc_replication.Harness.Minbft, 2);
     ]
   in
   let run_cell (protocol, f) =
     Thc_replication.Harness.run
-      {
-        protocol;
-        f;
-        ops = 10;
-        clients = 1;
-        batch = 1;
-        interval = 5_000L;
-        delay = Thc_sim.Delay.Uniform (50L, 500L);
-        scenario = Thc_replication.Harness.Fault_free;
-        seed = 17L;
-        network = None;
-      }
+      (Thc_replication.Harness.Setup.make ~protocol ~f ~ops:10 ~seed:17L ())
   in
   let summarise rs =
     List.map

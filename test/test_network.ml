@@ -199,7 +199,7 @@ let loadtest_template ~network =
   let module W = Thc_workload.Workload in
   let module L = Thc_workload.Loadtest in
   {
-    L.protocol = L.Minbft_protocol;
+    L.protocol = L.Minbft;
     f = 1;
     batch = 1;
     seed = 5L;
@@ -275,18 +275,7 @@ let test_phase_trace_accepts_network_field () =
   let module PT = Thc_workload.Phase_trace in
   let module H = Thc_replication.Harness in
   let setup network =
-    {
-      H.protocol = H.Minbft_protocol;
-      f = 1;
-      ops = 4;
-      clients = 1;
-      batch = 2;
-      interval = 5_000L;
-      delay = Delay.Uniform (50L, 500L);
-      scenario = H.Fault_free;
-      seed = 3L;
-      network;
-    }
+    H.Setup.make ~protocol:H.Minbft ~f:1 ~ops:4 ~batch:2 ~seed:3L ?network ()
   in
   let doc network =
     let campaign = { PT.setup = setup network; seeds = [ 3L ] } in

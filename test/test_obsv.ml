@@ -351,18 +351,8 @@ let test_replication_export_roundtrip () =
      trace and carry a metrics snapshot plus a trusted-op ledger line. *)
   let outcome, export =
     Thc_replication.Harness.run_export
-      {
-        protocol = Thc_replication.Harness.Minbft_protocol;
-        f = 1;
-        ops = 5;
-        clients = 1;
-        batch = 1;
-        interval = 5_000L;
-        delay = Thc_sim.Delay.Uniform (50L, 500L);
-        scenario = Thc_replication.Harness.Fault_free;
-        seed = 3L;
-        network = None;
-      }
+      (Thc_replication.Harness.Setup.make
+         ~protocol:Thc_replication.Harness.Minbft ~f:1 ~ops:5 ~seed:3L ())
   in
   (match Thc_sim.Trace.of_jsonl export with
   | Error e -> Alcotest.fail ("of_jsonl: " ^ e)
@@ -399,18 +389,8 @@ let test_export_deterministic () =
   let run () =
     snd
       (Thc_replication.Harness.run_export
-         {
-           protocol = Thc_replication.Harness.Minbft_protocol;
-           f = 1;
-           ops = 5;
-           clients = 1;
-           batch = 1;
-           interval = 5_000L;
-           delay = Thc_sim.Delay.Uniform (50L, 500L);
-           scenario = Thc_replication.Harness.Fault_free;
-           seed = 3L;
-           network = None;
-         })
+         (Thc_replication.Harness.Setup.make
+            ~protocol:Thc_replication.Harness.Minbft ~f:1 ~ops:5 ~seed:3L ()))
   in
   Alcotest.(check string) "same seed, byte-identical export" (run ()) (run ())
 

@@ -205,18 +205,7 @@ let test_command_validation () =
 (* --- end-to-end scenarios ------------------------------------------------------------- *)
 
 let setup protocol scenario seed =
-  {
-    Thc_replication.Harness.protocol;
-    f = 1;
-    ops = 15;
-    clients = 1;
-    batch = 1;
-    interval = 5_000L;
-    delay = Thc_sim.Delay.Uniform (50L, 500L);
-    scenario;
-    seed;
-    network = None;
-  }
+  Thc_replication.Harness.Setup.make ~protocol ~f:1 ~ops:15 ~scenario ~seed ()
 
 let healthy o =
   o.Thc_replication.Harness.safety_violations = []
@@ -235,7 +224,7 @@ let test_minbft_scenarios () =
     (fun (name, scenario) ->
       let o =
         Thc_replication.Harness.run
-          (setup Thc_replication.Harness.Minbft_protocol scenario 7L)
+          (setup Thc_replication.Harness.Minbft scenario 7L)
       in
       if not (healthy o) then
         Alcotest.failf "minbft %s: %d/%d completed, %d safety, %d liveness"
@@ -249,7 +238,7 @@ let test_pbft_scenarios () =
     (fun (name, scenario) ->
       let o =
         Thc_replication.Harness.run
-          (setup Thc_replication.Harness.Pbft_protocol scenario 7L)
+          (setup Thc_replication.Harness.Pbft scenario 7L)
       in
       if not (healthy o) then
         Alcotest.failf "pbft %s: %d/%d completed, %d safety, %d liveness"
@@ -261,12 +250,12 @@ let test_pbft_scenarios () =
 let test_minbft_beats_pbft_on_messages () =
   let m =
     Thc_replication.Harness.run
-      (setup Thc_replication.Harness.Minbft_protocol
+      (setup Thc_replication.Harness.Minbft
          Thc_replication.Harness.Fault_free 9L)
   in
   let p =
     Thc_replication.Harness.run
-      (setup Thc_replication.Harness.Pbft_protocol
+      (setup Thc_replication.Harness.Pbft
          Thc_replication.Harness.Fault_free 9L)
   in
   Alcotest.(check bool) "fewer replicas" true (m.replicas < p.replicas);
@@ -278,7 +267,7 @@ let test_minbft_beats_pbft_on_messages () =
 let test_crash_leader_forces_view_change () =
   let o =
     Thc_replication.Harness.run
-      (setup Thc_replication.Harness.Minbft_protocol
+      (setup Thc_replication.Harness.Minbft
          (Thc_replication.Harness.Crash_leader 35_000L)
          13L)
   in
@@ -291,7 +280,7 @@ let prop_minbft_random_seeds =
     (fun seed ->
       healthy
         (Thc_replication.Harness.run
-           (setup Thc_replication.Harness.Minbft_protocol
+           (setup Thc_replication.Harness.Minbft
               Thc_replication.Harness.Fault_free seed)))
 
 let prop_minbft_crash_random_seeds =
@@ -300,7 +289,7 @@ let prop_minbft_crash_random_seeds =
     (fun seed ->
       let o =
         Thc_replication.Harness.run
-          (setup Thc_replication.Harness.Minbft_protocol
+          (setup Thc_replication.Harness.Minbft
              (Thc_replication.Harness.Crash_leader 35_000L)
              seed)
       in
@@ -310,7 +299,7 @@ let test_harness_deterministic () =
   (* Whole-cluster determinism: identical setup, identical outcome. *)
   let run () =
     Thc_replication.Harness.run
-      (setup Thc_replication.Harness.Minbft_protocol
+      (setup Thc_replication.Harness.Minbft
          (Thc_replication.Harness.Crash_leader 35_000L)
          21L)
   in
@@ -331,7 +320,7 @@ let test_ubft_scenarios () =
     (fun (name, scenario) ->
       let o =
         Thc_replication.Harness.run
-          (setup Thc_replication.Harness.Ubft_protocol scenario 7L)
+          (setup Thc_replication.Harness.Ubft scenario 7L)
       in
       if not (healthy o) then
         Alcotest.failf "ubft %s: %d/%d completed, %d safety, %d liveness"
@@ -347,12 +336,12 @@ let test_ubft_beats_minbft () =
      spends counter seals. *)
   let u =
     Thc_replication.Harness.run
-      (setup Thc_replication.Harness.Ubft_protocol
+      (setup Thc_replication.Harness.Ubft
          Thc_replication.Harness.Fault_free 9L)
   in
   let m =
     Thc_replication.Harness.run
-      (setup Thc_replication.Harness.Minbft_protocol
+      (setup Thc_replication.Harness.Minbft
          Thc_replication.Harness.Fault_free 9L)
   in
   let p50 o =
@@ -369,7 +358,7 @@ let test_ubft_beats_minbft () =
 let test_ubft_crash_leader_forces_view_change () =
   let o =
     Thc_replication.Harness.run
-      (setup Thc_replication.Harness.Ubft_protocol
+      (setup Thc_replication.Harness.Ubft
          (Thc_replication.Harness.Crash_leader 35_000L)
          13L)
   in
@@ -379,7 +368,7 @@ let test_ubft_crash_leader_forces_view_change () =
 let test_ubft_deterministic () =
   let run () =
     Thc_replication.Harness.run
-      (setup Thc_replication.Harness.Ubft_protocol
+      (setup Thc_replication.Harness.Ubft
          (Thc_replication.Harness.Crash_leader 35_000L)
          21L)
   in
@@ -394,7 +383,7 @@ let prop_ubft_random_seeds =
     (fun seed ->
       healthy
         (Thc_replication.Harness.run
-           (setup Thc_replication.Harness.Ubft_protocol
+           (setup Thc_replication.Harness.Ubft
               Thc_replication.Harness.Fault_free seed)))
 
 let test_ubft_registers_bounded () =
@@ -681,7 +670,7 @@ let test_scripted_scenario_minbft () =
   in
   let o =
     Thc_replication.Harness.run
-      (setup Thc_replication.Harness.Minbft_protocol
+      (setup Thc_replication.Harness.Minbft
          (Thc_replication.Harness.Scripted script)
          17L)
   in
@@ -705,7 +694,7 @@ let test_scripted_over_budget_waives_liveness () =
   in
   let o =
     Thc_replication.Harness.run
-      (setup Thc_replication.Harness.Minbft_protocol
+      (setup Thc_replication.Harness.Minbft
          (Thc_replication.Harness.Scripted script)
          19L)
   in
@@ -724,7 +713,7 @@ let test_multi_client_disjoint_rids () =
   let o =
     Thc_replication.Harness.run
       {
-        (setup Thc_replication.Harness.Minbft_protocol
+        (setup Thc_replication.Harness.Minbft
            Thc_replication.Harness.Fault_free 23L)
         with
         clients = 3;
@@ -749,7 +738,7 @@ let test_batching_amortizes_attestations () =
   let run batch =
     Thc_replication.Harness.run
       {
-        (setup Thc_replication.Harness.Minbft_protocol
+        (setup Thc_replication.Harness.Minbft
            Thc_replication.Harness.Fault_free 29L)
         with
         clients = 2;
@@ -792,7 +781,7 @@ let test_batched_safety_under_scripted_adversary () =
   let run batch =
     Thc_replication.Harness.run
       {
-        (setup Thc_replication.Harness.Minbft_protocol
+        (setup Thc_replication.Harness.Minbft
            (Thc_replication.Harness.Scripted script) 31L)
         with
         clients = 2;
@@ -822,7 +811,7 @@ let test_pbft_batched_under_scripted_adversary () =
   let o =
     Thc_replication.Harness.run
       {
-        (setup Thc_replication.Harness.Pbft_protocol
+        (setup Thc_replication.Harness.Pbft
            (Thc_replication.Harness.Scripted script) 37L)
         with
         clients = 2;

@@ -115,7 +115,7 @@ let test_spec_validation () =
 
 (* --- loadtest runner -------------------------------------------------------- *)
 
-let point ?(protocol = L.Minbft_protocol) ?(batch = 1)
+let point ?(protocol = L.Minbft) ?(batch = 1)
     ?(arrival = W.Open_poisson { rate_rps = 800.0 }) () =
   {
     L.protocol;
@@ -144,14 +144,14 @@ let test_run_point_deterministic () =
     (L.export ~seed:41L [ b ])
 
 let test_ubft_point_completes () =
-  let r = L.run_point (point ~protocol:L.Ubft_protocol ()) in
+  let r = L.run_point (point ~protocol:L.Ubft ()) in
   Alcotest.(check int) "all requests completed" r.L.offered r.L.completed;
   Alcotest.(check int) "no safety violations" 0 r.L.safety_violations;
   Alcotest.(check bool) "register ops charged" true
     (r.L.trusted_per_request > 0.0)
 
 let test_ubft_point_deterministic () =
-  let run () = L.run_point (point ~protocol:L.Ubft_protocol ()) in
+  let run () = L.run_point (point ~protocol:L.Ubft ()) in
   let a = run () and b = run () in
   Alcotest.(check bool) "identical results" true (a = b);
   Alcotest.(check string) "identical export bytes"
